@@ -1,0 +1,41 @@
+# Convenience targets for building, testing and regenerating the paper's
+# evaluation. Everything is plain `go` underneath; see README.md.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (laptop-scale defaults;
+# see EXPERIMENTS.md for the flags matching the paper's full sizes).
+figures:
+	$(GO) run ./cmd/benchseq
+	$(GO) run ./cmd/benchpar -threads 1,2,4,8
+	$(GO) run ./cmd/benchdatalog -stats
+	$(GO) run ./cmd/benchtrees
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/transitiveclosure
+	$(GO) run ./examples/pointsto
+	$(GO) run ./examples/netsecurity
+	$(GO) run ./examples/samegeneration
+
+clean:
+	$(GO) clean ./...

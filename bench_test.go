@@ -1,0 +1,501 @@
+// Benchmarks regenerating, at go-test scale, every table and figure of
+// the paper's evaluation (§4). Each benchmark family corresponds to one
+// figure/table; the cmd/bench* executables run the same experiments with
+// sweepable parameters and table output. See DESIGN.md §6 for the
+// experiment index and EXPERIMENTS.md for recorded results.
+package specbtree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"specbtree/internal/bslack"
+	"specbtree/internal/chashset"
+	"specbtree/internal/core"
+	"specbtree/internal/datalog"
+	"specbtree/internal/gbtree"
+	"specbtree/internal/hashset"
+	"specbtree/internal/masstree"
+	"specbtree/internal/obslack"
+	"specbtree/internal/palm"
+	"specbtree/internal/rbtree"
+	"specbtree/internal/relation"
+	"specbtree/internal/seqbtree"
+	"specbtree/internal/syncadapt"
+	"specbtree/internal/tuple"
+	"specbtree/internal/workload"
+)
+
+// benchPoints is the per-iteration element count for the figure 3/4
+// benches (the paper uses 1e6..1e8; go-test iterations use 250²).
+const benchPoints = 62500
+
+type seqContestant struct {
+	name string
+	mk   func() seqOps
+}
+
+type seqOps struct {
+	insert   func(tuple.Tuple) bool
+	contains func(tuple.Tuple) bool
+	scan     func(func(tuple.Tuple) bool)
+}
+
+func seqContestants() []seqContestant {
+	return []seqContestant{
+		{"google_btree", func() seqOps {
+			t := gbtree.New(2)
+			return seqOps{t.Insert, t.Contains, t.Scan}
+		}},
+		{"seq_btree", func() seqOps {
+			t := seqbtree.New(2)
+			h := seqbtree.NewHints()
+			return seqOps{
+				func(v tuple.Tuple) bool { return t.InsertHint(v, h) },
+				func(v tuple.Tuple) bool { return t.ContainsHint(v, h) },
+				t.Scan,
+			}
+		}},
+		{"seq_btree_nh", func() seqOps {
+			t := seqbtree.New(2)
+			return seqOps{t.Insert, t.Contains, t.Scan}
+		}},
+		{"btree", func() seqOps {
+			t := core.New(2)
+			h := core.NewHints()
+			return seqOps{
+				func(v tuple.Tuple) bool { return t.InsertHint(v, h) },
+				func(v tuple.Tuple) bool { return t.ContainsHint(v, h) },
+				t.All,
+			}
+		}},
+		{"btree_nh", func() seqOps {
+			t := core.New(2)
+			return seqOps{t.Insert, t.Contains, t.All}
+		}},
+		{"stl_rbtset", func() seqOps {
+			t := rbtree.New(2)
+			return seqOps{t.Insert, t.Contains, t.Scan}
+		}},
+		{"stl_hashset", func() seqOps {
+			s := hashset.New(2)
+			return seqOps{s.Insert, s.Contains, s.Scan}
+		}},
+		{"tbb_hashset", func() seqOps {
+			s := chashset.New(2)
+			return seqOps{s.Insert, s.Contains, s.Scan}
+		}},
+	}
+}
+
+func benchData(order string) []tuple.Tuple {
+	pts := workload.Points2D(benchPoints)
+	if order == "random" {
+		return workload.Shuffle(pts, 1)
+	}
+	return pts
+}
+
+// benchSeqInsert is Figures 3a/3b.
+func benchSeqInsert(b *testing.B, order string) {
+	data := benchData(order)
+	for _, c := range seqContestants() {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := c.mk()
+				for _, t := range data {
+					o.insert(t)
+				}
+			}
+			b.ReportMetric(float64(len(data)*b.N)/b.Elapsed().Seconds(), "inserts/s")
+		})
+	}
+}
+
+func BenchmarkFig3aInsertOrdered(b *testing.B) { benchSeqInsert(b, "sorted") }
+func BenchmarkFig3bInsertRandom(b *testing.B)  { benchSeqInsert(b, "random") }
+
+// benchSeqLookup is Figures 3c/3d.
+func benchSeqLookup(b *testing.B, order string) {
+	data := benchData(order)
+	for _, c := range seqContestants() {
+		b.Run(c.name, func(b *testing.B) {
+			o := c.mk()
+			for _, t := range data {
+				o.insert(t)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, t := range data {
+					if !o.contains(t) {
+						b.Fatal("element missing")
+					}
+				}
+			}
+			b.ReportMetric(float64(len(data)*b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+func BenchmarkFig3cLookupOrdered(b *testing.B) { benchSeqLookup(b, "sorted") }
+func BenchmarkFig3dLookupRandom(b *testing.B)  { benchSeqLookup(b, "random") }
+
+// benchScan is Figures 3e/3f (fill order affects the tree shape).
+func benchScan(b *testing.B, order string) {
+	data := benchData(order)
+	for _, c := range seqContestants() {
+		b.Run(c.name, func(b *testing.B) {
+			o := c.mk()
+			for _, t := range data {
+				o.insert(t)
+			}
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				o.scan(func(tuple.Tuple) bool {
+					total++
+					return true
+				})
+			}
+			if total != len(data)*b.N {
+				b.Fatalf("scan visited %d", total)
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "entries/s")
+		})
+	}
+}
+
+func BenchmarkFig3eScanAfterOrdered(b *testing.B) { benchScan(b, "sorted") }
+func BenchmarkFig3fScanAfterRandom(b *testing.B)  { benchScan(b, "random") }
+
+// parContestants is the Figure 4 line-up.
+type parContestant struct {
+	name string
+	mk   func() (worker func(part []tuple.Tuple), finish func() int)
+}
+
+func parContestants() []parContestant {
+	return []parContestant{
+		{"btree", func() (func([]tuple.Tuple), func() int) {
+			t := core.New(2)
+			return func(part []tuple.Tuple) {
+				h := core.NewHints()
+				for _, v := range part {
+					t.InsertHint(v, h)
+				}
+			}, t.Len
+		}},
+		{"btree_nh", func() (func([]tuple.Tuple), func() int) {
+			t := core.New(2)
+			return func(part []tuple.Tuple) {
+				for _, v := range part {
+					t.Insert(v)
+				}
+			}, t.Len
+		}},
+		{"google_btree_locked", func() (func([]tuple.Tuple), func() int) {
+			t := syncadapt.NewLocked(2)
+			return func(part []tuple.Tuple) {
+				for _, v := range part {
+					t.Insert(v)
+				}
+			}, t.Len
+		}},
+		{"reduction_btree", func() (func([]tuple.Tuple), func() int) {
+			r := syncadapt.NewReduction(2)
+			return func(part []tuple.Tuple) {
+				w := r.NewWorker()
+				for _, v := range part {
+					w.Insert(v)
+				}
+			}, func() int { r.Merge(); return r.Len() }
+		}},
+		{"tbb_hashset", func() (func([]tuple.Tuple), func() int) {
+			s := chashset.New(2)
+			return func(part []tuple.Tuple) {
+				for _, v := range part {
+					s.Insert(v)
+				}
+			}, s.Len
+		}},
+	}
+}
+
+// benchParInsert is Figure 4 (a-d): concurrent insertion with the worker
+// count pinned to GOMAXPROCS via go test -cpu.
+func benchParInsert(b *testing.B, order string, threads int) {
+	data := benchData(order)
+	parts := workload.Partition(data, threads)
+	for _, c := range parContestants() {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				worker, finish := c.mk()
+				var wg sync.WaitGroup
+				for _, part := range parts {
+					wg.Add(1)
+					go func(part []tuple.Tuple) {
+						defer wg.Done()
+						worker(part)
+					}(part)
+				}
+				wg.Wait()
+				if got := finish(); got != len(data) {
+					b.Fatalf("lost elements: %d of %d", got, len(data))
+				}
+			}
+			b.ReportMetric(float64(len(data)*b.N)/b.Elapsed().Seconds(), "inserts/s")
+		})
+	}
+}
+
+func BenchmarkFig4aParallelInsertOrdered2T(b *testing.B) { benchParInsert(b, "sorted", 2) }
+func BenchmarkFig4bParallelInsertRandom2T(b *testing.B)  { benchParInsert(b, "random", 2) }
+func BenchmarkFig4cParallelInsertOrdered4T(b *testing.B) { benchParInsert(b, "sorted", 4) }
+func BenchmarkFig4dParallelInsertRandom4T(b *testing.B)  { benchParInsert(b, "random", 4) }
+
+// benchEngine is Figure 5: whole-engine evaluation with swapped relation
+// representations.
+func benchEngine(b *testing.B, w workload.DatalogWorkload, threads int) {
+	prog := datalog.MustParse(w.Source)
+	for _, name := range []string{"btree", "btree-nh", "rbtset", "hashset", "gbtree", "tbbhash"} {
+		provider := relation.MustLookup(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := datalog.New(prog, datalog.Options{Provider: provider, Workers: threads})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for rel, facts := range w.Facts {
+					if err := eng.AddFacts(rel, facts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if eng.Count(w.Outputs[0]) == 0 {
+					b.Fatal("degenerate workload")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig5aDoopPointsTo(b *testing.B) {
+	benchEngine(b, workload.PointsTo(128, 1), 2)
+}
+
+func BenchmarkFig5bSecurityAnalysis(b *testing.B) {
+	benchEngine(b, workload.Security(256, 1), 2)
+}
+
+// BenchmarkTable3 compares the concurrent trees on scalar-key insertion.
+func benchTable3(b *testing.B, ordered bool, threads int) {
+	const n = 100000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if !ordered {
+		rng := workload.Shuffle(workload.Scalars(n), 1)
+		for i, t := range rng {
+			keys[i] = t[0]
+		}
+	}
+	chunk := (n + threads - 1) / threads
+	type treeCase struct {
+		name string
+		mk   func() (func(uint64) bool, func() int)
+	}
+	cases := []treeCase{
+		{"btree", func() (func(uint64) bool, func() int) {
+			t := core.New(1)
+			return func(k uint64) bool { return t.Insert(tuple.Tuple{k}) }, t.Len
+		}},
+		{"palm", func() (func(uint64) bool, func() int) {
+			t := palm.New()
+			return t.Insert, func() int { t.Flush(); return t.Len() }
+		}},
+		{"masstree", func() (func(uint64) bool, func() int) {
+			t := masstree.New()
+			return t.Insert, t.Len
+		}},
+		{"bslack", func() (func(uint64) bool, func() int) {
+			t := bslack.New()
+			return t.Insert, t.Len
+		}},
+		// The paper's §5 future-work proposal, implemented: a B-slack-style
+		// tree on the optimistic locking scheme.
+		{"bslack_opt", func() (func(uint64) bool, func() int) {
+			t := obslack.New()
+			return t.Insert, t.Len
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				insert, finish := c.mk()
+				var wg sync.WaitGroup
+				for lo := 0; lo < n; lo += chunk {
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					wg.Add(1)
+					go func(part []uint64) {
+						defer wg.Done()
+						for _, k := range part {
+							insert(k)
+						}
+					}(keys[lo:hi])
+				}
+				wg.Wait()
+				if got := finish(); got != n {
+					b.Fatalf("lost elements: %d of %d", got, n)
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "inserts/s")
+		})
+	}
+}
+
+func BenchmarkTable3Ordered1T(b *testing.B) { benchTable3(b, true, 1) }
+func BenchmarkTable3Ordered4T(b *testing.B) { benchTable3(b, true, 4) }
+func BenchmarkTable3Random1T(b *testing.B)  { benchTable3(b, false, 1) }
+func BenchmarkTable3Random4T(b *testing.B)  { benchTable3(b, false, 4) }
+
+// Ablation benches: the design choices DESIGN.md calls out.
+
+// BenchmarkAblationNodeCapacity sweeps the B-tree node capacity.
+func BenchmarkAblationNodeCapacity(b *testing.B) {
+	data := benchData("random")
+	for _, capacity := range []int{4, 8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("cap%d", capacity), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := core.New(2, core.Options{Capacity: capacity})
+				for _, v := range data {
+					t.Insert(v)
+				}
+			}
+			b.ReportMetric(float64(len(data)*b.N)/b.Elapsed().Seconds(), "inserts/s")
+		})
+	}
+}
+
+// BenchmarkAblationHintsOrderedLookup isolates the hint benefit on the
+// paper's best case: ordered membership probes (the ~6x of Figure 3c).
+func BenchmarkAblationHintsOrderedLookup(b *testing.B) {
+	data := benchData("sorted")
+	t := core.New(2)
+	for _, v := range data {
+		t.Insert(v)
+	}
+	b.Run("hints", func(b *testing.B) {
+		h := core.NewHints()
+		for i := 0; i < b.N; i++ {
+			for _, v := range data {
+				if !t.ContainsHint(v, h) {
+					b.Fatal("missing")
+				}
+			}
+		}
+		b.ReportMetric(float64(len(data)*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("nohints", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range data {
+				if !t.Contains(v) {
+					b.Fatal("missing")
+				}
+			}
+		}
+		b.ReportMetric(float64(len(data)*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+}
+
+// BenchmarkAblationLockScheme compares the optimistic lock against a
+// plain mutex and RWMutex protecting the same sequential tree under
+// 4-way concurrent insertion.
+func BenchmarkAblationLockScheme(b *testing.B) {
+	data := benchData("random")
+	parts := workload.Partition(data, 4)
+	run := func(b *testing.B, mk func() (func(tuple.Tuple), func() int)) {
+		for i := 0; i < b.N; i++ {
+			insert, finish := mk()
+			var wg sync.WaitGroup
+			for _, part := range parts {
+				wg.Add(1)
+				go func(part []tuple.Tuple) {
+					defer wg.Done()
+					for _, v := range part {
+						insert(v)
+					}
+				}(part)
+			}
+			wg.Wait()
+			if got := finish(); got != len(data) {
+				b.Fatalf("lost elements: %d", got)
+			}
+		}
+		b.ReportMetric(float64(len(data)*b.N)/b.Elapsed().Seconds(), "inserts/s")
+	}
+	b.Run("optimistic", func(b *testing.B) {
+		run(b, func() (func(tuple.Tuple), func() int) {
+			t := core.New(2)
+			return func(v tuple.Tuple) { t.Insert(v) }, t.Len
+		})
+	})
+	b.Run("global_mutex", func(b *testing.B) {
+		run(b, func() (func(tuple.Tuple), func() int) {
+			t := seqbtree.New(2)
+			var mu sync.Mutex
+			return func(v tuple.Tuple) {
+				mu.Lock()
+				t.Insert(v)
+				mu.Unlock()
+			}, t.Len
+		})
+	})
+	b.Run("global_rwmutex", func(b *testing.B) {
+		run(b, func() (func(tuple.Tuple), func() int) {
+			t := seqbtree.New(2)
+			var mu sync.RWMutex
+			return func(v tuple.Tuple) {
+				mu.Lock()
+				t.Insert(v)
+				mu.Unlock()
+			}, t.Len
+		})
+	})
+}
+
+// BenchmarkAblationMerge compares the specialised structure-aware merge
+// against tuple-by-tuple re-insertion.
+func BenchmarkAblationMerge(b *testing.B) {
+	src := core.New(2)
+	for _, v := range benchData("sorted") {
+		src.Insert(v)
+	}
+	b.Run("specialised", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst := core.New(2)
+			dst.InsertAll(src)
+			if dst.Len() != src.Len() {
+				b.Fatal("merge lost elements")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst := core.New(2)
+			src.All(func(v tuple.Tuple) bool {
+				dst.Insert(v)
+				return true
+			})
+			if dst.Len() != src.Len() {
+				b.Fatal("merge lost elements")
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Command benchdatalog regenerates Figure 5 and Table 2 of the paper: it
+// runs the two real-world-shaped Datalog workloads — a Doop-style
+// var-points-to analysis (insertion heavy) and an EC2-style security
+// vulnerability analysis (read heavy) — on the engine instantiated with
+// each investigated relation data structure, sweeping the thread count.
+//
+// With -stats it additionally prints the Table 2 block (program
+// properties, evaluation statistics) and the hint hit rates reported in
+// §4.3 of the paper.
+//
+// Usage:
+//
+//	benchdatalog [-workload both|pointsto|security] [-size 256]
+//	             [-threads 1,2,4,8] [-structs btree,btree-nh,...]
+//	             [-stats] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"specbtree/internal/bench"
+	"specbtree/internal/datalog"
+	"specbtree/internal/relation"
+	"specbtree/internal/workload"
+)
+
+// figure5Structs is the paper's Figure 5 line-up.
+var figure5Structs = []string{
+	"btree", "btree-nh", "rbtset", "hashset", "gbtree", "tbbhash",
+}
+
+func main() {
+	workloadFlag := flag.String("workload", "both", "workload: both|pointsto|security")
+	sizeFlag := flag.Int("size", 256, "workload scale parameter")
+	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts (paper: 1..32)")
+	structsFlag := flag.String("structs", strings.Join(figure5Structs, ","), "comma-separated relation providers")
+	statsFlag := flag.Bool("stats", false, "print Table 2 statistics and hint hit rates")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of tables")
+	seedFlag := flag.Int64("seed", 1, "workload generator seed")
+	suiteFlag := flag.Int("suite", 1, "number of seeded points-to instances summed per cell (the paper totals 11 DaCapo benchmarks)")
+	flag.Parse()
+
+	threads, err := bench.ParseIntList(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var structs []string
+	for _, s := range strings.Split(*structsFlag, ",") {
+		structs = append(structs, strings.TrimSpace(s))
+	}
+
+	// Each experiment row is a suite of workload instances whose runtimes
+	// are summed — the paper's Figure 5a totals 11 DaCapo benchmarks.
+	var suites [][]workload.DatalogWorkload
+	if *workloadFlag == "both" || *workloadFlag == "pointsto" {
+		var suite []workload.DatalogWorkload
+		for k := 0; k < *suiteFlag; k++ {
+			suite = append(suite, workload.PointsTo(*sizeFlag, *seedFlag+int64(k)))
+		}
+		suites = append(suites, suite)
+	}
+	if *workloadFlag == "both" || *workloadFlag == "security" {
+		suites = append(suites, []workload.DatalogWorkload{workload.Security(*sizeFlag*4, *seedFlag)})
+	}
+	if len(suites) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workloadFlag)
+		os.Exit(2)
+	}
+
+	for _, suite := range suites {
+		w := suite[0]
+		fig := "5a (Doop-style var-points-to, insertion heavy)"
+		if w.Name == "security" {
+			fig = "5b (EC2-style security analysis, read heavy)"
+		}
+		title := fmt.Sprintf("Figure %s", fig)
+		if len(suite) > 1 {
+			title += fmt.Sprintf(", total over %d instances", len(suite))
+		}
+		tbl := bench.NewTable(title, "threads", "runtime [ms]")
+		var statEngine *datalog.Engine
+		for _, nt := range threads {
+			for _, sname := range structs {
+				provider, err := relation.Lookup(sname)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				total := 0.0
+				for _, inst := range suite {
+					eng, ms := runOnce(inst, provider, nt)
+					total += ms
+					if sname == "btree" {
+						statEngine = eng
+					}
+				}
+				tbl.SeriesNamed(sname).Add(float64(nt), total)
+			}
+		}
+		if *csvFlag {
+			fmt.Printf("# %s\n", title)
+			tbl.RenderCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		if *statsFlag && statEngine != nil {
+			printStats(w, statEngine)
+		}
+	}
+}
+
+func runOnce(w workload.DatalogWorkload, p relation.Provider, threads int) (*datalog.Engine, float64) {
+	prog, err := datalog.Parse(w.Source)
+	if err != nil {
+		panic(err)
+	}
+	eng, err := datalog.New(prog, datalog.Options{Provider: p, Workers: threads})
+	if err != nil {
+		panic(err)
+	}
+	for rel, facts := range w.Facts {
+		if err := eng.AddFacts(rel, facts); err != nil {
+			panic(err)
+		}
+	}
+	d := bench.Measure(func() {
+		if err := eng.Run(); err != nil {
+			panic(err)
+		}
+	})
+	// Sanity: outputs must be non-empty, or the workload degenerated.
+	for _, out := range w.Outputs {
+		if eng.Count(out) == 0 {
+			fmt.Fprintf(os.Stderr, "warning: %s: output %s is empty\n", w.Name, out)
+		}
+	}
+	return eng, float64(d.Milliseconds()) + float64(d.Microseconds()%1000)/1000
+}
+
+// printStats renders the Table 2 block for one workload.
+func printStats(w workload.DatalogWorkload, eng *datalog.Engine) {
+	s := eng.Stats()
+	fmt.Printf("### Table 2: properties and evaluation statistics (%s)\n", w.Name)
+	fmt.Printf("%-24s %12d\n", "relations", s.Relations)
+	fmt.Printf("%-24s %12d\n", "rules", s.Rules)
+	fmt.Printf("%-24s %12d\n", "inserts", s.Inserts)
+	fmt.Printf("%-24s %12d\n", "membership tests", s.MembershipTests)
+	fmt.Printf("%-24s %12d\n", "lower_bound calls", s.LowerBoundCalls)
+	fmt.Printf("%-24s %12d\n", "upper_bound calls", s.UpperBoundCalls)
+	fmt.Printf("%-24s %12d\n", "input tuples", s.InputTuples)
+	fmt.Printf("%-24s %12d\n", "produced tuples", s.ProducedTuples)
+	fmt.Printf("%-24s %12d\n", "fixpoint iterations", s.Iterations)
+	fmt.Printf("%-24s %11.1f%%\n", "hint hit rate", 100*s.HintRate())
+	var outs []string
+	outs = append(outs, w.Outputs...)
+	sort.Strings(outs)
+	for _, o := range outs {
+		fmt.Printf("%-24s %12d\n", "|"+o+"|", eng.Count(o))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,173 @@
+// Command benchpar regenerates Figure 4 of the paper: parallel insertion
+// throughput under strong scaling. N 2-D points are pre-partitioned among
+// the worker threads (contiguous chunks for the ordered case — the
+// NUMA-friendly setup of Figure 4c — or chunks of a shuffled stream for
+// the random case) and inserted concurrently into one shared set.
+//
+// Contestants (paper §4.2): the optimistic B-tree with and without hints,
+// a globally locked sequential B-tree ("google btree"), the parallel-
+// reduction B-tree, and the concurrent hash set ("TBB hashset").
+//
+// Usage:
+//
+//	benchpar [-n 1000000] [-threads 1,2,4,8] [-order both|sorted|random]
+//	         [-structs all|name,...] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"specbtree/internal/bench"
+	"specbtree/internal/chashset"
+	"specbtree/internal/core"
+	"specbtree/internal/syncadapt"
+	"specbtree/internal/tuple"
+	"specbtree/internal/workload"
+)
+
+// contestant builds a fresh shared set and returns a per-thread insert
+// closure plus an optional finalisation step (the reduction merge).
+type contestant struct {
+	name string
+	make func(threads int) (worker func(id int, part []tuple.Tuple), finish func() int)
+}
+
+func contestants() []contestant {
+	return []contestant{
+		{"btree", func(int) (func(int, []tuple.Tuple), func() int) {
+			t := core.New(2)
+			return func(_ int, part []tuple.Tuple) {
+					h := core.NewHints()
+					for _, v := range part {
+						t.InsertHint(v, h)
+					}
+				}, func() int {
+					return t.Len()
+				}
+		}},
+		{"btree-nh", func(int) (func(int, []tuple.Tuple), func() int) {
+			t := core.New(2)
+			return func(_ int, part []tuple.Tuple) {
+					for _, v := range part {
+						t.Insert(v)
+					}
+				}, func() int {
+					return t.Len()
+				}
+		}},
+		{"google-btree", func(int) (func(int, []tuple.Tuple), func() int) {
+			t := syncadapt.NewLocked(2)
+			return func(_ int, part []tuple.Tuple) {
+					for _, v := range part {
+						t.Insert(v)
+					}
+				}, func() int {
+					return t.Len()
+				}
+		}},
+		{"reduction-btree", func(int) (func(int, []tuple.Tuple), func() int) {
+			r := syncadapt.NewReduction(2)
+			return func(_ int, part []tuple.Tuple) {
+					w := r.NewWorker()
+					for _, v := range part {
+						w.Insert(v)
+					}
+				}, func() int {
+					r.Merge() // the concluding parallel reduction is part of the measured work
+					return r.Len()
+				}
+		}},
+		{"tbb-hashset", func(int) (func(int, []tuple.Tuple), func() int) {
+			s := chashset.New(2)
+			return func(_ int, part []tuple.Tuple) {
+					for _, v := range part {
+						s.Insert(v)
+					}
+				}, func() int {
+					return s.Len()
+				}
+		}},
+	}
+}
+
+func main() {
+	nFlag := flag.Int("n", 1000000, "number of 2-D points to insert (paper: 100000000)")
+	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts (paper: 1..32 over 4 sockets)")
+	orderFlag := flag.String("order", "both", "element order: both|sorted|random")
+	structsFlag := flag.String("structs", "all", "comma-separated structure names, or all")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of tables")
+	seedFlag := flag.Int64("seed", 1, "shuffle seed for the random-order variant")
+	repsFlag := flag.Int("reps", 1, "repetitions per cell; the best run is reported")
+	flag.Parse()
+
+	threads, err := bench.ParseIntList(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sel := map[string]bool{}
+	if *structsFlag == "all" {
+		for _, c := range contestants() {
+			sel[c.name] = true
+		}
+	} else {
+		for _, n := range strings.Split(*structsFlag, ",") {
+			sel[strings.TrimSpace(n)] = true
+		}
+	}
+
+	pts := workload.Points2D(*nFlag)
+	for _, order := range []string{"sorted", "random"} {
+		if *orderFlag != "both" && *orderFlag != order {
+			continue
+		}
+		data := pts
+		fig := "4a/4c"
+		if order == "random" {
+			data = workload.Shuffle(pts, *seedFlag)
+			fig = "4b/4d"
+		}
+		title := fmt.Sprintf("Figure %s: parallel insertion (%s, %d points)", fig, order, len(data))
+		tbl := bench.NewTable(title, "threads", "million inserts/s")
+		for _, nt := range threads {
+			parts := workload.Partition(data, nt)
+			for _, c := range contestants() {
+				if !sel[c.name] {
+					continue
+				}
+				mops := bench.Best(*repsFlag, func() float64 { return runOne(c, nt, parts, len(data)) })
+				tbl.SeriesNamed(c.name).Add(float64(nt), mops)
+			}
+		}
+		if *csvFlag {
+			fmt.Printf("# %s\n", title)
+			tbl.RenderCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			tbl.Render(os.Stdout)
+		}
+	}
+}
+
+func runOne(c contestant, threads int, parts [][]tuple.Tuple, n int) float64 {
+	worker, finish := c.make(threads)
+	d := bench.Measure(func() {
+		var wg sync.WaitGroup
+		for id, part := range parts {
+			wg.Add(1)
+			go func(id int, part []tuple.Tuple) {
+				defer wg.Done()
+				worker(id, part)
+			}(id, part)
+		}
+		wg.Wait()
+		if got := finish(); got != n {
+			panic(fmt.Sprintf("benchpar: %s lost elements: %d of %d", c.name, got, n))
+		}
+	})
+	return bench.Throughput(n, d) / 1e6
+}

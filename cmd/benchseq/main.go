@@ -1,0 +1,224 @@
+// Command benchseq regenerates Figure 3 of the paper: sequential
+// throughput of the performance-critical set operations — insertion,
+// membership tests, and full-range scans — in ordered and random order,
+// across the investigated data structures (Table 1).
+//
+// Usage:
+//
+//	benchseq [-sizes 250000,1000000] [-op all|insert|lookup|scan]
+//	         [-order both|sorted|random] [-structs all|name,...] [-csv]
+//
+// The paper's sizes (1000² through 10000² elements) can be requested
+// verbatim via -sizes; defaults are scaled to finish quickly on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specbtree/internal/bench"
+	"specbtree/internal/chashset"
+	"specbtree/internal/core"
+	"specbtree/internal/gbtree"
+	"specbtree/internal/hashset"
+	"specbtree/internal/rbtree"
+	"specbtree/internal/seqbtree"
+	"specbtree/internal/tuple"
+	"specbtree/internal/workload"
+)
+
+// contestant is one data-structure configuration under test.
+type contestant struct {
+	name string
+	make func() ops
+}
+
+// ops is the uniform operation surface Figure 3 exercises.
+type ops struct {
+	insert   func(tuple.Tuple) bool
+	contains func(tuple.Tuple) bool
+	scan     func(yield func(tuple.Tuple) bool)
+}
+
+func contestants(arity int) []contestant {
+	return []contestant{
+		{"google-btree", func() ops {
+			t := gbtree.New(arity)
+			return ops{t.Insert, t.Contains, t.Scan}
+		}},
+		{"seq-btree", func() ops {
+			t := seqbtree.New(arity)
+			h := seqbtree.NewHints()
+			return ops{
+				func(v tuple.Tuple) bool { return t.InsertHint(v, h) },
+				func(v tuple.Tuple) bool { return t.ContainsHint(v, h) },
+				t.Scan,
+			}
+		}},
+		{"seq-btree-nh", func() ops {
+			t := seqbtree.New(arity)
+			return ops{t.Insert, t.Contains, t.Scan}
+		}},
+		{"btree", func() ops {
+			t := core.New(arity)
+			h := core.NewHints()
+			return ops{
+				func(v tuple.Tuple) bool { return t.InsertHint(v, h) },
+				func(v tuple.Tuple) bool { return t.ContainsHint(v, h) },
+				t.All,
+			}
+		}},
+		{"btree-nh", func() ops {
+			t := core.New(arity)
+			return ops{t.Insert, t.Contains, t.All}
+		}},
+		{"stl-rbtset", func() ops {
+			t := rbtree.New(arity)
+			return ops{t.Insert, t.Contains, t.Scan}
+		}},
+		{"stl-hashset", func() ops {
+			s := hashset.New(arity)
+			return ops{s.Insert, s.Contains, s.Scan}
+		}},
+		{"tbb-hashset", func() ops {
+			s := chashset.New(arity)
+			return ops{s.Insert, s.Contains, s.Scan}
+		}},
+	}
+}
+
+func main() {
+	sizesFlag := flag.String("sizes", "62500,250000,1000000", "comma-separated element counts (paper: 1000000,4000000,25000000,100000000)")
+	opFlag := flag.String("op", "all", "operation: all|insert|lookup|scan")
+	orderFlag := flag.String("order", "both", "element order: both|sorted|random")
+	structsFlag := flag.String("structs", "all", "comma-separated structure names, or all")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of tables")
+	seedFlag := flag.Int64("seed", 1, "shuffle seed for the random-order variants")
+	arityFlag := flag.Int("arity", 2, "tuple arity (the paper's footnote: results remain similar for other dimensions)")
+	repsFlag := flag.Int("reps", 1, "repetitions per cell; the best run is reported")
+	flag.Parse()
+
+	sizes, err := bench.ParseIntList(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sel := selected(*structsFlag, *arityFlag)
+
+	type figure struct {
+		id    string
+		op    string
+		order string
+	}
+	var figures []figure
+	for _, f := range []figure{
+		{"3a", "insert", "sorted"},
+		{"3b", "insert", "random"},
+		{"3c", "lookup", "sorted"},
+		{"3d", "lookup", "random"},
+		{"3e", "scan", "sorted"},
+		{"3f", "scan", "random"},
+	} {
+		if (*opFlag == "all" || *opFlag == f.op) &&
+			(*orderFlag == "both" || *orderFlag == f.order) {
+			figures = append(figures, f)
+		}
+	}
+
+	for _, f := range figures {
+		title := fmt.Sprintf("Figure %s: sequential %s (%s order)", f.id, opName(f.op), f.order)
+		tbl := bench.NewTable(title, "elements", "million ops/s")
+		for _, size := range sizes {
+			pts := workload.PointsND(size, *arityFlag)
+			data := pts
+			if f.order == "random" {
+				data = workload.Shuffle(pts, *seedFlag)
+			}
+			for _, c := range contestants(*arityFlag) {
+				if !sel[c.name] {
+					continue
+				}
+				mops := bench.Best(*repsFlag, func() float64 { return runFigure(c, f.op, data) })
+				tbl.SeriesNamed(c.name).Add(float64(len(data)), mops)
+			}
+		}
+		if *csvFlag {
+			fmt.Printf("# %s\n", title)
+			tbl.RenderCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			tbl.Render(os.Stdout)
+		}
+	}
+}
+
+func opName(op string) string {
+	switch op {
+	case "insert":
+		return "insertion"
+	case "lookup":
+		return "membership test"
+	case "scan":
+		return "full-range scan"
+	}
+	return op
+}
+
+// runFigure measures one (structure, operation, dataset) cell in million
+// operations per second.
+func runFigure(c contestant, op string, data []tuple.Tuple) float64 {
+	o := c.make()
+	switch op {
+	case "insert":
+		d := bench.Measure(func() {
+			for _, t := range data {
+				o.insert(t)
+			}
+		})
+		return bench.Throughput(len(data), d) / 1e6
+	case "lookup":
+		for _, t := range data {
+			o.insert(t)
+		}
+		d := bench.Measure(func() {
+			for _, t := range data {
+				if !o.contains(t) {
+					panic("benchseq: inserted element missing")
+				}
+			}
+		})
+		return bench.Throughput(len(data), d) / 1e6
+	case "scan":
+		for _, t := range data {
+			o.insert(t)
+		}
+		visited := 0
+		d := bench.Measure(func() {
+			o.scan(func(tuple.Tuple) bool {
+				visited++
+				return true
+			})
+		})
+		if visited != len(data) {
+			panic(fmt.Sprintf("benchseq: scan visited %d of %d", visited, len(data)))
+		}
+		return bench.Throughput(visited, d) / 1e6
+	}
+	panic("benchseq: unknown op " + op)
+}
+
+func selected(s string, arity int) map[string]bool {
+	sel := map[string]bool{}
+	if s == "all" {
+		for _, c := range contestants(arity) {
+			sel[c.name] = true
+		}
+		return sel
+	}
+	for _, n := range strings.Split(s, ",") {
+		sel[strings.TrimSpace(n)] = true
+	}
+	return sel
+}

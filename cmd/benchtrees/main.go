@@ -1,0 +1,187 @@
+// Command benchtrees regenerates Table 3 of the paper: insertion
+// throughput of fixed-size integer keys into concurrent tree data
+// structures — the specialised B-tree versus PALM tree, Masstree and
+// B-slack tree — in ordered and random order, across thread counts.
+//
+// Usage:
+//
+//	benchtrees [-n 1000000] [-threads 1,2,4,8] [-structs all|name,...] [-csv]
+//
+// The paper inserts 10,000,000 32-bit integers; pass -n 10000000 for the
+// full-size run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+
+	"specbtree/internal/bench"
+	"specbtree/internal/bslack"
+	"specbtree/internal/core"
+	"specbtree/internal/masstree"
+	"specbtree/internal/obslack"
+	"specbtree/internal/palm"
+	"specbtree/internal/tuple"
+)
+
+type contestant struct {
+	name string
+	make func() (insert func(id int, keys []uint64), finish func() int)
+}
+
+func contestants() []contestant {
+	return []contestant{
+		{"btree", func() (func(int, []uint64), func() int) {
+			t := core.New(1)
+			return func(_ int, keys []uint64) {
+					h := core.NewHints()
+					buf := make(tuple.Tuple, 1)
+					for _, k := range keys {
+						buf[0] = k
+						t.InsertHint(buf, h)
+					}
+				}, func() int {
+					return t.Len()
+				}
+		}},
+		{"palm", func() (func(int, []uint64), func() int) {
+			t := palm.New()
+			return func(_ int, keys []uint64) {
+					for _, k := range keys {
+						t.Insert(k)
+					}
+				}, func() int {
+					t.Flush()
+					return t.Len()
+				}
+		}},
+		{"masstree", func() (func(int, []uint64), func() int) {
+			t := masstree.New()
+			return func(_ int, keys []uint64) {
+					for _, k := range keys {
+						t.Insert(k)
+					}
+				}, func() int {
+					return t.Len()
+				}
+		}},
+		{"bslack", func() (func(int, []uint64), func() int) {
+			t := bslack.New()
+			return func(_ int, keys []uint64) {
+					for _, k := range keys {
+						t.Insert(k)
+					}
+				}, func() int {
+					return t.Len()
+				}
+		}},
+		// The paper's future-work proposal: a B-slack-style tree on the
+		// optimistic locking scheme (not part of the original Table 3).
+		{"bslack-opt", func() (func(int, []uint64), func() int) {
+			t := obslack.New()
+			return func(_ int, keys []uint64) {
+					for _, k := range keys {
+						t.Insert(k)
+					}
+				}, func() int {
+					return t.Len()
+				}
+		}},
+	}
+}
+
+func main() {
+	nFlag := flag.Int("n", 1000000, "number of integer keys (paper: 10000000)")
+	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	structsFlag := flag.String("structs", "all", "comma-separated structure names, or all")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of tables")
+	seedFlag := flag.Int64("seed", 1, "shuffle seed")
+	repsFlag := flag.Int("reps", 1, "repetitions per cell; the best run is reported")
+	flag.Parse()
+
+	threads, err := bench.ParseIntList(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sel := map[string]bool{}
+	if *structsFlag == "all" {
+		for _, c := range contestants() {
+			sel[c.name] = true
+		}
+	} else {
+		for _, n := range strings.Split(*structsFlag, ",") {
+			sel[strings.TrimSpace(n)] = true
+		}
+	}
+
+	ordered := make([]uint64, *nFlag)
+	for i := range ordered {
+		ordered[i] = uint64(i)
+	}
+	random := make([]uint64, *nFlag)
+	copy(random, ordered)
+	rng := rand.New(rand.NewSource(*seedFlag))
+	rng.Shuffle(len(random), func(i, j int) { random[i], random[j] = random[j], random[i] })
+
+	for _, variant := range []struct {
+		name string
+		keys []uint64
+	}{{"ordered", ordered}, {"random", random}} {
+		title := fmt.Sprintf("Table 3: %s insertion of %d integer keys", variant.name, *nFlag)
+		tbl := bench.NewTable(title, "threads", "million inserts/s")
+		for _, nt := range threads {
+			parts := partition(variant.keys, nt)
+			for _, c := range contestants() {
+				if !sel[c.name] {
+					continue
+				}
+				tbl.SeriesNamed(c.name).Add(float64(nt),
+					bench.Best(*repsFlag, func() float64 { return run(c, parts, len(variant.keys)) }))
+			}
+		}
+		if *csvFlag {
+			fmt.Printf("# %s\n", title)
+			tbl.RenderCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			tbl.Render(os.Stdout)
+		}
+	}
+}
+
+func partition(keys []uint64, k int) [][]uint64 {
+	chunk := (len(keys) + k - 1) / k
+	var parts [][]uint64
+	for lo := 0; lo < len(keys); lo += chunk {
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		parts = append(parts, keys[lo:hi])
+	}
+	return parts
+}
+
+func run(c contestant, parts [][]uint64, n int) float64 {
+	insert, finish := c.make()
+	d := bench.Measure(func() {
+		var wg sync.WaitGroup
+		for id, part := range parts {
+			wg.Add(1)
+			go func(id int, part []uint64) {
+				defer wg.Done()
+				insert(id, part)
+			}(id, part)
+		}
+		wg.Wait()
+		if got := finish(); got != n {
+			panic(fmt.Sprintf("benchtrees: %s lost elements: %d of %d", c.name, got, n))
+		}
+	})
+	return bench.Throughput(n, d) / 1e6
+}

@@ -1,0 +1,207 @@
+// Command datalog is a stand-alone Datalog engine in the mould of Soufflé
+// (paper §2): it parses a program, loads tab-separated fact files for the
+// `.input` relations, evaluates the rules bottom-up in parallel, and
+// writes the `.output` relations as tab-separated files.
+//
+// Usage:
+//
+//	datalog [-jobs N] [-facts DIR] [-out DIR] [-structure btree] [-stats] program.dl
+//
+// Fact files are DIR/<relation>.facts with one tuple per line, columns
+// separated by tabs. Unsigned integer columns are used verbatim; any other
+// token is interned as a symbol. Output relations are written to
+// OUT/<relation>.csv (or stdout with -out "-").
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"specbtree/internal/bench"
+	"specbtree/internal/datalog"
+	"specbtree/internal/relation"
+	"specbtree/internal/tuple"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 0, "number of evaluation threads (0 = GOMAXPROCS)")
+	factsDir := flag.String("facts", ".", "directory containing <relation>.facts input files")
+	outDir := flag.String("out", "-", `output directory, or "-" for stdout`)
+	structure := flag.String("structure", "btree", "relation data structure ("+strings.Join(relation.Names(), "|")+")")
+	stats := flag.Bool("stats", false, "print evaluation statistics")
+	profile := flag.Bool("profile", false, "print per-rule evaluation timings")
+	emitGo := flag.String("emit-go", "", "synthesise a specialised Go program to FILE instead of evaluating (Soufflé-style compilation)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: datalog [flags] program.dl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *emitGo != "" {
+		if err := synthesize(flag.Arg(0), *emitGo); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(flag.Arg(0), *jobs, *factsDir, *outDir, *structure, *stats, *profile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// synthesize compiles the program to a specialised Go source file, the
+// analogue of Soufflé's C++ synthesis. The output must be built inside
+// this module (it imports specbtree/internal/core).
+func synthesize(progPath, outPath string) error {
+	src, err := os.ReadFile(progPath)
+	if err != nil {
+		return err
+	}
+	prog, err := datalog.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	eng, err := datalog.New(prog, datalog.Options{})
+	if err != nil {
+		return err
+	}
+	gen, err := eng.SynthesizeGo()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, gen, 0o644)
+}
+
+func run(progPath string, jobs int, factsDir, outDir, structure string, stats, profile bool) error {
+	src, err := os.ReadFile(progPath)
+	if err != nil {
+		return err
+	}
+	prog, err := datalog.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	provider, err := relation.Lookup(structure)
+	if err != nil {
+		return err
+	}
+	eng, err := datalog.New(prog, datalog.Options{Provider: provider, Workers: jobs})
+	if err != nil {
+		return err
+	}
+
+	for _, in := range prog.Inputs {
+		decl, _ := prog.Decl(in)
+		path := filepath.Join(factsDir, in+".facts")
+		if err := loadFacts(eng, in, decl.Arity, path); err != nil {
+			return err
+		}
+	}
+
+	d := bench.Measure(func() { err = eng.Run() })
+	if err != nil {
+		return err
+	}
+
+	for _, out := range prog.Outputs {
+		if err := writeRelation(eng, out, outDir); err != nil {
+			return err
+		}
+	}
+	if stats {
+		s := eng.Stats()
+		fmt.Fprintf(os.Stderr, "evaluation time:   %v (%d threads)\n", d, eng.Workers())
+		fmt.Fprintf(os.Stderr, "relations/rules:   %d/%d\n", s.Relations, s.Rules)
+		fmt.Fprintf(os.Stderr, "inserts:           %d\n", s.Inserts)
+		fmt.Fprintf(os.Stderr, "membership tests:  %d\n", s.MembershipTests)
+		fmt.Fprintf(os.Stderr, "lower/upper bound: %d/%d\n", s.LowerBoundCalls, s.UpperBoundCalls)
+		fmt.Fprintf(os.Stderr, "input tuples:      %d\n", s.InputTuples)
+		fmt.Fprintf(os.Stderr, "produced tuples:   %d\n", s.ProducedTuples)
+		fmt.Fprintf(os.Stderr, "hint hit rate:     %.1f%%\n", 100*s.HintRate())
+	}
+	if profile {
+		fmt.Fprintln(os.Stderr, "rule profile (most expensive first):")
+		for _, rt := range eng.Profile() {
+			fmt.Fprintf(os.Stderr, "  %10v  %6d evals  %s\n", rt.Total, rt.Evaluations, rt.Rule)
+		}
+	}
+	return nil
+}
+
+func loadFacts(eng *datalog.Engine, rel string, arity int, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "warning: no facts file for %s (%s)\n", rel, path)
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	t := make(tuple.Tuple, arity)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if len(cols) != arity {
+			return fmt.Errorf("%s:%d: %d columns, relation %s has arity %d",
+				path, lineNo, len(cols), rel, arity)
+		}
+		for i, c := range cols {
+			if v, err := strconv.ParseUint(c, 10, 64); err == nil {
+				t[i] = v
+			} else {
+				t[i] = eng.Symbols().Intern(c)
+			}
+		}
+		if err := eng.AddFact(rel, t); err != nil {
+			return fmt.Errorf("%s:%d: %v", path, lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func writeRelation(eng *datalog.Engine, rel, outDir string) error {
+	var w *bufio.Writer
+	if outDir == "-" {
+		fmt.Printf("--- %s (%d tuples) ---\n", rel, eng.Count(rel))
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(outDir, rel+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	err := eng.Scan(rel, func(t tuple.Tuple) bool {
+		for i, v := range t {
+			if i > 0 {
+				w.WriteByte('\t')
+			}
+			fmt.Fprintf(w, "%d", v)
+		}
+		w.WriteByte('\n')
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}

@@ -1,0 +1,57 @@
+// Network security analysis: the EC2-style read-heavy workload of the
+// paper's Figure 5b, at example scale. The engine computes which instances
+// are reachable from the internet on a vulnerable, unpatched port, and
+// which internal machines can in turn be reached from those.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specbtree"
+	"specbtree/internal/workload"
+)
+
+func main() {
+	// Generate a synthetic network: instances, subnet links, security
+	// groups, ACL rules, vulnerable ports and patch state.
+	w := workload.Security(256, 42)
+	prog, err := specbtree.ParseProgram(w.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := specbtree.NewEngine(prog, specbtree.EngineOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rel, facts := range w.Facts {
+		if err := engine.AddFacts(rel, facts); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := engine.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("instances: %d, links: %d, ACL rules: %d\n",
+		engine.Count("instance"), engine.Count("link"), engine.Count("allow"))
+	fmt.Printf("reachable pairs: %d\n", engine.Count("reach"))
+	fmt.Printf("vulnerable (exposed, unpatched): %d\n", engine.Count("vulnerable"))
+	fmt.Printf("at-risk internal pairs: %d\n", engine.Count("atRisk"))
+
+	fmt.Println("sample vulnerable instances (instance, port):")
+	n := 0
+	engine.Scan("vulnerable", func(t specbtree.Tuple) bool {
+		fmt.Printf("  instance %d on port %d\n", t[0], t[1])
+		n++
+		return n < 5
+	})
+
+	s := engine.Stats()
+	fmt.Printf("\nevaluation profile (read heavy, as in the paper's Table 2):\n")
+	fmt.Printf("  inserts: %d\n", s.Inserts)
+	fmt.Printf("  membership tests: %d\n", s.MembershipTests)
+	fmt.Printf("  bound calls: %d\n", s.LowerBoundCalls+s.UpperBoundCalls)
+	fmt.Printf("  hint hit rate: %.1f%% (the paper reports 77%% for this workload class)\n",
+		100*s.HintRate())
+}

@@ -1,0 +1,79 @@
+// Points-to analysis: a field-sensitive Andersen-style var-points-to
+// analysis over a small hand-written program, in the style of the Doop
+// workload of the paper's Figure 5a. The analysed program:
+//
+//	a  = new Obj1;      // new(a, o1)
+//	b  = new Obj2;      // new(b, o2)
+//	c  = a;             // assign(c, a)
+//	a.f = b;            // store(a, f, b)
+//	d  = c.f;           // load(d, c, f)
+//
+// The analysis must conclude that d may point to Obj2, through the heap:
+// c aliases a, so c.f is a.f, which stores b's object.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specbtree"
+)
+
+const analysis = `
+// Field-sensitive Andersen points-to.
+.decl new(v: symbol, o: symbol)
+.decl assign(to: symbol, from: symbol)
+.decl load(to: symbol, base: symbol, f: symbol)
+.decl store(base: symbol, f: symbol, from: symbol)
+.decl vpt(v: symbol, o: symbol)
+.decl heapPt(o: symbol, f: symbol, p: symbol)
+.output vpt
+
+vpt(V, O) :- new(V, O).
+vpt(V, O) :- assign(V, W), vpt(W, O).
+heapPt(O, F, P) :- store(V, F, W), vpt(V, O), vpt(W, P).
+vpt(V, P) :- load(V, W, F), vpt(W, O), heapPt(O, F, P).
+
+// The analysed program, as inline facts.
+new("a", "Obj1").
+new("b", "Obj2").
+assign("c", "a").
+store("a", "f", "b").
+load("d", "c", "f").
+`
+
+func main() {
+	prog, err := specbtree.ParseProgram(analysis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := specbtree.NewEngine(prog, specbtree.EngineOptions{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	syms := engine.Symbols()
+	fmt.Println("var-points-to:")
+	engine.Scan("vpt", func(t specbtree.Tuple) bool {
+		fmt.Printf("  %s -> %s\n", syms.Name(t[0]), syms.Name(t[1]))
+		return true
+	})
+
+	// The indirect flow the analysis exists to find.
+	d, obj2 := syms.Intern("d"), syms.Intern("Obj2")
+	found := false
+	engine.Scan("vpt", func(t specbtree.Tuple) bool {
+		if t[0] == d && t[1] == obj2 {
+			found = true
+			return false
+		}
+		return true
+	})
+	fmt.Println("d may point to Obj2:", found)
+	if !found {
+		log.Fatal("analysis missed the heap flow")
+	}
+}

@@ -1,0 +1,3 @@
+module specbtree
+
+go 1.22

@@ -1,0 +1,202 @@
+// Package bench provides the measurement and reporting harness shared by
+// the benchmark executables under cmd/: wall-clock measurement, throughput
+// computation, and the fixed-width table / gnuplot-style series output the
+// paper's figures are derived from.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Measure runs f once and returns its wall-clock duration.
+func Measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Best runs the measurement reps times and returns the best (largest)
+// result — the standard noise-suppression discipline for throughput
+// micro-benchmarks.
+func Best(reps int, measure func() float64) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	best := measure()
+	for i := 1; i < reps; i++ {
+		if v := measure(); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Throughput converts an operation count and duration into ops/second.
+func Throughput(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}
+
+// FormatOps renders an ops/s figure in the paper's "million X/s" style.
+func FormatOps(opsPerSec float64) string {
+	switch {
+	case opsPerSec >= 1e9:
+		return fmt.Sprintf("%.2fG/s", opsPerSec/1e9)
+	case opsPerSec >= 1e6:
+		return fmt.Sprintf("%.2fM/s", opsPerSec/1e6)
+	case opsPerSec >= 1e3:
+		return fmt.Sprintf("%.2fk/s", opsPerSec/1e3)
+	}
+	return fmt.Sprintf("%.1f/s", opsPerSec)
+}
+
+// Series is one line of a figure: a named sequence of (x, y) points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Add appends a measurement to the series.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Table is a figure/table in the making: multiple series over a shared
+// x-axis, rendered as a fixed-width grid with one row per x value — the
+// textual equivalent of one subplot of the paper.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewTable creates an empty table.
+func NewTable(title, xlabel, ylabel string) *Table {
+	return &Table{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Series returns (creating on demand) the series with the given name.
+func (t *Table) SeriesNamed(name string) *Series {
+	for _, s := range t.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// xValues returns the sorted union of all x values.
+func (t *Table) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Render writes the table as fixed-width text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "### %s\n", t.Title)
+	fmt.Fprintf(w, "# y: %s\n", t.YLabel)
+	xs := t.xValues()
+
+	// Header.
+	fmt.Fprintf(w, "%-16s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, " %16s", s.Name)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 16+17*len(t.Series)))
+
+	for _, x := range xs {
+		fmt.Fprintf(w, "%-16s", formatX(x))
+		for _, s := range t.Series {
+			y, ok := s.lookup(x)
+			if !ok {
+				fmt.Fprintf(w, " %16s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %16.3f", y)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as CSV (x, series1, series2, ...).
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "x")
+	for _, s := range t.Series {
+		fmt.Fprintf(w, ",%s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, x := range t.xValues() {
+		fmt.Fprintf(w, "%g", x)
+		for _, s := range t.Series {
+			if y, ok := s.lookup(x); ok {
+				fmt.Fprintf(w, ",%g", y)
+			} else {
+				fmt.Fprintf(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (s *Series) lookup(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+func formatX(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// ParseIntList parses comma-separated integers ("1,4,8,16").
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
+			return nil, fmt.Errorf("bench: bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: empty integer list %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureAndThroughput(t *testing.T) {
+	d := Measure(func() { time.Sleep(5 * time.Millisecond) })
+	if d < 4*time.Millisecond {
+		t.Errorf("Measure returned %v for a 5ms sleep", d)
+	}
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Errorf("Throughput = %f", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Errorf("zero-duration throughput = %f", got)
+	}
+}
+
+func TestBest(t *testing.T) {
+	calls := 0
+	got := Best(5, func() float64 {
+		calls++
+		return float64(calls % 3) // 1, 2, 0, 1, 2
+	})
+	if calls != 5 {
+		t.Errorf("Best ran %d times", calls)
+	}
+	if got != 2 {
+		t.Errorf("Best = %f, want 2", got)
+	}
+	if Best(0, func() float64 { return 7 }) != 7 {
+		t.Error("Best with reps<1 must still measure once")
+	}
+}
+
+func TestFormatOps(t *testing.T) {
+	cases := map[float64]string{
+		2.5e9: "2.50G/s",
+		3.2e6: "3.20M/s",
+		1.5e3: "1.50k/s",
+		42:    "42.0/s",
+	}
+	for in, want := range cases {
+		if got := FormatOps(in); got != want {
+			t.Errorf("FormatOps(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("figure 3a", "elements", "M inserts/s")
+	tbl.SeriesNamed("btree").Add(1e6, 10.5)
+	tbl.SeriesNamed("btree").Add(4e6, 9.0)
+	tbl.SeriesNamed("rbtset").Add(1e6, 3.25)
+
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"figure 3a", "btree", "rbtset", "10.500", "3.250", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	var csv strings.Builder
+	tbl.RenderCSV(&csv)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "x,btree,rbtset" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Errorf("csv has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "4e+06,9") {
+		t.Errorf("csv row = %q", lines[2])
+	}
+}
+
+func TestSeriesNamedReuses(t *testing.T) {
+	tbl := NewTable("t", "x", "y")
+	a := tbl.SeriesNamed("s")
+	b := tbl.SeriesNamed("s")
+	if a != b {
+		t.Error("SeriesNamed created a duplicate")
+	}
+	if len(tbl.Series) != 1 {
+		t.Errorf("table has %d series", len(tbl.Series))
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("1, 4,8,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if _, err := ParseIntList("a,b"); err == nil {
+		t.Error("bad list accepted")
+	}
+	if _, err := ParseIntList(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Package bslack is a B-slack-style tree (Brown, SWAT 2014) — one of the
+// paper's §4.4 comparison structures. B-slack trees constrain the total
+// slack (free slots) across the children of every inner node, yielding
+// better worst-case space usage; they reach that constraint by
+// redistributing elements between siblings before resorting to splits.
+//
+// The original publication "does not specify the locking scheme" (paper
+// §4.4), so — like the paper's own benchmark — this implementation picks a
+// straightforward one: a single readers-writer lock. The measured effect
+// matches the paper's Table 3: decent sequential insert throughput, very
+// limited parallel scaling.
+//
+// Keys are single uint64 values, which is all Table 3 exercises.
+package bslack
+
+import (
+	"sync"
+)
+
+// DefaultCapacity is the default slot count per node.
+const DefaultCapacity = 16
+
+// Tree is a B-slack-style set of uint64 keys, safe for concurrent use via
+// a coarse readers-writer lock.
+type Tree struct {
+	mu       sync.RWMutex
+	capacity int
+	root     *node
+	size     int
+}
+
+type node struct {
+	keys     []uint64
+	children []*node // nil for leaves
+}
+
+// New creates an empty tree. An optional capacity overrides the default.
+func New(capacity ...int) *Tree {
+	c := DefaultCapacity
+	if len(capacity) > 0 && capacity[0] != 0 {
+		c = capacity[0]
+	}
+	if c < 4 {
+		panic("bslack: capacity must be at least 4")
+	}
+	return &Tree{capacity: c}
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Contains reports whether k is in the set.
+func (t *Tree) Contains(k uint64) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for n != nil {
+		idx, found := search(n.keys, k)
+		if found {
+			return true
+		}
+		if n.children == nil {
+			return false
+		}
+		n = n.children[idx]
+	}
+	return false
+}
+
+func search(keys []uint64, k uint64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch {
+		case keys[mid] < k:
+			lo = mid + 1
+		case keys[mid] > k:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// Insert adds k, returning false if already present.
+func (t *Tree) Insert(k uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root == nil {
+		t.root = &node{keys: []uint64{k}}
+		t.size = 1
+		return true
+	}
+	if len(t.root.keys) >= t.capacity {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.splitChild(t.root, 0)
+	}
+	if t.insert(t.root, k) {
+		t.size++
+		return true
+	}
+	return false
+}
+
+// insert adds k below n, which is guaranteed non-full on entry.
+func (t *Tree) insert(n *node, k uint64) bool {
+	for {
+		idx, found := search(n.keys, k)
+		if found {
+			return false
+		}
+		if n.children == nil {
+			n.keys = append(n.keys, 0)
+			copy(n.keys[idx+1:], n.keys[idx:])
+			n.keys[idx] = k
+			return true
+		}
+		child := n.children[idx]
+		if len(child.keys) >= t.capacity {
+			// The slack discipline: try to shift load into a sibling
+			// before splitting (this is what keeps overall fill high).
+			if t.shareWithSibling(n, idx) {
+				// Re-position: the separators moved.
+				continue
+			}
+			t.splitChild(n, idx)
+			switch {
+			case n.keys[idx] == k:
+				return false
+			case n.keys[idx] < k:
+				child = n.children[idx+1]
+			default:
+				child = n.children[idx]
+			}
+		}
+		n = child
+	}
+}
+
+// shareWithSibling tries to rotate one element from the full child at idx
+// into an adjacent sibling with slack, through the parent separator.
+func (t *Tree) shareWithSibling(p *node, idx int) bool {
+	child := p.children[idx]
+	// Rotate right.
+	if idx+1 < len(p.children) {
+		right := p.children[idx+1]
+		if len(right.keys) < t.capacity-1 {
+			sep := p.keys[idx]
+			last := child.keys[len(child.keys)-1]
+			child.keys = child.keys[:len(child.keys)-1]
+			p.keys[idx] = last
+			right.keys = append(right.keys, 0)
+			copy(right.keys[1:], right.keys)
+			right.keys[0] = sep
+			if child.children != nil {
+				moved := child.children[len(child.children)-1]
+				child.children = child.children[:len(child.children)-1]
+				right.children = append(right.children, nil)
+				copy(right.children[1:], right.children)
+				right.children[0] = moved
+			}
+			return true
+		}
+	}
+	// Rotate left.
+	if idx > 0 {
+		left := p.children[idx-1]
+		if len(left.keys) < t.capacity-1 {
+			sep := p.keys[idx-1]
+			first := child.keys[0]
+			copy(child.keys, child.keys[1:])
+			child.keys = child.keys[:len(child.keys)-1]
+			p.keys[idx-1] = first
+			left.keys = append(left.keys, sep)
+			if child.children != nil {
+				moved := child.children[0]
+				copy(child.children, child.children[1:])
+				child.children = child.children[:len(child.children)-1]
+				left.children = append(left.children, moved)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tree) splitChild(p *node, idx int) {
+	child := p.children[idx]
+	mid := len(child.keys) / 2
+	median := child.keys[mid]
+	right := &node{keys: append([]uint64(nil), child.keys[mid+1:]...)}
+	if child.children != nil {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+
+	p.keys = append(p.keys, 0)
+	copy(p.keys[idx+1:], p.keys[idx:])
+	p.keys[idx] = median
+	p.children = append(p.children, nil)
+	copy(p.children[idx+2:], p.children[idx+1:])
+	p.children[idx+1] = right
+}
+
+// Scan iterates over all keys in ascending order.
+func (t *Tree) Scan(yield func(uint64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.scan(t.root, yield)
+}
+
+func (t *Tree) scan(n *node, yield func(uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i, k := range n.keys {
+		if n.children != nil && !t.scan(n.children[i], yield) {
+			return false
+		}
+		if !yield(k) {
+			return false
+		}
+	}
+	if n.children != nil {
+		return t.scan(n.children[len(n.keys)], yield)
+	}
+	return true
+}
+
+// Check validates ordering and structural invariants for tests.
+func (t *Tree) Check() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == nil {
+		return nil
+	}
+	count := 0
+	var prev uint64
+	first := true
+	ok := true
+	t.scan(t.root, func(k uint64) bool {
+		if !first && k <= prev {
+			ok = false
+			return false
+		}
+		first = false
+		prev = k
+		count++
+		return true
+	})
+	if !ok {
+		return errOutOfOrder
+	}
+	if count != t.size {
+		return errSizeMismatch
+	}
+	return nil
+}
+
+type checkError string
+
+func (e checkError) Error() string { return string(e) }
+
+const (
+	errOutOfOrder   = checkError("bslack: keys out of order")
+	errSizeMismatch = checkError("bslack: size mismatch")
+)

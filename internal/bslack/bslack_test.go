@@ -1,0 +1,150 @@
+package bslack
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestInsertContainsModel(t *testing.T) {
+	tr := New()
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(5000))
+		if tr.Insert(k) == model[k] {
+			t.Fatalf("insert disagreement on %d", k)
+		}
+		model[k] = true
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	for k := range model {
+		if !tr.Contains(k) {
+			t.Fatalf("%d missing", k)
+		}
+	}
+	if tr.Contains(999999) {
+		t.Error("phantom key")
+	}
+}
+
+func TestOrderedInsertHighFill(t *testing.T) {
+	// The slack discipline (share before split) should keep ordered
+	// insertion correct across deep trees.
+	tr := New(8)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(uint64(i)) {
+			t.Fatalf("duplicate at %d", i)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDescendingInsert(t *testing.T) {
+	tr := New(5)
+	for i := 10000; i > 0; i-- {
+		tr.Insert(uint64(i))
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestScanSortedEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(uint64(i * 3))
+	}
+	count := 0
+	prev := int64(-1)
+	tr.Scan(func(k uint64) bool {
+		if int64(k) <= prev {
+			t.Fatalf("scan out of order at %d", k)
+		}
+		prev = int64(k)
+		count++
+		return count < 100
+	})
+	if count != 100 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	workers, perW := 8, 3000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				tr.Insert(uint64(w*perW + i))
+				tr.Insert(uint64(i)) // contended duplicates
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != workers*perW {
+		t.Fatalf("Len = %d, want %d", tr.Len(), workers*perW)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	tr := New()
+	for i := 0; i < 5000; i++ {
+		tr.Insert(uint64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				tr.Insert(uint64(5000 + i*2 + w))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i += 3 {
+				if !tr.Contains(uint64(i)) {
+					t.Errorf("stable key %d vanished", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 2 accepted")
+		}
+	}()
+	New(2)
+}

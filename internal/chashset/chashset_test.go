@@ -1,0 +1,169 @@
+package chashset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+func TestSequentialModel(t *testing.T) {
+	s := New(2)
+	model := map[[2]uint64]bool{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 8000; i++ {
+		tp := tuple.Tuple{uint64(rng.Intn(300)), uint64(rng.Intn(300))}
+		k := [2]uint64{tp[0], tp[1]}
+		if s.Insert(tp) == model[k] {
+			t.Fatalf("insert disagreement on %v", tp)
+		}
+		model[k] = true
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+	}
+	for k := range model {
+		if !s.Contains(tuple.Tuple{k[0], k[1]}) {
+			t.Fatalf("%v missing", k)
+		}
+	}
+}
+
+func TestConcurrentDisjointInserts(t *testing.T) {
+	s := New(2)
+	workers, perW := 8, 5000
+	if testing.Short() {
+		perW = 500
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * perW)
+			for i := 0; i < perW; i++ {
+				if !s.Insert(tuple.Tuple{base + uint64(i), uint64(w)}) {
+					t.Errorf("disjoint insert reported duplicate")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*perW {
+		t.Fatalf("Len = %d, want %d", s.Len(), workers*perW)
+	}
+}
+
+func TestConcurrentOverlappingInserts(t *testing.T) {
+	s := New(1)
+	workers, n := 8, 3000
+	if testing.Short() {
+		n = 400
+	}
+	fresh := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if s.Insert(tuple.Tuple{uint64(i)}) {
+					fresh[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range fresh {
+		total += f
+	}
+	if total != n {
+		t.Fatalf("exactly-once violated: %d fresh of %d distinct", total, n)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := New(1)
+	const stable = 3000
+	for i := 0; i < stable; i++ {
+		s.Insert(tuple.Tuple{uint64(i)})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				s.Insert(tuple.Tuple{uint64(stable + i*3 + w)})
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				for i := 0; i < stable; i += 7 {
+					if !s.Contains(tuple.Tuple{uint64(i)}) {
+						t.Errorf("stable element %d vanished", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestScanAndRange(t *testing.T) {
+	s := New(2)
+	for x := uint64(0); x < 100; x++ {
+		s.Insert(tuple.Tuple{x, x + 1})
+	}
+	seen := 0
+	s.Scan(func(tp tuple.Tuple) bool {
+		if tp[1] != tp[0]+1 {
+			t.Fatalf("corrupted tuple %v", tp)
+		}
+		seen++
+		return true
+	})
+	if seen != 100 {
+		t.Fatalf("scan saw %d", seen)
+	}
+	count := 0
+	s.ScanRange(tuple.Tuple{50, 0}, tuple.Tuple{60, 0}, func(tuple.Tuple) bool {
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("range yielded %d, want 10", count)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	for _, bad := range []int{-1, 3, 48} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("shard count %d did not panic", bad)
+				}
+			}()
+			New(1, bad)
+		}()
+	}
+	// Power-of-two shard counts are accepted.
+	for _, ok := range []int{1, 2, 8, 256} {
+		s := New(1, ok)
+		s.Insert(tuple.Tuple{42})
+		if !s.Contains(tuple.Tuple{42}) {
+			t.Errorf("shards=%d lost an element", ok)
+		}
+	}
+}

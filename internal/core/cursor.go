@@ -1,0 +1,155 @@
+package core
+
+import "specbtree/internal/tuple"
+
+// Cursor is an ordered position within the tree, as returned by Begin,
+// LowerBound and UpperBound. The zero Cursor is the end position.
+//
+// Cursor navigation (Next) walks parent pointers without taking leases:
+// like Soufflé's iterators it is intended for the read phase of the
+// evaluation, in which no concurrent writer mutates the relation being
+// scanned (the semi-naïve phase-concurrency guarantee, paper §2). Creating
+// a cursor via the bound operations, by contrast, is fully synchronised.
+type Cursor struct {
+	t   *Tree
+	n   *node
+	idx int
+}
+
+// Begin returns a cursor at the smallest element of the tree, or an
+// invalid cursor if the tree is empty.
+func (t *Tree) Begin() Cursor {
+	n := t.root.Load()
+	if n == nil {
+		return Cursor{}
+	}
+	for n.inner {
+		n = n.children[0].Load()
+	}
+	if n.count.Load() == 0 {
+		return Cursor{}
+	}
+	return Cursor{t: t, n: n, idx: 0}
+}
+
+// Valid reports whether the cursor designates an element (false at end).
+func (c *Cursor) Valid() bool { return c.n != nil }
+
+// CopyTo copies the current element into dst, which must have the tree's
+// arity. Using a caller-provided buffer keeps tight scan loops
+// allocation-free.
+func (c *Cursor) CopyTo(dst tuple.Tuple) {
+	c.n.loadRow(c.idx, c.t.arity, dst)
+}
+
+// Tuple returns the current element as a fresh Tuple.
+func (c *Cursor) Tuple() tuple.Tuple {
+	dst := make(tuple.Tuple, c.t.arity)
+	c.CopyTo(dst)
+	return dst
+}
+
+// Compare three-way-compares the current element against v without
+// materialising it.
+func (c *Cursor) Compare(v tuple.Tuple) int {
+	return c.n.cmpRow(c.idx, c.t.arity, v)
+}
+
+// Equal reports whether two cursors designate the same position. Two end
+// cursors are equal.
+func (c *Cursor) Equal(o Cursor) bool {
+	if c.n == nil || o.n == nil {
+		return c.n == o.n
+	}
+	return c.n == o.n && c.idx == o.idx
+}
+
+// Next advances the cursor to the in-order successor, invalidating it at
+// the end of the tree.
+func (c *Cursor) Next() {
+	n := c.n
+	if n.inner {
+		// Successor of an inner element: leftmost leaf of the subtree to
+		// its right.
+		x := n.children[c.idx+1].Load()
+		for x.inner {
+			x = x.children[0].Load()
+		}
+		c.n, c.idx = x, 0
+		return
+	}
+	// Within the leaf.
+	if c.idx+1 < int(n.count.Load()) {
+		c.idx++
+		return
+	}
+	// Ascend to the first ancestor entered from a non-rightmost child.
+	for {
+		p := n.parent.Load()
+		if p == nil {
+			c.n, c.idx = nil, 0
+			return
+		}
+		i := int(n.pos.Load())
+		if i < int(p.count.Load()) {
+			c.n, c.idx = p, i
+			return
+		}
+		n = p
+	}
+}
+
+// Seq iterates from the cursor position to the end of the tree, invoking
+// yield with a reused buffer; returning false from yield stops the
+// iteration. The buffer must not be retained across calls.
+func (c Cursor) Seq(yield func(tuple.Tuple) bool) {
+	if c.t == nil {
+		return
+	}
+	buf := make(tuple.Tuple, c.t.arity)
+	for c.Valid() {
+		c.CopyTo(buf)
+		if !yield(buf) {
+			return
+		}
+		c.Next()
+	}
+}
+
+// Range iterates over all elements t with from <= t < to (to == nil means
+// "to the end"), invoking yield with a reused buffer.
+func (t *Tree) Range(from, to tuple.Tuple, yield func(tuple.Tuple) bool) {
+	c := t.LowerBound(from)
+	buf := make(tuple.Tuple, t.arity)
+	for c.Valid() {
+		if to != nil && c.Compare(to) >= 0 {
+			return
+		}
+		c.CopyTo(buf)
+		if !yield(buf) {
+			return
+		}
+		c.Next()
+	}
+}
+
+// RangeHint is Range with operation hints for the initial bound location.
+func (t *Tree) RangeHint(from, to tuple.Tuple, h *Hints, yield func(tuple.Tuple) bool) {
+	c := t.LowerBoundHint(from, h)
+	buf := make(tuple.Tuple, t.arity)
+	for c.Valid() {
+		if to != nil && c.Compare(to) >= 0 {
+			return
+		}
+		c.CopyTo(buf)
+		if !yield(buf) {
+			return
+		}
+		c.Next()
+	}
+}
+
+// All iterates over every element in order with a reused buffer.
+func (t *Tree) All(yield func(tuple.Tuple) bool) {
+	t.Begin().Seq(yield)
+}

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+
+	"specbtree/internal/core"
+	"specbtree/internal/tuple"
+)
+
+// The basic set interface: insert, membership, ordered range scan.
+func Example() {
+	tree := core.New(2)
+	tree.Insert(tuple.Tuple{1, 2})
+	tree.Insert(tuple.Tuple{1, 5})
+	tree.Insert(tuple.Tuple{2, 0})
+	tree.Insert(tuple.Tuple{1, 2}) // duplicate, ignored
+
+	fmt.Println("size:", tree.Len())
+	fmt.Println("has (1,5):", tree.Contains(tuple.Tuple{1, 5}))
+
+	// All tuples with first column 1, in order.
+	tree.Range(tuple.Tuple{1, 0}, tuple.Tuple{2, 0}, func(t tuple.Tuple) bool {
+		fmt.Println(t)
+		return true
+	})
+	// Output:
+	// size: 3
+	// has (1,5): true
+	// (1, 2)
+	// (1, 5)
+}
+
+// Operation hints cache the last leaf a worker touched; consecutive
+// operations on nearby tuples skip the tree descent (paper §3.2).
+func Example_hints() {
+	tree := core.New(2)
+	for i := uint64(0); i < 1000; i++ {
+		tree.Insert(tuple.Tuple{i, 0})
+	}
+
+	hints := core.NewHints() // one per goroutine
+	tree.InsertHint(tuple.Tuple{7, 10}, hints)
+	tree.InsertHint(tuple.Tuple{7, 4}, hints) // same leaf: a hint hit
+
+	fmt.Println("hits:", hints.Stats.InsertHits)
+	// Output:
+	// hits: 1
+}
+
+// Cursors iterate from any bound position.
+func Example_cursor() {
+	tree := core.New(1)
+	for _, v := range []uint64{10, 20, 30, 40} {
+		tree.Insert(tuple.Tuple{v})
+	}
+	for c := tree.LowerBound(tuple.Tuple{15}); c.Valid(); c.Next() {
+		fmt.Println(c.Tuple())
+	}
+	// Output:
+	// (20)
+	// (30)
+	// (40)
+}

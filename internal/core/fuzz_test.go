@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// FuzzTreeOps drives the tree with an arbitrary operation/value stream and
+// cross-checks every result against a map model, then validates the
+// structural invariants. Run with `go test -fuzz FuzzTreeOps`.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 255, 254, 253}, uint8(16))
+	f.Fuzz(func(t *testing.T, stream []byte, capRaw uint8) {
+		capacity := 3 + int(capRaw%30)
+		tr := New(1, Options{Capacity: capacity})
+		model := map[uint64]bool{}
+		h := NewHints()
+		for i := 0; i+1 < len(stream); i += 2 {
+			op := stream[i] % 4
+			v := tuple.Tuple{uint64(stream[i+1])}
+			switch op {
+			case 0:
+				if got, want := tr.Insert(v), !model[v[0]]; got != want {
+					t.Fatalf("Insert(%v) = %v, want %v", v, got, want)
+				}
+				model[v[0]] = true
+			case 1:
+				if got, want := tr.InsertHint(v, h), !model[v[0]]; got != want {
+					t.Fatalf("InsertHint(%v) = %v, want %v", v, got, want)
+				}
+				model[v[0]] = true
+			case 2:
+				if got := tr.Contains(v); got != model[v[0]] {
+					t.Fatalf("Contains(%v) = %v", v, got)
+				}
+			case 3:
+				if got := tr.ContainsHint(v, h); got != model[v[0]] {
+					t.Fatalf("ContainsHint(%v) = %v", v, got)
+				}
+			}
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package core
+
+import "specbtree/internal/optlock"
+
+// lease and lockT alias the optimistic lock types so the tree code reads
+// close to the paper's pseudo-code.
+type (
+	lease = optlock.Lease
+	lockT = optlock.Lock
+)
+
+// HintStats counts hint hits and misses per operation class. A hit means
+// the remembered leaf still covered the probe value and the tree descent
+// was skipped entirely.
+type HintStats struct {
+	InsertHits   uint64
+	InsertMisses uint64
+	FindHits     uint64
+	FindMisses   uint64
+	LowerHits    uint64
+	LowerMisses  uint64
+	UpperHits    uint64
+	UpperMisses  uint64
+}
+
+// Add accumulates o into s (used to aggregate per-worker statistics).
+func (s *HintStats) Add(o HintStats) {
+	s.InsertHits += o.InsertHits
+	s.InsertMisses += o.InsertMisses
+	s.FindHits += o.FindHits
+	s.FindMisses += o.FindMisses
+	s.LowerHits += o.LowerHits
+	s.LowerMisses += o.LowerMisses
+	s.UpperHits += o.UpperHits
+	s.UpperMisses += o.UpperMisses
+}
+
+// Hits returns the total hits across all operation classes.
+func (s HintStats) Hits() uint64 {
+	return s.InsertHits + s.FindHits + s.LowerHits + s.UpperHits
+}
+
+// Misses returns the total misses across all operation classes.
+func (s HintStats) Misses() uint64 {
+	return s.InsertMisses + s.FindMisses + s.LowerMisses + s.UpperMisses
+}
+
+// HitRate returns the fraction of hinted operations that hit, or 0 if no
+// hinted operation was performed.
+func (s HintStats) HitRate() float64 {
+	total := s.Hits() + s.Misses()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
+}
+
+// Hints caches, per operation class, the last leaf node an operation
+// located (paper §3.2). Each worker thread owns one Hints value and passes
+// it to every tree operation; the tree never shares hint state between
+// threads, so Hints needs no synchronisation of its own.
+//
+// Hinted entry at the leaf level is compatible with the tree's locking
+// scheme precisely because exclusive write locks are acquired bottom-up:
+// a thread that enters at a leaf and walks upward to split can never form
+// a cyclic wait with top-down descents, which take only non-blocking read
+// leases.
+//
+// Because tree nodes are never deleted or moved, a stale hint is never a
+// dangling pointer — at worst it fails its coverage check and costs one
+// leaf probe.
+//
+// The zero value is an empty, valid hint set (the paper's "factory
+// function for initial operation hints").
+type Hints struct {
+	insertLeaf *node
+	findLeaf   *node
+	lowerLeaf  *node
+	upperLeaf  *node
+
+	// Stats records the hit/miss behaviour of this hint set.
+	Stats HintStats
+}
+
+// NewHints returns a fresh, empty hint set. Equivalent to new(Hints);
+// provided to mirror the paper's factory function.
+func NewHints() *Hints { return &Hints{} }
+
+// Reset forgets all cached leaves but keeps the statistics.
+func (h *Hints) Reset() {
+	h.insertLeaf = nil
+	h.findLeaf = nil
+	h.lowerLeaf = nil
+	h.upperLeaf = nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+func TestHintedInsertCorrectness(t *testing.T) {
+	tr := New(2, Options{Capacity: 4})
+	h := NewHints()
+	model := map[[2]uint64]bool{}
+	rng := rand.New(rand.NewSource(3))
+	// Mixture of runs of nearby values (hint-friendly) and jumps.
+	cur := [2]uint64{500, 500}
+	for i := 0; i < 6000; i++ {
+		if rng.Intn(10) == 0 {
+			cur = [2]uint64{uint64(rng.Intn(1000)), uint64(rng.Intn(1000))}
+		} else {
+			cur[1] = uint64(rng.Intn(1000))
+		}
+		tp := tuple.Tuple{cur[0], cur[1]}
+		fresh := tr.InsertHint(tp, h)
+		if fresh == model[cur] {
+			t.Fatalf("hinted insert %v returned %v, model %v", tp, fresh, model[cur])
+		}
+		model[cur] = true
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	if h.Stats.InsertHits == 0 {
+		t.Error("expected some insert hint hits on clustered workload")
+	}
+}
+
+func TestHintedContainsCorrectness(t *testing.T) {
+	tr := New(2, Options{Capacity: 8})
+	for i := 0; i < 2000; i++ {
+		tr.Insert(tuple.Tuple{uint64(i / 40), uint64((i % 40) * 2)})
+	}
+	h := NewHints()
+	for i := 0; i < 2000; i++ {
+		tp := tuple.Tuple{uint64(i / 40), uint64((i % 40) * 2)}
+		if !tr.ContainsHint(tp, h) {
+			t.Fatalf("%v missing under hinted lookup", tp)
+		}
+		absent := tuple.Tuple{uint64(i / 40), uint64((i%40)*2 + 1)}
+		if tr.ContainsHint(absent, h) {
+			t.Fatalf("%v present under hinted lookup", absent)
+		}
+	}
+	if h.Stats.FindHits == 0 {
+		t.Error("ordered lookups should hit the find hint")
+	}
+	// The paper reports up to 6x speedups from ~always hitting; on a fully
+	// ordered probe sequence the hit rate should be high.
+	rate := h.Stats.HitRate()
+	if rate < 0.5 {
+		t.Errorf("hint hit rate %.2f too low for ordered probes", rate)
+	}
+}
+
+func TestHintedBoundsMatchUnhinted(t *testing.T) {
+	tr := New(2, Options{Capacity: 6})
+	ts := randTuples(3000, 2, 80, 17)
+	for _, tp := range ts {
+		tr.Insert(tp)
+	}
+	h := NewHints()
+	probes := randTuples(2000, 2, 82, 18)
+	// Sort probes to make hints effective, then verify against unhinted.
+	for _, p := range probes {
+		lb := tr.LowerBound(p)
+		lbh := tr.LowerBoundHint(p, h)
+		if !lb.Equal(lbh) {
+			t.Fatalf("LowerBoundHint(%v) diverges from LowerBound", p)
+		}
+		ub := tr.UpperBound(p)
+		ubh := tr.UpperBoundHint(p, h)
+		if !ub.Equal(ubh) {
+			t.Fatalf("UpperBoundHint(%v) diverges from UpperBound", p)
+		}
+	}
+}
+
+func TestHintHitRateOrderedBounds(t *testing.T) {
+	tr := New(1, Options{Capacity: 16})
+	for i := 0; i < 10000; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	h := NewHints()
+	for i := 0; i < 9999; i++ {
+		c := tr.LowerBoundHint(tuple.Tuple{uint64(i)}, h)
+		if !c.Valid() || c.Tuple()[0] != uint64(i) {
+			t.Fatalf("hinted lower bound at %d wrong", i)
+		}
+	}
+	// Probes equal to separator elements (stored in inner nodes) always
+	// miss a leaf hint, so the ceiling is below 1 even for ordered probes.
+	if h.Stats.HitRate() < 0.7 {
+		t.Errorf("ordered bound probes hit rate %.2f, expected high locality", h.Stats.HitRate())
+	}
+}
+
+func TestHintsSurviveSplits(t *testing.T) {
+	// Keep inserting right where the hint points so splits constantly
+	// invalidate coverage; results must stay correct.
+	tr := New(1, Options{Capacity: 3})
+	h := NewHints()
+	for i := 0; i < 3000; i++ {
+		if !tr.InsertHint(tuple.Tuple{uint64(i)}, h) {
+			t.Fatalf("insert %d reported duplicate", i)
+		}
+		// Every insert also re-probes an older element through the hint.
+		if i > 10 && !tr.ContainsHint(tuple.Tuple{uint64(i - 10)}, h) {
+			t.Fatalf("element %d lost after splits", i-10)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHintReset(t *testing.T) {
+	tr := New(1)
+	h := NewHints()
+	tr.InsertHint(tuple.Tuple{1}, h)
+	tr.InsertHint(tuple.Tuple{2}, h)
+	hits := h.Stats.InsertHits
+	h.Reset()
+	if h.insertLeaf != nil || h.findLeaf != nil || h.lowerLeaf != nil || h.upperLeaf != nil {
+		t.Error("Reset left cached leaves")
+	}
+	if h.Stats.InsertHits != hits {
+		t.Error("Reset cleared statistics")
+	}
+}
+
+func TestHintStatsAggregate(t *testing.T) {
+	a := HintStats{InsertHits: 1, FindMisses: 2, UpperHits: 3}
+	b := HintStats{InsertHits: 10, FindMisses: 20, LowerHits: 5}
+	a.Add(b)
+	if a.InsertHits != 11 || a.FindMisses != 22 || a.LowerHits != 5 || a.UpperHits != 3 {
+		t.Errorf("Add produced %+v", a)
+	}
+	if a.Hits() != 11+5+3 || a.Misses() != 22 {
+		t.Error("Hits/Misses totals wrong")
+	}
+	var empty HintStats
+	if empty.HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+}
+
+func TestPaperHintExample(t *testing.T) {
+	// The paper's §3.2 example: consecutive inserts (7,10) then (7,4) are
+	// lexicographically close; the second should reuse the first's leaf.
+	tr := New(2)
+	h := NewHints()
+	// Pre-populate so the tree has more than one leaf.
+	for i := uint64(0); i < 200; i++ {
+		tr.Insert(tuple.Tuple{i, i})
+	}
+	tr.InsertHint(tuple.Tuple{7, 10}, h)
+	before := h.Stats.InsertHits
+	tr.InsertHint(tuple.Tuple{7, 4}, h)
+	if h.Stats.InsertHits != before+1 {
+		t.Errorf("second insert of the paper example missed the hint (hits %d -> %d)",
+			before, h.Stats.InsertHits)
+	}
+	if !tr.Contains(tuple.Tuple{7, 4}) || !tr.Contains(tuple.Tuple{7, 10}) {
+		t.Error("example tuples missing")
+	}
+}

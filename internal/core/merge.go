@@ -1,0 +1,141 @@
+package core
+
+import "specbtree/internal/tuple"
+
+// InsertAll merges every element of src into t — the paper's specialised
+// merge operation ("a specialized merge operation which leverages the
+// structure in one B-tree when merged into another"). Two levels of
+// exploitation:
+//
+//   - src is iterated in order, so a single insert hint shortcuts almost
+//     every insertion to the currently-filling leaf of t;
+//   - if t is empty, the sorted stream is bulk-loaded into densely packed
+//     nodes, skipping per-element descents entirely.
+//
+// InsertAll is a single-writer operation: it must not run concurrently
+// with other mutations of t (the engine merges newPath into path in the
+// sequential step between iterations, cf. Figure 1 line 17).
+func (t *Tree) InsertAll(src *Tree) {
+	if src.Empty() {
+		return
+	}
+	if t.Empty() {
+		t.bulkLoad(src)
+		return
+	}
+	h := NewHints()
+	buf := make(tuple.Tuple, t.arity)
+	for c := src.Begin(); c.Valid(); c.Next() {
+		c.CopyTo(buf)
+		t.InsertHint(buf, h)
+	}
+}
+
+// bulkLoad builds t (which must be empty) from the elements of src,
+// producing a packed tree: full leaves with single separators between
+// them, level by level.
+func (t *Tree) bulkLoad(src *Tree) {
+	rows := make([][]uint64, 0, 1024)
+	for c := src.Begin(); c.Valid(); c.Next() {
+		row := make([]uint64, t.arity)
+		c.CopyTo(tuple.Tuple(row))
+		rows = append(rows, row)
+	}
+	t.buildPacked(rows)
+}
+
+// BuildFromSorted bulk-loads the tree from a strictly increasing sorted
+// slice of tuples. The tree must be empty; the input must be duplicate
+// free and sorted, which is the caller's responsibility (checked only by
+// the test suite's invariant checker).
+func (t *Tree) BuildFromSorted(sorted []tuple.Tuple) {
+	if !t.Empty() {
+		panic("core: BuildFromSorted on non-empty tree")
+	}
+	rows := make([][]uint64, len(sorted))
+	for i, tp := range sorted {
+		row := make([]uint64, t.arity)
+		copy(row, tp)
+		rows[i] = row
+	}
+	t.buildPacked(rows)
+}
+
+// buildPacked constructs a packed B-tree from sorted rows and installs it
+// as the tree's root. Single-writer.
+func (t *Tree) buildPacked(rows [][]uint64) {
+	if len(rows) == 0 {
+		return
+	}
+	c := t.capacity
+
+	// Leaf level: runs of c elements, with the element between two runs
+	// promoted as a separator.
+	var children []*node
+	var seps [][]uint64
+	i := 0
+	for i < len(rows) {
+		remaining := len(rows) - i
+		take := remaining
+		if take > c {
+			take = c
+		}
+		last := take == remaining
+		if !last && remaining == take+1 {
+			// A separator after a full leaf would leave no element for the
+			// next leaf; shrink this leaf by one so the tail stays valid.
+			take--
+		}
+		leaf := t.newNode(false)
+		for j := 0; j < take; j++ {
+			leaf.storeRow(j, t.arity, rows[i+j])
+		}
+		leaf.count.Store(int32(take))
+		children = append(children, leaf)
+		i += take
+		if !last {
+			seps = append(seps, rows[i])
+			i++
+		}
+	}
+
+	// Inner levels: each parent consumes s separators and s+1 children;
+	// one further separator is promoted between consecutive parents.
+	// Invariant per level: len(seps) == len(children)-1.
+	for len(children) > 1 {
+		var parents []*node
+		var upSeps [][]uint64
+		ci, si := 0, 0
+		for ci < len(children) {
+			remainingChildren := len(children) - ci
+			s := c
+			if s > remainingChildren-1 {
+				s = remainingChildren - 1
+			}
+			// Never leave a single orphan child for the next parent.
+			if rem := remainingChildren - (s + 1); rem == 1 {
+				s--
+			}
+			inner := t.newNode(true)
+			for j := 0; j < s; j++ {
+				inner.storeRow(j, t.arity, seps[si+j])
+			}
+			for j := 0; j <= s; j++ {
+				ch := children[ci+j]
+				inner.children[j].Store(ch)
+				ch.parent.Store(inner)
+				ch.pos.Store(int32(j))
+			}
+			inner.count.Store(int32(s))
+			si += s
+			ci += s + 1
+			parents = append(parents, inner)
+			if ci < len(children) {
+				upSeps = append(upSeps, seps[si])
+				si++
+			}
+		}
+		children, seps = parents, upSeps
+	}
+	t.root.Store(children[0])
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specbtree/internal/tuple"
+)
+
+func TestInsertAllIntoEmpty(t *testing.T) {
+	src := New(2, Options{Capacity: 4})
+	for i := 0; i < 2500; i++ {
+		src.Insert(tuple.Tuple{uint64(i % 50), uint64(i / 50)})
+	}
+	dst := New(2, Options{Capacity: 4})
+	dst.InsertAll(src)
+	if err := dst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("Len = %d, want %d", dst.Len(), src.Len())
+	}
+	// Packed bulk load should produce a denser tree than random inserts.
+	if fill := dst.Shape().Fill; fill < 0.8 {
+		t.Errorf("bulk-loaded fill grade %.2f, want dense packing", fill)
+	}
+	got, want := collect(dst), collect(src)
+	for i := range want {
+		if !tuple.Equal(got[i], want[i]) {
+			t.Fatalf("element %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInsertAllMergesOverlap(t *testing.T) {
+	a := New(1, Options{Capacity: 4})
+	b := New(1, Options{Capacity: 4})
+	for i := 0; i < 1200; i++ {
+		a.Insert(tuple.Tuple{uint64(2 * i)}) // evens
+		b.Insert(tuple.Tuple{uint64(3 * i)}) // multiples of 3
+	}
+	a.InsertAll(b)
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	model := map[uint64]bool{}
+	for i := 0; i < 1200; i++ {
+		model[uint64(2*i)] = true
+		model[uint64(3*i)] = true
+	}
+	if a.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", a.Len(), len(model))
+	}
+	for k := range model {
+		if !a.Contains(tuple.Tuple{k}) {
+			t.Fatalf("%d missing after merge", k)
+		}
+	}
+}
+
+func TestInsertAllEmptySources(t *testing.T) {
+	dst := New(1)
+	src := New(1)
+	dst.InsertAll(src) // empty into empty
+	if !dst.Empty() {
+		t.Error("empty merge produced elements")
+	}
+	dst.Insert(tuple.Tuple{1})
+	dst.InsertAll(src) // empty into non-empty
+	if dst.Len() != 1 {
+		t.Error("empty merge changed destination")
+	}
+}
+
+func TestBuildFromSorted(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 15, 16, 17, 100, 1000, 4096} {
+		for _, capacity := range []int{3, 4, 16} {
+			tr := New(1, Options{Capacity: capacity})
+			sorted := make([]tuple.Tuple, n)
+			for i := range sorted {
+				sorted[i] = tuple.Tuple{uint64(i * 2)}
+			}
+			tr.BuildFromSorted(sorted)
+			if err := tr.Check(); err != nil {
+				t.Fatalf("n=%d capacity=%d: %v", n, capacity, err)
+			}
+			if tr.Len() != n {
+				t.Fatalf("n=%d capacity=%d: Len = %d", n, capacity, tr.Len())
+			}
+			for i := 0; i < n; i++ {
+				if !tr.Contains(tuple.Tuple{uint64(i * 2)}) {
+					t.Fatalf("n=%d capacity=%d: element %d missing", n, capacity, i)
+				}
+			}
+			// Inserts after a bulk load must keep working.
+			tr.Insert(tuple.Tuple{1})
+			if err := tr.Check(); err != nil {
+				t.Fatalf("n=%d capacity=%d after insert: %v", n, capacity, err)
+			}
+		}
+	}
+}
+
+func TestBuildFromSortedPanicsOnNonEmpty(t *testing.T) {
+	tr := New(1)
+	tr.Insert(tuple.Tuple{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("BuildFromSorted on non-empty tree did not panic")
+		}
+	}()
+	tr.BuildFromSorted([]tuple.Tuple{{2}})
+}
+
+// TestBuildPackedProperty: any size and capacity produce a valid tree
+// with exactly the input elements.
+func TestBuildPackedProperty(t *testing.T) {
+	f := func(nRaw uint16, capRaw uint8) bool {
+		n := int(nRaw % 2048)
+		capacity := 3 + int(capRaw%30)
+		tr := New(1, Options{Capacity: capacity})
+		sorted := make([]tuple.Tuple, n)
+		for i := range sorted {
+			sorted[i] = tuple.Tuple{uint64(i)}
+		}
+		tr.BuildFromSorted(sorted)
+		if tr.Check() != nil || tr.Len() != n {
+			return false
+		}
+		i := 0
+		ok := true
+		tr.All(func(tp tuple.Tuple) bool {
+			if tp[0] != uint64(i) {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeProperty: merging two random trees equals the set union.
+func TestMergeProperty(t *testing.T) {
+	f := func(seedA, seedB int64, nA, nB uint16) bool {
+		a := New(2, Options{Capacity: 5})
+		b := New(2, Options{Capacity: 5})
+		model := map[[2]uint64]bool{}
+		for _, tp := range randTuples(int(nA%800), 2, 50, seedA) {
+			a.Insert(tp)
+			model[[2]uint64{tp[0], tp[1]}] = true
+		}
+		for _, tp := range randTuples(int(nB%800), 2, 50, seedB) {
+			b.Insert(tp)
+			model[[2]uint64{tp[0], tp[1]}] = true
+		}
+		a.InsertAll(b)
+		if a.Check() != nil || a.Len() != len(model) {
+			return false
+		}
+		for k := range model {
+			if !a.Contains(tuple.Tuple{k[0], k[1]}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"specbtree/internal/tuple"
+)
+
+// model is a reference implementation backed by a sorted slice.
+type model struct {
+	arity int
+	rows  []tuple.Tuple
+}
+
+func (m *model) find(v tuple.Tuple) (int, bool) {
+	idx := sort.Search(len(m.rows), func(i int) bool { return tuple.Compare(m.rows[i], v) >= 0 })
+	return idx, idx < len(m.rows) && tuple.Equal(m.rows[idx], v)
+}
+
+func (m *model) insert(v tuple.Tuple) bool {
+	idx, found := m.find(v)
+	if found {
+		return false
+	}
+	m.rows = append(m.rows, nil)
+	copy(m.rows[idx+1:], m.rows[idx:])
+	m.rows[idx] = v.Clone()
+	return true
+}
+
+func (m *model) lower(v tuple.Tuple) tuple.Tuple {
+	idx, _ := m.find(v)
+	if idx == len(m.rows) {
+		return nil
+	}
+	return m.rows[idx]
+}
+
+func (m *model) upper(v tuple.Tuple) tuple.Tuple {
+	idx := sort.Search(len(m.rows), func(i int) bool { return tuple.Compare(m.rows[i], v) > 0 })
+	if idx == len(m.rows) {
+		return nil
+	}
+	return m.rows[idx]
+}
+
+// TestRandomOpSequenceAgainstModel drives the tree and the model with the
+// same random operation stream — hinted and unhinted interleaved — and
+// requires identical observable behaviour at every step.
+func TestRandomOpSequenceAgainstModel(t *testing.T) {
+	for _, capacity := range []int{3, 5, 16} {
+		rng := rand.New(rand.NewSource(int64(900 + capacity)))
+		tr := New(2, Options{Capacity: capacity})
+		m := &model{arity: 2}
+		h := NewHints()
+		steps := 8000
+		if testing.Short() {
+			steps = 1500
+		}
+		for step := 0; step < steps; step++ {
+			v := tuple.Tuple{uint64(rng.Intn(64)), uint64(rng.Intn(64))}
+			switch rng.Intn(6) {
+			case 0:
+				if got, want := tr.Insert(v), m.insert(v); got != want {
+					t.Fatalf("cap %d step %d: Insert(%v) = %v, want %v", capacity, step, v, got, want)
+				}
+			case 1:
+				if got, want := tr.InsertHint(v, h), m.insert(v); got != want {
+					t.Fatalf("cap %d step %d: InsertHint(%v) = %v, want %v", capacity, step, v, got, want)
+				}
+			case 2:
+				_, want := m.find(v)
+				if got := tr.Contains(v); got != want {
+					t.Fatalf("cap %d step %d: Contains(%v) = %v, want %v", capacity, step, v, got, want)
+				}
+				if got := tr.ContainsHint(v, h); got != want {
+					t.Fatalf("cap %d step %d: ContainsHint(%v) = %v, want %v", capacity, step, v, got, want)
+				}
+			case 3:
+				want := m.lower(v)
+				for _, c := range []Cursor{tr.LowerBound(v), tr.LowerBoundHint(v, h)} {
+					if want == nil {
+						if c.Valid() {
+							t.Fatalf("cap %d step %d: LowerBound(%v) = %v, want end", capacity, step, v, c.Tuple())
+						}
+					} else if !c.Valid() || !tuple.Equal(c.Tuple(), want) {
+						t.Fatalf("cap %d step %d: LowerBound(%v) wrong", capacity, step, v)
+					}
+				}
+			case 4:
+				want := m.upper(v)
+				for _, c := range []Cursor{tr.UpperBound(v), tr.UpperBoundHint(v, h)} {
+					if want == nil {
+						if c.Valid() {
+							t.Fatalf("cap %d step %d: UpperBound(%v) = %v, want end", capacity, step, v, c.Tuple())
+						}
+					} else if !c.Valid() || !tuple.Equal(c.Tuple(), want) {
+						t.Fatalf("cap %d step %d: UpperBound(%v) wrong", capacity, step, v)
+					}
+				}
+			case 5:
+				// Range scan between v and a second point.
+				w := tuple.Tuple{uint64(rng.Intn(64)), uint64(rng.Intn(64))}
+				if tuple.Compare(v, w) > 0 {
+					v, w = w, v
+				}
+				var got []tuple.Tuple
+				tr.Range(v, w, func(x tuple.Tuple) bool {
+					got = append(got, x.Clone())
+					return true
+				})
+				var want []tuple.Tuple
+				for _, r := range m.rows {
+					if tuple.Compare(r, v) >= 0 && tuple.Compare(r, w) < 0 {
+						want = append(want, r)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("cap %d step %d: Range yields %d, want %d", capacity, step, len(got), len(want))
+				}
+				for i := range want {
+					if !tuple.Equal(got[i], want[i]) {
+						t.Fatalf("cap %d step %d: Range[%d] mismatch", capacity, step, i)
+					}
+				}
+			}
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("cap %d: %v", capacity, err)
+		}
+		if tr.Len() != len(m.rows) {
+			t.Fatalf("cap %d: Len %d, model %d", capacity, tr.Len(), len(m.rows))
+		}
+	}
+}
+
+// TestQuickInsertSetSemantics: for arbitrary input slices, the tree holds
+// exactly the distinct tuples, in sorted order.
+func TestQuickInsertSetSemantics(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := New(1, Options{Capacity: 4})
+		distinct := map[uint64]bool{}
+		for _, r := range raw {
+			v := uint64(r % 512)
+			tr.Insert(tuple.Tuple{v})
+			distinct[v] = true
+		}
+		if tr.Check() != nil || tr.Len() != len(distinct) {
+			return false
+		}
+		prev := int64(-1)
+		ok := true
+		tr.All(func(x tuple.Tuple) bool {
+			if int64(x[0]) <= prev || !distinct[x[0]] {
+				ok = false
+				return false
+			}
+			prev = int64(x[0])
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCursorWalkMatchesSortedModel: walking from every lower bound to
+// the end visits exactly the model's suffix.
+func TestQuickCursorWalkMatchesSortedModel(t *testing.T) {
+	tr := New(1, Options{Capacity: 3})
+	var rows []uint64
+	rng := rand.New(rand.NewSource(4242))
+	for i := 0; i < 500; i++ {
+		v := uint64(rng.Intn(2000))
+		if tr.Insert(tuple.Tuple{v}) {
+			rows = append(rows, v)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	f := func(probe uint16) bool {
+		v := uint64(probe % 2100)
+		start := sort.Search(len(rows), func(i int) bool { return rows[i] >= v })
+		i := start
+		for c := tr.LowerBound(tuple.Tuple{v}); c.Valid(); c.Next() {
+			if i >= len(rows) || c.Tuple()[0] != rows[i] {
+				return false
+			}
+			i++
+		}
+		return i == len(rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCursorSeqEarlyStopAndEnd exercises Cursor.Seq edge cases.
+func TestCursorSeqEarlyStopAndEnd(t *testing.T) {
+	tr := New(1)
+	var end Cursor
+	end.Seq(func(tuple.Tuple) bool {
+		t.Error("end cursor yielded")
+		return true
+	})
+	for i := 0; i < 100; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	n := 0
+	tr.Begin().Seq(func(x tuple.Tuple) bool {
+		if x[0] != uint64(n) {
+			t.Fatalf("Seq[%d] = %v", n, x)
+		}
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("Seq visited %d", n)
+	}
+	// Seq from a bound to the natural end.
+	n = 0
+	tr.LowerBound(tuple.Tuple{90}).Seq(func(tuple.Tuple) bool {
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("Seq tail visited %d", n)
+	}
+}
+
+// TestConcurrentSplitStorm hammers a tiny-capacity tree (splits on nearly
+// every insert) from many goroutines with adjacent keys, maximising
+// bottom-up lock-path contention.
+func TestConcurrentSplitStorm(t *testing.T) {
+	tr := New(1, Options{Capacity: 3})
+	const workers = 10
+	per := 2000
+	if testing.Short() {
+		per = 300
+	}
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			h := NewHints()
+			for i := 0; i < per; i++ {
+				// Interleaved keys: all workers split the same region.
+				tr.InsertHint(tuple.Tuple{uint64(i*workers + w)}, h)
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", tr.Len(), workers*per)
+	}
+}

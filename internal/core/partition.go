@@ -1,0 +1,80 @@
+package core
+
+import "specbtree/internal/tuple"
+
+// SplitPoints returns up to n-1 strictly increasing tuples that divide the
+// tree's content into roughly equal, contiguous key ranges — the analogue
+// of Soufflé's chunk partitioning, which lets parallel rule evaluation
+// hand each worker a subrange of a scan without materialising it.
+//
+// The boundaries are harvested from the upper tree levels, whose
+// separators subdivide the key space evenly by construction. Intended for
+// the read phase (no concurrent writers).
+func (t *Tree) SplitPoints(n int) []tuple.Tuple {
+	root := t.root.Load()
+	if root == nil || n <= 1 {
+		return nil
+	}
+	// Collect separators level by level until one level yields enough.
+	level := []*node{root}
+	var out []tuple.Tuple
+	for len(level) > 0 {
+		var seps []tuple.Tuple
+		var next []*node
+		for _, nd := range level {
+			cnt := int(nd.count.Load())
+			for i := 0; i < cnt; i++ {
+				sep := make(tuple.Tuple, t.arity)
+				nd.loadRow(i, t.arity, sep)
+				seps = append(seps, sep)
+			}
+			if nd.inner {
+				for i := 0; i <= cnt; i++ {
+					next = append(next, nd.children[i].Load())
+				}
+			}
+		}
+		// Separators harvested across one level are already sorted because
+		// the nodes were visited left to right.
+		out = seps
+		if len(seps) >= n-1 || len(next) == 0 {
+			break
+		}
+		level = next
+	}
+	if len(out) <= n-1 {
+		return out
+	}
+	// Thin out to exactly n-1 evenly spaced boundaries.
+	picked := make([]tuple.Tuple, 0, n-1)
+	for i := 1; i < n; i++ {
+		picked = append(picked, out[i*len(out)/n])
+	}
+	// Deduplicate (even spacing cannot repeat as long as len(out) >= n-1,
+	// but guard against rounding collisions).
+	uniq := picked[:0]
+	for i, p := range picked {
+		if i == 0 || tuple.Compare(uniq[len(uniq)-1], p) < 0 {
+			uniq = append(uniq, p)
+		}
+	}
+	return uniq
+}
+
+// SplitRange clips the tree's split points to the range [from, to),
+// returning interior boundaries usable to partition a range scan. Nil
+// from/to mean the start/end of the relation.
+func (t *Tree) SplitRange(from, to tuple.Tuple, n int) []tuple.Tuple {
+	points := t.SplitPoints(n)
+	var out []tuple.Tuple
+	for _, p := range points {
+		if from != nil && tuple.Compare(p, from) <= 0 {
+			continue
+		}
+		if to != nil && tuple.Compare(p, to) >= 0 {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+func TestSplitPointsCoverAndOrder(t *testing.T) {
+	tr := New(2, Options{Capacity: 4})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Insert(tuple.Tuple{uint64(i % 100), uint64(i / 100)})
+	}
+	for _, parts := range []int{1, 2, 3, 7, 16, 64} {
+		points := tr.SplitPoints(parts)
+		if parts == 1 && points != nil {
+			t.Fatal("1 partition needs no split points")
+		}
+		if len(points) > parts-1 && parts > 1 {
+			t.Fatalf("parts=%d: %d split points", parts, len(points))
+		}
+		for i := 1; i < len(points); i++ {
+			if tuple.Compare(points[i-1], points[i]) >= 0 {
+				t.Fatalf("parts=%d: split points not strictly increasing", parts)
+			}
+		}
+		// Scanning the ranges back-to-back reproduces the full scan.
+		var starts, ends []tuple.Tuple
+		starts = append(starts, nil)
+		for _, p := range points {
+			ends = append(ends, p)
+			starts = append(starts, p)
+		}
+		ends = append(ends, nil)
+		var got []tuple.Tuple
+		for ri := range starts {
+			c := tr.Begin()
+			if starts[ri] != nil {
+				c = tr.LowerBound(starts[ri])
+			}
+			for ; c.Valid(); c.Next() {
+				if ends[ri] != nil && c.Compare(ends[ri]) >= 0 {
+					break
+				}
+				got = append(got, c.Tuple())
+			}
+		}
+		want := collect(tr)
+		if len(got) != len(want) {
+			t.Fatalf("parts=%d: ranges cover %d of %d elements", parts, len(got), len(want))
+		}
+		for i := range want {
+			if !tuple.Equal(got[i], want[i]) {
+				t.Fatalf("parts=%d: element %d = %v, want %v", parts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSplitPointsSmallTrees(t *testing.T) {
+	tr := New(1)
+	if pts := tr.SplitPoints(8); pts != nil {
+		t.Error("empty tree produced split points")
+	}
+	tr.Insert(tuple.Tuple{5})
+	pts := tr.SplitPoints(8)
+	if len(pts) > 1 {
+		t.Errorf("single-element tree produced %d split points", len(pts))
+	}
+}
+
+func TestSplitRangeClipping(t *testing.T) {
+	tr := New(1, Options{Capacity: 4})
+	for i := 0; i < 1000; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	from, to := tuple.Tuple{200}, tuple.Tuple{300}
+	bounds := tr.SplitRange(from, to, 8)
+	for _, b := range bounds {
+		if tuple.Compare(b, from) <= 0 || tuple.Compare(b, to) >= 0 {
+			t.Fatalf("bound %v outside (%v, %v)", b, from, to)
+		}
+	}
+	// Nil ends clip nothing.
+	open := tr.SplitRange(nil, nil, 8)
+	if len(open) == 0 {
+		t.Error("open range should produce split points on a large tree")
+	}
+}
+
+func TestSplitPointsBigFanout(t *testing.T) {
+	// More requested partitions than elements.
+	tr := New(1)
+	for i := 0; i < 10; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	pts := tr.SplitPoints(100)
+	for i := 1; i < len(pts); i++ {
+		if tuple.Compare(pts[i-1], pts[i]) >= 0 {
+			t.Fatal("split points not strictly increasing")
+		}
+	}
+}

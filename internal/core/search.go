@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"specbtree/internal/tuple"
+)
+
+// Contains reports whether v is in the set. Hint-less form of ContainsHint.
+func (t *Tree) Contains(v tuple.Tuple) bool { return t.ContainsHint(v, nil) }
+
+// ContainsHint reports whether v is in the set, consulting and updating
+// the caller's find hint. Safe to run concurrently with insertions: the
+// descent takes optimistic read leases and restarts on conflict, and —
+// like every read path of the optimistic scheme — performs no stores, so
+// it causes no cache-line invalidation.
+func (t *Tree) ContainsHint(v tuple.Tuple, h *Hints) bool {
+	if len(v) != t.arity {
+		panic(fmt.Sprintf("core: querying arity-%d tuple in arity-%d tree", len(v), t.arity))
+	}
+
+	if h != nil {
+		if leaf := h.findLeaf; leaf != nil {
+			ls := leaf.lock.StartRead()
+			_, found, covered := t.probeLeaf(leaf, v)
+			if leaf.lock.Valid(ls) && covered {
+				h.Stats.FindHits++
+				return found
+			}
+			h.Stats.FindMisses++
+		}
+	}
+
+restart:
+	for {
+		cur, curLease, ok := t.readRoot()
+		if !ok {
+			return false
+		}
+		for {
+			idx, found := cur.search(t.arity, v)
+			if found {
+				if cur.lock.Valid(curLease) {
+					if h != nil && !cur.inner {
+						h.findLeaf = cur
+					}
+					return true
+				}
+				continue restart
+			}
+			if !cur.inner {
+				if !cur.lock.Valid(curLease) {
+					continue restart
+				}
+				if h != nil {
+					h.findLeaf = cur
+				}
+				return false
+			}
+			next := cur.child(idx)
+			if !cur.lock.Valid(curLease) {
+				continue restart
+			}
+			nextLease := next.lock.StartRead()
+			if !cur.lock.Valid(curLease) {
+				continue restart
+			}
+			cur, curLease = next, nextLease
+		}
+	}
+}
+
+// readRoot obtains the root node and an initial read lease on it, under
+// the root-pointer seqlock (Alg. 1 lines 13-17). ok is false if the tree
+// has no root yet.
+func (t *Tree) readRoot() (*node, lease, bool) {
+	for {
+		rootLease := t.rootLock.StartRead()
+		cur := t.root.Load()
+		if cur == nil {
+			if t.rootLock.EndRead(rootLease) {
+				return nil, lease{}, false
+			}
+			continue
+		}
+		curLease := cur.lock.StartRead()
+		if t.rootLock.EndRead(rootLease) {
+			return cur, curLease, true
+		}
+	}
+}
+
+// searchBound returns the index of the first element of n that is greater
+// than v (strict) or greater-or-equal to v (non-strict). Reads are atomic
+// and must be validated by the caller's lease.
+func (n *node) searchBound(arity int, v []uint64, strict bool) int {
+	cnt := int(n.count.Load())
+	if cnt < 0 {
+		cnt = 0
+	}
+	if max := len(n.keys) / arity; cnt > max {
+		cnt = max
+	}
+	want := 0 // first element with cmp >= want is the bound
+	if strict {
+		want = 1
+	}
+	if cnt <= linearSearchThreshold {
+		for i := 0; i < cnt; i++ {
+			if n.cmpRow(i, arity, v) >= want {
+				return i
+			}
+		}
+		return cnt
+	}
+	lo, hi := 0, cnt
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.cmpRow(mid, arity, v) >= want {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// LowerBound returns a cursor at the first element >= v, or an invalid
+// cursor if no such element exists. Hint-less form of LowerBoundHint.
+func (t *Tree) LowerBound(v tuple.Tuple) Cursor { return t.boundHint(v, false, nil) }
+
+// LowerBoundHint is LowerBound with operation hints.
+func (t *Tree) LowerBoundHint(v tuple.Tuple, h *Hints) Cursor { return t.boundHint(v, false, h) }
+
+// UpperBound returns a cursor at the first element > v, or an invalid
+// cursor if no such element exists. Hint-less form of UpperBoundHint.
+func (t *Tree) UpperBound(v tuple.Tuple) Cursor { return t.boundHint(v, true, nil) }
+
+// UpperBoundHint is UpperBound with operation hints.
+func (t *Tree) UpperBoundHint(v tuple.Tuple, h *Hints) Cursor { return t.boundHint(v, true, h) }
+
+// boundHint locates the first element > v (strict) or >= v (non-strict),
+// tracking the best candidate seen on the descent. The candidate node's
+// lease is validated at the end; any conflict restarts the operation.
+func (t *Tree) boundHint(v tuple.Tuple, strict bool, h *Hints) Cursor {
+	if len(v) != t.arity {
+		panic(fmt.Sprintf("core: querying arity-%d tuple in arity-%d tree", len(v), t.arity))
+	}
+
+	if h != nil {
+		leaf := h.lowerLeaf
+		hits, misses := &h.Stats.LowerHits, &h.Stats.LowerMisses
+		if strict {
+			leaf = h.upperLeaf
+			hits, misses = &h.Stats.UpperHits, &h.Stats.UpperMisses
+		}
+		if leaf != nil {
+			if c, ok := t.boundFromHint(leaf, v, strict); ok {
+				*hits++
+				return c
+			}
+			*misses++
+		}
+	}
+
+restart:
+	for {
+		cur, curLease, ok := t.readRoot()
+		if !ok {
+			return Cursor{}
+		}
+		candidate := Cursor{}
+		var candLease lease
+		var candNode *node
+		for {
+			idx := cur.searchBound(t.arity, v, strict)
+			if !cur.inner {
+				if !cur.lock.Valid(curLease) {
+					continue restart
+				}
+				var res Cursor
+				if idx < int(cur.count.Load()) {
+					res = Cursor{t: t, n: cur, idx: idx}
+				} else {
+					res = candidate
+					if candNode != nil && !candNode.lock.Valid(candLease) {
+						continue restart
+					}
+				}
+				if h != nil {
+					if strict {
+						h.upperLeaf = cur
+					} else {
+						h.lowerLeaf = cur
+					}
+				}
+				return res
+			}
+			if idx < int(cur.count.Load()) {
+				candidate = Cursor{t: t, n: cur, idx: idx}
+				candNode, candLease = cur, curLease
+			}
+			next := cur.child(idx)
+			if !cur.lock.Valid(curLease) {
+				continue restart
+			}
+			nextLease := next.lock.StartRead()
+			if !cur.lock.Valid(curLease) {
+				continue restart
+			}
+			cur, curLease = next, nextLease
+		}
+	}
+}
+
+// boundFromHint answers a bound query directly from a hinted leaf if the
+// leaf provably contains the answer: first <= v <= last for lower bounds,
+// first <= v < last for upper bounds (strict on the right so the answer
+// cannot be in a successor node). All under a validated read lease.
+func (t *Tree) boundFromHint(leaf *node, v tuple.Tuple, strict bool) (Cursor, bool) {
+	ls := leaf.lock.StartRead()
+	if leaf.inner {
+		return Cursor{}, false
+	}
+	cnt := int(leaf.count.Load())
+	if cnt <= 0 || cnt > t.capacity {
+		return Cursor{}, false
+	}
+	if leaf.cmpRow(0, t.arity, v) > 0 {
+		return Cursor{}, false
+	}
+	lastCmp := leaf.cmpRow(cnt-1, t.arity, v)
+	if lastCmp < 0 || (strict && lastCmp == 0) {
+		return Cursor{}, false
+	}
+	idx := leaf.searchBound(t.arity, v, strict)
+	if !leaf.lock.Valid(ls) || idx >= cnt {
+		return Cursor{}, false
+	}
+	return Cursor{t: t, n: leaf, idx: idx}, true
+}

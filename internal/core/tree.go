@@ -1,0 +1,373 @@
+// Package core implements the paper's contribution: a concurrent
+// in-memory B-tree specialised for parallel semi-naïve Datalog evaluation
+// (Jordan, Subotić, Zhao, Scholz — PPoPP 2019).
+//
+// The tree stores fixed-arity tuples of uint64 words in lexicographic
+// order. It supports insertion (no deletion — Datalog relations only
+// grow), membership tests, lower/upper bound queries and ordered
+// iteration. Insertions are synchronised by an optimistic fine-grained
+// locking scheme built on the optimistic read-write lock of package
+// optlock: descents take validation-only read leases top-down, mutations
+// take exclusive write locks bottom-up (Algorithms 1 and 2 of the paper).
+// The four hot operations accept operation hints (package-level type
+// Hints) that cache the last leaf accessed per operation class and skip
+// the descent entirely when the cached leaf still covers the probe.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"specbtree/internal/tuple"
+)
+
+// DefaultCapacity is the default number of elements per node. For binary
+// tuples this makes a node's key area 256 bytes — a few cache lines, the
+// sweet spot the paper's "highly tuned" implementation targets: wide
+// enough to amortise descent cost and absorb writes lazily, small enough
+// to keep scans and shifts cheap.
+const DefaultCapacity = 16
+
+// Options configures a Tree.
+type Options struct {
+	// Capacity is the number of elements per node (minimum 3). Zero means
+	// DefaultCapacity.
+	Capacity int
+}
+
+// Tree is the concurrent optimistic B-tree. All methods are safe for
+// concurrent use, with the phase discipline of Datalog evaluation in mind:
+// Insert may run concurrently with Insert/Contains/bounds; full iteration
+// (Begin/Cursor.Next) is intended for the read phase, where no writers are
+// active.
+type Tree struct {
+	arity    int
+	capacity int
+
+	// rootLock protects the root pointer and the (nil) parent pointer of
+	// the root node, per the paper's locking rules.
+	rootLock rootLockT
+	root     atomic.Pointer[node]
+}
+
+// rootLockT aliases the optimistic lock so Tree's field list reads like
+// the paper's (tree->root_lock).
+type rootLockT = lockT
+
+// New creates an empty tree for tuples with the given number of columns.
+func New(arity int, opts ...Options) *Tree {
+	if arity <= 0 {
+		panic(fmt.Sprintf("core: invalid arity %d", arity))
+	}
+	capacity := DefaultCapacity
+	if len(opts) > 0 && opts[0].Capacity != 0 {
+		capacity = opts[0].Capacity
+	}
+	if capacity < 3 {
+		panic(fmt.Sprintf("core: node capacity %d too small (minimum 3)", capacity))
+	}
+	return &Tree{arity: arity, capacity: capacity}
+}
+
+// Arity returns the number of columns of the stored tuples.
+func (t *Tree) Arity() int { return t.arity }
+
+// Capacity returns the per-node element capacity.
+func (t *Tree) Capacity() int { return t.capacity }
+
+// Empty reports whether the tree contains no elements.
+func (t *Tree) Empty() bool {
+	r := t.root.Load()
+	return r == nil || r.count.Load() == 0
+}
+
+// Len counts the elements by walking the tree. It is intended for the
+// read phase; the tree deliberately maintains no shared size counter,
+// which would serialise concurrent inserts on one cache line.
+func (t *Tree) Len() int {
+	return t.countNodes(t.root.Load())
+}
+
+func (t *Tree) countNodes(n *node) int {
+	if n == nil {
+		return 0
+	}
+	total := int(n.count.Load())
+	if n.inner {
+		for i := 0; i <= int(n.count.Load()); i++ {
+			total += t.countNodes(n.children[i].Load())
+		}
+	}
+	return total
+}
+
+func (t *Tree) newNode(inner bool) *node {
+	n := &node{
+		inner: inner,
+		keys:  make([]atomic.Uint64, t.capacity*t.arity),
+	}
+	if inner {
+		n.children = make([]atomic.Pointer[node], t.capacity+1)
+	}
+	return n
+}
+
+// Insert adds v to the set, returning false if it was already present.
+// It is the hint-less form of InsertHint.
+func (t *Tree) Insert(v tuple.Tuple) bool { return t.InsertHint(v, nil) }
+
+// InsertHint adds v to the set, consulting and updating the caller's
+// operation hints. The hint may be nil. v must have the tree's arity.
+//
+// The implementation follows the paper's Algorithm 1: descend under
+// optimistic read leases, validate every lease before trusting what was
+// read under it, upgrade the leaf lease to a write lock, and restart from
+// the top on any conflict. Split handling (full leaf) is Algorithm 2.
+func (t *Tree) InsertHint(v tuple.Tuple, h *Hints) bool {
+	if len(v) != t.arity {
+		panic(fmt.Sprintf("core: inserting arity-%d tuple into arity-%d tree", len(v), t.arity))
+	}
+
+	// Safely initialise the root node pointer (Alg. 1 lines 2-9).
+	for t.root.Load() == nil {
+		if !t.rootLock.TryStartWrite() {
+			continue
+		}
+		if t.root.Load() == nil {
+			t.root.Store(t.newNode(false))
+		}
+		t.rootLock.EndWrite()
+	}
+
+	// Try the insert hint: if the remembered leaf still covers v, enter
+	// the tree directly at that leaf, skipping the descent. Correctness of
+	// leaf-first entry rests on write locks being acquired bottom-up.
+	if h != nil {
+		if leaf := h.insertLeaf; leaf != nil {
+			lease := leaf.lock.StartRead()
+			idx, found, covered := t.probeLeaf(leaf, v)
+			if leaf.lock.Valid(lease) && covered {
+				h.Stats.InsertHits++
+				if found {
+					if leaf.lock.Valid(lease) {
+						return false
+					}
+					// Torn read; fall through to the full descent.
+				} else if done, inserted := t.insertIntoLeaf(leaf, lease, idx, v, h); done {
+					return inserted
+				}
+				// Upgrade or split lost a race: restart via full descent.
+			} else {
+				h.Stats.InsertMisses++
+			}
+		}
+	}
+
+restart:
+	for {
+		// Safely obtain the root node and a lease on it (lines 13-17).
+		var cur *node
+		var curLease lease
+		for {
+			rootLease := t.rootLock.StartRead()
+			cur = t.root.Load()
+			if cur == nil {
+				continue
+			}
+			curLease = cur.lock.StartRead()
+			if t.rootLock.EndRead(rootLease) {
+				break
+			}
+		}
+
+		// Descend into the tree (lines 20-33).
+		for {
+			idx, found := cur.search(t.arity, v)
+			if found {
+				if cur.lock.Valid(curLease) {
+					return false
+				}
+				continue restart
+			}
+
+			if cur.inner {
+				next := cur.child(idx)
+				if !cur.lock.Valid(curLease) {
+					continue restart
+				}
+				nextLease := next.lock.StartRead()
+				if !cur.lock.Valid(curLease) {
+					continue restart
+				}
+				cur, curLease = next, nextLease
+				continue
+			}
+
+			done, inserted := t.insertIntoLeaf(cur, curLease, idx, v, h)
+			if !done {
+				continue restart
+			}
+			return inserted
+		}
+	}
+}
+
+// insertIntoLeaf performs Alg. 1 lines 35-48: upgrade the leaf's read
+// lease to a write lock, split if full, otherwise insert. done=false
+// requests a restart of the whole insertion.
+func (t *Tree) insertIntoLeaf(leaf *node, ls lease, idx int, v tuple.Tuple, h *Hints) (done, inserted bool) {
+	if !leaf.lock.TryUpgradeToWrite(ls) {
+		return false, false
+	}
+	if leaf.full(t.arity) {
+		t.split(leaf)
+		leaf.lock.EndWrite()
+		return false, false
+	}
+	leaf.insertAt(idx, t.arity, v, nil)
+	leaf.lock.EndWrite()
+	if h != nil {
+		h.insertLeaf = leaf
+	}
+	return true, true
+}
+
+// probeLeaf checks whether leaf (a presumed leaf node) covers v — i.e.
+// leaf.first <= v <= leaf.last, so v's position in the tree order falls
+// inside this very node — and locates v's slot. All reads are atomic and
+// must be validated by the caller's lease.
+func (t *Tree) probeLeaf(leaf *node, v tuple.Tuple) (idx int, found, covered bool) {
+	if leaf.inner {
+		return 0, false, false
+	}
+	cnt := int(leaf.count.Load())
+	if cnt <= 0 || cnt > t.capacity {
+		return 0, false, false
+	}
+	if leaf.cmpRow(0, t.arity, v) > 0 || leaf.cmpRow(cnt-1, t.arity, v) < 0 {
+		return 0, false, false
+	}
+	idx, found = leaf.search(t.arity, v)
+	return idx, found, true
+}
+
+// split implements the paper's Algorithm 2. The caller holds the write
+// lock on n (which is full). Write locks on the ancestor path are taken
+// bottom-up until the first non-full ancestor or the root lock, the split
+// is performed, and the path is unlocked top-down. The caller keeps — and
+// must release — its own lock on n.
+func (t *Tree) split(n *node) {
+	// Write-lock the path bottom-up (lines 2-23). path records the locked
+	// ancestors; a nil entry denotes the tree's root lock.
+	cur := n
+	parent := cur.parent.Load()
+	var path []*node
+	for {
+		if parent != nil {
+			// The parent pointer of cur is covered by the parent's own
+			// lock; re-read until it is stable under that lock (lines 8-13).
+			for {
+				parent.lock.StartWrite()
+				if parent == cur.parent.Load() {
+					break
+				}
+				parent.lock.AbortWrite()
+				parent = cur.parent.Load()
+			}
+		} else {
+			// cur believes it is the root; its (nil) parent pointer is
+			// covered by the root lock. Re-check under that lock: a
+			// concurrent split may have given cur a parent meanwhile.
+			t.rootLock.StartWrite()
+			if p := cur.parent.Load(); p != nil {
+				t.rootLock.AbortWrite()
+				parent = p
+				continue
+			}
+		}
+		path = append(path, parent)
+
+		// Stop at the root or at a non-full inner node (line 20).
+		if parent == nil || !parent.full(t.arity) {
+			break
+		}
+		cur = parent
+		parent = cur.parent.Load()
+	}
+
+	// Conduct the actual split (line 26).
+	t.doSplit(n)
+
+	// Unlock the path top-down (lines 28-35).
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] != nil {
+			path[i].lock.EndWrite()
+		} else {
+			t.rootLock.EndWrite()
+		}
+	}
+}
+
+// doSplit splits the full node n, propagating splits up the (already
+// locked) ancestor path as needed. n and every full ancestor are write
+// locked; the first non-full ancestor (or the root lock) is locked too.
+func (t *Tree) doSplit(n *node) {
+	parent := n.parent.Load()
+	if parent != nil && parent.full(t.arity) {
+		// Make room above first. Splitting the parent may migrate n into
+		// the parent's new sibling, so re-read n's parent afterwards.
+		t.doSplit(parent)
+		parent = n.parent.Load()
+	}
+
+	arity := t.arity
+	cnt := int(n.count.Load())
+	mid := cnt / 2
+
+	// Half of the elements stay, the median moves up, the rest move to a
+	// fresh right sibling. The sibling is unreachable until the locked
+	// parent exposes it, so it needs no locking yet.
+	median := make([]uint64, arity)
+	n.loadRow(mid, arity, median)
+
+	sibling := t.newNode(n.inner)
+	moved := cnt - mid - 1
+	buf := make([]uint64, arity)
+	for i := 0; i < moved; i++ {
+		n.loadRow(mid+1+i, arity, buf)
+		sibling.storeRow(i, arity, buf)
+	}
+	if n.inner {
+		for i := 0; i <= moved; i++ {
+			c := n.children[mid+1+i].Load()
+			sibling.children[i].Store(c)
+			// The children's parent pointers are covered by n's lock —
+			// which we hold — while they still belong to n.
+			c.parent.Store(sibling)
+			c.pos.Store(int32(i))
+		}
+	}
+	sibling.count.Store(int32(moved))
+	n.count.Store(int32(mid))
+
+	if parent == nil {
+		// n was the root: grow the tree by one level. The root lock is
+		// held, covering both the root pointer and the parents of n and
+		// the sibling.
+		newRoot := t.newNode(true)
+		newRoot.storeRow(0, arity, median)
+		newRoot.children[0].Store(n)
+		newRoot.children[1].Store(sibling)
+		newRoot.count.Store(1)
+		n.parent.Store(newRoot)
+		n.pos.Store(0)
+		sibling.parent.Store(newRoot)
+		sibling.pos.Store(1)
+		t.root.Store(newRoot)
+		return
+	}
+
+	// Insert the median and the new sibling into the (locked, non-full)
+	// parent, right of n's own slot.
+	parent.insertAt(int(n.pos.Load()), arity, median, sibling)
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// sortedUnique returns ts sorted with duplicates removed.
+func sortedUnique(ts []tuple.Tuple) []tuple.Tuple {
+	out := make([]tuple.Tuple, len(ts))
+	copy(out, ts)
+	sort.Slice(out, func(i, j int) bool { return tuple.Less(out[i], out[j]) })
+	uniq := out[:0]
+	for i, t := range out {
+		if i == 0 || !tuple.Equal(uniq[len(uniq)-1], t) {
+			uniq = append(uniq, t)
+		}
+		_ = i
+	}
+	return uniq
+}
+
+func randTuples(n int, arity int, domain uint64, seed int64) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		t := make(tuple.Tuple, arity)
+		for j := range t {
+			t[j] = uint64(rng.Int63n(int64(domain)))
+		}
+		ts[i] = t
+	}
+	return ts
+}
+
+func collect(t *Tree) []tuple.Tuple {
+	var out []tuple.Tuple
+	t.All(func(tp tuple.Tuple) bool {
+		out = append(out, tp.Clone())
+		return true
+	})
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2)
+	if !tr.Empty() {
+		t.Error("new tree not empty")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Contains(tuple.Tuple{1, 2}) {
+		t.Error("empty tree contains a tuple")
+	}
+	if c := tr.Begin(); c.Valid() {
+		t.Error("Begin on empty tree is valid")
+	}
+	if c := tr.LowerBound(tuple.Tuple{0, 0}); c.Valid() {
+		t.Error("LowerBound on empty tree is valid")
+	}
+	if err := tr.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertAndContains(t *testing.T) {
+	tr := New(2)
+	if !tr.Insert(tuple.Tuple{1, 2}) {
+		t.Error("first insert reported duplicate")
+	}
+	if tr.Insert(tuple.Tuple{1, 2}) {
+		t.Error("duplicate insert reported new")
+	}
+	if !tr.Contains(tuple.Tuple{1, 2}) {
+		t.Error("inserted tuple missing")
+	}
+	if tr.Contains(tuple.Tuple{2, 1}) {
+		t.Error("phantom tuple present")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestOrderedInsertMany(t *testing.T) {
+	tr := New(2, Options{Capacity: 4}) // small capacity forces deep trees
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(tuple.Tuple{uint64(i / 70), uint64(i % 70)}) {
+			t.Fatalf("insert %d reported duplicate", i)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Contains(tuple.Tuple{uint64(i / 70), uint64(i % 70)}) {
+			t.Fatalf("tuple %d missing after ordered fill", i)
+		}
+	}
+}
+
+func TestRandomInsertMatchesModel(t *testing.T) {
+	for _, capacity := range []int{3, 4, 7, 16, 64} {
+		tr := New(2, Options{Capacity: capacity})
+		model := map[[2]uint64]bool{}
+		ts := randTuples(4000, 2, 200, int64(capacity))
+		for _, tp := range ts {
+			key := [2]uint64{tp[0], tp[1]}
+			fresh := tr.Insert(tp)
+			if fresh == model[key] {
+				t.Fatalf("capacity %d: insert %v returned %v, model knows %v", capacity, tp, fresh, model[key])
+			}
+			model[key] = true
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("capacity %d: %v", capacity, err)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("capacity %d: Len = %d, model %d", capacity, tr.Len(), len(model))
+		}
+		for key := range model {
+			if !tr.Contains(tuple.Tuple{key[0], key[1]}) {
+				t.Fatalf("capacity %d: %v missing", capacity, key)
+			}
+		}
+		// Iteration yields exactly the model, in sorted order.
+		got := collect(tr)
+		want := sortedUnique(ts)
+		if len(got) != len(want) {
+			t.Fatalf("capacity %d: scan yields %d, want %d", capacity, len(got), len(want))
+		}
+		for i := range got {
+			if !tuple.Equal(got[i], want[i]) {
+				t.Fatalf("capacity %d: scan[%d] = %v, want %v", capacity, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDescendingInsert(t *testing.T) {
+	tr := New(1, Options{Capacity: 4})
+	const n = 2000
+	for i := n - 1; i >= 0; i-- {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(tr)
+	if len(got) != n {
+		t.Fatalf("got %d elements", len(got))
+	}
+	for i, tp := range got {
+		if tp[0] != uint64(i) {
+			t.Fatalf("scan[%d] = %v", i, tp)
+		}
+	}
+}
+
+func TestArityOne(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 100; i++ {
+		tr.Insert(tuple.Tuple{uint64(i * 3)})
+	}
+	if !tr.Contains(tuple.Tuple{99}) {
+		t.Error("99 missing")
+	}
+	if tr.Contains(tuple.Tuple{100}) {
+		t.Error("100 present")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWideArity(t *testing.T) {
+	tr := New(5, Options{Capacity: 8})
+	ts := randTuples(2000, 5, 10, 7)
+	model := map[string]bool{}
+	for _, tp := range ts {
+		k := tuple.KeyString(tp)
+		if tr.Insert(tp) == model[k] {
+			t.Fatalf("insert/model disagreement on %v", tp)
+		}
+		model[k] = true
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(model))
+	}
+}
+
+func TestArityMismatchPanics(t *testing.T) {
+	tr := New(2)
+	for name, f := range map[string]func(){
+		"insert":   func() { tr.Insert(tuple.Tuple{1}) },
+		"contains": func() { tr.Contains(tuple.Tuple{1, 2, 3}) },
+		"lower":    func() { tr.LowerBound(tuple.Tuple{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with wrong arity did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero arity": func() { New(0) },
+		"neg arity":  func() { New(-1) },
+		"tiny nodes": func() { New(2, Options{Capacity: 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLowerUpperBound(t *testing.T) {
+	tr := New(1, Options{Capacity: 4})
+	// Insert even numbers 0..198.
+	for i := 0; i < 100; i++ {
+		tr.Insert(tuple.Tuple{uint64(2 * i)})
+	}
+	tests := []struct {
+		v     uint64
+		lower int64 // expected element at LowerBound, -1 = end
+		upper int64
+	}{
+		{0, 0, 2},
+		{1, 2, 2},
+		{2, 2, 4},
+		{3, 4, 4},
+		{197, 198, 198},
+		{198, 198, -1},
+		{199, -1, -1},
+		{1000, -1, -1},
+	}
+	for _, tc := range tests {
+		lb := tr.LowerBound(tuple.Tuple{tc.v})
+		if tc.lower == -1 {
+			if lb.Valid() {
+				t.Errorf("LowerBound(%d) = %v, want end", tc.v, lb.Tuple())
+			}
+		} else if !lb.Valid() || lb.Tuple()[0] != uint64(tc.lower) {
+			t.Errorf("LowerBound(%d) wrong: valid=%v", tc.v, lb.Valid())
+		}
+		ub := tr.UpperBound(tuple.Tuple{tc.v})
+		if tc.upper == -1 {
+			if ub.Valid() {
+				t.Errorf("UpperBound(%d) = %v, want end", tc.v, ub.Tuple())
+			}
+		} else if !ub.Valid() || ub.Tuple()[0] != uint64(tc.upper) {
+			t.Errorf("UpperBound(%d) wrong", tc.v)
+		}
+	}
+}
+
+func TestBoundsMatchModel(t *testing.T) {
+	tr := New(2, Options{Capacity: 5})
+	ts := randTuples(3000, 2, 60, 99)
+	for _, tp := range ts {
+		tr.Insert(tp)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	all := collect(tr)
+
+	probe := randTuples(500, 2, 62, 100)
+	for _, p := range probe {
+		// Model lower bound by scanning the sorted slice.
+		wantIdx := sort.Search(len(all), func(i int) bool { return tuple.Compare(all[i], p) >= 0 })
+		lb := tr.LowerBound(p)
+		if wantIdx == len(all) {
+			if lb.Valid() {
+				t.Fatalf("LowerBound(%v) = %v, want end", p, lb.Tuple())
+			}
+		} else if !lb.Valid() || !tuple.Equal(lb.Tuple(), all[wantIdx]) {
+			t.Fatalf("LowerBound(%v) mismatch", p)
+		}
+
+		wantIdxU := sort.Search(len(all), func(i int) bool { return tuple.Compare(all[i], p) > 0 })
+		ub := tr.UpperBound(p)
+		if wantIdxU == len(all) {
+			if ub.Valid() {
+				t.Fatalf("UpperBound(%v) = %v, want end", p, ub.Tuple())
+			}
+		} else if !ub.Valid() || !tuple.Equal(ub.Tuple(), all[wantIdxU]) {
+			t.Fatalf("UpperBound(%v) mismatch", p)
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New(2, Options{Capacity: 4})
+	// Edge-style data: (x, y) for x in 0..49, y in 0..9.
+	for x := uint64(0); x < 50; x++ {
+		for y := uint64(0); y < 10; y++ {
+			tr.Insert(tuple.Tuple{x, y * 7})
+		}
+	}
+	// Range query for prefix x=17 must yield exactly its 10 tuples.
+	lo := tuple.PrefixLowerBound(tuple.Tuple{17}, 2)
+	hi := tuple.PrefixUpperBound(tuple.Tuple{17}, 2)
+	var got []tuple.Tuple
+	tr.Range(lo, hi, func(tp tuple.Tuple) bool {
+		got = append(got, tp.Clone())
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("prefix scan yielded %d tuples, want 10", len(got))
+	}
+	for i, tp := range got {
+		if tp[0] != 17 || tp[1] != uint64(i*7) {
+			t.Fatalf("scan[%d] = %v", i, tp)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Range(lo, nil, func(tp tuple.Tuple) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early-stopping scan visited %d", count)
+	}
+}
+
+func TestCursorEqualAndCompare(t *testing.T) {
+	tr := New(1)
+	tr.Insert(tuple.Tuple{5})
+	tr.Insert(tuple.Tuple{9})
+	a := tr.LowerBound(tuple.Tuple{5})
+	b := tr.LowerBound(tuple.Tuple{4})
+	if !a.Equal(b) {
+		t.Error("cursors to same element differ")
+	}
+	if a.Compare(tuple.Tuple{5}) != 0 || a.Compare(tuple.Tuple{6}) >= 0 {
+		t.Error("cursor Compare wrong")
+	}
+	a.Next()
+	if a.Equal(b) {
+		t.Error("advanced cursor equal to old position")
+	}
+	a.Next()
+	end := tr.UpperBound(tuple.Tuple{9})
+	if !a.Equal(end) {
+		t.Error("end cursors differ")
+	}
+}
+
+func TestLenAndShape(t *testing.T) {
+	tr := New(2, Options{Capacity: 8})
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tr.Insert(tuple.Tuple{uint64(i), uint64(i)})
+	}
+	s := tr.Shape()
+	if s.Elements != n {
+		t.Errorf("Shape.Elements = %d", s.Elements)
+	}
+	if s.LeafNodes+s.InnerNodes != s.Nodes {
+		t.Error("node counts inconsistent")
+	}
+	if s.Depth < 3 {
+		t.Errorf("suspiciously shallow: depth %d", s.Depth)
+	}
+	if s.Fill <= 0 || s.Fill > 1 {
+		t.Errorf("fill grade %f out of range", s.Fill)
+	}
+}

@@ -1,0 +1,216 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SymbolTable interns symbolic constants to dense uint64 ids, exactly as
+// Soufflé does before evaluation: all tuples inside the engine are vectors
+// of machine words.
+type SymbolTable struct {
+	ids   map[string]uint64
+	names []string
+}
+
+// NewSymbolTable creates an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{ids: map[string]uint64{}}
+}
+
+// Intern returns the id of s, assigning a fresh one on first sight.
+func (st *SymbolTable) Intern(s string) uint64 {
+	if id, ok := st.ids[s]; ok {
+		return id
+	}
+	id := uint64(len(st.names))
+	st.ids[s] = id
+	st.names = append(st.names, s)
+	return id
+}
+
+// Name returns the symbol text for id, or a numeric rendering if unknown.
+func (st *SymbolTable) Name(id uint64) string {
+	if id < uint64(len(st.names)) {
+		return st.names[id]
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// Len returns the number of interned symbols.
+func (st *SymbolTable) Len() int { return len(st.names) }
+
+// CheckSafety verifies every rule is range-restricted:
+//   - every head variable occurs in a positive body atom;
+//   - every variable of a negated atom occurs in a positive body atom;
+//   - every variable of a comparison occurs in a positive body atom;
+//   - wildcards do not occur in heads.
+func CheckSafety(prog *Program) error {
+	for _, r := range prog.Rules {
+		bound := map[string]bool{}
+		for _, l := range r.Body {
+			if l.Kind == LitAtom {
+				for _, t := range l.Atom.Terms {
+					if t.Kind == TermVar {
+						bound[t.Name] = true
+					}
+				}
+			}
+		}
+		for _, t := range r.Head.Terms {
+			switch t.Kind {
+			case TermWildcard:
+				return fmt.Errorf("datalog: line %d: wildcard in rule head", r.Line)
+			case TermVar:
+				if !bound[t.Name] {
+					return fmt.Errorf("datalog: line %d: head variable %q not bound by a positive body atom", r.Line, t.Name)
+				}
+			}
+		}
+		for _, l := range r.Body {
+			switch l.Kind {
+			case LitNegAtom:
+				for _, t := range l.Atom.Terms {
+					if t.Kind == TermVar && !bound[t.Name] {
+						return fmt.Errorf("datalog: line %d: variable %q of negated atom not bound", r.Line, t.Name)
+					}
+				}
+			case LitCmp:
+				for _, t := range []Term{l.L, l.R} {
+					if t.Kind == TermVar && !bound[t.Name] {
+						return fmt.Errorf("datalog: line %d: variable %q of comparison not bound", r.Line, t.Name)
+					}
+					if t.Kind == TermWildcard {
+						return fmt.Errorf("datalog: line %d: wildcard in comparison", r.Line)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stratum is one strongly connected component of the predicate dependency
+// graph, evaluated as a unit. Predicates within one stratum may be
+// mutually recursive.
+type Stratum struct {
+	// Preds lists the predicates of this stratum (sorted).
+	Preds []string
+	// Rules indexes prog.Rules whose head is in this stratum.
+	Rules []int
+	// Recursive reports whether any rule's body references a predicate of
+	// this same stratum (i.e. the stratum needs fixpoint iteration).
+	Recursive bool
+}
+
+// Stratify computes the evaluation order: strongly connected components of
+// the dependency graph in topological order, rejecting programs where a
+// predicate depends negatively on its own stratum (unstratifiable
+// negation).
+func Stratify(prog *Program) ([]Stratum, error) {
+	// Dependency edges: head -> body predicate.
+	type edge struct {
+		to  string
+		neg bool
+	}
+	deps := map[string][]edge{}
+	preds := map[string]bool{}
+	for _, d := range prog.Decls {
+		preds[d.Name] = true
+		deps[d.Name] = nil
+	}
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if l.Kind == LitCmp {
+				continue
+			}
+			deps[r.Head.Pred] = append(deps[r.Head.Pred], edge{to: l.Atom.Pred, neg: l.Kind == LitNegAtom})
+		}
+	}
+
+	// Tarjan's SCC over the predicate graph.
+	names := make([]string, 0, len(preds))
+	for n := range preds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	counter := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range deps[v] {
+			w := e.to
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	// Tarjan emits components in reverse topological order of the
+	// dependency graph (head -> body); since bodies must be evaluated
+	// first, Tarjan's order is already the evaluation order.
+	sccOf := map[string]int{}
+	for i, comp := range sccs {
+		for _, p := range comp {
+			sccOf[p] = i
+		}
+	}
+
+	// Reject negative edges within one SCC.
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if l.Kind == LitNegAtom && sccOf[r.Head.Pred] == sccOf[l.Atom.Pred] {
+				return nil, fmt.Errorf("datalog: line %d: unstratifiable negation of %q", r.Line, l.Atom.Pred)
+			}
+		}
+	}
+
+	strata := make([]Stratum, len(sccs))
+	for i, comp := range sccs {
+		strata[i].Preds = comp
+	}
+	for ri, r := range prog.Rules {
+		si := sccOf[r.Head.Pred]
+		strata[si].Rules = append(strata[si].Rules, ri)
+		for _, l := range r.Body {
+			if l.Kind == LitAtom && sccOf[l.Atom.Pred] == si {
+				strata[si].Recursive = true
+			}
+		}
+	}
+	return strata, nil
+}

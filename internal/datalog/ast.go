@@ -1,0 +1,180 @@
+// Package datalog implements a Datalog engine in the architectural mould
+// of Soufflé (paper §2): programs are sets of relations and deductive
+// rules, evaluated bottom-up with the parallel semi-naïve strategy whose
+// data-structure requirements motivate the specialised B-tree. The engine
+// is parameterised over the relation representation (package relation), so
+// the paper's §4.3 experiment — swapping the data structure under a fixed
+// workload — is a constructor argument.
+//
+// Supported language: positive Datalog with stratified negation,
+// arithmetic comparison constraints, numeric and interned symbolic
+// constants, `.decl`, `.input`, `.output` directives, inline facts and
+// line comments. No aggregates, no arithmetic functors.
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates rule terms.
+type TermKind int
+
+// Term kinds.
+const (
+	TermVar      TermKind = iota // a variable, e.g. X
+	TermNum                      // a numeric constant, e.g. 42
+	TermSym                      // a symbolic constant, e.g. "main"
+	TermWildcard                 // the anonymous variable _
+)
+
+// Term is a variable, constant or wildcard inside an atom.
+type Term struct {
+	Kind TermKind
+	Name string // variable name (TermVar)
+	Num  uint64 // numeric value (TermNum) or interned symbol id (TermSym)
+	Sym  string // symbol text (TermSym)
+}
+
+func (t Term) String() string {
+	switch t.Kind {
+	case TermVar:
+		return t.Name
+	case TermNum:
+		return fmt.Sprintf("%d", t.Num)
+	case TermSym:
+		return fmt.Sprintf("%q", t.Sym)
+	case TermWildcard:
+		return "_"
+	}
+	return "?"
+}
+
+// Atom is a predicate applied to terms: pred(t1, ..., tn).
+type Atom struct {
+	Pred  string
+	Terms []Term
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CmpOp is a comparison operator in a constraint literal.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[o]
+}
+
+// Eval applies the comparison to two values.
+func (o CmpOp) Eval(a, b uint64) bool {
+	switch o {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return a <= b
+	case CmpGt:
+		return a > b
+	case CmpGe:
+		return a >= b
+	}
+	return false
+}
+
+// LiteralKind discriminates body literals.
+type LiteralKind int
+
+// Literal kinds.
+const (
+	LitAtom    LiteralKind = iota // positive atom
+	LitNegAtom                    // negated atom !p(...)
+	LitCmp                        // comparison constraint
+)
+
+// Literal is one conjunct of a rule body.
+type Literal struct {
+	Kind LiteralKind
+	Atom Atom  // LitAtom / LitNegAtom
+	Op   CmpOp // LitCmp
+	L, R Term  // LitCmp operands
+}
+
+func (l Literal) String() string {
+	switch l.Kind {
+	case LitAtom:
+		return l.Atom.String()
+	case LitNegAtom:
+		return "!" + l.Atom.String()
+	case LitCmp:
+		return fmt.Sprintf("%s %s %s", l.L, l.Op, l.R)
+	}
+	return "?"
+}
+
+// Rule is a deductive rule head :- body. An empty body denotes a fact.
+type Rule struct {
+	Head Atom
+	Body []Literal
+	Line int // source line for diagnostics
+}
+
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Decl declares a relation and its arity.
+type Decl struct {
+	Name  string
+	Arity int
+	Line  int
+}
+
+// Program is a parsed Datalog program.
+type Program struct {
+	Decls   []Decl
+	Rules   []Rule
+	Inputs  []string // relations fed by external facts
+	Outputs []string // relations of interest
+}
+
+// Decl returns the declaration of name, if any.
+func (p *Program) Decl(name string) (Decl, bool) {
+	for _, d := range p.Decls {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Decl{}, false
+}
+
+// NumRelations returns the number of declared relations.
+func (p *Program) NumRelations() int { return len(p.Decls) }
+
+// NumRules returns the number of rules with non-empty bodies plus facts.
+func (p *Program) NumRules() int { return len(p.Rules) }

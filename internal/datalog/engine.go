@@ -1,0 +1,701 @@
+package datalog
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"specbtree/internal/relation"
+	"specbtree/internal/tuple"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Provider selects the relation representation (default "btree").
+	Provider relation.Provider
+	// Workers is the evaluation thread count (default GOMAXPROCS).
+	Workers int
+}
+
+// Stats mirrors the evaluation statistics of the paper's Table 2, plus the
+// hint statistics reported in §4.3.
+type Stats struct {
+	Relations int
+	Rules     int
+
+	Inserts         uint64 // data-structure insert operations (per index)
+	MembershipTests uint64 // contains operations
+	LowerBoundCalls uint64 // one per range scan
+	UpperBoundCalls uint64 // one per range scan
+
+	InputTuples    uint64 // facts loaded before evaluation
+	ProducedTuples uint64 // distinct derived tuples
+	Iterations     uint64 // fixpoint rounds across all strata
+
+	HintHits   uint64
+	HintMisses uint64
+}
+
+// HintRate returns the fraction of hinted operations that hit.
+func (s Stats) HintRate() float64 {
+	total := s.HintHits + s.HintMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.HintHits) / float64(total)
+}
+
+// engRel is the runtime representation of one logical relation: a set of
+// indexes (column permutations), each materialised as full/delta/new
+// versions for semi-naïve evaluation.
+type engRel struct {
+	name    string
+	arity   int
+	indexes []indexDef
+	sig     map[string]int
+	// sigIndex maps each search signature to the index serving it, as
+	// computed by the minimum-chain-cover selection (indexopt.go).
+	sigIndex map[sigSet]int
+
+	full  []relation.Relation
+	delta []relation.Relation
+	nw    []relation.Relation
+}
+
+// ensureIndex registers the permutation if new and returns its id. Only
+// legal before relation instantiation (compile time).
+func (r *engRel) ensureIndex(perm []int) int {
+	d := indexDef{Perm: perm}
+	s := d.signature()
+	if id, ok := r.sig[s]; ok {
+		return id
+	}
+	id := len(r.indexes)
+	r.indexes = append(r.indexes, d)
+	r.sig[s] = id
+	return id
+}
+
+// permute writes t permuted by idx into dst.
+func (r *engRel) permute(idx int, t, dst tuple.Tuple) {
+	for i, c := range r.indexes[idx].Perm {
+		dst[i] = t[c]
+	}
+}
+
+// Engine evaluates a Datalog program bottom-up with parallel semi-naïve
+// iteration (paper §2). The relation data structure is pluggable; worker
+// goroutines hold per-goroutine Ops handles carrying operation hints.
+type Engine struct {
+	prog     *Program
+	provider relation.Provider
+	workers  int
+	syms     *SymbolTable
+	rels     map[string]*engRel
+	strata   []Stratum
+	plans    map[int][]*rulePlan // stratum -> plans (recursive versions included)
+
+	inputTuples uint64
+	stats       Stats
+	ran         bool
+
+	// workerState[i] is owned by worker i during parallel sections.
+	workerState []*workerState
+}
+
+// workerState carries per-worker Ops handles (hint storage) and counters.
+type workerState struct {
+	ops map[relation.Relation]relation.Ops
+
+	inserts, contains, scans, produced uint64
+}
+
+func (w *workerState) opsFor(r relation.Relation) relation.Ops {
+	if o, ok := w.ops[r]; ok {
+		return o
+	}
+	o := r.NewOps()
+	w.ops[r] = o
+	return o
+}
+
+// New compiles prog for evaluation. The program must be safe and
+// stratifiable.
+func New(prog *Program, opts Options) (*Engine, error) {
+	if err := CheckSafety(prog); err != nil {
+		return nil, err
+	}
+	strata, err := Stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	provider := opts.Provider
+	if provider.New == nil {
+		provider = relation.MustLookup("btree")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	e := &Engine{
+		prog:     prog,
+		provider: provider,
+		workers:  workers,
+		syms:     NewSymbolTable(),
+		rels:     map[string]*engRel{},
+		strata:   strata,
+		plans:    map[int][]*rulePlan{},
+	}
+	for _, d := range prog.Decls {
+		if d.Arity > 64 {
+			return nil, fmt.Errorf("datalog: relation %q has arity %d; the index selection supports at most 64 columns", d.Name, d.Arity)
+		}
+		e.rels[d.Name] = &engRel{name: d.Name, arity: d.Arity, sig: map[string]int{}}
+	}
+	// Every relation gets the identity index so facts, negation probes and
+	// duplicate checks always have a home.
+	for _, r := range e.rels {
+		r.ensureIndex(permFor(r.arity, nil))
+	}
+
+	// Enumerate the semi-naïve rule versions per stratum.
+	inStratum := make(map[string]int, len(prog.Decls))
+	for si, st := range strata {
+		for _, p := range st.Preds {
+			inStratum[p] = si
+		}
+	}
+	type version struct{ si, ri, deltaPos int }
+	var versions []version
+	for si, st := range strata {
+		for _, ri := range st.Rules {
+			r := prog.Rules[ri]
+			if len(r.Body) == 0 {
+				continue // facts are loaded, not planned
+			}
+			recursive := false
+			for _, l := range r.Body {
+				if l.Kind == LitAtom && inStratum[l.Atom.Pred] == si {
+					recursive = true
+				}
+			}
+			if !recursive {
+				versions = append(versions, version{si, ri, -1})
+				continue
+			}
+			for li, l := range r.Body {
+				if l.Kind == LitAtom && inStratum[l.Atom.Pred] == si {
+					versions = append(versions, version{si, ri, li})
+				}
+			}
+		}
+	}
+
+	// Pass 1: collect the search signatures of every version and run the
+	// minimum-chain-cover index selection per relation ([29]).
+	sigsByRel := map[*engRel][]sigSet{}
+	for _, v := range versions {
+		e.collectSignatures(v.ri, v.deltaPos, func(r *engRel, s sigSet) {
+			sigsByRel[r] = append(sigsByRel[r], s)
+		})
+	}
+	for _, r := range e.rels {
+		r.finalizeIndexes(sigsByRel[r])
+	}
+
+	// Pass 2: compile the versions against the final index assignment.
+	for _, v := range versions {
+		plan, err := e.compileRule(v.ri, v.deltaPos)
+		if err != nil {
+			return nil, err
+		}
+		e.plans[v.si] = append(e.plans[v.si], plan)
+	}
+
+	// Instantiate the relation sets now that the index set is final.
+	for _, r := range e.rels {
+		r.full = make([]relation.Relation, len(r.indexes))
+		r.delta = make([]relation.Relation, len(r.indexes))
+		r.nw = make([]relation.Relation, len(r.indexes))
+		for i := range r.indexes {
+			r.full[i] = provider.New(r.arity)
+		}
+	}
+
+	e.workerState = make([]*workerState, workers)
+	for i := range e.workerState {
+		e.workerState[i] = &workerState{ops: map[relation.Relation]relation.Ops{}}
+	}
+
+	// Load inline facts.
+	buf := make(tuple.Tuple, 8)
+	for _, r := range prog.Rules {
+		if len(r.Body) != 0 {
+			continue
+		}
+		rel := e.rels[r.Head.Pred]
+		t := buf[:0]
+		for _, term := range r.Head.Terms {
+			switch term.Kind {
+			case TermNum:
+				t = append(t, term.Num)
+			case TermSym:
+				t = append(t, e.syms.Intern(term.Sym))
+			default:
+				return nil, fmt.Errorf("datalog: line %d: non-ground fact %s", r.Line, r.Head)
+			}
+		}
+		e.insertFact(rel, t)
+	}
+	return e, nil
+}
+
+// Symbols exposes the engine's symbol table for interning fact constants.
+func (e *Engine) Symbols() *SymbolTable { return e.syms }
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// insertFact inserts t into all full indexes of rel.
+func (e *Engine) insertFact(rel *engRel, t tuple.Tuple) bool {
+	w := e.workerState[0]
+	perm := make(tuple.Tuple, rel.arity)
+	rel.permute(0, t, perm)
+	w.inserts++
+	fresh := w.opsFor(rel.full[0]).Insert(perm)
+	if !fresh {
+		return false
+	}
+	for i := 1; i < len(rel.indexes); i++ {
+		rel.permute(i, t, perm)
+		w.inserts++
+		w.opsFor(rel.full[i]).Insert(perm)
+	}
+	return true
+}
+
+// AddFact loads one input fact before Run. The tuple is in declaration
+// column order; symbolic columns must be pre-interned via Symbols.
+func (e *Engine) AddFact(name string, t tuple.Tuple) error {
+	rel, ok := e.rels[name]
+	if !ok {
+		return fmt.Errorf("datalog: unknown relation %q", name)
+	}
+	if len(t) != rel.arity {
+		return fmt.Errorf("datalog: relation %q has arity %d, fact has %d", name, rel.arity, len(t))
+	}
+	if e.ran {
+		return fmt.Errorf("datalog: AddFact after Run")
+	}
+	if e.insertFact(rel, t) {
+		e.inputTuples++
+	}
+	return nil
+}
+
+// AddFacts loads a batch of input facts.
+func (e *Engine) AddFacts(name string, ts []tuple.Tuple) error {
+	for _, t := range ts {
+		if err := e.AddFact(name, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of tuples of a relation (after Run).
+func (e *Engine) Count(name string) int {
+	rel, ok := e.rels[name]
+	if !ok {
+		return 0
+	}
+	return rel.full[0].Len()
+}
+
+// Scan iterates over the tuples of a relation in lexicographic order (for
+// ordered providers), in declaration column order.
+func (e *Engine) Scan(name string, yield func(tuple.Tuple) bool) error {
+	rel, ok := e.rels[name]
+	if !ok {
+		return fmt.Errorf("datalog: unknown relation %q", name)
+	}
+	rel.full[0].Scan(yield)
+	return nil
+}
+
+// Run evaluates the program to its least fixpoint. It may be called once.
+func (e *Engine) Run() error {
+	if e.ran {
+		return fmt.Errorf("datalog: Run called twice")
+	}
+	e.ran = true
+	for si := range e.strata {
+		e.runStratum(si)
+	}
+	e.collectStats()
+	return nil
+}
+
+// runStratum evaluates one SCC: non-recursive rules once, then semi-naïve
+// fixpoint iteration for the recursive rule versions.
+func (e *Engine) runStratum(si int) {
+	st := &e.strata[si]
+	var nonRec, rec []*rulePlan
+	for _, p := range e.plans[si] {
+		if p.recursiveVersion {
+			rec = append(rec, p)
+		} else {
+			nonRec = append(nonRec, p)
+		}
+	}
+
+	// Non-recursive rules: insert straight into the full indexes.
+	for _, p := range nonRec {
+		start := time.Now()
+		e.evalPlan(p, intoFull)
+		p.evalTime += time.Since(start)
+		p.evalCount++
+	}
+	if len(rec) == 0 {
+		return
+	}
+
+	// Initialise deltas with a snapshot of everything known so far for the
+	// stratum's predicates, and fresh "new" versions.
+	for _, pred := range st.Preds {
+		r := e.rels[pred]
+		for i := range r.indexes {
+			r.delta[i] = e.provider.New(r.arity)
+			r.delta[i].MergeFrom(r.full[i])
+			r.nw[i] = e.provider.New(r.arity)
+		}
+	}
+
+	// Fixpoint loop (Figure 1's while-loop).
+	for {
+		e.stats.Iterations++
+		for _, p := range rec {
+			start := time.Now()
+			e.evalPlan(p, intoNew)
+			p.evalTime += time.Since(start)
+			p.evalCount++
+		}
+
+		// Merge new tuples into full, promote them to delta, and check
+		// for the fixpoint (the sequential step between parallel phases).
+		progress := false
+		for _, pred := range st.Preds {
+			r := e.rels[pred]
+			if !r.nw[0].Empty() {
+				progress = true
+			}
+			for i := range r.indexes {
+				r.full[i].MergeFrom(r.nw[i])
+				r.delta[i] = r.nw[i]
+				r.nw[i] = e.provider.New(r.arity)
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Release the per-iteration versions.
+	for _, pred := range st.Preds {
+		r := e.rels[pred]
+		for i := range r.indexes {
+			r.delta[i], r.nw[i] = nil, nil
+		}
+	}
+}
+
+// insertTarget selects where derived head tuples go.
+type insertTarget int
+
+const (
+	intoFull insertTarget = iota
+	intoNew
+)
+
+// evalPlan evaluates one rule version, partitioning the outermost scan
+// across the worker pool (the paper's parallelisation of the outermost
+// for-loop of Figure 1). Three strategies, in order of preference:
+//
+//  1. single worker: evaluate inline during the scan;
+//  2. splittable backend (the B-trees): partition the scanned key range
+//     Soufflé-style and hand each worker subranges — no materialisation;
+//  3. otherwise: materialise the outer scan and chunk it.
+func (e *Engine) evalPlan(p *rulePlan, target insertTarget) {
+	if len(p.body) == 0 || p.body[0].kind != LitAtom {
+		// Degenerate: no positive outer atom; evaluate inline.
+		env := make([]uint64, p.numVars)
+		e.evalFrom(e.workerState[0], p, 0, env, target)
+		return
+	}
+
+	outer := &p.body[0]
+	rel := outer.rel
+	arity := rel.arity
+	src := rel.full[outer.index]
+	if outer.useDelta {
+		src = rel.delta[outer.index]
+	}
+	prefix := make(tuple.Tuple, len(outer.prefix))
+	for i, s := range outer.prefix {
+		if !s.isConst {
+			panic("datalog: unbound variable in outermost prefix")
+		}
+		prefix[i] = s.c
+	}
+
+	if e.workers <= 1 {
+		ws := e.workerState[0]
+		env := make([]uint64, p.numVars)
+		nPrefix := len(prefix)
+		ws.scans++
+		ws.opsFor(src).PrefixScan(prefix, func(t tuple.Tuple) bool {
+			if applyActions(outer.rest, t[nPrefix:], env) {
+				e.evalFrom(ws, p, 1, env, target)
+			}
+			return true
+		})
+		return
+	}
+
+	if sp, ok := src.(relation.Splitter); ok {
+		lo := tuple.PrefixLowerBound(prefix, arity)
+		hi := tuple.PrefixUpperBound(prefix, arity)
+		bounds := sp.SplitRange(lo, hi, e.workers*4)
+		starts := make([]tuple.Tuple, 0, len(bounds)+1)
+		ends := make([]tuple.Tuple, 0, len(bounds)+1)
+		starts = append(starts, lo)
+		for _, b := range bounds {
+			ends = append(ends, b)
+			starts = append(starts, b)
+		}
+		ends = append(ends, hi)
+
+		var wg sync.WaitGroup
+		workers := e.workers
+		if workers > len(starts) {
+			workers = len(starts)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int, ws *workerState) {
+				defer wg.Done()
+				env := make([]uint64, p.numVars)
+				nPrefix := len(prefix)
+				scanner := ws.opsFor(src).(relation.RangeScanner)
+				for ri := w; ri < len(starts); ri += workers {
+					ws.scans++
+					scanner.RangeScan(starts[ri], ends[ri], func(t tuple.Tuple) bool {
+						if applyActions(outer.rest, t[nPrefix:], env) {
+							e.evalFrom(ws, p, 1, env, target)
+						}
+						return true
+					})
+				}
+			}(w, e.workerState[w])
+		}
+		wg.Wait()
+		return
+	}
+
+	// Materialise the outer scan and chunk it across the workers.
+	w0 := e.workerState[0]
+	var flat []uint64
+	w0.scans++
+	w0.opsFor(src).PrefixScan(prefix, func(t tuple.Tuple) bool {
+		flat = append(flat, t...)
+		return true
+	})
+	n := len(flat) / arity
+	if n == 0 {
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(ws *workerState, part []uint64) {
+			defer wg.Done()
+			e.runOuterChunk(ws, p, part, target)
+		}(e.workerState[w], flat[lo*arity:hi*arity])
+	}
+	wg.Wait()
+}
+
+// runOuterChunk processes a slice of outer-scan tuples on one worker.
+func (e *Engine) runOuterChunk(ws *workerState, p *rulePlan, flat []uint64, target insertTarget) {
+	outer := &p.body[0]
+	arity := outer.rel.arity
+	env := make([]uint64, p.numVars)
+	nPrefix := len(outer.prefix)
+	for off := 0; off < len(flat); off += arity {
+		t := flat[off : off+arity]
+		if !applyActions(outer.rest, t[nPrefix:], env) {
+			continue
+		}
+		e.evalFrom(ws, p, 1, env, target)
+	}
+}
+
+// applyActions binds/checks the suffix columns of a scanned tuple.
+func applyActions(actions []colAction, suffix []uint64, env []uint64) bool {
+	for i, a := range actions {
+		switch a.kind {
+		case actBind:
+			env[a.v] = suffix[i]
+		case actCheck:
+			if env[a.v] != suffix[i] {
+				return false
+			}
+		case actSkip:
+		}
+	}
+	return true
+}
+
+func (s valSrc) value(env []uint64) uint64 {
+	if s.isConst {
+		return s.c
+	}
+	return env[s.v]
+}
+
+// evalFrom evaluates body literals i.. with the current bindings,
+// projecting the head at the end (the inner loops of Figure 1).
+func (e *Engine) evalFrom(ws *workerState, p *rulePlan, i int, env []uint64, target insertTarget) {
+	if i == len(p.body) {
+		e.emit(ws, p, env, target)
+		return
+	}
+	l := &p.body[i]
+	switch l.kind {
+	case LitCmp:
+		if l.op.Eval(l.l.value(env), l.r.value(env)) {
+			e.evalFrom(ws, p, i+1, env, target)
+		}
+	case LitNegAtom:
+		probe := make(tuple.Tuple, len(l.ground))
+		for c, s := range l.ground {
+			probe[c] = s.value(env)
+		}
+		ws.contains++
+		if !ws.opsFor(l.rel.full[l.index]).Contains(probe) {
+			e.evalFrom(ws, p, i+1, env, target)
+		}
+	case LitAtom:
+		src := l.rel.full[l.index]
+		if l.useDelta {
+			src = l.rel.delta[l.index]
+		}
+		prefix := make(tuple.Tuple, len(l.prefix))
+		for c, s := range l.prefix {
+			prefix[c] = s.value(env)
+		}
+		nPrefix := len(prefix)
+		ws.scans++
+		ws.opsFor(src).PrefixScan(prefix, func(t tuple.Tuple) bool {
+			if applyActions(l.rest, t[nPrefix:], env) {
+				e.evalFrom(ws, p, i+1, env, target)
+			}
+			return true
+		})
+	}
+}
+
+// emit projects and inserts the head tuple: duplicate check against the
+// full version, insertion into the target version of every index (the
+// `if (path.find(t3) == end) newPath.insert(t)` of Figure 1).
+func (e *Engine) emit(ws *workerState, p *rulePlan, env []uint64, target insertTarget) {
+	rel := p.head
+	t := make(tuple.Tuple, rel.arity)
+	for c, s := range p.headVals {
+		t[c] = s.value(env)
+	}
+
+	dst := rel.full
+	if target == intoNew {
+		// Skip tuples already in the relation.
+		ws.contains++
+		if ws.opsFor(rel.full[0]).Contains(t) {
+			return
+		}
+		dst = rel.nw
+	}
+
+	perm := make(tuple.Tuple, rel.arity)
+	rel.permute(0, t, perm)
+	ws.inserts++
+	if !ws.opsFor(dst[0]).Insert(perm) {
+		return // another worker (or iteration) produced it first
+	}
+	ws.produced++
+	for i := 1; i < len(rel.indexes); i++ {
+		rel.permute(i, t, perm)
+		ws.inserts++
+		ws.opsFor(dst[i]).Insert(perm)
+	}
+}
+
+// collectStats aggregates worker counters and hint statistics.
+func (e *Engine) collectStats() {
+	s := &e.stats
+	s.Relations = len(e.prog.Decls)
+	s.Rules = len(e.prog.Rules)
+	s.InputTuples = e.inputTuples
+	for _, ws := range e.workerState {
+		s.Inserts += ws.inserts
+		s.MembershipTests += ws.contains
+		s.LowerBoundCalls += ws.scans
+		s.UpperBoundCalls += ws.scans
+		s.ProducedTuples += ws.produced
+		for _, ops := range ws.ops {
+			if rep, ok := ops.(relation.HintReporter); ok {
+				h, m := rep.HintStats()
+				s.HintHits += h
+				s.HintMisses += m
+			}
+		}
+	}
+}
+
+// Stats returns the evaluation statistics (valid after Run).
+func (e *Engine) Stats() Stats { return e.stats }
+
+// RuleTiming is the accumulated evaluation time of one semi-naïve rule
+// version, for Soufflé-style profiling.
+type RuleTiming struct {
+	Rule        string
+	Evaluations uint64
+	Total       time.Duration
+}
+
+// Profile returns per-rule-version evaluation timings, most expensive
+// first (valid after Run).
+func (e *Engine) Profile() []RuleTiming {
+	var out []RuleTiming
+	for _, plans := range e.plans {
+		for _, p := range plans {
+			out = append(out, RuleTiming{Rule: p.label, Evaluations: p.evalCount, Total: p.evalTime})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}

@@ -1,0 +1,304 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+
+	"specbtree/internal/relation"
+	"specbtree/internal/tuple"
+)
+
+// TestDeepRecursionLongChain stresses many fixpoint iterations: a chain of
+// n edges needs n iterations of the linear rule.
+func TestDeepRecursionLongChain(t *testing.T) {
+	n := 600
+	if testing.Short() {
+		n = 100
+	}
+	var edges [][2]uint64
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]uint64{uint64(i), uint64(i + 1)})
+	}
+	e := runTC(t, edges, Options{Workers: 2})
+	if got := e.Count("path"); got != n*(n+1)/2 {
+		t.Fatalf("path = %d, want %d", got, n*(n+1)/2)
+	}
+	if e.Stats().Iterations < uint64(n) {
+		t.Errorf("only %d iterations for a %d-chain", e.Stats().Iterations, n)
+	}
+}
+
+// TestMultiStratumPipeline chains four strata with negation between them.
+func TestMultiStratumPipeline(t *testing.T) {
+	prog := MustParse(`
+.decl raw(x: number, y: number)
+.decl link(x: number, y: number)
+.decl reach(x: number, y: number)
+.decl node(x: number)
+.decl isolated(x: number)
+.decl hub(x: number)
+.output isolated
+.output hub
+
+link(X, Y) :- raw(X, Y), X != Y.      // stratum: filter self-loops
+reach(X, Y) :- link(X, Y).             // stratum: recursion
+reach(X, Z) :- reach(X, Y), link(Y, Z).
+isolated(X) :- node(X), !reach(X, X).  // stratum: negation over reach
+hub(X) :- node(X), !isolated(X).       // stratum: negation over isolated
+`)
+	e, err := New(prog, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		e.AddFact("node", tuple.Tuple{i})
+	}
+	// Cycle over 0..4; self-loop at 5 (filtered); chain 6->7->8.
+	facts := [][2]uint64{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {5, 5}, {6, 7}, {7, 8}}
+	for _, f := range facts {
+		e.AddFact("raw", tuple.Tuple{f[0], f[1]})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// On a cycle every member reaches itself -> hub; everyone else is
+	// isolated (self-loop removed, chains are acyclic).
+	if got := e.Count("hub"); got != 5 {
+		t.Fatalf("hub = %d, want 5", got)
+	}
+	if got := e.Count("isolated"); got != 5 {
+		t.Fatalf("isolated = %d, want 5", got)
+	}
+	e.Scan("hub", func(tp tuple.Tuple) bool {
+		if tp[0] > 4 {
+			t.Errorf("non-cycle node %d is a hub", tp[0])
+		}
+		return true
+	})
+}
+
+// TestTernaryJoins exercises arity-3 relations with varied signatures,
+// which drives the index selection beyond the identity order.
+func TestTernaryJoins(t *testing.T) {
+	prog := MustParse(`
+.decl t(a: number, b: number, c: number)
+.decl byLast(c: number, n: number)
+.decl byMid(b: number)
+.decl probe(a: number)
+.output byLast
+.output byMid
+
+probe(1). probe(2).
+byLast(C, A) :- probe(C), t(A, _, C).
+byMid(B) :- probe(B), t(_, B, _).
+`)
+	e, err := New(prog, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][3]uint64{{10, 1, 1}, {11, 2, 1}, {12, 1, 2}, {13, 3, 3}}
+	for _, r := range rows {
+		e.AddFact("t", tuple.Tuple{r[0], r[1], r[2]})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// byLast: c=1 -> a in {10,11}; c=2 -> a=12.
+	if got := e.Count("byLast"); got != 3 {
+		t.Fatalf("byLast = %d, want 3", got)
+	}
+	// byMid: b values present among probes: 1, 2.
+	if got := e.Count("byMid"); got != 2 {
+		t.Fatalf("byMid = %d, want 2", got)
+	}
+	// The t relation needed permuted indexes for signatures {2} and {1}.
+	if len(e.rels["t"].indexes) < 3 {
+		t.Errorf("t has %d indexes; expected identity plus two permuted", len(e.rels["t"].indexes))
+	}
+}
+
+// TestEngineAllProvidersSecurity checks fixpoint equality across providers
+// on the stratified-negation workload shape.
+func TestEngineAllProvidersSecurity(t *testing.T) {
+	prog := MustParse(`
+.decl n(x: number)
+.decl e(x: number, y: number)
+.decl r(x: number, y: number)
+.decl un(x: number, y: number)
+.output un
+r(X, Y) :- e(X, Y).
+r(X, Z) :- r(X, Y), e(Y, Z).
+un(X, Y) :- n(X), n(Y), !r(X, Y), X < Y.
+`)
+	counts := map[string]int{}
+	for _, name := range relation.Names() {
+		e, err := New(prog, Options{Provider: relation.MustLookup(name), Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 30; i++ {
+			e.AddFact("n", tuple.Tuple{i})
+			if i%3 != 0 {
+				e.AddFact("e", tuple.Tuple{i, (i + 1) % 30})
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		counts[name] = e.Count("un")
+	}
+	want := counts["btree"]
+	if want == 0 {
+		t.Fatal("degenerate program")
+	}
+	for name, got := range counts {
+		if got != want {
+			t.Errorf("%s: un = %d, btree = %d", name, got, want)
+		}
+	}
+}
+
+// TestWorkerSweepFixpointStability: the fixpoint must be identical for
+// every worker count (determinism of the parallel evaluation).
+func TestWorkerSweepFixpointStability(t *testing.T) {
+	prog := MustParse(`
+.decl e(x: number, y: number)
+.decl p(x: number, y: number)
+.output p
+p(X, Y) :- e(X, Y).
+p(X, Z) :- p(X, Y), e(Y, Z).
+`)
+	var ref int
+	for _, workers := range []int{1, 2, 3, 5, 8, 13} {
+		e, err := New(prog, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			e.AddFact("e", tuple.Tuple{uint64(i % 37), uint64((i*7 + 3) % 37)})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := e.Count("p")
+		if workers == 1 {
+			ref = got
+		} else if got != ref {
+			t.Fatalf("workers=%d: p = %d, want %d", workers, got, ref)
+		}
+	}
+}
+
+// TestSelfJoinWithConstants probes a relation with a constant in a
+// non-first column.
+func TestSelfJoinWithConstants(t *testing.T) {
+	prog := MustParse(`
+.decl e(x: number, y: number)
+.decl toFive(x: number)
+.decl twoHop(x: number, z: number)
+.output toFive
+.output twoHop
+toFive(X) :- e(X, 5).
+twoHop(X, Z) :- e(X, 5), e(5, Z), X != Z.
+`)
+	e, err := New(prog, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range [][2]uint64{{1, 5}, {2, 5}, {5, 9}, {5, 1}, {3, 4}} {
+		e.AddFact("e", tuple.Tuple{f[0], f[1]})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Count("toFive"); got != 2 {
+		t.Fatalf("toFive = %d, want 2", got)
+	}
+	// twoHop: x in {1,2} × z in {9,1} minus x==z -> (1,9),(2,9),(2,1).
+	if got := e.Count("twoHop"); got != 3 {
+		t.Fatalf("twoHop = %d, want 3", got)
+	}
+}
+
+// TestFactOnlyProgram has no rules at all.
+func TestFactOnlyProgram(t *testing.T) {
+	prog := MustParse(`
+.decl p(x: number, y: number)
+.output p
+p(1, 2). p(3, 4). p(1, 2).
+`)
+	e, err := New(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count("p") != 2 {
+		t.Fatalf("p = %d, want 2 (duplicate fact)", e.Count("p"))
+	}
+}
+
+// TestLargeFanoutParallelOuter ensures the splitter-partitioned outer scan
+// (workers > 1, btree provider) agrees with the single-worker result on a
+// rule whose outer scan is wide.
+func TestLargeFanoutParallelOuter(t *testing.T) {
+	prog := MustParse(`
+.decl e(x: number, y: number)
+.decl sym(x: number, y: number)
+.output sym
+sym(Y, X) :- e(X, Y).
+`)
+	build := func(workers int) *Engine {
+		e, err := New(prog, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			e.AddFact("e", tuple.Tuple{uint64(i), uint64(i * 13 % 997)})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := build(1), build(8)
+	if a.Count("sym") != b.Count("sym") {
+		t.Fatalf("worker sweep diverged: %d vs %d", a.Count("sym"), b.Count("sym"))
+	}
+	var at, bt []tuple.Tuple
+	a.Scan("sym", func(tp tuple.Tuple) bool { at = append(at, tp.Clone()); return true })
+	b.Scan("sym", func(tp tuple.Tuple) bool { bt = append(bt, tp.Clone()); return true })
+	for i := range at {
+		if !tuple.Equal(at[i], bt[i]) {
+			t.Fatalf("tuple %d: %v vs %v", i, at[i], bt[i])
+		}
+	}
+}
+
+// TestArityLimit rejects relations beyond the 64-column signature space.
+func TestArityLimit(t *testing.T) {
+	cols := make([]string, 65)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d: number", i)
+	}
+	src := ".decl wide(" + joinComma(cols) + ")\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(prog, Options{}); err == nil {
+		t.Error("arity-65 relation accepted")
+	}
+}
+
+func joinComma(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}

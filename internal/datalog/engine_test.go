@@ -1,0 +1,482 @@
+package datalog
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"specbtree/internal/relation"
+	"specbtree/internal/tuple"
+)
+
+const tcProgram = `
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.input edge
+.output path
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`
+
+// refClosure computes the transitive closure with a plain BFS model.
+func refClosure(edges [][2]uint64) map[[2]uint64]bool {
+	adj := map[uint64][]uint64{}
+	nodes := map[uint64]bool{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		nodes[e[0]] = true
+		nodes[e[1]] = true
+	}
+	out := map[[2]uint64]bool{}
+	for n := range nodes {
+		seen := map[uint64]bool{}
+		stack := append([]uint64(nil), adj[n]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			out[[2]uint64{n, v}] = true
+			stack = append(stack, adj[v]...)
+		}
+	}
+	return out
+}
+
+func runTC(t *testing.T, edges [][2]uint64, opts Options) *Engine {
+	t.Helper()
+	e, err := New(MustParse(tcProgram), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ed := range edges {
+		if err := e.AddFact("edge", tuple.Tuple{ed[0], ed[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func checkClosure(t *testing.T, e *Engine, edges [][2]uint64, label string) {
+	t.Helper()
+	want := refClosure(edges)
+	if got := e.Count("path"); got != len(want) {
+		t.Fatalf("%s: path has %d tuples, want %d", label, got, len(want))
+	}
+	e.Scan("path", func(tp tuple.Tuple) bool {
+		if !want[[2]uint64{tp[0], tp[1]}] {
+			t.Errorf("%s: spurious path %v", label, tp)
+			return false
+		}
+		return true
+	})
+}
+
+func TestTransitiveClosureChain(t *testing.T) {
+	var edges [][2]uint64
+	for i := uint64(0); i < 50; i++ {
+		edges = append(edges, [2]uint64{i, i + 1})
+	}
+	e := runTC(t, edges, Options{Workers: 1})
+	// Chain of 51 nodes: n*(n+1)/2 paths for n=50 edges.
+	if got := e.Count("path"); got != 50*51/2 {
+		t.Fatalf("path count = %d, want %d", got, 50*51/2)
+	}
+	checkClosure(t, e, edges, "chain")
+}
+
+func TestTransitiveClosureCycle(t *testing.T) {
+	// A cycle: every node reaches every node (including itself).
+	const n = 20
+	var edges [][2]uint64
+	for i := uint64(0); i < n; i++ {
+		edges = append(edges, [2]uint64{i, (i + 1) % n})
+	}
+	e := runTC(t, edges, Options{Workers: 2})
+	if got := e.Count("path"); got != n*n {
+		t.Fatalf("cycle closure = %d, want %d", got, n*n)
+	}
+}
+
+func TestTransitiveClosureRandomMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var edges [][2]uint64
+	seen := map[[2]uint64]bool{}
+	for len(edges) < 300 {
+		e := [2]uint64{uint64(rng.Intn(60)), uint64(rng.Intn(60))}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	e := runTC(t, edges, Options{Workers: 4})
+	checkClosure(t, e, edges, "random")
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var edges [][2]uint64
+	for i := 0; i < 400; i++ {
+		edges = append(edges, [2]uint64{uint64(rng.Intn(80)), uint64(rng.Intn(80))})
+	}
+	seq := runTC(t, edges, Options{Workers: 1})
+	par := runTC(t, edges, Options{Workers: 8})
+	if seq.Count("path") != par.Count("path") {
+		t.Fatalf("sequential %d vs parallel %d tuples", seq.Count("path"), par.Count("path"))
+	}
+	var a, b []tuple.Tuple
+	seq.Scan("path", func(tp tuple.Tuple) bool { a = append(a, tp.Clone()); return true })
+	par.Scan("path", func(tp tuple.Tuple) bool { b = append(b, tp.Clone()); return true })
+	for i := range a {
+		if !tuple.Equal(a[i], b[i]) {
+			t.Fatalf("tuple %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAllProvidersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var edges [][2]uint64
+	for i := 0; i < 200; i++ {
+		edges = append(edges, [2]uint64{uint64(rng.Intn(40)), uint64(rng.Intn(40))})
+	}
+	want := refClosure(edges)
+	for _, name := range relation.Names() {
+		e := runTC(t, edges, Options{Provider: relation.MustLookup(name), Workers: 2})
+		if got := e.Count("path"); got != len(want) {
+			t.Fatalf("%s: %d paths, want %d", name, got, len(want))
+		}
+	}
+}
+
+func TestSameGeneration(t *testing.T) {
+	// A classic mutually joined program on a balanced binary tree.
+	prog := MustParse(`
+.decl parent(x: number, y: number)
+.decl sg(x: number, y: number)
+.output sg
+sg(X, Y) :- parent(P, X), parent(P, Y).
+sg(X, Y) :- parent(PX, X), sg(PX, PY), parent(PY, Y).
+`)
+	e, err := New(prog, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete binary tree with 4 levels: node i has children 2i+1, 2i+2.
+	depth := map[uint64]int{0: 0}
+	for i := uint64(0); i < 15; i++ {
+		for _, c := range []uint64{2*i + 1, 2*i + 2} {
+			if c < 31 {
+				e.AddFact("parent", tuple.Tuple{i, c})
+				depth[c] = depth[i] + 1
+			}
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Model: sg(x,y) iff same depth >= 1... specifically both reachable
+	// from a common ancestor at equal distance; in a complete tree this is
+	// exactly equal depth (excluding the root, which has no parent).
+	want := 0
+	for x, dx := range depth {
+		for y, dy := range depth {
+			if x != 0 && y != 0 && dx == dy {
+				want++
+			}
+		}
+	}
+	if got := e.Count("sg"); got != want {
+		t.Fatalf("sg = %d tuples, want %d", got, want)
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	prog := MustParse(`
+.decl node(x: number)
+.decl edge(x: number, y: number)
+.decl reach(x: number, y: number)
+.decl unreach(x: number, y: number)
+.output unreach
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+unreach(X, Y) :- node(X), node(Y), !reach(X, Y).
+`)
+	e, err := New(prog, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disconnected chains: 0->1->2 and 3->4.
+	for i := uint64(0); i < 5; i++ {
+		e.AddFact("node", tuple.Tuple{i})
+	}
+	for _, ed := range [][2]uint64{{0, 1}, {1, 2}, {3, 4}} {
+		e.AddFact("edge", tuple.Tuple{ed[0], ed[1]})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reach := map[[2]uint64]bool{{0, 1}: true, {0, 2}: true, {1, 2}: true, {3, 4}: true}
+	want := 25 - len(reach)
+	if got := e.Count("unreach"); got != want {
+		t.Fatalf("unreach = %d, want %d", got, want)
+	}
+	e.Scan("unreach", func(tp tuple.Tuple) bool {
+		if reach[[2]uint64{tp[0], tp[1]}] {
+			t.Errorf("unreach contains reachable pair %v", tp)
+		}
+		return true
+	})
+}
+
+func TestComparisonsAndConstants(t *testing.T) {
+	prog := MustParse(`
+.decl e(x: number, y: number)
+.decl up(x: number, y: number)
+.decl fromTwo(y: number, z: number)
+.output up
+.output fromTwo
+up(X, Y) :- e(X, Y), X < Y.
+fromTwo(Y, 7) :- e(2, Y).
+`)
+	e, err := New(prog, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ed := range [][2]uint64{{1, 5}, {5, 1}, {2, 2}, {2, 9}, {3, 4}} {
+		e.AddFact("e", tuple.Tuple{ed[0], ed[1]})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Count("up"); got != 3 { // (1,5) (2,9) (3,4)
+		t.Fatalf("up = %d, want 3", got)
+	}
+	var got []tuple.Tuple
+	e.Scan("fromTwo", func(tp tuple.Tuple) bool { got = append(got, tp.Clone()); return true })
+	want := []tuple.Tuple{{2, 7}, {9, 7}}
+	if len(got) != len(want) {
+		t.Fatalf("fromTwo = %v", got)
+	}
+	for i := range got {
+		if !tuple.Equal(got[i], want[i]) {
+			t.Fatalf("fromTwo[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSymbolsAndInlineFacts(t *testing.T) {
+	prog := MustParse(`
+.decl call(f: symbol, g: symbol)
+.decl reach(f: symbol, g: symbol)
+.output reach
+call("main", "a").
+call("a", "b").
+call("b", "c").
+reach(F, G) :- call(F, G).
+reach(F, H) :- reach(F, G), call(G, H).
+`)
+	e, err := New(prog, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Count("reach"); got != 6 {
+		t.Fatalf("reach = %d, want 6", got)
+	}
+	main := e.Symbols().Intern("main")
+	c := e.Symbols().Intern("c")
+	found := false
+	e.Scan("reach", func(tp tuple.Tuple) bool {
+		if tp[0] == main && tp[1] == c {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("reach(main, c) missing")
+	}
+}
+
+func TestWildcardProjection(t *testing.T) {
+	prog := MustParse(`
+.decl e(x: number, y: number)
+.decl src(x: number)
+.output src
+src(X) :- e(X, _).
+`)
+	e, err := New(prog, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ed := range [][2]uint64{{1, 2}, {1, 3}, {4, 5}} {
+		e.AddFact("e", tuple.Tuple{ed[0], ed[1]})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Count("src"); got != 2 {
+		t.Fatalf("src = %d, want 2", got)
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	prog := MustParse(`
+.decl e(x: number, y: number)
+.decl loop(x: number)
+.output loop
+loop(X) :- e(X, X).
+`)
+	e, err := New(prog, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ed := range [][2]uint64{{1, 1}, {1, 2}, {3, 3}} {
+		e.AddFact("e", tuple.Tuple{ed[0], ed[1]})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Count("loop"); got != 2 {
+		t.Fatalf("loop = %d, want 2", got)
+	}
+}
+
+func TestMutualRecursionEvenOdd(t *testing.T) {
+	prog := MustParse(`
+.decl next(x: number, y: number)
+.decl even(x: number)
+.decl odd(x: number)
+.output even
+.output odd
+even(0).
+odd(Y) :- even(X), next(X, Y).
+even(Y) :- odd(X), next(X, Y).
+`)
+	e, err := New(prog, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		e.AddFact("next", tuple.Tuple{i, i + 1})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Count("even"); got != 11 { // 0,2,...,20
+		t.Fatalf("even = %d, want 11", got)
+	}
+	if got := e.Count("odd"); got != 10 {
+		t.Fatalf("odd = %d, want 10", got)
+	}
+	e.Scan("even", func(tp tuple.Tuple) bool {
+		if tp[0]%2 != 0 {
+			t.Errorf("even contains %d", tp[0])
+		}
+		return true
+	})
+}
+
+func TestStatsCollected(t *testing.T) {
+	var edges [][2]uint64
+	for i := uint64(0); i < 30; i++ {
+		edges = append(edges, [2]uint64{i, i + 1})
+	}
+	e := runTC(t, edges, Options{Workers: 2})
+	s := e.Stats()
+	if s.Relations != 2 || s.Rules != 2 {
+		t.Errorf("relations/rules = %d/%d", s.Relations, s.Rules)
+	}
+	if s.InputTuples != 30 {
+		t.Errorf("input tuples = %d", s.InputTuples)
+	}
+	if s.ProducedTuples != uint64(30*31/2) {
+		t.Errorf("produced = %d, want %d", s.ProducedTuples, 30*31/2)
+	}
+	if s.Inserts == 0 || s.MembershipTests == 0 || s.LowerBoundCalls == 0 {
+		t.Errorf("operation counters empty: %+v", s)
+	}
+	if s.LowerBoundCalls != s.UpperBoundCalls {
+		t.Errorf("bound call counts differ: %d vs %d", s.LowerBoundCalls, s.UpperBoundCalls)
+	}
+	if s.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+	if s.HintHits == 0 {
+		t.Error("btree provider recorded no hint hits")
+	}
+	if rate := s.HintRate(); rate <= 0 || rate > 1 {
+		t.Errorf("hint rate %f out of range", rate)
+	}
+}
+
+func TestRunTwiceErrors(t *testing.T) {
+	e, err := New(MustParse(tcProgram), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err == nil {
+		t.Error("second Run did not error")
+	}
+	if err := e.AddFact("edge", tuple.Tuple{1, 2}); err == nil {
+		t.Error("AddFact after Run did not error")
+	}
+}
+
+func TestAddFactErrors(t *testing.T) {
+	e, err := New(MustParse(tcProgram), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("nonesuch", tuple.Tuple{1}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := e.AddFact("edge", tuple.Tuple{1}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := e.AddFacts("edge", []tuple.Tuple{{1, 2}, {3, 4}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanOrderedOutput(t *testing.T) {
+	e := runTC(t, [][2]uint64{{3, 4}, {1, 2}, {2, 3}}, Options{Workers: 1})
+	var got []tuple.Tuple
+	e.Scan("path", func(tp tuple.Tuple) bool { got = append(got, tp.Clone()); return true })
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return tuple.Less(got[i], got[j]) }) {
+		t.Error("btree-backed output not in lexicographic order")
+	}
+	if err := e.Scan("nonesuch", func(tuple.Tuple) bool { return true }); err == nil {
+		t.Error("scan of unknown relation did not error")
+	}
+}
+
+func TestConstantOnlyRule(t *testing.T) {
+	prog := MustParse(`
+.decl p(x: number)
+.decl q(x: number)
+.output q
+p(5).
+q(1) :- p(5).
+`)
+	e, err := New(prog, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count("q") != 1 {
+		t.Error("constant-only rule did not fire")
+	}
+}

@@ -1,0 +1,55 @@
+package datalog_test
+
+import (
+	"fmt"
+
+	"specbtree/internal/datalog"
+	"specbtree/internal/tuple"
+)
+
+// The paper's §2 running example: transitive closure, evaluated with the
+// parallel semi-naïve strategy over the specialised B-tree.
+func Example() {
+	prog := datalog.MustParse(`
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.input edge
+.output path
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+	engine, _ := datalog.New(prog, datalog.Options{Workers: 2})
+	engine.AddFact("edge", tuple.Tuple{1, 2})
+	engine.AddFact("edge", tuple.Tuple{2, 3})
+	engine.Run()
+	engine.Scan("path", func(t tuple.Tuple) bool {
+		fmt.Println(t)
+		return true
+	})
+	// Output:
+	// (1, 2)
+	// (1, 3)
+	// (2, 3)
+}
+
+// Stratified negation: set difference between strata.
+func Example_negation() {
+	prog := datalog.MustParse(`
+.decl all(x: number)
+.decl bad(x: number)
+.decl good(x: number)
+.output good
+all(1). all(2). all(3).
+bad(2).
+good(X) :- all(X), !bad(X).
+`)
+	engine, _ := datalog.New(prog, datalog.Options{})
+	engine.Run()
+	engine.Scan("good", func(t tuple.Tuple) bool {
+		fmt.Println(t[0])
+		return true
+	})
+	// Output:
+	// 1
+	// 3
+}

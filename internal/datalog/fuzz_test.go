@@ -1,0 +1,79 @@
+package datalog
+
+import (
+	"testing"
+
+	"specbtree/internal/relation"
+	"specbtree/internal/tuple"
+)
+
+// FuzzParse: the parser must never panic, whatever the input. Run with
+// `go test -fuzz FuzzParse ./internal/datalog` for a real fuzzing session;
+// as a plain test it exercises the seed corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		".decl p(x: number)\np(1).",
+		".decl e(x: number, y: number)\n.decl p(x: number, y: number)\np(X,Y) :- e(X,Y), X < Y.",
+		".decl p(x: symbol)\np(\"a\").",
+		".input p\n.output q",
+		"p(X) :- ",
+		".decl p(x: number)\np(X) :- p(X), !p(X).",
+		"// comment\n/* block */ .decl p(x:number)",
+		".decl p(x: number)\np(_) :- p(_).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Valid programs must survive the analyses without panicking.
+		_ = CheckSafety(prog)
+		_, _ = Stratify(prog)
+	})
+}
+
+// FuzzEvaluate: syntactically valid random mini-programs that pass the
+// analyses must evaluate without panicking and deterministically across
+// worker counts.
+func FuzzEvaluate(f *testing.F) {
+	f.Add(uint8(3), uint16(20), int64(1))
+	f.Add(uint8(7), uint16(100), int64(2))
+	f.Fuzz(func(t *testing.T, domain uint8, nFacts uint16, seed int64) {
+		d := uint64(domain%16) + 2
+		prog := MustParse(`
+.decl e(x: number, y: number)
+.decl p(x: number, y: number)
+.decl q(x: number)
+.output p
+.output q
+p(X, Y) :- e(X, Y).
+p(X, Z) :- p(X, Y), e(Y, Z).
+q(X) :- p(X, X).
+`)
+		counts := map[int]int{}
+		for _, workers := range []int{1, 3} {
+			eng, err := New(prog, Options{Workers: workers, Provider: relation.MustLookup("btree")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := seed
+			for i := 0; i < int(nFacts%300); i++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				x := uint64(s>>33) % d
+				y := uint64(s>>13) % d
+				eng.AddFact("e", tuple.Tuple{x, y})
+			}
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			counts[workers] = eng.Count("p")
+		}
+		if counts[1] != counts[3] {
+			t.Fatalf("nondeterministic fixpoint: %v", counts)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package datalog
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Index selection, after "Optimal On The Fly Index Selection in Polynomial
+// Time" (Jordan, Scholz, Subotić — the paper's citation [29], used by
+// Soufflé and highlighted in §5): every prefix search against a relation
+// is characterised by its *signature*, the set of columns bound at query
+// time. An index (a lexicographic column order) serves a signature iff the
+// signature's columns form a prefix of the order — so one index serves a
+// whole ⊂-chain of signatures. The minimum number of indexes covering all
+// signatures is therefore a minimum chain cover of the signature poset,
+// which by Dilworth/Fulkerson reduces to maximum bipartite matching.
+
+// sigSet is a set of column positions, as a bitmask (arity <= 64).
+type sigSet uint64
+
+func (s sigSet) contains(c int) bool { return s&(1<<uint(c)) != 0 }
+
+func (s sigSet) count() int { return bits.OnesCount64(uint64(s)) }
+
+// subsetOf reports s ⊆ o.
+func (s sigSet) subsetOf(o sigSet) bool { return s&o == s }
+
+// ChainCover partitions the given signatures into a minimum number of
+// ⊂-chains. Input signatures may repeat; the result covers the distinct
+// non-zero ones, each chain sorted by ascending cardinality.
+func ChainCover(sigs []sigSet) [][]sigSet {
+	// Deduplicate, drop the empty signature (served by any index).
+	seen := map[sigSet]bool{}
+	var nodes []sigSet
+	for _, s := range sigs {
+		if s != 0 && !seen[s] {
+			seen[s] = true
+			nodes = append(nodes, s)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].count() != nodes[j].count() {
+			return nodes[i].count() < nodes[j].count()
+		}
+		return nodes[i] < nodes[j]
+	})
+	n := len(nodes)
+	if n == 0 {
+		return nil
+	}
+
+	// Bipartite graph: left copy u — right copy v when u ⊂ v. A maximum
+	// matching links each matched u to its successor in some chain
+	// (Fulkerson's reduction of minimum path cover).
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && nodes[u].subsetOf(nodes[v]) {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	matchL := make([]int, n) // left u -> right v, or -1
+	matchR := make([]int, n) // right v -> left u, or -1
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	var visited []bool
+	var augment func(u int) bool
+	augment = func(u int) bool {
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if matchR[v] == -1 || augment(matchR[v]) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < n; u++ {
+		visited = make([]bool, n)
+		augment(u)
+	}
+
+	// Chains start at signatures that are nobody's matched successor.
+	var chains [][]sigSet
+	for v := 0; v < n; v++ {
+		if matchR[v] != -1 {
+			continue
+		}
+		var chain []sigSet
+		u := v
+		for u != -1 {
+			chain = append(chain, nodes[u])
+			u = matchL[u]
+		}
+		chains = append(chains, chain)
+	}
+	return chains
+}
+
+// orderFromChain derives the lexicographic column order serving every
+// signature of the chain (sorted ascending by cardinality): the columns of
+// each signature, minus those already placed, in ascending column order,
+// followed by the remaining columns.
+func orderFromChain(chain []sigSet, arity int) []int {
+	var placed sigSet
+	perm := make([]int, 0, arity)
+	for _, s := range chain {
+		for c := 0; c < arity; c++ {
+			if s.contains(c) && !placed.contains(c) {
+				perm = append(perm, c)
+				placed |= 1 << uint(c)
+			}
+		}
+	}
+	for c := 0; c < arity; c++ {
+		if !placed.contains(c) {
+			perm = append(perm, c)
+		}
+	}
+	return perm
+}
+
+// isIdentityPerm reports whether perm is 0,1,2,...
+func isIdentityPerm(perm []int) bool {
+	for i, c := range perm {
+		if i != c {
+			return false
+		}
+	}
+	return true
+}
+
+// finalizeIndexes computes the relation's index set from the collected
+// search signatures: the identity index (index 0, used for facts, scans,
+// membership probes and negation) plus one index per chain of the minimum
+// chain cover. Chains whose derived order is the identity reuse index 0.
+func (r *engRel) finalizeIndexes(sigs []sigSet) {
+	r.sigIndex = map[sigSet]int{}
+	for _, chain := range ChainCover(sigs) {
+		perm := orderFromChain(chain, r.arity)
+		var id int
+		if isIdentityPerm(perm) {
+			id = 0
+		} else {
+			id = r.ensureIndex(perm)
+		}
+		for _, s := range chain {
+			r.sigIndex[s] = id
+		}
+	}
+}
+
+// indexFor resolves the index and prefix length serving a signature.
+// The empty signature scans index 0 in full.
+func (r *engRel) indexFor(sig sigSet) (index, prefixLen int) {
+	if sig == 0 {
+		return 0, 0
+	}
+	id, ok := r.sigIndex[sig]
+	if !ok {
+		// Signature collection mirrors rule compilation; a miss is a bug.
+		panic("datalog: internal: unregistered search signature")
+	}
+	return id, sig.count()
+}

@@ -1,0 +1,204 @@
+package datalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sigOf(cols ...int) sigSet {
+	var s sigSet
+	for _, c := range cols {
+		s |= 1 << uint(c)
+	}
+	return s
+}
+
+func TestChainCoverChainOfSubsets(t *testing.T) {
+	// {0} ⊂ {0,1} ⊂ {0,1,2} must collapse into a single chain → 1 index.
+	chains := ChainCover([]sigSet{sigOf(0), sigOf(0, 1), sigOf(0, 1, 2)})
+	if len(chains) != 1 {
+		t.Fatalf("got %d chains, want 1", len(chains))
+	}
+	if len(chains[0]) != 3 {
+		t.Fatalf("chain has %d elements", len(chains[0]))
+	}
+	for i := 1; i < len(chains[0]); i++ {
+		if !chains[0][i-1].subsetOf(chains[0][i]) {
+			t.Fatal("chain not ordered by inclusion")
+		}
+	}
+}
+
+func TestChainCoverAntichain(t *testing.T) {
+	// {0} and {1} are incomparable → 2 chains.
+	chains := ChainCover([]sigSet{sigOf(0), sigOf(1)})
+	if len(chains) != 2 {
+		t.Fatalf("got %d chains, want 2", len(chains))
+	}
+}
+
+func TestChainCoverDiamond(t *testing.T) {
+	// {0}, {1}, {0,1}: minimum cover is 2 chains (one of the singletons
+	// chains into {0,1}).
+	chains := ChainCover([]sigSet{sigOf(0), sigOf(1), sigOf(0, 1)})
+	if len(chains) != 2 {
+		t.Fatalf("got %d chains, want 2", len(chains))
+	}
+	total := 0
+	for _, c := range chains {
+		total += len(c)
+	}
+	if total != 3 {
+		t.Fatalf("chains cover %d signatures, want 3", total)
+	}
+}
+
+func TestChainCoverDeduplicatesAndDropsEmpty(t *testing.T) {
+	chains := ChainCover([]sigSet{0, sigOf(2), sigOf(2), 0})
+	if len(chains) != 1 || len(chains[0]) != 1 {
+		t.Fatalf("got %v", chains)
+	}
+}
+
+func TestChainCoverProperty(t *testing.T) {
+	// For random signature sets: every input signature appears in exactly
+	// one chain, and chains are ordered by strict inclusion.
+	f := func(raw []uint8) bool {
+		var sigs []sigSet
+		for _, r := range raw {
+			sigs = append(sigs, sigSet(r%63)) // signatures over 6 columns
+		}
+		chains := ChainCover(sigs)
+		seen := map[sigSet]int{}
+		for _, chain := range chains {
+			for i, s := range chain {
+				seen[s]++
+				if i > 0 && (!chain[i-1].subsetOf(s) || chain[i-1] == s) {
+					return false
+				}
+			}
+		}
+		distinct := map[sigSet]bool{}
+		for _, s := range sigs {
+			if s != 0 {
+				distinct[s] = true
+			}
+		}
+		if len(seen) != len(distinct) {
+			return false
+		}
+		for s, n := range seen {
+			if n != 1 || !distinct[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderFromChain(t *testing.T) {
+	chain := []sigSet{sigOf(2), sigOf(1, 2), sigOf(0, 1, 2, 3)}
+	perm := orderFromChain(chain, 5)
+	want := []int{2, 1, 0, 3, 4}
+	if len(perm) != len(want) {
+		t.Fatalf("perm = %v", perm)
+	}
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+	// Every chain element's columns are a prefix of the order.
+	for _, s := range chain {
+		pre := perm[:s.count()]
+		var got sigSet
+		for _, c := range pre {
+			got |= 1 << uint(c)
+		}
+		if got != s {
+			t.Fatalf("signature %b not a prefix of %v", s, perm)
+		}
+	}
+}
+
+func TestIsIdentityPerm(t *testing.T) {
+	if !isIdentityPerm([]int{0, 1, 2}) || isIdentityPerm([]int{1, 0, 2}) {
+		t.Fatal("isIdentityPerm wrong")
+	}
+}
+
+// TestIndexSharingReducesIndexCount: the transitive-closure program probes
+// edge with signature {0} and path never with a non-trivial prefix other
+// than {0}; the cover must not create more than 2 indexes per relation.
+func TestIndexSharingReducesIndexCount(t *testing.T) {
+	e, err := New(MustParse(tcProgram), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range e.rels {
+		if len(r.indexes) > 2 {
+			t.Errorf("%s has %d indexes, expected at most 2", name, len(r.indexes))
+		}
+	}
+}
+
+// TestChainedSignaturesShareOneIndex: a program probing r with {0} and
+// {0,1} must serve both from one non-identity index — or the identity
+// index itself, since {0} and {0,1} are prefixes of the identity order.
+func TestChainedSignaturesShareOneIndex(t *testing.T) {
+	prog := MustParse(`
+.decl r(x: number, y: number, z: number)
+.decl a(x: number)
+.decl p(x: number, y: number)
+.decl q(x: number, y: number)
+p(X, Z) :- a(X), r(X, Y, Z).
+q(X, Y) :- a(X), a(Y), r(X, Y, _).
+`)
+	e, err := New(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.rels["r"]
+	// Signatures {0} and {0,1} are both prefixes of the identity order, so
+	// the cover should need no extra index at all.
+	if len(r.indexes) != 1 {
+		t.Errorf("r has %d indexes, want 1 (identity serves both signatures)", len(r.indexes))
+	}
+}
+
+// TestNonPrefixSignatureGetsOwnIndex: probing on the last column requires
+// a permuted index.
+func TestNonPrefixSignatureGetsOwnIndex(t *testing.T) {
+	prog := MustParse(`
+.decl r(x: number, y: number)
+.decl a(x: number)
+.decl p(x: number)
+p(X) :- a(Y), r(X, Y).
+`)
+	e, err := New(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.rels["r"]
+	if len(r.indexes) != 2 {
+		t.Fatalf("r has %d indexes, want 2 (identity + [1 0])", len(r.indexes))
+	}
+	perm := r.indexes[1].Perm
+	if perm[0] != 1 || perm[1] != 0 {
+		t.Errorf("second index perm = %v, want [1 0]", perm)
+	}
+	// And evaluation through the permuted index stays correct.
+	e2, _ := New(prog, Options{})
+	e2.AddFact("a", []uint64{5})
+	e2.AddFact("r", []uint64{7, 5})
+	e2.AddFact("r", []uint64{8, 6})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Count("p") != 1 {
+		t.Fatalf("p = %d, want 1", e2.Count("p"))
+	}
+}

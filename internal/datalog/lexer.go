@@ -1,0 +1,209 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokDirective // .decl .input .output
+	tokLParen
+	tokRParen
+	tokComma
+	tokPeriod
+	tokColonDash // :-
+	tokBang
+	tokCmp // = != < <= > >=
+	tokUnderscore
+	tokColon
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  uint64
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("datalog: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for {
+				if l.pos+1 >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '?' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", line: l.line}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", line: l.line}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", line: l.line}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokCmp, text: "!=", line: l.line}, nil
+		}
+		l.pos++
+		return token{kind: tokBang, text: "!", line: l.line}, nil
+	case c == ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			l.pos += 2
+			return token{kind: tokColonDash, text: ":-", line: l.line}, nil
+		}
+		l.pos++
+		return token{kind: tokColon, text: ":", line: l.line}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokCmp, text: "=", line: l.line}, nil
+	case c == '<' || c == '>':
+		op := string(c)
+		l.pos++
+		if l.peekByte() == '=' {
+			op += "="
+			l.pos++
+		}
+		return token{kind: tokCmp, text: op, line: l.line}, nil
+	case c == '.':
+		// Directive if followed by a letter, else a period.
+		if l.pos+1 < len(l.src) && unicode.IsLetter(rune(l.src[l.pos+1])) {
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			return token{kind: tokDirective, text: l.src[start:l.pos], line: l.line}, nil
+		}
+		l.pos++
+		return token{kind: tokPeriod, text: ".", line: l.line}, nil
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '"' {
+				l.pos++
+				return token{kind: tokString, text: sb.String(), line: l.line}, nil
+			}
+			if ch == '\n' {
+				return token{}, l.errf("newline in string literal")
+			}
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				ch = l.src[l.pos]
+				switch ch {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				}
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+	case unicode.IsDigit(rune(c)):
+		var v uint64
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			v = v*10 + uint64(l.src[l.pos]-'0')
+			l.pos++
+		}
+		if l.pos < len(l.src) && isIdentStart(l.src[l.pos]) {
+			return token{}, l.errf("malformed number")
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], num: v, line: l.line}, nil
+	case c == '_' && (l.pos+1 >= len(l.src) || !isIdentPart(l.src[l.pos+1])):
+		l.pos++
+		return token{kind: tokUnderscore, text: "_", line: l.line}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}

@@ -1,0 +1,335 @@
+package datalog
+
+import "fmt"
+
+// Parse parses a Datalog program from source text.
+//
+// Grammar (informal):
+//
+//	program   := { directive | clause }
+//	directive := ".decl" ident "(" params ")" | ".input" ident | ".output" ident
+//	params    := param { "," param } ; param := ident [ ":" type ]  (type ignored)
+//	clause    := atom [ ":-" literal { "," literal } ] "."
+//	literal   := atom | "!" atom | term cmp term
+//	atom      := ident "(" term { "," term } ")"
+//	term      := variable | number | string | "_"
+//
+// Variables start with an upper- or lower-case letter; the convention of
+// the engine is purely positional, so any identifier inside an atom is a
+// variable. Symbolic constants are written as quoted strings.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokDirective:
+			if err := p.directive(prog); err != nil {
+				return nil, err
+			}
+		case tokIdent:
+			rule, err := p.clause()
+			if err != nil {
+				return nil, err
+			}
+			prog.Rules = append(prog.Rules, rule)
+		default:
+			return nil, p.errf("expected directive or clause, got %s", p.tok)
+		}
+	}
+	if err := validate(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse, panicking on error; for tests and examples.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("datalog: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errf("expected %s, got %s", what, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) directive(prog *Program) error {
+	name := p.tok.text
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return err
+	}
+	switch name {
+	case ".decl":
+		id, err := p.expect(tokIdent, "relation name")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return err
+		}
+		arity := 0
+		for {
+			if _, err := p.expect(tokIdent, "parameter name"); err != nil {
+				return err
+			}
+			arity++
+			// Optional Soufflé-style ": type" annotation, ignored.
+			if p.tok.kind == tokColon {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				if _, err := p.expect(tokIdent, "type name"); err != nil {
+					return err
+				}
+			}
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return err
+		}
+		prog.Decls = append(prog.Decls, Decl{Name: id.text, Arity: arity, Line: line})
+	case ".input":
+		id, err := p.expect(tokIdent, "relation name")
+		if err != nil {
+			return err
+		}
+		prog.Inputs = append(prog.Inputs, id.text)
+	case ".output":
+		id, err := p.expect(tokIdent, "relation name")
+		if err != nil {
+			return err
+		}
+		prog.Outputs = append(prog.Outputs, id.text)
+	default:
+		return p.errf("unknown directive %q", name)
+	}
+	return nil
+}
+
+func (p *parser) clause() (Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return Rule{}, err
+	}
+	rule := Rule{Head: head, Line: p.tok.line}
+	if p.tok.kind == tokColonDash {
+		if err := p.advance(); err != nil {
+			return Rule{}, err
+		}
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return Rule{}, err
+			}
+			rule.Body = append(rule.Body, lit)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return Rule{}, err
+			}
+		}
+	}
+	if _, err := p.expect(tokPeriod, "'.'"); err != nil {
+		return Rule{}, err
+	}
+	return rule, nil
+}
+
+func (p *parser) literal() (Literal, error) {
+	if p.tok.kind == tokBang {
+		if err := p.advance(); err != nil {
+			return Literal{}, err
+		}
+		a, err := p.atom()
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitNegAtom, Atom: a}, nil
+	}
+	// Could be an atom (ident followed by '(') or a comparison.
+	if p.tok.kind == tokIdent {
+		save := p.tok
+		if err := p.advance(); err != nil {
+			return Literal{}, err
+		}
+		if p.tok.kind == tokLParen {
+			a, err := p.atomArgs(save.text)
+			if err != nil {
+				return Literal{}, err
+			}
+			return Literal{Kind: LitAtom, Atom: a}, nil
+		}
+		// Comparison with a variable left operand.
+		return p.cmpRest(Term{Kind: TermVar, Name: save.text})
+	}
+	// Comparison with a constant left operand.
+	l, err := p.term()
+	if err != nil {
+		return Literal{}, err
+	}
+	return p.cmpRest(l)
+}
+
+func (p *parser) cmpRest(l Term) (Literal, error) {
+	if p.tok.kind != tokCmp {
+		return Literal{}, p.errf("expected comparison operator, got %s", p.tok)
+	}
+	var op CmpOp
+	switch p.tok.text {
+	case "=":
+		op = CmpEq
+	case "!=":
+		op = CmpNe
+	case "<":
+		op = CmpLt
+	case "<=":
+		op = CmpLe
+	case ">":
+		op = CmpGt
+	case ">=":
+		op = CmpGe
+	}
+	if err := p.advance(); err != nil {
+		return Literal{}, err
+	}
+	r, err := p.term()
+	if err != nil {
+		return Literal{}, err
+	}
+	return Literal{Kind: LitCmp, Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) atom() (Atom, error) {
+	id, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return Atom{}, err
+	}
+	return p.atomArgs(id.text)
+}
+
+// atomArgs parses "(" terms ")" with the predicate name already consumed.
+func (p *parser) atomArgs(pred string) (Atom, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: pred}
+	if p.tok.kind == tokRParen {
+		return Atom{}, p.errf("nullary atoms are not supported")
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Terms = append(a.Terms, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) term() (Term, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		t := Term{Kind: TermVar, Name: p.tok.text}
+		return t, p.advance()
+	case tokNumber:
+		t := Term{Kind: TermNum, Num: p.tok.num}
+		return t, p.advance()
+	case tokString:
+		t := Term{Kind: TermSym, Sym: p.tok.text}
+		return t, p.advance()
+	case tokUnderscore:
+		return Term{Kind: TermWildcard}, p.advance()
+	}
+	return Term{}, p.errf("expected term, got %s", p.tok)
+}
+
+// validate performs basic structural checks: declared predicates, arity
+// agreement, declared inputs/outputs.
+func validate(prog *Program) error {
+	arities := map[string]int{}
+	for _, d := range prog.Decls {
+		if _, dup := arities[d.Name]; dup {
+			return fmt.Errorf("datalog: line %d: relation %q declared twice", d.Line, d.Name)
+		}
+		if d.Arity == 0 {
+			return fmt.Errorf("datalog: line %d: relation %q has arity 0", d.Line, d.Name)
+		}
+		arities[d.Name] = d.Arity
+	}
+	checkAtom := func(a Atom, line int) error {
+		want, ok := arities[a.Pred]
+		if !ok {
+			return fmt.Errorf("datalog: line %d: undeclared relation %q", line, a.Pred)
+		}
+		if len(a.Terms) != want {
+			return fmt.Errorf("datalog: line %d: %q used with arity %d, declared %d",
+				line, a.Pred, len(a.Terms), want)
+		}
+		return nil
+	}
+	for _, r := range prog.Rules {
+		if err := checkAtom(r.Head, r.Line); err != nil {
+			return err
+		}
+		for _, l := range r.Body {
+			if l.Kind != LitCmp {
+				if err := checkAtom(l.Atom, r.Line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, dir := range [][]string{prog.Inputs, prog.Outputs} {
+		for _, n := range dir {
+			if _, ok := arities[n]; !ok {
+				return fmt.Errorf("datalog: directive references undeclared relation %q", n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTransitiveClosure(t *testing.T) {
+	prog, err := Parse(`
+// The paper's running example (§2).
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.input edge
+.output path
+
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NumRelations() != 2 || prog.NumRules() != 2 {
+		t.Fatalf("got %d relations, %d rules", prog.NumRelations(), prog.NumRules())
+	}
+	if len(prog.Inputs) != 1 || prog.Inputs[0] != "edge" {
+		t.Errorf("inputs = %v", prog.Inputs)
+	}
+	if len(prog.Outputs) != 1 || prog.Outputs[0] != "path" {
+		t.Errorf("outputs = %v", prog.Outputs)
+	}
+	r := prog.Rules[1]
+	if r.Head.Pred != "path" || len(r.Body) != 2 {
+		t.Errorf("rule 1 = %v", r)
+	}
+	if got := r.String(); got != "path(X, Z) :- path(X, Y), edge(Y, Z)." {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseFactsConstantsStrings(t *testing.T) {
+	prog, err := Parse(`
+.decl call(caller: symbol, callee: symbol, site: number)
+call("main", "helper", 1).
+call("main", "util", 2).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("got %d facts", len(prog.Rules))
+	}
+	f := prog.Rules[0]
+	if len(f.Body) != 0 {
+		t.Error("fact has a body")
+	}
+	if f.Head.Terms[0].Kind != TermSym || f.Head.Terms[0].Sym != "main" {
+		t.Errorf("term 0 = %v", f.Head.Terms[0])
+	}
+	if f.Head.Terms[2].Kind != TermNum || f.Head.Terms[2].Num != 1 {
+		t.Errorf("term 2 = %v", f.Head.Terms[2])
+	}
+}
+
+func TestParseNegationAndComparison(t *testing.T) {
+	prog, err := Parse(`
+.decl node(x: number)
+.decl edge(x: number, y: number)
+.decl unreachable(x: number, y: number)
+.decl reach(x: number, y: number)
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+unreachable(X, Y) :- node(X), node(Y), !reach(X, Y), X != Y.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Rules[2]
+	if r.Body[2].Kind != LitNegAtom || r.Body[2].Atom.Pred != "reach" {
+		t.Errorf("negated literal = %v", r.Body[2])
+	}
+	if r.Body[3].Kind != LitCmp || r.Body[3].Op != CmpNe {
+		t.Errorf("comparison literal = %v", r.Body[3])
+	}
+}
+
+func TestParseWildcardAndComments(t *testing.T) {
+	prog, err := Parse(`
+.decl e(x: number, y: number)
+.decl p(x: number)
+/* block
+   comment */
+p(X) :- e(X, _). // project first column
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Rules[0].Body[0].Atom.Terms[1].Kind != TermWildcard {
+		t.Error("wildcard not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"undeclared relation": `p(1).`,
+		"arity mismatch": `
+.decl p(x: number)
+p(1, 2).`,
+		"duplicate decl": `
+.decl p(x: number)
+.decl p(x: number)`,
+		"nullary atom": `
+.decl p(x: number)
+p() .`,
+		"unterminated string": `
+.decl p(x: symbol)
+p("abc).`,
+		"missing period": `
+.decl p(x: number)
+p(1)`,
+		"bad directive":    `.frobnicate p`,
+		"undeclared input": `.input q`,
+		"unterminated rule": `
+.decl p(x: number)
+p(X) :- `,
+		"zero arity decl": `.decl p()`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: no error for %q", name, strings.TrimSpace(src))
+		}
+	}
+}
+
+func TestParseAllComparisonOps(t *testing.T) {
+	prog, err := Parse(`
+.decl e(x: number, y: number)
+.decl p(x: number, y: number)
+p(X, Y) :- e(X, Y), X < Y, X <= Y, Y > X, Y >= X, X = X, X != Y.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []CmpOp{CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe}
+	body := prog.Rules[0].Body
+	if len(body) != 7 {
+		t.Fatalf("body has %d literals", len(body))
+	}
+	for i, want := range ops {
+		if body[i+1].Op != want {
+			t.Errorf("op %d = %v, want %v", i, body[i+1].Op, want)
+		}
+	}
+}
+
+func TestCmpOpEval(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b uint64
+		want bool
+	}{
+		{CmpEq, 3, 3, true}, {CmpEq, 3, 4, false},
+		{CmpNe, 3, 4, true}, {CmpNe, 3, 3, false},
+		{CmpLt, 3, 4, true}, {CmpLt, 4, 3, false}, {CmpLt, 3, 3, false},
+		{CmpLe, 3, 3, true}, {CmpLe, 4, 3, false},
+		{CmpGt, 4, 3, true}, {CmpGt, 3, 3, false},
+		{CmpGe, 3, 3, true}, {CmpGe, 2, 3, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%d %s %d = %v", c.a, c.op, c.b, got)
+		}
+	}
+}
+
+func TestSafetyErrors(t *testing.T) {
+	cases := map[string]string{
+		"unbound head var": `
+.decl p(x: number)
+.decl q(x: number)
+p(Y) :- q(X).`,
+		"unbound negation var": `
+.decl p(x: number)
+.decl q(x: number)
+.decl r(x: number)
+p(X) :- q(X), !r(Y).`,
+		"unbound comparison var": `
+.decl p(x: number)
+.decl q(x: number)
+p(X) :- q(X), Y < 3.`,
+		"wildcard in head": `
+.decl p(x: number)
+.decl q(x: number)
+p(_) :- q(_).`,
+	}
+	for name, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: parse failed: %v", name, err)
+			continue
+		}
+		if err := CheckSafety(prog); err == nil {
+			t.Errorf("%s: safety check passed", name)
+		}
+	}
+}
+
+func TestStratification(t *testing.T) {
+	prog := MustParse(`
+.decl e(x: number, y: number)
+.decl r(x: number, y: number)
+.decl nr(x: number, y: number)
+.decl n(x: number)
+r(X, Y) :- e(X, Y).
+r(X, Z) :- r(X, Y), e(Y, Z).
+nr(X, Y) :- n(X), n(Y), !r(X, Y).
+`)
+	strata, err := Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, s := range strata {
+		for _, p := range s.Preds {
+			pos[p] = i
+		}
+	}
+	if !(pos["e"] < pos["r"] && pos["r"] < pos["nr"]) {
+		t.Errorf("stratum order wrong: %v", pos)
+	}
+	for _, s := range strata {
+		if len(s.Preds) == 1 && s.Preds[0] == "r" && !s.Recursive {
+			t.Error("r's stratum not marked recursive")
+		}
+		if len(s.Preds) == 1 && s.Preds[0] == "nr" && s.Recursive {
+			t.Error("nr's stratum wrongly recursive")
+		}
+	}
+}
+
+func TestUnstratifiableRejected(t *testing.T) {
+	prog := MustParse(`
+.decl p(x: number)
+.decl q(x: number)
+p(X) :- q(X), !p(X).
+`)
+	if _, err := Stratify(prog); err == nil {
+		t.Error("unstratifiable program accepted")
+	}
+}
+
+func TestMutualRecursionOneStratum(t *testing.T) {
+	prog := MustParse(`
+.decl e(x: number, y: number)
+.decl odd(x: number, y: number)
+.decl even(x: number, y: number)
+even(X, X) :- e(X, _).
+odd(X, Y) :- even(X, Z), e(Z, Y).
+even(X, Y) :- odd(X, Z), e(Z, Y).
+`)
+	strata, err := Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range strata {
+		if len(s.Preds) == 2 {
+			if !(s.Preds[0] == "even" && s.Preds[1] == "odd") {
+				t.Errorf("mutual SCC = %v", s.Preds)
+			}
+			if !s.Recursive {
+				t.Error("mutual SCC not recursive")
+			}
+			return
+		}
+	}
+	t.Error("even/odd not grouped into one stratum")
+}
+
+func TestSymbolTable(t *testing.T) {
+	st := NewSymbolTable()
+	a := st.Intern("alpha")
+	b := st.Intern("beta")
+	if a == b {
+		t.Error("distinct symbols share an id")
+	}
+	if st.Intern("alpha") != a {
+		t.Error("re-interning changed the id")
+	}
+	if st.Name(a) != "alpha" || st.Name(b) != "beta" {
+		t.Error("Name round trip failed")
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d", st.Len())
+	}
+	if st.Name(999) == "" {
+		t.Error("unknown id should render, not vanish")
+	}
+}

@@ -1,0 +1,333 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The compiler turns rules into evaluation plans. Mirroring the paper's
+// synthesised code (Figure 1), a rule body becomes a nest of prefix scans
+// over relation indexes; every positive atom is assigned an index — a
+// permutation of the relation's columns placing the atom's bound columns
+// first, so the matching tuples form one contiguous lexicographic range
+// (the greedy form of the index selection of [29]).
+
+// valSrc produces a value at runtime: a constant or a bound variable.
+type valSrc struct {
+	isConst bool
+	c       uint64
+	v       int // variable slot
+}
+
+// colAction consumes one scanned (suffix) column: bind a fresh variable,
+// check a variable bound earlier in the same atom, or skip a wildcard.
+type colAction struct {
+	kind colActionKind
+	v    int
+}
+
+type colActionKind int
+
+const (
+	actBind colActionKind = iota
+	actCheck
+	actSkip
+)
+
+// litPlan is one compiled body literal.
+type litPlan struct {
+	kind LiteralKind
+
+	// Positive atoms.
+	rel      *engRel
+	useDelta bool
+	index    int      // index id within rel
+	prefix   []valSrc // values of the index's prefix columns, in order
+	rest     []colAction
+	// Negated atoms: ground tuple in original column order.
+	ground []valSrc
+	// Comparisons.
+	op   CmpOp
+	l, r valSrc
+}
+
+// rulePlan is one semi-naïve version of a rule.
+type rulePlan struct {
+	rule     int // index into prog.Rules, for diagnostics
+	label    string
+	head     *engRel
+	headVals []valSrc
+	body     []litPlan
+	numVars  int
+	// recursiveVersion reports whether this version reads a delta.
+	recursiveVersion bool
+
+	// profiling accumulators, touched only by the sequential driver.
+	evalTime  time.Duration
+	evalCount uint64
+}
+
+// indexDef is a column permutation: column i of the stored (permuted)
+// tuple is original column Perm[i].
+type indexDef struct {
+	Perm []int
+}
+
+func (d indexDef) signature() string {
+	var sb strings.Builder
+	for i, p := range d.Perm {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", p)
+	}
+	return sb.String()
+}
+
+// permFor computes the canonical permutation for a set of bound columns:
+// bound columns in ascending order, then the rest in ascending order.
+func permFor(arity int, bound map[int]bool) []int {
+	perm := make([]int, 0, arity)
+	for c := 0; c < arity; c++ {
+		if bound[c] {
+			perm = append(perm, c)
+		}
+	}
+	for c := 0; c < arity; c++ {
+		if !bound[c] {
+			perm = append(perm, c)
+		}
+	}
+	return perm
+}
+
+// orderBody schedules a rule body: the delta literal (if any) first, the
+// remaining positive atoms in source order, and each negation or
+// comparison as early as its variables allow. Returns the literal indices
+// in evaluation order.
+func orderBody(body []Literal, deltaPos int) []int {
+	type pending struct {
+		idx  int
+		vars []string
+	}
+	varsOf := func(l Literal) []string {
+		var vs []string
+		add := func(t Term) {
+			if t.Kind == TermVar {
+				vs = append(vs, t.Name)
+			}
+		}
+		if l.Kind == LitCmp {
+			add(l.L)
+			add(l.R)
+		} else {
+			for _, t := range l.Atom.Terms {
+				add(t)
+			}
+		}
+		return vs
+	}
+
+	bound := map[string]bool{}
+	var order []int
+	var constraints []pending
+	scheduledPos := make([]bool, len(body))
+
+	schedulePositive := func(idx int) {
+		order = append(order, idx)
+		scheduledPos[idx] = true
+		for _, v := range varsOf(body[idx]) {
+			bound[v] = true
+		}
+	}
+	flushConstraints := func() {
+		for {
+			progress := false
+			for i := 0; i < len(constraints); i++ {
+				ready := true
+				for _, v := range constraints[i].vars {
+					if !bound[v] {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					order = append(order, constraints[i].idx)
+					constraints = append(constraints[:i], constraints[i+1:]...)
+					i--
+					progress = true
+				}
+			}
+			if !progress {
+				return
+			}
+		}
+	}
+
+	for i, l := range body {
+		if l.Kind != LitAtom {
+			constraints = append(constraints, pending{idx: i, vars: varsOf(l)})
+		}
+	}
+	if deltaPos >= 0 {
+		schedulePositive(deltaPos)
+		flushConstraints()
+	}
+	for i, l := range body {
+		if l.Kind == LitAtom && !scheduledPos[i] {
+			schedulePositive(i)
+			flushConstraints()
+		}
+	}
+	// Safety guarantees all constraint variables are bound by now.
+	sort.Slice(constraints, func(i, j int) bool { return constraints[i].idx < constraints[j].idx })
+	for _, c := range constraints {
+		order = append(order, c.idx)
+	}
+	return order
+}
+
+// compileRule builds the plan for one semi-naïve version of rule ri.
+// deltaPos < 0 compiles the non-recursive (all-full) version; otherwise
+// body[deltaPos] reads the delta.
+func (e *Engine) compileRule(ri int, deltaPos int) (*rulePlan, error) {
+	r := e.prog.Rules[ri]
+	label := r.String()
+	if deltaPos >= 0 {
+		label = fmt.Sprintf("%s [delta @%d]", label, deltaPos)
+	}
+	plan := &rulePlan{rule: ri, label: label, recursiveVersion: deltaPos >= 0}
+
+	slots := map[string]int{}
+	slotOf := func(name string) int {
+		if s, ok := slots[name]; ok {
+			return s
+		}
+		s := len(slots)
+		slots[name] = s
+		return s
+	}
+	// src compiles a term that must produce a value (consts and bound
+	// vars); the caller guarantees boundness.
+	src := func(t Term) valSrc {
+		switch t.Kind {
+		case TermNum:
+			return valSrc{isConst: true, c: t.Num}
+		case TermSym:
+			return valSrc{isConst: true, c: e.syms.Intern(t.Sym)}
+		case TermVar:
+			return valSrc{v: slotOf(t.Name)}
+		}
+		panic("datalog: wildcard where a value is required")
+	}
+
+	order := orderBody(r.Body, deltaPos)
+	bound := map[string]bool{}
+	for _, li := range order {
+		l := r.Body[li]
+		switch l.Kind {
+		case LitAtom:
+			rel := e.rels[l.Atom.Pred]
+			lp := litPlan{kind: LitAtom, rel: rel, useDelta: li == deltaPos}
+			// The search signature: columns bound by constants or by
+			// variables of earlier literals. The minimum-chain-cover index
+			// selection (indexopt.go) has already assigned an index whose
+			// order starts with exactly these columns.
+			var sig sigSet
+			for c, t := range l.Atom.Terms {
+				switch t.Kind {
+				case TermNum, TermSym:
+					sig |= 1 << uint(c)
+				case TermVar:
+					if bound[t.Name] {
+						sig |= 1 << uint(c)
+					}
+				}
+			}
+			var nPrefix int
+			lp.index, nPrefix = rel.indexFor(sig)
+			perm := rel.indexes[lp.index].Perm
+			for i := 0; i < nPrefix; i++ {
+				lp.prefix = append(lp.prefix, src(l.Atom.Terms[perm[i]]))
+			}
+			// Suffix actions; a variable may repeat within the suffix.
+			seen := map[string]bool{}
+			for i := nPrefix; i < rel.arity; i++ {
+				t := l.Atom.Terms[perm[i]]
+				switch t.Kind {
+				case TermWildcard:
+					lp.rest = append(lp.rest, colAction{kind: actSkip})
+				case TermVar:
+					if seen[t.Name] {
+						lp.rest = append(lp.rest, colAction{kind: actCheck, v: slotOf(t.Name)})
+					} else {
+						seen[t.Name] = true
+						lp.rest = append(lp.rest, colAction{kind: actBind, v: slotOf(t.Name)})
+					}
+				default:
+					// A constant in the suffix cannot happen: constants are
+					// always bound columns.
+					return nil, fmt.Errorf("datalog: internal: constant in scan suffix")
+				}
+			}
+			plan.body = append(plan.body, lp)
+			for _, t := range l.Atom.Terms {
+				if t.Kind == TermVar {
+					bound[t.Name] = true
+				}
+			}
+		case LitNegAtom:
+			// Ground membership probe against the identity index (index 0).
+			rel := e.rels[l.Atom.Pred]
+			lp := litPlan{kind: LitNegAtom, rel: rel, index: 0}
+			for _, t := range l.Atom.Terms {
+				lp.ground = append(lp.ground, src(t))
+			}
+			plan.body = append(plan.body, lp)
+		case LitCmp:
+			plan.body = append(plan.body, litPlan{kind: LitCmp, op: l.Op, l: src(l.L), r: src(l.R)})
+		}
+	}
+
+	plan.head = e.rels[r.Head.Pred]
+	for _, t := range r.Head.Terms {
+		plan.headVals = append(plan.headVals, src(t))
+	}
+	plan.numVars = len(slots)
+	return plan, nil
+}
+
+// collectSignatures mirrors compileRule's literal ordering and boundness
+// analysis, reporting the search signature of every positive atom of one
+// rule version to the sink. It must stay in lock-step with compileRule:
+// the signatures registered here are exactly the ones compileRule resolves.
+func (e *Engine) collectSignatures(ri int, deltaPos int, sink func(rel *engRel, sig sigSet)) {
+	r := e.prog.Rules[ri]
+	order := orderBody(r.Body, deltaPos)
+	bound := map[string]bool{}
+	for _, li := range order {
+		l := r.Body[li]
+		if l.Kind != LitAtom {
+			continue
+		}
+		var sig sigSet
+		for c, t := range l.Atom.Terms {
+			switch t.Kind {
+			case TermNum, TermSym:
+				sig |= 1 << uint(c)
+			case TermVar:
+				if bound[t.Name] {
+					sig |= 1 << uint(c)
+				}
+			}
+		}
+		sink(e.rels[l.Atom.Pred], sig)
+		for _, t := range l.Atom.Terms {
+			if t.Kind == TermVar {
+				bound[t.Name] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestParseNeverPanics feeds quasi-random program-shaped text to the
+// parser; it must return an error or a program, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		".decl ", ".input ", ".output ", "p", "q", "(", ")", ",", ".",
+		":-", "!", "X", "42", `"sym"`, "_", "<", "<=", "=", "!=", " ",
+		"\n", "//c\n", "/*c*/", ":", "number", `"unterminated`,
+	}
+	f := func(picks []uint8) bool {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(fragments[int(p)%len(fragments)])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("parser panicked on %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = Parse(sb.String())
+		}()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseGarbageBytes: raw bytes must never hang or panic the lexer.
+func TestParseGarbageBytes(t *testing.T) {
+	f := func(raw []byte) bool {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer func() { recover() }()
+			_, _ = Parse(string(raw))
+		}()
+		select {
+		case <-done:
+			return true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("parser hung on %q", raw)
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfileOrderedByCost checks the profiling surface.
+func TestProfileOrderedByCost(t *testing.T) {
+	e, err := New(MustParse(tcProgram), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e.AddFact("edge", []uint64{uint64(i), uint64(i + 1)})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prof := e.Profile()
+	if len(prof) != 2 { // one non-recursive + one delta version
+		t.Fatalf("profile has %d entries, want 2", len(prof))
+	}
+	for i := 1; i < len(prof); i++ {
+		if prof[i].Total > prof[i-1].Total {
+			t.Error("profile not sorted by cost")
+		}
+	}
+	for _, rt := range prof {
+		if rt.Evaluations == 0 {
+			t.Errorf("rule %q never evaluated", rt.Rule)
+		}
+		if !strings.Contains(rt.Rule, "path") {
+			t.Errorf("unexpected rule label %q", rt.Rule)
+		}
+	}
+	// The recursive delta version runs once per iteration and must
+	// dominate the evaluation count.
+	if prof[0].Evaluations < 100 && prof[1].Evaluations < 100 {
+		t.Errorf("no rule shows per-iteration evaluation counts: %+v", prof)
+	}
+}

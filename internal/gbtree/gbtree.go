@@ -1,0 +1,313 @@
+// Package gbtree is a tuned sequential in-memory B-tree in the style of
+// Google's C++ btree containers — the paper's "google btree" baseline
+// (Table 1). It is a classic B-tree with elements stored contiguously in
+// flat per-node arrays, binary search within nodes, and pre-emptive
+// top-down splitting. It is NOT safe for concurrent mutation; the
+// evaluation wraps it in a global lock or thread-private reduction for the
+// parallel experiments (package syncadapt).
+package gbtree
+
+import (
+	"fmt"
+
+	"specbtree/internal/tuple"
+)
+
+// DefaultCapacity is the default maximum number of elements per node,
+// matching the cache-line-oriented sizing of the specialised tree so the
+// comparison isolates the synchronisation and hint mechanisms.
+const DefaultCapacity = 16
+
+// Tree is a sequential B-tree set of fixed-arity tuples.
+type Tree struct {
+	arity    int
+	capacity int
+	root     *node
+	size     int
+}
+
+type node struct {
+	keys     []uint64 // len = count*arity
+	children []*node  // nil for leaves; len = count+1 otherwise
+}
+
+// New creates an empty tree for tuples with the given number of columns.
+func New(arity int, capacity ...int) *Tree {
+	c := DefaultCapacity
+	if len(capacity) > 0 && capacity[0] != 0 {
+		c = capacity[0]
+	}
+	if arity <= 0 || c < 3 {
+		panic(fmt.Sprintf("gbtree: invalid arity %d or capacity %d", arity, c))
+	}
+	return &Tree{arity: arity, capacity: c}
+}
+
+// Arity returns the tuple width.
+func (t *Tree) Arity() int { return t.arity }
+
+// Len returns the number of elements.
+func (t *Tree) Len() int { return t.size }
+
+// Empty reports whether the set has no elements.
+func (t *Tree) Empty() bool { return t.size == 0 }
+
+func (n *node) count(arity int) int { return len(n.keys) / arity }
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// search returns the index of the first element >= v and whether it equals v.
+func (n *node) search(arity int, v tuple.Tuple) (int, bool) {
+	lo, hi := 0, n.count(arity)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c := tuple.CompareWords(n.keys[mid*arity:(mid+1)*arity], v)
+		switch {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// Contains reports whether v is in the set.
+func (t *Tree) Contains(v tuple.Tuple) bool {
+	t.checkArity(v)
+	n := t.root
+	for n != nil {
+		idx, found := n.search(t.arity, v)
+		if found {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[idx]
+	}
+	return false
+}
+
+func (t *Tree) checkArity(v tuple.Tuple) {
+	if len(v) != t.arity {
+		panic(fmt.Sprintf("gbtree: arity-%d tuple in arity-%d tree", len(v), t.arity))
+	}
+}
+
+// Insert adds v, returning false if already present. Splitting is done
+// pre-emptively on the way down, so the insertion is a single descent.
+func (t *Tree) Insert(v tuple.Tuple) bool {
+	t.checkArity(v)
+	if t.root == nil {
+		t.root = &node{keys: append([]uint64(nil), v...)}
+		t.size++
+		return true
+	}
+	if t.root.count(t.arity) >= t.capacity {
+		// Grow a level, then split the old root into the new one.
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.splitChild(t.root, 0)
+	}
+	n := t.root
+	for {
+		idx, found := n.search(t.arity, v)
+		if found {
+			return false
+		}
+		if n.leaf() {
+			n.insertKeyAt(idx, t.arity, v)
+			t.size++
+			return true
+		}
+		child := n.children[idx]
+		if child.count(t.arity) >= t.capacity {
+			t.splitChild(n, idx)
+			// The promoted median may equal or precede v; re-position.
+			c := tuple.CompareWords(n.keys[idx*t.arity:(idx+1)*t.arity], v)
+			switch {
+			case c == 0:
+				return false
+			case c < 0:
+				child = n.children[idx+1]
+			default:
+				child = n.children[idx]
+			}
+		}
+		n = child
+	}
+}
+
+// insertKeyAt inserts v at element position idx (leaf form, no child).
+func (n *node) insertKeyAt(idx, arity int, v tuple.Tuple) {
+	pos := idx * arity
+	n.keys = append(n.keys, make([]uint64, arity)...)
+	copy(n.keys[pos+arity:], n.keys[pos:])
+	copy(n.keys[pos:pos+arity], v)
+}
+
+// splitChild splits the full child at position idx of parent p, promoting
+// the median into p.
+func (t *Tree) splitChild(p *node, idx int) {
+	arity := t.arity
+	child := p.children[idx]
+	cnt := child.count(arity)
+	mid := cnt / 2
+
+	median := make([]uint64, arity)
+	copy(median, child.keys[mid*arity:(mid+1)*arity])
+
+	right := &node{keys: append([]uint64(nil), child.keys[(mid+1)*arity:]...)}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid*arity]
+
+	// Insert median and right into p at idx.
+	pos := idx * arity
+	p.keys = append(p.keys, make([]uint64, arity)...)
+	copy(p.keys[pos+arity:], p.keys[pos:])
+	copy(p.keys[pos:pos+arity], median)
+	p.children = append(p.children, nil)
+	copy(p.children[idx+2:], p.children[idx+1:])
+	p.children[idx+1] = right
+}
+
+// Scan iterates over all elements in ascending order.
+func (t *Tree) Scan(yield func(tuple.Tuple) bool) {
+	t.scanNode(t.root, yield)
+}
+
+func (t *Tree) scanNode(n *node, yield func(tuple.Tuple) bool) bool {
+	if n == nil {
+		return true
+	}
+	arity := t.arity
+	cnt := n.count(arity)
+	for i := 0; i < cnt; i++ {
+		if !n.leaf() && !t.scanNode(n.children[i], yield) {
+			return false
+		}
+		if !yield(tuple.Tuple(n.keys[i*arity : (i+1)*arity])) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.scanNode(n.children[cnt], yield)
+	}
+	return true
+}
+
+// ScanRange iterates over elements t with from <= t < to in order
+// (to == nil scans to the end).
+func (t *Tree) ScanRange(from, to tuple.Tuple, yield func(tuple.Tuple) bool) {
+	t.scanRangeNode(t.root, from, to, yield)
+}
+
+func (t *Tree) scanRangeNode(n *node, from, to tuple.Tuple, yield func(tuple.Tuple) bool) bool {
+	if n == nil {
+		return true
+	}
+	arity := t.arity
+	cnt := n.count(arity)
+	start := 0
+	if from != nil {
+		start, _ = n.search(arity, from)
+	}
+	for i := start; i < cnt; i++ {
+		key := tuple.Tuple(n.keys[i*arity : (i+1)*arity])
+		if !n.leaf() && !t.scanRangeNode(n.children[i], from, to, yield) {
+			return false
+		}
+		if to != nil && tuple.Compare(key, to) >= 0 {
+			return false
+		}
+		if from == nil || tuple.Compare(key, from) >= 0 {
+			if !yield(key) {
+				return false
+			}
+		}
+	}
+	if !n.leaf() {
+		return t.scanRangeNode(n.children[cnt], from, to, yield)
+	}
+	return true
+}
+
+// InsertAll merges every element of src into t.
+func (t *Tree) InsertAll(src *Tree) {
+	src.Scan(func(tp tuple.Tuple) bool {
+		t.Insert(tp)
+		return true
+	})
+}
+
+// Check validates B-tree invariants for tests.
+func (t *Tree) Check() error {
+	if t.root == nil {
+		return nil
+	}
+	depth := -1
+	n, err := t.checkNode(t.root, nil, nil, 0, &depth)
+	if err != nil {
+		return err
+	}
+	if n != t.size {
+		return fmt.Errorf("gbtree: size %d but %d elements found", t.size, n)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(n *node, lo, hi tuple.Tuple, level int, leafDepth *int) (int, error) {
+	arity := t.arity
+	cnt := n.count(arity)
+	if cnt == 0 && level > 0 {
+		return 0, fmt.Errorf("gbtree: empty non-root node")
+	}
+	if cnt > t.capacity {
+		return 0, fmt.Errorf("gbtree: overfull node (%d > %d)", cnt, t.capacity)
+	}
+	total := cnt
+	for i := 0; i < cnt; i++ {
+		key := tuple.Tuple(n.keys[i*arity : (i+1)*arity])
+		if i > 0 && tuple.Compare(tuple.Tuple(n.keys[(i-1)*arity:i*arity]), key) >= 0 {
+			return 0, fmt.Errorf("gbtree: keys out of order at %d", i)
+		}
+		if lo != nil && tuple.Compare(key, lo) <= 0 {
+			return 0, fmt.Errorf("gbtree: key below separator")
+		}
+		if hi != nil && tuple.Compare(key, hi) >= 0 {
+			return 0, fmt.Errorf("gbtree: key above separator")
+		}
+	}
+	if n.leaf() {
+		if *leafDepth == -1 {
+			*leafDepth = level
+		} else if *leafDepth != level {
+			return 0, fmt.Errorf("gbtree: leaves at differing depths")
+		}
+		return total, nil
+	}
+	if len(n.children) != cnt+1 {
+		return 0, fmt.Errorf("gbtree: %d children for %d keys", len(n.children), cnt)
+	}
+	for i := 0; i <= cnt; i++ {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = tuple.Tuple(n.keys[(i-1)*arity : i*arity])
+		}
+		if i < cnt {
+			chi = tuple.Tuple(n.keys[i*arity : (i+1)*arity])
+		}
+		sub, err := t.checkNode(n.children[i], clo, chi, level+1, leafDepth)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}

@@ -1,0 +1,200 @@
+package gbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"specbtree/internal/tuple"
+)
+
+func randTuples(n int, domain uint64, seed int64) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		ts[i] = tuple.Tuple{uint64(rng.Int63n(int64(domain))), uint64(rng.Int63n(int64(domain)))}
+	}
+	return ts
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(2)
+	if !tr.Empty() || tr.Len() != 0 {
+		t.Error("fresh tree not empty")
+	}
+	if tr.Contains(tuple.Tuple{1, 2}) {
+		t.Error("phantom element")
+	}
+	if err := tr.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertContainsModel(t *testing.T) {
+	for _, capacity := range []int{3, 4, 16, 63} {
+		tr := New(2, capacity)
+		model := map[[2]uint64]bool{}
+		for _, tp := range randTuples(5000, 150, int64(capacity)) {
+			k := [2]uint64{tp[0], tp[1]}
+			if tr.Insert(tp) == model[k] {
+				t.Fatalf("capacity %d: insert disagreement on %v", capacity, tp)
+			}
+			model[k] = true
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("capacity %d: %v", capacity, err)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("capacity %d: Len %d != %d", capacity, tr.Len(), len(model))
+		}
+		for k := range model {
+			if !tr.Contains(tuple.Tuple{k[0], k[1]}) {
+				t.Fatalf("capacity %d: %v missing", capacity, k)
+			}
+		}
+	}
+}
+
+func TestOrderedInsertAndScan(t *testing.T) {
+	tr := New(2, 4)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(tuple.Tuple{uint64(i / 50), uint64(i % 50)}) {
+			t.Fatalf("duplicate at %d", i)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	var prev tuple.Tuple
+	tr.Scan(func(tp tuple.Tuple) bool {
+		if prev != nil && tuple.Compare(prev, tp) >= 0 {
+			t.Fatalf("scan out of order at %d", i)
+		}
+		prev = tp.Clone()
+		i++
+		return true
+	})
+	if i != n {
+		t.Fatalf("scan visited %d of %d", i, n)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 100; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	count := 0
+	tr.Scan(func(tp tuple.Tuple) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("visited %d, want 5", count)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New(2, 4)
+	for x := uint64(0); x < 30; x++ {
+		for y := uint64(0); y < 5; y++ {
+			tr.Insert(tuple.Tuple{x, y})
+		}
+	}
+	var got []tuple.Tuple
+	tr.ScanRange(tuple.Tuple{10, 0}, tuple.Tuple{12, 0}, func(tp tuple.Tuple) bool {
+		got = append(got, tp.Clone())
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("range yielded %d, want 10", len(got))
+	}
+	for i, tp := range got {
+		want := tuple.Tuple{10 + uint64(i/5), uint64(i % 5)}
+		if !tuple.Equal(tp, want) {
+			t.Fatalf("range[%d] = %v, want %v", i, tp, want)
+		}
+	}
+	// Open-ended range.
+	count := 0
+	tr.ScanRange(tuple.Tuple{28, 0}, nil, func(tuple.Tuple) bool { count++; return true })
+	if count != 10 {
+		t.Errorf("open range yielded %d, want 10", count)
+	}
+}
+
+func TestScanRangeMatchesSortedModel(t *testing.T) {
+	tr := New(2, 5)
+	ts := randTuples(2000, 40, 9)
+	seen := map[[2]uint64]bool{}
+	var model []tuple.Tuple
+	for _, tp := range ts {
+		k := [2]uint64{tp[0], tp[1]}
+		if !seen[k] {
+			seen[k] = true
+			model = append(model, tp.Clone())
+		}
+		tr.Insert(tp)
+	}
+	sort.Slice(model, func(i, j int) bool { return tuple.Less(model[i], model[j]) })
+	f := func(a, b uint8) bool {
+		from := tuple.Tuple{uint64(a % 42), 0}
+		to := tuple.Tuple{uint64(b % 42), 0}
+		if tuple.Compare(from, to) > 0 {
+			from, to = to, from
+		}
+		var got []tuple.Tuple
+		tr.ScanRange(from, to, func(tp tuple.Tuple) bool {
+			got = append(got, tp.Clone())
+			return true
+		})
+		var want []tuple.Tuple
+		for _, m := range model {
+			if tuple.Compare(m, from) >= 0 && tuple.Compare(m, to) < 0 {
+				want = append(want, m)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if !tuple.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateHeavy(t *testing.T) {
+	tr := New(1, 4)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 500; i++ {
+			fresh := tr.Insert(tuple.Tuple{uint64(i)})
+			if fresh != (round == 0) {
+				t.Fatalf("round %d insert %d returned %v", round, i, fresh)
+			}
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

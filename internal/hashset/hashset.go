@@ -1,0 +1,153 @@
+// Package hashset is an open-addressing hash set of tuples — the paper's
+// "STL hashset" baseline (std::unordered_set). O(1) insert and lookup, no
+// efficient range queries: range scans degrade to full scans with a
+// filter, which is exactly the deficit the paper's evaluation exposes for
+// hash-based relation representations. Not safe for concurrent mutation.
+package hashset
+
+import (
+	"fmt"
+
+	"specbtree/internal/tuple"
+)
+
+// Set is a sequential open-addressing (linear probing) hash set of
+// fixed-arity tuples. Slots store rows inline in one flat word array for
+// cache-friendly probing.
+type Set struct {
+	arity int
+	rows  []uint64 // slots*arity words
+	used  []bool
+	size  int
+	mask  uint64 // slots-1; slots is a power of two
+}
+
+const initialSlots = 16
+
+// maxLoadNum/maxLoadDen is the grow threshold (3/4).
+const (
+	maxLoadNum = 3
+	maxLoadDen = 4
+)
+
+// New creates an empty set for tuples with the given number of columns.
+func New(arity int) *Set {
+	if arity <= 0 {
+		panic(fmt.Sprintf("hashset: invalid arity %d", arity))
+	}
+	return &Set{
+		arity: arity,
+		rows:  make([]uint64, initialSlots*arity),
+		used:  make([]bool, initialSlots),
+		mask:  initialSlots - 1,
+	}
+}
+
+// Arity returns the tuple width.
+func (s *Set) Arity() int { return s.arity }
+
+// Len returns the number of elements.
+func (s *Set) Len() int { return s.size }
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool { return s.size == 0 }
+
+func (s *Set) checkArity(v tuple.Tuple) {
+	if len(v) != s.arity {
+		panic(fmt.Sprintf("hashset: arity-%d tuple in arity-%d set", len(v), s.arity))
+	}
+}
+
+func (s *Set) slotEquals(slot uint64, v tuple.Tuple) bool {
+	base := slot * uint64(s.arity)
+	for i := 0; i < s.arity; i++ {
+		if s.rows[base+uint64(i)] != v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether v is in the set.
+func (s *Set) Contains(v tuple.Tuple) bool {
+	s.checkArity(v)
+	slot := tuple.Hash(v) & s.mask
+	for s.used[slot] {
+		if s.slotEquals(slot, v) {
+			return true
+		}
+		slot = (slot + 1) & s.mask
+	}
+	return false
+}
+
+// Insert adds v, returning false if already present.
+func (s *Set) Insert(v tuple.Tuple) bool {
+	s.checkArity(v)
+	if uint64(s.size+1)*maxLoadDen > uint64(len(s.used))*maxLoadNum {
+		s.grow()
+	}
+	slot := tuple.Hash(v) & s.mask
+	for s.used[slot] {
+		if s.slotEquals(slot, v) {
+			return false
+		}
+		slot = (slot + 1) & s.mask
+	}
+	base := slot * uint64(s.arity)
+	copy(s.rows[base:base+uint64(s.arity)], v)
+	s.used[slot] = true
+	s.size++
+	return true
+}
+
+func (s *Set) grow() {
+	oldRows, oldUsed := s.rows, s.used
+	slots := uint64(len(oldUsed)) * 2
+	s.rows = make([]uint64, slots*uint64(s.arity))
+	s.used = make([]bool, slots)
+	s.mask = slots - 1
+	arity := uint64(s.arity)
+	for i, u := range oldUsed {
+		if !u {
+			continue
+		}
+		row := oldRows[uint64(i)*arity : (uint64(i)+1)*arity]
+		slot := tuple.HashWords(row) & s.mask
+		for s.used[slot] {
+			slot = (slot + 1) & s.mask
+		}
+		copy(s.rows[slot*arity:(slot+1)*arity], row)
+		s.used[slot] = true
+	}
+}
+
+// Scan iterates over all elements in unspecified (storage) order, passing
+// a view into internal storage that is only valid during the call.
+func (s *Set) Scan(yield func(tuple.Tuple) bool) {
+	arity := uint64(s.arity)
+	for i, u := range s.used {
+		if !u {
+			continue
+		}
+		if !yield(tuple.Tuple(s.rows[uint64(i)*arity : (uint64(i)+1)*arity])) {
+			return
+		}
+	}
+}
+
+// ScanRange iterates over elements x with from <= x < to. Hash sets keep
+// no order, so this is a full scan with a filter — the structural weakness
+// the paper's range-query discussion points at. Results are in storage
+// order, not sorted order.
+func (s *Set) ScanRange(from, to tuple.Tuple, yield func(tuple.Tuple) bool) {
+	s.Scan(func(x tuple.Tuple) bool {
+		if from != nil && tuple.Compare(x, from) < 0 {
+			return true
+		}
+		if to != nil && tuple.Compare(x, to) >= 0 {
+			return true
+		}
+		return yield(x)
+	})
+}

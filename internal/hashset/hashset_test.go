@@ -1,0 +1,126 @@
+package hashset
+
+import (
+	"math/rand"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+func TestInsertContainsModel(t *testing.T) {
+	s := New(2)
+	model := map[[2]uint64]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		tp := tuple.Tuple{uint64(rng.Intn(200)), uint64(rng.Intn(200))}
+		k := [2]uint64{tp[0], tp[1]}
+		if s.Insert(tp) == model[k] {
+			t.Fatalf("insert disagreement on %v", tp)
+		}
+		model[k] = true
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+	}
+	for k := range model {
+		if !s.Contains(tuple.Tuple{k[0], k[1]}) {
+			t.Fatalf("%v missing", k)
+		}
+	}
+	if s.Contains(tuple.Tuple{5000, 0}) {
+		t.Error("phantom element")
+	}
+}
+
+func TestGrowthPreservesElements(t *testing.T) {
+	s := New(3)
+	const n = 50000 // forces many doublings from the initial 16 slots
+	for i := 0; i < n; i++ {
+		if !s.Insert(tuple.Tuple{uint64(i), uint64(i * 7), uint64(i % 13)}) {
+			t.Fatalf("duplicate at %d", i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 0; i < n; i += 97 {
+		if !s.Contains(tuple.Tuple{uint64(i), uint64(i * 7), uint64(i % 13)}) {
+			t.Fatalf("%d missing after growth", i)
+		}
+	}
+}
+
+func TestScanVisitsAllOnce(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		s.Insert(tuple.Tuple{uint64(i)})
+	}
+	seen := map[uint64]int{}
+	s.Scan(func(tp tuple.Tuple) bool {
+		seen[tp[0]]++
+		return true
+	})
+	if len(seen) != 1000 {
+		t.Fatalf("scan saw %d distinct elements", len(seen))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("element %d visited %d times", v, c)
+		}
+	}
+}
+
+func TestScanRangeFilters(t *testing.T) {
+	s := New(2)
+	for x := uint64(0); x < 50; x++ {
+		s.Insert(tuple.Tuple{x, x * 2})
+	}
+	count := 0
+	s.ScanRange(tuple.Tuple{10, 0}, tuple.Tuple{20, 0}, func(tp tuple.Tuple) bool {
+		if tp[0] < 10 || tp[0] >= 20 {
+			t.Fatalf("out-of-range %v", tp)
+		}
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("range yielded %d, want 10", count)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		s.Insert(tuple.Tuple{uint64(i)})
+	}
+	count := 0
+	s.Scan(func(tuple.Tuple) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestAdversarialCollisions(t *testing.T) {
+	// Sequential keys sharing low bits stress linear probing runs.
+	s := New(1)
+	for i := 0; i < 2000; i++ {
+		s.Insert(tuple.Tuple{uint64(i) << 32})
+	}
+	for i := 0; i < 2000; i++ {
+		if !s.Contains(tuple.Tuple{uint64(i) << 32}) {
+			t.Fatalf("%d missing", i)
+		}
+		if s.Contains(tuple.Tuple{uint64(i)<<32 | 1}) {
+			t.Fatalf("phantom near %d", i)
+		}
+	}
+}
+
+func TestInvalidArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

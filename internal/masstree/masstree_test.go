@@ -1,0 +1,180 @@
+package masstree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestInsertContainsModel(t *testing.T) {
+	tr := New()
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Intn(8000))
+		if tr.Insert(k) == model[k] {
+			t.Fatalf("insert disagreement on %d", k)
+		}
+		model[k] = true
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	for k := range model {
+		if !tr.Contains(k) {
+			t.Fatalf("%d missing", k)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		k := uint64(8000 + rng.Intn(1000))
+		if tr.Contains(k) {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}
+
+func TestOrderedAndDescending(t *testing.T) {
+	asc, desc := New(), New()
+	const n = 30000
+	for i := 0; i < n; i++ {
+		asc.Insert(uint64(i))
+		desc.Insert(uint64(n - i))
+	}
+	if err := asc.Check(); err != nil {
+		t.Fatalf("ascending: %v", err)
+	}
+	if err := desc.Check(); err != nil {
+		t.Fatalf("descending: %v", err)
+	}
+	if asc.Len() != n || desc.Len() != n {
+		t.Fatalf("sizes %d/%d", asc.Len(), desc.Len())
+	}
+}
+
+func TestAbsentKeyBetweenLeaves(t *testing.T) {
+	tr := New()
+	// Spread keys so absent probes fall between leaves.
+	for i := 0; i < 10000; i++ {
+		tr.Insert(uint64(i * 10))
+	}
+	for i := 0; i < 10000; i += 7 {
+		if tr.Contains(uint64(i*10 + 5)) {
+			t.Fatalf("phantom key %d", i*10+5)
+		}
+		if !tr.Contains(uint64(i * 10)) {
+			t.Fatalf("key %d missing", i*10)
+		}
+	}
+}
+
+func TestConcurrentDisjointInserts(t *testing.T) {
+	tr := New()
+	workers, perW := 8, 4000
+	if testing.Short() {
+		perW = 500
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * perW)
+			for i := 0; i < perW; i++ {
+				if !tr.Insert(base + uint64(i)) {
+					t.Errorf("disjoint insert reported duplicate")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != workers*perW {
+		t.Fatalf("Len = %d, want %d", tr.Len(), workers*perW)
+	}
+}
+
+func TestConcurrentOverlappingInserts(t *testing.T) {
+	tr := New()
+	workers, n := 8, 3000
+	if testing.Short() {
+		n = 500
+	}
+	fresh := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if tr.Insert(uint64(i)) {
+					fresh[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range fresh {
+		total += f
+	}
+	if total != n {
+		t.Fatalf("exactly-once violated: %d fresh of %d", total, n)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	tr := New()
+	const stable = 5000
+	for i := 0; i < stable; i++ {
+		tr.Insert(uint64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4000; i++ {
+				tr.Insert(uint64(stable + i*3 + w))
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 2; pass++ {
+				for i := 0; i < stable; i += 5 {
+					if !tr.Contains(uint64(i)) {
+						t.Errorf("stable key %d vanished", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(uint64(i))
+	}
+	count := 0
+	tr.Scan(func(uint64) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("visited %d", count)
+	}
+}

@@ -1,0 +1,500 @@
+// Package obslack implements the paper's future-work proposal (§5):
+// a B-slack-style tree synchronised with the paper's own optimistic
+// read-write locking scheme ("realizing a version of the B-slack tree
+// utilizing our seq-lock-based synchronization scheme has the potential of
+// yielding a highly scalable concurrent implementation").
+//
+// Structure: a classic insert-only B-tree of uint64 keys (the scalar
+// domain of the paper's Table 3) with the slack discipline applied at the
+// leaf level — a full leaf first tries to shed one key into an adjacent
+// sibling through the parent separator, and only splits when both
+// neighbours are full. Synchronisation follows internal/core exactly:
+// optimistic read leases top-down, exclusive write locks bottom-up, with
+// one addition for rotations: the sibling's lock is acquired with a
+// non-blocking try (we already hold the leaf and the parent), so the lock
+// order child → parent → sibling cannot deadlock against a concurrent
+// insert holding the sibling — if the try fails, the leaf simply splits.
+//
+// Simplification relative to Brown's full B-slack trees (documented in
+// DESIGN.md): slack is maintained at the leaf level only; inner nodes
+// split in the classic way. This captures the space-efficiency and
+// contention behaviour relevant to the paper's speculation while staying
+// within the locking rules proven out by the core tree.
+package obslack
+
+import (
+	"sync/atomic"
+
+	"specbtree/internal/optlock"
+)
+
+// DefaultCapacity is the per-node key capacity.
+const DefaultCapacity = 16
+
+type node struct {
+	lock optlock.Lock
+
+	inner  bool
+	parent atomic.Pointer[node]
+	pos    atomic.Int32
+
+	count    atomic.Int32
+	keys     []atomic.Uint64
+	children []atomic.Pointer[node]
+}
+
+// Tree is a concurrent optimistic B-slack-style set of uint64 keys.
+type Tree struct {
+	capacity int
+	rootLock optlock.Lock
+	root     atomic.Pointer[node]
+
+	// Rotations and splits counted for the slack-effectiveness tests.
+	rotations atomic.Uint64
+	splits    atomic.Uint64
+}
+
+// New creates an empty tree. An optional capacity overrides the default.
+func New(capacity ...int) *Tree {
+	c := DefaultCapacity
+	if len(capacity) > 0 && capacity[0] != 0 {
+		c = capacity[0]
+	}
+	if c < 4 {
+		panic("obslack: capacity must be at least 4")
+	}
+	return &Tree{capacity: c}
+}
+
+func (t *Tree) newNode(inner bool) *node {
+	n := &node{inner: inner, keys: make([]atomic.Uint64, t.capacity)}
+	if inner {
+		n.children = make([]atomic.Pointer[node], t.capacity+1)
+	}
+	return n
+}
+
+// Len counts the keys (read phase only).
+func (t *Tree) Len() int { return t.countNode(t.root.Load()) }
+
+func (t *Tree) countNode(n *node) int {
+	if n == nil {
+		return 0
+	}
+	total := int(n.count.Load())
+	if n.inner {
+		for i := 0; i <= int(n.count.Load()); i++ {
+			total += t.countNode(n.children[i].Load())
+		}
+	}
+	return total
+}
+
+// Rotations returns the number of slack rotations performed.
+func (t *Tree) Rotations() uint64 { return t.rotations.Load() }
+
+// Splits returns the number of node splits performed.
+func (t *Tree) Splits() uint64 { return t.splits.Load() }
+
+// search returns the index of the first key >= k and equality, with
+// atomic loads (to be validated by the caller's lease).
+func (n *node) search(k uint64) (int, bool) {
+	cnt := int(n.count.Load())
+	if cnt < 0 {
+		cnt = 0
+	}
+	if cnt > len(n.keys) {
+		cnt = len(n.keys)
+	}
+	for i := 0; i < cnt; i++ {
+		v := n.keys[i].Load()
+		if v >= k {
+			return i, v == k
+		}
+	}
+	return cnt, false
+}
+
+func (n *node) child(i int) *node {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(n.children) {
+		i = len(n.children) - 1
+	}
+	return n.children[i].Load()
+}
+
+// Contains reports whether k is in the set; optimistic descent.
+func (t *Tree) Contains(k uint64) bool {
+restart:
+	for {
+		var cur *node
+		var curLease optlock.Lease
+		for {
+			rootLease := t.rootLock.StartRead()
+			cur = t.root.Load()
+			if cur == nil {
+				if t.rootLock.EndRead(rootLease) {
+					return false
+				}
+				continue
+			}
+			curLease = cur.lock.StartRead()
+			if t.rootLock.EndRead(rootLease) {
+				break
+			}
+		}
+		for {
+			idx, found := cur.search(k)
+			if found {
+				if cur.lock.Valid(curLease) {
+					return true
+				}
+				continue restart
+			}
+			if !cur.inner {
+				if cur.lock.Valid(curLease) {
+					return false
+				}
+				continue restart
+			}
+			next := cur.child(idx)
+			if !cur.lock.Valid(curLease) {
+				continue restart
+			}
+			nextLease := next.lock.StartRead()
+			if !cur.lock.Valid(curLease) {
+				continue restart
+			}
+			cur, curLease = next, nextLease
+		}
+	}
+}
+
+// Insert adds k, returning false if already present.
+func (t *Tree) Insert(k uint64) bool {
+	for t.root.Load() == nil {
+		if !t.rootLock.TryStartWrite() {
+			continue
+		}
+		if t.root.Load() == nil {
+			t.root.Store(t.newNode(false))
+		}
+		t.rootLock.EndWrite()
+	}
+
+restart:
+	for {
+		var cur *node
+		var curLease optlock.Lease
+		for {
+			rootLease := t.rootLock.StartRead()
+			cur = t.root.Load()
+			if cur == nil {
+				continue
+			}
+			curLease = cur.lock.StartRead()
+			if t.rootLock.EndRead(rootLease) {
+				break
+			}
+		}
+		for {
+			idx, found := cur.search(k)
+			if found {
+				if cur.lock.Valid(curLease) {
+					return false
+				}
+				continue restart
+			}
+			if cur.inner {
+				next := cur.child(idx)
+				if !cur.lock.Valid(curLease) {
+					continue restart
+				}
+				nextLease := next.lock.StartRead()
+				if !cur.lock.Valid(curLease) {
+					continue restart
+				}
+				cur, curLease = next, nextLease
+				continue
+			}
+			if !cur.lock.TryUpgradeToWrite(curLease) {
+				continue restart
+			}
+			if int(cur.count.Load()) >= t.capacity {
+				// The slack discipline: rotate into a sibling when
+				// possible; split otherwise. Either way, restart.
+				if !t.rotate(cur) {
+					t.split(cur)
+				}
+				cur.lock.EndWrite()
+				continue restart
+			}
+			cnt := int(cur.count.Load())
+			for i := cnt; i > idx; i-- {
+				cur.keys[i].Store(cur.keys[i-1].Load())
+			}
+			cur.keys[idx].Store(k)
+			cur.count.Store(int32(cnt + 1))
+			cur.lock.EndWrite()
+			return true
+		}
+	}
+}
+
+// lockParent write-locks n's parent bottom-up (the re-read loop of the
+// paper's Algorithm 2). Returns nil with the root lock held if n is the
+// root.
+func (t *Tree) lockParent(n *node) *node {
+	parent := n.parent.Load()
+	for {
+		if parent == nil {
+			t.rootLock.StartWrite()
+			if p := n.parent.Load(); p != nil {
+				t.rootLock.AbortWrite()
+				parent = p
+				continue
+			}
+			return nil
+		}
+		parent.lock.StartWrite()
+		if parent == n.parent.Load() {
+			return parent
+		}
+		parent.lock.AbortWrite()
+		parent = n.parent.Load()
+	}
+}
+
+// rotate tries to shed one key of the full, write-locked leaf n into an
+// adjacent sibling. The parent is locked bottom-up (blocking, safe); the
+// sibling is only tried (non-blocking), keeping the child→parent→sibling
+// acquisition order deadlock-free. Returns true if a key moved; the
+// parent and sibling locks are released either way, n's lock is kept.
+func (t *Tree) rotate(n *node) bool {
+	parent := t.lockParent(n)
+	if parent == nil {
+		t.rootLock.EndWrite()
+		return false // the root has no siblings
+	}
+	defer parent.lock.EndWrite()
+
+	pos := int(n.pos.Load())
+	pcnt := int(parent.count.Load())
+
+	// Try the right sibling: n's last key becomes the separator, the old
+	// separator enters the sibling's front.
+	if pos < pcnt {
+		sib := parent.children[pos+1].Load()
+		if sib.lock.TryStartWrite() {
+			scnt := int(sib.count.Load())
+			if !sib.inner && scnt < t.capacity-1 {
+				sep := parent.keys[pos].Load()
+				cnt := int(n.count.Load())
+				last := n.keys[cnt-1].Load()
+				n.count.Store(int32(cnt - 1))
+				parent.keys[pos].Store(last)
+				for i := scnt; i > 0; i-- {
+					sib.keys[i].Store(sib.keys[i-1].Load())
+				}
+				sib.keys[0].Store(sep)
+				sib.count.Store(int32(scnt + 1))
+				sib.lock.EndWrite()
+				t.rotations.Add(1)
+				return true
+			}
+			sib.lock.AbortWrite()
+		}
+	}
+	// Try the left sibling symmetrically.
+	if pos > 0 {
+		sib := parent.children[pos-1].Load()
+		if sib.lock.TryStartWrite() {
+			scnt := int(sib.count.Load())
+			if !sib.inner && scnt < t.capacity-1 {
+				sep := parent.keys[pos-1].Load()
+				cnt := int(n.count.Load())
+				first := n.keys[0].Load()
+				for i := 0; i < cnt-1; i++ {
+					n.keys[i].Store(n.keys[i+1].Load())
+				}
+				n.count.Store(int32(cnt - 1))
+				parent.keys[pos-1].Store(first)
+				sib.keys[scnt].Store(sep)
+				sib.count.Store(int32(scnt + 1))
+				sib.lock.EndWrite()
+				t.rotations.Add(1)
+				return true
+			}
+			sib.lock.AbortWrite()
+		}
+	}
+	return false
+}
+
+// split is Algorithm 2 of the paper, specialised to scalar keys: lock the
+// ancestor path bottom-up, split, unlock top-down. Caller holds n's write
+// lock (and keeps it).
+func (t *Tree) split(n *node) {
+	cur := n
+	parent := cur.parent.Load()
+	var path []*node
+	for {
+		if parent != nil {
+			for {
+				parent.lock.StartWrite()
+				if parent == cur.parent.Load() {
+					break
+				}
+				parent.lock.AbortWrite()
+				parent = cur.parent.Load()
+			}
+		} else {
+			t.rootLock.StartWrite()
+			if p := cur.parent.Load(); p != nil {
+				t.rootLock.AbortWrite()
+				parent = p
+				continue
+			}
+		}
+		path = append(path, parent)
+		if parent == nil || int(parent.count.Load()) < t.capacity {
+			break
+		}
+		cur = parent
+		parent = cur.parent.Load()
+	}
+
+	t.doSplit(n)
+
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] != nil {
+			path[i].lock.EndWrite()
+		} else {
+			t.rootLock.EndWrite()
+		}
+	}
+}
+
+func (t *Tree) doSplit(n *node) {
+	parent := n.parent.Load()
+	if parent != nil && int(parent.count.Load()) >= t.capacity {
+		t.doSplit(parent)
+		parent = n.parent.Load()
+	}
+
+	cnt := int(n.count.Load())
+	mid := cnt / 2
+	median := n.keys[mid].Load()
+
+	sibling := t.newNode(n.inner)
+	moved := cnt - mid - 1
+	for i := 0; i < moved; i++ {
+		sibling.keys[i].Store(n.keys[mid+1+i].Load())
+	}
+	if n.inner {
+		for i := 0; i <= moved; i++ {
+			c := n.children[mid+1+i].Load()
+			sibling.children[i].Store(c)
+			c.parent.Store(sibling)
+			c.pos.Store(int32(i))
+		}
+	}
+	sibling.count.Store(int32(moved))
+	n.count.Store(int32(mid))
+	t.splits.Add(1)
+
+	if parent == nil {
+		root := t.newNode(true)
+		root.keys[0].Store(median)
+		root.children[0].Store(n)
+		root.children[1].Store(sibling)
+		root.count.Store(1)
+		n.parent.Store(root)
+		n.pos.Store(0)
+		sibling.parent.Store(root)
+		sibling.pos.Store(1)
+		t.root.Store(root)
+		return
+	}
+
+	idx := int(n.pos.Load())
+	pcnt := int(parent.count.Load())
+	for i := pcnt; i > idx; i-- {
+		parent.keys[i].Store(parent.keys[i-1].Load())
+	}
+	parent.keys[idx].Store(median)
+	for i := pcnt + 1; i > idx+1; i-- {
+		c := parent.children[i-1].Load()
+		parent.children[i].Store(c)
+		c.pos.Store(int32(i))
+	}
+	parent.children[idx+1].Store(sibling)
+	sibling.parent.Store(parent)
+	sibling.pos.Store(int32(idx + 1))
+	parent.count.Store(int32(pcnt + 1))
+}
+
+// Scan iterates over all keys in ascending order (read phase only).
+func (t *Tree) Scan(yield func(uint64) bool) {
+	t.scanNode(t.root.Load(), yield)
+}
+
+func (t *Tree) scanNode(n *node, yield func(uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	cnt := int(n.count.Load())
+	for i := 0; i < cnt; i++ {
+		if n.inner && !t.scanNode(n.children[i].Load(), yield) {
+			return false
+		}
+		if !yield(n.keys[i].Load()) {
+			return false
+		}
+	}
+	if n.inner {
+		return t.scanNode(n.children[cnt].Load(), yield)
+	}
+	return true
+}
+
+// Check validates ordering, size consistency and lock quiescence (read
+// phase only).
+func (t *Tree) Check() error {
+	if t.rootLock.IsWriteLocked() {
+		return errLocked
+	}
+	var prev uint64
+	first := true
+	count := 0
+	bad := false
+	t.Scan(func(k uint64) bool {
+		if !first && k <= prev {
+			bad = true
+			return false
+		}
+		first = false
+		prev = k
+		count++
+		return true
+	})
+	if bad {
+		return errOutOfOrder
+	}
+	if count != t.Len() {
+		return errSizeMismatch
+	}
+	return nil
+}
+
+type checkError string
+
+func (e checkError) Error() string { return string(e) }
+
+const (
+	errOutOfOrder   = checkError("obslack: keys out of order")
+	errSizeMismatch = checkError("obslack: size mismatch")
+	errLocked       = checkError("obslack: lock left write-locked")
+)

@@ -1,0 +1,193 @@
+package obslack
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestInsertContainsModel(t *testing.T) {
+	tr := New(8)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(6000))
+		if tr.Insert(k) == model[k] {
+			t.Fatalf("insert disagreement on %d", k)
+		}
+		model[k] = true
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	for k := range model {
+		if !tr.Contains(k) {
+			t.Fatalf("%d missing", k)
+		}
+	}
+	if tr.Contains(99999) {
+		t.Error("phantom key")
+	}
+}
+
+func TestOrderedInsertUsesRotations(t *testing.T) {
+	tr := New(8)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(uint64(i)) {
+			t.Fatalf("duplicate at %d", i)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Rotations() == 0 {
+		t.Error("slack discipline never rotated on a sequential fill")
+	}
+}
+
+func TestDescendingInsert(t *testing.T) {
+	tr := New(6)
+	for i := 10000; i > 0; i-- {
+		tr.Insert(uint64(i))
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Descending fills rotate into the LEFT sibling.
+	if tr.Rotations() == 0 {
+		t.Error("no left rotations on a descending fill")
+	}
+}
+
+func TestConcurrentDisjointInserts(t *testing.T) {
+	tr := New()
+	workers, perW := 8, 4000
+	if testing.Short() {
+		perW = 500
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * perW)
+			for i := 0; i < perW; i++ {
+				if !tr.Insert(base + uint64(i)) {
+					t.Errorf("disjoint insert reported duplicate")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != workers*perW {
+		t.Fatalf("Len = %d, want %d", tr.Len(), workers*perW)
+	}
+}
+
+func TestConcurrentOverlappingInserts(t *testing.T) {
+	tr := New(5) // tiny capacity: rotation/split storm
+	workers, n := 8, 2500
+	if testing.Short() {
+		n = 400
+	}
+	fresh := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if tr.Insert(uint64(i)) {
+					fresh[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range fresh {
+		total += f
+	}
+	if total != n {
+		t.Fatalf("exactly-once violated: %d fresh of %d", total, n)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	tr := New()
+	const stable = 4000
+	for i := 0; i < stable; i++ {
+		tr.Insert(uint64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4000; i++ {
+				tr.Insert(uint64(stable + i*3 + w))
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				for i := 0; i < stable; i += 7 {
+					if !tr.Contains(uint64(i)) {
+						t.Errorf("stable key %d vanished", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlackImprovesFill: on an ordered fill, the rotating tree should use
+// no more splits than a plain half-split tree would — the space argument
+// of B-slack trees.
+func TestSlackImprovesFill(t *testing.T) {
+	tr := New(8)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(i))
+	}
+	// With leaf rotations, ordered fills pack leaves beyond half; the
+	// number of splits must stay well below the no-slack bound n/(cap/2).
+	noSlackBound := uint64(n / 4) // capacity 8 → half-full leaves of 4
+	if s := tr.Splits(); s >= noSlackBound {
+		t.Errorf("splits = %d, want < %d (slack should pack nodes)", s, noSlackBound)
+	}
+}
+
+func TestTinyCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 3 accepted")
+		}
+	}()
+	New(3)
+}

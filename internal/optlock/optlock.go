@@ -1,0 +1,135 @@
+// Package optlock implements the paper's optimistic read-write lock, an
+// extension of Linux seqlocks (§3.1, Figure 2).
+//
+// The lock is a single version word. An even version means "unlocked", an
+// odd version means "a writer is active". Readers never modify the word:
+// they record the version (the lease), read the protected data, and then
+// validate that the version is unchanged and even. Writers flip the
+// version to odd with an atomic exchange, mutate, and bump it back to
+// even. The crucial specialisation over a classic seqlock is the
+// read-potential-write role: a thread holding a read lease may attempt to
+// upgrade it to a write lock with a single compare-and-swap, which
+// succeeds only if no other writer intervened since the lease was taken.
+//
+// Because readers leave the cache line untouched, the hot path of a B-tree
+// descent (reading inner nodes) causes no cache-line invalidation and no
+// bus traffic — the property the paper identifies as decisive on
+// multi-socket machines.
+//
+// The C++ original relies on acquire fences and relaxed loads. Go exposes
+// no relaxed atomics, so every protected word is accessed through
+// sync/atomic operations; these are at least acquire/release, which keeps
+// the protocol sound under the Go memory model and clean under the race
+// detector at a small cost in raw read bandwidth (documented in
+// DESIGN.md).
+package optlock
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Lease is a snapshot of the lock version obtained by StartRead. It
+// validates reads performed since it was taken and is the ticket for
+// upgrading to a write lock.
+type Lease struct {
+	version uint64
+}
+
+// Lock is the optimistic read-write lock. The zero value is an unlocked
+// lock, ready for use. A Lock must not be copied after first use.
+type Lock struct {
+	version atomic.Uint64
+}
+
+// spinWait yields the processor between spin iterations. Progressive
+// backoff: a few busy spins, then yield to the scheduler so single-core
+// environments make progress.
+func spinWait(attempt int) {
+	if attempt < 8 {
+		return // busy spin: writer sections are a handful of stores
+	}
+	runtime.Gosched()
+}
+
+// StartRead initiates an optimistic read phase and returns the lease.
+// It blocks (spinning) while a writer is active, since a lease taken at an
+// odd version could never validate.
+func (l *Lock) StartRead() Lease {
+	for attempt := 0; ; attempt++ {
+		v := l.version.Load()
+		if v&1 == 0 {
+			return Lease{version: v}
+		}
+		spinWait(attempt)
+	}
+}
+
+// Valid reports whether the data read under the lease is still consistent,
+// i.e. no writer has started since the lease was taken.
+func (l *Lock) Valid(lease Lease) bool {
+	return l.version.Load() == lease.version
+}
+
+// EndRead terminates a read phase. It returns true if the entire phase was
+// free of concurrent updates; on false the caller must discard everything
+// it read and restart.
+func (l *Lock) EndRead(lease Lease) bool {
+	return l.Valid(lease)
+}
+
+// TryUpgradeToWrite attempts to convert a read lease into an exclusive
+// write lock. It succeeds — atomically, via compare-and-swap — only if no
+// write began since the lease was taken, so the data inspected under the
+// lease is guaranteed to still be current when the write lock is granted.
+func (l *Lock) TryUpgradeToWrite(lease Lease) bool {
+	return l.version.CompareAndSwap(lease.version, lease.version+1)
+}
+
+// TryStartWrite attempts to enter a write phase directly without a prior
+// read phase. It is non-blocking: false means a writer is active or the
+// CAS was lost to a competitor.
+func (l *Lock) TryStartWrite() bool {
+	v := l.version.Load()
+	if v&1 != 0 {
+		return false
+	}
+	return l.version.CompareAndSwap(v, v+1)
+}
+
+// StartWrite blocks until the write lock is acquired. This is the only
+// blocking operation of the lock; the B-tree uses it exclusively in the
+// bottom-up split path (Algorithm 2), where lock ordering guarantees
+// deadlock freedom.
+func (l *Lock) StartWrite() {
+	for attempt := 0; ; attempt++ {
+		if l.TryStartWrite() {
+			return
+		}
+		spinWait(attempt)
+	}
+}
+
+// EndWrite marks the end of a write phase after a modification took place.
+// The version advances to the next even number, invalidating every lease
+// issued before or during the write.
+func (l *Lock) EndWrite() {
+	l.version.Add(1)
+}
+
+// AbortWrite terminates a write phase during which no modification took
+// place. The version rolls back to its pre-write value, so outstanding
+// read leases remain valid — readers that overlapped the aborted write
+// need not restart.
+func (l *Lock) AbortWrite() {
+	l.version.Add(^uint64(0)) // decrement
+}
+
+// IsWriteLocked reports whether a writer currently holds the lock. It is
+// inherently racy and intended for assertions and tests only.
+func (l *Lock) IsWriteLocked() bool {
+	return l.version.Load()&1 != 0
+}
+
+// Version exposes the raw version counter for tests and diagnostics.
+func (l *Lock) Version() uint64 { return l.version.Load() }

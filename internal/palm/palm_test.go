@@ -1,0 +1,156 @@
+package palm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestInsertContainsModel(t *testing.T) {
+	tr := New(16)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(6000))
+		if tr.Insert(k) == model[k] {
+			t.Fatalf("insert %d disagreement", k)
+		}
+		model[k] = true
+	}
+	tr.Flush()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	for k := range model {
+		if !tr.Contains(k) {
+			t.Fatalf("%d missing", k)
+		}
+	}
+}
+
+func TestOrderedInsertLargeBatches(t *testing.T) {
+	tr := New(512)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(uint64(i)) {
+			t.Fatalf("duplicate at %d", i)
+		}
+	}
+	tr.Flush()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDescendingInsert(t *testing.T) {
+	tr := New(64)
+	for i := 20000; i > 0; i-- {
+		tr.Insert(uint64(i))
+	}
+	tr.Flush()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 20000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestBatchWiderThanLeaf(t *testing.T) {
+	// A single batch inserting far more keys than one leaf holds forces
+	// multi-way splits of one leaf (the splitResult chaining path).
+	tr := New(4096)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Insert(uint64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Flush()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestConcurrentOverlappingInserts(t *testing.T) {
+	tr := New(32)
+	workers, n := 8, 2000
+	fresh := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if tr.Insert(uint64(i)) {
+					fresh[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Flush()
+	total := 0
+	for _, f := range fresh {
+		total += f
+	}
+	if total != n {
+		t.Fatalf("exactly-once violated: %d fresh of %d", total, n)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestFlushEmpty(t *testing.T) {
+	tr := New()
+	tr.Flush() // no-op
+	if tr.Len() != 0 {
+		t.Error("empty tree has elements")
+	}
+	if tr.Contains(1) {
+		t.Error("phantom in empty tree")
+	}
+}
+
+func TestScanSorted(t *testing.T) {
+	tr := New(8)
+	rng := rand.New(rand.NewSource(5))
+	n := 0
+	for i := 0; i < 5000; i++ {
+		if tr.Insert(uint64(rng.Intn(100000))) {
+			n++
+		}
+	}
+	tr.Flush()
+	prev := int64(-1)
+	count := 0
+	tr.Scan(func(k uint64) bool {
+		if int64(k) <= prev {
+			t.Fatalf("out of order at %d", k)
+		}
+		prev = int64(k)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d of %d", count, n)
+	}
+}

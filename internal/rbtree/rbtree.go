@@ -1,0 +1,296 @@
+// Package rbtree is a red-black tree set of tuples — the paper's
+// "STL rbtset" baseline (std::set is a red-black tree in all mainstream
+// C++ standard libraries). Insert-only, like every relation structure in
+// this repository. Not safe for concurrent mutation.
+package rbtree
+
+import (
+	"fmt"
+
+	"specbtree/internal/tuple"
+)
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node struct {
+	key                 tuple.Tuple
+	left, right, parent *node
+	color               color
+}
+
+// Tree is a sequential red-black tree set of fixed-arity tuples.
+type Tree struct {
+	arity int
+	root  *node
+	size  int
+}
+
+// New creates an empty tree for tuples with the given number of columns.
+func New(arity int) *Tree {
+	if arity <= 0 {
+		panic(fmt.Sprintf("rbtree: invalid arity %d", arity))
+	}
+	return &Tree{arity: arity}
+}
+
+// Arity returns the tuple width.
+func (t *Tree) Arity() int { return t.arity }
+
+// Len returns the number of elements.
+func (t *Tree) Len() int { return t.size }
+
+// Empty reports whether the set has no elements.
+func (t *Tree) Empty() bool { return t.size == 0 }
+
+func (t *Tree) checkArity(v tuple.Tuple) {
+	if len(v) != t.arity {
+		panic(fmt.Sprintf("rbtree: arity-%d tuple in arity-%d tree", len(v), t.arity))
+	}
+}
+
+// Contains reports whether v is in the set.
+func (t *Tree) Contains(v tuple.Tuple) bool {
+	t.checkArity(v)
+	n := t.root
+	for n != nil {
+		switch c := tuple.Compare(v, n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds v, returning false if already present.
+func (t *Tree) Insert(v tuple.Tuple) bool {
+	t.checkArity(v)
+	var parent *node
+	n := t.root
+	less := false
+	for n != nil {
+		parent = n
+		switch c := tuple.Compare(v, n.key); {
+		case c < 0:
+			n, less = n.left, true
+		case c > 0:
+			n, less = n.right, false
+		default:
+			return false
+		}
+	}
+	fresh := &node{key: v.Clone(), parent: parent}
+	if parent == nil {
+		t.root = fresh
+	} else if less {
+		parent.left = fresh
+	} else {
+		parent.right = fresh
+	}
+	t.size++
+	t.fixInsert(fresh)
+	return true
+}
+
+func (t *Tree) rotateLeft(x *node) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree) rotateRight(x *node) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree) fixInsert(z *node) {
+	for z.parent != nil && z.parent.color == red {
+		g := z.parent.parent
+		if z.parent == g.left {
+			u := g.right
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				g.color = red
+				z = g
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = black
+			g.color = red
+			t.rotateRight(g)
+		} else {
+			u := g.left
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				g.color = red
+				z = g
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = black
+			g.color = red
+			t.rotateLeft(g)
+		}
+	}
+	t.root.color = black
+}
+
+// minimum returns the leftmost node of the subtree rooted at n.
+func minimum(n *node) *node {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+// successor returns the in-order successor of n, or nil.
+func successor(n *node) *node {
+	if n.right != nil {
+		return minimum(n.right)
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+// Scan iterates over all elements in ascending order.
+func (t *Tree) Scan(yield func(tuple.Tuple) bool) {
+	if t.root == nil {
+		return
+	}
+	for n := minimum(t.root); n != nil; n = successor(n) {
+		if !yield(n.key) {
+			return
+		}
+	}
+}
+
+// lowerBoundNode returns the node of the first element >= v (strict=false)
+// or > v (strict=true), or nil.
+func (t *Tree) lowerBoundNode(v tuple.Tuple, strict bool) *node {
+	var best *node
+	n := t.root
+	for n != nil {
+		c := tuple.Compare(n.key, v)
+		take := c > 0 || (!strict && c == 0)
+		if take {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return best
+}
+
+// ScanRange iterates over elements x with from <= x < to in order
+// (to == nil scans to the end).
+func (t *Tree) ScanRange(from, to tuple.Tuple, yield func(tuple.Tuple) bool) {
+	n := t.lowerBoundNode(from, false)
+	for n != nil {
+		if to != nil && tuple.Compare(n.key, to) >= 0 {
+			return
+		}
+		if !yield(n.key) {
+			return
+		}
+		n = successor(n)
+	}
+}
+
+// Check validates red-black invariants for tests: root black, no red
+// parent-child pairs, equal black height on all paths, ordering.
+func (t *Tree) Check() error {
+	if t.root == nil {
+		return nil
+	}
+	if t.root.color != black {
+		return fmt.Errorf("rbtree: red root")
+	}
+	_, count, err := t.checkNode(t.root, nil, nil)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rbtree: size %d but %d nodes", t.size, count)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(n *node, lo, hi tuple.Tuple) (blackHeight, count int, err error) {
+	if n == nil {
+		return 1, 0, nil
+	}
+	if lo != nil && tuple.Compare(n.key, lo) <= 0 {
+		return 0, 0, fmt.Errorf("rbtree: ordering violation (low)")
+	}
+	if hi != nil && tuple.Compare(n.key, hi) >= 0 {
+		return 0, 0, fmt.Errorf("rbtree: ordering violation (high)")
+	}
+	if n.color == red {
+		if (n.left != nil && n.left.color == red) || (n.right != nil && n.right.color == red) {
+			return 0, 0, fmt.Errorf("rbtree: red node with red child")
+		}
+	}
+	lh, lc, err := t.checkNode(n.left, lo, n.key)
+	if err != nil {
+		return 0, 0, err
+	}
+	rh, rc, err := t.checkNode(n.right, n.key, hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lh != rh {
+		return 0, 0, fmt.Errorf("rbtree: black-height mismatch (%d vs %d)", lh, rh)
+	}
+	h := lh
+	if n.color == black {
+		h++
+	}
+	return h, lc + rc + 1, nil
+}

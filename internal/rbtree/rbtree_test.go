@@ -1,0 +1,158 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specbtree/internal/tuple"
+)
+
+func TestInsertContainsModel(t *testing.T) {
+	tr := New(2)
+	model := map[[2]uint64]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 6000; i++ {
+		tp := tuple.Tuple{uint64(rng.Intn(150)), uint64(rng.Intn(150))}
+		k := [2]uint64{tp[0], tp[1]}
+		if tr.Insert(tp) == model[k] {
+			t.Fatalf("insert disagreement on %v", tp)
+		}
+		model[k] = true
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	for k := range model {
+		if !tr.Contains(tuple.Tuple{k[0], k[1]}) {
+			t.Fatalf("%v missing", k)
+		}
+	}
+	if tr.Contains(tuple.Tuple{999, 999}) {
+		t.Error("phantom element")
+	}
+}
+
+func TestOrderedAndReverseInsertBalance(t *testing.T) {
+	// Red-black invariants must hold even under adversarial insertion
+	// orders (the Check includes black-height equality).
+	asc, desc := New(1), New(1)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		asc.Insert(tuple.Tuple{uint64(i)})
+		desc.Insert(tuple.Tuple{uint64(n - i)})
+	}
+	if err := asc.Check(); err != nil {
+		t.Fatalf("ascending: %v", err)
+	}
+	if err := desc.Check(); err != nil {
+		t.Fatalf("descending: %v", err)
+	}
+}
+
+func TestScanSorted(t *testing.T) {
+	tr := New(2)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		tr.Insert(tuple.Tuple{uint64(rng.Intn(100)), uint64(rng.Intn(100))})
+	}
+	var prev tuple.Tuple
+	count := 0
+	tr.Scan(func(tp tuple.Tuple) bool {
+		if prev != nil && tuple.Compare(prev, tp) >= 0 {
+			t.Fatalf("scan out of order: %v then %v", prev, tp)
+		}
+		prev = tp.Clone()
+		count++
+		return true
+	})
+	if count != tr.Len() {
+		t.Fatalf("scan visited %d of %d", count, tr.Len())
+	}
+}
+
+func TestScanRangePrefix(t *testing.T) {
+	tr := New(2)
+	for x := uint64(0); x < 20; x++ {
+		for y := uint64(0); y < 8; y++ {
+			tr.Insert(tuple.Tuple{x, y})
+		}
+	}
+	lo := tuple.PrefixLowerBound(tuple.Tuple{5}, 2)
+	hi := tuple.PrefixUpperBound(tuple.Tuple{5}, 2)
+	count := 0
+	tr.ScanRange(lo, hi, func(tp tuple.Tuple) bool {
+		if tp[0] != 5 {
+			t.Fatalf("out-of-prefix tuple %v", tp)
+		}
+		count++
+		return true
+	})
+	if count != 8 {
+		t.Fatalf("prefix scan yielded %d, want 8", count)
+	}
+}
+
+func TestScanRangeProperty(t *testing.T) {
+	tr := New(1)
+	present := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		v := uint64(rng.Intn(300))
+		tr.Insert(tuple.Tuple{v})
+		present[v] = true
+	}
+	f := func(a, b uint16) bool {
+		from, to := uint64(a%310), uint64(b%310)
+		if from > to {
+			from, to = to, from
+		}
+		want := 0
+		for v := from; v < to; v++ {
+			if present[v] {
+				want++
+			}
+		}
+		got := 0
+		tr.ScanRange(tuple.Tuple{from}, tuple.Tuple{to}, func(tuple.Tuple) bool {
+			got++
+			return true
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndEarlyStop(t *testing.T) {
+	tr := New(1)
+	if !tr.Empty() {
+		t.Error("fresh tree not empty")
+	}
+	tr.Scan(func(tuple.Tuple) bool { t.Error("scan on empty yielded"); return false })
+	for i := 0; i < 50; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	count := 0
+	tr.Scan(func(tuple.Tuple) bool { count++; return count < 7 })
+	if count != 7 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestInsertClonesKey(t *testing.T) {
+	tr := New(2)
+	buf := tuple.Tuple{1, 2}
+	tr.Insert(buf)
+	buf[0] = 99 // caller reuses its buffer
+	if !tr.Contains(tuple.Tuple{1, 2}) {
+		t.Error("tree aliased the caller's buffer")
+	}
+	if tr.Contains(tuple.Tuple{99, 2}) {
+		t.Error("mutation leaked into the tree")
+	}
+}

@@ -1,0 +1,292 @@
+package relation
+
+import (
+	"sync"
+
+	"specbtree/internal/chashset"
+	"specbtree/internal/core"
+	"specbtree/internal/gbtree"
+	"specbtree/internal/hashset"
+	"specbtree/internal/rbtree"
+	"specbtree/internal/seqbtree"
+	"specbtree/internal/tuple"
+)
+
+func init() {
+	Register(Provider{
+		Name: "btree", ThreadSafe: true, Ordered: true,
+		New: func(arity int) Relation { return &btreeRel{t: core.New(arity), hints: true} },
+	})
+	Register(Provider{
+		Name: "btree-nh", ThreadSafe: true, Ordered: true,
+		New: func(arity int) Relation { return &btreeRel{t: core.New(arity)} },
+	})
+	Register(Provider{
+		Name: "seqbtree", ThreadSafe: false, Ordered: true,
+		New: func(arity int) Relation { return &seqRel{t: seqbtree.New(arity), hints: true} },
+	})
+	Register(Provider{
+		Name: "seqbtree-nh", ThreadSafe: false, Ordered: true,
+		New: func(arity int) Relation { return &seqRel{t: seqbtree.New(arity)} },
+	})
+	Register(Provider{
+		Name: "rbtset", ThreadSafe: false, Ordered: true,
+		New: func(arity int) Relation { return &rbRel{t: rbtree.New(arity)} },
+	})
+	Register(Provider{
+		Name: "hashset", ThreadSafe: false, Ordered: false,
+		New: func(arity int) Relation { return &hashRel{s: hashset.New(arity)} },
+	})
+	Register(Provider{
+		Name: "gbtree", ThreadSafe: false, Ordered: true,
+		New: func(arity int) Relation { return &gbRel{t: gbtree.New(arity)} },
+	})
+	Register(Provider{
+		Name: "tbbhash", ThreadSafe: true, Ordered: false,
+		New: func(arity int) Relation { return &chashRel{s: chashset.New(arity)} },
+	})
+}
+
+// prefixBounds derives the [lo, hi) tuple range of a prefix scan.
+func prefixBounds(prefix tuple.Tuple, arity int) (lo, hi tuple.Tuple) {
+	return tuple.PrefixLowerBound(prefix, arity), tuple.PrefixUpperBound(prefix, arity)
+}
+
+// ---- specialised concurrent B-tree (the contribution) ----
+
+type btreeRel struct {
+	t     *core.Tree
+	hints bool
+}
+
+func (r *btreeRel) Arity() int { return r.t.Arity() }
+func (r *btreeRel) Len() int   { return r.t.Len() }
+func (r *btreeRel) Empty() bool {
+	return r.t.Empty()
+}
+
+func (r *btreeRel) NewOps() Ops {
+	if r.hints {
+		return &btreeOps{t: r.t, h: core.NewHints()}
+	}
+	return &btreeOps{t: r.t}
+}
+
+func (r *btreeRel) Scan(yield func(tuple.Tuple) bool) { r.t.All(yield) }
+
+func (r *btreeRel) SplitRange(from, to tuple.Tuple, n int) []tuple.Tuple {
+	return r.t.SplitRange(from, to, n)
+}
+
+func (r *btreeRel) MergeFrom(src Relation) {
+	if o, ok := src.(*btreeRel); ok {
+		r.t.InsertAll(o.t) // the specialised structure-aware merge
+		return
+	}
+	genericMerge(r, src)
+}
+
+type btreeOps struct {
+	t *core.Tree
+	h *core.Hints // nil in the no-hints configuration
+}
+
+func (o *btreeOps) Insert(t tuple.Tuple) bool   { return o.t.InsertHint(t, o.h) }
+func (o *btreeOps) Contains(t tuple.Tuple) bool { return o.t.ContainsHint(t, o.h) }
+
+func (o *btreeOps) PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool) {
+	lo, hi := prefixBounds(prefix, o.t.Arity())
+	o.t.RangeHint(lo, hi, o.h, yield)
+}
+
+func (o *btreeOps) RangeScan(from, to tuple.Tuple, yield func(tuple.Tuple) bool) {
+	o.t.RangeHint(from, to, o.h, yield)
+}
+
+func (o *btreeOps) HintStats() (hits, misses uint64) {
+	if o.h == nil {
+		return 0, 0
+	}
+	return o.h.Stats.Hits(), o.h.Stats.Misses()
+}
+
+// ---- sequential specialised B-tree ----
+
+type seqRel struct {
+	mu    sync.Mutex
+	t     *seqbtree.Tree
+	hints bool
+}
+
+func (r *seqRel) Arity() int  { return r.t.Arity() }
+func (r *seqRel) Len() int    { return r.t.Len() }
+func (r *seqRel) Empty() bool { return r.t.Empty() }
+
+func (r *seqRel) NewOps() Ops {
+	if r.hints {
+		return &seqOps{r: r, h: seqbtree.NewHints()}
+	}
+	return &seqOps{r: r}
+}
+
+func (r *seqRel) Scan(yield func(tuple.Tuple) bool) { r.t.Scan(yield) }
+
+func (r *seqRel) MergeFrom(src Relation) {
+	if o, ok := src.(*seqRel); ok {
+		r.t.InsertAll(o.t)
+		return
+	}
+	genericMerge(r, src)
+}
+
+type seqOps struct {
+	r *seqRel
+	h *seqbtree.Hints
+}
+
+func (o *seqOps) Insert(t tuple.Tuple) bool {
+	// Global lock: the backend is not thread safe. Hints stay correct
+	// under the lock because nodes never move.
+	o.r.mu.Lock()
+	defer o.r.mu.Unlock()
+	return o.r.t.InsertHint(t, o.h)
+}
+
+func (o *seqOps) Contains(t tuple.Tuple) bool { return o.r.t.ContainsHint(t, o.h) }
+
+func (o *seqOps) PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool) {
+	lo, hi := prefixBounds(prefix, o.r.t.Arity())
+	for c := o.r.t.LowerBoundHint(lo, o.h); c.Valid(); c.Next() {
+		x := c.Tuple()
+		if hi != nil && tuple.Compare(x, hi) >= 0 {
+			return
+		}
+		if !yield(x) {
+			return
+		}
+	}
+}
+
+func (o *seqOps) HintStats() (hits, misses uint64) {
+	if o.h == nil {
+		return 0, 0
+	}
+	return o.h.Hits, o.h.Misses
+}
+
+// ---- red-black tree ----
+
+type rbRel struct {
+	mu sync.Mutex
+	t  *rbtree.Tree
+}
+
+func (r *rbRel) Arity() int  { return r.t.Arity() }
+func (r *rbRel) Len() int    { return r.t.Len() }
+func (r *rbRel) Empty() bool { return r.t.Empty() }
+
+func (r *rbRel) NewOps() Ops { return r }
+
+func (r *rbRel) Insert(t tuple.Tuple) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Insert(t)
+}
+
+func (r *rbRel) Contains(t tuple.Tuple) bool { return r.t.Contains(t) }
+
+func (r *rbRel) PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool) {
+	lo, hi := prefixBounds(prefix, r.t.Arity())
+	r.t.ScanRange(lo, hi, yield)
+}
+
+func (r *rbRel) Scan(yield func(tuple.Tuple) bool) { r.t.Scan(yield) }
+func (r *rbRel) MergeFrom(src Relation)            { genericMerge(r, src) }
+
+// ---- sequential hash set ----
+
+type hashRel struct {
+	mu sync.Mutex
+	s  *hashset.Set
+}
+
+func (r *hashRel) Arity() int  { return r.s.Arity() }
+func (r *hashRel) Len() int    { return r.s.Len() }
+func (r *hashRel) Empty() bool { return r.s.Empty() }
+
+func (r *hashRel) NewOps() Ops { return r }
+
+func (r *hashRel) Insert(t tuple.Tuple) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.Insert(t)
+}
+
+func (r *hashRel) Contains(t tuple.Tuple) bool { return r.s.Contains(t) }
+
+func (r *hashRel) PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool) {
+	lo, hi := prefixBounds(prefix, r.s.Arity())
+	r.s.ScanRange(lo, hi, yield) // filtered full scan: no order available
+}
+
+func (r *hashRel) Scan(yield func(tuple.Tuple) bool) { r.s.Scan(yield) }
+func (r *hashRel) MergeFrom(src Relation)            { genericMerge(r, src) }
+
+// ---- google-style sequential B-tree ----
+
+type gbRel struct {
+	mu sync.Mutex
+	t  *gbtree.Tree
+}
+
+func (r *gbRel) Arity() int  { return r.t.Arity() }
+func (r *gbRel) Len() int    { return r.t.Len() }
+func (r *gbRel) Empty() bool { return r.t.Empty() }
+
+func (r *gbRel) NewOps() Ops { return r }
+
+func (r *gbRel) Insert(t tuple.Tuple) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Insert(t)
+}
+
+func (r *gbRel) Contains(t tuple.Tuple) bool { return r.t.Contains(t) }
+
+func (r *gbRel) PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool) {
+	lo, hi := prefixBounds(prefix, r.t.Arity())
+	r.t.ScanRange(lo, hi, yield)
+}
+
+func (r *gbRel) Scan(yield func(tuple.Tuple) bool) { r.t.Scan(yield) }
+
+func (r *gbRel) MergeFrom(src Relation) {
+	if o, ok := src.(*gbRel); ok {
+		r.t.InsertAll(o.t)
+		return
+	}
+	genericMerge(r, src)
+}
+
+// ---- concurrent (TBB-style) hash set ----
+
+type chashRel struct {
+	s *chashset.Set
+}
+
+func (r *chashRel) Arity() int  { return r.s.Arity() }
+func (r *chashRel) Len() int    { return r.s.Len() }
+func (r *chashRel) Empty() bool { return r.s.Empty() }
+
+func (r *chashRel) NewOps() Ops { return r }
+
+func (r *chashRel) Insert(t tuple.Tuple) bool   { return r.s.Insert(t) }
+func (r *chashRel) Contains(t tuple.Tuple) bool { return r.s.Contains(t) }
+
+func (r *chashRel) PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool) {
+	lo, hi := prefixBounds(prefix, r.s.Arity())
+	r.s.ScanRange(lo, hi, yield)
+}
+
+func (r *chashRel) Scan(yield func(tuple.Tuple) bool) { r.s.Scan(yield) }
+func (r *chashRel) MergeFrom(src Relation)            { genericMerge(r, src) }

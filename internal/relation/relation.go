@@ -1,0 +1,144 @@
+// Package relation abstracts the set data structures backing Datalog
+// relations so the evaluation engine — like the adapted Soufflé of the
+// paper's §4.3 — can be instantiated with any of the investigated
+// representations (Table 1).
+//
+// A Relation is an insert-only set of fixed-arity tuples with the
+// operations §2 of the paper identifies as essential: insert, membership,
+// ordered prefix scans (lower/upper bound ranges) and full traversal.
+// Per-worker Ops handles carry operation hints where the underlying
+// structure supports them.
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"specbtree/internal/tuple"
+)
+
+// Relation is a set of fixed-arity tuples used as a Datalog relation.
+//
+// Thread-safety contract (the phase discipline of semi-naïve evaluation):
+// Insert through concurrently held Ops handles is safe for every
+// implementation — natively for the concurrent structures, via a global
+// lock for the sequential baselines. All read operations are only
+// guaranteed safe while no writer is active on the same relation.
+type Relation interface {
+	// Arity returns the tuple width.
+	Arity() int
+	// Len returns the number of tuples (read phase).
+	Len() int
+	// Empty reports whether the relation holds no tuples (read phase).
+	Empty() bool
+	// NewOps returns a per-goroutine operation handle. Handles must not be
+	// shared between goroutines; they carry operation hints.
+	NewOps() Ops
+	// Scan iterates over all tuples. Ordered implementations iterate in
+	// lexicographic order; hash-based ones in storage order. The yielded
+	// tuple is a transient view — clone to retain.
+	Scan(yield func(tuple.Tuple) bool)
+	// MergeFrom inserts every tuple of src into the relation.
+	// Single-writer: no other mutation may be in flight.
+	MergeFrom(src Relation)
+}
+
+// Ops is a per-goroutine handle performing relation operations with
+// goroutine-local operation hints (paper §3.2). Implementations backed by
+// hint-less structures simply forward to the shared set.
+type Ops interface {
+	// Insert adds t, reporting whether it was new.
+	Insert(t tuple.Tuple) bool
+	// Contains reports membership.
+	Contains(t tuple.Tuple) bool
+	// PrefixScan iterates, in lexicographic order for ordered backends,
+	// over all tuples whose first len(prefix) columns equal prefix.
+	PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool)
+}
+
+// HintReporter is implemented by Ops whose backend collects hint
+// statistics.
+type HintReporter interface {
+	HintStats() (hits, misses uint64)
+}
+
+// Splitter is implemented by relations that can partition their content
+// into contiguous key ranges — Soufflé-style chunking, which lets the
+// engine hand each evaluation worker a subrange of an outer scan instead
+// of materialising the scan up front.
+type Splitter interface {
+	// SplitRange returns strictly increasing boundary tuples inside
+	// (from, to); scanning [from,b1), [b1,b2), ..., [bk,to) covers exactly
+	// the range [from, to). Read phase only.
+	SplitRange(from, to tuple.Tuple, n int) []tuple.Tuple
+}
+
+// RangeScanner is implemented by Ops that can scan an arbitrary
+// lexicographic range. from must be non-nil; a nil to scans to the end.
+type RangeScanner interface {
+	RangeScan(from, to tuple.Tuple, yield func(tuple.Tuple) bool)
+}
+
+// Provider constructs relations of a given arity.
+type Provider struct {
+	// Name is the designation used in the paper's tables and figures.
+	Name string
+	// ThreadSafe reports whether the backend synchronises inserts natively
+	// (rather than through the adapter's global lock).
+	ThreadSafe bool
+	// Ordered reports whether PrefixScan is better than a filtered full
+	// scan.
+	Ordered bool
+	// New creates an empty relation with the given tuple width.
+	New func(arity int) Relation
+}
+
+// providers is the registry, populated by adapter files in this package.
+var providers = map[string]Provider{}
+
+// Register adds a provider under its name; it panics on duplicates and is
+// intended for this package's adapter files (and tests).
+func Register(p Provider) {
+	if _, dup := providers[p.Name]; dup {
+		panic(fmt.Sprintf("relation: duplicate provider %q", p.Name))
+	}
+	providers[p.Name] = p
+}
+
+// Lookup returns the provider registered under name.
+func Lookup(name string) (Provider, error) {
+	p, ok := providers[name]
+	if !ok {
+		return Provider{}, fmt.Errorf("relation: unknown provider %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup, panicking on unknown names.
+func MustLookup(name string) Provider {
+	p, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists the registered provider names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(providers))
+	for n := range providers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// genericMerge copies src into dst tuple by tuple through a fresh Ops
+// handle; adapters with a specialised merge override MergeFrom instead.
+func genericMerge(dst Relation, src Relation) {
+	ops := dst.NewOps()
+	src.Scan(func(t tuple.Tuple) bool {
+		ops.Insert(t)
+		return true
+	})
+}

@@ -1,0 +1,247 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// TestProvidersRegistered checks the full Table 1 line-up is available.
+func TestProvidersRegistered(t *testing.T) {
+	for _, name := range []string{
+		"btree", "btree-nh", "seqbtree", "seqbtree-nh",
+		"rbtset", "hashset", "gbtree", "tbbhash",
+	} {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Errorf("provider %q has name %q", name, p.Name)
+		}
+		r := p.New(2)
+		if r.Arity() != 2 || !r.Empty() {
+			t.Errorf("provider %q produced a bad empty relation", name)
+		}
+	}
+	if _, err := Lookup("nonesuch"); err == nil {
+		t.Error("unknown provider did not error")
+	}
+}
+
+// TestDifferentialAllProviders feeds an identical operation stream to
+// every provider and cross-checks against a reference map model.
+func TestDifferentialAllProviders(t *testing.T) {
+	stream := make([]tuple.Tuple, 4000)
+	rng := rand.New(rand.NewSource(13))
+	for i := range stream {
+		stream[i] = tuple.Tuple{uint64(rng.Intn(90)), uint64(rng.Intn(90))}
+	}
+	model := map[[2]uint64]bool{}
+	modelFresh := make([]bool, len(stream))
+	for i, tp := range stream {
+		k := [2]uint64{tp[0], tp[1]}
+		modelFresh[i] = !model[k]
+		model[k] = true
+	}
+
+	for _, name := range Names() {
+		p := MustLookup(name)
+		r := p.New(2)
+		ops := r.NewOps()
+		for i, tp := range stream {
+			if got := ops.Insert(tp); got != modelFresh[i] {
+				t.Fatalf("%s: insert %d (%v) = %v, want %v", name, i, tp, got, modelFresh[i])
+			}
+		}
+		if r.Len() != len(model) {
+			t.Fatalf("%s: Len = %d, want %d", name, r.Len(), len(model))
+		}
+		for k := range model {
+			if !ops.Contains(tuple.Tuple{k[0], k[1]}) {
+				t.Fatalf("%s: %v missing", name, k)
+			}
+		}
+		if ops.Contains(tuple.Tuple{500, 500}) {
+			t.Fatalf("%s: phantom tuple", name)
+		}
+		// Scan visits each element exactly once.
+		seen := map[[2]uint64]int{}
+		r.Scan(func(tp tuple.Tuple) bool {
+			seen[[2]uint64{tp[0], tp[1]}]++
+			return true
+		})
+		if len(seen) != len(model) {
+			t.Fatalf("%s: scan saw %d distinct, want %d", name, len(seen), len(model))
+		}
+		for k, c := range seen {
+			if c != 1 || !model[k] {
+				t.Fatalf("%s: scan anomaly at %v (count %d)", name, k, c)
+			}
+		}
+	}
+}
+
+// TestPrefixScanAllProviders verifies prefix scans return exactly the
+// matching tuples for every provider (ordered backends must also sort).
+func TestPrefixScanAllProviders(t *testing.T) {
+	var data []tuple.Tuple
+	for x := uint64(0); x < 25; x++ {
+		for y := uint64(0); y < 1+x%5; y++ {
+			data = append(data, tuple.Tuple{x, y * 3})
+		}
+	}
+	for _, name := range Names() {
+		p := MustLookup(name)
+		r := p.New(2)
+		ops := r.NewOps()
+		for _, tp := range data {
+			ops.Insert(tp)
+		}
+		for x := uint64(0); x < 27; x++ {
+			var want []tuple.Tuple
+			for _, tp := range data {
+				if tp[0] == x {
+					want = append(want, tp)
+				}
+			}
+			var got []tuple.Tuple
+			ops.PrefixScan(tuple.Tuple{x}, func(tp tuple.Tuple) bool {
+				got = append(got, tp.Clone())
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("%s: prefix %d yielded %d, want %d", name, x, len(got), len(want))
+			}
+			if p.Ordered {
+				if !sort.SliceIsSorted(got, func(i, j int) bool { return tuple.Less(got[i], got[j]) }) {
+					t.Fatalf("%s: prefix scan unordered", name)
+				}
+			} else {
+				sort.Slice(got, func(i, j int) bool { return tuple.Less(got[i], got[j]) })
+			}
+			for i := range got {
+				if !tuple.Equal(got[i], want[i]) {
+					t.Fatalf("%s: prefix %d element %d = %v, want %v", name, x, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentInsertAllProviders checks the Ops-level thread-safety
+// contract: concurrent inserts through per-goroutine handles are safe for
+// every provider (native or global-locked).
+func TestConcurrentInsertAllProviders(t *testing.T) {
+	for _, name := range Names() {
+		p := MustLookup(name)
+		r := p.New(2)
+		workers, perW := 6, 1500
+		if testing.Short() {
+			perW = 300
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ops := r.NewOps()
+				for i := 0; i < perW; i++ {
+					ops.Insert(tuple.Tuple{uint64(w*perW + i), uint64(i)})
+					ops.Insert(tuple.Tuple{uint64(i), 0}) // shared overlap
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Worker 0's disjoint stream {i, i} collides with the shared
+		// stream {i, 0} exactly once, at i == 0.
+		want := workers*perW + perW - 1
+		if got := r.Len(); got != want {
+			t.Fatalf("%s: Len = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestMergeFromAllProviders merges across same and different providers.
+func TestMergeFromAllProviders(t *testing.T) {
+	fill := func(r Relation, start, n uint64) {
+		ops := r.NewOps()
+		for i := uint64(0); i < n; i++ {
+			ops.Insert(tuple.Tuple{start + i, 0})
+		}
+	}
+	for _, name := range Names() {
+		p := MustLookup(name)
+		// Same-provider merge (may take the specialised path).
+		a, b := p.New(2), p.New(2)
+		fill(a, 0, 500)
+		fill(b, 250, 500)
+		a.MergeFrom(b)
+		if a.Len() != 750 {
+			t.Fatalf("%s: same-provider merge Len = %d, want 750", name, a.Len())
+		}
+		// Cross-provider merge (generic path).
+		c := p.New(2)
+		d := MustLookup("hashset").New(2)
+		fill(c, 0, 300)
+		fill(d, 100, 300)
+		c.MergeFrom(d)
+		if c.Len() != 400 {
+			t.Fatalf("%s: cross-provider merge Len = %d, want 400", name, c.Len())
+		}
+	}
+}
+
+// TestHintReporting: hinted backends expose statistics through the
+// HintReporter interface.
+func TestHintReporting(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		wantHints bool
+	}{
+		{"btree", true},
+		{"seqbtree", true},
+		{"btree-nh", false},
+		{"rbtset", false},
+	} {
+		r := MustLookup(tc.name).New(1)
+		ops := r.NewOps()
+		for i := 0; i < 500; i++ {
+			ops.Insert(tuple.Tuple{uint64(i)})
+			ops.Contains(tuple.Tuple{uint64(i)})
+		}
+		rep, ok := ops.(HintReporter)
+		if !ok {
+			if tc.wantHints {
+				t.Errorf("%s: no HintReporter", tc.name)
+			}
+			continue
+		}
+		hits, misses := rep.HintStats()
+		if tc.wantHints && hits == 0 {
+			t.Errorf("%s: zero hint hits on ordered workload (misses %d)", tc.name, misses)
+		}
+		if !tc.wantHints && hits+misses != 0 {
+			t.Errorf("%s: hint stats %d/%d on hint-less configuration", tc.name, hits, misses)
+		}
+	}
+}
+
+func TestEmptyPrefixScansWholeRelation(t *testing.T) {
+	r := MustLookup("btree").New(2)
+	ops := r.NewOps()
+	for i := uint64(0); i < 100; i++ {
+		ops.Insert(tuple.Tuple{i % 10, i / 10})
+	}
+	count := 0
+	ops.PrefixScan(tuple.Tuple{}, func(tuple.Tuple) bool {
+		count++
+		return true
+	})
+	if count != 100 {
+		t.Errorf("empty prefix scanned %d, want 100", count)
+	}
+}

@@ -1,0 +1,85 @@
+package relation
+
+import (
+	"sort"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// TestBtreeSplitterContract: scanning the split ranges back to back must
+// reproduce the ordered prefix scan exactly.
+func TestBtreeSplitterContract(t *testing.T) {
+	r := MustLookup("btree").New(2)
+	ops := r.NewOps()
+	for x := uint64(0); x < 60; x++ {
+		for y := uint64(0); y < 40; y++ {
+			ops.Insert(tuple.Tuple{x, y})
+		}
+	}
+	sp, ok := r.(Splitter)
+	if !ok {
+		t.Fatal("btree relation does not implement Splitter")
+	}
+	rs, ok := ops.(RangeScanner)
+	if !ok {
+		t.Fatal("btree ops does not implement RangeScanner")
+	}
+
+	lo := tuple.PrefixLowerBound(tuple.Tuple{10}, 2)
+	hi := tuple.PrefixUpperBound(tuple.Tuple{40}, 2) // covers x in [10, 40]
+
+	var want []tuple.Tuple
+	rs.RangeScan(lo, hi, func(tp tuple.Tuple) bool {
+		want = append(want, tp.Clone())
+		return true
+	})
+	if len(want) != 31*40 {
+		t.Fatalf("reference range has %d tuples", len(want))
+	}
+
+	for _, n := range []int{1, 2, 7, 16} {
+		bounds := sp.SplitRange(lo, hi, n)
+		for i := 1; i < len(bounds); i++ {
+			if tuple.Compare(bounds[i-1], bounds[i]) >= 0 {
+				t.Fatalf("n=%d: bounds not increasing", n)
+			}
+		}
+		starts := append([]tuple.Tuple{lo}, bounds...)
+		ends := append(append([]tuple.Tuple{}, bounds...), hi)
+		var got []tuple.Tuple
+		for ri := range starts {
+			rs.RangeScan(starts[ri], ends[ri], func(tp tuple.Tuple) bool {
+				got = append(got, tp.Clone())
+				return true
+			})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: ranges cover %d of %d", n, len(got), len(want))
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return tuple.Less(got[i], got[j]) }) {
+			t.Fatalf("n=%d: concatenated ranges unsorted", n)
+		}
+		for i := range want {
+			if !tuple.Equal(got[i], want[i]) {
+				t.Fatalf("n=%d: tuple %d differs", n, i)
+			}
+		}
+	}
+}
+
+// TestOnlyOrderedBackendsSplit: hash-based relations must not claim the
+// Splitter capability (the engine falls back to materialised chunking).
+func TestOnlyOrderedBackendsSplit(t *testing.T) {
+	for _, name := range []string{"hashset", "tbbhash"} {
+		if _, ok := MustLookup(name).New(2).(Splitter); ok {
+			t.Errorf("%s unexpectedly implements Splitter", name)
+		}
+	}
+	if _, ok := MustLookup("btree").New(2).(Splitter); !ok {
+		t.Error("btree must implement Splitter")
+	}
+	if _, ok := MustLookup("btree-nh").New(2).(Splitter); !ok {
+		t.Error("btree-nh must implement Splitter")
+	}
+}

@@ -1,0 +1,482 @@
+// Package seqbtree is the sequential version of the specialised B-tree —
+// the paper's "seq btree" baseline (Table 1). It runs the same algorithms
+// as package core (classic B-tree, linear in-node search, operation hints,
+// bottom-up splits via parent pointers) but stores plain words with no
+// atomics and no locks, quantifying the price of synchronisation
+// ("the necessary wrapping of key elements into atomic types is causing a
+// performance deficit for our optimistic B-tree compared to its
+// sequential equivalent", paper §4.1).
+package seqbtree
+
+import (
+	"fmt"
+
+	"specbtree/internal/tuple"
+)
+
+// DefaultCapacity matches the concurrent tree's node sizing.
+const DefaultCapacity = 16
+
+// Tree is a single-threaded B-tree set of fixed-arity tuples.
+type Tree struct {
+	arity    int
+	capacity int
+	root     *node
+	size     int
+}
+
+type node struct {
+	inner  bool
+	parent *node
+	pos    int
+	count  int
+	keys   []uint64 // capacity*arity words
+	child  []*node  // capacity+1 for inner nodes
+}
+
+// Hints caches the last leaf accessed per operation class, mirroring
+// core.Hints for the sequential tree.
+type Hints struct {
+	insertLeaf *node
+	findLeaf   *node
+	lowerLeaf  *node
+	upperLeaf  *node
+
+	Hits, Misses uint64
+}
+
+// NewHints returns an empty hint set.
+func NewHints() *Hints { return &Hints{} }
+
+// New creates an empty tree for tuples with the given number of columns.
+func New(arity int, capacity ...int) *Tree {
+	c := DefaultCapacity
+	if len(capacity) > 0 && capacity[0] != 0 {
+		c = capacity[0]
+	}
+	if arity <= 0 || c < 3 {
+		panic(fmt.Sprintf("seqbtree: invalid arity %d or capacity %d", arity, c))
+	}
+	return &Tree{arity: arity, capacity: c}
+}
+
+// Arity returns the tuple width.
+func (t *Tree) Arity() int { return t.arity }
+
+// Len returns the number of elements.
+func (t *Tree) Len() int { return t.size }
+
+// Empty reports whether the set has no elements.
+func (t *Tree) Empty() bool { return t.size == 0 }
+
+func (t *Tree) newNode(inner bool) *node {
+	n := &node{inner: inner, keys: make([]uint64, t.capacity*t.arity)}
+	if inner {
+		n.child = make([]*node, t.capacity+1)
+	}
+	return n
+}
+
+func (n *node) row(i, arity int) tuple.Tuple {
+	return tuple.Tuple(n.keys[i*arity : (i+1)*arity])
+}
+
+// search returns the index of the first element >= v and equality, using
+// a linear scan with the 3-way comparator (nodes are cache-line sized).
+func (n *node) search(arity int, v tuple.Tuple) (int, bool) {
+	for i := 0; i < n.count; i++ {
+		c := tuple.CompareWords(n.keys[i*arity:(i+1)*arity], v)
+		if c >= 0 {
+			return i, c == 0
+		}
+	}
+	return n.count, false
+}
+
+func (n *node) searchBound(arity int, v tuple.Tuple, strict bool) int {
+	want := 0
+	if strict {
+		want = 1
+	}
+	for i := 0; i < n.count; i++ {
+		if tuple.CompareWords(n.keys[i*arity:(i+1)*arity], v) >= want {
+			return i
+		}
+	}
+	return n.count
+}
+
+func (t *Tree) checkArity(v tuple.Tuple) {
+	if len(v) != t.arity {
+		panic(fmt.Sprintf("seqbtree: arity-%d tuple in arity-%d tree", len(v), t.arity))
+	}
+}
+
+// covers reports whether leaf's own key range contains v.
+func (t *Tree) covers(leaf *node, v tuple.Tuple) bool {
+	if leaf == nil || leaf.inner || leaf.count == 0 {
+		return false
+	}
+	return tuple.Compare(leaf.row(0, t.arity), v) <= 0 &&
+		tuple.Compare(leaf.row(leaf.count-1, t.arity), v) >= 0
+}
+
+// Insert adds v, returning false if already present.
+func (t *Tree) Insert(v tuple.Tuple) bool { return t.InsertHint(v, nil) }
+
+// InsertHint adds v consulting the hint: if the remembered leaf covers v
+// the descent is skipped and, on a split, the tree is walked bottom-up
+// through parent pointers — the structure that motivates the paper's
+// bottom-up lock acquisition.
+func (t *Tree) InsertHint(v tuple.Tuple, h *Hints) bool {
+	t.checkArity(v)
+	if t.root == nil {
+		t.root = t.newNode(false)
+	}
+
+	var leaf *node
+	if h != nil && t.covers(h.insertLeaf, v) {
+		h.Hits++
+		leaf = h.insertLeaf
+	} else {
+		if h != nil && h.insertLeaf != nil {
+			h.Misses++
+		}
+		n := t.root
+		for {
+			idx, found := n.search(t.arity, v)
+			if found {
+				return false
+			}
+			if !n.inner {
+				leaf = n
+				break
+			}
+			n = n.child[idx]
+		}
+	}
+
+	idx, found := leaf.search(t.arity, v)
+	if found {
+		return false
+	}
+	if leaf.count == t.capacity {
+		t.split(leaf)
+		// Re-descend from the (possibly new) parent of the split halves;
+		// restarting from the root keeps the code identical to Alg. 1.
+		if h != nil {
+			h.insertLeaf = nil
+		}
+		return t.InsertHint(v, h)
+	}
+	t.insertAt(leaf, idx, v, nil)
+	t.size++
+	if h != nil {
+		h.insertLeaf = leaf
+	}
+	return true
+}
+
+func (t *Tree) insertAt(n *node, idx int, v tuple.Tuple, right *node) {
+	arity := t.arity
+	copy(n.keys[(idx+1)*arity:(n.count+1)*arity], n.keys[idx*arity:n.count*arity])
+	copy(n.keys[idx*arity:(idx+1)*arity], v)
+	if n.inner {
+		copy(n.child[idx+2:n.count+2], n.child[idx+1:n.count+1])
+		for i := idx + 2; i <= n.count+1; i++ {
+			n.child[i].pos = i
+		}
+		n.child[idx+1] = right
+		right.parent = n
+		right.pos = idx + 1
+	}
+	n.count++
+}
+
+// split splits the full node n, propagating upward as needed.
+func (t *Tree) split(n *node) {
+	parent := n.parent
+	if parent != nil && parent.count == t.capacity {
+		t.split(parent)
+		parent = n.parent
+	}
+
+	arity := t.arity
+	mid := n.count / 2
+	median := append(tuple.Tuple(nil), n.row(mid, arity)...)
+
+	sibling := t.newNode(n.inner)
+	moved := n.count - mid - 1
+	copy(sibling.keys, n.keys[(mid+1)*arity:n.count*arity])
+	if n.inner {
+		for i := 0; i <= moved; i++ {
+			c := n.child[mid+1+i]
+			sibling.child[i] = c
+			c.parent = sibling
+			c.pos = i
+		}
+	}
+	sibling.count = moved
+	n.count = mid
+
+	if parent == nil {
+		root := t.newNode(true)
+		copy(root.keys[:arity], median)
+		root.child[0] = n
+		root.child[1] = sibling
+		root.count = 1
+		n.parent, n.pos = root, 0
+		sibling.parent, sibling.pos = root, 1
+		t.root = root
+		return
+	}
+	t.insertAt(parent, n.pos, median, sibling)
+}
+
+// Contains reports whether v is in the set.
+func (t *Tree) Contains(v tuple.Tuple) bool { return t.ContainsHint(v, nil) }
+
+// ContainsHint is Contains with an operation hint.
+func (t *Tree) ContainsHint(v tuple.Tuple, h *Hints) bool {
+	t.checkArity(v)
+	if h != nil && t.covers(h.findLeaf, v) {
+		h.Hits++
+		_, found := h.findLeaf.search(t.arity, v)
+		return found
+	}
+	if h != nil && h.findLeaf != nil {
+		h.Misses++
+	}
+	n := t.root
+	for n != nil {
+		idx, found := n.search(t.arity, v)
+		if found {
+			if h != nil && !n.inner {
+				h.findLeaf = n
+			}
+			return true
+		}
+		if !n.inner {
+			if h != nil {
+				h.findLeaf = n
+			}
+			return false
+		}
+		n = n.child[idx]
+	}
+	return false
+}
+
+// Cursor is an ordered position in the tree; the zero value is the end.
+type Cursor struct {
+	t   *Tree
+	n   *node
+	idx int
+}
+
+// Valid reports whether the cursor designates an element.
+func (c *Cursor) Valid() bool { return c.n != nil }
+
+// Tuple returns the current element (aliasing the tree's storage; callers
+// must not modify it and must copy it to retain it past Next).
+func (c *Cursor) Tuple() tuple.Tuple { return c.n.row(c.idx, c.t.arity) }
+
+// Next advances to the in-order successor.
+func (c *Cursor) Next() {
+	n := c.n
+	if n.inner {
+		x := n.child[c.idx+1]
+		for x.inner {
+			x = x.child[0]
+		}
+		c.n, c.idx = x, 0
+		return
+	}
+	if c.idx+1 < n.count {
+		c.idx++
+		return
+	}
+	for {
+		p := n.parent
+		if p == nil {
+			c.n, c.idx = nil, 0
+			return
+		}
+		if n.pos < p.count {
+			c.n, c.idx = p, n.pos
+			return
+		}
+		n = p
+	}
+}
+
+// Begin returns a cursor at the smallest element.
+func (t *Tree) Begin() Cursor {
+	n := t.root
+	if n == nil || t.size == 0 {
+		return Cursor{}
+	}
+	for n.inner {
+		n = n.child[0]
+	}
+	return Cursor{t: t, n: n, idx: 0}
+}
+
+// LowerBound returns a cursor at the first element >= v.
+func (t *Tree) LowerBound(v tuple.Tuple) Cursor { return t.bound(v, false, nil) }
+
+// UpperBound returns a cursor at the first element > v.
+func (t *Tree) UpperBound(v tuple.Tuple) Cursor { return t.bound(v, true, nil) }
+
+// LowerBoundHint is LowerBound with an operation hint.
+func (t *Tree) LowerBoundHint(v tuple.Tuple, h *Hints) Cursor { return t.bound(v, false, h) }
+
+// UpperBoundHint is UpperBound with an operation hint.
+func (t *Tree) UpperBoundHint(v tuple.Tuple, h *Hints) Cursor { return t.bound(v, true, h) }
+
+func (t *Tree) bound(v tuple.Tuple, strict bool, h *Hints) Cursor {
+	t.checkArity(v)
+	if h != nil {
+		leaf := h.lowerLeaf
+		if strict {
+			leaf = h.upperLeaf
+		}
+		if t.covers(leaf, v) {
+			lastCmp := tuple.Compare(leaf.row(leaf.count-1, t.arity), v)
+			if !(strict && lastCmp == 0) {
+				if idx := leaf.searchBound(t.arity, v, strict); idx < leaf.count {
+					h.Hits++
+					return Cursor{t: t, n: leaf, idx: idx}
+				}
+			}
+		}
+		if leaf != nil {
+			h.Misses++
+		}
+	}
+	n := t.root
+	candidate := Cursor{}
+	for n != nil {
+		idx := n.searchBound(t.arity, v, strict)
+		if !n.inner {
+			var res Cursor
+			if idx < n.count {
+				res = Cursor{t: t, n: n, idx: idx}
+			} else {
+				res = candidate
+			}
+			if h != nil {
+				if strict {
+					h.upperLeaf = n
+				} else {
+					h.lowerLeaf = n
+				}
+			}
+			return res
+		}
+		if idx < n.count {
+			candidate = Cursor{t: t, n: n, idx: idx}
+		}
+		n = n.child[idx]
+	}
+	return candidate
+}
+
+// Scan iterates over all elements in ascending order.
+func (t *Tree) Scan(yield func(tuple.Tuple) bool) {
+	for c := t.Begin(); c.Valid(); c.Next() {
+		if !yield(c.Tuple()) {
+			return
+		}
+	}
+}
+
+// ScanRange iterates over elements x with from <= x < to (to == nil means
+// to the end).
+func (t *Tree) ScanRange(from, to tuple.Tuple, yield func(tuple.Tuple) bool) {
+	for c := t.LowerBound(from); c.Valid(); c.Next() {
+		x := c.Tuple()
+		if to != nil && tuple.Compare(x, to) >= 0 {
+			return
+		}
+		if !yield(x) {
+			return
+		}
+	}
+}
+
+// InsertAll merges src into t, reusing one insert hint across the ordered
+// stream (the specialised merge of the paper's implementation notes).
+func (t *Tree) InsertAll(src *Tree) {
+	h := NewHints()
+	src.Scan(func(tp tuple.Tuple) bool {
+		t.InsertHint(tp, h)
+		return true
+	})
+}
+
+// Check validates structural invariants for tests.
+func (t *Tree) Check() error {
+	if t.root == nil {
+		return nil
+	}
+	depth := -1
+	total, err := t.checkNode(t.root, nil, nil, 0, &depth)
+	if err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("seqbtree: size %d but %d elements found", t.size, total)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(n *node, lo, hi tuple.Tuple, level int, leafDepth *int) (int, error) {
+	if n.count > t.capacity || (n.count == 0 && level > 0) {
+		return 0, fmt.Errorf("seqbtree: bad count %d at level %d", n.count, level)
+	}
+	total := n.count
+	for i := 0; i < n.count; i++ {
+		key := n.row(i, t.arity)
+		if i > 0 && tuple.Compare(n.row(i-1, t.arity), key) >= 0 {
+			return 0, fmt.Errorf("seqbtree: out of order at level %d", level)
+		}
+		if lo != nil && tuple.Compare(key, lo) <= 0 {
+			return 0, fmt.Errorf("seqbtree: key below separator")
+		}
+		if hi != nil && tuple.Compare(key, hi) >= 0 {
+			return 0, fmt.Errorf("seqbtree: key above separator")
+		}
+	}
+	if !n.inner {
+		if *leafDepth == -1 {
+			*leafDepth = level
+		} else if *leafDepth != level {
+			return 0, fmt.Errorf("seqbtree: uneven leaf depth")
+		}
+		return total, nil
+	}
+	for i := 0; i <= n.count; i++ {
+		c := n.child[i]
+		if c == nil {
+			return 0, fmt.Errorf("seqbtree: nil child")
+		}
+		if c.parent != n || c.pos != i {
+			return 0, fmt.Errorf("seqbtree: bad parent/pos at level %d child %d", level, i)
+		}
+		var clo, chi tuple.Tuple
+		clo, chi = lo, hi
+		if i > 0 {
+			clo = n.row(i-1, t.arity)
+		}
+		if i < n.count {
+			chi = n.row(i, t.arity)
+		}
+		sub, err := t.checkNode(c, clo, chi, level+1, leafDepth)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}

@@ -1,0 +1,200 @@
+package seqbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+func randTuples(n int, domain uint64, seed int64) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		ts[i] = tuple.Tuple{uint64(rng.Int63n(int64(domain))), uint64(rng.Int63n(int64(domain)))}
+	}
+	return ts
+}
+
+func TestInsertContainsModel(t *testing.T) {
+	for _, capacity := range []int{3, 4, 16} {
+		tr := New(2, capacity)
+		model := map[[2]uint64]bool{}
+		for _, tp := range randTuples(5000, 120, int64(capacity)) {
+			k := [2]uint64{tp[0], tp[1]}
+			if tr.Insert(tp) == model[k] {
+				t.Fatalf("capacity %d: insert disagreement on %v", capacity, tp)
+			}
+			model[k] = true
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("capacity %d: %v", capacity, err)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("capacity %d: Len %d != %d", capacity, tr.Len(), len(model))
+		}
+		for k := range model {
+			if !tr.Contains(tuple.Tuple{k[0], k[1]}) {
+				t.Fatalf("capacity %d: %v missing", capacity, k)
+			}
+		}
+	}
+}
+
+func TestHintedInsertEquivalence(t *testing.T) {
+	// A hinted and an unhinted tree fed the same stream must agree.
+	plain := New(2, 4)
+	hinted := New(2, 4)
+	h := NewHints()
+	rng := rand.New(rand.NewSource(5))
+	cur := uint64(100)
+	for i := 0; i < 8000; i++ {
+		if rng.Intn(8) == 0 {
+			cur = uint64(rng.Intn(500))
+		}
+		tp := tuple.Tuple{cur, uint64(rng.Intn(50))}
+		a := plain.Insert(tp)
+		b := hinted.InsertHint(tp, h)
+		if a != b {
+			t.Fatalf("insert %v: plain=%v hinted=%v", tp, a, b)
+		}
+	}
+	if err := hinted.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != hinted.Len() {
+		t.Fatalf("sizes diverge: %d vs %d", plain.Len(), hinted.Len())
+	}
+	if h.Hits == 0 {
+		t.Error("clustered stream produced no hint hits")
+	}
+	// Element-wise agreement.
+	pc, hc := plain.Begin(), hinted.Begin()
+	for pc.Valid() && hc.Valid() {
+		if !tuple.Equal(pc.Tuple(), hc.Tuple()) {
+			t.Fatalf("content diverges: %v vs %v", pc.Tuple(), hc.Tuple())
+		}
+		pc.Next()
+		hc.Next()
+	}
+	if pc.Valid() != hc.Valid() {
+		t.Fatal("trees have different lengths in iteration")
+	}
+}
+
+func TestHintedLookups(t *testing.T) {
+	tr := New(2, 8)
+	for i := 0; i < 3000; i++ {
+		tr.Insert(tuple.Tuple{uint64(i / 30), uint64(i % 30)})
+	}
+	h := NewHints()
+	for i := 0; i < 3000; i++ {
+		tp := tuple.Tuple{uint64(i / 30), uint64(i % 30)}
+		if !tr.ContainsHint(tp, h) {
+			t.Fatalf("%v missing", tp)
+		}
+	}
+	if h.Hits == 0 {
+		t.Error("ordered lookups produced no hint hits")
+	}
+}
+
+func TestBoundsMatchModel(t *testing.T) {
+	tr := New(2, 5)
+	ts := randTuples(3000, 70, 21)
+	for _, tp := range ts {
+		tr.Insert(tp)
+	}
+	var all []tuple.Tuple
+	tr.Scan(func(tp tuple.Tuple) bool {
+		all = append(all, tp.Clone())
+		return true
+	})
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return tuple.Less(all[i], all[j]) }) {
+		t.Fatal("scan not sorted")
+	}
+	h := NewHints()
+	for _, p := range randTuples(800, 72, 22) {
+		wantL := sort.Search(len(all), func(i int) bool { return tuple.Compare(all[i], p) >= 0 })
+		lb := tr.LowerBound(p)
+		lbh := tr.LowerBoundHint(p, h)
+		if wantL == len(all) {
+			if lb.Valid() || lbh.Valid() {
+				t.Fatalf("LowerBound(%v) should be end", p)
+			}
+		} else {
+			if !lb.Valid() || !tuple.Equal(lb.Tuple(), all[wantL]) {
+				t.Fatalf("LowerBound(%v) mismatch", p)
+			}
+			if !lbh.Valid() || !tuple.Equal(lbh.Tuple(), all[wantL]) {
+				t.Fatalf("LowerBoundHint(%v) mismatch", p)
+			}
+		}
+		wantU := sort.Search(len(all), func(i int) bool { return tuple.Compare(all[i], p) > 0 })
+		ub := tr.UpperBoundHint(p, h)
+		if wantU == len(all) {
+			if ub.Valid() {
+				t.Fatalf("UpperBound(%v) should be end", p)
+			}
+		} else if !ub.Valid() || !tuple.Equal(ub.Tuple(), all[wantU]) {
+			t.Fatalf("UpperBound(%v) mismatch", p)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New(2, 4)
+	for x := uint64(0); x < 40; x++ {
+		for y := uint64(0); y < 6; y++ {
+			tr.Insert(tuple.Tuple{x, y})
+		}
+	}
+	count := 0
+	tr.ScanRange(tuple.Tuple{7, 0}, tuple.Tuple{8, 0}, func(tp tuple.Tuple) bool {
+		if tp[0] != 7 {
+			t.Fatalf("out-of-range %v", tp)
+		}
+		count++
+		return true
+	})
+	if count != 6 {
+		t.Fatalf("range yielded %d, want 6", count)
+	}
+}
+
+func TestInsertAll(t *testing.T) {
+	a, b := New(1, 4), New(1, 4)
+	for i := 0; i < 800; i++ {
+		a.Insert(tuple.Tuple{uint64(2 * i)})
+		b.Insert(tuple.Tuple{uint64(3 * i)})
+	}
+	a.InsertAll(b)
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	model := map[uint64]bool{}
+	for i := 0; i < 800; i++ {
+		model[uint64(2*i)] = true
+		model[uint64(3*i)] = true
+	}
+	if a.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(model))
+	}
+}
+
+func TestDescendingWithHints(t *testing.T) {
+	tr := New(1, 3)
+	h := NewHints()
+	for i := 3000; i > 0; i-- {
+		if !tr.InsertHint(tuple.Tuple{uint64(i)}, h) {
+			t.Fatalf("duplicate at %d", i)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}

@@ -1,0 +1,171 @@
+// Package syncadapt provides the two externally synchronised baselines of
+// the paper's parallel evaluation (§4.2): a global-lock wrapper around a
+// sequential set, and a parallel-reduction set in which every thread
+// inserts into a private tree before a concluding merge. Both are built on
+// the "google btree" baseline (package gbtree), the fastest sequential
+// external option — exactly the choice the paper made.
+package syncadapt
+
+import (
+	"sync"
+
+	"specbtree/internal/gbtree"
+	"specbtree/internal/tuple"
+)
+
+// Locked wraps a sequential B-tree with one global mutex around mutation.
+// Reads are left unsynchronised: under the semi-naïve phase discipline a
+// relation is never queried while it is being written, so only writers
+// need mutual exclusion. This is the paper's "google btree" configuration
+// of Figure 4 — correct, and predictably unable to scale.
+type Locked struct {
+	mu sync.Mutex
+	t  *gbtree.Tree
+}
+
+// NewLocked creates an empty globally locked tree.
+func NewLocked(arity int, capacity ...int) *Locked {
+	return &Locked{t: gbtree.New(arity, capacity...)}
+}
+
+// Arity returns the tuple width.
+func (l *Locked) Arity() int { return l.t.Arity() }
+
+// Len returns the element count (read phase only).
+func (l *Locked) Len() int { return l.t.Len() }
+
+// Empty reports whether the set has no elements (read phase only).
+func (l *Locked) Empty() bool { return l.t.Empty() }
+
+// Insert adds v under the global lock.
+func (l *Locked) Insert(v tuple.Tuple) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Insert(v)
+}
+
+// Contains reports membership. Unsynchronised: phase-concurrent use only.
+func (l *Locked) Contains(v tuple.Tuple) bool { return l.t.Contains(v) }
+
+// Scan iterates in ascending order (read phase only).
+func (l *Locked) Scan(yield func(tuple.Tuple) bool) { l.t.Scan(yield) }
+
+// ScanRange iterates over [from, to) in order (read phase only).
+func (l *Locked) ScanRange(from, to tuple.Tuple, yield func(tuple.Tuple) bool) {
+	l.t.ScanRange(from, to, yield)
+}
+
+// Reduction is the parallel-reduction set: each worker owns a private
+// sequential B-tree; Merge combines the parts in a parallel tournament
+// reduction (the OpenMP user-defined-reduction pattern of the paper).
+//
+// During the insertion phase there is no shared state at all — and
+// consequently no global duplicate detection and no global queries until
+// Merge has run. That trade-off is what the paper's Figure 4 evaluates.
+type Reduction struct {
+	arity    int
+	capacity int
+
+	mu     sync.Mutex
+	parts  []*gbtree.Tree
+	merged *gbtree.Tree
+}
+
+// NewReduction creates an empty reduction set.
+func NewReduction(arity int, capacity ...int) *Reduction {
+	c := 0
+	if len(capacity) > 0 {
+		c = capacity[0]
+	}
+	return &Reduction{arity: arity, capacity: c}
+}
+
+// Arity returns the tuple width.
+func (r *Reduction) Arity() int { return r.arity }
+
+// Worker is a private insertion handle owned by exactly one goroutine.
+type Worker struct {
+	t *gbtree.Tree
+}
+
+// NewWorker registers and returns a private insertion handle. Safe to call
+// concurrently.
+func (r *Reduction) NewWorker() *Worker {
+	t := gbtree.New(r.arity, r.capacity)
+	r.mu.Lock()
+	r.parts = append(r.parts, t)
+	r.mu.Unlock()
+	return &Worker{t: t}
+}
+
+// Insert adds v to the worker's private tree. The duplicate report is
+// local: another worker may hold the same tuple until Merge deduplicates.
+func (w *Worker) Insert(v tuple.Tuple) bool { return w.t.Insert(v) }
+
+// Len returns the private element count.
+func (w *Worker) Len() int { return w.t.Len() }
+
+// Merge combines all worker parts into the final set using a parallel
+// tournament: pairs of parts merge concurrently until one remains. Must be
+// called after all workers have finished inserting.
+func (r *Reduction) Merge() {
+	r.mu.Lock()
+	parts := r.parts
+	r.parts = nil
+	r.mu.Unlock()
+
+	if r.merged != nil {
+		parts = append(parts, r.merged)
+		r.merged = nil
+	}
+	switch len(parts) {
+	case 0:
+		r.merged = gbtree.New(r.arity, r.capacity)
+		return
+	case 1:
+		r.merged = parts[0]
+		return
+	}
+	for len(parts) > 1 {
+		half := len(parts) / 2
+		var wg sync.WaitGroup
+		for i := 0; i < half; i++ {
+			wg.Add(1)
+			go func(dst, src *gbtree.Tree) {
+				defer wg.Done()
+				// Merge the smaller tree into the larger one.
+				if src.Len() > dst.Len() {
+					dst, src = src, dst
+				}
+				dst.InsertAll(src)
+			}(parts[i], parts[len(parts)-1-i])
+		}
+		wg.Wait()
+		// Keep the merge targets; drop the consumed sources. Because the
+		// closure may have swapped roles, keep whichever is larger.
+		next := parts[:0]
+		for i := 0; i < half; i++ {
+			a, b := parts[i], parts[len(parts)-1-i]
+			if b.Len() > a.Len() {
+				a = b
+			}
+			next = append(next, a)
+		}
+		if len(parts)%2 == 1 {
+			next = append(next, parts[half])
+		}
+		parts = next
+	}
+	r.merged = parts[0]
+}
+
+// Result returns the merged set; nil before Merge.
+func (r *Reduction) Result() *gbtree.Tree { return r.merged }
+
+// Len returns the merged element count; 0 before Merge.
+func (r *Reduction) Len() int {
+	if r.merged == nil {
+		return 0
+	}
+	return r.merged.Len()
+}

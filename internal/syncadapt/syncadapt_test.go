@@ -1,0 +1,150 @@
+package syncadapt
+
+import (
+	"sync"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+func TestLockedConcurrentInserts(t *testing.T) {
+	l := NewLocked(2)
+	workers, perW := 8, 2000
+	if testing.Short() {
+		perW = 300
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				l.Insert(tuple.Tuple{uint64(w), uint64(i)})
+				l.Insert(tuple.Tuple{999, uint64(i)}) // contended duplicates
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := workers*perW + perW
+	if l.Len() != want {
+		t.Fatalf("Len = %d, want %d", l.Len(), want)
+	}
+	if !l.Contains(tuple.Tuple{999, 0}) {
+		t.Error("shared element missing")
+	}
+	count := 0
+	l.Scan(func(tuple.Tuple) bool { count++; return true })
+	if count != want {
+		t.Fatalf("scan visited %d", count)
+	}
+}
+
+func TestLockedScanRange(t *testing.T) {
+	l := NewLocked(1)
+	for i := 0; i < 100; i++ {
+		l.Insert(tuple.Tuple{uint64(i)})
+	}
+	count := 0
+	l.ScanRange(tuple.Tuple{10}, tuple.Tuple{20}, func(tuple.Tuple) bool {
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("range yielded %d", count)
+	}
+	if l.Empty() {
+		t.Error("Empty on filled set")
+	}
+}
+
+func TestReductionMergeDeduplicates(t *testing.T) {
+	r := NewReduction(2)
+	workers, perW := 6, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := r.NewWorker()
+			for j := 0; j < perW; j++ {
+				w.Insert(tuple.Tuple{uint64(j), 0})          // full overlap
+				w.Insert(tuple.Tuple{uint64(id), uint64(j)}) // disjoint
+			}
+			if w.Len() == 0 {
+				t.Error("worker tree empty")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Error("Len nonzero before Merge")
+	}
+	r.Merge()
+	// perW shared + workers*perW disjoint, minus the overlap where id<perW
+	// collides with (j, 0) at j==id... disjoint tuples are (id, j); shared
+	// are (j, 0). Overlap: (id, 0) appears in both when id < perW.
+	want := perW + workers*perW - workers
+	if got := r.Len(); got != want {
+		t.Fatalf("merged Len = %d, want %d", got, want)
+	}
+	if err := r.Result().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionSingleWorker(t *testing.T) {
+	r := NewReduction(1)
+	w := r.NewWorker()
+	for i := 0; i < 100; i++ {
+		w.Insert(tuple.Tuple{uint64(i)})
+	}
+	r.Merge()
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestReductionNoWorkers(t *testing.T) {
+	r := NewReduction(1)
+	r.Merge()
+	if r.Len() != 0 || r.Result() == nil {
+		t.Error("empty merge should yield an empty result tree")
+	}
+}
+
+func TestReductionOddWorkerCount(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5, 7, 9} {
+		r := NewReduction(1)
+		for w := 0; w < workers; w++ {
+			h := r.NewWorker()
+			for i := 0; i < 200; i++ {
+				h.Insert(tuple.Tuple{uint64(w*200 + i)})
+			}
+		}
+		r.Merge()
+		if got := r.Len(); got != workers*200 {
+			t.Fatalf("workers=%d: Len = %d, want %d", workers, got, workers*200)
+		}
+		if err := r.Result().Check(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestReductionIncrementalMerge(t *testing.T) {
+	// A second round of workers after a Merge folds into the prior result.
+	r := NewReduction(1)
+	w := r.NewWorker()
+	for i := 0; i < 50; i++ {
+		w.Insert(tuple.Tuple{uint64(i)})
+	}
+	r.Merge()
+	w2 := r.NewWorker()
+	for i := 25; i < 75; i++ {
+		w2.Insert(tuple.Tuple{uint64(i)})
+	}
+	r.Merge()
+	if got := r.Len(); got != 75 {
+		t.Fatalf("incremental merge Len = %d, want 75", got)
+	}
+}

@@ -1,0 +1,207 @@
+package tuple
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	tests := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Tuple{1, 2}, Tuple{1, 2}, 0},
+		{Tuple{1, 2}, Tuple{1, 3}, -1},
+		{Tuple{1, 3}, Tuple{1, 2}, 1},
+		{Tuple{1, 2}, Tuple{2, 0}, -1},
+		{Tuple{2, 0}, Tuple{1, 9}, 1},
+		{Tuple{0}, Tuple{0}, 0},
+		{Tuple{}, Tuple{}, 0},
+		{Tuple{7, 10}, Tuple{7, 4}, 1}, // the paper's hint example pair
+	}
+	for _, tc := range tests {
+		if got := Compare(tc.a, tc.b); sign(got) != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want sign %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b [3]uint64) bool {
+		x, y := Tuple(a[:]), Tuple(b[:])
+		return sign(Compare(x, y)) == -sign(Compare(y, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareTransitiveViaSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ts := make([]Tuple, 500)
+	for i := range ts {
+		ts[i] = Tuple{uint64(rng.Intn(20)), uint64(rng.Intn(20)), uint64(rng.Intn(20))}
+	}
+	sort.Slice(ts, func(i, j int) bool { return Less(ts[i], ts[j]) })
+	for i := 1; i < len(ts); i++ {
+		if Compare(ts[i-1], ts[i]) > 0 {
+			t.Fatalf("sort produced out-of-order pair at %d: %v > %v", i, ts[i-1], ts[i])
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Tuple{1, 2}, Tuple{1, 2}) {
+		t.Error("equal tuples reported unequal")
+	}
+	if Equal(Tuple{1, 2}, Tuple{1, 2, 3}) {
+		t.Error("different-arity tuples reported equal")
+	}
+	if Equal(Tuple{1, 2}, Tuple{1, 3}) {
+		t.Error("different tuples reported equal")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := Tuple{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone shares storage with the original")
+	}
+	if !Equal(a, Tuple{1, 2, 3}) {
+		t.Errorf("original mutated: %v", a)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Tuple{1, 2}).String(); got != "(1, 2)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Tuple{}).String(); got != "()" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPrefixBounds(t *testing.T) {
+	lo := PrefixLowerBound(Tuple{7}, 2)
+	hi := PrefixUpperBound(Tuple{7}, 2)
+	if !Equal(lo, Tuple{7, 0}) {
+		t.Errorf("lower = %v", lo)
+	}
+	if !Equal(hi, Tuple{8, 0}) {
+		t.Errorf("upper = %v", hi)
+	}
+
+	// Everything with first column 7 is inside [lo, hi); 8-rows are not.
+	for _, v := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		tp := Tuple{7, v}
+		if Compare(tp, lo) < 0 || Compare(tp, hi) >= 0 {
+			t.Errorf("tuple %v outside prefix range [%v, %v)", tp, lo, hi)
+		}
+	}
+	if Compare(Tuple{8, 0}, hi) < 0 {
+		t.Error("(8,0) inside the range for prefix (7)")
+	}
+	if Compare(Tuple{6, ^uint64(0)}, lo) >= 0 {
+		t.Error("(6,max) inside the range for prefix (7)")
+	}
+}
+
+func TestPrefixUpperBoundOverflow(t *testing.T) {
+	max := ^uint64(0)
+	if got := PrefixUpperBound(Tuple{max}, 2); got != nil {
+		t.Errorf("upper bound of maximal prefix should be nil, got %v", got)
+	}
+	// Carry: (5, max) rolls into (6, 0).
+	got := PrefixUpperBound(Tuple{5, max}, 3)
+	if !Equal(got, Tuple{6, 0, 0}) {
+		t.Errorf("carry upper bound = %v", got)
+	}
+	if got := PrefixUpperBound(Tuple{max, max}, 2); got != nil {
+		t.Errorf("all-max prefix should yield nil, got %v", got)
+	}
+}
+
+func TestPrefixBoundsProperty(t *testing.T) {
+	f := func(p [2]uint64, rest uint64) bool {
+		prefix := Tuple(p[:])
+		lo := PrefixLowerBound(prefix, 3)
+		hi := PrefixUpperBound(prefix, 3)
+		inside := Tuple{p[0], p[1], rest}
+		if Compare(inside, lo) < 0 {
+			return false
+		}
+		return hi == nil || Compare(inside, hi) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		tp := Tuple{a, b, c}
+		return Equal(FromKeyString(KeyString(tp)), tp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyStringOrderPreserving(t *testing.T) {
+	// Big-endian packing makes byte-wise string order match tuple order.
+	f := func(a, b [2]uint64) bool {
+		x, y := Tuple(a[:]), Tuple(b[:])
+		return (Compare(x, y) < 0) == (KeyString(x) < KeyString(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		seen[Hash(Tuple{i, i * 31})] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("hash collisions too frequent: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestHashEqualTuplesEqualHash(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return Hash(Tuple{a, b}) == Hash(Tuple{a, b})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareWordsMatchesCompare(t *testing.T) {
+	f := func(a, b [4]uint64) bool {
+		return CompareWords(a[:], b[:]) == Compare(Tuple(a[:]), Tuple(b[:]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKey2(t *testing.T) {
+	if !Equal(Key2(3, 4), Tuple{3, 4}) {
+		t.Error("Key2 mismatch")
+	}
+}

@@ -1,0 +1,140 @@
+// Package workload generates the benchmark inputs of the paper's
+// evaluation (§4): 2-D point sets for the micro-benchmarks, scalar key
+// sets for the concurrent-tree comparison, and synthetic Datalog workloads
+// standing in for the proprietary Doop/DaCapo and Amazon EC2 inputs.
+package workload
+
+import (
+	"math/rand"
+
+	"specbtree/internal/tuple"
+)
+
+// Points2D generates n 2-D points forming a dense square grid of side
+// ~sqrt(n), in lexicographic order — the "ordered" insertion workload of
+// Figure 3/4. The paper's sizes are squares (1000², 2000², ...), so n is
+// rounded down to a full grid.
+func Points2D(n int) []tuple.Tuple {
+	side := 1
+	for (side+1)*(side+1) <= n {
+		side++
+	}
+	pts := make([]tuple.Tuple, 0, side*side)
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			pts = append(pts, tuple.Tuple{uint64(x), uint64(y)})
+		}
+	}
+	return pts
+}
+
+// PointsND generates ~n points of the given arity forming a dense
+// hypercube grid, in lexicographic order — the paper's footnote notes
+// that "results remain similar for other dimensions"; this generator
+// makes that claim testable. n is rounded down to a full grid.
+func PointsND(n, arity int) []tuple.Tuple {
+	if arity <= 0 {
+		panic("workload: arity must be positive")
+	}
+	side := 1
+	for pow(side+1, arity) <= n {
+		side++
+	}
+	total := pow(side, arity)
+	pts := make([]tuple.Tuple, 0, total)
+	cur := make([]int, arity)
+	for {
+		t := make(tuple.Tuple, arity)
+		for i, v := range cur {
+			t[i] = uint64(v)
+		}
+		pts = append(pts, t)
+		// Odometer increment.
+		i := arity - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < side {
+				break
+			}
+			cur[i] = 0
+		}
+		if i < 0 {
+			return pts
+		}
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		if r > 1<<40/b {
+			return 1 << 40 // saturate well above any workload size
+		}
+		r *= b
+	}
+	return r
+}
+
+// Shuffle returns a seeded pseudo-random permutation of pts — the "random
+// order" variant of the same workload. The input is not modified.
+func Shuffle(pts []tuple.Tuple, seed int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, len(pts))
+	copy(out, pts)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Partition splits pts into k contiguous chunks of near-equal size (the
+// benchmark's per-thread partitioning, which under ordered insertion keeps
+// most operations within one NUMA domain, cf. Figure 4c).
+func Partition(pts []tuple.Tuple, k int) [][]tuple.Tuple {
+	if k <= 0 {
+		k = 1
+	}
+	parts := make([][]tuple.Tuple, 0, k)
+	chunk := (len(pts) + k - 1) / k
+	for lo := 0; lo < len(pts); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		parts = append(parts, pts[lo:hi])
+	}
+	return parts
+}
+
+// Scalars generates n distinct 1-column tuples in ascending order — the
+// 32-bit integer key workload of Table 3.
+func Scalars(n int) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{uint64(i)}
+	}
+	return out
+}
+
+// RandomGraph generates m distinct edges over nodes 0..n-1, seeded.
+func RandomGraph(n, m int, seed int64) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[[2]uint64]bool, m)
+	out := make([]tuple.Tuple, 0, m)
+	for len(out) < m && len(out) < n*n-1 {
+		e := [2]uint64{uint64(rng.Intn(n)), uint64(rng.Intn(n))}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		out = append(out, tuple.Tuple{e[0], e[1]})
+	}
+	return out
+}
+
+// ChainGraph generates the n-edge chain 0->1->...->n.
+func ChainGraph(n int) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{uint64(i), uint64(i + 1)}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"testing"
+
+	"specbtree/internal/datalog"
+	"specbtree/internal/tuple"
+)
+
+func TestPoints2DGridOrdered(t *testing.T) {
+	pts := Points2D(10000)
+	if len(pts) != 10000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	seen := map[[2]uint64]bool{}
+	for i, p := range pts {
+		if i > 0 && tuple.Compare(pts[i-1], p) >= 0 {
+			t.Fatalf("points not strictly ascending at %d", i)
+		}
+		seen[[2]uint64{p[0], p[1]}] = true
+	}
+	if len(seen) != len(pts) {
+		t.Error("duplicate points")
+	}
+}
+
+func TestPoints2DRoundsToGrid(t *testing.T) {
+	pts := Points2D(10)
+	if len(pts) != 9 { // 3x3
+		t.Fatalf("Points2D(10) = %d points, want 9", len(pts))
+	}
+}
+
+func TestPointsND(t *testing.T) {
+	for _, tc := range []struct {
+		n, arity, want int
+	}{
+		{1000, 2, 961},  // 31^2
+		{1000, 3, 1000}, // 10^3
+		{64, 1, 64},
+		{100, 4, 81}, // 3^4
+	} {
+		pts := PointsND(tc.n, tc.arity)
+		if len(pts) != tc.want {
+			t.Errorf("PointsND(%d, %d) = %d points, want %d", tc.n, tc.arity, len(pts), tc.want)
+			continue
+		}
+		for i := 1; i < len(pts); i++ {
+			if len(pts[i]) != tc.arity {
+				t.Fatalf("arity mismatch at %d", i)
+			}
+			if tuple.Compare(pts[i-1], pts[i]) >= 0 {
+				t.Fatalf("PointsND(%d, %d) not strictly ascending at %d", tc.n, tc.arity, i)
+			}
+		}
+	}
+	// 2-D agrees with the original generator.
+	a, b := Points2D(2500), PointsND(2500, 2)
+	if len(a) != len(b) {
+		t.Fatalf("Points2D %d vs PointsND %d", len(a), len(b))
+	}
+	for i := range a {
+		if !tuple.Equal(a[i], b[i]) {
+			t.Fatalf("generators disagree at %d", i)
+		}
+	}
+}
+
+func TestShuffleDeterministicPermutation(t *testing.T) {
+	pts := Points2D(2500)
+	a := Shuffle(pts, 1)
+	b := Shuffle(pts, 1)
+	c := Shuffle(pts, 2)
+	if len(a) != len(pts) {
+		t.Fatal("shuffle changed length")
+	}
+	sameAsInput, sameAB, sameAC := true, true, true
+	for i := range a {
+		if !tuple.Equal(a[i], pts[i]) {
+			sameAsInput = false
+		}
+		if !tuple.Equal(a[i], b[i]) {
+			sameAB = false
+		}
+		if !tuple.Equal(a[i], c[i]) {
+			sameAC = false
+		}
+	}
+	if sameAsInput {
+		t.Error("shuffle is the identity")
+	}
+	if !sameAB {
+		t.Error("same seed produced different shuffles")
+	}
+	if sameAC {
+		t.Error("different seeds produced identical shuffles")
+	}
+	// Same multiset.
+	seen := map[[2]uint64]bool{}
+	for _, p := range a {
+		seen[[2]uint64{p[0], p[1]}] = true
+	}
+	if len(seen) != len(pts) {
+		t.Error("shuffle lost elements")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	pts := Points2D(1000) // 31*31 = 961
+	parts := Partition(pts, 7)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != len(pts) {
+		t.Fatalf("partition covers %d of %d", total, len(pts))
+	}
+	if len(parts) > 7 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	if got := Partition(pts, 0); len(got) != 1 {
+		t.Error("k=0 should yield one part")
+	}
+}
+
+func TestScalars(t *testing.T) {
+	s := Scalars(100)
+	for i, v := range s {
+		if len(v) != 1 || v[0] != uint64(i) {
+			t.Fatalf("scalar %d = %v", i, v)
+		}
+	}
+}
+
+func TestRandomGraphDistinctEdges(t *testing.T) {
+	es := RandomGraph(50, 400, 3)
+	if len(es) != 400 {
+		t.Fatalf("got %d edges", len(es))
+	}
+	seen := map[[2]uint64]bool{}
+	for _, e := range es {
+		k := [2]uint64{e[0], e[1]}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[k] = true
+		if e[0] >= 50 || e[1] >= 50 {
+			t.Fatalf("edge out of range %v", e)
+		}
+	}
+}
+
+func TestChainGraph(t *testing.T) {
+	es := ChainGraph(5)
+	if len(es) != 5 || es[4][0] != 4 || es[4][1] != 5 {
+		t.Fatalf("chain = %v", es)
+	}
+}
+
+func runWorkload(t *testing.T, w DatalogWorkload, workers int) *datalog.Engine {
+	t.Helper()
+	prog, err := datalog.Parse(w.Source)
+	if err != nil {
+		t.Fatalf("%s: program does not parse: %v", w.Name, err)
+	}
+	e, err := datalog.New(prog, datalog.Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	for rel, facts := range w.Facts {
+		if err := e.AddFacts(rel, facts); err != nil {
+			t.Fatalf("%s: facts for %s: %v", w.Name, rel, err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return e
+}
+
+func TestPointsToWorkloadEvaluates(t *testing.T) {
+	w := PointsTo(64, 1)
+	if w.FactCount() == 0 {
+		t.Fatal("no facts generated")
+	}
+	e := runWorkload(t, w, 2)
+	if e.Count("vpt") == 0 {
+		t.Error("vpt is empty")
+	}
+	s := e.Stats()
+	// Insert-heavy shape: inserts should be a significant share of ops.
+	if s.Inserts == 0 || s.ProducedTuples == 0 {
+		t.Errorf("degenerate stats %+v", s)
+	}
+}
+
+func TestPointsToDeterministic(t *testing.T) {
+	a := runWorkload(t, PointsTo(48, 7), 1)
+	b := runWorkload(t, PointsTo(48, 7), 4)
+	if a.Count("vpt") != b.Count("vpt") || a.Count("heapPt") != b.Count("heapPt") {
+		t.Errorf("parallel run diverged: vpt %d/%d heapPt %d/%d",
+			a.Count("vpt"), b.Count("vpt"), a.Count("heapPt"), b.Count("heapPt"))
+	}
+}
+
+func TestSecurityWorkloadEvaluates(t *testing.T) {
+	w := Security(128, 1)
+	e := runWorkload(t, w, 2)
+	if e.Count("reach") == 0 {
+		t.Error("reach is empty")
+	}
+	s := e.Stats()
+	// Read-heavy shape: membership tests should outnumber inserts, as in
+	// the paper's Table 2 for the EC2 analysis.
+	if s.MembershipTests <= s.Inserts/2 {
+		t.Errorf("expected read-heavy profile, got %d membership tests vs %d inserts",
+			s.MembershipTests, s.Inserts)
+	}
+	// The dominant-relation property: reach holds most produced tuples.
+	if e.Count("reach")*2 < int(s.ProducedTuples) {
+		t.Errorf("reach (%d) is not the dominant relation of %d produced",
+			e.Count("reach"), s.ProducedTuples)
+	}
+}
+
+func TestSecurityDeterministic(t *testing.T) {
+	a := runWorkload(t, Security(96, 9), 1)
+	b := runWorkload(t, Security(96, 9), 4)
+	for _, rel := range []string{"reach", "vulnerable", "atRisk"} {
+		if a.Count(rel) != b.Count(rel) {
+			t.Errorf("%s diverges: %d vs %d", rel, a.Count(rel), b.Count(rel))
+		}
+	}
+}
+
+func TestWorkloadSeedsVaryFacts(t *testing.T) {
+	a, b := PointsTo(32, 1), PointsTo(32, 2)
+	same := a.FactCount() == b.FactCount()
+	if same {
+		// Counts can coincide; compare content of one relation.
+		eq := len(a.Facts["assign"]) == len(b.Facts["assign"])
+		if eq {
+			identical := true
+			for i := range a.Facts["assign"] {
+				if !tuple.Equal(a.Facts["assign"][i], b.Facts["assign"][i]) {
+					identical = false
+					break
+				}
+			}
+			if identical {
+				t.Error("different seeds produced identical assign facts")
+			}
+		}
+	}
+}

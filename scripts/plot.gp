@@ -1,0 +1,27 @@
+# Gnuplot script for the CSV output of the benchmark executables.
+#
+# Usage:
+#   go run ./cmd/benchseq -csv > seq.csv   # strip the '#' header blocks
+#   gnuplot -e "csv='fig3a.csv'; out='fig3a.png'; ylab='M inserts/s'" scripts/plot.gp
+#
+# The CSV format is: a header row "x,series1,series2,...", then one row per
+# x value (see internal/bench.Table.RenderCSV).
+
+if (!exists("csv"))  csv  = "figure.csv"
+if (!exists("out"))  out  = "figure.png"
+if (!exists("ylab")) ylab = "throughput"
+
+set terminal pngcairo size 900,600 enhanced font "sans,11"
+set output out
+set datafile separator ","
+set key outside right top
+set grid ytics
+set xlabel "x"
+set ylabel ylab
+set style data linespoints
+
+# Count series from the header row.
+stats csv using 1 every ::0::0 nooutput
+ncols = int(system(sprintf("head -1 %s | tr ',' '\\n' | wc -l", csv)))
+
+plot for [i=2:ncols] csv using 1:i with linespoints title columnheader(i)

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerates every figure and table of the paper's evaluation and stores
+# the raw outputs under results/. Sizes match EXPERIMENTS.md; pass larger
+# -sizes/-n/-threads by editing below to reproduce the paper's full-scale
+# sweeps on a bigger machine.
+set -eu
+
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+echo "== Figure 3 (sequential micro-benchmarks) =="
+go run ./cmd/benchseq -sizes 62500,250000,1000000 -reps 3 | tee results/figure3.txt
+
+echo "== Figure 4 (parallel insertion) =="
+go run ./cmd/benchpar -n 1000000 -threads 1,2,4,8 -reps 3 | tee results/figure4.txt
+
+echo "== Figure 5 + Table 2 (Datalog engine) =="
+go run ./cmd/benchdatalog -size 384 -threads 1,2,4 -stats | tee results/figure5.txt
+
+echo "== Table 3 (concurrent trees) =="
+go run ./cmd/benchtrees -n 1000000 -threads 1,2,4,8 -reps 3 | tee results/table3.txt
+
+echo "== testing.B benchmarks (incl. ablations) =="
+go test -bench=. -benchmem . | tee results/gobench.txt
+
+echo "All results under results/"

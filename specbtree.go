@@ -1,0 +1,91 @@
+// Package specbtree is a Go reproduction of "A Specialized B-tree for
+// Concurrent Datalog Evaluation" (Jordan, Subotić, Zhao, Scholz — PPoPP
+// 2019): a concurrent in-memory B-tree with an optimistic read-write
+// locking scheme and operation hints, together with the parallel
+// semi-naïve Datalog engine it was built for and every baseline data
+// structure of the paper's evaluation.
+//
+// The package re-exports the primary public surfaces:
+//
+//   - the specialised concurrent B-tree (NewBTree, BTree, Hints, Cursor),
+//   - the Datalog engine (ParseProgram, NewEngine, Engine),
+//   - the relation-representation registry used to swap data structures
+//     under the engine (LookupProvider, ProviderNames).
+//
+// The individual substrates (baseline trees, hash sets, workload
+// generators) live under internal/; the executables under cmd/ regenerate
+// every table and figure of the paper (see DESIGN.md and EXPERIMENTS.md).
+package specbtree
+
+import (
+	"specbtree/internal/core"
+	"specbtree/internal/datalog"
+	"specbtree/internal/relation"
+	"specbtree/internal/tuple"
+)
+
+// Tuple is a fixed-arity row of uint64 columns; relations are sets of
+// tuples ordered lexicographically.
+type Tuple = tuple.Tuple
+
+// Compare three-way-compares two tuples lexicographically.
+func Compare(a, b Tuple) int { return tuple.Compare(a, b) }
+
+// BTree is the paper's contribution: a concurrent B-tree specialised for
+// Datalog workloads (optimistic locking, operation hints, no deletion).
+type BTree = core.Tree
+
+// BTreeOptions configures node capacity.
+type BTreeOptions = core.Options
+
+// Hints is a per-goroutine operation-hint set (paper §3.2). Obtain one
+// per worker via NewHints and pass it to the *Hint operation variants.
+type Hints = core.Hints
+
+// HintStats reports hint hit/miss counters.
+type HintStats = core.HintStats
+
+// Cursor is an ordered position in a BTree.
+type Cursor = core.Cursor
+
+// NewBTree creates an empty concurrent B-tree for tuples with the given
+// number of columns.
+func NewBTree(arity int, opts ...BTreeOptions) *BTree { return core.New(arity, opts...) }
+
+// NewHints creates an empty hint set.
+func NewHints() *Hints { return core.NewHints() }
+
+// Program is a parsed Datalog program.
+type Program = datalog.Program
+
+// Engine evaluates Datalog programs bottom-up with the parallel
+// semi-naïve strategy.
+type Engine = datalog.Engine
+
+// EngineOptions selects the relation data structure and worker count.
+type EngineOptions = datalog.Options
+
+// EngineStats mirrors the evaluation statistics of the paper's Table 2.
+type EngineStats = datalog.Stats
+
+// ParseProgram parses Datalog source text.
+func ParseProgram(src string) (*Program, error) { return datalog.Parse(src) }
+
+// MustParseProgram is ParseProgram, panicking on error.
+func MustParseProgram(src string) *Program { return datalog.MustParse(src) }
+
+// NewEngine compiles a program for evaluation.
+func NewEngine(prog *Program, opts EngineOptions) (*Engine, error) {
+	return datalog.New(prog, opts)
+}
+
+// Provider constructs relation representations; pass one in EngineOptions
+// to swap the data structure under the engine (the paper's §4.3 setup).
+type Provider = relation.Provider
+
+// LookupProvider returns the relation provider registered under name
+// (e.g. "btree", "btree-nh", "rbtset", "hashset", "gbtree", "tbbhash").
+func LookupProvider(name string) (Provider, error) { return relation.Lookup(name) }
+
+// ProviderNames lists all registered relation providers.
+func ProviderNames() []string { return relation.Names() }

@@ -1,0 +1,130 @@
+package specbtree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublicBTreeAPI(t *testing.T) {
+	tree := NewBTree(2)
+	if tree.Arity() != 2 {
+		t.Fatalf("arity = %d", tree.Arity())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := NewHints()
+			for i := 0; i < 500; i++ {
+				tree.InsertHint(Tuple{uint64(w*500 + i), uint64(i)}, h)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tree.Len() != 2000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Contains(Tuple{42, 42}) {
+		t.Error("element missing")
+	}
+	c := tree.LowerBound(Tuple{100, 0})
+	if !c.Valid() || c.Tuple()[0] != 100 {
+		t.Error("LowerBound wrong")
+	}
+	count := 0
+	tree.Range(Tuple{100, 0}, Tuple{101, 0}, func(Tuple) bool {
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("range saw %d", count)
+	}
+}
+
+func TestCompareExported(t *testing.T) {
+	if Compare(Tuple{1, 2}, Tuple{1, 3}) >= 0 {
+		t.Error("Compare wrong")
+	}
+}
+
+func TestPublicEngineAPI(t *testing.T) {
+	prog, err := ParseProgram(`
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.input edge
+.output path
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, providerName := range ProviderNames() {
+		p, err := LookupProvider(providerName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(prog, EngineOptions{Provider: p, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 20; i++ {
+			if err := eng.AddFact("edge", Tuple{i, i + 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.Count("path"); got != 20*21/2 {
+			t.Fatalf("%s: path = %d, want %d", providerName, got, 20*21/2)
+		}
+	}
+}
+
+func TestMustParseProgramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseProgram did not panic on bad input")
+		}
+	}()
+	MustParseProgram("p(1).")
+}
+
+func TestEngineStatsExported(t *testing.T) {
+	prog := MustParseProgram(`
+.decl e(x: number, y: number)
+.decl p(x: number, y: number)
+.output p
+p(X, Y) :- e(X, Y).
+p(X, Z) :- p(X, Y), e(Y, Z).
+`)
+	eng, err := NewEngine(prog, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		eng.AddFact("e", Tuple{i, i + 1})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var s EngineStats = eng.Stats()
+	if s.ProducedTuples != 55 || s.Inserts == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLookupProviderUnknown(t *testing.T) {
+	if _, err := LookupProvider("nonesuch"); err == nil {
+		t.Error("unknown provider accepted")
+	}
+	names := ProviderNames()
+	if len(names) < 6 {
+		t.Errorf("only %d providers registered", len(names))
+	}
+}
