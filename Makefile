@@ -3,15 +3,26 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples clean
+.PHONY: all build vet lint check-docs test race bench figures examples clean
 
-all: build vet test
+all: build lint test check-docs
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint fails on unformatted files or vet findings.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# check-docs enforces doc comments on the public surface and keeps the
+# DESIGN.md §9 counter table in sync with internal/obs.
+check-docs:
+	./scripts/check_docs.sh
 
 test:
 	$(GO) test ./...

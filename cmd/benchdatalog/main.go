@@ -6,13 +6,16 @@
 //
 // With -stats it additionally prints the Table 2 block (program
 // properties, evaluation statistics) and the hint hit rates reported in
-// §4.3 of the paper.
+// §4.3 of the paper, for every structure under test. With -metrics it
+// emits one JSON metrics document (DESIGN.md §9) per (threads, structure)
+// cell, carrying the global observability counters and the per-engine
+// evaluation metrics.
 //
 // Usage:
 //
 //	benchdatalog [-workload both|pointsto|security] [-size 256]
 //	             [-threads 1,2,4,8] [-structs btree,btree-nh,...]
-//	             [-stats] [-csv]
+//	             [-stats] [-metrics] [-csv]
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"specbtree/internal/bench"
 	"specbtree/internal/datalog"
+	"specbtree/internal/obs"
 	"specbtree/internal/relation"
 	"specbtree/internal/workload"
 )
@@ -39,6 +43,7 @@ func main() {
 	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts (paper: 1..32)")
 	structsFlag := flag.String("structs", strings.Join(figure5Structs, ","), "comma-separated relation providers")
 	statsFlag := flag.Bool("stats", false, "print Table 2 statistics and hint hit rates")
+	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document per (threads, structure) cell")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of tables")
 	seedFlag := flag.Int64("seed", 1, "workload generator seed")
 	suiteFlag := flag.Int("suite", 1, "number of seeded points-to instances summed per cell (the paper totals 11 DaCapo benchmarks)")
@@ -83,7 +88,9 @@ func main() {
 			title += fmt.Sprintf(", total over %d instances", len(suite))
 		}
 		tbl := bench.NewTable(title, "threads", "runtime [ms]")
-		var statEngine *datalog.Engine
+		// Last engine per structure, so -stats can report every provider
+		// (not only the specialised B-tree).
+		statEngines := map[string]*datalog.Engine{}
 		for _, nt := range threads {
 			for _, sname := range structs {
 				provider, err := relation.Lookup(sname)
@@ -91,15 +98,28 @@ func main() {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(2)
 				}
+				if *metricsFlag {
+					obs.Reset() // one counter window per (threads, structure) cell
+				}
 				total := 0.0
+				var engMetrics []datalog.Metrics
 				for _, inst := range suite {
 					eng, ms := runOnce(inst, provider, nt)
 					total += ms
-					if sname == "btree" {
-						statEngine = eng
+					statEngines[sname] = eng
+					if *metricsFlag {
+						engMetrics = append(engMetrics, eng.Metrics())
 					}
 				}
 				tbl.SeriesNamed(sname).Add(float64(nt), total)
+				if *metricsFlag {
+					bench.EmitMetrics(os.Stdout, bench.MetricsDoc{
+						Workload:  w.Name,
+						Structure: sname,
+						Threads:   nt,
+						Engines:   engMetrics,
+					})
+				}
 			}
 		}
 		if *csvFlag {
@@ -109,8 +129,12 @@ func main() {
 		} else {
 			tbl.Render(os.Stdout)
 		}
-		if *statsFlag && statEngine != nil {
-			printStats(w, statEngine)
+		if *statsFlag {
+			for _, sname := range structs {
+				if eng := statEngines[sname]; eng != nil {
+					printStats(w, sname, eng)
+				}
+			}
 		}
 	}
 }
@@ -143,10 +167,11 @@ func runOnce(w workload.DatalogWorkload, p relation.Provider, threads int) (*dat
 	return eng, float64(d.Milliseconds()) + float64(d.Microseconds()%1000)/1000
 }
 
-// printStats renders the Table 2 block for one workload.
-func printStats(w workload.DatalogWorkload, eng *datalog.Engine) {
+// printStats renders the Table 2 block for one (workload, structure)
+// pair, using the statistics of the last engine run with that structure.
+func printStats(w workload.DatalogWorkload, structure string, eng *datalog.Engine) {
 	s := eng.Stats()
-	fmt.Printf("### Table 2: properties and evaluation statistics (%s)\n", w.Name)
+	fmt.Printf("### Table 2: properties and evaluation statistics (%s, %s)\n", w.Name, structure)
 	fmt.Printf("%-24s %12d\n", "relations", s.Relations)
 	fmt.Printf("%-24s %12d\n", "rules", s.Rules)
 	fmt.Printf("%-24s %12d\n", "inserts", s.Inserts)

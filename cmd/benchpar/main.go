@@ -11,7 +11,7 @@
 // Usage:
 //
 //	benchpar [-n 1000000] [-threads 1,2,4,8] [-order both|sorted|random]
-//	         [-structs all|name,...] [-csv]
+//	         [-structs all|name,...] [-csv] [-metrics]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"specbtree/internal/bench"
 	"specbtree/internal/chashset"
 	"specbtree/internal/core"
+	"specbtree/internal/obs"
 	"specbtree/internal/syncadapt"
 	"specbtree/internal/tuple"
 	"specbtree/internal/workload"
@@ -45,6 +46,7 @@ func contestants() []contestant {
 					for _, v := range part {
 						t.InsertHint(v, h)
 					}
+					h.FlushObs() // settle batched counters before the snapshot
 				}, func() int {
 					return t.Len()
 				}
@@ -102,6 +104,7 @@ func main() {
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of tables")
 	seedFlag := flag.Int64("seed", 1, "shuffle seed for the random-order variant")
 	repsFlag := flag.Int("reps", 1, "repetitions per cell; the best run is reported")
+	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document per (threads, structure) cell")
 	flag.Parse()
 
 	threads, err := bench.ParseIntList(*threadsFlag)
@@ -139,8 +142,18 @@ func main() {
 				if !sel[c.name] {
 					continue
 				}
+				if *metricsFlag {
+					obs.Reset() // counter window covers every repetition of the cell
+				}
 				mops := bench.Best(*repsFlag, func() float64 { return runOne(c, nt, parts, len(data)) })
 				tbl.SeriesNamed(c.name).Add(float64(nt), mops)
+				if *metricsFlag {
+					bench.EmitMetrics(os.Stdout, bench.MetricsDoc{
+						Workload:  "parallel-insert-" + order,
+						Structure: c.name,
+						Threads:   nt,
+					})
+				}
 			}
 		}
 		if *csvFlag {

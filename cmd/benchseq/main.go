@@ -7,6 +7,7 @@
 //
 //	benchseq [-sizes 250000,1000000] [-op all|insert|lookup|scan]
 //	         [-order both|sorted|random] [-structs all|name,...] [-csv]
+//	         [-metrics]
 //
 // The paper's sizes (1000² through 10000² elements) can be requested
 // verbatim via -sizes; defaults are scaled to finish quickly on a laptop.
@@ -23,6 +24,7 @@ import (
 	"specbtree/internal/core"
 	"specbtree/internal/gbtree"
 	"specbtree/internal/hashset"
+	"specbtree/internal/obs"
 	"specbtree/internal/rbtree"
 	"specbtree/internal/seqbtree"
 	"specbtree/internal/tuple"
@@ -35,56 +37,61 @@ type contestant struct {
 	make func() ops
 }
 
-// ops is the uniform operation surface Figure 3 exercises.
+// ops is the uniform operation surface Figure 3 exercises. flush, when
+// non-nil, settles batched observability counters (hint sets defer them)
+// so -metrics snapshots are exact.
 type ops struct {
 	insert   func(tuple.Tuple) bool
 	contains func(tuple.Tuple) bool
 	scan     func(yield func(tuple.Tuple) bool)
+	flush    func()
 }
 
 func contestants(arity int) []contestant {
 	return []contestant{
 		{"google-btree", func() ops {
 			t := gbtree.New(arity)
-			return ops{t.Insert, t.Contains, t.Scan}
+			return ops{insert: t.Insert, contains: t.Contains, scan: t.Scan}
 		}},
 		{"seq-btree", func() ops {
 			t := seqbtree.New(arity)
 			h := seqbtree.NewHints()
 			return ops{
-				func(v tuple.Tuple) bool { return t.InsertHint(v, h) },
-				func(v tuple.Tuple) bool { return t.ContainsHint(v, h) },
-				t.Scan,
+				insert:   func(v tuple.Tuple) bool { return t.InsertHint(v, h) },
+				contains: func(v tuple.Tuple) bool { return t.ContainsHint(v, h) },
+				scan:     t.Scan,
+				flush:    h.FlushObs,
 			}
 		}},
 		{"seq-btree-nh", func() ops {
 			t := seqbtree.New(arity)
-			return ops{t.Insert, t.Contains, t.Scan}
+			return ops{insert: t.Insert, contains: t.Contains, scan: t.Scan}
 		}},
 		{"btree", func() ops {
 			t := core.New(arity)
 			h := core.NewHints()
 			return ops{
-				func(v tuple.Tuple) bool { return t.InsertHint(v, h) },
-				func(v tuple.Tuple) bool { return t.ContainsHint(v, h) },
-				t.All,
+				insert:   func(v tuple.Tuple) bool { return t.InsertHint(v, h) },
+				contains: func(v tuple.Tuple) bool { return t.ContainsHint(v, h) },
+				scan:     t.All,
+				flush:    h.FlushObs,
 			}
 		}},
 		{"btree-nh", func() ops {
 			t := core.New(arity)
-			return ops{t.Insert, t.Contains, t.All}
+			return ops{insert: t.Insert, contains: t.Contains, scan: t.All}
 		}},
 		{"stl-rbtset", func() ops {
 			t := rbtree.New(arity)
-			return ops{t.Insert, t.Contains, t.Scan}
+			return ops{insert: t.Insert, contains: t.Contains, scan: t.Scan}
 		}},
 		{"stl-hashset", func() ops {
 			s := hashset.New(arity)
-			return ops{s.Insert, s.Contains, s.Scan}
+			return ops{insert: s.Insert, contains: s.Contains, scan: s.Scan}
 		}},
 		{"tbb-hashset", func() ops {
 			s := chashset.New(arity)
-			return ops{s.Insert, s.Contains, s.Scan}
+			return ops{insert: s.Insert, contains: s.Contains, scan: s.Scan}
 		}},
 	}
 }
@@ -98,6 +105,7 @@ func main() {
 	seedFlag := flag.Int64("seed", 1, "shuffle seed for the random-order variants")
 	arityFlag := flag.Int("arity", 2, "tuple arity (the paper's footnote: results remain similar for other dimensions)")
 	repsFlag := flag.Int("reps", 1, "repetitions per cell; the best run is reported")
+	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document per (size, structure) cell")
 	flag.Parse()
 
 	sizes, err := bench.ParseIntList(*sizesFlag)
@@ -140,8 +148,18 @@ func main() {
 				if !sel[c.name] {
 					continue
 				}
+				if *metricsFlag {
+					obs.Reset() // counter window covers every repetition of the cell
+				}
 				mops := bench.Best(*repsFlag, func() float64 { return runFigure(c, f.op, data) })
 				tbl.SeriesNamed(c.name).Add(float64(len(data)), mops)
+				if *metricsFlag {
+					bench.EmitMetrics(os.Stdout, bench.MetricsDoc{
+						Workload:  fmt.Sprintf("fig%s-%s-%s-n%d", f.id, f.op, f.order, len(data)),
+						Structure: c.name,
+						Threads:   1,
+					})
+				}
 			}
 		}
 		if *csvFlag {
@@ -170,6 +188,11 @@ func opName(op string) string {
 // operations per second.
 func runFigure(c contestant, op string, data []tuple.Tuple) float64 {
 	o := c.make()
+	defer func() {
+		if o.flush != nil {
+			o.flush()
+		}
+	}()
 	switch op {
 	case "insert":
 		d := bench.Measure(func() {

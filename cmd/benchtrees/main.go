@@ -6,6 +6,7 @@
 // Usage:
 //
 //	benchtrees [-n 1000000] [-threads 1,2,4,8] [-structs all|name,...] [-csv]
+//	           [-metrics]
 //
 // The paper inserts 10,000,000 32-bit integers; pass -n 10000000 for the
 // full-size run.
@@ -23,6 +24,7 @@ import (
 	"specbtree/internal/bslack"
 	"specbtree/internal/core"
 	"specbtree/internal/masstree"
+	"specbtree/internal/obs"
 	"specbtree/internal/obslack"
 	"specbtree/internal/palm"
 	"specbtree/internal/tuple"
@@ -44,6 +46,7 @@ func contestants() []contestant {
 						buf[0] = k
 						t.InsertHint(buf, h)
 					}
+					h.FlushObs() // settle batched counters before the snapshot
 				}, func() int {
 					return t.Len()
 				}
@@ -101,6 +104,7 @@ func main() {
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of tables")
 	seedFlag := flag.Int64("seed", 1, "shuffle seed")
 	repsFlag := flag.Int("reps", 1, "repetitions per cell; the best run is reported")
+	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document per (threads, structure) cell")
 	flag.Parse()
 
 	threads, err := bench.ParseIntList(*threadsFlag)
@@ -140,8 +144,18 @@ func main() {
 				if !sel[c.name] {
 					continue
 				}
+				if *metricsFlag {
+					obs.Reset() // counter window covers every repetition of the cell
+				}
 				tbl.SeriesNamed(c.name).Add(float64(nt),
 					bench.Best(*repsFlag, func() float64 { return run(c, parts, len(variant.keys)) }))
+				if *metricsFlag {
+					bench.EmitMetrics(os.Stdout, bench.MetricsDoc{
+						Workload:  "table3-" + variant.name,
+						Structure: c.name,
+						Threads:   nt,
+					})
+				}
 			}
 		}
 		if *csvFlag {

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	datalog [-jobs N] [-facts DIR] [-out DIR] [-structure btree] [-stats] program.dl
+//	datalog [-jobs N] [-facts DIR] [-out DIR] [-structure btree] [-stats]
+//	        [-metrics] program.dl
 //
 // Fact files are DIR/<relation>.facts with one tuple per line, columns
 // separated by tabs. Unsigned integer columns are used verbatim; any other
@@ -34,6 +35,7 @@ func main() {
 	outDir := flag.String("out", "-", `output directory, or "-" for stdout`)
 	structure := flag.String("structure", "btree", "relation data structure ("+strings.Join(relation.Names(), "|")+")")
 	stats := flag.Bool("stats", false, "print evaluation statistics")
+	metrics := flag.Bool("metrics", false, "emit a JSON metrics document to stderr after evaluation")
 	profile := flag.Bool("profile", false, "print per-rule evaluation timings")
 	emitGo := flag.String("emit-go", "", "synthesise a specialised Go program to FILE instead of evaluating (Soufflé-style compilation)")
 	flag.Parse()
@@ -50,7 +52,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Arg(0), *jobs, *factsDir, *outDir, *structure, *stats, *profile); err != nil {
+	if err := run(flag.Arg(0), *jobs, *factsDir, *outDir, *structure, *stats, *metrics, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -79,7 +81,7 @@ func synthesize(progPath, outPath string) error {
 	return os.WriteFile(outPath, gen, 0o644)
 }
 
-func run(progPath string, jobs int, factsDir, outDir, structure string, stats, profile bool) error {
+func run(progPath string, jobs int, factsDir, outDir, structure string, stats, metrics, profile bool) error {
 	src, err := os.ReadFile(progPath)
 	if err != nil {
 		return err
@@ -130,6 +132,18 @@ func run(progPath string, jobs int, factsDir, outDir, structure string, stats, p
 		fmt.Fprintln(os.Stderr, "rule profile (most expensive first):")
 		for _, rt := range eng.Profile() {
 			fmt.Fprintf(os.Stderr, "  %10v  %6d evals  %s\n", rt.Total, rt.Evaluations, rt.Rule)
+		}
+	}
+	if metrics {
+		// Relations go to stdout; the metrics document goes to stderr so
+		// the two streams stay separable.
+		if err := bench.EmitMetrics(os.Stderr, bench.MetricsDoc{
+			Workload:  filepath.Base(progPath),
+			Structure: structure,
+			Threads:   eng.Workers(),
+			Engines:   []datalog.Metrics{eng.Metrics()},
+		}); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"specbtree/internal/datalog"
+	"specbtree/internal/obs"
+)
+
+// MetricsDoc is the JSON document emitted by the commands' -metrics flag:
+// one merged observability snapshot (schema, enabled, counters — see
+// DESIGN.md §9) annotated with the measurement cell it covers and, for the
+// Datalog commands, the per-engine evaluation metrics. Field names are
+// part of the stable metrics contract; additions are append-only.
+type MetricsDoc struct {
+	obs.Snapshot
+	// Workload identifies the benchmark cell (figure/table, operation,
+	// order, size) the counters were accumulated over.
+	Workload string `json:"workload,omitempty"`
+	// Structure is the data-structure (relation provider or contestant)
+	// name under test.
+	Structure string `json:"structure,omitempty"`
+	// Threads is the worker count of the cell.
+	Threads int `json:"threads,omitempty"`
+	// Engines holds one engine-level metrics document per Datalog engine
+	// run inside the cell (empty for the raw set benchmarks).
+	Engines []datalog.Metrics `json:"engines,omitempty"`
+}
+
+// EmitMetrics fills doc's embedded snapshot from the global counter
+// registry and writes the document to w as indented JSON. Callers reset
+// the registry (obs.Reset) at the start of the measurement cell so the
+// snapshot covers exactly that cell.
+func EmitMetrics(w io.Writer, doc MetricsDoc) error {
+	doc.Snapshot = obs.Take()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

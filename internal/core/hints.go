@@ -1,6 +1,9 @@
 package core
 
-import "specbtree/internal/optlock"
+import (
+	"specbtree/internal/obs"
+	"specbtree/internal/optlock"
+)
 
 // lease and lockT alias the optimistic lock types so the tree code reads
 // close to the paper's pseudo-code.
@@ -80,6 +83,11 @@ type Hints struct {
 
 	// Stats records the hit/miss behaviour of this hint set.
 	Stats HintStats
+
+	// obs batches this worker's global observability counters (package
+	// obs) so hot-path events cost a plain increment; hinted operations
+	// settle it periodically, and FlushObs settles it on demand.
+	obs obs.Batch
 }
 
 // NewHints returns a fresh, empty hint set. Equivalent to new(Hints);
@@ -92,4 +100,14 @@ func (h *Hints) Reset() {
 	h.findLeaf = nil
 	h.lowerLeaf = nil
 	h.upperLeaf = nil
+}
+
+// FlushObs settles this hint set's batched observability counters into
+// the global registry (package obs). Operations batch counter updates in
+// the hint set to keep them off the hot path, so a snapshot taken mid-run
+// can trail the truth slightly; call FlushObs at a measurement boundary —
+// after the owning worker's last operation, or from a goroutine that
+// happens-after it — to make snapshots exact.
+func (h *Hints) FlushObs() {
+	h.obs.Flush()
 }

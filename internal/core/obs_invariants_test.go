@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
+
+// TestObsCountersConcurrentInvariants hammers one tree from 8 goroutines
+// and asserts the cross-counter invariants of the metrics contract
+// (DESIGN.md §9): hinted operations are counted exactly once each,
+// validation failures never exceed validations, and the split counters
+// reconstruct the physical tree shape.
+func TestObsCountersConcurrentInvariants(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("observability counters compiled out (obsoff)")
+	}
+	obs.Reset()
+
+	const (
+		goroutines = 8
+		opsEach    = 20000
+	)
+	tr := New(2)
+	var inserts, contains, lowers, uppers int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			h := NewHints()
+			var ins, con, low, up int64
+			buf := make(tuple.Tuple, 2)
+			for i := 0; i < opsEach; i++ {
+				buf[0] = uint64(rng.Intn(opsEach))
+				buf[1] = uint64(rng.Intn(64))
+				switch i % 4 {
+				case 0, 1:
+					tr.InsertHint(buf, h)
+					ins++
+				case 2:
+					tr.ContainsHint(buf, h)
+					con++
+				default:
+					if i%8 == 3 {
+						tr.LowerBoundHint(buf, h)
+						low++
+					} else {
+						tr.UpperBoundHint(buf, h)
+						up++
+					}
+				}
+			}
+			// Settle this worker's batched counters so the snapshot below
+			// is exact.
+			h.FlushObs()
+			mu.Lock()
+			inserts += ins
+			contains += con
+			lowers += low
+			uppers += up
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	s := obs.Take()
+	c := func(name string) uint64 {
+		v, ok := s.Counters[name]
+		if !ok {
+			t.Fatalf("snapshot lacks counter %q", name)
+		}
+		return v
+	}
+
+	// Every hinted operation records exactly one hit or miss.
+	if got := c("hint.insert.hits") + c("hint.insert.misses"); got != uint64(inserts) {
+		t.Errorf("insert hits+misses = %d, want %d", got, inserts)
+	}
+	if got := c("hint.find.hits") + c("hint.find.misses"); got != uint64(contains) {
+		t.Errorf("find hits+misses = %d, want %d", got, contains)
+	}
+	if got := c("hint.lower.hits") + c("hint.lower.misses"); got != uint64(lowers) {
+		t.Errorf("lower hits+misses = %d, want %d", got, lowers)
+	}
+	if got := c("hint.upper.hits") + c("hint.upper.misses"); got != uint64(uppers) {
+		t.Errorf("upper hits+misses = %d, want %d", got, uppers)
+	}
+
+	// A failed validation is itself a validation.
+	if c("optlock.read.validation_failures") > c("optlock.read.validations") {
+		t.Errorf("validation failures %d exceed validations %d",
+			c("optlock.read.validation_failures"), c("optlock.read.validations"))
+	}
+	if c("optlock.read.validations") == 0 {
+		t.Error("no read validations recorded under concurrent load")
+	}
+
+	// Descent accounting: every operation either descends from the root at
+	// least once or is served entirely from its hint (a hit), and each
+	// restart re-descends.
+	totalOps := uint64(inserts + contains + lowers + uppers)
+	totalHits := c("hint.insert.hits") + c("hint.find.hits") +
+		c("hint.lower.hits") + c("hint.upper.hits")
+	if d := c("core.descents"); d+totalHits < totalOps {
+		t.Errorf("descents %d + hint hits %d below total ops %d", d, totalHits, totalOps)
+	}
+	if d, r := c("core.descents"), c("core.restarts"); d-r > totalOps {
+		t.Errorf("first descents %d exceed total ops %d", d-r, totalOps)
+	}
+
+	// The split counters reconstruct the physical shape: the tree starts
+	// as a single leaf and every split adds exactly one node (a root
+	// split adds the new root on top of the two split halves, whose own
+	// split is counted in its level's counter).
+	shape := tr.Shape()
+	wantNodes := 1 + c("core.split.leaf") + c("core.split.inner") + c("core.split.root")
+	if uint64(shape.Nodes) != wantNodes {
+		t.Errorf("shape has %d nodes, split counters imply %d (leaf=%d inner=%d root=%d)",
+			shape.Nodes, wantNodes, c("core.split.leaf"), c("core.split.inner"), c("core.split.root"))
+	}
+	// Each root split adds one level to the initially one-level tree.
+	if want := 1 + c("core.split.root"); uint64(shape.Depth) != want {
+		t.Errorf("shape depth %d, root splits imply %d", shape.Depth, want)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("tree invariants violated: %v", err)
+	}
+}

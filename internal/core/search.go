@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"specbtree/internal/obs"
 	"specbtree/internal/tuple"
 )
 
@@ -15,32 +16,55 @@ func (t *Tree) Contains(v tuple.Tuple) bool { return t.ContainsHint(v, nil) }
 // like every read path of the optimistic scheme — performs no stores, so
 // it causes no cache-line invalidation.
 func (t *Tree) ContainsHint(v tuple.Tuple, h *Hints) bool {
+	if h != nil {
+		found := t.containsHint(v, h, h.obs.Counts())
+		h.obs.EndOp()
+		return found
+	}
+	var oc obs.OpCounts
+	found := t.containsHint(v, nil, &oc)
+	oc.Flush()
+	return found
+}
+
+func (t *Tree) containsHint(v tuple.Tuple, h *Hints, oc *obs.OpCounts) bool {
 	if len(v) != t.arity {
 		panic(fmt.Sprintf("core: querying arity-%d tuple in arity-%d tree", len(v), t.arity))
 	}
 
+	// A cold hint counts as a miss, so hits plus misses always equals the
+	// number of hinted operations.
 	if h != nil {
 		if leaf := h.findLeaf; leaf != nil {
 			ls := leaf.lock.StartRead()
 			_, found, covered := t.probeLeaf(leaf, v)
-			if leaf.lock.Valid(ls) && covered {
+			if valid(&leaf.lock, ls, oc) && covered {
 				h.Stats.FindHits++
+				oc.Inc(obs.HintFindHits)
 				return found
 			}
 			h.Stats.FindMisses++
+			oc.Inc(obs.HintFindMisses)
+		} else {
+			h.Stats.FindMisses++
+			oc.Inc(obs.HintFindMisses)
 		}
 	}
 
 restart:
-	for {
-		cur, curLease, ok := t.readRoot()
+	for attempt := 0; ; attempt++ {
+		oc.Inc(obs.TreeDescents)
+		if attempt > 0 {
+			oc.Inc(obs.TreeRestarts)
+		}
+		cur, curLease, ok := t.readRoot(oc)
 		if !ok {
 			return false
 		}
 		for {
 			idx, found := cur.search(t.arity, v)
 			if found {
-				if cur.lock.Valid(curLease) {
+				if valid(&cur.lock, curLease, oc) {
 					if h != nil && !cur.inner {
 						h.findLeaf = cur
 					}
@@ -49,7 +73,7 @@ restart:
 				continue restart
 			}
 			if !cur.inner {
-				if !cur.lock.Valid(curLease) {
+				if !valid(&cur.lock, curLease, oc) {
 					continue restart
 				}
 				if h != nil {
@@ -58,11 +82,11 @@ restart:
 				return false
 			}
 			next := cur.child(idx)
-			if !cur.lock.Valid(curLease) {
+			if !valid(&cur.lock, curLease, oc) {
 				continue restart
 			}
 			nextLease := next.lock.StartRead()
-			if !cur.lock.Valid(curLease) {
+			if !valid(&cur.lock, curLease, oc) {
 				continue restart
 			}
 			cur, curLease = next, nextLease
@@ -73,18 +97,18 @@ restart:
 // readRoot obtains the root node and an initial read lease on it, under
 // the root-pointer seqlock (Alg. 1 lines 13-17). ok is false if the tree
 // has no root yet.
-func (t *Tree) readRoot() (*node, lease, bool) {
+func (t *Tree) readRoot(oc *obs.OpCounts) (*node, lease, bool) {
 	for {
 		rootLease := t.rootLock.StartRead()
 		cur := t.root.Load()
 		if cur == nil {
-			if t.rootLock.EndRead(rootLease) {
+			if valid(&t.rootLock, rootLease, oc) {
 				return nil, lease{}, false
 			}
 			continue
 		}
 		curLease := cur.lock.StartRead()
-		if t.rootLock.EndRead(rootLease) {
+		if valid(&t.rootLock, rootLease, oc) {
 			return cur, curLease, true
 		}
 	}
@@ -139,33 +163,61 @@ func (t *Tree) UpperBound(v tuple.Tuple) Cursor { return t.boundHint(v, true, ni
 // UpperBoundHint is UpperBound with operation hints.
 func (t *Tree) UpperBoundHint(v tuple.Tuple, h *Hints) Cursor { return t.boundHint(v, true, h) }
 
-// boundHint locates the first element > v (strict) or >= v (non-strict),
-// tracking the best candidate seen on the descent. The candidate node's
-// lease is validated at the end; any conflict restarts the operation.
+// boundHint dispatches a bound query through the per-goroutine counter
+// batch of h (when non-nil) or a stack batch flushed at operation exit.
 func (t *Tree) boundHint(v tuple.Tuple, strict bool, h *Hints) Cursor {
+	if h != nil {
+		c := t.boundHintCounted(v, strict, h, h.obs.Counts())
+		h.obs.EndOp()
+		return c
+	}
+	var oc obs.OpCounts
+	c := t.boundHintCounted(v, strict, nil, &oc)
+	oc.Flush()
+	return c
+}
+
+// boundHintCounted locates the first element > v (strict) or >= v
+// (non-strict), tracking the best candidate seen on the descent. The
+// candidate node's lease is validated at the end; any conflict restarts
+// the operation.
+func (t *Tree) boundHintCounted(v tuple.Tuple, strict bool, h *Hints, oc *obs.OpCounts) Cursor {
 	if len(v) != t.arity {
 		panic(fmt.Sprintf("core: querying arity-%d tuple in arity-%d tree", len(v), t.arity))
 	}
 
+	// A cold hint counts as a miss, so hits plus misses always equals the
+	// number of hinted operations.
 	if h != nil {
 		leaf := h.lowerLeaf
 		hits, misses := &h.Stats.LowerHits, &h.Stats.LowerMisses
+		hitC, missC := obs.HintLowerHits, obs.HintLowerMisses
 		if strict {
 			leaf = h.upperLeaf
 			hits, misses = &h.Stats.UpperHits, &h.Stats.UpperMisses
+			hitC, missC = obs.HintUpperHits, obs.HintUpperMisses
 		}
 		if leaf != nil {
-			if c, ok := t.boundFromHint(leaf, v, strict); ok {
+			if c, ok := t.boundFromHint(leaf, v, strict, oc); ok {
 				*hits++
+				oc.Inc(hitC)
 				return c
 			}
 			*misses++
+			oc.Inc(missC)
+		} else {
+			*misses++
+			oc.Inc(missC)
 		}
 	}
 
 restart:
-	for {
-		cur, curLease, ok := t.readRoot()
+	for attempt := 0; ; attempt++ {
+		oc.Inc(obs.TreeDescents)
+		if attempt > 0 {
+			oc.Inc(obs.TreeRestarts)
+		}
+		cur, curLease, ok := t.readRoot(oc)
 		if !ok {
 			return Cursor{}
 		}
@@ -175,7 +227,7 @@ restart:
 		for {
 			idx := cur.searchBound(t.arity, v, strict)
 			if !cur.inner {
-				if !cur.lock.Valid(curLease) {
+				if !valid(&cur.lock, curLease, oc) {
 					continue restart
 				}
 				var res Cursor
@@ -183,7 +235,7 @@ restart:
 					res = Cursor{t: t, n: cur, idx: idx}
 				} else {
 					res = candidate
-					if candNode != nil && !candNode.lock.Valid(candLease) {
+					if candNode != nil && !valid(&candNode.lock, candLease, oc) {
 						continue restart
 					}
 				}
@@ -201,11 +253,11 @@ restart:
 				candNode, candLease = cur, curLease
 			}
 			next := cur.child(idx)
-			if !cur.lock.Valid(curLease) {
+			if !valid(&cur.lock, curLease, oc) {
 				continue restart
 			}
 			nextLease := next.lock.StartRead()
-			if !cur.lock.Valid(curLease) {
+			if !valid(&cur.lock, curLease, oc) {
 				continue restart
 			}
 			cur, curLease = next, nextLease
@@ -217,7 +269,7 @@ restart:
 // leaf provably contains the answer: first <= v <= last for lower bounds,
 // first <= v < last for upper bounds (strict on the right so the answer
 // cannot be in a successor node). All under a validated read lease.
-func (t *Tree) boundFromHint(leaf *node, v tuple.Tuple, strict bool) (Cursor, bool) {
+func (t *Tree) boundFromHint(leaf *node, v tuple.Tuple, strict bool, oc *obs.OpCounts) (Cursor, bool) {
 	ls := leaf.lock.StartRead()
 	if leaf.inner {
 		return Cursor{}, false
@@ -234,7 +286,7 @@ func (t *Tree) boundFromHint(leaf *node, v tuple.Tuple, strict bool) (Cursor, bo
 		return Cursor{}, false
 	}
 	idx := leaf.searchBound(t.arity, v, strict)
-	if !leaf.lock.Valid(ls) || idx >= cnt {
+	if !valid(&leaf.lock, ls, oc) || idx >= cnt {
 		return Cursor{}, false
 	}
 	return Cursor{t: t, n: leaf, idx: idx}, true

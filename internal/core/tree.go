@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"specbtree/internal/obs"
 	"specbtree/internal/tuple"
 )
 
@@ -112,6 +113,20 @@ func (t *Tree) newNode(inner bool) *node {
 	return n
 }
 
+// valid counts and performs one lease validation: one
+// optlock.read.validations event per call, plus a
+// optlock.read.validation_failures event when the lease is stale. All
+// validations of the tree's hot paths funnel through here so the lock
+// protocol stays observable without touching package optlock's fast path.
+func valid(l *lockT, ls lease, oc *obs.OpCounts) bool {
+	oc.Inc(obs.LockReadValidations)
+	if l.Valid(ls) {
+		return true
+	}
+	oc.Inc(obs.LockReadValidationFailures)
+	return false
+}
+
 // Insert adds v to the set, returning false if it was already present.
 // It is the hint-less form of InsertHint.
 func (t *Tree) Insert(v tuple.Tuple) bool { return t.InsertHint(v, nil) }
@@ -124,6 +139,18 @@ func (t *Tree) Insert(v tuple.Tuple) bool { return t.InsertHint(v, nil) }
 // read under it, upgrade the leaf lease to a write lock, and restart from
 // the top on any conflict. Split handling (full leaf) is Algorithm 2.
 func (t *Tree) InsertHint(v tuple.Tuple, h *Hints) bool {
+	if h != nil {
+		ok := t.insertHint(v, h, h.obs.Counts())
+		h.obs.EndOp()
+		return ok
+	}
+	var oc obs.OpCounts
+	ok := t.insertHint(v, nil, &oc)
+	oc.Flush()
+	return ok
+}
+
+func (t *Tree) insertHint(v tuple.Tuple, h *Hints, oc *obs.OpCounts) bool {
 	if len(v) != t.arity {
 		panic(fmt.Sprintf("core: inserting arity-%d tuple into arity-%d tree", len(v), t.arity))
 	}
@@ -141,30 +168,41 @@ func (t *Tree) InsertHint(v tuple.Tuple, h *Hints) bool {
 
 	// Try the insert hint: if the remembered leaf still covers v, enter
 	// the tree directly at that leaf, skipping the descent. Correctness of
-	// leaf-first entry rests on write locks being acquired bottom-up.
+	// leaf-first entry rests on write locks being acquired bottom-up. A
+	// cold hint (no remembered leaf yet) counts as a miss, so hits plus
+	// misses always equals the number of hinted operations.
 	if h != nil {
 		if leaf := h.insertLeaf; leaf != nil {
 			lease := leaf.lock.StartRead()
 			idx, found, covered := t.probeLeaf(leaf, v)
-			if leaf.lock.Valid(lease) && covered {
+			if valid(&leaf.lock, lease, oc) && covered {
 				h.Stats.InsertHits++
+				oc.Inc(obs.HintInsertHits)
 				if found {
-					if leaf.lock.Valid(lease) {
+					if valid(&leaf.lock, lease, oc) {
 						return false
 					}
 					// Torn read; fall through to the full descent.
-				} else if done, inserted := t.insertIntoLeaf(leaf, lease, idx, v, h); done {
+				} else if done, inserted := t.insertIntoLeaf(leaf, lease, idx, v, h, oc); done {
 					return inserted
 				}
 				// Upgrade or split lost a race: restart via full descent.
 			} else {
 				h.Stats.InsertMisses++
+				oc.Inc(obs.HintInsertMisses)
 			}
+		} else {
+			h.Stats.InsertMisses++
+			oc.Inc(obs.HintInsertMisses)
 		}
 	}
 
 restart:
-	for {
+	for attempt := 0; ; attempt++ {
+		oc.Inc(obs.TreeDescents)
+		if attempt > 0 {
+			oc.Inc(obs.TreeRestarts)
+		}
 		// Safely obtain the root node and a lease on it (lines 13-17).
 		var cur *node
 		var curLease lease
@@ -175,7 +213,7 @@ restart:
 				continue
 			}
 			curLease = cur.lock.StartRead()
-			if t.rootLock.EndRead(rootLease) {
+			if valid(&t.rootLock, rootLease, oc) {
 				break
 			}
 		}
@@ -184,7 +222,7 @@ restart:
 		for {
 			idx, found := cur.search(t.arity, v)
 			if found {
-				if cur.lock.Valid(curLease) {
+				if valid(&cur.lock, curLease, oc) {
 					return false
 				}
 				continue restart
@@ -192,18 +230,18 @@ restart:
 
 			if cur.inner {
 				next := cur.child(idx)
-				if !cur.lock.Valid(curLease) {
+				if !valid(&cur.lock, curLease, oc) {
 					continue restart
 				}
 				nextLease := next.lock.StartRead()
-				if !cur.lock.Valid(curLease) {
+				if !valid(&cur.lock, curLease, oc) {
 					continue restart
 				}
 				cur, curLease = next, nextLease
 				continue
 			}
 
-			done, inserted := t.insertIntoLeaf(cur, curLease, idx, v, h)
+			done, inserted := t.insertIntoLeaf(cur, curLease, idx, v, h, oc)
 			if !done {
 				continue restart
 			}
@@ -215,12 +253,14 @@ restart:
 // insertIntoLeaf performs Alg. 1 lines 35-48: upgrade the leaf's read
 // lease to a write lock, split if full, otherwise insert. done=false
 // requests a restart of the whole insertion.
-func (t *Tree) insertIntoLeaf(leaf *node, ls lease, idx int, v tuple.Tuple, h *Hints) (done, inserted bool) {
+func (t *Tree) insertIntoLeaf(leaf *node, ls lease, idx int, v tuple.Tuple, h *Hints, oc *obs.OpCounts) (done, inserted bool) {
 	if !leaf.lock.TryUpgradeToWrite(ls) {
+		oc.Inc(obs.LockUpgradeFailures)
 		return false, false
 	}
+	oc.Inc(obs.LockUpgradeSuccesses)
 	if leaf.full(t.arity) {
-		t.split(leaf)
+		t.split(leaf, oc)
 		leaf.lock.EndWrite()
 		return false, false
 	}
@@ -256,7 +296,7 @@ func (t *Tree) probeLeaf(leaf *node, v tuple.Tuple) (idx int, found, covered boo
 // bottom-up until the first non-full ancestor or the root lock, the split
 // is performed, and the path is unlocked top-down. The caller keeps — and
 // must release — its own lock on n.
-func (t *Tree) split(n *node) {
+func (t *Tree) split(n *node, oc *obs.OpCounts) {
 	// Write-lock the path bottom-up (lines 2-23). path records the locked
 	// ancestors; a nil entry denotes the tree's root lock.
 	cur := n
@@ -296,7 +336,7 @@ func (t *Tree) split(n *node) {
 	}
 
 	// Conduct the actual split (line 26).
-	t.doSplit(n)
+	t.doSplit(n, oc)
 
 	// Unlock the path top-down (lines 28-35).
 	for i := len(path) - 1; i >= 0; i-- {
@@ -311,13 +351,18 @@ func (t *Tree) split(n *node) {
 // doSplit splits the full node n, propagating splits up the (already
 // locked) ancestor path as needed. n and every full ancestor are write
 // locked; the first non-full ancestor (or the root lock) is locked too.
-func (t *Tree) doSplit(n *node) {
+func (t *Tree) doSplit(n *node, oc *obs.OpCounts) {
 	parent := n.parent.Load()
 	if parent != nil && parent.full(t.arity) {
 		// Make room above first. Splitting the parent may migrate n into
 		// the parent's new sibling, so re-read n's parent afterwards.
-		t.doSplit(parent)
+		t.doSplit(parent, oc)
 		parent = n.parent.Load()
+	}
+	if n.inner {
+		oc.Inc(obs.TreeInnerSplits)
+	} else {
+		oc.Inc(obs.TreeLeafSplits)
 	}
 
 	arity := t.arity
@@ -353,7 +398,9 @@ func (t *Tree) doSplit(n *node) {
 	if parent == nil {
 		// n was the root: grow the tree by one level. The root lock is
 		// held, covering both the root pointer and the parents of n and
-		// the sibling.
+		// the sibling. Each root split is exactly one height increase, so
+		// core.split.root doubles as the height-change counter.
+		oc.Inc(obs.TreeRootSplits)
 		newRoot := t.newNode(true)
 		newRoot.storeRow(0, arity, median)
 		newRoot.children[0].Store(n)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"specbtree/internal/obs"
 	"specbtree/internal/relation"
 	"specbtree/internal/tuple"
 )
@@ -20,22 +21,23 @@ type Options struct {
 }
 
 // Stats mirrors the evaluation statistics of the paper's Table 2, plus the
-// hint statistics reported in §4.3.
+// hint statistics reported in §4.3. The JSON field names are part of the
+// metrics contract documented in DESIGN.md §9.
 type Stats struct {
-	Relations int
-	Rules     int
+	Relations int `json:"relations"`
+	Rules     int `json:"rules"`
 
-	Inserts         uint64 // data-structure insert operations (per index)
-	MembershipTests uint64 // contains operations
-	LowerBoundCalls uint64 // one per range scan
-	UpperBoundCalls uint64 // one per range scan
+	Inserts         uint64 `json:"inserts"`           // data-structure insert operations (per index)
+	MembershipTests uint64 `json:"membership_tests"`  // contains operations
+	LowerBoundCalls uint64 `json:"lower_bound_calls"` // one per range scan
+	UpperBoundCalls uint64 `json:"upper_bound_calls"` // one per range scan
 
-	InputTuples    uint64 // facts loaded before evaluation
-	ProducedTuples uint64 // distinct derived tuples
-	Iterations     uint64 // fixpoint rounds across all strata
+	InputTuples    uint64 `json:"input_tuples"`    // facts loaded before evaluation
+	ProducedTuples uint64 `json:"produced_tuples"` // distinct derived tuples
+	Iterations     uint64 `json:"iterations"`      // fixpoint rounds across all strata
 
-	HintHits   uint64
-	HintMisses uint64
+	HintHits   uint64 `json:"hint_hits"`
+	HintMisses uint64 `json:"hint_misses"`
 }
 
 // HintRate returns the fraction of hinted operations that hit.
@@ -99,6 +101,7 @@ type Engine struct {
 
 	inputTuples uint64
 	stats       Stats
+	rounds      []RoundMetric
 	ran         bool
 
 	// workerState[i] is owned by worker i during parallel sections.
@@ -358,6 +361,7 @@ func (e *Engine) runStratum(si int) {
 		e.evalPlan(p, intoFull)
 		p.evalTime += time.Since(start)
 		p.evalCount++
+		obs.Inc(obs.EngineRuleEvals)
 	}
 	if len(rec) == 0 {
 		return
@@ -375,28 +379,47 @@ func (e *Engine) runStratum(si int) {
 	}
 
 	// Fixpoint loop (Figure 1's while-loop).
-	for {
+	for round := 1; ; round++ {
 		e.stats.Iterations++
+		obs.Inc(obs.EngineRounds)
+		var roundStart time.Time
+		if obs.Enabled {
+			roundStart = time.Now()
+		}
 		for _, p := range rec {
 			start := time.Now()
 			e.evalPlan(p, intoNew)
 			p.evalTime += time.Since(start)
 			p.evalCount++
+			obs.Inc(obs.EngineRuleEvals)
 		}
 
 		// Merge new tuples into full, promote them to delta, and check
 		// for the fixpoint (the sequential step between parallel phases).
 		progress := false
+		var promoted uint64
 		for _, pred := range st.Preds {
 			r := e.rels[pred]
 			if !r.nw[0].Empty() {
 				progress = true
+			}
+			if obs.Enabled {
+				promoted += uint64(r.nw[0].Len())
 			}
 			for i := range r.indexes {
 				r.full[i].MergeFrom(r.nw[i])
 				r.delta[i] = r.nw[i]
 				r.nw[i] = e.provider.New(r.arity)
 			}
+		}
+		if obs.Enabled {
+			obs.Add(obs.EngineDeltaTuples, promoted)
+			e.rounds = append(e.rounds, RoundMetric{
+				Stratum:     si,
+				Round:       round,
+				Duration:    time.Since(roundStart),
+				DeltaTuples: promoted,
+			})
 		}
 		if !progress {
 			break
@@ -654,7 +677,9 @@ func (e *Engine) emit(ws *workerState, p *rulePlan, env []uint64, target insertT
 	}
 }
 
-// collectStats aggregates worker counters and hint statistics.
+// collectStats aggregates worker counters and hint statistics, and
+// settles every worker's batched observability counters so a snapshot
+// taken after Run is exact.
 func (e *Engine) collectStats() {
 	s := &e.stats
 	s.Relations = len(e.prog.Decls)
@@ -667,6 +692,9 @@ func (e *Engine) collectStats() {
 		s.UpperBoundCalls += ws.scans
 		s.ProducedTuples += ws.produced
 		for _, ops := range ws.ops {
+			if f, ok := ops.(relation.StatsFlusher); ok {
+				f.FlushStats()
+			}
 			if rep, ok := ops.(relation.HintReporter); ok {
 				h, m := rep.HintStats()
 				s.HintHits += h
@@ -680,11 +708,12 @@ func (e *Engine) collectStats() {
 func (e *Engine) Stats() Stats { return e.stats }
 
 // RuleTiming is the accumulated evaluation time of one semi-naïve rule
-// version, for Soufflé-style profiling.
+// version, for Soufflé-style profiling. The JSON field names are part of
+// the metrics contract documented in DESIGN.md §9.
 type RuleTiming struct {
-	Rule        string
-	Evaluations uint64
-	Total       time.Duration
+	Rule        string        `json:"rule"`
+	Evaluations uint64        `json:"evaluations"`
+	Total       time.Duration `json:"total_ns"`
 }
 
 // Profile returns per-rule-version evaluation timings, most expensive
@@ -698,4 +727,42 @@ func (e *Engine) Profile() []RuleTiming {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
 	return out
+}
+
+// RoundMetric records one semi-naïve fixpoint round: which stratum it ran
+// in, its 1-based position in that stratum's iteration, its wall-clock
+// duration and the number of tuples promoted into the delta relations
+// afterwards (zero for the final, converged round). Rounds are only
+// recorded when the observability layer is compiled in (obs.Enabled). The
+// JSON field names are part of the metrics contract in DESIGN.md §9.
+type RoundMetric struct {
+	Stratum     int           `json:"stratum"`
+	Round       int           `json:"round"`
+	Duration    time.Duration `json:"duration_ns"`
+	DeltaTuples uint64        `json:"delta_tuples"`
+}
+
+// Metrics is the engine-level structured metrics document: the aggregate
+// Stats, the per-round semi-naïve progress and the per-rule-version
+// timing profile, tagged with the provider and worker configuration. It
+// forms the "engine"/"engines" sections of the JSON emitted by the
+// commands' -metrics flag (DESIGN.md §9). Valid after Run.
+type Metrics struct {
+	Provider string        `json:"provider"`
+	Workers  int           `json:"workers"`
+	Stats    Stats         `json:"stats"`
+	Rounds   []RoundMetric `json:"rounds,omitempty"`
+	Rules    []RuleTiming  `json:"rules,omitempty"`
+}
+
+// Metrics returns the structured metrics document for this engine run
+// (valid after Run).
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Provider: e.provider.Name,
+		Workers:  e.workers,
+		Stats:    e.stats,
+		Rounds:   e.rounds,
+		Rules:    e.Profile(),
+	}
 }

@@ -1,0 +1,9 @@
+//go:build obsoff
+
+package obs
+
+// Enabled reports whether the observability counters are compiled in.
+// Under the obsoff build tag every Inc/Add is a constant-false branch
+// that the compiler removes, so the instrumented hot paths carry zero
+// cost. Snapshots still marshal, with Enabled=false and all-zero values.
+const Enabled = false

@@ -1,0 +1,9 @@
+//go:build !obsoff
+
+package obs
+
+// Enabled reports whether the observability counters are compiled in.
+// This is the default build; compiling with -tags obsoff turns every
+// Inc/Add into a no-op that the compiler eliminates, for measuring (and
+// eliminating) instrumentation overhead.
+const Enabled = true

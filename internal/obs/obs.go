@@ -1,0 +1,295 @@
+// Package obs is the observability layer of the specialised B-tree and
+// its Datalog engine: a zero-allocation registry of global event counters
+// covering every synchronisation hot path — seqlock validations and
+// failures, lease upgrades, write-lock spins, tree descents and restarts,
+// hint hits and misses per operation class, node splits, and engine-level
+// semi-naïve progress.
+//
+// The paper's argument rests on micro-events that are invisible in an
+// end-to-end runtime number; this package makes them countable in
+// production without disturbing the property that makes the hot path
+// fast (readers write no shared memory). The registry is sharded
+// per goroutine and merged on read, in two tiers:
+//
+//  1. Shards. The durable cells are numShards padded blocks of atomic
+//     counters; a goroutine picks its block by a cheap hash of its own
+//     stack address, so concurrent writers rarely share a cache line,
+//     and reads merge all blocks. Inc/Add hit these cells directly —
+//     correct from any goroutine, but each update is a lock-prefixed
+//     instruction, so direct use is reserved for rare events (control
+//     plane, spin loops) and batch settlement.
+//  2. Batches. Hot paths do not touch shared memory per event. A tree
+//     operation accumulates its events in an OpCounts — a plain struct
+//     on the operation's stack or inside the goroutine-owned hint set —
+//     with non-atomic increments, and the batch is settled into the
+//     shards either at operation exit (hint-less operations) or every
+//     Batch.flushEvery operations (hinted operations, via Batch). A
+//     set-bit mask keeps settlement proportional to the counters
+//     actually touched, so the amortised cost per event is a register
+//     increment.
+//
+// No tier allocates per event, and the whole layer compiles out: Enabled
+// is a build-time constant (false under the "obsoff" build tag), every
+// mutation starts with an `if !Enabled` constant branch, and OpCounts and
+// Batch are empty structs in disabled builds.
+//
+// Deferred batches mean a snapshot taken mid-run can trail the truth by
+// up to flushEvery operations per live hint set; every measurement
+// boundary in this repository (engine run completion, benchmark worker
+// exit, the -metrics dumps) settles outstanding batches first, so
+// printed snapshots are exact.
+//
+// Counter names form a documented, stable contract: the table in
+// DESIGN.md §9 lists every name, its unit and the code path that
+// increments it, and scripts/check_docs.sh fails the build if the two
+// drift apart. Names, once published under SchemaVersion, are
+// append-only: they never change meaning or disappear; consumers must
+// ignore unknown keys.
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// SchemaVersion identifies the JSON metrics contract emitted by Take and
+// by the -metrics flag of every command. Counter names under this version
+// are append-only stable (see the package comment).
+const SchemaVersion = "specbtree.metrics.v1"
+
+// Counter identifies one global event counter. The constants below are
+// the complete registry; Name returns the stable string form. Counter
+// values must stay below 64 so an OpCounts mask fits one word.
+type Counter uint32
+
+// The counter registry. Every constant is documented by its stable name;
+// DESIGN.md §9 specifies unit and incrementing code path for each.
+const (
+	// LockReadValidations counts optimistic read-lease validations
+	// ("optlock.read.validations").
+	LockReadValidations Counter = iota
+	// LockReadValidationFailures counts validations that failed because a
+	// writer intervened ("optlock.read.validation_failures").
+	LockReadValidationFailures
+	// LockUpgradeSuccesses counts read-lease-to-write-lock upgrades that
+	// won their CAS ("optlock.upgrade.successes").
+	LockUpgradeSuccesses
+	// LockUpgradeFailures counts upgrade attempts that lost their CAS
+	// ("optlock.upgrade.failures").
+	LockUpgradeFailures
+	// LockWriteSpins counts spin iterations spent waiting in blocking
+	// write-lock acquisitions ("optlock.write.spins").
+	LockWriteSpins
+	// TreeDescents counts root-to-leaf descents started by the concurrent
+	// tree, including restarts ("core.descents").
+	TreeDescents
+	// TreeRestarts counts descents abandoned because a lease failed to
+	// validate ("core.restarts").
+	TreeRestarts
+	// HintInsertHits counts hinted inserts answered by the cached leaf
+	// ("hint.insert.hits").
+	HintInsertHits
+	// HintInsertMisses counts hinted inserts whose cached leaf did not
+	// cover the probe, including cold hints ("hint.insert.misses").
+	HintInsertMisses
+	// HintFindHits counts hinted membership tests answered by the cached
+	// leaf ("hint.find.hits").
+	HintFindHits
+	// HintFindMisses counts hinted membership tests that fell back to a
+	// descent ("hint.find.misses").
+	HintFindMisses
+	// HintLowerHits counts hinted lower-bound queries answered by the
+	// cached leaf ("hint.lower.hits").
+	HintLowerHits
+	// HintLowerMisses counts hinted lower-bound queries that fell back to
+	// a descent ("hint.lower.misses").
+	HintLowerMisses
+	// HintUpperHits counts hinted upper-bound queries answered by the
+	// cached leaf ("hint.upper.hits").
+	HintUpperHits
+	// HintUpperMisses counts hinted upper-bound queries that fell back to
+	// a descent ("hint.upper.misses").
+	HintUpperMisses
+	// TreeLeafSplits counts leaf-node splits ("core.split.leaf").
+	TreeLeafSplits
+	// TreeInnerSplits counts inner-node splits ("core.split.inner").
+	TreeInnerSplits
+	// TreeRootSplits counts root splits; each one grows the tree by one
+	// level, so this equals the total tree-height increase
+	// ("core.split.root").
+	TreeRootSplits
+	// EngineRounds counts semi-naïve fixpoint rounds across all strata
+	// ("datalog.rounds").
+	EngineRounds
+	// EngineRuleEvals counts evaluations of semi-naïve rule versions
+	// ("datalog.rule_evals").
+	EngineRuleEvals
+	// EngineDeltaTuples counts tuples promoted into delta relations, i.e.
+	// the summed per-round delta sizes ("datalog.delta_tuples").
+	EngineDeltaTuples
+
+	// NumCounters is the number of registered counters; valid Counter
+	// values are [0, NumCounters).
+	NumCounters
+)
+
+// counterNames maps every Counter to its stable published name.
+var counterNames = [NumCounters]string{
+	LockReadValidations:        "optlock.read.validations",
+	LockReadValidationFailures: "optlock.read.validation_failures",
+	LockUpgradeSuccesses:       "optlock.upgrade.successes",
+	LockUpgradeFailures:        "optlock.upgrade.failures",
+	LockWriteSpins:             "optlock.write.spins",
+	TreeDescents:               "core.descents",
+	TreeRestarts:               "core.restarts",
+	HintInsertHits:             "hint.insert.hits",
+	HintInsertMisses:           "hint.insert.misses",
+	HintFindHits:               "hint.find.hits",
+	HintFindMisses:             "hint.find.misses",
+	HintLowerHits:              "hint.lower.hits",
+	HintLowerMisses:            "hint.lower.misses",
+	HintUpperHits:              "hint.upper.hits",
+	HintUpperMisses:            "hint.upper.misses",
+	TreeLeafSplits:             "core.split.leaf",
+	TreeInnerSplits:            "core.split.inner",
+	TreeRootSplits:             "core.split.root",
+	EngineRounds:               "datalog.rounds",
+	EngineRuleEvals:            "datalog.rule_evals",
+	EngineDeltaTuples:          "datalog.delta_tuples",
+}
+
+// Name returns the counter's stable published name, the key used in the
+// JSON snapshot and documented in DESIGN.md §9.
+func (c Counter) Name() string { return counterNames[c] }
+
+// Names lists all counter names in registry (not lexicographic) order.
+func Names() []string {
+	out := make([]string, NumCounters)
+	for c := Counter(0); c < NumCounters; c++ {
+		out[c] = counterNames[c]
+	}
+	return out
+}
+
+// cacheLine is the assumed cache-line size used for padding cell blocks.
+const cacheLine = 64
+
+// cellPad is the padding that rounds a cell block up to a cache-line
+// multiple, so blocks owned by different goroutines never share a line.
+const cellPad = (cacheLine - (int(NumCounters)*8)%cacheLine) % cacheLine
+
+// numShards is the number of counter shards (tier 1). A power of
+// two so shard selection is a mask; sized well above typical GOMAXPROCS
+// so concurrent goroutines rarely collide on a shard.
+const numShards = 64
+
+// shard is one padded block of durable cells. A shard may be hit by
+// several goroutines, so its cells take true atomic adds.
+type shard struct {
+	cells [NumCounters]atomic.Uint64
+	_     [cellPad]byte
+}
+
+// shards is the global cell array.
+var shards [numShards]shard
+
+// shardFor picks the current goroutine's shard. The goroutine
+// identity proxy is the address of a stack variable: goroutine stacks
+// live in distinct allocations, so discarding the in-stack low bits
+// (>>10) and mixing with a Fibonacci constant spreads goroutines across
+// shards. The pointer is consumed immediately as an integer, so the
+// marker never escapes and the function allocates nothing. A goroutine
+// whose stack moves may hash to another shard; that is harmless, since
+// reads merge all shards.
+func shardFor() *shard {
+	var marker byte
+	h := uintptr(unsafe.Pointer(&marker)) >> 10
+	return &shards[(h*0x9E3779B9)&(numShards-1)]
+}
+
+// Inc adds 1 to counter c through the shards. Zero-allocation and safe
+// from any goroutine, but lock-prefixed: reserve it for rare events
+// (control plane, spin loops) and batch hot paths through OpCounts or
+// Batch instead.
+func Inc(c Counter) {
+	if !Enabled {
+		return
+	}
+	shardFor().cells[c].Add(1)
+}
+
+// Add adds n to counter c through the shards. Same cost profile as Inc.
+func Add(c Counter, n uint64) {
+	if !Enabled {
+		return
+	}
+	shardFor().cells[c].Add(n)
+}
+
+// Value returns the current merged value of counter c across all shards.
+// Concurrent increments may or may not be included (counters are
+// monotone, so the result is always a valid recent value), and deltas
+// still pending in unsettled batches are not visible yet.
+func Value(c Counter) uint64 {
+	var total uint64
+	for i := range shards {
+		total += shards[i].cells[c].Load()
+	}
+	return total
+}
+
+// Reset zeroes every counter. Intended for tests, benchmarks, and
+// delimiting measurement windows in the bench commands; settle or
+// discard outstanding batches first, and do not call it concurrently
+// with operations you intend to count.
+func Reset() {
+	for i := range shards {
+		for c := range shards[i].cells {
+			shards[i].cells[c].Store(0)
+		}
+	}
+}
+
+// Snapshot is one merged reading of every counter — the JSON document of
+// the metrics contract. The zero value is not meaningful; obtain
+// snapshots via Take.
+type Snapshot struct {
+	// Schema is the contract version, always SchemaVersion.
+	Schema string `json:"schema"`
+	// Enabled records whether the binary was built with counters live;
+	// when false every counter reads zero.
+	Enabled bool `json:"enabled"`
+	// Counters maps every registered counter name to its merged value.
+	// encoding/json emits the keys in sorted order.
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// Take returns a merged snapshot of all counters. Reads are not atomic
+// across counters: a snapshot taken while writers run is a
+// consistent-enough recent view (modulo unsettled batches), not a
+// linearisation point.
+func Take() Snapshot {
+	s := Snapshot{
+		Schema:   SchemaVersion,
+		Enabled:  Enabled,
+		Counters: make(map[string]uint64, NumCounters),
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		s.Counters[counterNames[c]] = Value(c)
+	}
+	return s
+}
+
+// publishOnce guards Publish against duplicate expvar registration.
+var publishOnce sync.Once
+
+// Publish registers the counter registry with package expvar under the
+// name "specbtree", so any HTTP server serving expvar's /debug/vars
+// endpoint exposes a live snapshot. Safe to call more than once.
+func Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("specbtree", expvar.Func(func() any { return Take() }))
+	})
+}

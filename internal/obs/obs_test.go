@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestCounterNamesCompleteAndUnique(t *testing.T) {
+	seen := map[string]Counter{}
+	for c := Counter(0); c < NumCounters; c++ {
+		name := c.Name()
+		if name == "" {
+			t.Fatalf("counter %d has no name", c)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("counters %d and %d share name %q", prev, c, name)
+		}
+		seen[name] = c
+	}
+	if got := len(Names()); got != int(NumCounters) {
+		t.Fatalf("Names() returned %d names, want %d", got, NumCounters)
+	}
+}
+
+func TestIncMergesAcrossGoroutines(t *testing.T) {
+	Reset()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				Inc(TreeDescents)
+				Add(EngineDeltaTuples, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if !Enabled {
+		if Value(TreeDescents) != 0 {
+			t.Fatal("disabled build must count nothing")
+		}
+		return
+	}
+	if got := Value(TreeDescents); got != workers*perWorker {
+		t.Errorf("TreeDescents = %d, want %d", got, workers*perWorker)
+	}
+	if got := Value(EngineDeltaTuples); got != 3*workers*perWorker {
+		t.Errorf("EngineDeltaTuples = %d, want %d", got, 3*workers*perWorker)
+	}
+}
+
+func TestIncAllocatesNothing(t *testing.T) {
+	if avg := testing.AllocsPerRun(1000, func() { Inc(LockReadValidations) }); avg != 0 {
+		t.Errorf("Inc allocates %.1f objects per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { Add(EngineDeltaTuples, 7) }); avg != 0 {
+		t.Errorf("Add allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func TestSnapshotJSONContract(t *testing.T) {
+	Reset()
+	Inc(HintInsertHits)
+	s := Take()
+	if s.Schema != SchemaVersion {
+		t.Errorf("schema %q, want %q", s.Schema, SchemaVersion)
+	}
+	if s.Enabled != Enabled {
+		t.Errorf("snapshot Enabled = %v, build Enabled = %v", s.Enabled, Enabled)
+	}
+	if len(s.Counters) != int(NumCounters) {
+		t.Fatalf("snapshot has %d counters, want %d", len(s.Counters), NumCounters)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		if _, ok := back.Counters[name]; !ok {
+			t.Errorf("counter %q missing from JSON round trip", name)
+		}
+	}
+	if Enabled && back.Counters[HintInsertHits.Name()] != 1 {
+		t.Errorf("hint.insert.hits = %d after one Inc", back.Counters[HintInsertHits.Name()])
+	}
+}
+
+func TestResetZeroesEverything(t *testing.T) {
+	Inc(TreeLeafSplits)
+	Reset()
+	for c := Counter(0); c < NumCounters; c++ {
+		if v := Value(c); v != 0 {
+			t.Errorf("%s = %d after Reset", c.Name(), v)
+		}
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	Publish()
+	Publish() // second call must not panic on duplicate registration
+	v := expvar.Get("specbtree")
+	if v == nil {
+		t.Fatal("expvar variable \"specbtree\" not registered")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar value is not a Snapshot: %v", err)
+	}
+	if s.Schema != SchemaVersion {
+		t.Errorf("expvar snapshot schema %q", s.Schema)
+	}
+}
+
+func TestBatchMergesIntoValue(t *testing.T) {
+	Reset()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b Batch
+			for i := 0; i < perWorker; i++ {
+				b.Counts().Inc(HintFindHits)
+				b.Counts().Add(EngineDeltaTuples, 2)
+				b.EndOp()
+			}
+			b.Flush()
+		}()
+	}
+	wg.Wait()
+	if !Enabled {
+		if Value(HintFindHits) != 0 {
+			t.Fatal("disabled build must count nothing")
+		}
+		return
+	}
+	if got := Value(HintFindHits); got != workers*perWorker {
+		t.Errorf("hint.find.hits = %d, want %d", got, workers*perWorker)
+	}
+	if got := Value(EngineDeltaTuples); got != 2*workers*perWorker {
+		t.Errorf("datalog.delta_tuples = %d, want %d", got, 2*workers*perWorker)
+	}
+}
+
+func TestBatchDefersUntilFlush(t *testing.T) {
+	if !Enabled {
+		t.Skip("counters compiled out")
+	}
+	Reset()
+	var b Batch
+	b.Counts().Inc(TreeDescents)
+	b.EndOp() // one op: below the settlement period, nothing visible yet
+	if got := Value(TreeDescents); got != 0 {
+		t.Errorf("core.descents = %d before Flush, want 0 (deferred)", got)
+	}
+	b.Flush()
+	if got := Value(TreeDescents); got != 1 {
+		t.Errorf("core.descents = %d after Flush, want 1", got)
+	}
+	b.Flush() // empty batch: must not double-count
+	if got := Value(TreeDescents); got != 1 {
+		t.Errorf("core.descents = %d after re-Flush, want 1", got)
+	}
+}
+
+func TestOpCountsFlushExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("counters compiled out")
+	}
+	Reset()
+	var oc OpCounts
+	oc.Inc(LockReadValidations)
+	oc.Inc(LockReadValidations)
+	oc.Add(TreeDescents, 4)
+	oc.Flush()
+	if got := Value(LockReadValidations); got != 2 {
+		t.Errorf("optlock.read.validations = %d, want 2", got)
+	}
+	if got := Value(TreeDescents); got != 4 {
+		t.Errorf("core.descents = %d, want 4", got)
+	}
+	oc.Inc(LockUpgradeSuccesses)
+	oc.Flush()
+	if got := Value(LockReadValidations); got != 2 {
+		t.Errorf("first batch leaked into second flush: validations = %d", got)
+	}
+	if got := Value(LockUpgradeSuccesses); got != 1 {
+		t.Errorf("optlock.upgrade.successes = %d, want 1", got)
+	}
+}
+
+func TestCounterFitsOpCountsMask(t *testing.T) {
+	if NumCounters > 64 {
+		t.Fatalf("NumCounters = %d exceeds the 64-counter OpCounts mask", NumCounters)
+	}
+}
+
+func TestBatchedPathsAllocateNothing(t *testing.T) {
+	var b Batch
+	if avg := testing.AllocsPerRun(1000, func() {
+		oc := b.Counts()
+		oc.Inc(LockReadValidations)
+		oc.Inc(TreeDescents)
+		b.EndOp()
+	}); avg != 0 {
+		t.Errorf("Batch op allocates %.1f objects, want 0", avg)
+	}
+	b.Flush()
+	if avg := testing.AllocsPerRun(1000, func() {
+		var oc OpCounts
+		oc.Inc(LockReadValidations)
+		oc.Flush()
+	}); avg != 0 {
+		t.Errorf("OpCounts flush allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+func BenchmarkInc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Inc(LockReadValidations)
+	}
+}
+
+func BenchmarkIncParallel(b *testing.B) {
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			Inc(LockReadValidations)
+		}
+	})
+}
+
+func BenchmarkBatchOp(b *testing.B) {
+	var batch Batch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oc := batch.Counts()
+		oc.Inc(TreeDescents)
+		oc.Inc(LockReadValidations)
+		oc.Inc(LockReadValidations)
+		oc.Inc(LockUpgradeSuccesses)
+		oc.Inc(HintInsertHits)
+		batch.EndOp()
+	}
+}
+
+func BenchmarkOpCountsFlush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var oc OpCounts
+		oc.Inc(TreeDescents)
+		oc.Inc(LockReadValidations)
+		oc.Inc(LockReadValidations)
+		oc.Flush()
+	}
+}

@@ -1,0 +1,31 @@
+//go:build obsoff
+
+package obs
+
+// OpCounts is a batch of counter deltas accumulated with plain non-atomic
+// increments. In this (obsoff) build it is an empty struct whose methods
+// compile to nothing, so instrumented operations carry zero cost.
+type OpCounts struct{}
+
+// Inc adds 1 to counter c in the batch. No-op in this build.
+func (o *OpCounts) Inc(c Counter) {}
+
+// Add adds n to counter c in the batch. No-op in this build.
+func (o *OpCounts) Add(c Counter, n uint32) {}
+
+// Flush settles the batch into the goroutine's shard. No-op in this
+// build.
+func (o *OpCounts) Flush() {}
+
+// Batch couples an OpCounts with an operation countdown for amortised
+// settlement. No-op empty struct in this build.
+type Batch struct{}
+
+// Counts returns the batch's accumulator for the current operation.
+func (b *Batch) Counts() *OpCounts { return &OpCounts{} }
+
+// EndOp marks one operation complete. No-op in this build.
+func (b *Batch) EndOp() {}
+
+// Flush settles any pending deltas immediately. No-op in this build.
+func (b *Batch) Flush() {}

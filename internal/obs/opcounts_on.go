@@ -1,0 +1,83 @@
+//go:build !obsoff
+
+package obs
+
+import "math/bits"
+
+// OpCounts is a batch of counter deltas accumulated with plain non-atomic
+// increments (tier 2 of the package's sharding scheme). It must be owned
+// by one goroutine at a time — a tree operation's stack frame, or a
+// goroutine-owned hint set via Batch — and settled with Flush. In obsoff
+// builds OpCounts is an empty struct and its methods compile to nothing.
+//
+// The limit NumCounters <= 64 keeps the touched-counter set in one mask
+// word, so Flush walks only the counters the batch actually hit.
+type OpCounts struct {
+	mask uint64
+	n    [NumCounters]uint32
+}
+
+// Inc adds 1 to counter c in the batch.
+func (o *OpCounts) Inc(c Counter) {
+	o.mask |= 1 << c
+	o.n[c]++
+}
+
+// Add adds n to counter c in the batch.
+func (o *OpCounts) Add(c Counter, n uint32) {
+	o.mask |= 1 << c
+	o.n[c] += n
+}
+
+// Flush settles the batch into the goroutine's shard and resets it for
+// reuse. One atomic add per touched counter.
+func (o *OpCounts) Flush() {
+	m := o.mask
+	if m == 0 {
+		return
+	}
+	s := shardFor()
+	for ; m != 0; m &= m - 1 {
+		c := uint(bits.TrailingZeros64(m))
+		s.cells[c].Add(uint64(o.n[c]))
+		o.n[c] = 0
+	}
+	o.mask = 0
+}
+
+// flushEvery is the operation period at which a Batch settles into the
+// shards. It bounds both the amortised settlement cost (a few atomic adds
+// per flushEvery operations) and the staleness of a mid-run snapshot.
+const flushEvery = 64
+
+// Batch couples an OpCounts with an operation countdown for amortised
+// settlement. A long-lived, goroutine-owned structure (such as a hint
+// set) embeds one; each operation records events via Counts and calls
+// EndOp once, and the batch settles into the shards every flushEvery
+// operations. Call Flush at measurement boundaries so snapshots are
+// exact. In obsoff builds Batch is an empty struct and its methods
+// compile to nothing.
+type Batch struct {
+	pend OpCounts
+	ops  uint32
+}
+
+// Counts returns the batch's accumulator for the current operation.
+func (b *Batch) Counts() *OpCounts { return &b.pend }
+
+// EndOp marks one operation complete, settling the batch into the shards
+// every flushEvery calls. Amortised cost: a register increment.
+func (b *Batch) EndOp() {
+	b.ops++
+	if b.ops >= flushEvery {
+		b.pend.Flush()
+		b.ops = 0
+	}
+}
+
+// Flush settles any pending deltas immediately. Owner goroutine only (or
+// a goroutine that happens-after the owner's last operation).
+func (b *Batch) Flush() {
+	b.pend.Flush()
+	b.ops = 0
+}

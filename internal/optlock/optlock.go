@@ -27,6 +27,8 @@ package optlock
 import (
 	"runtime"
 	"sync/atomic"
+
+	"specbtree/internal/obs"
 )
 
 // Lease is a snapshot of the lock version obtained by StartRead. It
@@ -100,10 +102,15 @@ func (l *Lock) TryStartWrite() bool {
 // StartWrite blocks until the write lock is acquired. This is the only
 // blocking operation of the lock; the B-tree uses it exclusively in the
 // bottom-up split path (Algorithm 2), where lock ordering guarantees
-// deadlock freedom.
+// deadlock freedom. Spin iterations are recorded under
+// "optlock.write.spins" (package obs), batched into one counter update
+// per contended acquisition; uncontended acquisitions record nothing.
 func (l *Lock) StartWrite() {
 	for attempt := 0; ; attempt++ {
 		if l.TryStartWrite() {
+			if attempt > 0 {
+				obs.Add(obs.LockWriteSpins, uint64(attempt))
+			}
 			return
 		}
 		spinWait(attempt)

@@ -110,6 +110,12 @@ func (o *btreeOps) HintStats() (hits, misses uint64) {
 	return o.h.Stats.Hits(), o.h.Stats.Misses()
 }
 
+func (o *btreeOps) FlushStats() {
+	if o.h != nil {
+		o.h.FlushObs()
+	}
+}
+
 // ---- sequential specialised B-tree ----
 
 type seqRel struct {
@@ -172,6 +178,12 @@ func (o *seqOps) HintStats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return o.h.Hits, o.h.Misses
+}
+
+func (o *seqOps) FlushStats() {
+	if o.h != nil {
+		o.h.FlushObs()
+	}
 }
 
 // ---- red-black tree ----

@@ -62,6 +62,14 @@ type HintReporter interface {
 	HintStats() (hits, misses uint64)
 }
 
+// StatsFlusher is implemented by Ops that batch observability counters
+// (package obs) locally for hot-path cheapness. The engine calls
+// FlushStats at measurement boundaries — after evaluation completes — so
+// global counter snapshots are exact.
+type StatsFlusher interface {
+	FlushStats()
+}
+
 // Splitter is implemented by relations that can partition their content
 // into contiguous key ranges — Soufflé-style chunking, which lets the
 // engine hand each evaluation worker a subrange of an outer scan instead

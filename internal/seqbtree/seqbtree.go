@@ -11,6 +11,7 @@ package seqbtree
 import (
 	"fmt"
 
+	"specbtree/internal/obs"
 	"specbtree/internal/tuple"
 )
 
@@ -35,7 +36,9 @@ type node struct {
 }
 
 // Hints caches the last leaf accessed per operation class, mirroring
-// core.Hints for the sequential tree.
+// core.Hints for the sequential tree. A hinted operation always counts
+// exactly one of Hits/Misses (a cold hint is a miss), and mirrors the
+// outcome into the global hint.* counters of package obs.
 type Hints struct {
 	insertLeaf *node
 	findLeaf   *node
@@ -43,10 +46,32 @@ type Hints struct {
 	upperLeaf  *node
 
 	Hits, Misses uint64
+
+	obs obs.Batch
 }
 
 // NewHints returns an empty hint set.
 func NewHints() *Hints { return &Hints{} }
+
+// FlushObs settles the hint set's batched observability counters into the
+// global registry (package obs); call it at measurement boundaries, as
+// with core.Hints.FlushObs.
+func (h *Hints) FlushObs() {
+	h.obs.Flush()
+}
+
+// hinted records a hint outcome in both the local tallies and the global
+// registry batch, and closes the operation's batch window.
+func (h *Hints) hinted(hit bool, hitC, missC obs.Counter) {
+	if hit {
+		h.Hits++
+		h.obs.Counts().Inc(hitC)
+	} else {
+		h.Misses++
+		h.obs.Counts().Inc(missC)
+	}
+	h.obs.EndOp()
+}
 
 // New creates an empty tree for tuples with the given number of columns.
 func New(arity int, capacity ...int) *Tree {
@@ -130,18 +155,27 @@ func (t *Tree) Insert(v tuple.Tuple) bool { return t.InsertHint(v, nil) }
 // bottom-up lock acquisition.
 func (t *Tree) InsertHint(v tuple.Tuple, h *Hints) bool {
 	t.checkArity(v)
+	var hintLeaf *node
+	if h != nil {
+		if t.covers(h.insertLeaf, v) {
+			hintLeaf = h.insertLeaf
+		}
+		h.hinted(hintLeaf != nil, obs.HintInsertHits, obs.HintInsertMisses)
+	}
+	return t.insert(v, h, hintLeaf)
+}
+
+// insert performs the descent and insertion proper. hintLeaf, when
+// non-nil, is a leaf already known to cover v (hint accounting happened
+// in InsertHint); the post-split re-descent recurses here so one logical
+// insertion never counts two hint outcomes.
+func (t *Tree) insert(v tuple.Tuple, h *Hints, hintLeaf *node) bool {
 	if t.root == nil {
 		t.root = t.newNode(false)
 	}
 
-	var leaf *node
-	if h != nil && t.covers(h.insertLeaf, v) {
-		h.Hits++
-		leaf = h.insertLeaf
-	} else {
-		if h != nil && h.insertLeaf != nil {
-			h.Misses++
-		}
+	leaf := hintLeaf
+	if leaf == nil {
 		n := t.root
 		for {
 			idx, found := n.search(t.arity, v)
@@ -167,7 +201,7 @@ func (t *Tree) InsertHint(v tuple.Tuple, h *Hints) bool {
 		if h != nil {
 			h.insertLeaf = nil
 		}
-		return t.InsertHint(v, h)
+		return t.insert(v, h, nil)
 	}
 	t.insertAt(leaf, idx, v, nil)
 	t.size++
@@ -239,13 +273,13 @@ func (t *Tree) Contains(v tuple.Tuple) bool { return t.ContainsHint(v, nil) }
 // ContainsHint is Contains with an operation hint.
 func (t *Tree) ContainsHint(v tuple.Tuple, h *Hints) bool {
 	t.checkArity(v)
-	if h != nil && t.covers(h.findLeaf, v) {
-		h.Hits++
-		_, found := h.findLeaf.search(t.arity, v)
-		return found
-	}
-	if h != nil && h.findLeaf != nil {
-		h.Misses++
+	if h != nil {
+		if t.covers(h.findLeaf, v) {
+			h.hinted(true, obs.HintFindHits, obs.HintFindMisses)
+			_, found := h.findLeaf.search(t.arity, v)
+			return found
+		}
+		h.hinted(false, obs.HintFindHits, obs.HintFindMisses)
 	}
 	n := t.root
 	for n != nil {
@@ -338,21 +372,21 @@ func (t *Tree) bound(v tuple.Tuple, strict bool, h *Hints) Cursor {
 	t.checkArity(v)
 	if h != nil {
 		leaf := h.lowerLeaf
+		hitC, missC := obs.HintLowerHits, obs.HintLowerMisses
 		if strict {
 			leaf = h.upperLeaf
+			hitC, missC = obs.HintUpperHits, obs.HintUpperMisses
 		}
 		if t.covers(leaf, v) {
 			lastCmp := tuple.Compare(leaf.row(leaf.count-1, t.arity), v)
 			if !(strict && lastCmp == 0) {
 				if idx := leaf.searchBound(t.arity, v, strict); idx < leaf.count {
-					h.Hits++
+					h.hinted(true, hitC, missC)
 					return Cursor{t: t, n: leaf, idx: idx}
 				}
 			}
 		}
-		if leaf != nil {
-			h.Misses++
-		}
+		h.hinted(false, hitC, missC)
 	}
 	n := t.root
 	candidate := Cursor{}

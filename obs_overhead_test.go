@@ -1,0 +1,65 @@
+package specbtree
+
+import (
+	"testing"
+
+	"specbtree/internal/core"
+	"specbtree/internal/datalog"
+	"specbtree/internal/obs"
+	"specbtree/internal/relation"
+	"specbtree/internal/workload"
+)
+
+// The metrics-overhead benchmarks quantify the cost of the observability
+// layer (DESIGN.md §9) on the paper's hot paths. Run them twice —
+//
+//	go test -bench MetricsOverhead -count 5 .
+//	go test -bench MetricsOverhead -count 5 -tags obsoff .
+//
+// — and compare: the enabled build must stay within 2% of the obsoff
+// build, which compiles the counters out entirely (obs.Enabled reports
+// which build is measured).
+
+// BenchmarkMetricsOverheadInsertHint measures the most instrumented code
+// path: hinted random-order inserts, which touch the descent, validation,
+// upgrade, hint and split counters on every operation.
+func BenchmarkMetricsOverheadInsertHint(b *testing.B) {
+	data := benchData("random")
+	b.Logf("obs.Enabled=%v", obs.Enabled)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := core.New(2)
+		h := core.NewHints()
+		for _, v := range data {
+			t.InsertHint(v, h)
+		}
+		h.FlushObs()
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(b.N*len(data))/b.Elapsed().Seconds()/1e6, "Minserts/s")
+}
+
+// BenchmarkMetricsOverheadEngine measures end-to-end instrumented
+// semi-naïve evaluation on the insertion-heavy points-to workload.
+func BenchmarkMetricsOverheadEngine(b *testing.B) {
+	w := workload.PointsTo(64, 1)
+	prog := datalog.MustParse(w.Source)
+	b.Logf("obs.Enabled=%v", obs.Enabled)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := datalog.New(prog, datalog.Options{
+			Provider: relation.MustLookup("btree"), Workers: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rel, facts := range w.Facts {
+			if err := eng.AddFacts(rel, facts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

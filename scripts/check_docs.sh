@@ -1,0 +1,9 @@
+#!/bin/sh
+# check_docs.sh — fail if an exported symbol of the public surface (root
+# package, internal/obs) lacks a doc comment, or if an observability
+# counter is missing from DESIGN.md's §9 table. Thin wrapper around the
+# go/ast checker in scripts/checkdocs; run from the repository root (or
+# pass the root as $1).
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./scripts/checkdocs "${1:-.}"

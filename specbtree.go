@@ -10,7 +10,10 @@
 //   - the specialised concurrent B-tree (NewBTree, BTree, Hints, Cursor),
 //   - the Datalog engine (ParseProgram, NewEngine, Engine),
 //   - the relation-representation registry used to swap data structures
-//     under the engine (LookupProvider, ProviderNames).
+//     under the engine (LookupProvider, ProviderNames),
+//   - the observability layer (Snapshot, ResetStats, PublishExpvar),
+//     whose counter names form the stable metrics contract documented in
+//     DESIGN.md §9.
 //
 // The individual substrates (baseline trees, hash sets, workload
 // generators) live under internal/; the executables under cmd/ regenerate
@@ -20,6 +23,7 @@ package specbtree
 import (
 	"specbtree/internal/core"
 	"specbtree/internal/datalog"
+	"specbtree/internal/obs"
 	"specbtree/internal/relation"
 	"specbtree/internal/tuple"
 )
@@ -89,3 +93,44 @@ func LookupProvider(name string) (Provider, error) { return relation.Lookup(name
 
 // ProviderNames lists all registered relation providers.
 func ProviderNames() []string { return relation.Names() }
+
+// Stats is one merged reading of every global observability counter —
+// seqlock validations and failures, lease upgrades, write spins, tree
+// descents and restarts, hint hits and misses per operation class, node
+// splits, and semi-naïve engine progress. Its JSON form is the documented
+// metrics contract (schema MetricsSchemaVersion, counter table in
+// DESIGN.md §9): counter names are append-only stable, and consumers must
+// ignore unknown keys.
+type Stats = obs.Snapshot
+
+// EngineMetrics is the engine-level structured metrics document (per-run
+// aggregate statistics, per-round semi-naïve progress, per-rule timings),
+// returned by Engine.Metrics after Run.
+type EngineMetrics = datalog.Metrics
+
+// MetricsSchemaVersion identifies the JSON metrics contract emitted by
+// Snapshot and by the commands' -metrics flag.
+const MetricsSchemaVersion = obs.SchemaVersion
+
+// MetricsEnabled reports whether the observability counters are compiled
+// into this binary. It is a build-time constant: true by default, false
+// under the "obsoff" build tag, in which case instrumentation costs
+// nothing and every counter reads zero.
+const MetricsEnabled = obs.Enabled
+
+// Snapshot returns a merged reading of all observability counters. Hot
+// paths batch counter updates per goroutine, so a snapshot taken while
+// operations are in flight may trail the truth slightly; snapshots taken
+// after Engine.Run, or after Hints.FlushObs for hand-rolled workers, are
+// exact.
+func Snapshot() Stats { return obs.Take() }
+
+// ResetStats zeroes every observability counter, delimiting a measurement
+// window. Do not call it concurrently with operations you intend to
+// count.
+func ResetStats() { obs.Reset() }
+
+// PublishExpvar registers the counter registry with package expvar under
+// the name "specbtree", so any HTTP server serving the /debug/vars
+// endpoint exposes a live Stats snapshot. Safe to call more than once.
+func PublishExpvar() { obs.Publish() }
