@@ -3,12 +3,19 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check-docs test race bench figures examples clean
+.PHONY: all build vet lint check-docs test obsoff race bench figures examples clean
 
-all: build lint test check-docs
+all: build lint test obsoff race check-docs
 
 build:
 	$(GO) build ./...
+
+# obsoff proves the observability layer compiles out cleanly: the whole
+# module must build and its tests pass with every counter, histogram and
+# flight-recorder call reduced to a no-op.
+obsoff:
+	$(GO) build -tags obsoff ./...
+	$(GO) test -tags obsoff ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,8 +34,11 @@ check-docs:
 test:
 	$(GO) test ./...
 
+# race runs the concurrency-sensitive packages under the race detector:
+# the lock, the tree (including the live shape walker), the observability
+# registries and the debug server that reads them while workers run.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/optlock ./internal/core ./internal/obs ./internal/obshttp
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -15,7 +15,7 @@
 //
 //	benchdatalog [-workload both|pointsto|security] [-size 256]
 //	             [-threads 1,2,4,8] [-structs btree,btree-nh,...]
-//	             [-stats] [-metrics] [-csv]
+//	             [-stats] [-metrics] [-csv] [-serve ADDR]
 package main
 
 import (
@@ -24,13 +24,28 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"specbtree/internal/bench"
+	"specbtree/internal/core"
 	"specbtree/internal/datalog"
 	"specbtree/internal/obs"
+	"specbtree/internal/obshttp"
 	"specbtree/internal/relation"
 	"specbtree/internal/workload"
 )
+
+// liveEngine points at the engine of the cell currently evaluating,
+// feeding the debug server's /debug/treeshape endpoint.
+var liveEngine atomic.Pointer[datalog.Engine]
+
+// liveShapes reports the live engine's relation tree shapes.
+func liveShapes() map[string]core.Shape {
+	if e := liveEngine.Load(); e != nil {
+		return e.TreeShapes()
+	}
+	return nil
+}
 
 // figure5Structs is the paper's Figure 5 line-up.
 var figure5Structs = []string{
@@ -47,7 +62,18 @@ func main() {
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of tables")
 	seedFlag := flag.Int64("seed", 1, "workload generator seed")
 	suiteFlag := flag.Int("suite", 1, "number of seeded points-to instances summed per cell (the paper totals 11 DaCapo benchmarks)")
+	serveFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
+
+	if *serveFlag != "" {
+		srv, err := obshttp.Start(*serveFlag, obshttp.Options{Shapes: liveShapes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
+	}
 
 	threads, err := bench.ParseIntList(*threadsFlag)
 	if err != nil {
@@ -148,6 +174,7 @@ func runOnce(w workload.DatalogWorkload, p relation.Provider, threads int) (*dat
 	if err != nil {
 		panic(err)
 	}
+	liveEngine.Store(eng)
 	for rel, facts := range w.Facts {
 		if err := eng.AddFacts(rel, facts); err != nil {
 			panic(err)

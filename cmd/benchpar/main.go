@@ -11,7 +11,7 @@
 // Usage:
 //
 //	benchpar [-n 1000000] [-threads 1,2,4,8] [-order both|sorted|random]
-//	         [-structs all|name,...] [-csv] [-metrics]
+//	         [-structs all|name,...] [-csv] [-metrics] [-serve ADDR]
 package main
 
 import (
@@ -20,15 +20,29 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"specbtree/internal/bench"
 	"specbtree/internal/chashset"
 	"specbtree/internal/core"
 	"specbtree/internal/obs"
+	"specbtree/internal/obshttp"
 	"specbtree/internal/syncadapt"
 	"specbtree/internal/tuple"
 	"specbtree/internal/workload"
 )
+
+// liveTree points at the specialised B-tree of the cell currently
+// running, feeding the debug server's /debug/treeshape endpoint.
+var liveTree atomic.Pointer[core.Tree]
+
+// liveShapes reports the live tree's shape under its contestant name.
+func liveShapes() map[string]core.Shape {
+	if t := liveTree.Load(); t != nil {
+		return map[string]core.Shape{"btree": t.Shape()}
+	}
+	return nil
+}
 
 // contestant builds a fresh shared set and returns a per-thread insert
 // closure plus an optional finalisation step (the reduction merge).
@@ -41,6 +55,7 @@ func contestants() []contestant {
 	return []contestant{
 		{"btree", func(int) (func(int, []tuple.Tuple), func() int) {
 			t := core.New(2)
+			liveTree.Store(t)
 			return func(_ int, part []tuple.Tuple) {
 					h := core.NewHints()
 					for _, v := range part {
@@ -105,7 +120,18 @@ func main() {
 	seedFlag := flag.Int64("seed", 1, "shuffle seed for the random-order variant")
 	repsFlag := flag.Int("reps", 1, "repetitions per cell; the best run is reported")
 	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document per (threads, structure) cell")
+	serveFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
+
+	if *serveFlag != "" {
+		srv, err := obshttp.Start(*serveFlag, obshttp.Options{Shapes: liveShapes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
+	}
 
 	threads, err := bench.ParseIntList(*threadsFlag)
 	if err != nil {

@@ -7,7 +7,7 @@
 //
 //	benchseq [-sizes 250000,1000000] [-op all|insert|lookup|scan]
 //	         [-order both|sorted|random] [-structs all|name,...] [-csv]
-//	         [-metrics]
+//	         [-metrics] [-serve ADDR]
 //
 // The paper's sizes (1000² through 10000² elements) can be requested
 // verbatim via -sizes; defaults are scaled to finish quickly on a laptop.
@@ -19,17 +19,32 @@ import (
 	"os"
 	"strings"
 
+	"sync/atomic"
+
 	"specbtree/internal/bench"
 	"specbtree/internal/chashset"
 	"specbtree/internal/core"
 	"specbtree/internal/gbtree"
 	"specbtree/internal/hashset"
 	"specbtree/internal/obs"
+	"specbtree/internal/obshttp"
 	"specbtree/internal/rbtree"
 	"specbtree/internal/seqbtree"
 	"specbtree/internal/tuple"
 	"specbtree/internal/workload"
 )
+
+// liveTree points at the specialised B-tree of the cell currently
+// running, feeding the debug server's /debug/treeshape endpoint.
+var liveTree atomic.Pointer[core.Tree]
+
+// liveShapes reports the live tree's shape under its contestant name.
+func liveShapes() map[string]core.Shape {
+	if t := liveTree.Load(); t != nil {
+		return map[string]core.Shape{"btree": t.Shape()}
+	}
+	return nil
+}
 
 // contestant is one data-structure configuration under test.
 type contestant struct {
@@ -69,6 +84,7 @@ func contestants(arity int) []contestant {
 		}},
 		{"btree", func() ops {
 			t := core.New(arity)
+			liveTree.Store(t)
 			h := core.NewHints()
 			return ops{
 				insert:   func(v tuple.Tuple) bool { return t.InsertHint(v, h) },
@@ -106,7 +122,18 @@ func main() {
 	arityFlag := flag.Int("arity", 2, "tuple arity (the paper's footnote: results remain similar for other dimensions)")
 	repsFlag := flag.Int("reps", 1, "repetitions per cell; the best run is reported")
 	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document per (size, structure) cell")
+	serveFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
+
+	if *serveFlag != "" {
+		srv, err := obshttp.Start(*serveFlag, obshttp.Options{Shapes: liveShapes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
+	}
 
 	sizes, err := bench.ParseIntList(*sizesFlag)
 	if err != nil {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchtrees [-n 1000000] [-threads 1,2,4,8] [-structs all|name,...] [-csv]
-//	           [-metrics]
+//	           [-metrics] [-serve ADDR]
 //
 // The paper inserts 10,000,000 32-bit integers; pass -n 10000000 for the
 // full-size run.
@@ -20,15 +20,30 @@ import (
 	"strings"
 	"sync"
 
+	"sync/atomic"
+
 	"specbtree/internal/bench"
 	"specbtree/internal/bslack"
 	"specbtree/internal/core"
 	"specbtree/internal/masstree"
 	"specbtree/internal/obs"
+	"specbtree/internal/obshttp"
 	"specbtree/internal/obslack"
 	"specbtree/internal/palm"
 	"specbtree/internal/tuple"
 )
+
+// liveTree points at the specialised B-tree of the cell currently
+// running, feeding the debug server's /debug/treeshape endpoint.
+var liveTree atomic.Pointer[core.Tree]
+
+// liveShapes reports the live tree's shape under its contestant name.
+func liveShapes() map[string]core.Shape {
+	if t := liveTree.Load(); t != nil {
+		return map[string]core.Shape{"btree": t.Shape()}
+	}
+	return nil
+}
 
 type contestant struct {
 	name string
@@ -39,6 +54,7 @@ func contestants() []contestant {
 	return []contestant{
 		{"btree", func() (func(int, []uint64), func() int) {
 			t := core.New(1)
+			liveTree.Store(t)
 			return func(_ int, keys []uint64) {
 					h := core.NewHints()
 					buf := make(tuple.Tuple, 1)
@@ -105,7 +121,18 @@ func main() {
 	seedFlag := flag.Int64("seed", 1, "shuffle seed")
 	repsFlag := flag.Int("reps", 1, "repetitions per cell; the best run is reported")
 	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document per (threads, structure) cell")
+	serveFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
+
+	if *serveFlag != "" {
+		srv, err := obshttp.Start(*serveFlag, obshttp.Options{Shapes: liveShapes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
+	}
 
 	threads, err := bench.ParseIntList(*threadsFlag)
 	if err != nil {

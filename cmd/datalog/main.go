@@ -6,7 +6,7 @@
 // Usage:
 //
 //	datalog [-jobs N] [-facts DIR] [-out DIR] [-structure btree] [-stats]
-//	        [-metrics] program.dl
+//	        [-metrics] [-serve ADDR] program.dl
 //
 // Fact files are DIR/<relation>.facts with one tuple per line, columns
 // separated by tabs. Unsigned integer columns are used verbatim; any other
@@ -22,12 +22,27 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"specbtree/internal/bench"
+	"specbtree/internal/core"
 	"specbtree/internal/datalog"
+	"specbtree/internal/obshttp"
 	"specbtree/internal/relation"
 	"specbtree/internal/tuple"
 )
+
+// liveEngine points at the engine currently evaluating, feeding the
+// debug server's /debug/treeshape endpoint.
+var liveEngine atomic.Pointer[datalog.Engine]
+
+// liveShapes reports the live engine's relation tree shapes.
+func liveShapes() map[string]core.Shape {
+	if e := liveEngine.Load(); e != nil {
+		return e.TreeShapes()
+	}
+	return nil
+}
 
 func main() {
 	jobs := flag.Int("jobs", 0, "number of evaluation threads (0 = GOMAXPROCS)")
@@ -38,6 +53,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "emit a JSON metrics document to stderr after evaluation")
 	profile := flag.Bool("profile", false, "print per-rule evaluation timings")
 	emitGo := flag.String("emit-go", "", "synthesise a specialised Go program to FILE instead of evaluating (Soufflé-style compilation)")
+	serve := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -51,6 +67,15 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *serve != "" {
+		srv, err := obshttp.Start(*serve, obshttp.Options{Shapes: liveShapes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
 	}
 	if err := run(flag.Arg(0), *jobs, *factsDir, *outDir, *structure, *stats, *metrics, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -98,6 +123,7 @@ func run(progPath string, jobs int, factsDir, outDir, structure string, stats, m
 	if err != nil {
 		return err
 	}
+	liveEngine.Store(eng)
 
 	for _, in := range prog.Inputs {
 		decl, _ := prog.Decl(in)

@@ -1,0 +1,93 @@
+// Liveserver runs the transitive-closure workload in a loop while serving
+// the live debug endpoints, so the whole observability surface — the
+// Prometheus /metrics exposition, the latency histograms, the contention
+// flight recorder and the tree-shape walker — can be scraped with curl
+// against a process that is actually doing work.
+//
+// Run it and poke at it from another terminal:
+//
+//	go run ./examples/liveserver -addr localhost:6060 -duration 60s
+//
+//	curl http://localhost:6060/metrics
+//	curl http://localhost:6060/metrics?format=json
+//	curl http://localhost:6060/debug/histograms
+//	curl http://localhost:6060/debug/flightrecorder
+//	curl http://localhost:6060/debug/treeshape
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"specbtree"
+	"specbtree/internal/workload"
+)
+
+const program = `
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.input edge
+.output path
+
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`
+
+func main() {
+	addr := flag.String("addr", "localhost:6060", "debug server listen address")
+	duration := flag.Duration("duration", 60*time.Second, "how long to keep the workload running")
+	workers := flag.Int("workers", 4, "evaluation workers per engine run")
+	flag.Parse()
+
+	prog, err := specbtree.ParseProgram(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The debug handler reads whichever engine is currently evaluating;
+	// the atomic pointer hands it from the workload loop to HTTP requests.
+	var live atomic.Pointer[specbtree.Engine]
+	handler := specbtree.NewDebugHandler(func() map[string]specbtree.TreeShape {
+		if e := live.Load(); e != nil {
+			return e.TreeShapes()
+		}
+		return nil
+	})
+	go func() {
+		log.Fatal(http.ListenAndServe(*addr, handler))
+	}()
+	fmt.Printf("debug server listening on http://%s/\n", *addr)
+	fmt.Printf("try:  curl http://%s/metrics\n", *addr)
+	fmt.Printf("      curl http://%s/metrics?format=json\n", *addr)
+	fmt.Printf("      curl http://%s/debug/histograms\n", *addr)
+	fmt.Printf("      curl http://%s/debug/flightrecorder\n", *addr)
+	fmt.Printf("      curl http://%s/debug/treeshape\n", *addr)
+
+	// Keep re-running the closure over fresh random graphs until the
+	// deadline so scrapes always observe live counters and tree shapes.
+	deadline := time.Now().Add(*duration)
+	for run := 0; time.Now().Before(deadline); run++ {
+		eng, err := specbtree.NewEngine(prog, specbtree.EngineOptions{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		edges := workload.RandomGraph(600, 4000, int64(run+1))
+		if err := eng.AddFacts("edge", edges); err != nil {
+			log.Fatal(err)
+		}
+		live.Store(eng)
+		if err := eng.Run(); err != nil {
+			log.Fatal(err)
+		}
+		if run%10 == 0 {
+			fmt.Printf("run %d: %d edges -> %d paths\n",
+				run, eng.Count("edge"), eng.Count("path"))
+		}
+	}
+	fmt.Println("done")
+}

@@ -103,46 +103,3 @@ func (t *Tree) checkNode(n *node, lo, hi tuple.Tuple, level int, leafDepth *int)
 	}
 	return nil
 }
-
-// ShapeStats describes the physical shape of the tree, for the fill-grade
-// and cache-behaviour discussions of the paper's evaluation.
-type ShapeStats struct {
-	Elements   int
-	Nodes      int
-	LeafNodes  int
-	InnerNodes int
-	Depth      int     // levels, 1 = root-only
-	Fill       float64 // average node fill grade in [0,1]
-}
-
-// Shape computes ShapeStats by walking the tree (read phase only).
-func (t *Tree) Shape() ShapeStats {
-	var s ShapeStats
-	root := t.root.Load()
-	if root == nil {
-		return s
-	}
-	var walk func(n *node, depth int)
-	walk = func(n *node, depth int) {
-		cnt := int(n.count.Load())
-		s.Elements += cnt
-		s.Nodes++
-		if depth > s.Depth {
-			s.Depth = depth
-		}
-		s.Fill += float64(cnt) / float64(t.capacity)
-		if n.inner {
-			s.InnerNodes++
-			for i := 0; i <= cnt; i++ {
-				walk(n.children[i].Load(), depth+1)
-			}
-		} else {
-			s.LeafNodes++
-		}
-	}
-	walk(root, 1)
-	if s.Nodes > 0 {
-		s.Fill /= float64(s.Nodes)
-	}
-	return s
-}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
+
+// TestFlightRecorderUnderContention hammers one small-capacity tree from
+// 8 goroutines with overlapping inserts and asserts that the contention
+// flight recorder captured sampled events: every event names a known
+// site with sane fields, and at least one records a lock acquisition
+// that actually spun. Contention needs writers interleaved inside their
+// lock-held windows; with GOMAXPROCS=1 a worker's whole loop fits in one
+// scheduler quantum and never races, so the test raises GOMAXPROCS to
+// the worker count — on a single-core machine that makes the kernel
+// timeslice real threads at arbitrary points, which is exactly the
+// interleaving needed. The stress loop repeats until the recorder holds
+// a non-zero wait duration (bounded by a deadline).
+func TestFlightRecorderUnderContention(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	prev := obs.SetFlightSampleRate(1) // record every contention event
+	defer obs.SetFlightSampleRate(prev)
+	defer obs.ResetFlight()
+	obs.ResetFlight()
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+
+	known := map[string]bool{
+		obs.SiteLeafUpgrade.Name(): true,
+		obs.SiteSplitParent.Name(): true,
+		obs.SiteSplitRoot.Name():   true,
+	}
+
+	// Geometry matters here. A descent that meets a write-locked inner
+	// node blocks on the read lease, so it can never reach that node's
+	// write lock — inner-lock write contention arises only from the
+	// hinted fast path, which enters at a leaf directly. And a key
+	// inserted into empty space always lies outside the hinted leaf's
+	// span, so purely ascending workers never hit their hints. The
+	// workload therefore pre-fills a lattice of keys and then fills the
+	// gaps with one worker per lane of a parent-sized window, all lanes
+	// advancing window by window behind a barrier: hints stay hot (the
+	// gaps land inside populated leaves), every worker splits its own
+	// leaf, and all those leaves sit under one shared parent — so a
+	// worker preempted while holding the parent's write lock mid-split
+	// strands the others in StartWrite on that parent, which is exactly
+	// the contention the recorder must capture.
+	const (
+		workers  = 8
+		capacity = 16
+		winSpan  = 2048 // ≈ one parent's key coverage
+		subSpan  = winSpan / workers
+		windows  = 64
+	)
+	deadline := time.Now().Add(20 * time.Second)
+	var sawSpin, sawWait bool
+	rounds := 0
+	for !(sawSpin && sawWait) && time.Now().Before(deadline) {
+		rounds++
+		tr := New(1, Options{Capacity: capacity})
+		for k := uint64(0); k < windows*winSpan; k += capacity {
+			tr.Insert(tuple.Tuple{k})
+		}
+		hs := make([]*Hints, workers)
+		for w := range hs {
+			hs[w] = NewHints()
+		}
+		for win := uint64(0); win < windows; win++ {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := hs[w] // handed off between windows via wg.Wait
+					base := win*winSpan + uint64(w)*subSpan
+					for off := uint64(1); off < subSpan; off++ {
+						if off%capacity == 0 {
+							continue // lattice key, already present
+						}
+						tr.InsertHint(tuple.Tuple{base + off}, h)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range obs.FlightEvents() {
+			if !known[ev.Site] {
+				t.Fatalf("flight event names unknown site %q: %+v", ev.Site, ev)
+			}
+			if ev.Spins == 0 && ev.WaitNanos == 0 && ev.Site != obs.SiteLeafUpgrade.Name() {
+				t.Fatalf("flight event with no recorded contention: %+v", ev)
+			}
+			if ev.Level < 0 {
+				t.Fatalf("flight event with negative level: %+v", ev)
+			}
+			if ev.Spins > 0 {
+				sawSpin = true
+			}
+			if ev.WaitNanos > 0 {
+				sawWait = true
+			}
+		}
+	}
+	if !sawSpin {
+		t.Fatalf("no flight event with non-zero spins after %d rounds", rounds)
+	}
+	if !sawWait {
+		t.Fatalf("no flight event with non-zero wait duration after %d rounds", rounds)
+	}
+
+	// Events must be globally ordered by sequence number and each
+	// sequence number unique.
+	events := obs.FlightEvents()
+	if len(events) == 0 {
+		t.Fatal("flight recorder empty after contended stress")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("flight events out of order: seq %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+}

@@ -14,15 +14,28 @@ func (t *Tree) Contains(v tuple.Tuple) bool { return t.ContainsHint(v, nil) }
 // the caller's find hint. Safe to run concurrently with insertions: the
 // descent takes optimistic read leases and restarts on conflict, and —
 // like every read path of the optimistic scheme — performs no stores, so
-// it causes no cache-line invalidation.
+// it causes no cache-line invalidation. One in obs.SamplePeriod
+// operations is timed into "hist.op.contains.ns".
 func (t *Tree) ContainsHint(v tuple.Tuple, h *Hints) bool {
 	if h != nil {
-		found := t.containsHint(v, h, h.obs.Counts())
+		oc := h.obs.Counts()
+		var start int64
+		if h.obs.SampleOp() {
+			start = obs.Clock()
+		}
+		found := t.containsHint(v, h, oc)
+		if start != 0 {
+			oc.Observe(obs.HistContainsNanos, uint64(obs.Clock()-start))
+		}
 		h.obs.EndOp()
 		return found
 	}
 	var oc obs.OpCounts
+	start := obs.SampleClock()
 	found := t.containsHint(v, nil, &oc)
+	if start != 0 {
+		oc.Observe(obs.HistContainsNanos, uint64(obs.Clock()-start))
+	}
 	oc.Flush()
 	return found
 }
@@ -68,6 +81,7 @@ restart:
 					if h != nil && !cur.inner {
 						h.findLeaf = cur
 					}
+					oc.Observe(obs.HistRestartsPerOp, uint64(attempt))
 					return true
 				}
 				continue restart
@@ -79,6 +93,7 @@ restart:
 				if h != nil {
 					h.findLeaf = cur
 				}
+				oc.Observe(obs.HistRestartsPerOp, uint64(attempt))
 				return false
 			}
 			next := cur.child(idx)
@@ -165,14 +180,32 @@ func (t *Tree) UpperBoundHint(v tuple.Tuple, h *Hints) Cursor { return t.boundHi
 
 // boundHint dispatches a bound query through the per-goroutine counter
 // batch of h (when non-nil) or a stack batch flushed at operation exit.
+// One in obs.SamplePeriod operations is timed into "hist.op.lower_bound
+// .ns" or "hist.op.upper_bound.ns" by operation class.
 func (t *Tree) boundHint(v tuple.Tuple, strict bool, h *Hints) Cursor {
+	hist := obs.HistLowerNanos
+	if strict {
+		hist = obs.HistUpperNanos
+	}
 	if h != nil {
-		c := t.boundHintCounted(v, strict, h, h.obs.Counts())
+		oc := h.obs.Counts()
+		var start int64
+		if h.obs.SampleOp() {
+			start = obs.Clock()
+		}
+		c := t.boundHintCounted(v, strict, h, oc)
+		if start != 0 {
+			oc.Observe(hist, uint64(obs.Clock()-start))
+		}
 		h.obs.EndOp()
 		return c
 	}
 	var oc obs.OpCounts
+	start := obs.SampleClock()
 	c := t.boundHintCounted(v, strict, nil, &oc)
+	if start != 0 {
+		oc.Observe(hist, uint64(obs.Clock()-start))
+	}
 	oc.Flush()
 	return c
 }

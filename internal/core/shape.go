@@ -1,0 +1,120 @@
+package core
+
+// Shape describes the physical structure of a tree at a point in time:
+// its depth, and per level the node count, element count and fill
+// factor. It is produced by (*Tree).Shape, a read-only walker that — like
+// every read path of the tree — takes optimistic leases and writes no
+// shared memory, so it can run against live writers without perturbing
+// them. Under concurrent insertion the numbers are a best-effort
+// snapshot (per-node leases, bounded retries), not a serialisable view;
+// with no writers active they are exact.
+type Shape struct {
+	// Arity is the number of columns of the stored tuples.
+	Arity int `json:"arity"`
+	// Capacity is the per-node element capacity.
+	Capacity int `json:"capacity"`
+	// Depth is the number of levels; 0 for an empty tree.
+	Depth int `json:"depth"`
+	// Nodes is the total node count across all levels.
+	Nodes int `json:"nodes"`
+	// LeafNodes and InnerNodes split Nodes by kind; the deepest level
+	// holds the leaves, every level above it holds inner nodes.
+	LeafNodes  int `json:"leaf_nodes"`
+	InnerNodes int `json:"inner_nodes"`
+	// Elements is the total element count across all levels.
+	Elements int `json:"elements"`
+	// Fill is Elements divided by total element slots, 0 for an empty
+	// tree.
+	Fill float64 `json:"fill"`
+	// Levels lists the per-level breakdown, root first.
+	Levels []LevelShape `json:"levels,omitempty"`
+}
+
+// LevelShape is one level of a Shape. Level 0 is the root; the deepest
+// level holds the leaves.
+type LevelShape struct {
+	// Level is the distance from the root.
+	Level int `json:"level"`
+	// Nodes is the number of nodes on this level.
+	Nodes int `json:"nodes"`
+	// Elements is the number of elements stored on this level.
+	Elements int `json:"elements"`
+	// Fill is Elements divided by the level's element slots.
+	Fill float64 `json:"fill"`
+}
+
+// shapeMaxRetries bounds per-node lease retries in the shape walker.
+// A node whose lease keeps failing under heavy write traffic is reported
+// from its last (possibly torn, but clamped) reading rather than
+// stalling the walk; torn counts cannot fault because every index is
+// clamped to the node's slot range.
+const shapeMaxRetries = 8
+
+// Shape walks the tree and reports its physical structure. Safe to run
+// concurrently with writers: the walk takes per-node optimistic read
+// leases, performs only atomic loads, and writes nothing shared. Child
+// pointers read under a stale lease are stale but never dangling (nodes
+// are never deleted or relocated), so the walk always terminates on a
+// node that was part of the tree at some point.
+func (t *Tree) Shape() Shape {
+	s := Shape{Arity: t.arity, Capacity: t.capacity}
+	root := t.root.Load()
+	if root == nil {
+		return s
+	}
+	t.shapeWalk(root, 0, &s)
+	s.Depth = len(s.Levels)
+	for i := range s.Levels {
+		lv := &s.Levels[i]
+		if slots := lv.Nodes * t.capacity; slots > 0 {
+			lv.Fill = float64(lv.Elements) / float64(slots)
+		}
+		s.Nodes += lv.Nodes
+		s.Elements += lv.Elements
+	}
+	if slots := s.Nodes * t.capacity; slots > 0 {
+		s.Fill = float64(s.Elements) / float64(slots)
+	}
+	if s.Depth > 0 {
+		s.LeafNodes = s.Levels[s.Depth-1].Nodes
+		s.InnerNodes = s.Nodes - s.LeafNodes
+	}
+	return s
+}
+
+// shapeWalk snapshots one node under a lease and recurses into the
+// children captured by that snapshot.
+func (t *Tree) shapeWalk(n *node, depth int, s *Shape) {
+	var cnt int
+	var kids []*node
+	for attempt := 0; ; attempt++ {
+		ls := n.lock.StartRead()
+		cnt = int(n.count.Load())
+		if cnt < 0 {
+			cnt = 0
+		}
+		if cnt > t.capacity {
+			cnt = t.capacity
+		}
+		if n.inner {
+			kids = kids[:0]
+			for i := 0; i <= cnt && i < len(n.children); i++ {
+				if c := n.children[i].Load(); c != nil {
+					kids = append(kids, c)
+				}
+			}
+		}
+		if n.lock.EndRead(ls) || attempt >= shapeMaxRetries {
+			break
+		}
+	}
+	for len(s.Levels) <= depth {
+		s.Levels = append(s.Levels, LevelShape{Level: len(s.Levels)})
+	}
+	lv := &s.Levels[depth]
+	lv.Nodes++
+	lv.Elements += cnt
+	for _, c := range kids {
+		t.shapeWalk(c, depth+1, s)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// TestShapeEmpty checks the zero-value shape of an empty tree.
+func TestShapeEmpty(t *testing.T) {
+	tr := New(2)
+	s := tr.Shape()
+	if s.Depth != 0 || s.Nodes != 0 || s.Elements != 0 || len(s.Levels) != 0 {
+		t.Fatalf("empty tree shape = %+v, want all-zero", s)
+	}
+	if s.Arity != 2 || s.Capacity != DefaultCapacity {
+		t.Fatalf("shape arity/capacity = %d/%d, want 2/%d", s.Arity, s.Capacity, DefaultCapacity)
+	}
+}
+
+// TestShapeSequential builds a quiescent tree and checks that the walker
+// reports exact totals and internally consistent levels.
+func TestShapeSequential(t *testing.T) {
+	tr := New(1, Options{Capacity: 4})
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	s := tr.Shape()
+	if s.Elements != n {
+		t.Fatalf("Shape.Elements = %d, want %d", s.Elements, n)
+	}
+	if s.Elements != tr.Len() {
+		t.Fatalf("Shape.Elements = %d, Len = %d", s.Elements, tr.Len())
+	}
+	if s.Depth != len(s.Levels) || s.Depth < 2 {
+		t.Fatalf("Depth = %d, Levels = %d; want matching depth >= 2 for %d elements at capacity 4",
+			s.Depth, len(s.Levels), n)
+	}
+	if s.Levels[0].Nodes != 1 {
+		t.Fatalf("root level has %d nodes, want 1", s.Levels[0].Nodes)
+	}
+	var nodes, elems int
+	for i, lv := range s.Levels {
+		if lv.Level != i {
+			t.Fatalf("Levels[%d].Level = %d", i, lv.Level)
+		}
+		if lv.Nodes <= 0 {
+			t.Fatalf("level %d has %d nodes", i, lv.Nodes)
+		}
+		if lv.Fill <= 0 || lv.Fill > 1 {
+			t.Fatalf("level %d fill = %v, want (0, 1]", i, lv.Fill)
+		}
+		if i > 0 && lv.Nodes != s.Levels[i-1].Elements+s.Levels[i-1].Nodes {
+			// Each inner node with k elements has k+1 children.
+			t.Fatalf("level %d has %d nodes, want %d (parents' elements+nodes)",
+				i, lv.Nodes, s.Levels[i-1].Elements+s.Levels[i-1].Nodes)
+		}
+		nodes += lv.Nodes
+		elems += lv.Elements
+	}
+	if nodes != s.Nodes || elems != s.Elements {
+		t.Fatalf("level sums %d/%d != totals %d/%d", nodes, elems, s.Nodes, s.Elements)
+	}
+	if s.Fill <= 0 || s.Fill > 1 {
+		t.Fatalf("Fill = %v, want (0, 1]", s.Fill)
+	}
+}
+
+// TestShapeConcurrentWithWriters runs the shape walker continuously
+// against live inserters. The walker must not fault, and every snapshot
+// must stay internally sane; the final quiescent snapshot must be exact.
+func TestShapeConcurrentWithWriters(t *testing.T) {
+	tr := New(2, Options{Capacity: 4})
+	const (
+		workers = 4
+		perW    = 4000
+	)
+	var stop atomic.Bool
+	var writers, walker sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			h := NewHints()
+			for i := 0; i < perW; i++ {
+				tr.InsertHint(tuple.Tuple{uint64(i), uint64(w)}, h)
+			}
+		}(w)
+	}
+	walker.Add(1)
+	go func() {
+		defer walker.Done()
+		for !stop.Load() {
+			s := tr.Shape()
+			if s.Depth != len(s.Levels) {
+				t.Errorf("live shape depth %d != levels %d", s.Depth, len(s.Levels))
+				return
+			}
+			if s.Depth > 0 && s.Levels[0].Nodes != 1 {
+				t.Errorf("live shape root level has %d nodes", s.Levels[0].Nodes)
+				return
+			}
+			for _, lv := range s.Levels {
+				if lv.Nodes < 0 || lv.Elements < 0 || lv.Elements > lv.Nodes*s.Capacity {
+					t.Errorf("live shape level out of range: %+v", lv)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	stop.Store(true)
+	walker.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Shape()
+	if s.Elements != workers*perW {
+		t.Fatalf("final Shape.Elements = %d, want %d", s.Elements, workers*perW)
+	}
+}

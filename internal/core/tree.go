@@ -138,14 +138,27 @@ func (t *Tree) Insert(v tuple.Tuple) bool { return t.InsertHint(v, nil) }
 // optimistic read leases, validate every lease before trusting what was
 // read under it, upgrade the leaf lease to a write lock, and restart from
 // the top on any conflict. Split handling (full leaf) is Algorithm 2.
+// One in obs.SamplePeriod operations is timed into "hist.op.insert.ns".
 func (t *Tree) InsertHint(v tuple.Tuple, h *Hints) bool {
 	if h != nil {
-		ok := t.insertHint(v, h, h.obs.Counts())
+		oc := h.obs.Counts()
+		var start int64
+		if h.obs.SampleOp() {
+			start = obs.Clock()
+		}
+		ok := t.insertHint(v, h, oc)
+		if start != 0 {
+			oc.Observe(obs.HistInsertNanos, uint64(obs.Clock()-start))
+		}
 		h.obs.EndOp()
 		return ok
 	}
 	var oc obs.OpCounts
+	start := obs.SampleClock()
 	ok := t.insertHint(v, nil, &oc)
+	if start != 0 {
+		oc.Observe(obs.HistInsertNanos, uint64(obs.Clock()-start))
+	}
 	oc.Flush()
 	return ok
 }
@@ -223,6 +236,7 @@ restart:
 			idx, found := cur.search(t.arity, v)
 			if found {
 				if valid(&cur.lock, curLease, oc) {
+					oc.Observe(obs.HistRestartsPerOp, uint64(attempt))
 					return false
 				}
 				continue restart
@@ -245,6 +259,7 @@ restart:
 			if !done {
 				continue restart
 			}
+			oc.Observe(obs.HistRestartsPerOp, uint64(attempt))
 			return inserted
 		}
 	}
@@ -256,6 +271,9 @@ restart:
 func (t *Tree) insertIntoLeaf(leaf *node, ls lease, idx int, v tuple.Tuple, h *Hints, oc *obs.OpCounts) (done, inserted bool) {
 	if !leaf.lock.TryUpgradeToWrite(ls) {
 		oc.Inc(obs.LockUpgradeFailures)
+		// A lost upgrade CAS is instantaneous contention: one failed
+		// attempt, no wait.
+		obs.RecordContention(obs.SiteLeafUpgrade, 0, 1, 0)
 		return false, false
 	}
 	oc.Inc(obs.LockUpgradeSuccesses)
@@ -298,16 +316,22 @@ func (t *Tree) probeLeaf(leaf *node, v tuple.Tuple) (idx int, found, covered boo
 // must release — its own lock on n.
 func (t *Tree) split(n *node, oc *obs.OpCounts) {
 	// Write-lock the path bottom-up (lines 2-23). path records the locked
-	// ancestors; a nil entry denotes the tree's root lock.
+	// ancestors; a nil entry denotes the tree's root lock. level tracks
+	// how far above the leaf the currently acquired lock sits (the leaf
+	// being split is level 0), labelling contention events for the
+	// flight recorder — ancestor locks near the root are the contention
+	// hot spots the paper's scaling discussion predicts.
 	cur := n
 	parent := cur.parent.Load()
 	var path []*node
-	for {
+	for level := int32(1); ; level++ {
 		if parent != nil {
 			// The parent pointer of cur is covered by the parent's own
 			// lock; re-read until it is stable under that lock (lines 8-13).
 			for {
-				parent.lock.StartWrite()
+				if spins, wait := parent.lock.StartWriteTimed(); spins > 0 {
+					obs.RecordContention(obs.SiteSplitParent, level, spins, wait)
+				}
 				if parent == cur.parent.Load() {
 					break
 				}
@@ -318,10 +342,13 @@ func (t *Tree) split(n *node, oc *obs.OpCounts) {
 			// cur believes it is the root; its (nil) parent pointer is
 			// covered by the root lock. Re-check under that lock: a
 			// concurrent split may have given cur a parent meanwhile.
-			t.rootLock.StartWrite()
+			if spins, wait := t.rootLock.StartWriteTimed(); spins > 0 {
+				obs.RecordContention(obs.SiteSplitRoot, level, spins, wait)
+			}
 			if p := cur.parent.Load(); p != nil {
 				t.rootLock.AbortWrite()
 				parent = p
+				level--
 				continue
 			}
 		}

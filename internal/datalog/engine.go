@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"specbtree/internal/core"
 	"specbtree/internal/obs"
 	"specbtree/internal/relation"
 	"specbtree/internal/tuple"
@@ -359,9 +360,11 @@ func (e *Engine) runStratum(si int) {
 	for _, p := range nonRec {
 		start := time.Now()
 		e.evalPlan(p, intoFull)
-		p.evalTime += time.Since(start)
+		d := time.Since(start)
+		p.evalTime += d
 		p.evalCount++
 		obs.Inc(obs.EngineRuleEvals)
+		obs.Observe(obs.HistRuleNanos, uint64(d))
 	}
 	if len(rec) == 0 {
 		return
@@ -389,9 +392,11 @@ func (e *Engine) runStratum(si int) {
 		for _, p := range rec {
 			start := time.Now()
 			e.evalPlan(p, intoNew)
-			p.evalTime += time.Since(start)
+			d := time.Since(start)
+			p.evalTime += d
 			p.evalCount++
 			obs.Inc(obs.EngineRuleEvals)
+			obs.Observe(obs.HistRuleNanos, uint64(d))
 		}
 
 		// Merge new tuples into full, promote them to delta, and check
@@ -414,10 +419,12 @@ func (e *Engine) runStratum(si int) {
 		}
 		if obs.Enabled {
 			obs.Add(obs.EngineDeltaTuples, promoted)
+			dur := time.Since(roundStart)
+			obs.Observe(obs.HistRoundNanos, uint64(dur))
 			e.rounds = append(e.rounds, RoundMetric{
 				Stratum:     si,
 				Round:       round,
-				Duration:    time.Since(roundStart),
+				Duration:    dur,
 				DeltaTuples: promoted,
 			})
 		}
@@ -765,4 +772,28 @@ func (e *Engine) Metrics() Metrics {
 		Rounds:   e.rounds,
 		Rules:    e.Profile(),
 	}
+}
+
+// TreeShapes reports the physical shape of every full relation index
+// whose backend implements relation.Shaper (the specialised B-tree
+// does; hash sets and baselines need not). Keys are relation names,
+// with "[i]" appended for secondary indexes. Safe against concurrent
+// writers — the underlying walkers take optimistic leases — so the
+// debug server may call it on a live engine.
+func (e *Engine) TreeShapes() map[string]core.Shape {
+	shapes := make(map[string]core.Shape)
+	for name, r := range e.rels {
+		for i, rel := range r.full {
+			s, ok := rel.(relation.Shaper)
+			if !ok {
+				continue
+			}
+			key := name
+			if i > 0 {
+				key = fmt.Sprintf("%s[%d]", name, i)
+			}
+			shapes[key] = s.Shape()
+		}
+	}
+	return shapes
 }

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the contention flight recorder: a fixed-size, sharded
+// ring of individually sampled lock-contention events. Histograms
+// (hist.go) aggregate contention into distributions; the flight
+// recorder keeps the last few thousand concrete events — which lock
+// site, how deep in the tree, how many spin iterations, how long — so
+// a contention hot spot can be localised, in the spirit of the
+// elimination-tree observation that contention concentrates on a few
+// nodes.
+//
+// Recording happens only on contended write paths (a failed upgrade
+// CAS, a spinning ancestor lock during a split), which are already
+// slow, so the ring costs the hot read path nothing — the
+// reader-silence property of the optimistic scheme is untouched. Each
+// contention event first passes a power-of-two sampling gate (one
+// atomic add on a per-shard tick); only sampled events take the
+// per-shard mutex and write a ring slot. In obsoff builds Enabled is
+// constant false and every recording call compiles out.
+
+// ContentionSite identifies the lock-protocol code path on which a
+// contention event was recorded.
+type ContentionSite uint8
+
+// The contention-site registry. DESIGN.md §9 documents each site; site
+// names, once published, are append-only like counter names.
+const (
+	// SiteLeafUpgrade is a failed read-lease-to-write-lock upgrade on a
+	// leaf during an insert ("insert.leaf_upgrade"). Upgrade failures
+	// are CAS losses, not waits, so their spin count is 1 and their wait
+	// duration 0.
+	SiteLeafUpgrade ContentionSite = iota
+	// SiteSplitParent is a contended blocking write-lock acquisition of
+	// an ancestor node during a bottom-up split ("insert.split_parent").
+	SiteSplitParent
+	// SiteSplitRoot is a contended acquisition of the tree's root lock
+	// during a split reaching the root ("insert.split_root").
+	SiteSplitRoot
+
+	// NumContentionSites is the number of registered sites; valid
+	// ContentionSite values are [0, NumContentionSites).
+	NumContentionSites
+)
+
+// contentionSiteNames maps every ContentionSite to its stable published
+// name.
+var contentionSiteNames = [NumContentionSites]string{
+	SiteLeafUpgrade: "insert.leaf_upgrade",
+	SiteSplitParent: "insert.split_parent",
+	SiteSplitRoot:   "insert.split_root",
+}
+
+// Name returns the site's stable published name, used in the flight
+// recorder dump and documented in DESIGN.md §9.
+func (s ContentionSite) Name() string { return contentionSiteNames[s] }
+
+// ContentionSiteNames lists all site names in registry order.
+func ContentionSiteNames() []string {
+	out := make([]string, NumContentionSites)
+	for s := ContentionSite(0); s < NumContentionSites; s++ {
+		out[s] = contentionSiteNames[s]
+	}
+	return out
+}
+
+// FlightEvent is one sampled lock-contention event. The JSON field
+// names are part of the metrics contract documented in DESIGN.md §9.
+type FlightEvent struct {
+	// Seq is the event's global sample sequence number; events with
+	// higher Seq were recorded later. Dumps are sorted by Seq.
+	Seq uint64 `json:"seq"`
+	// Site is the contention site name (ContentionSiteNames).
+	Site string `json:"site"`
+	// Level is the tree level of the contended lock: 0 for a leaf,
+	// counting up toward the root; the tree's root lock is one past the
+	// root node's level. -1 when the recording site has no tree context.
+	Level int32 `json:"level"`
+	// Spins is the number of spin iterations spent on the contended
+	// acquisition (1 for a lost upgrade CAS).
+	Spins uint64 `json:"spins"`
+	// WaitNanos is the wall-clock wait in nanoseconds (0 for a lost
+	// upgrade CAS, which fails instantly instead of waiting).
+	WaitNanos int64 `json:"wait_ns"`
+}
+
+// flightEntry is the in-ring representation of an event (site as enum).
+type flightEntry struct {
+	seq       uint64
+	waitNanos int64
+	spins     uint64
+	level     int32
+	site      ContentionSite
+}
+
+const (
+	// flightNumShards is the number of flight-recorder shards (power of
+	// two, masked like counter shards).
+	flightNumShards = 16
+	// flightRingLen is the per-shard ring capacity; the recorder retains
+	// at most flightNumShards*flightRingLen sampled events.
+	flightRingLen = 64
+	// DefaultFlightSampleRate is the default power-of-two sampling rate:
+	// one in this many contention events is recorded.
+	DefaultFlightSampleRate = 8
+)
+
+// flightShard is one sampled event ring. The mutex is taken only for
+// sampled events and by dump readers; the sampling gate itself is a
+// single atomic add on tick.
+type flightShard struct {
+	tick atomic.Uint64
+	mu   sync.Mutex
+	pos  uint64
+	ring [flightRingLen]flightEntry
+	_    [cacheLine]byte
+}
+
+// flightShards is the global event ring array.
+var flightShards [flightNumShards]flightShard
+
+// flightSeq issues global sequence numbers to sampled events.
+var flightSeq atomic.Uint64
+
+// flightMask is the current sampling mask (rate - 1).
+var flightMask atomic.Uint64
+
+func init() { flightMask.Store(DefaultFlightSampleRate - 1) }
+
+// SetFlightSampleRate sets the contention sampling rate to one in rate
+// events; rate must be a power of two (1 records every contention
+// event). It returns the previous rate. Intended for tests and for
+// raising the resolution of a live investigation; the default is
+// DefaultFlightSampleRate.
+func SetFlightSampleRate(rate uint64) uint64 {
+	if rate == 0 || rate&(rate-1) != 0 {
+		panic("obs: flight sample rate must be a power of two")
+	}
+	return flightMask.Swap(rate-1) + 1
+}
+
+// FlightSampleRate returns the current power-of-two sampling rate.
+func FlightSampleRate() uint64 { return flightMask.Load() + 1 }
+
+// RecordContention feeds one lock-contention event through the sampling
+// gate and, if sampled, into the flight recorder. Call it from
+// contended (slow) paths only: the gate is an atomic add, and a sampled
+// event takes a short per-shard mutex. Compiled out under obsoff.
+func RecordContention(site ContentionSite, level int32, spins uint64, waitNanos int64) {
+	if !Enabled {
+		return
+	}
+	s := &flightShards[shardIndex()&(flightNumShards-1)]
+	if s.tick.Add(1)&flightMask.Load() != 0 {
+		return
+	}
+	seq := flightSeq.Add(1)
+	s.mu.Lock()
+	e := &s.ring[s.pos&(flightRingLen-1)]
+	s.pos++
+	e.seq = seq
+	e.site = site
+	e.level = level
+	e.spins = spins
+	e.waitNanos = waitNanos
+	s.mu.Unlock()
+}
+
+// FlightEvents returns every event currently retained in the recorder,
+// oldest first (sorted by sequence number). The dump is a recent
+// consistent-enough view, not a linearisation point; it allocates and
+// is meant for debug endpoints and tests, not hot paths.
+func FlightEvents() []FlightEvent {
+	var out []FlightEvent
+	for i := range flightShards {
+		s := &flightShards[i]
+		s.mu.Lock()
+		n := s.pos
+		if n > flightRingLen {
+			n = flightRingLen
+		}
+		for j := uint64(0); j < n; j++ {
+			e := s.ring[j]
+			out = append(out, FlightEvent{
+				Seq:       e.seq,
+				Site:      e.site.Name(),
+				Level:     e.level,
+				Spins:     e.spins,
+				WaitNanos: e.waitNanos,
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// ResetFlight discards all retained events and restarts the sampling
+// phase. Do not call it concurrently with contended operations you
+// intend to record.
+func ResetFlight() {
+	for i := range flightShards {
+		s := &flightShards[i]
+		s.mu.Lock()
+		s.pos = 0
+		s.ring = [flightRingLen]flightEntry{}
+		s.mu.Unlock()
+		s.tick.Store(0)
+	}
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the distribution tier of the observability layer:
+// zero-allocation, log2-bucketed latency and count histograms. Counters
+// (obs.go) say how often an event happened; histograms say how it was
+// distributed — the paper's scaling argument rests on a few long
+// lock-acquisition stalls costing more than many short ones, which an
+// average hides entirely.
+//
+// Storage mirrors the counter registry: numShards cache-line-padded
+// blocks of atomic bucket cells, merged on read. Recording follows the
+// same two tiers — rare control-plane events call Observe directly
+// (one atomic add), hot-path events accumulate into the histogram area
+// of an OpCounts with plain increments and settle on Flush.
+//
+// Duration histograms are *sampled*: reading the clock twice per
+// operation would cost more than the rest of the instrumentation
+// combined, so only one in SamplePeriod operations is timed (Batch.
+// SampleOp for hinted operations, SampleClock for hint-less ones).
+// Count histograms (restarts per operation) need no clock and record
+// every operation. Under the obsoff build tag every recording call is
+// behind the constant-false Enabled branch and compiles out.
+
+// Histogram identifies one log2-bucketed distribution. The constants
+// below are the complete registry; histograms whose value is below
+// numBatchedHistograms may be recorded through an OpCounts batch, the
+// rest are control-plane-only and must go straight through Observe.
+type Histogram uint32
+
+// The histogram registry. DESIGN.md §9 documents unit, sampling policy
+// and recording code path for each; names, once published, are
+// append-only like counter names.
+const (
+	// HistInsertNanos records sampled wall-clock durations of tree insert
+	// operations ("hist.op.insert.ns").
+	HistInsertNanos Histogram = iota
+	// HistContainsNanos records sampled durations of membership tests
+	// ("hist.op.contains.ns").
+	HistContainsNanos
+	// HistLowerNanos records sampled durations of lower-bound queries
+	// ("hist.op.lower_bound.ns").
+	HistLowerNanos
+	// HistUpperNanos records sampled durations of upper-bound queries
+	// ("hist.op.upper_bound.ns").
+	HistUpperNanos
+	// HistRestartsPerOp records, for every operation that performed at
+	// least one root-to-leaf descent, how many of its descents were
+	// abandoned after a failed lease validation
+	// ("hist.core.restarts_per_op"). Not sampled: every descent-performing
+	// operation contributes one sample, so the histogram count equals the
+	// number of such operations.
+	HistRestartsPerOp
+
+	// HistWriteWaitNanos records the spin-wait duration of contended
+	// blocking write-lock acquisitions ("hist.optlock.write.wait.ns");
+	// uncontended acquisitions record nothing.
+	HistWriteWaitNanos
+	// HistRoundNanos records the wall-clock duration of each semi-naïve
+	// fixpoint round ("hist.datalog.round.ns").
+	HistRoundNanos
+	// HistRuleNanos records the wall-clock duration of each rule-version
+	// evaluation ("hist.datalog.rule.ns").
+	HistRuleNanos
+
+	// NumHistograms is the number of registered histograms; valid
+	// Histogram values are [0, NumHistograms).
+	NumHistograms
+)
+
+// numBatchedHistograms is the number of leading Histogram values that an
+// OpCounts can batch (its per-histogram arrays are sized by it). The
+// control-plane histograms after the cutoff are recorded directly.
+const numBatchedHistograms = int(HistRestartsPerOp) + 1
+
+// HistBuckets is the number of log2 buckets per histogram. Bucket 0
+// counts zero values; bucket i (i >= 1) counts values v with
+// 2^(i-1) <= v < 2^i; the last bucket additionally absorbs everything
+// larger. 40 buckets track nanosecond durations up to ~9 minutes.
+const HistBuckets = 40
+
+// histogramNames maps every Histogram to its stable published name.
+var histogramNames = [NumHistograms]string{
+	HistInsertNanos:    "hist.op.insert.ns",
+	HistContainsNanos:  "hist.op.contains.ns",
+	HistLowerNanos:     "hist.op.lower_bound.ns",
+	HistUpperNanos:     "hist.op.upper_bound.ns",
+	HistRestartsPerOp:  "hist.core.restarts_per_op",
+	HistWriteWaitNanos: "hist.optlock.write.wait.ns",
+	HistRoundNanos:     "hist.datalog.round.ns",
+	HistRuleNanos:      "hist.datalog.rule.ns",
+}
+
+// histogramUnits maps every Histogram to the unit of its recorded values.
+var histogramUnits = [NumHistograms]string{
+	HistInsertNanos:    "ns",
+	HistContainsNanos:  "ns",
+	HistLowerNanos:     "ns",
+	HistUpperNanos:     "ns",
+	HistRestartsPerOp:  "restarts",
+	HistWriteWaitNanos: "ns",
+	HistRoundNanos:     "ns",
+	HistRuleNanos:      "ns",
+}
+
+// Name returns the histogram's stable published name, the key used in
+// the JSON snapshot and documented in DESIGN.md §9.
+func (h Histogram) Name() string { return histogramNames[h] }
+
+// Unit returns the unit of the histogram's recorded values ("ns" or an
+// event name).
+func (h Histogram) Unit() string { return histogramUnits[h] }
+
+// HistogramNames lists all histogram names in registry order.
+func HistogramNames() []string {
+	out := make([]string, NumHistograms)
+	for h := Histogram(0); h < NumHistograms; h++ {
+		out[h] = histogramNames[h]
+	}
+	return out
+}
+
+// bucketOf maps a recorded value to its log2 bucket.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperBound returns the largest value bucket b can hold (the
+// inclusive Prometheus `le` bound): 0 for bucket 0, 2^b - 1 otherwise.
+// The last bucket is unbounded in practice (it absorbs larger values);
+// exporters render it together with the +Inf bucket.
+func BucketUpperBound(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	return 1<<uint(b) - 1
+}
+
+// histShardPad rounds the histogram shard block up to a cache-line
+// multiple so blocks never share a line.
+const histShardPad = (cacheLine - (int(NumHistograms)*(HistBuckets+1)*8)%cacheLine) % cacheLine
+
+// histShard is one padded block of histogram cells. Like counter
+// shards, a histShard may be hit by several goroutines, so its cells
+// take true atomic adds.
+type histShard struct {
+	buckets [NumHistograms][HistBuckets]atomic.Uint64
+	sum     [NumHistograms]atomic.Uint64
+	_       [histShardPad]byte
+}
+
+// histShards is the global histogram cell array, indexed like shards.
+var histShards [numShards]histShard
+
+// Observe records value v into histogram h through the shards.
+// Zero-allocation and safe from any goroutine, but lock-prefixed:
+// reserve it for control-plane and slow-path events (round boundaries,
+// contended lock waits) and batch hot-path observations through
+// OpCounts.Observe instead.
+func Observe(h Histogram, v uint64) {
+	if !Enabled {
+		return
+	}
+	s := &histShards[shardIndex()]
+	s.buckets[h][bucketOf(v)].Add(1)
+	s.sum[h].Add(v)
+}
+
+// HistogramValue returns the merged (count, sum, buckets) of histogram h
+// across all shards. Like counter reads, the result is a valid recent
+// value, not a linearisation point, and deltas pending in unsettled
+// batches are not visible yet.
+func HistogramValue(h Histogram) (count, sum uint64, buckets [HistBuckets]uint64) {
+	for i := range histShards {
+		for b := 0; b < HistBuckets; b++ {
+			buckets[b] += histShards[i].buckets[h][b].Load()
+		}
+		sum += histShards[i].sum[h].Load()
+	}
+	for b := 0; b < HistBuckets; b++ {
+		count += buckets[b]
+	}
+	return count, sum, buckets
+}
+
+// resetHistograms zeroes every histogram (called from Reset).
+func resetHistograms() {
+	for i := range histShards {
+		for h := range histShards[i].buckets {
+			for b := range histShards[i].buckets[h] {
+				histShards[i].buckets[h][b].Store(0)
+			}
+			histShards[i].sum[h].Store(0)
+		}
+	}
+}
+
+// HistogramSnapshot is one merged reading of a single histogram, the
+// per-histogram JSON object of the metrics contract (schema
+// specbtree.metrics.v2). Buckets are log2: Buckets[0] counts zero
+// values, Buckets[i] counts values v with 2^(i-1) <= v < 2^i, and the
+// final bucket absorbs larger values; trailing zero buckets are elided.
+type HistogramSnapshot struct {
+	// Unit is the unit of recorded values ("ns" or an event name).
+	Unit string `json:"unit"`
+	// Count is the total number of recorded samples.
+	Count uint64 `json:"count"`
+	// Sum is the exact sum of all recorded values.
+	Sum uint64 `json:"sum"`
+	// Buckets holds the per-log2-bucket sample counts, trailing zeros
+	// elided (never longer than HistBuckets).
+	Buckets []uint64 `json:"buckets"`
+}
+
+// TakeHistograms returns a merged snapshot of every histogram, keyed by
+// stable name. See Take for the consistency caveats.
+func TakeHistograms() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot, NumHistograms)
+	for h := Histogram(0); h < NumHistograms; h++ {
+		count, sum, buckets := HistogramValue(h)
+		hi := HistBuckets
+		for hi > 0 && buckets[hi-1] == 0 {
+			hi--
+		}
+		bs := make([]uint64, hi)
+		copy(bs, buckets[:hi])
+		out[histogramNames[h]] = HistogramSnapshot{
+			Unit:    histogramUnits[h],
+			Count:   count,
+			Sum:     sum,
+			Buckets: bs,
+		}
+	}
+	return out
+}
+
+// SamplePeriod is the power-of-two operation sampling period for
+// duration histograms: one in SamplePeriod operations is timed. It
+// bounds the clock-read overhead to a small fraction of an operation
+// while leaving the recorded distribution statistically representative
+// (operations are sampled by position, not by duration).
+const SamplePeriod = 16
+
+// procStart anchors Clock; time.Since reads the monotonic clock.
+var procStart = time.Now()
+
+// Clock returns a monotonic nanosecond timestamp for duration
+// observations (0 in obsoff builds, where all timing compiles out).
+func Clock() int64 {
+	if !Enabled {
+		return 0
+	}
+	return int64(time.Since(procStart))
+}
+
+// SampleClock returns a start timestamp for one in SamplePeriod calls
+// and 0 for the rest — the sampling gate for hint-less operations,
+// which carry no Batch to count operations in. The gate is a single
+// atomic increment on the goroutine's counter shard; hint-less
+// operations already settle a batch atomically per operation, so the
+// relative cost is small. Callers time the operation only when the
+// result is non-zero.
+func SampleClock() int64 {
+	if !Enabled {
+		return 0
+	}
+	if shardFor().tick.Add(1)&(SamplePeriod-1) != 0 {
+		return 0
+	}
+	return Clock()
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the log2 bucketing scheme: bucket 0 holds
+// zero, bucket i holds [2^(i-1), 2^i), the last bucket absorbs
+// everything larger, and BucketUpperBound is the inclusive le bound of
+// each bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+		{1 << 38, HistBuckets - 1},
+		{1<<39 - 1, HistBuckets - 1},
+		{1 << 39, HistBuckets - 1}, // clamped into the final bucket
+		{math.MaxUint64, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := BucketUpperBound(0); got != 0 {
+		t.Errorf("BucketUpperBound(0) = %d, want 0", got)
+	}
+	for b := 1; b < HistBuckets; b++ {
+		ub := BucketUpperBound(b)
+		if want := uint64(1)<<uint(b) - 1; ub != want {
+			t.Errorf("BucketUpperBound(%d) = %d, want %d", b, ub, want)
+		}
+		// The bound must be the largest value mapping into the bucket (the
+		// final bucket aside, which absorbs larger values too).
+		if bucketOf(ub) != b {
+			t.Errorf("bucketOf(BucketUpperBound(%d)) = %d", b, bucketOf(ub))
+		}
+		if b < HistBuckets-1 && bucketOf(ub+1) != b+1 {
+			t.Errorf("bucketOf(%d) = %d, want %d", ub+1, bucketOf(ub+1), b+1)
+		}
+	}
+}
+
+// TestSamplePeriodsArePowersOfTwo guards the masked sampling gates.
+func TestSamplePeriodsArePowersOfTwo(t *testing.T) {
+	if SamplePeriod <= 0 || SamplePeriod&(SamplePeriod-1) != 0 {
+		t.Errorf("SamplePeriod = %d, not a power of two", SamplePeriod)
+	}
+	if DefaultFlightSampleRate <= 0 || DefaultFlightSampleRate&(DefaultFlightSampleRate-1) != 0 {
+		t.Errorf("DefaultFlightSampleRate = %d, not a power of two", DefaultFlightSampleRate)
+	}
+}
+
+// TestHistogramNamesCompleteAndUnique mirrors the counter-name test:
+// every histogram has a distinct non-empty published name and unit.
+func TestHistogramNamesCompleteAndUnique(t *testing.T) {
+	seen := map[string]Histogram{}
+	for h := Histogram(0); h < NumHistograms; h++ {
+		name := h.Name()
+		if name == "" {
+			t.Errorf("histogram %d has no name", h)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("histograms %d and %d share name %q", prev, h, name)
+		}
+		seen[name] = h
+		if h.Unit() == "" {
+			t.Errorf("histogram %s has no unit", name)
+		}
+	}
+	if names := HistogramNames(); len(names) != int(NumHistograms) {
+		t.Errorf("HistogramNames returned %d names, want %d", len(names), NumHistograms)
+	}
+}
+
+// TestObserveMergesAcrossGoroutines drives the direct (control-plane)
+// recording path from several goroutines and checks the merged reading.
+func TestObserveMergesAcrossGoroutines(t *testing.T) {
+	if !Enabled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	Reset()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < perWorker; i++ {
+				Observe(HistRoundNanos, i)
+			}
+		}()
+	}
+	wg.Wait()
+	count, sum, buckets := HistogramValue(HistRoundNanos)
+	if count != workers*perWorker {
+		t.Errorf("count = %d, want %d", count, workers*perWorker)
+	}
+	if want := uint64(workers) * (perWorker * (perWorker - 1) / 2); sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	if buckets[0] != workers { // the i == 0 observations
+		t.Errorf("zero bucket = %d, want %d", buckets[0], workers)
+	}
+	Reset()
+	if count, sum, _ := HistogramValue(HistRoundNanos); count != 0 || sum != 0 {
+		t.Errorf("after Reset: count %d sum %d", count, sum)
+	}
+}
+
+// TestOpCountsObserveDefersUntilFlush checks the batched recording path:
+// observations stay invisible in the batch until Flush settles them, and
+// settle exactly.
+func TestOpCountsObserveDefersUntilFlush(t *testing.T) {
+	if !Enabled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	Reset()
+	var o OpCounts
+	var wantSum uint64
+	for i := uint64(1); i <= 100; i++ {
+		o.Observe(HistInsertNanos, i)
+		wantSum += i
+	}
+	if count, _, _ := HistogramValue(HistInsertNanos); count != 0 {
+		t.Fatalf("unflushed batch already visible: count %d", count)
+	}
+	o.Flush()
+	count, sum, _ := HistogramValue(HistInsertNanos)
+	if count != 100 || sum != wantSum {
+		t.Errorf("after flush: count %d sum %d, want 100 %d", count, sum, wantSum)
+	}
+	// A second flush of the now-empty batch must not double-count.
+	o.Flush()
+	if count2, sum2, _ := HistogramValue(HistInsertNanos); count2 != count || sum2 != sum {
+		t.Errorf("idempotent flush violated: count %d sum %d", count2, sum2)
+	}
+	Reset()
+}
+
+// TestTakeHistogramsSnapshot checks the snapshot document: units, exact
+// count and sum, and trailing-zero bucket elision.
+func TestTakeHistogramsSnapshot(t *testing.T) {
+	if !Enabled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	Reset()
+	Observe(HistContainsNanos, 0)
+	Observe(HistContainsNanos, 5) // bucket 3
+	Observe(HistContainsNanos, 5)
+	snap := TakeHistograms()
+	if len(snap) != int(NumHistograms) {
+		t.Fatalf("snapshot has %d histograms, want %d", len(snap), NumHistograms)
+	}
+	h := snap[HistContainsNanos.Name()]
+	if h.Unit != "ns" || h.Count != 3 || h.Sum != 10 {
+		t.Errorf("snapshot = %+v", h)
+	}
+	if len(h.Buckets) != 4 { // trailing zeros elided after bucket 3
+		t.Fatalf("buckets = %v, want length 4", h.Buckets)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[3] != 2 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	// Untouched histograms report empty bucket slices, not nil-vs-zero
+	// surprises downstream.
+	if e := snap[HistUpperNanos.Name()]; e.Count != 0 || len(e.Buckets) != 0 {
+		t.Errorf("untouched histogram = %+v", e)
+	}
+	Reset()
+}
+
+// TestSampleClockGate checks the hint-less sampling gate: exactly one in
+// SamplePeriod calls returns a timestamp.
+func TestSampleClockGate(t *testing.T) {
+	if !Enabled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	sampled := 0
+	const calls = 10 * SamplePeriod
+	for i := 0; i < calls; i++ {
+		if SampleClock() != 0 {
+			sampled++
+		}
+	}
+	if sampled != calls/SamplePeriod {
+		t.Errorf("sampled %d of %d calls, want %d", sampled, calls, calls/SamplePeriod)
+	}
+}
+
+// TestFlightSampleRateValidation checks the power-of-two contract and
+// that SetFlightSampleRate returns the previous rate.
+func TestFlightSampleRateValidation(t *testing.T) {
+	for _, bad := range []uint64{0, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetFlightSampleRate(%d) did not panic", bad)
+				}
+			}()
+			SetFlightSampleRate(bad)
+		}()
+	}
+	prev := SetFlightSampleRate(4)
+	defer SetFlightSampleRate(prev)
+	if got := FlightSampleRate(); got != 4 {
+		t.Errorf("FlightSampleRate = %d, want 4", got)
+	}
+	if back := SetFlightSampleRate(prev); back != 4 {
+		t.Errorf("SetFlightSampleRate returned %d, want 4", back)
+	}
+}
+
+// TestFlightRecorderRing records more events than one shard's ring holds
+// and checks retention, ordering and field fidelity.
+func TestFlightRecorderRing(t *testing.T) {
+	if !Enabled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	prev := SetFlightSampleRate(1)
+	defer SetFlightSampleRate(prev)
+	defer ResetFlight()
+	ResetFlight()
+
+	// One goroutine maps to one shard, so this overflows that shard's
+	// ring several times over.
+	const recorded = 5 * flightRingLen
+	for i := 0; i < recorded; i++ {
+		RecordContention(SiteSplitParent, 1, uint64(i), int64(2*i))
+	}
+	events := FlightEvents()
+	if len(events) != flightRingLen {
+		t.Fatalf("retained %d events, want ring capacity %d", len(events), flightRingLen)
+	}
+	for i, ev := range events {
+		if i > 0 && ev.Seq <= events[i-1].Seq {
+			t.Fatalf("events not in sequence order at %d: %d after %d", i, ev.Seq, events[i-1].Seq)
+		}
+		if ev.Site != SiteSplitParent.Name() || ev.Level != 1 || ev.WaitNanos != 2*int64(ev.Spins) {
+			t.Fatalf("event %d corrupted: %+v", i, ev)
+		}
+	}
+	// The ring keeps the newest events: the retained spins must be the
+	// last flightRingLen recorded values.
+	if events[len(events)-1].Spins != recorded-1 {
+		t.Errorf("newest retained spins = %d, want %d", events[len(events)-1].Spins, recorded-1)
+	}
+
+	ResetFlight()
+	if left := FlightEvents(); len(left) != 0 {
+		t.Errorf("ResetFlight left %d events", len(left))
+	}
+}
+
+// TestFlightRecorderSamplingGate checks that a rate of R records one in
+// R contention events.
+func TestFlightRecorderSamplingGate(t *testing.T) {
+	if !Enabled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	prev := SetFlightSampleRate(8)
+	defer SetFlightSampleRate(prev)
+	defer ResetFlight()
+	ResetFlight()
+	const recorded = 8 * 16
+	for i := 0; i < recorded; i++ {
+		RecordContention(SiteLeafUpgrade, 0, 1, 0)
+	}
+	if got := len(FlightEvents()); got != recorded/8 {
+		t.Errorf("sampled %d events of %d, want %d", got, recorded, recorded/8)
+	}
+}
+
+// TestObserveCompiledOut pins the obsoff contract for the distribution
+// tier: recording is a no-op and snapshots are empty but well-formed.
+func TestObserveCompiledOut(t *testing.T) {
+	if Enabled {
+		t.Skip("observability compiled in")
+	}
+	Observe(HistInsertNanos, 123)
+	RecordContention(SiteSplitRoot, 2, 9, 99)
+	if count, sum, _ := HistogramValue(HistInsertNanos); count != 0 || sum != 0 {
+		t.Errorf("obsoff histogram recorded: count %d sum %d", count, sum)
+	}
+	if events := FlightEvents(); len(events) != 0 {
+		t.Errorf("obsoff flight recorder recorded %d events", len(events))
+	}
+	if Clock() != 0 || SampleClock() != 0 {
+		t.Error("obsoff clock must read 0")
+	}
+	var b Batch
+	if b.SampleOp() {
+		t.Error("obsoff SampleOp must be false")
+	}
+}

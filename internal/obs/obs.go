@@ -1,9 +1,17 @@
 // Package obs is the observability layer of the specialised B-tree and
-// its Datalog engine: a zero-allocation registry of global event counters
-// covering every synchronisation hot path — seqlock validations and
-// failures, lease upgrades, write-lock spins, tree descents and restarts,
-// hint hits and misses per operation class, node splits, and engine-level
-// semi-naïve progress.
+// its Datalog engine, in three tiers:
+//
+//   - a zero-allocation registry of global event counters covering every
+//     synchronisation hot path — seqlock validations and failures, lease
+//     upgrades, write-lock spins, tree descents and restarts, hint hits
+//     and misses per operation class, node splits, and engine-level
+//     semi-naïve progress (this file);
+//   - log2-bucketed latency and count histograms over the same shards,
+//     with sampled clock reads so the distribution tier costs no more
+//     than the counters (hist.go);
+//   - a contention flight recorder: a fixed-size sampled ring of
+//     individual lock-contention events for post-hoc inspection of
+//     contention hot spots (flight.go).
 //
 // The paper's argument rests on micro-events that are invisible in an
 // end-to-end runtime number; this package makes them countable in
@@ -55,9 +63,11 @@ import (
 )
 
 // SchemaVersion identifies the JSON metrics contract emitted by Take and
-// by the -metrics flag of every command. Counter names under this version
-// are append-only stable (see the package comment).
-const SchemaVersion = "specbtree.metrics.v1"
+// by the -metrics flag of every command. v2 extends v1 append-only: every
+// v1 key is unchanged, and a "histograms" section (log2-bucketed latency
+// and count distributions, hist.go) is added. Counter and histogram names
+// under this version are append-only stable (see the package comment).
+const SchemaVersion = "specbtree.metrics.v2"
 
 // Counter identifies one global event counter. The constants below are
 // the complete registry; Name returns the stable string form. Counter
@@ -176,9 +186,10 @@ func Names() []string {
 // cacheLine is the assumed cache-line size used for padding cell blocks.
 const cacheLine = 64
 
-// cellPad is the padding that rounds a cell block up to a cache-line
-// multiple, so blocks owned by different goroutines never share a line.
-const cellPad = (cacheLine - (int(NumCounters)*8)%cacheLine) % cacheLine
+// cellPad is the padding that rounds a cell block (counter cells plus the
+// sampling tick) up to a cache-line multiple, so blocks owned by
+// different goroutines never share a line.
+const cellPad = (cacheLine - (int(NumCounters)*8+8)%cacheLine) % cacheLine
 
 // numShards is the number of counter shards (tier 1). A power of
 // two so shard selection is a mask; sized well above typical GOMAXPROCS
@@ -189,7 +200,10 @@ const numShards = 64
 // several goroutines, so its cells take true atomic adds.
 type shard struct {
 	cells [NumCounters]atomic.Uint64
-	_     [cellPad]byte
+	// tick counts hint-less operations on this shard, the sampling gate
+	// of SampleClock (hist.go).
+	tick atomic.Uint64
+	_    [cellPad]byte
 }
 
 // shards is the global cell array.
@@ -204,9 +218,16 @@ var shards [numShards]shard
 // whose stack moves may hash to another shard; that is harmless, since
 // reads merge all shards.
 func shardFor() *shard {
+	return &shards[shardIndex()]
+}
+
+// shardIndex picks the current goroutine's shard index, shared by the
+// counter and histogram shard arrays so a goroutine's cells stay
+// together.
+func shardIndex() uintptr {
 	var marker byte
 	h := uintptr(unsafe.Pointer(&marker)) >> 10
-	return &shards[(h*0x9E3779B9)&(numShards-1)]
+	return (h * 0x9E3779B9) & (numShards - 1)
 }
 
 // Inc adds 1 to counter c through the shards. Zero-allocation and safe
@@ -240,16 +261,18 @@ func Value(c Counter) uint64 {
 	return total
 }
 
-// Reset zeroes every counter. Intended for tests, benchmarks, and
-// delimiting measurement windows in the bench commands; settle or
-// discard outstanding batches first, and do not call it concurrently
-// with operations you intend to count.
+// Reset zeroes every counter and histogram. Intended for tests,
+// benchmarks, and delimiting measurement windows in the bench commands;
+// settle or discard outstanding batches first, and do not call it
+// concurrently with operations you intend to count. The flight recorder
+// has its own ResetFlight.
 func Reset() {
 	for i := range shards {
 		for c := range shards[i].cells {
 			shards[i].cells[c].Store(0)
 		}
 	}
+	resetHistograms()
 }
 
 // Snapshot is one merged reading of every counter — the JSON document of
@@ -264,17 +287,21 @@ type Snapshot struct {
 	// Counters maps every registered counter name to its merged value.
 	// encoding/json emits the keys in sorted order.
 	Counters map[string]uint64 `json:"counters"`
+	// Histograms maps every registered histogram name to its merged
+	// log2-bucketed snapshot (added in schema v2).
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Take returns a merged snapshot of all counters. Reads are not atomic
-// across counters: a snapshot taken while writers run is a
-// consistent-enough recent view (modulo unsettled batches), not a
+// Take returns a merged snapshot of all counters and histograms. Reads
+// are not atomic across counters: a snapshot taken while writers run is
+// a consistent-enough recent view (modulo unsettled batches), not a
 // linearisation point.
 func Take() Snapshot {
 	s := Snapshot{
-		Schema:   SchemaVersion,
-		Enabled:  Enabled,
-		Counters: make(map[string]uint64, NumCounters),
+		Schema:     SchemaVersion,
+		Enabled:    Enabled,
+		Counters:   make(map[string]uint64, NumCounters),
+		Histograms: TakeHistograms(),
 	}
 	for c := Counter(0); c < NumCounters; c++ {
 		s.Counters[counterNames[c]] = Value(c)
@@ -282,14 +309,19 @@ func Take() Snapshot {
 	return s
 }
 
-// publishOnce guards Publish against duplicate expvar registration.
-var publishOnce sync.Once
+// publishMu serialises Publish against itself.
+var publishMu sync.Mutex
 
 // Publish registers the counter registry with package expvar under the
 // name "specbtree", so any HTTP server serving expvar's /debug/vars
-// endpoint exposes a live snapshot. Safe to call more than once.
+// endpoint exposes a live snapshot. Idempotent: repeated calls — and
+// calls racing an out-of-band registration of the same name — are
+// no-ops rather than expvar duplicate-registration panics.
 func Publish() {
-	publishOnce.Do(func() {
-		expvar.Publish("specbtree", expvar.Func(func() any { return Take() }))
-	})
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get("specbtree") != nil {
+		return
+	}
+	expvar.Publish("specbtree", expvar.Func(func() any { return Take() }))
 }

@@ -13,6 +13,10 @@ func (o *OpCounts) Inc(c Counter) {}
 // Add adds n to counter c in the batch. No-op in this build.
 func (o *OpCounts) Add(c Counter, n uint32) {}
 
+// Observe records value v into batchable histogram h. No-op in this
+// build.
+func (o *OpCounts) Observe(h Histogram, v uint64) {}
+
 // Flush settles the batch into the goroutine's shard. No-op in this
 // build.
 func (o *OpCounts) Flush() {}
@@ -23,6 +27,10 @@ type Batch struct{}
 
 // Counts returns the batch's accumulator for the current operation.
 func (b *Batch) Counts() *OpCounts { return &OpCounts{} }
+
+// SampleOp reports whether the current operation should be timed.
+// Constant false in this build, so operation timing compiles out.
+func (b *Batch) SampleOp() bool { return false }
 
 // EndOp marks one operation complete. No-op in this build.
 func (b *Batch) EndOp() {}

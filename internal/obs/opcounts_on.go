@@ -11,10 +11,18 @@ import "math/bits"
 // builds OpCounts is an empty struct and its methods compile to nothing.
 //
 // The limit NumCounters <= 64 keeps the touched-counter set in one mask
-// word, so Flush walks only the counters the batch actually hit.
+// word, so Flush walks only the counters the batch actually hit. The
+// histogram area works the same way one level down: hmask tracks the
+// touched batchable histograms, hbuckets[h] the touched buckets of each,
+// so settlement stays proportional to what was recorded.
 type OpCounts struct {
 	mask uint64
 	n    [NumCounters]uint32
+
+	hmask    uint32
+	hbuckets [numBatchedHistograms]uint64
+	hsum     [numBatchedHistograms]uint64
+	hn       [numBatchedHistograms][HistBuckets]uint16
 }
 
 // Inc adds 1 to counter c in the batch.
@@ -29,20 +37,51 @@ func (o *OpCounts) Add(c Counter, n uint32) {
 	o.n[c] += n
 }
 
-// Flush settles the batch into the goroutine's shard and resets it for
-// reuse. One atomic add per touched counter.
+// Observe records value v into batchable histogram h with plain
+// non-atomic increments (one bucket count, one touched-bucket bit, the
+// pending raw-value sum). h must be below numBatchedHistograms; the
+// control-plane histograms go through the package-level Observe. Counts
+// are uint16, so a batch must be flushed at least every 2^16
+// observations per bucket — Batch settles every flushEvery operations
+// and stack batches settle per operation, both orders of magnitude
+// below the limit.
+func (o *OpCounts) Observe(h Histogram, v uint64) {
+	b := bucketOf(v)
+	o.hmask |= 1 << h
+	o.hbuckets[h] |= 1 << uint(b)
+	o.hsum[h] += v
+	o.hn[h][b]++
+}
+
+// Flush settles the batch into the goroutine's shards and resets it for
+// reuse. One atomic add per touched counter and per touched histogram
+// bucket.
 func (o *OpCounts) Flush() {
-	m := o.mask
-	if m == 0 {
-		return
+	idx := shardIndex()
+	if m := o.mask; m != 0 {
+		s := &shards[idx]
+		for ; m != 0; m &= m - 1 {
+			c := uint(bits.TrailingZeros64(m))
+			s.cells[c].Add(uint64(o.n[c]))
+			o.n[c] = 0
+		}
+		o.mask = 0
 	}
-	s := shardFor()
-	for ; m != 0; m &= m - 1 {
-		c := uint(bits.TrailingZeros64(m))
-		s.cells[c].Add(uint64(o.n[c]))
-		o.n[c] = 0
+	if hm := o.hmask; hm != 0 {
+		hs := &histShards[idx]
+		for ; hm != 0; hm &= hm - 1 {
+			h := uint(bits.TrailingZeros32(hm))
+			for bm := o.hbuckets[h]; bm != 0; bm &= bm - 1 {
+				b := uint(bits.TrailingZeros64(bm))
+				hs.buckets[h][b].Add(uint64(o.hn[h][b]))
+				o.hn[h][b] = 0
+			}
+			o.hbuckets[h] = 0
+			hs.sum[h].Add(o.hsum[h])
+			o.hsum[h] = 0
+		}
+		o.hmask = 0
 	}
-	o.mask = 0
 }
 
 // flushEvery is the operation period at which a Batch settles into the
@@ -64,6 +103,12 @@ type Batch struct {
 
 // Counts returns the batch's accumulator for the current operation.
 func (b *Batch) Counts() *OpCounts { return &b.pend }
+
+// SampleOp reports whether the current operation should have its
+// duration recorded: one in SamplePeriod operations, gated by the
+// batch's own operation countdown so the check is a masked compare with
+// no shared-memory traffic. Always false in obsoff builds.
+func (b *Batch) SampleOp() bool { return b.ops&(SamplePeriod-1) == 0 }
 
 // EndOp marks one operation complete, settling the batch into the shards
 // every flushEvery calls. Amortised cost: a register increment.

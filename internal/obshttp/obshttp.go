@@ -1,0 +1,207 @@
+// Package obshttp serves the observability state of package obs over
+// HTTP: a Prometheus-compatible /metrics endpoint (with a JSON variant
+// carrying the specbtree.metrics.v2 document), debug views of the
+// latency histograms, the contention flight recorder and live tree
+// shapes, the expvar page, and the standard pprof profiles. The five
+// commands mount it behind their -serve flag; examples/liveserver shows
+// the endpoints against a live Datalog run.
+//
+// The handlers only read the sharded registries — they never reset or
+// otherwise mutate observability state — so scraping a live run is safe
+// and does not perturb the measured workload beyond the atomic loads of
+// a snapshot.
+package obshttp
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"specbtree/internal/core"
+	"specbtree/internal/obs"
+)
+
+// Options configures the debug handler.
+type Options struct {
+	// Shapes, when non-nil, supplies the live tree shapes served by
+	// /debug/treeshape, keyed by a caller-chosen name (relation name,
+	// benchmark tree label). The callback runs on every request and must
+	// be safe against whatever concurrency the process has going — the
+	// core tree's walker is.
+	Shapes func() map[string]core.Shape
+}
+
+// Handler returns the debug mux:
+//
+//	/metrics              Prometheus text exposition; ?format=json for
+//	                      the specbtree.metrics.v2 JSON snapshot
+//	/debug/histograms     latency histograms as JSON
+//	/debug/flightrecorder sampled lock-contention events as JSON
+//	/debug/treeshape      live tree shapes as JSON (needs Options.Shapes)
+//	/debug/vars           expvar, including the "specbtree" map
+//	/debug/pprof/         standard pprof index and profiles
+func Handler(opts Options) http.Handler {
+	obs.Publish() // idempotent; makes /debug/vars carry the snapshot
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", serveIndex)
+	mux.HandleFunc("/metrics", serveMetrics)
+	mux.HandleFunc("/debug/histograms", serveHistograms)
+	mux.HandleFunc("/debug/flightrecorder", serveFlightRecorder)
+	mux.HandleFunc("/debug/treeshape", func(w http.ResponseWriter, r *http.Request) {
+		serveTreeShape(w, opts.Shapes)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live debug server started by Start.
+type Server struct {
+	// Addr is the resolved listen address (host:port), useful when the
+	// caller asked for port 0.
+	Addr string
+
+	lis net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr and serves the debug handler in a background
+// goroutine. Close shuts the server down.
+func Start(addr string, opts Options) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(opts)}
+	go srv.Serve(lis) //nolint:errcheck // Serve always returns on Close
+	return &Server{Addr: lis.Addr().String(), lis: lis, srv: srv}, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, `specbtree debug server
+
+/metrics               Prometheus text exposition (?format=json for JSON)
+/debug/histograms      latency histograms (JSON)
+/debug/flightrecorder  sampled lock-contention events (JSON)
+/debug/treeshape       live tree shapes (JSON)
+/debug/vars            expvar
+/debug/pprof/          pprof profiles
+`)
+}
+
+func serveMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Take()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writePrometheus(w, snap)
+}
+
+func serveHistograms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, obs.TakeHistograms())
+}
+
+// flightDoc is the JSON document of /debug/flightrecorder. Field names
+// are part of the metrics contract (DESIGN.md §9).
+type flightDoc struct {
+	SampleRate uint64            `json:"sample_rate"`
+	Events     []obs.FlightEvent `json:"events"`
+}
+
+func serveFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	events := obs.FlightEvents()
+	if events == nil {
+		events = []obs.FlightEvent{}
+	}
+	writeJSON(w, flightDoc{SampleRate: obs.FlightSampleRate(), Events: events})
+}
+
+func serveTreeShape(w http.ResponseWriter, shapes func() map[string]core.Shape) {
+	out := map[string]core.Shape{}
+	if shapes != nil {
+		if m := shapes(); m != nil {
+			out = m
+		}
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+// promName maps a dotted metric name of the obs registry to a
+// Prometheus-legal name: prefixed with "specbtree_", dots and dashes
+// become underscores.
+func promName(name string) string {
+	return "specbtree_" + strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+// writePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters become counter metrics, histograms
+// become native Prometheus histograms with cumulative le buckets derived
+// from the log2 bucket bounds, and a specbtree_obs_enabled gauge tells a
+// scraper whether the process was built with observability compiled in.
+func writePrometheus(w io.Writer, snap obs.Snapshot) {
+	enabled := 0
+	if snap.Enabled {
+		enabled = 1
+	}
+	fmt.Fprintf(w, "# HELP specbtree_obs_enabled Whether observability is compiled in (0 under the obsoff build tag).\n")
+	fmt.Fprintf(w, "# TYPE specbtree_obs_enabled gauge\n")
+	fmt.Fprintf(w, "specbtree_obs_enabled %d\n", enabled)
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(w, "%s %d\n", pn, snap.Counters[name])
+	}
+
+	hnames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := snap.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(w, "# HELP %s Log2-bucketed histogram, unit %s.\n", pn, h.Unit)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum uint64
+		for b, n := range h.Buckets {
+			cum += n
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, obs.BucketUpperBound(b), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}

@@ -1,0 +1,264 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"specbtree/internal/core"
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return res, string(body)
+}
+
+// TestMetricsPrometheus checks the text exposition: the enabled gauge,
+// counter samples, and well-formed cumulative histogram buckets.
+func TestMetricsPrometheus(t *testing.T) {
+	if obs.Enabled {
+		obs.Reset()
+		tr := core.New(1)
+		for i := 0; i < 1000; i++ {
+			tr.Insert(tuple.Tuple{uint64(i)})
+		}
+	}
+	h := Handler(Options{})
+	res, body := get(t, h, "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "specbtree_obs_enabled") {
+		t.Fatal("missing specbtree_obs_enabled gauge")
+	}
+	if !obs.Enabled {
+		if !strings.Contains(body, "specbtree_obs_enabled 0") {
+			t.Fatal("obsoff build must report specbtree_obs_enabled 0")
+		}
+		return
+	}
+	for _, want := range []string{
+		"# TYPE specbtree_core_descents counter",
+		"# TYPE specbtree_hist_op_insert_ns histogram",
+		"specbtree_hist_op_insert_ns_sum",
+		"specbtree_hist_op_insert_ns_count",
+		`_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Cumulative buckets must be monotonically non-decreasing and end at
+	// the count.
+	var prev, count, inf uint64
+	var sawBucket bool
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "specbtree_hist_op_insert_ns_bucket{") {
+			n := lastUint(t, line)
+			if n < prev {
+				t.Fatalf("bucket counts decrease at %q", line)
+			}
+			prev = n
+			sawBucket = true
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = n
+			}
+		}
+		if strings.HasPrefix(line, "specbtree_hist_op_insert_ns_count ") {
+			count = lastUint(t, line)
+		}
+	}
+	if !sawBucket {
+		t.Fatal("no insert histogram buckets rendered")
+	}
+	if inf != count {
+		t.Fatalf("+Inf bucket %d != count %d", inf, count)
+	}
+}
+
+// lastUint parses the sample value (the last space-separated field) of a
+// Prometheus text line.
+func lastUint(t *testing.T, line string) uint64 {
+	t.Helper()
+	v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", line, err)
+	}
+	return v
+}
+
+// TestMetricsJSON checks the JSON variant: schema specbtree.metrics.v2
+// with the v1 keys (schema, enabled, counters) unchanged and the
+// histograms key added.
+func TestMetricsJSON(t *testing.T) {
+	h := Handler(Options{})
+	res, body := get(t, h, "/metrics?format=json")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"schema", "enabled", "counters", "histograms"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("JSON snapshot missing key %q", key)
+		}
+	}
+	var schema string
+	if err := json.Unmarshal(doc["schema"], &schema); err != nil || schema != obs.SchemaVersion {
+		t.Fatalf("schema = %q, want %q", schema, obs.SchemaVersion)
+	}
+}
+
+// TestHistogramsEndpoint checks that every registered histogram appears.
+func TestHistogramsEndpoint(t *testing.T) {
+	_, body := get(t, Handler(Options{}), "/debug/histograms")
+	var doc map[string]obs.HistogramSnapshot
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, name := range obs.HistogramNames() {
+		if _, ok := doc[name]; !ok {
+			t.Errorf("missing histogram %q", name)
+		}
+	}
+}
+
+// TestFlightRecorderEndpoint records one contention event and checks the
+// JSON dump carries it with the documented field names.
+func TestFlightRecorderEndpoint(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	prev := obs.SetFlightSampleRate(1)
+	defer obs.SetFlightSampleRate(prev)
+	defer obs.ResetFlight()
+	obs.ResetFlight()
+	obs.RecordContention(obs.SiteSplitParent, 2, 7, 12345)
+
+	_, body := get(t, Handler(Options{}), "/debug/flightrecorder")
+	var doc struct {
+		SampleRate uint64 `json:"sample_rate"`
+		Events     []struct {
+			Seq       uint64 `json:"seq"`
+			Site      string `json:"site"`
+			Level     int32  `json:"level"`
+			Spins     uint64 `json:"spins"`
+			WaitNanos int64  `json:"wait_ns"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.SampleRate != 1 {
+		t.Fatalf("sample_rate = %d, want 1", doc.SampleRate)
+	}
+	if len(doc.Events) != 1 {
+		t.Fatalf("got %d events, want 1", len(doc.Events))
+	}
+	ev := doc.Events[0]
+	if ev.Site != obs.SiteSplitParent.Name() || ev.Level != 2 || ev.Spins != 7 || ev.WaitNanos != 12345 {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+// TestTreeShapeEndpoint serves a live tree's shape through the Shapes
+// callback.
+func TestTreeShapeEndpoint(t *testing.T) {
+	tr := core.New(2, core.Options{Capacity: 4})
+	for i := 0; i < 500; i++ {
+		tr.Insert(tuple.Tuple{uint64(i), 0})
+	}
+	h := Handler(Options{Shapes: func() map[string]core.Shape {
+		return map[string]core.Shape{"edge": tr.Shape()}
+	}})
+	_, body := get(t, h, "/debug/treeshape")
+	var doc map[string]core.Shape
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	s, ok := doc["edge"]
+	if !ok {
+		t.Fatalf("missing tree %q in %v", "edge", doc)
+	}
+	if s.Elements != 500 || s.Depth < 2 || len(s.Levels) != s.Depth {
+		t.Fatalf("shape = %+v", s)
+	}
+
+	// Without a Shapes callback the endpoint serves an empty object, not
+	// an error.
+	_, body = get(t, Handler(Options{}), "/debug/treeshape")
+	if strings.TrimSpace(body) != "{}" {
+		t.Fatalf("no-shapes body = %q, want {}", body)
+	}
+}
+
+// TestAuxiliaryEndpoints covers the index page, expvar and pprof routes.
+func TestAuxiliaryEndpoints(t *testing.T) {
+	h := Handler(Options{})
+	for _, path := range []string{"/", "/debug/vars", "/debug/pprof/"} {
+		res, body := get(t, h, path)
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, res.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s empty body", path)
+		}
+	}
+	if res, _ := get(t, h, "/no/such/path"); res.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", res.StatusCode)
+	}
+	// /debug/vars must expose the published specbtree snapshot.
+	_, body := get(t, h, "/debug/vars")
+	if !strings.Contains(body, `"specbtree"`) {
+		t.Error("/debug/vars missing specbtree expvar")
+	}
+}
+
+// TestStartAndScrape exercises the real listener path end to end.
+func TestStartAndScrape(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.Contains(string(body), "specbtree_obs_enabled") {
+		t.Fatalf("scrape failed: status %d body %q", res.StatusCode, body)
+	}
+}
+
+// TestTreeShapeNilCallbackResult checks that a Shapes callback returning
+// nil (no live tree yet) still serves an empty object, not null.
+func TestTreeShapeNilCallbackResult(t *testing.T) {
+	h := Handler(Options{Shapes: func() map[string]core.Shape { return nil }})
+	_, body := get(t, h, "/debug/treeshape")
+	if strings.TrimSpace(body) != "{}" {
+		t.Fatalf("nil-result body = %q, want {}", body)
+	}
+}

@@ -102,18 +102,36 @@ func (l *Lock) TryStartWrite() bool {
 // StartWrite blocks until the write lock is acquired. This is the only
 // blocking operation of the lock; the B-tree uses it exclusively in the
 // bottom-up split path (Algorithm 2), where lock ordering guarantees
-// deadlock freedom. Spin iterations are recorded under
-// "optlock.write.spins" (package obs), batched into one counter update
-// per contended acquisition; uncontended acquisitions record nothing.
+// deadlock freedom. Contention is recorded as documented on
+// StartWriteTimed.
 func (l *Lock) StartWrite() {
+	l.StartWriteTimed()
+}
+
+// StartWriteTimed blocks until the write lock is acquired, like
+// StartWrite, and reports the contention experienced: the spin
+// iterations and the wall-clock nanoseconds spent waiting, both zero
+// for uncontended acquisitions. Contended acquisitions record their
+// spins under "optlock.write.spins" and their wait duration under
+// "hist.optlock.write.wait.ns" (package obs), one update per
+// acquisition; uncontended acquisitions record nothing and read no
+// clock. Callers that know the contended lock's context (which tree
+// level, which operation) feed the returned values to the contention
+// flight recorder — this package cannot, so it does not.
+func (l *Lock) StartWriteTimed() (spins uint64, waitNanos int64) {
+	if l.TryStartWrite() {
+		return 0, 0
+	}
+	start := obs.Clock()
 	for attempt := 0; ; attempt++ {
-		if l.TryStartWrite() {
-			if attempt > 0 {
-				obs.Add(obs.LockWriteSpins, uint64(attempt))
-			}
-			return
-		}
 		spinWait(attempt)
+		spins++
+		if l.TryStartWrite() {
+			waitNanos = obs.Clock() - start
+			obs.Add(obs.LockWriteSpins, spins)
+			obs.Observe(obs.HistWriteWaitNanos, uint64(waitNanos))
+			return spins, waitNanos
+		}
 	}
 }
 

@@ -74,6 +74,9 @@ func (r *btreeRel) NewOps() Ops {
 
 func (r *btreeRel) Scan(yield func(tuple.Tuple) bool) { r.t.All(yield) }
 
+// Shape implements Shaper with the tree's lease-protected walker.
+func (r *btreeRel) Shape() core.Shape { return r.t.Shape() }
+
 func (r *btreeRel) SplitRange(from, to tuple.Tuple, n int) []tuple.Tuple {
 	return r.t.SplitRange(from, to, n)
 }

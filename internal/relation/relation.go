@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"specbtree/internal/core"
 	"specbtree/internal/tuple"
 )
 
@@ -68,6 +69,17 @@ type HintReporter interface {
 // global counter snapshots are exact.
 type StatsFlusher interface {
 	FlushStats()
+}
+
+// Shaper is implemented by relations whose backing structure can report
+// its physical shape (package core's tree walker). The debug server's
+// /debug/treeshape endpoint surfaces these; backends without a
+// meaningful shape simply do not implement the interface.
+type Shaper interface {
+	// Shape walks the backing tree and reports depth, node counts and
+	// fill factors per level. Safe against concurrent writers for the
+	// concurrent backends (best-effort snapshot); exact when quiescent.
+	Shape() core.Shape
 }
 
 // Splitter is implemented by relations that can partition their content

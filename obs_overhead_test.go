@@ -16,9 +16,13 @@ import (
 //	go test -bench MetricsOverhead -count 5 .
 //	go test -bench MetricsOverhead -count 5 -tags obsoff .
 //
-// — and compare: the enabled build must stay within 2% of the obsoff
+// — and compare: the enabled build must stay within 3% of the obsoff
 // build, which compiles the counters out entirely (obs.Enabled reports
-// which build is measured).
+// which build is measured). The budget covers the full second-tier
+// instrumentation: batched counters, the sampled duration histograms
+// (one clock pair per obs.SamplePeriod operations plus batched bucket
+// increments) and the contention sampling gates, which fire only on
+// already-slow contended paths.
 
 // BenchmarkMetricsOverheadInsertHint measures the most instrumented code
 // path: hinted random-order inserts, which touch the descent, validation,

@@ -2,10 +2,16 @@
 // surface and the observability layer (run via scripts/check_docs.sh or
 // `make check-docs`):
 //
-//  1. every exported top-level identifier in the root package and in
-//     internal/obs must carry a doc comment, and
-//  2. every counter name of the metrics contract (obs.Names) must appear
-//     in DESIGN.md, so the §9 counter table cannot drift from the code.
+//  1. every exported top-level identifier in the root package, in
+//     internal/obs and in internal/obshttp must carry a doc comment,
+//  2. every counter, histogram and contention-site name of the metrics
+//     contract must appear in DESIGN.md, so the §9 tables cannot drift
+//     from the code,
+//  3. the v1 counter names are still registered — the contract is
+//     append-only, so renaming or deleting a published counter is an
+//     error — and
+//  4. DESIGN.md names the current schema version and the flight-recorder
+//     JSON field names.
 //
 // It exits non-zero listing each violation.
 package main
@@ -22,6 +28,42 @@ import (
 	"specbtree/internal/obs"
 )
 
+// frozenV1Counters is the complete counter list of the
+// specbtree.metrics.v1 schema, frozen at the moment v2 shipped. The
+// contract is append-only: every name below must stay registered in
+// obs.Names() forever. Extend this list only when freezing a new schema
+// version.
+var frozenV1Counters = []string{
+	"core.descents",
+	"core.restarts",
+	"core.split.inner",
+	"core.split.leaf",
+	"core.split.root",
+	"datalog.delta_tuples",
+	"datalog.rounds",
+	"datalog.rule_evals",
+	"hint.find.hits",
+	"hint.find.misses",
+	"hint.insert.hits",
+	"hint.insert.misses",
+	"hint.lower.hits",
+	"hint.lower.misses",
+	"hint.upper.hits",
+	"hint.upper.misses",
+	"optlock.read.validation_failures",
+	"optlock.read.validations",
+	"optlock.upgrade.failures",
+	"optlock.upgrade.successes",
+	"optlock.write.spins",
+}
+
+// flightRecorderFields are the JSON field names of the flight-recorder
+// dump (obs.FlightEvent plus the envelope's sample_rate); DESIGN.md must
+// document each, backticked, in its §9 flight-recorder section.
+var flightRecorderFields = []string{
+	"seq", "site", "level", "spins", "wait_ns", "sample_rate",
+}
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
@@ -29,7 +71,11 @@ func main() {
 	}
 	var problems []string
 
-	for _, dir := range []string{root, filepath.Join(root, "internal", "obs")} {
+	for _, dir := range []string{
+		root,
+		filepath.Join(root, "internal", "obs"),
+		filepath.Join(root, "internal", "obshttp"),
+	} {
 		missing, err := undocumentedExports(dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "checkdocs:", err)
@@ -38,16 +84,50 @@ func main() {
 		problems = append(problems, missing...)
 	}
 
-	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	registered := map[string]bool{}
+	for _, name := range obs.Names() {
+		registered[name] = true
+	}
+	for _, name := range frozenV1Counters {
+		if !registered[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: v1 counter %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "checkdocs:", err)
 		os.Exit(1)
 	}
+	design := string(raw)
 	for _, name := range obs.Names() {
-		if !strings.Contains(string(design), name) {
+		if !strings.Contains(design, name) {
 			problems = append(problems,
 				fmt.Sprintf("DESIGN.md: counter %q missing from the §9 table", name))
 		}
+	}
+	for _, name := range obs.HistogramNames() {
+		if !strings.Contains(design, name) {
+			problems = append(problems,
+				fmt.Sprintf("DESIGN.md: histogram %q missing from the §9 table", name))
+		}
+	}
+	for _, name := range obs.ContentionSiteNames() {
+		if !strings.Contains(design, name) {
+			problems = append(problems,
+				fmt.Sprintf("DESIGN.md: contention site %q missing from §9", name))
+		}
+	}
+	for _, field := range flightRecorderFields {
+		if !strings.Contains(design, "`"+field+"`") {
+			problems = append(problems,
+				fmt.Sprintf("DESIGN.md: flight-recorder JSON field `%s` not documented in §9", field))
+		}
+	}
+	if !strings.Contains(design, obs.SchemaVersion) {
+		problems = append(problems,
+			fmt.Sprintf("DESIGN.md: schema version %q not documented in §9", obs.SchemaVersion))
 	}
 
 	if len(problems) > 0 {

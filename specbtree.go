@@ -11,9 +11,9 @@
 //   - the Datalog engine (ParseProgram, NewEngine, Engine),
 //   - the relation-representation registry used to swap data structures
 //     under the engine (LookupProvider, ProviderNames),
-//   - the observability layer (Snapshot, ResetStats, PublishExpvar),
-//     whose counter names form the stable metrics contract documented in
-//     DESIGN.md §9.
+//   - the observability layer (Snapshot, ResetStats, PublishExpvar,
+//     FlightRecorder, NewDebugHandler), whose counter and histogram
+//     names form the stable metrics contract documented in DESIGN.md §9.
 //
 // The individual substrates (baseline trees, hash sets, workload
 // generators) live under internal/; the executables under cmd/ regenerate
@@ -21,9 +21,12 @@
 package specbtree
 
 import (
+	"net/http"
+
 	"specbtree/internal/core"
 	"specbtree/internal/datalog"
 	"specbtree/internal/obs"
+	"specbtree/internal/obshttp"
 	"specbtree/internal/relation"
 	"specbtree/internal/tuple"
 )
@@ -94,14 +97,34 @@ func LookupProvider(name string) (Provider, error) { return relation.Lookup(name
 // ProviderNames lists all registered relation providers.
 func ProviderNames() []string { return relation.Names() }
 
-// Stats is one merged reading of every global observability counter —
-// seqlock validations and failures, lease upgrades, write spins, tree
-// descents and restarts, hint hits and misses per operation class, node
-// splits, and semi-naïve engine progress. Its JSON form is the documented
-// metrics contract (schema MetricsSchemaVersion, counter table in
-// DESIGN.md §9): counter names are append-only stable, and consumers must
+// Stats is one merged reading of every global observability counter and
+// histogram — seqlock validations and failures, lease upgrades, write
+// spins, tree descents and restarts, hint hits and misses per operation
+// class, node splits, semi-naïve engine progress, and the log2-bucketed
+// latency histograms. Its JSON form is the documented metrics contract
+// (schema MetricsSchemaVersion, counter and histogram tables in
+// DESIGN.md §9): names are append-only stable, and consumers must
 // ignore unknown keys.
 type Stats = obs.Snapshot
+
+// HistogramStats is one merged reading of a single log2-bucketed
+// histogram inside Stats: sample count, exact sum, and per-bucket
+// counts (bucket 0 holds zero values, bucket i values in
+// [2^(i-1), 2^i)).
+type HistogramStats = obs.HistogramSnapshot
+
+// ContentionEvent is one sampled lock-contention event captured by the
+// flight recorder: the contention site, the tree level above the leaf,
+// the spin iterations, and the wall-clock wait in nanoseconds.
+type ContentionEvent = obs.FlightEvent
+
+// TreeShape describes the physical structure of a BTree — depth, node
+// count, and fill factor per level — as reported by BTree.Shape, whose
+// walker is safe to run against live writers.
+type TreeShape = core.Shape
+
+// TreeLevelShape is one level of a TreeShape.
+type TreeLevelShape = core.LevelShape
 
 // EngineMetrics is the engine-level structured metrics document (per-run
 // aggregate statistics, per-round semi-naïve progress, per-rule timings),
@@ -134,3 +157,24 @@ func ResetStats() { obs.Reset() }
 // the name "specbtree", so any HTTP server serving the /debug/vars
 // endpoint exposes a live Stats snapshot. Safe to call more than once.
 func PublishExpvar() { obs.Publish() }
+
+// FlightRecorder returns the sampled lock-contention events currently
+// held in the flight recorder's rings, oldest first. The recorder keeps
+// a fixed number of recent events per shard; use it to see where and
+// how long writers waited without paying for a full trace.
+func FlightRecorder() []ContentionEvent { return obs.FlightEvents() }
+
+// ResetFlightRecorder discards all recorded contention events,
+// delimiting a measurement window. Like ResetStats, do not call it
+// concurrently with operations you intend to observe.
+func ResetFlightRecorder() { obs.ResetFlight() }
+
+// NewDebugHandler returns the live debug HTTP handler: /metrics in
+// Prometheus text exposition (?format=json for the
+// MetricsSchemaVersion JSON document), /debug/histograms,
+// /debug/flightrecorder, /debug/treeshape (fed by the shapes callback,
+// which may be nil), /debug/vars, and /debug/pprof. The commands mount
+// the same handler behind their -serve flag.
+func NewDebugHandler(shapes func() map[string]TreeShape) http.Handler {
+	return obshttp.Handler(obshttp.Options{Shapes: shapes})
+}

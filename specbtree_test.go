@@ -128,3 +128,45 @@ func TestLookupProviderUnknown(t *testing.T) {
 		t.Errorf("only %d providers registered", len(names))
 	}
 }
+
+// TestPublishExpvarIdempotent guards the documented "safe to call more
+// than once" contract of the public wrapper: a second registration with
+// expvar would panic.
+func TestPublishExpvarIdempotent(t *testing.T) {
+	PublishExpvar()
+	PublishExpvar()
+}
+
+// TestSnapshotExactAfterFlush is the settlement regression test for the
+// -metrics dump paths: hinted operations batch their counters inside the
+// hint set (settling every 64 operations), so a run whose length is not
+// a multiple of the batch period under-reports unless the worker flushes
+// its hints before the snapshot — exactly what the commands do on their
+// worker exit paths. The insert count must come out exact, not merely
+// close.
+func TestSnapshotExactAfterFlush(t *testing.T) {
+	if !MetricsEnabled {
+		t.Skip("observability compiled out (obsoff)")
+	}
+	ResetStats()
+	tree := NewBTree(1)
+	h := NewHints()
+	const n = 1000 // deliberately not a multiple of the batch period
+	for i := 0; i < n; i++ {
+		tree.InsertHint(Tuple{uint64(i)}, h)
+	}
+
+	before := Snapshot()
+	partial := before.Counters["hint.insert.hits"] + before.Counters["hint.insert.misses"]
+	if partial == n {
+		t.Fatal("snapshot already exact before flush; batching not exercised")
+	}
+
+	h.FlushObs()
+	after := Snapshot()
+	total := after.Counters["hint.insert.hits"] + after.Counters["hint.insert.misses"]
+	if total != n {
+		t.Fatalf("hinted inserts settled to %d, want exactly %d", total, n)
+	}
+	ResetStats()
+}
