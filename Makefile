@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check-docs test obsoff race bench figures examples clean
+.PHONY: all build vet lint check-docs test obsoff race bench bench-smoke bench-json figures examples clean
 
-all: build lint test obsoff race check-docs
+all: build lint test obsoff race check-docs bench-smoke
 
 build:
 	$(GO) build ./...
@@ -35,13 +35,29 @@ test:
 	$(GO) test ./...
 
 # race runs the concurrency-sensitive packages under the race detector:
-# the lock, the tree (including the live shape walker), the observability
-# registries and the debug server that reads them while workers run.
+# the lock, the tree (including the live shape walker and the bound-query
+# contract stress test), the parallel merge dispatch, the engine's
+# parallel data-movement spine, the observability registries and the
+# debug server that reads them while workers run.
 race:
-	$(GO) test -race ./internal/optlock ./internal/core ./internal/obs ./internal/obshttp
+	$(GO) test -race ./internal/optlock ./internal/core ./internal/relation ./internal/datalog ./internal/obs ./internal/obshttp
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke runs the merge benchmark at a toy size as part of `all`:
+# it exercises the sequential-vs-parallel merge, the sharded AddFacts
+# path and the evaluation anchor, and aborts on any worker-count-
+# dependent difference in their results.
+bench-smoke:
+	$(GO) run ./cmd/benchmerge -size 20000 -load 6000 -evalsize 8 -workers 1,2 -reps 1 >/dev/null
+
+# bench-json regenerates the checked-in BENCH_merge.json: the pinned
+# merge-scaling run (>= 1M-tuple source) in the stable
+# specbtree.bench.merge.v1 schema. Scaling figures only mean something
+# relative to the recorded cpus/gomaxprocs fields — see EXPERIMENTS.md.
+bench-json:
+	$(GO) run ./cmd/benchmerge -size 1200000 -load 200000 -evalsize 24 -workers 1,2,8 -json > BENCH_merge.json
 
 # Regenerate every table and figure of the paper (laptop-scale defaults;
 # see EXPERIMENTS.md for the flags matching the paper's full sizes).

@@ -1,0 +1,320 @@
+// Command benchmerge measures the engine's data-movement spine: the
+// specialised tree-into-tree merge (sequential InsertAll vs
+// ParallelInsertAll across worker counts), the batched fact-loading path
+// (Engine.AddFacts with 1 worker vs the full shard fan-out) and a small
+// end-to-end evaluation as a sanity anchor. Every merge measurement
+// rebuilds the destination from the same snapshot and the final contents
+// are checksummed, so the run doubles as a determinism check: any
+// worker-count-dependent difference in the merged tree aborts the run.
+//
+// With -json the command emits a single schema-versioned document
+// ("specbtree.bench.merge.v1") on stdout, carrying the host's CPU count
+// and GOMAXPROCS alongside every cell — scaling numbers are meaningless
+// without them (see EXPERIMENTS.md on single-core runs).
+//
+// Usage:
+//
+//	benchmerge [-size 1200000] [-dst 600000] [-workers 1,2,8]
+//	           [-load 200000] [-evalsize 32] [-reps 3] [-seed 1] [-json]
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"time"
+
+	"specbtree/internal/bench"
+	"specbtree/internal/core"
+	"specbtree/internal/datalog"
+	"specbtree/internal/tuple"
+	"specbtree/internal/workload"
+)
+
+// mergeCell is one (worker count) measurement of the merge leg.
+type mergeCell struct {
+	Workers      int     `json:"workers"`
+	Seconds      float64 `json:"seconds"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// Speedup is relative to the workers=1 cell of the same run.
+	Speedup float64 `json:"speedup"`
+	// Checksum is an FNV-1a digest of the merged contents in scan order;
+	// it must be identical across every worker count.
+	Checksum string `json:"checksum"`
+	Len      int    `json:"len"`
+}
+
+// loadCell is one (worker count) measurement of the AddFacts leg.
+type loadCell struct {
+	Workers     int     `json:"workers"`
+	Facts       int     `json:"facts"`
+	Distinct    int     `json:"distinct"`
+	Seconds     float64 `json:"seconds"`
+	FactsPerSec float64 `json:"facts_per_sec"`
+}
+
+// evalCell is one (worker count) measurement of the evaluation anchor.
+type evalCell struct {
+	Workers      int     `json:"workers"`
+	Size         int     `json:"size"`
+	Seconds      float64 `json:"seconds"`
+	OutputTuples int     `json:"output_tuples"`
+}
+
+// doc is the schema-versioned JSON document emitted by -json.
+type doc struct {
+	Schema     string      `json:"schema"`
+	CPUs       int         `json:"cpus"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	GoVersion  string      `json:"go_version"`
+	Seed       int64       `json:"seed"`
+	SrcTuples  int         `json:"src_tuples"`
+	DstTuples  int         `json:"dst_tuples"`
+	Merge      []mergeCell `json:"merge"`
+	Load       []loadCell  `json:"load"`
+	Evaluate   []evalCell  `json:"evaluate"`
+}
+
+const loadProgram = `
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.input edge
+.output path
+path(X, Y) :- edge(X, Y).
+`
+
+func main() {
+	sizeFlag := flag.Int("size", 1_200_000, "source tree size (tuples) for the merge leg")
+	dstFlag := flag.Int("dst", 0, "destination tree size for the merge leg (default size/2)")
+	workersFlag := flag.String("workers", "1,2,8", "comma-separated worker counts")
+	loadFlag := flag.Int("load", 200_000, "fact count for the AddFacts leg")
+	evalFlag := flag.Int("evalsize", 32, "points-to workload scale for the evaluation anchor")
+	repsFlag := flag.Int("reps", 3, "repetitions per cell (best kept)")
+	seedFlag := flag.Int64("seed", 1, "workload generator seed")
+	jsonFlag := flag.Bool("json", false, "emit the specbtree.bench.merge.v1 JSON document")
+	flag.Parse()
+
+	workers, err := bench.ParseIntList(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dstN := *dstFlag
+	if dstN <= 0 {
+		dstN = *sizeFlag / 2
+	}
+
+	d := doc{
+		Schema:     "specbtree.bench.merge.v1",
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Seed:       *seedFlag,
+		SrcTuples:  *sizeFlag,
+		DstTuples:  dstN,
+	}
+
+	d.Merge = mergeLeg(*sizeFlag, dstN, workers, *repsFlag)
+	d.Load = loadLeg(*loadFlag, workers, *repsFlag, *seedFlag)
+	d.Evaluate = evalLeg(*evalFlag, workers, *seedFlag)
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	render(d)
+}
+
+// sortedTuples returns n distinct arity-2 tuples in ascending order:
+// every stride-th point of a dense grid, so merge sources and
+// destinations built with different strides overlap partially.
+func sortedTuples(n int, stride uint64) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		v := uint64(i) * stride
+		out[i] = tuple.Tuple{v >> 10, v & 1023}
+	}
+	return out
+}
+
+// mergeLeg measures ParallelInsertAll for each worker count, rebuilding
+// the destination from the same sorted snapshot every time. The
+// workers=1 cell is the sequential baseline.
+func mergeLeg(srcN, dstN int, workers []int, reps int) []mergeCell {
+	srcTuples := sortedTuples(srcN, 2) // evens
+	dstTuples := sortedTuples(dstN, 3) // multiples of 3: 1/3 overlap
+	src := core.New(2)
+	src.BuildFromSorted(srcTuples)
+
+	var cells []mergeCell
+	var baseline float64
+	for _, w := range workers {
+		var best time.Duration
+		var sum uint64
+		var n int
+		for r := 0; r < reps; r++ {
+			dst := core.New(2)
+			dst.BuildFromSorted(dstTuples)
+			elapsed := bench.Measure(func() { dst.ParallelInsertAll(src, w) })
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+			sum, n = checksum(dst)
+		}
+		c := mergeCell{
+			Workers:      w,
+			Seconds:      best.Seconds(),
+			TuplesPerSec: bench.Throughput(srcN, best),
+			Checksum:     fmt.Sprintf("%016x", sum),
+			Len:          n,
+		}
+		if baseline == 0 {
+			baseline = c.Seconds
+		}
+		if c.Seconds > 0 {
+			c.Speedup = baseline / c.Seconds
+		}
+		cells = append(cells, c)
+	}
+
+	for _, c := range cells[1:] {
+		if c.Checksum != cells[0].Checksum || c.Len != cells[0].Len {
+			fmt.Fprintf(os.Stderr,
+				"benchmerge: merge result differs across worker counts: workers=%d %s/%d vs workers=%d %s/%d\n",
+				c.Workers, c.Checksum, c.Len, cells[0].Workers, cells[0].Checksum, cells[0].Len)
+			os.Exit(1)
+		}
+	}
+	return cells
+}
+
+// checksum walks the tree in scan order and digests every word.
+func checksum(t *core.Tree) (uint64, int) {
+	h := fnv.New64a()
+	var buf [8]byte
+	n := 0
+	t.All(func(tp tuple.Tuple) bool {
+		for _, w := range tp {
+			binary.LittleEndian.PutUint64(buf[:], w)
+			h.Write(buf[:])
+		}
+		n++
+		return true
+	})
+	return h.Sum64(), n
+}
+
+// loadLeg measures Engine.AddFacts for each worker count on a fresh
+// engine; the batch crosses the parallel sharding threshold.
+func loadLeg(facts int, workers []int, reps int, seed int64) []loadCell {
+	edges := workload.RandomGraph(facts/4+2, facts, seed)
+	var cells []loadCell
+	for _, w := range workers {
+		var best time.Duration
+		distinct := 0
+		for r := 0; r < reps; r++ {
+			e, err := datalog.New(datalog.MustParse(loadProgram), datalog.Options{Workers: w})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			elapsed := bench.Measure(func() {
+				if err := e.AddFacts("edge", edges); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			})
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+			distinct = e.Count("edge")
+		}
+		cells = append(cells, loadCell{
+			Workers:     w,
+			Facts:       len(edges),
+			Distinct:    distinct,
+			Seconds:     best.Seconds(),
+			FactsPerSec: bench.Throughput(len(edges), best),
+		})
+	}
+	return cells
+}
+
+// evalLeg runs the points-to workload end to end as a sanity anchor: the
+// parallel merge and load paths must not change the fixpoint.
+func evalLeg(size int, workers []int, seed int64) []evalCell {
+	w := workload.PointsTo(size, seed)
+	var cells []evalCell
+	for _, workersN := range workers {
+		e, err := datalog.New(datalog.MustParse(w.Source), datalog.Options{Workers: workersN})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for rel, facts := range w.Facts {
+			if err := e.AddFacts(rel, facts); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		elapsed := bench.Measure(func() {
+			if err := e.Run(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		})
+		out := 0
+		for _, rel := range w.Outputs {
+			out += e.Count(rel)
+		}
+		cells = append(cells, evalCell{Workers: workersN, Size: size, Seconds: elapsed.Seconds(), OutputTuples: out})
+	}
+	for _, c := range cells[1:] {
+		if c.OutputTuples != cells[0].OutputTuples {
+			fmt.Fprintf(os.Stderr, "benchmerge: evaluation output differs across worker counts: %d vs %d\n",
+				c.OutputTuples, cells[0].OutputTuples)
+			os.Exit(1)
+		}
+	}
+	return cells
+}
+
+func render(d doc) {
+	fmt.Printf("benchmerge: %d cpus, GOMAXPROCS=%d, %s\n\n", d.CPUs, d.GoMaxProcs, d.GoVersion)
+	t := bench.NewTable(
+		fmt.Sprintf("tree merge: %d tuples into %d", d.SrcTuples, d.DstTuples),
+		"workers", "million tuples/s (best), speedup vs sequential")
+	for _, c := range d.Merge {
+		t.SeriesNamed("Mtuples/s").Add(float64(c.Workers), c.TuplesPerSec/1e6)
+		t.SeriesNamed("speedup").Add(float64(c.Workers), c.Speedup)
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("merged contents: %d tuples, checksum %s (identical across worker counts)\n\n",
+		d.Merge[0].Len, d.Merge[0].Checksum)
+
+	t = bench.NewTable(
+		fmt.Sprintf("AddFacts: %d facts (%d distinct)", d.Load[0].Facts, d.Load[0].Distinct),
+		"workers", "million facts/s (best)")
+	for _, c := range d.Load {
+		t.SeriesNamed("Mfacts/s").Add(float64(c.Workers), c.FactsPerSec/1e6)
+	}
+	t.Render(os.Stdout)
+
+	t = bench.NewTable(
+		fmt.Sprintf("points-to evaluation anchor (size %d)", d.Evaluate[0].Size),
+		"workers", "seconds")
+	for _, c := range d.Evaluate {
+		t.SeriesNamed("seconds").Add(float64(c.Workers), c.Seconds)
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("evaluation output: %d tuples (identical across worker counts)\n", d.Evaluate[0].OutputTuples)
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specbtree/internal/tuple"
+)
+
+// boundRaceRound is one writer round of TestBoundContractUnderConcurrentInserts:
+// a fresh tree receiving the ascending integers 0..watermark.
+type boundRaceRound struct {
+	tr        *Tree
+	watermark atomic.Uint64 // highest k whose insert returned
+}
+
+// TestBoundContractUnderConcurrentInserts hammers LowerBound/UpperBound
+// against a concurrent insert stream and asserts the bound contract on
+// every returned cursor. It is the regression test for the
+// load-after-validate race in boundHintCounted: the seed code read the
+// leaf count *after* the lease validation, so an insert landing between
+// the two could hand back a cursor at a count-shifted index.
+//
+// The workload is engineered so every contract check is exact even under
+// full concurrency, with no false positives:
+//
+//   - A single writer inserts the ascending integers 0, 1, 2, ... Each
+//     insert appends at the end of the rightmost leaf (no element ever
+//     shifts), and splits only copy rows into fresh nodes, so every
+//     (node, index) slot is written at most once. A cursor's element
+//     therefore still holds its linearisation-time value whenever the
+//     test reads it.
+//   - Probing v = MaxUint64 must always return an invalid cursor — no
+//     element >= v ever exists. The racy code returns a *valid* cursor
+//     whenever an insert bumps the rightmost leaf's count between the
+//     reader's validation and its count load, which is precisely the bug.
+//     Readers spend their hot loop exclusively on this probe: the race
+//     window is two adjacent loads, so hit probability is proportional to
+//     probe frequency.
+//   - Every 64 rounds of max-probes, readers also check that probing
+//     v <= watermark (the highest value whose insert completed) returns
+//     exactly v for LowerBound and v+1 for UpperBound, since every
+//     integer up to the watermark is present; the in-leaf predecessor of
+//     the result must be < v (<= v for UpperBound). A reader may hold a
+//     tree one round behind the writer; that round is then frozen, so its
+//     watermark contract still holds.
+//
+// Two mechanical details keep the failure probability high on a
+// single-CPU host, where the bug only fires when a reader thread is
+// preempted inside the two-load window:
+//
+//   - The writer works in rounds, restarting on a fresh tree every
+//     roundInserts inserts for a fixed wall-clock budget. Empirically the
+//     race fires almost exclusively while the tree is shallow (two
+//     levels): descents are short, so bound probes are frequent and the
+//     vulnerable window is a fat fraction of each probe. Rounds keep the
+//     tree permanently in that regime instead of letting it grow deep.
+//   - GOMAXPROCS is raised above the goroutine count and a pack of
+//     short-sleep goroutines generates timer wakeups, so the kernel
+//     timeslices reader and writer threads against each other at
+//     arbitrary instructions.
+func TestBoundContractUnderConcurrentInserts(t *testing.T) {
+	subruns, budget := 5, 1600*time.Millisecond
+	if testing.Short() {
+		subruns, budget = 2, 1*time.Second
+	}
+	if prev := runtime.GOMAXPROCS(0); prev < boundRaceReaders+boundRaceSleepers+2 {
+		runtime.GOMAXPROCS(boundRaceReaders + boundRaceSleepers + 2)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	// Scheduling layout (thread creation order, timer phase, GC pacing) is
+	// rolled once per goroutine pack and makes time-to-failure heavy-tailed
+	// across packs; several short sub-runs with fresh packs de-correlate it.
+	for i := 0; i < subruns && !t.Failed(); i++ {
+		boundRaceScenario(t, budget)
+	}
+}
+
+const (
+	boundRaceReaders  = 6
+	boundRaceSleepers = 3 // timer-wakeup preempters
+)
+
+// boundRaceScenario runs one writer/reader pack for the given wall-clock
+// budget. Contract violations are reported through t.Errorf.
+func boundRaceScenario(t *testing.T, budget time.Duration) {
+	const (
+		readers      = boundRaceReaders
+		sleepers     = boundRaceSleepers
+		roundInserts = 90_000 // keeps every round in the shallow-tree regime
+	)
+
+	var done atomic.Bool
+	for i := 0; i < sleepers; i++ {
+		go func() {
+			for !done.Load() {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+	}
+	// Each GC cycle's stop-the-world phases preempt every running thread
+	// at an arbitrary instruction (Go's signal-based async preemption) and
+	// reshuffle the run order afterwards — by far the highest-frequency
+	// source of "reader frozen inside the two-load window while the writer
+	// proceeds" schedules available on one CPU.
+	go func() {
+		for !done.Load() {
+			runtime.GC()
+		}
+	}()
+
+	// fail records a contract violation and releases every goroutine so a
+	// failing run ends as soon as the race fires instead of draining the
+	// remaining budget.
+	fail := func(format string, args ...interface{}) {
+		done.Store(true)
+		t.Errorf(format, args...)
+	}
+
+	var cur atomic.Pointer[boundRaceRound]
+	var rounds []*boundRaceRound // owned by the writer, read after Wait
+	var counts []int
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		deadline := time.Now().Add(budget)
+		for {
+			r := &boundRaceRound{tr: New(1, Options{Capacity: 256})}
+			rounds = append(rounds, r)
+			cur.Store(r)
+			h := NewHints()
+			n := 0
+			expired := false
+			for ; n < roundInserts; n++ {
+				r.tr.InsertHint(tuple.Tuple{uint64(n)}, h)
+				r.watermark.Store(uint64(n))
+				if n%512 == 511 && (done.Load() || time.Now().After(deadline)) {
+					n++
+					expired = true
+					break
+				}
+			}
+			counts = append(counts, n)
+			if expired {
+				return
+			}
+		}
+	}()
+
+	probeMax := tuple.Tuple{math.MaxUint64}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make(tuple.Tuple, 1)
+			pred := make(tuple.Tuple, 1)
+			for !done.Load() {
+				rd := cur.Load()
+				if rd == nil {
+					continue
+				}
+				tr := rd.tr
+				// No element >= MaxUint64 is ever inserted, so both bound
+				// queries must come back invalid, always. This is the probe
+				// that trips the load-after-validate race, so it gets the
+				// tightest loop the test can manage.
+				for i := 0; i < 64; i++ {
+					if c := tr.LowerBound(probeMax); c.Valid() {
+						c.CopyTo(buf)
+						fail("LowerBound(max) returned a cursor at %d; want end", buf[0])
+						return
+					}
+					if c := tr.UpperBound(probeMax); c.Valid() {
+						c.CopyTo(buf)
+						fail("UpperBound(max) returned a cursor at %d; want end", buf[0])
+						return
+					}
+				}
+
+				w := rd.watermark.Load()
+				if w < 16 {
+					continue
+				}
+				v := rng.Uint64() % w // v < w, so v and v+1 are both present
+				probe := tuple.Tuple{v}
+
+				c := tr.LowerBound(probe)
+				if !c.Valid() {
+					fail("LowerBound(%d) invalid with watermark %d", v, w)
+					return
+				}
+				c.CopyTo(buf)
+				if buf[0] != v {
+					fail("LowerBound(%d) = %d; want %d (watermark %d)", v, buf[0], v, w)
+					return
+				}
+				if c.idx > 0 {
+					c.n.loadRow(c.idx-1, 1, pred)
+					if pred[0] >= v {
+						fail("LowerBound(%d): in-leaf predecessor %d >= probe", v, pred[0])
+						return
+					}
+				}
+
+				c = tr.UpperBound(probe)
+				if !c.Valid() {
+					fail("UpperBound(%d) invalid with watermark %d", v, w)
+					return
+				}
+				c.CopyTo(buf)
+				if buf[0] != v+1 {
+					fail("UpperBound(%d) = %d; want %d (watermark %d)", v, buf[0], v+1, w)
+					return
+				}
+				if c.idx > 0 {
+					c.n.loadRow(c.idx-1, 1, pred)
+					if pred[0] > v {
+						fail("UpperBound(%d): in-leaf predecessor %d > probe", v, pred[0])
+						return
+					}
+				}
+			}
+		}(int64(r) + 1)
+	}
+	wg.Wait()
+
+	for i, r := range rounds {
+		if err := r.tr.Check(); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if got := r.tr.Len(); got != counts[i] {
+			t.Fatalf("round %d: Len = %d, want %d", i, got, counts[i])
+		}
+	}
+}

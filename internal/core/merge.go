@@ -1,6 +1,11 @@
 package core
 
-import "specbtree/internal/tuple"
+import (
+	"sync"
+
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
 
 // InsertAll merges every element of src into t — the paper's specialised
 // merge operation ("a specialized merge operation which leverages the
@@ -20,12 +25,89 @@ func (t *Tree) InsertAll(src *Tree) {
 		return
 	}
 	if t.Empty() {
+		obs.Inc(obs.MergeBulkLoads)
 		t.bulkLoad(src)
 		return
 	}
+	obs.Inc(obs.MergeHinted)
+	t.mergeRange(src, nil, nil)
+}
+
+// ParallelInsertAll merges every element of src into t using up to
+// workers goroutines. The source is partitioned into contiguous key
+// ranges with its own SplitPoints machinery, and each range is merged by
+// a dedicated goroutine through a per-worker hint set — exactly the
+// tree's native write-phase mode (concurrent hinted inserts under the
+// optimistic locking scheme), which is what makes a multi-writer merge
+// sound here even though InsertAll is single-writer.
+//
+// Phase discipline: src must be quiescent (no writers) and t must have
+// no other writers or readers that assume single-writer merge; within
+// the call, t takes concurrent inserts. The bulk-load fast path for an
+// empty destination and the hinted sequential path for small inputs are
+// retained; the final contents are the set union either way, so the
+// result is independent of the worker count.
+func (t *Tree) ParallelInsertAll(src *Tree, workers int) {
+	if src.Empty() {
+		return
+	}
+	if t.Empty() {
+		obs.Inc(obs.MergeBulkLoads)
+		t.bulkLoad(src)
+		return
+	}
+	if workers <= 1 {
+		obs.Inc(obs.MergeHinted)
+		t.mergeRange(src, nil, nil)
+		return
+	}
+
+	// Harvest up to workers-1 interior boundaries from src's upper levels;
+	// fewer come back when src is small, shrinking the fan-out to match.
+	bounds := src.SplitPoints(workers)
+	if len(bounds) == 0 {
+		obs.Inc(obs.MergeHinted)
+		t.mergeRange(src, nil, nil)
+		return
+	}
+	starts := make([]tuple.Tuple, 0, len(bounds)+1)
+	ends := make([]tuple.Tuple, 0, len(bounds)+1)
+	starts = append(starts, nil)
+	for _, b := range bounds {
+		ends = append(ends, b)
+		starts = append(starts, b)
+	}
+	ends = append(ends, nil)
+
+	obs.Inc(obs.MergeParallelRuns)
+	obs.Add(obs.MergeParallelWorkers, uint64(len(starts)))
+	var wg sync.WaitGroup
+	for w := range starts {
+		wg.Add(1)
+		go func(from, to tuple.Tuple) {
+			defer wg.Done()
+			t.mergeRange(src, from, to)
+		}(starts[w], ends[w])
+	}
+	wg.Wait()
+}
+
+// mergeRange inserts src's elements in [from, to) into t through a fresh
+// hint set (nil from/to mean the start/end of src). The goroutine owns
+// the hint set, so mergeRange may run concurrently with other mergeRange
+// calls on the same destination.
+func (t *Tree) mergeRange(src *Tree, from, to tuple.Tuple) {
 	h := NewHints()
+	defer h.FlushObs()
 	buf := make(tuple.Tuple, t.arity)
-	for c := src.Begin(); c.Valid(); c.Next() {
+	c := src.Begin()
+	if from != nil {
+		c = src.LowerBound(from)
+	}
+	for ; c.Valid(); c.Next() {
+		if to != nil && c.Compare(to) >= 0 {
+			return
+		}
 		c.CopyTo(buf)
 		t.InsertHint(buf, h)
 	}
@@ -33,15 +115,17 @@ func (t *Tree) InsertAll(src *Tree) {
 
 // bulkLoad builds t (which must be empty) from the elements of src,
 // producing a packed tree: full leaves with single separators between
-// them, level by level.
+// them, level by level. The staging buffer is one flat arena — a single
+// backing array for all rows — so the load allocates per node, not per
+// row.
 func (t *Tree) bulkLoad(src *Tree) {
-	rows := make([][]uint64, 0, 1024)
+	flat := make([]uint64, 0, 1024*t.arity)
+	buf := make(tuple.Tuple, t.arity)
 	for c := src.Begin(); c.Valid(); c.Next() {
-		row := make([]uint64, t.arity)
-		c.CopyTo(tuple.Tuple(row))
-		rows = append(rows, row)
+		c.CopyTo(buf)
+		flat = append(flat, buf...)
 	}
-	t.buildPacked(rows)
+	t.buildPacked(flat)
 }
 
 // BuildFromSorted bulk-loads the tree from a strictly increasing sorted
@@ -52,30 +136,33 @@ func (t *Tree) BuildFromSorted(sorted []tuple.Tuple) {
 	if !t.Empty() {
 		panic("core: BuildFromSorted on non-empty tree")
 	}
-	rows := make([][]uint64, len(sorted))
-	for i, tp := range sorted {
-		row := make([]uint64, t.arity)
-		copy(row, tp)
-		rows[i] = row
+	flat := make([]uint64, 0, len(sorted)*t.arity)
+	for _, tp := range sorted {
+		flat = append(flat, tp...)
 	}
-	t.buildPacked(rows)
+	t.buildPacked(flat)
 }
 
-// buildPacked constructs a packed B-tree from sorted rows and installs it
-// as the tree's root. Single-writer.
-func (t *Tree) buildPacked(rows [][]uint64) {
-	if len(rows) == 0 {
+// buildPacked constructs a packed B-tree from sorted rows — row i is
+// flat[i*arity : (i+1)*arity] — and installs it as the tree's root.
+// Single-writer. Rows are addressed by index into the flat arena
+// throughout, so the build performs no per-row allocation.
+func (t *Tree) buildPacked(flat []uint64) {
+	arity := t.arity
+	nRows := len(flat) / arity
+	if nRows == 0 {
 		return
 	}
+	row := func(i int) []uint64 { return flat[i*arity : (i+1)*arity] }
 	c := t.capacity
 
 	// Leaf level: runs of c elements, with the element between two runs
-	// promoted as a separator.
+	// promoted as a separator (recorded as a row index).
 	var children []*node
-	var seps [][]uint64
+	var seps []int
 	i := 0
-	for i < len(rows) {
-		remaining := len(rows) - i
+	for i < nRows {
+		remaining := nRows - i
 		take := remaining
 		if take > c {
 			take = c
@@ -88,13 +175,13 @@ func (t *Tree) buildPacked(rows [][]uint64) {
 		}
 		leaf := t.newNode(false)
 		for j := 0; j < take; j++ {
-			leaf.storeRow(j, t.arity, rows[i+j])
+			leaf.storeRow(j, arity, row(i+j))
 		}
 		leaf.count.Store(int32(take))
 		children = append(children, leaf)
 		i += take
 		if !last {
-			seps = append(seps, rows[i])
+			seps = append(seps, i)
 			i++
 		}
 	}
@@ -104,7 +191,7 @@ func (t *Tree) buildPacked(rows [][]uint64) {
 	// Invariant per level: len(seps) == len(children)-1.
 	for len(children) > 1 {
 		var parents []*node
-		var upSeps [][]uint64
+		var upSeps []int
 		ci, si := 0, 0
 		for ci < len(children) {
 			remainingChildren := len(children) - ci
@@ -118,7 +205,7 @@ func (t *Tree) buildPacked(rows [][]uint64) {
 			}
 			inner := t.newNode(true)
 			for j := 0; j < s; j++ {
-				inner.storeRow(j, t.arity, seps[si+j])
+				inner.storeRow(j, arity, row(seps[si+j]))
 			}
 			for j := 0; j <= s; j++ {
 				ch := children[ci+j]

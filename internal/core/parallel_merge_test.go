@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// TestParallelInsertAllDeterministic: the merged contents must be
+// byte-identical regardless of the worker count — the merge is a set
+// union, so partition geometry must not leak into the result.
+func TestParallelInsertAllDeterministic(t *testing.T) {
+	const (
+		srcN  = 30_000
+		baseN = 20_000
+	)
+	src := New(2, Options{Capacity: 16})
+	for _, tp := range randTuples(srcN, 2, 400, 7) {
+		src.Insert(tp)
+	}
+	base := randTuples(baseN, 2, 400, 11)
+
+	build := func(workers int) *Tree {
+		dst := New(2, Options{Capacity: 16})
+		for _, tp := range base {
+			dst.Insert(tp)
+		}
+		dst.ParallelInsertAll(src, workers)
+		if err := dst.Check(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return dst
+	}
+
+	want := collect(build(1))
+	for _, workers := range []int{2, 8} {
+		got := collect(build(workers))
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d elements, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if !tuple.Equal(got[i], want[i]) {
+				t.Fatalf("workers=%d element %d: %v != %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelInsertAllEdgeCases covers the fast paths: empty source,
+// empty destination (bulk load), tiny source (no split points), and
+// worker counts exceeding the source size.
+func TestParallelInsertAllEdgeCases(t *testing.T) {
+	// Empty source: no-op.
+	dst := New(1)
+	dst.Insert(tuple.Tuple{1})
+	dst.ParallelInsertAll(New(1), 8)
+	if dst.Len() != 1 {
+		t.Fatalf("empty-source merge changed destination: Len = %d", dst.Len())
+	}
+
+	// Empty destination: bulk-load fast path, any worker count.
+	src := New(1, Options{Capacity: 4})
+	for i := 0; i < 500; i++ {
+		src.Insert(tuple.Tuple{uint64(i)})
+	}
+	dst = New(1, Options{Capacity: 4})
+	dst.ParallelInsertAll(src, 8)
+	if err := dst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 500 {
+		t.Fatalf("bulk path Len = %d, want 500", dst.Len())
+	}
+
+	// Tiny source into a non-empty destination with more workers than
+	// elements: falls back to the sequential hinted path.
+	tiny := New(1)
+	tiny.Insert(tuple.Tuple{1000})
+	tiny.Insert(tuple.Tuple{1001})
+	dst.ParallelInsertAll(tiny, 64)
+	if err := dst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 502 {
+		t.Fatalf("tiny merge Len = %d, want 502", dst.Len())
+	}
+}
+
+// TestBuildPackedAllocs pins the allocation profile of the bulk-load
+// path: rows live in one flat arena addressed by index, so the build
+// allocates per node, not per row. The pre-arena code allocated one
+// []uint64 per row (>= n allocations); the budget below is far under n
+// and fails if per-row allocation creeps back in.
+func TestBuildPackedAllocs(t *testing.T) {
+	const n = 4096
+	sorted := make([]tuple.Tuple, n)
+	for i := range sorted {
+		sorted[i] = tuple.Tuple{uint64(i), uint64(i)}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		tr := New(2, Options{Capacity: 16})
+		tr.BuildFromSorted(sorted)
+	})
+	// ~2-3 allocations per node (struct + key arena + child array), ~300
+	// nodes at capacity 16 — leave headroom, but stay well under one
+	// allocation per row.
+	if allocs > n/2 {
+		t.Fatalf("BuildFromSorted(%d rows) did %.0f allocations; want < %d (no per-row allocation)", n, allocs, n/2)
+	}
+}

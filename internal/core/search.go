@@ -260,11 +260,19 @@ restart:
 		for {
 			idx := cur.searchBound(t.arity, v, strict)
 			if !cur.inner {
+				// Capture the leaf count BEFORE validating the lease
+				// (mirroring boundFromHint): every word that contributes to
+				// the returned cursor must be covered by the validation. A
+				// count loaded after a successful valid() could already
+				// reflect a racing insert that shifted elements, yielding a
+				// cursor at idx whose element no longer satisfies the bound
+				// contract.
+				cnt := int(cur.count.Load())
 				if !valid(&cur.lock, curLease, oc) {
 					continue restart
 				}
 				var res Cursor
-				if idx < int(cur.count.Load()) {
+				if idx < cnt {
 					res = Cursor{t: t, n: cur, idx: idx}
 				} else {
 					res = candidate

@@ -1,0 +1,118 @@
+package datalog
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"specbtree/internal/relation"
+	"specbtree/internal/tuple"
+)
+
+// TestAddFactsParallelEquivalence loads the same fact batch — large
+// enough to cross the parallel sharding threshold and containing
+// duplicates — through engines with 1 and 8 workers and checks the
+// loaded relation, the freshness accounting and the evaluation result
+// are identical. Covers both a thread-safe provider (parallel shard
+// path) and a sequential one (global-lock fallback path).
+func TestAddFactsParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 3 * parallelFactsThreshold
+	facts := make([]tuple.Tuple, n)
+	for i := range facts {
+		facts[i] = tuple.Tuple{uint64(rng.Intn(200)), uint64(rng.Intn(200))}
+	}
+	distinct := map[[2]uint64]bool{}
+	for _, f := range facts {
+		distinct[[2]uint64{f[0], f[1]}] = true
+	}
+
+	for _, provider := range []string{"btree", "gbtree"} {
+		var want []tuple.Tuple
+		var wantPaths int
+		for _, workers := range []int{1, 8} {
+			e, err := New(MustParse(tcProgram), Options{
+				Provider: relation.MustLookup(provider),
+				Workers:  workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AddFacts("edge", facts); err != nil {
+				t.Fatal(err)
+			}
+			if got := e.Count("edge"); got != len(distinct) {
+				t.Fatalf("%s workers=%d: Count(edge) = %d, want %d", provider, workers, got, len(distinct))
+			}
+			var got []tuple.Tuple
+			if err := e.Scan("edge", func(tp tuple.Tuple) bool {
+				got = append(got, tp.Clone())
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(got, func(i, j int) bool { return tuple.Less(got[i], got[j]) })
+			if want == nil {
+				want = got
+			} else {
+				if len(got) != len(want) {
+					t.Fatalf("%s workers=%d: scan %d tuples, want %d", provider, workers, len(got), len(want))
+				}
+				for i := range want {
+					if !tuple.Equal(got[i], want[i]) {
+						t.Fatalf("%s workers=%d element %d: %v != %v", provider, workers, i, got[i], want[i])
+					}
+				}
+			}
+
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			st := e.Stats()
+			if st.InputTuples != uint64(len(distinct)) {
+				t.Fatalf("%s workers=%d: InputTuples = %d, want %d (duplicates must not double-count)",
+					provider, workers, st.InputTuples, len(distinct))
+			}
+			paths := e.Count("path")
+			if wantPaths == 0 {
+				wantPaths = paths
+			} else if paths != wantPaths {
+				t.Fatalf("%s workers=%d: Count(path) = %d, want %d", provider, workers, paths, wantPaths)
+			}
+		}
+	}
+}
+
+// TestAddFactsValidation: batch loading must reject unknown relations
+// and arity mismatches anywhere in the batch before inserting anything,
+// and refuse new facts once evaluation has run.
+func TestAddFactsValidation(t *testing.T) {
+	e, err := New(MustParse(tcProgram), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFacts("nonesuch", []tuple.Tuple{{1, 2}}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	bad := make([]tuple.Tuple, parallelFactsThreshold+10)
+	for i := range bad {
+		bad[i] = tuple.Tuple{uint64(i), uint64(i)}
+	}
+	bad[len(bad)-1] = tuple.Tuple{1} // arity mismatch at the tail
+	if err := e.AddFacts("edge", bad); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if got := e.Count("edge"); got != 0 {
+		t.Errorf("failed batch inserted %d tuples; validation must precede insertion", got)
+	}
+
+	if err := e.AddFacts("edge", []tuple.Tuple{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFacts("edge", []tuple.Tuple{{2, 3}}); err == nil {
+		t.Error("AddFacts after Run accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"specbtree/internal/core"
@@ -234,8 +235,10 @@ func New(prog *Program, opts Options) (*Engine, error) {
 		e.workerState[i] = &workerState{ops: map[relation.Relation]relation.Ops{}}
 	}
 
-	// Load inline facts.
+	// Load inline facts. Both scratch buffers are hoisted out of the loop;
+	// insertFact itself allocates nothing.
 	buf := make(tuple.Tuple, 8)
+	perm := make(tuple.Tuple, 8)
 	for _, r := range prog.Rules {
 		if len(r.Body) != 0 {
 			continue
@@ -252,7 +255,10 @@ func New(prog *Program, opts Options) (*Engine, error) {
 				return nil, fmt.Errorf("datalog: line %d: non-ground fact %s", r.Line, r.Head)
 			}
 		}
-		e.insertFact(rel, t)
+		for len(perm) < rel.arity {
+			perm = append(perm, 0)
+		}
+		e.insertFact(e.workerState[0], rel, t, perm[:rel.arity])
 	}
 	return e, nil
 }
@@ -263,10 +269,10 @@ func (e *Engine) Symbols() *SymbolTable { return e.syms }
 // Workers returns the configured worker count.
 func (e *Engine) Workers() int { return e.workers }
 
-// insertFact inserts t into all full indexes of rel.
-func (e *Engine) insertFact(rel *engRel, t tuple.Tuple) bool {
-	w := e.workerState[0]
-	perm := make(tuple.Tuple, rel.arity)
+// insertFact inserts t into all full indexes of rel on the given worker,
+// using the caller's scratch buffer (len >= rel.arity) for the permuted
+// rows so batch loading allocates nothing per fact.
+func (e *Engine) insertFact(w *workerState, rel *engRel, t, perm tuple.Tuple) bool {
 	rel.permute(0, t, perm)
 	w.inserts++
 	fresh := w.opsFor(rel.full[0]).Insert(perm)
@@ -294,18 +300,84 @@ func (e *Engine) AddFact(name string, t tuple.Tuple) error {
 	if e.ran {
 		return fmt.Errorf("datalog: AddFact after Run")
 	}
-	if e.insertFact(rel, t) {
+	perm := make(tuple.Tuple, rel.arity)
+	if e.insertFact(e.workerState[0], rel, t, perm) {
 		e.inputTuples++
 	}
 	return nil
 }
 
-// AddFacts loads a batch of input facts.
+// parallelFactsThreshold is the batch size below which AddFacts stays on
+// one goroutine: sharding a few hundred facts costs more in goroutine
+// start-up and hint-set cache misses than the inserts themselves.
+const parallelFactsThreshold = 2048
+
+// AddFacts loads a batch of input facts. The relation lookup, the
+// run-state check and the arity validation happen once per batch, and
+// for natively concurrent providers the inserts are sharded across the
+// engine's workers, each with its own Ops handle (hint set) — the same
+// per-worker discipline the evaluation phase uses. Sequential providers
+// keep the single-goroutine path; their adapters would serialise the
+// inserts on a global lock anyway.
 func (e *Engine) AddFacts(name string, ts []tuple.Tuple) error {
+	rel, ok := e.rels[name]
+	if !ok {
+		return fmt.Errorf("datalog: unknown relation %q", name)
+	}
+	if e.ran {
+		return fmt.Errorf("datalog: AddFact after Run")
+	}
 	for _, t := range ts {
-		if err := e.AddFact(name, t); err != nil {
-			return err
+		if len(t) != rel.arity {
+			return fmt.Errorf("datalog: relation %q has arity %d, fact has %d", name, rel.arity, len(t))
 		}
+	}
+
+	workers := e.workers
+	if workers > len(ts)/parallelFactsThreshold+1 {
+		workers = len(ts)/parallelFactsThreshold + 1
+	}
+	if workers <= 1 || !e.provider.ThreadSafe {
+		w := e.workerState[0]
+		perm := make(tuple.Tuple, rel.arity)
+		for _, t := range ts {
+			if e.insertFact(w, rel, t, perm) {
+				e.inputTuples++
+			}
+		}
+		return nil
+	}
+
+	// Sharded load: worker w takes the contiguous chunk [lo, hi). Distinct
+	// workers may race on duplicate tuples; the backend's insert reports
+	// freshness exactly once per distinct tuple, so summing per-worker
+	// fresh counts stays exact.
+	fresh := make([]uint64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(ts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, part []tuple.Tuple) {
+			defer wg.Done()
+			ws := e.workerState[w]
+			perm := make(tuple.Tuple, rel.arity)
+			for _, t := range part {
+				if e.insertFact(ws, rel, t, perm) {
+					fresh[w]++
+				}
+			}
+		}(w, ts[lo:hi])
+	}
+	wg.Wait()
+	for _, f := range fresh {
+		e.inputTuples += f
 	}
 	return nil
 }
@@ -371,15 +443,22 @@ func (e *Engine) runStratum(si int) {
 	}
 
 	// Initialise deltas with a snapshot of everything known so far for the
-	// stratum's predicates, and fresh "new" versions.
+	// stratum's predicates, and fresh "new" versions. The snapshots are
+	// independent (one destination per index), so they fan out across the
+	// worker pool; each lands on the backend's bulk-load fast path because
+	// the fresh delta is empty.
+	var jobs []mergeJob
 	for _, pred := range st.Preds {
 		r := e.rels[pred]
 		for i := range r.indexes {
 			r.delta[i] = e.provider.New(r.arity)
-			r.delta[i].MergeFrom(r.full[i])
 			r.nw[i] = e.provider.New(r.arity)
+			if !r.full[i].Empty() {
+				jobs = append(jobs, mergeJob{dst: r.delta[i], src: r.full[i]})
+			}
 		}
 	}
+	e.runMergeJobs(jobs)
 
 	// Fixpoint loop (Figure 1's while-loop).
 	for round := 1; ; round++ {
@@ -399,10 +478,14 @@ func (e *Engine) runStratum(si int) {
 			obs.Observe(obs.HistRuleNanos, uint64(d))
 		}
 
-		// Merge new tuples into full, promote them to delta, and check
-		// for the fixpoint (the sequential step between parallel phases).
+		// Merge new tuples into full, promote them to delta, and check for
+		// the fixpoint. This used to be the engine's sequential step between
+		// parallel phases; it is now fanned out across indexes × partitions
+		// (runMergeJobs), which is sound because each destination index is a
+		// distinct relation and a single merge per destination is in flight.
 		progress := false
 		var promoted uint64
+		jobs = jobs[:0]
 		for _, pred := range st.Preds {
 			r := e.rels[pred]
 			if !r.nw[0].Empty() {
@@ -412,11 +495,15 @@ func (e *Engine) runStratum(si int) {
 				promoted += uint64(r.nw[0].Len())
 			}
 			for i := range r.indexes {
-				r.full[i].MergeFrom(r.nw[i])
-				r.delta[i] = r.nw[i]
+				nw := r.nw[i]
+				if !nw.Empty() {
+					jobs = append(jobs, mergeJob{dst: r.full[i], src: nw})
+				}
+				r.delta[i] = nw
 				r.nw[i] = e.provider.New(r.arity)
 			}
 		}
+		e.runMergeJobs(jobs)
 		if obs.Enabled {
 			obs.Add(obs.EngineDeltaTuples, promoted)
 			dur := time.Since(roundStart)
@@ -439,6 +526,67 @@ func (e *Engine) runStratum(si int) {
 		for i := range r.indexes {
 			r.delta[i], r.nw[i] = nil, nil
 		}
+	}
+}
+
+// mergeJob is one unit of the engine's bulk data movement: merge the
+// tuples of src into dst. Jobs in one batch have pairwise distinct
+// destinations, so they may run concurrently under every provider's
+// merge contract.
+type mergeJob struct {
+	dst, src relation.Relation
+}
+
+// runMergeJobs executes a batch of merge jobs across the worker pool.
+// Two layers of parallelism: independent jobs (one per destination
+// index) run concurrently, and when there are fewer jobs than workers
+// the surplus is handed to each job as its intra-merge worker budget —
+// relation.MergeInto partitions the source for backends that support it
+// (indexes × partitions). One HistMergeNanos sample covers the whole
+// phase; per-job counts land in EngineMergeJobs.
+func (e *Engine) runMergeJobs(jobs []mergeJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	var start time.Time
+	if obs.Enabled {
+		start = time.Now()
+	}
+	obs.Add(obs.EngineMergeJobs, uint64(len(jobs)))
+	if e.workers <= 1 {
+		for _, j := range jobs {
+			j.dst.MergeFrom(j.src)
+		}
+		if obs.Enabled {
+			obs.Observe(obs.HistMergeNanos, uint64(time.Since(start)))
+		}
+		return
+	}
+
+	obs.Inc(obs.EngineParallelMerges)
+	pool := e.workers
+	if pool > len(jobs) {
+		pool = len(jobs)
+	}
+	inner := e.workers / pool // per-job worker budget, >= 1
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				relation.MergeInto(jobs[i].dst, jobs[i].src, inner)
+			}
+		}()
+	}
+	wg.Wait()
+	if obs.Enabled {
+		obs.Observe(obs.HistMergeNanos, uint64(time.Since(start)))
 	}
 }
 

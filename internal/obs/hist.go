@@ -67,6 +67,11 @@ const (
 	// HistRuleNanos records the wall-clock duration of each rule-version
 	// evaluation ("hist.datalog.rule.ns").
 	HistRuleNanos
+	// HistMergeNanos records the wall-clock duration of each engine merge
+	// phase — one sample per round-end full<-new merge and per delta
+	// snapshot initialisation, covering all of the phase's jobs
+	// ("hist.datalog.merge.ns").
+	HistMergeNanos
 
 	// NumHistograms is the number of registered histograms; valid
 	// Histogram values are [0, NumHistograms).
@@ -94,6 +99,7 @@ var histogramNames = [NumHistograms]string{
 	HistWriteWaitNanos: "hist.optlock.write.wait.ns",
 	HistRoundNanos:     "hist.datalog.round.ns",
 	HistRuleNanos:      "hist.datalog.rule.ns",
+	HistMergeNanos:     "hist.datalog.merge.ns",
 }
 
 // histogramUnits maps every Histogram to the unit of its recorded values.
@@ -106,6 +112,7 @@ var histogramUnits = [NumHistograms]string{
 	HistWriteWaitNanos: "ns",
 	HistRoundNanos:     "ns",
 	HistRuleNanos:      "ns",
+	HistMergeNanos:     "ns",
 }
 
 // Name returns the histogram's stable published name, the key used in

@@ -139,6 +139,28 @@ const (
 	// EngineDeltaTuples counts tuples promoted into delta relations, i.e.
 	// the summed per-round delta sizes ("datalog.delta_tuples").
 	EngineDeltaTuples
+	// MergeBulkLoads counts tree merges served by the packed bulk-load
+	// fast path, taken when the destination is empty
+	// ("core.merge.bulk_loads").
+	MergeBulkLoads
+	// MergeHinted counts tree merges performed by a single hinted insert
+	// stream into a non-empty destination ("core.merge.hinted").
+	MergeHinted
+	// MergeParallelRuns counts parallel tree merges: ParallelInsertAll
+	// calls that actually fanned out over partitioned source ranges
+	// ("core.merge.parallel_runs").
+	MergeParallelRuns
+	// MergeParallelWorkers counts the merge worker goroutines launched
+	// across all parallel tree merges ("core.merge.parallel_workers").
+	MergeParallelWorkers
+	// EngineMergeJobs counts relation merge jobs (one per destination
+	// index with a non-empty source) executed by the engine's
+	// data-movement spine, for both the round-end full<-new merges and the
+	// delta snapshot initialisation ("datalog.merge.jobs").
+	EngineMergeJobs
+	// EngineParallelMerges counts engine merge phases that dispatched
+	// their jobs across multiple goroutines ("datalog.merge.parallel").
+	EngineParallelMerges
 
 	// NumCounters is the number of registered counters; valid Counter
 	// values are [0, NumCounters).
@@ -168,6 +190,12 @@ var counterNames = [NumCounters]string{
 	EngineRounds:               "datalog.rounds",
 	EngineRuleEvals:            "datalog.rule_evals",
 	EngineDeltaTuples:          "datalog.delta_tuples",
+	MergeBulkLoads:             "core.merge.bulk_loads",
+	MergeHinted:                "core.merge.hinted",
+	MergeParallelRuns:          "core.merge.parallel_runs",
+	MergeParallelWorkers:       "core.merge.parallel_workers",
+	EngineMergeJobs:            "datalog.merge.jobs",
+	EngineParallelMerges:       "datalog.merge.parallel",
 }
 
 // Name returns the counter's stable published name, the key used in the

@@ -89,6 +89,19 @@ func (r *btreeRel) MergeFrom(src Relation) {
 	genericMerge(r, src)
 }
 
+// ParallelMergeFrom implements ParallelMerger natively: the source tree
+// is partitioned into contiguous key ranges and each range is merged by
+// its own goroutine with a per-worker hint set — the tree's write-phase
+// mode, so no extra synchronisation is needed. A non-btree source falls
+// back to the sequential merge.
+func (r *btreeRel) ParallelMergeFrom(src Relation, workers int) {
+	if o, ok := src.(*btreeRel); ok {
+		r.t.ParallelInsertAll(o.t, workers)
+		return
+	}
+	r.MergeFrom(src)
+}
+
 type btreeOps struct {
 	t *core.Tree
 	h *core.Hints // nil in the no-hints configuration
@@ -305,3 +318,46 @@ func (r *chashRel) PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool) 
 
 func (r *chashRel) Scan(yield func(tuple.Tuple) bool) { r.s.Scan(yield) }
 func (r *chashRel) MergeFrom(src Relation)            { genericMerge(r, src) }
+
+// ParallelMergeFrom implements ParallelMerger for the concurrent hash
+// set: the source scan is materialised into one flat buffer and chunked
+// across workers, whose inserts are natively thread safe. Unlike the
+// B-tree's range partitioning this pays one materialisation pass — the
+// hash set has no key-space geometry to split.
+func (r *chashRel) ParallelMergeFrom(src Relation, workers int) {
+	arity := r.s.Arity()
+	var flat []uint64
+	src.Scan(func(t tuple.Tuple) bool {
+		flat = append(flat, t...)
+		return true
+	})
+	n := len(flat) / arity
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for off := 0; off < len(flat); off += arity {
+			r.s.Insert(flat[off : off+arity])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []uint64) {
+			defer wg.Done()
+			for off := 0; off < len(part); off += arity {
+				r.s.Insert(part[off : off+arity])
+			}
+		}(flat[lo*arity : hi*arity])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// TestMergeIntoAllProviders checks the MergeInto contract for every
+// registered provider: for any worker count the destination ends up
+// holding exactly the set union, whether the provider dispatches to a
+// native parallel merge or degrades to the sequential MergeFrom.
+func TestMergeIntoAllProviders(t *testing.T) {
+	mk := func(seed int64, n int) []tuple.Tuple {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]tuple.Tuple, n)
+		for i := range out {
+			out[i] = tuple.Tuple{uint64(rng.Intn(300)), uint64(rng.Intn(300))}
+		}
+		return out
+	}
+	dstTuples := mk(3, 5000)
+	srcTuples := mk(4, 9000)
+	union := map[[2]uint64]bool{}
+	for _, tp := range dstTuples {
+		union[[2]uint64{tp[0], tp[1]}] = true
+	}
+	for _, tp := range srcTuples {
+		union[[2]uint64{tp[0], tp[1]}] = true
+	}
+
+	for _, name := range Names() {
+		p := MustLookup(name)
+		for _, workers := range []int{1, 2, 8} {
+			dst := p.New(2)
+			ops := dst.NewOps()
+			for _, tp := range dstTuples {
+				ops.Insert(tp)
+			}
+			src := p.New(2)
+			ops = src.NewOps()
+			for _, tp := range srcTuples {
+				ops.Insert(tp)
+			}
+
+			MergeInto(dst, src, workers)
+
+			if dst.Len() != len(union) {
+				t.Fatalf("%s workers=%d: Len = %d, want %d", name, workers, dst.Len(), len(union))
+			}
+			seen := map[[2]uint64]int{}
+			dst.Scan(func(tp tuple.Tuple) bool {
+				seen[[2]uint64{tp[0], tp[1]}]++
+				return true
+			})
+			for k := range union {
+				if seen[k] != 1 {
+					t.Fatalf("%s workers=%d: %v seen %d times", name, workers, k, seen[k])
+				}
+			}
+			if len(seen) != len(union) {
+				t.Fatalf("%s workers=%d: scan saw %d distinct, want %d", name, workers, len(seen), len(union))
+			}
+			// src must be untouched.
+			if src.Len() != func() int {
+				s := map[[2]uint64]bool{}
+				for _, tp := range srcTuples {
+					s[[2]uint64{tp[0], tp[1]}] = true
+				}
+				return len(s)
+			}() {
+				t.Fatalf("%s workers=%d: source mutated", name, workers)
+			}
+		}
+	}
+}
+
+// TestMergeIntoCrossProvider merges a btree source into a tbbhash
+// destination and vice versa: ParallelMergeFrom implementations must
+// handle foreign sources (falling back to a scan) without losing tuples.
+func TestMergeIntoCrossProvider(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tuples := make([]tuple.Tuple, 6000)
+	union := map[[2]uint64]bool{}
+	for i := range tuples {
+		tuples[i] = tuple.Tuple{uint64(rng.Intn(250)), uint64(rng.Intn(250))}
+		union[[2]uint64{tuples[i][0], tuples[i][1]}] = true
+	}
+
+	pairs := [][2]string{{"btree", "tbbhash"}, {"tbbhash", "btree"}}
+	for _, pair := range pairs {
+		dst := MustLookup(pair[0]).New(2)
+		src := MustLookup(pair[1]).New(2)
+		ops := src.NewOps()
+		for _, tp := range tuples {
+			ops.Insert(tp)
+		}
+		MergeInto(dst, src, 4)
+		if dst.Len() != len(union) {
+			t.Fatalf("%s <- %s: Len = %d, want %d", pair[0], pair[1], dst.Len(), len(union))
+		}
+	}
+}
+
+// TestMergeIntoOrderedDeterministic: for ordered destinations the merged
+// scan order must be identical across worker counts.
+func TestMergeIntoOrderedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	dstTuples := make([]tuple.Tuple, 4000)
+	for i := range dstTuples {
+		dstTuples[i] = tuple.Tuple{uint64(rng.Intn(500)), uint64(rng.Intn(500))}
+	}
+	srcTuples := make([]tuple.Tuple, 8000)
+	for i := range srcTuples {
+		srcTuples[i] = tuple.Tuple{uint64(rng.Intn(500)), uint64(rng.Intn(500))}
+	}
+
+	for _, name := range Names() {
+		p := MustLookup(name)
+		if !p.Ordered {
+			continue
+		}
+		var want []tuple.Tuple
+		for _, workers := range []int{1, 2, 8} {
+			dst := p.New(2)
+			ops := dst.NewOps()
+			for _, tp := range dstTuples {
+				ops.Insert(tp)
+			}
+			src := p.New(2)
+			ops = src.NewOps()
+			for _, tp := range srcTuples {
+				ops.Insert(tp)
+			}
+			MergeInto(dst, src, workers)
+
+			var got []tuple.Tuple
+			dst.Scan(func(tp tuple.Tuple) bool {
+				got = append(got, tp.Clone())
+				return true
+			})
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return tuple.Less(got[i], got[j]) }) {
+				t.Fatalf("%s workers=%d: scan out of order", name, workers)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d tuples, want %d", name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if !tuple.Equal(got[i], want[i]) {
+					t.Fatalf("%s workers=%d element %d: %v != %v", name, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -57,6 +57,38 @@ type Ops interface {
 	PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool)
 }
 
+// ParallelMerger is implemented by relations whose merge can fan the
+// work out across goroutines. The concurrency contract matches
+// MergeFrom's slot in the evaluation's phase discipline: exactly one
+// merge is in flight on the destination and src is quiescent, but within
+// the call the implementation may mutate the destination from several
+// goroutines at once (sound for natively concurrent backends, which is
+// why only those implement the interface — sequential baselines keep the
+// plain MergeFrom contract and are dispatched through it by MergeInto).
+type ParallelMerger interface {
+	// ParallelMergeFrom inserts every tuple of src into the relation using
+	// up to workers goroutines. workers <= 1 must behave like MergeFrom.
+	ParallelMergeFrom(src Relation, workers int)
+}
+
+// MergeInto merges src into dst with up to workers goroutines when dst
+// supports parallel merging, and falls back to the sequential
+// single-writer MergeFrom otherwise. It is the engine's single entry
+// point for bulk data movement between relation versions, so the
+// fallback matrix lives in one place: btree partitions the source key
+// range natively, tbbhash chunks a materialised scan, and every
+// lock-adapted sequential baseline degrades to its global-lock
+// MergeFrom.
+func MergeInto(dst, src Relation, workers int) {
+	if workers > 1 {
+		if pm, ok := dst.(ParallelMerger); ok {
+			pm.ParallelMergeFrom(src, workers)
+			return
+		}
+	}
+	dst.MergeFrom(src)
+}
+
 // HintReporter is implemented by Ops whose backend collects hint
 // statistics.
 type HintReporter interface {
