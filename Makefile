@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check-docs test obsoff race bench bench-smoke bench-json figures examples clean
+.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json figures examples clean
 
-all: build lint test obsoff race check-docs bench-smoke
+all: build lint test obsoff race check-harness check-docs bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,14 @@ obsoff:
 vet:
 	$(GO) vet ./...
 
-# lint fails on unformatted files or vet findings.
+# lint fails on unformatted files, vet findings, or load-after-validate
+# ordering bugs in the tree's optimistic read paths (scripts/checkorder,
+# the PR 3 lesson — see DESIGN.md §10).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./scripts/checkorder ./internal/core
 
 # check-docs enforces doc comments on the public surface and keeps the
 # DESIGN.md §9 counter table in sync with internal/obs.
@@ -40,7 +43,17 @@ test:
 # parallel data-movement spine, the observability registries and the
 # debug server that reads them while workers run.
 race:
-	$(GO) test -race ./internal/optlock ./internal/core ./internal/relation ./internal/datalog ./internal/obs ./internal/obshttp
+	$(GO) test -race ./internal/optlock ./internal/core ./internal/relation ./internal/datalog ./internal/obs ./internal/obshttp ./internal/check
+
+# check-harness runs the concurrent-correctness harness (DESIGN.md §10)
+# in short mode under the race detector, in both build flavours: the
+# differential oracle against every provider, and — under the lockinject
+# tag — the fault-injection suite, including the deterministic
+# reproduction of the PR 3 load-after-validate race against the
+# preserved pre-fix bound path.
+check-harness:
+	$(GO) test -short -race ./internal/check
+	$(GO) test -short -race -tags lockinject ./internal/check ./internal/optlock
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,377 @@
+//go:build lockinject
+
+package check
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"specbtree/internal/core"
+	"specbtree/internal/obs"
+	"specbtree/internal/optlock"
+	"specbtree/internal/tuple"
+)
+
+// These tests only exist under the lockinject build tag: they install
+// fault injectors into the optimistic lock (optlock.SetInjector) to force
+// the tree's retry/abort/restart machinery deterministically, and they
+// exercise the known-broken pre-PR 3 bound path (core.LowerBoundRacy)
+// that only that build flavour compiles. Run them with
+//
+//	go test -race -tags lockinject ./internal/check ./internal/optlock
+//
+// (the Makefile's check-harness target does exactly that).
+
+// TestInjectedValidationFailuresDriveRestarts forces every 7th lease
+// validation to fail and asserts (a) reads stay correct — the restart
+// loop retries until a clean descent — and (b) the restart machinery is
+// visible through the obs counters.
+func TestInjectedValidationFailuresDriveRestarts(t *testing.T) {
+	tr := core.New(1)
+	for k := uint64(0); k < 300; k += 2 {
+		tr.Insert(tuple.Tuple{k})
+	}
+	var calls atomic.Uint64
+	optlock.SetInjector(func(l *optlock.Lock, s optlock.Site) optlock.Action {
+		if s == optlock.SiteValidate && calls.Add(1)%7 == 0 {
+			return optlock.ActFail
+		}
+		return optlock.ActNone
+	})
+	defer optlock.ClearInjector()
+
+	beforeFail := obs.Value(obs.LockReadValidationFailures)
+	beforeRestart := obs.Value(obs.TreeRestarts)
+	for k := uint64(0); k < 300; k++ {
+		want := k%2 == 0
+		if got := tr.Contains(tuple.Tuple{k}); got != want {
+			t.Fatalf("Contains(%d) = %v under injected validation failures, want %v", k, got, want)
+		}
+	}
+	if calls.Load() == 0 {
+		t.Fatal("injector never fired")
+	}
+	if obs.Enabled {
+		if d := obs.Value(obs.LockReadValidationFailures) - beforeFail; d == 0 {
+			t.Errorf("no validation failures recorded despite injection")
+		}
+		if d := obs.Value(obs.TreeRestarts) - beforeRestart; d == 0 {
+			t.Errorf("no restarts recorded despite injected validation failures")
+		}
+	}
+}
+
+// TestInjectedUpgradeFailures forces a fraction of read-lease upgrades to
+// lose their CAS, driving the insert path through its upgrade-failure
+// fallback, and asserts the inserts land exactly once anyway.
+func TestInjectedUpgradeFailures(t *testing.T) {
+	tr := core.New(1)
+	var calls atomic.Uint64
+	optlock.SetInjector(func(l *optlock.Lock, s optlock.Site) optlock.Action {
+		if s == optlock.SiteUpgrade && calls.Add(1)%3 == 0 {
+			return optlock.ActFail
+		}
+		return optlock.ActNone
+	})
+	defer optlock.ClearInjector()
+
+	before := obs.Value(obs.LockUpgradeFailures)
+	fresh := 0
+	for k := uint64(0); k < 200; k++ {
+		if tr.Insert(tuple.Tuple{k % 100}) {
+			fresh++
+		}
+	}
+	if fresh != 100 || tr.Len() != 100 {
+		t.Fatalf("fresh=%d len=%d under injected upgrade failures, want 100/100", fresh, tr.Len())
+	}
+	for k := uint64(0); k < 100; k++ {
+		if !tr.Contains(tuple.Tuple{k}) {
+			t.Fatalf("key %d lost under injected upgrade failures", k)
+		}
+	}
+	if obs.Enabled {
+		if d := obs.Value(obs.LockUpgradeFailures) - before; d == 0 {
+			t.Errorf("no upgrade failures recorded despite injection")
+		}
+	}
+}
+
+// TestInjectedDelayedPublication stretches every writer's
+// version-publication window (SiteEndWrite fires while the lock is still
+// odd) with scheduler yields, while concurrent readers probe. Readers
+// must never observe keys that were never inserted and must see every
+// key once the writer is done.
+func TestInjectedDelayedPublication(t *testing.T) {
+	tr := core.New(1)
+	var endWrites atomic.Uint64
+	optlock.SetInjector(func(l *optlock.Lock, s optlock.Site) optlock.Action {
+		if s == optlock.SiteEndWrite {
+			endWrites.Add(1)
+			for i := 0; i < 3; i++ {
+				runtime.Gosched()
+			}
+		}
+		return optlock.ActNone
+	})
+	defer optlock.ClearInjector()
+
+	const n = 200
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := uint64(0); k < n; k++ {
+			tr.Insert(tuple.Tuple{k * 2}) // even keys only
+		}
+		done.Store(true)
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !done.Load(); i++ {
+				k := uint64(i*97) % n
+				if tr.Contains(tuple.Tuple{2*k + 1}) {
+					t.Errorf("phantom odd key %d observed", 2*k+1)
+					return
+				}
+				// Yield every iteration: on a single-CPU host a hot reader
+				// loop would otherwise hold the processor for a full
+				// preemption slice each time the delayed writer yields.
+				runtime.Gosched()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for k := uint64(0); k < n; k++ {
+		if !tr.Contains(tuple.Tuple{k * 2}) {
+			t.Fatalf("key %d missing after delayed-publication run", k*2)
+		}
+	}
+	if endWrites.Load() == 0 {
+		t.Fatal("SiteEndWrite injector never fired")
+	}
+}
+
+// TestRacyBoundDeterministic is the acceptance test for the injection
+// pillar: a single-threaded rendezvous reproduces the PR 3
+// load-after-validate race on demand. The injector waits for the racy
+// descent's successful leaf validation (optlock.SiteValidated on exactly
+// the covering leaf's lock) and inserts a new maximal key synchronously
+// inside that window. The pre-fix path (core.LowerBoundRacy) then loads
+// the bumped count and hands back a cursor for a lower_bound(MaxUint64)
+// query that must have none — while the fixed path, which captured the
+// count before validating, stays correct under the identical injection.
+// No goroutines, no timing: the failure is deterministic, three times in
+// a row.
+func TestRacyBoundDeterministic(t *testing.T) {
+	probe := tuple.Tuple{math.MaxUint64}
+	for iter := 0; iter < 3; iter++ {
+		tr := core.New(1)
+		for k := uint64(0); k < 10; k++ {
+			tr.Insert(tuple.Tuple{k})
+		}
+		leaf := tr.LeafLockOf(probe)
+		if leaf == nil {
+			t.Fatal("no covering leaf")
+		}
+		var armed, inHook atomic.Bool
+		injected := uint64(100 + iter)
+		optlock.SetInjector(func(l *optlock.Lock, s optlock.Site) optlock.Action {
+			if s == optlock.SiteValidated && l == leaf && armed.Load() &&
+				inHook.CompareAndSwap(false, true) {
+				armed.Store(false)
+				tr.Insert(tuple.Tuple{injected})
+				inHook.Store(false)
+			}
+			return optlock.ActNone
+		})
+
+		armed.Store(true)
+		c := tr.LowerBoundRacy(probe)
+		if !c.Valid() {
+			t.Fatalf("iter %d: racy path returned end — the injected insert did not land in the window", iter)
+		}
+		if got := c.Tuple()[0]; got != injected {
+			t.Fatalf("iter %d: racy cursor at %d, expected the injected key %d", iter, got, injected)
+		}
+
+		armed.Store(true)
+		if c := tr.LowerBound(probe); c.Valid() {
+			t.Fatalf("iter %d: fixed path returned %v for lower_bound(MaxUint64) under the same injection",
+				iter, []uint64(c.Tuple()))
+		}
+		optlock.ClearInjector()
+	}
+}
+
+// racyCurrent lets the oracle injector reach the tree of the instance
+// currently under test (factories construct fresh instances during
+// minimization too), and racyArmed gates the injector to bound queries:
+// the instance arms it around each Bound call. Gating matters — an
+// injector firing on every validation would also fire on every cursor
+// step of the oracle's scan check, and since each firing appends a key
+// larger than all others, the scan would chase a forever-growing tail.
+var (
+	racyCurrent atomic.Pointer[core.Tree]
+	racyArmed   atomic.Bool
+)
+
+// racyBoundFactory adapts the core tree for the oracle with a switchable
+// lower-bound implementation: the pre-PR 3 racy descent or the fixed one.
+func racyBoundFactory(name string, racy bool) Factory {
+	return Factory{
+		Name:       name,
+		Arity1Only: true,
+		New: func(arity int) Instance {
+			tr := core.New(1)
+			racyCurrent.Store(tr)
+			return &racyBoundInstance{t: tr, racy: racy}
+		},
+	}
+}
+
+type racyBoundInstance struct {
+	t    *core.Tree
+	racy bool
+}
+
+func (i *racyBoundInstance) NewWriter() Writer { return i }
+func (i *racyBoundInstance) Barrier()          {}
+func (i *racyBoundInstance) NewReader() Reader { return i }
+
+func (i *racyBoundInstance) Insert(t tuple.Tuple) bool   { return i.t.Insert(t) }
+func (i *racyBoundInstance) Flush()                      {}
+func (i *racyBoundInstance) Contains(t tuple.Tuple) bool { return i.t.Contains(t) }
+
+func (i *racyBoundInstance) Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	racyArmed.Store(true)
+	defer racyArmed.Store(false)
+	var c core.Cursor
+	if strict {
+		c = i.t.UpperBound(v)
+	} else if i.racy {
+		c = i.t.LowerBoundRacy(v)
+	} else {
+		c = i.t.LowerBound(v)
+	}
+	if !c.Valid() {
+		return nil, false
+	}
+	return c.Tuple(), true
+}
+
+func (i *racyBoundInstance) Scan(yield func(tuple.Tuple) bool) { i.t.All(yield) }
+func (i *racyBoundInstance) Len() int                          { return i.t.Len() }
+
+// validatedWriterInjector installs the oracle-level race amplifier: at
+// most once per armed bound query (the instance arms racyArmed around
+// each Bound call), a successful lease validation of the rightmost
+// leaf's lock admits a concurrent writer — an insert of a fresh huge key
+// (far above the oracle's key space, so probes for model keys are
+// undisturbed) executed synchronously inside the validated-to-next-load
+// window. This is the same rendezvous as TestRacyBoundDeterministic,
+// re-targeted on every bound probe of the oracle run: the pre-fix bound
+// path returns bogus cursors for past-the-end queries, the fixed path
+// does not. The hook fires on exactly one validation per query (CAS on
+// the armed flag) and only at the leaf — an unconditional
+// insert-on-every-validation variant feeds the descent's own restart
+// loop, which then never converges.
+func validatedWriterInjector() func() {
+	var inHook atomic.Bool
+	var next atomic.Uint64
+	next.Store(1 << 40)
+	optlock.SetInjector(func(l *optlock.Lock, s optlock.Site) optlock.Action {
+		if s != optlock.SiteValidated || !racyArmed.Load() {
+			return optlock.ActNone
+		}
+		if !inHook.CompareAndSwap(false, true) {
+			return optlock.ActNone
+		}
+		defer inHook.Store(false)
+		// Single-worker oracle: the tree is quiescent while the hook runs,
+		// so the unsynchronised LeafLockOf is sound here.
+		tr := racyCurrent.Load()
+		if tr == nil || l != tr.LeafLockOf(tuple.Tuple{math.MaxUint64}) {
+			return optlock.ActNone
+		}
+		if racyArmed.CompareAndSwap(true, false) { // consume: once per query
+			tr.Insert(tuple.Tuple{next.Add(1)})
+		}
+		return optlock.ActNone
+	})
+	return optlock.ClearInjector
+}
+
+// boundViolations filters an oracle report down to the violations that
+// are injection-proof evidence of a bound-contract break. The injected
+// keys are real tree elements the model cannot see, so they legitimately
+// diverge the whole-structure len/scan checks and any bound probe past
+// the model's key space (the injected key IS the correct answer there) —
+// on both arms. What can never be legitimate is a non-none answer to
+// lower_bound(MaxUint64): no inserted key equals MaxUint64, so any valid
+// cursor there is a count-race artifact. Contains probes are below the
+// injected range and are kept as well.
+func boundViolations(rep Report) []Violation {
+	var out []Violation
+	for _, v := range rep.Violations {
+		switch v.Op {
+		case "contains":
+			out = append(out, v)
+		case "lower_bound", "upper_bound":
+			if len(v.Arg) == 1 && v.Arg[0] == math.MaxUint64 {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// racyOracleConfig is single-worker so the rendezvous is deterministic:
+// with one goroutine probing, the injector's recursion guard is always
+// free when the racy descent validates its leaf, so the leading
+// lower_bound(MaxUint64) probe of every round fires the race.
+func racyOracleConfig() Config {
+	return Config{Seed: 99, Workers: 1, Rounds: 2, Inserts: 120, Reads: 32, KeySpace: 200}
+}
+
+// TestOracleFlagsRevertedBoundFix is the PR acceptance criterion: with
+// the PR 3 fix effectively reverted (the harness driving LowerBoundRacy),
+// the differential oracle fails deterministically under the injected
+// validated-window writer.
+func TestOracleFlagsRevertedBoundFix(t *testing.T) {
+	defer validatedWriterInjector()()
+	rep := Run(racyBoundFactory("btree-racy", true), 1, racyOracleConfig())
+	bv := boundViolations(rep)
+	if len(bv) == 0 {
+		t.Fatalf("oracle did not flag the reverted bound fix:\n%s", rep.Summary())
+	}
+	sawMax := false
+	for _, v := range bv {
+		if v.Op == "lower_bound" && len(v.Arg) == 1 && v.Arg[0] == math.MaxUint64 {
+			sawMax = true
+			if v.Want != "(none)" {
+				t.Errorf("unexpected want for past-the-end probe: %s", v.Want)
+			}
+		}
+	}
+	if !sawMax {
+		t.Errorf("expected the lower_bound(MaxUint64) probe to fail, got:\n%s", rep.Summary())
+	}
+}
+
+// TestOracleCleanOnFixedBoundPath is the control arm: the identical
+// workload, seed and injection against the fixed bound path produces no
+// read-probe violations at all.
+func TestOracleCleanOnFixedBoundPath(t *testing.T) {
+	defer validatedWriterInjector()()
+	rep := Run(racyBoundFactory("btree-fixed", false), 1, racyOracleConfig())
+	if bv := boundViolations(rep); len(bv) != 0 {
+		t.Fatalf("fixed bound path diverged under injection:\n%s", rep.Summary())
+	}
+}

@@ -1,0 +1,87 @@
+package check
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"specbtree/internal/tuple"
+)
+
+// model is the sequential reference implementation the oracle checks
+// every provider against: a plain sorted set of tuples with the obvious
+// O(log n) membership and bound queries. It is deliberately built on
+// different machinery than any provider (a hash map plus a sorted slice,
+// no trees, no hashing of its own) so a shared bug is implausible.
+//
+// The model is updated only between phases, single-threaded; during a
+// read phase it is immutable and safe to probe from every worker.
+type model struct {
+	arity  int
+	keys   map[string]struct{}
+	sorted []tuple.Tuple
+	dirty  bool
+}
+
+func newModel(arity int) *model {
+	return &model{arity: arity, keys: make(map[string]struct{})}
+}
+
+// encode renders t as a map key; big-endian words keep byte order
+// consistent with tuple order (useful when debugging, not relied upon).
+func encode(t tuple.Tuple) string {
+	b := make([]byte, 8*len(t))
+	for i, w := range t {
+		binary.BigEndian.PutUint64(b[8*i:], w)
+	}
+	return string(b)
+}
+
+// insert adds t, reporting whether it was new. Single-threaded.
+func (m *model) insert(t tuple.Tuple) bool {
+	k := encode(t)
+	if _, dup := m.keys[k]; dup {
+		return false
+	}
+	m.keys[k] = struct{}{}
+	m.sorted = append(m.sorted, append(tuple.Tuple(nil), t...))
+	m.dirty = true
+	return true
+}
+
+// rebuild re-sorts after a batch of inserts. Single-threaded.
+func (m *model) rebuild() {
+	if !m.dirty {
+		return
+	}
+	sort.Slice(m.sorted, func(i, j int) bool {
+		return tuple.Compare(m.sorted[i], m.sorted[j]) < 0
+	})
+	m.dirty = false
+}
+
+func (m *model) len() int { return len(m.keys) }
+
+// contains reports membership. Read phase (after rebuild).
+func (m *model) contains(t tuple.Tuple) bool {
+	_, ok := m.keys[encode(t)]
+	return ok
+}
+
+// bound returns the first element >= v (strict=false) or > v
+// (strict=true), with ok=false when no such element exists. Read phase.
+func (m *model) bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	want := 0
+	if strict {
+		want = 1
+	}
+	i := sort.Search(len(m.sorted), func(i int) bool {
+		return tuple.Compare(m.sorted[i], v) >= want
+	})
+	if i == len(m.sorted) {
+		return nil, false
+	}
+	return m.sorted[i], true
+}
+
+// all returns the sorted contents. Read phase; callers must not mutate.
+func (m *model) all() []tuple.Tuple { return m.sorted }

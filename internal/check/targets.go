@@ -1,0 +1,411 @@
+package check
+
+import (
+	"specbtree/internal/core"
+	"specbtree/internal/gbtree"
+	"specbtree/internal/masstree"
+	"specbtree/internal/palm"
+	"specbtree/internal/relation"
+	"specbtree/internal/syncadapt"
+	"specbtree/internal/tuple"
+)
+
+// Instance is one provider under test. The oracle's phase discipline
+// matches the relation contract: Writer handles are driven concurrently
+// during the insert phase; Barrier runs single-threaded between phases;
+// Reader handles, Scan and Len are driven concurrently (readers) or
+// single-threaded (whole-structure checks) while no writer is active.
+type Instance interface {
+	// NewWriter returns a per-goroutine insert handle. Safe to call
+	// concurrently.
+	NewWriter() Writer
+	// Barrier is the write-phase/read-phase transition hook (e.g. the
+	// reduction set's merge, PALM's batch flush). Single-threaded.
+	Barrier()
+	// NewReader returns a per-goroutine read handle (carrying hints where
+	// the backend supports them). Read phase only.
+	NewReader() Reader
+	// Scan iterates over all tuples; the yielded view is transient.
+	Scan(yield func(tuple.Tuple) bool)
+	// Len returns the element count.
+	Len() int
+}
+
+// Writer is a per-goroutine insert handle.
+type Writer interface {
+	// Insert adds t, reporting whether it was new.
+	Insert(t tuple.Tuple) bool
+	// Flush settles any batched per-worker state (hint-set observability
+	// batches, queued operations) at the phase barrier.
+	Flush()
+}
+
+// Reader is a per-goroutine read handle.
+type Reader interface {
+	// Contains reports membership.
+	Contains(t tuple.Tuple) bool
+	// Bound returns the first element >= v (strict=false) or > v
+	// (strict=true); ok=false when no such element exists. Only called
+	// when the factory does not declare NoBounds.
+	Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool)
+}
+
+// Factory describes one oracle target and constructs fresh instances —
+// both for the main run and for the minimizer's sequential replays.
+type Factory struct {
+	// Name designates the provider in reports.
+	Name string
+	// Arity1Only restricts the target to single-column tuples (the
+	// uint64-keyed comparison structures).
+	Arity1Only bool
+	// Unordered relaxes the scan check to set equality (hash backends).
+	Unordered bool
+	// NoBounds skips bound probes (backends without ordered queries).
+	NoBounds bool
+	// ApproxFreshness skips the exactly-once insert-freshness check
+	// (the reduction set detects duplicates only locally until merge).
+	ApproxFreshness bool
+	// New constructs an empty instance of the given arity.
+	New func(arity int) Instance
+}
+
+// Targets returns the full provider fleet the oracle drives: every
+// registered relation provider (each through the same relation.Ops
+// surface the engine uses), the core tree through its native cursor
+// API, and the remaining comparison structures (masstree, palm) and
+// externally synchronised baselines (package syncadapt).
+func Targets() []Factory {
+	var fs []Factory
+	for _, name := range relation.Names() {
+		fs = append(fs, relFactory(relation.MustLookup(name)))
+	}
+	fs = append(fs,
+		coreCursorFactory(),
+		masstreeFactory(),
+		palmFactory(),
+		lockedFactory(),
+		reductionFactory(),
+	)
+	return fs
+}
+
+// Target returns the factory with the given name, or ok=false.
+func Target(name string) (Factory, bool) {
+	for _, f := range Targets() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// cloneBound copies a transient scan view for return from Bound.
+func cloneBound(t tuple.Tuple) tuple.Tuple {
+	return append(tuple.Tuple(nil), t...)
+}
+
+// scanBound derives a bound query from an ordered scan: the first
+// yielded element at or beyond v wins. O(position of v), acceptable at
+// oracle sizes, and doubles as a check that the backend's scan order
+// agrees with its membership structure.
+func scanBound(scan func(func(tuple.Tuple) bool), v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	want := 0
+	if strict {
+		want = 1
+	}
+	var res tuple.Tuple
+	scan(func(t tuple.Tuple) bool {
+		if tuple.Compare(t, v) >= want {
+			res = cloneBound(t)
+			return false
+		}
+		return true
+	})
+	return res, res != nil
+}
+
+// ---- generic adapter over a registered relation provider ----
+
+type relInstance struct {
+	rel relation.Relation
+}
+
+func relFactory(p relation.Provider) Factory {
+	return Factory{
+		Name:      p.Name,
+		Unordered: !p.Ordered,
+		NoBounds:  !p.Ordered,
+		New: func(arity int) Instance {
+			return &relInstance{rel: p.New(arity)}
+		},
+	}
+}
+
+type relWriter struct{ ops relation.Ops }
+
+func (w *relWriter) Insert(t tuple.Tuple) bool { return w.ops.Insert(t) }
+func (w *relWriter) Flush() {
+	if f, ok := w.ops.(relation.StatsFlusher); ok {
+		f.FlushStats()
+	}
+}
+
+type relReader struct {
+	inst *relInstance
+	ops  relation.Ops
+}
+
+func (r *relReader) Contains(t tuple.Tuple) bool { return r.ops.Contains(t) }
+
+func (r *relReader) Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	// Bound through the engine-facing surface: a range scan when the Ops
+	// supports one (the concurrent tree's hinted lower-bound path), an
+	// ordered-scan prefix walk otherwise.
+	if rs, ok := r.ops.(relation.RangeScanner); ok {
+		var res tuple.Tuple
+		rs.RangeScan(v, nil, func(t tuple.Tuple) bool {
+			if strict && tuple.Compare(t, v) == 0 {
+				return true // skip the equal element, keep scanning
+			}
+			res = cloneBound(t)
+			return false
+		})
+		return res, res != nil
+	}
+	return scanBound(r.inst.rel.Scan, v, strict)
+}
+
+func (i *relInstance) NewWriter() Writer                 { return &relWriter{ops: i.rel.NewOps()} }
+func (i *relInstance) Barrier()                          {}
+func (i *relInstance) NewReader() Reader                 { return &relReader{inst: i, ops: i.rel.NewOps()} }
+func (i *relInstance) Scan(yield func(tuple.Tuple) bool) { i.rel.Scan(yield) }
+func (i *relInstance) Len() int                          { return i.rel.Len() }
+
+// ---- core tree through its native cursor API ----
+
+// coreCursorFactory drives the concurrent tree directly: hinted inserts,
+// hinted membership, and — unlike the relation adapter, which reaches
+// lower bounds through range scans — both LowerBoundHint and
+// UpperBoundHint cursor construction, the exact paths of the PR 3 race.
+func coreCursorFactory() Factory {
+	return Factory{
+		Name: "btree-cursor",
+		New: func(arity int) Instance {
+			return &coreInstance{t: core.New(arity)}
+		},
+	}
+}
+
+type coreInstance struct{ t *core.Tree }
+
+type coreWriter struct {
+	t *core.Tree
+	h *core.Hints
+}
+
+func (w *coreWriter) Insert(t tuple.Tuple) bool { return w.t.InsertHint(t, w.h) }
+func (w *coreWriter) Flush()                    { w.h.FlushObs() }
+
+type coreReader struct {
+	t *core.Tree
+	h *core.Hints
+}
+
+func (r *coreReader) Contains(t tuple.Tuple) bool { return r.t.ContainsHint(t, r.h) }
+
+func (r *coreReader) Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	var c core.Cursor
+	if strict {
+		c = r.t.UpperBoundHint(v, r.h)
+	} else {
+		c = r.t.LowerBoundHint(v, r.h)
+	}
+	if !c.Valid() {
+		return nil, false
+	}
+	return c.Tuple(), true
+}
+
+func (i *coreInstance) NewWriter() Writer                 { return &coreWriter{t: i.t, h: core.NewHints()} }
+func (i *coreInstance) Barrier()                          {}
+func (i *coreInstance) NewReader() Reader                 { return &coreReader{t: i.t, h: core.NewHints()} }
+func (i *coreInstance) Scan(yield func(tuple.Tuple) bool) { i.t.All(yield) }
+func (i *coreInstance) Len() int                          { return i.t.Len() }
+
+// ---- masstree (uint64 keys) ----
+
+func masstreeFactory() Factory {
+	return Factory{
+		Name:       "masstree",
+		Arity1Only: true,
+		New: func(arity int) Instance {
+			return &masstreeInstance{t: masstree.New()}
+		},
+	}
+}
+
+type masstreeInstance struct{ t *masstree.Tree }
+
+func (i *masstreeInstance) NewWriter() Writer { return i }
+func (i *masstreeInstance) Barrier()          {}
+func (i *masstreeInstance) NewReader() Reader { return i }
+
+func (i *masstreeInstance) Insert(t tuple.Tuple) bool   { return i.t.Insert(t[0]) }
+func (i *masstreeInstance) Flush()                      {}
+func (i *masstreeInstance) Contains(t tuple.Tuple) bool { return i.t.Contains(t[0]) }
+
+func (i *masstreeInstance) Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	return scanBound(i.Scan, v, strict)
+}
+
+func (i *masstreeInstance) Scan(yield func(tuple.Tuple) bool) {
+	buf := make(tuple.Tuple, 1)
+	i.t.Scan(func(k uint64) bool {
+		buf[0] = k
+		return yield(buf)
+	})
+}
+
+func (i *masstreeInstance) Len() int { return i.t.Len() }
+
+// ---- PALM (uint64 keys, batch synchronous) ----
+
+func palmFactory() Factory {
+	return Factory{
+		Name:       "palm",
+		Arity1Only: true,
+		New: func(arity int) Instance {
+			return &palmInstance{t: palm.New()}
+		},
+	}
+}
+
+type palmInstance struct{ t *palm.Tree }
+
+func (i *palmInstance) NewWriter() Writer { return i }
+func (i *palmInstance) Barrier()          { i.t.Flush() }
+func (i *palmInstance) NewReader() Reader { return i }
+
+func (i *palmInstance) Insert(t tuple.Tuple) bool   { return i.t.Insert(t[0]) }
+func (i *palmInstance) Flush()                      {}
+func (i *palmInstance) Contains(t tuple.Tuple) bool { return i.t.Contains(t[0]) }
+
+func (i *palmInstance) Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	return scanBound(i.Scan, v, strict)
+}
+
+func (i *palmInstance) Scan(yield func(tuple.Tuple) bool) {
+	buf := make(tuple.Tuple, 1)
+	i.t.Scan(func(k uint64) bool {
+		buf[0] = k
+		return yield(buf)
+	})
+}
+
+func (i *palmInstance) Len() int { return i.t.Len() }
+
+// ---- globally locked sequential B-tree (syncadapt.Locked) ----
+
+func lockedFactory() Factory {
+	return Factory{
+		Name: "locked-gbtree",
+		New: func(arity int) Instance {
+			return &lockedInstance{l: syncadapt.NewLocked(arity)}
+		},
+	}
+}
+
+type lockedInstance struct{ l *syncadapt.Locked }
+
+func (i *lockedInstance) NewWriter() Writer { return i }
+func (i *lockedInstance) Barrier()          {}
+func (i *lockedInstance) NewReader() Reader { return i }
+
+func (i *lockedInstance) Insert(t tuple.Tuple) bool   { return i.l.Insert(t) }
+func (i *lockedInstance) Flush()                      {}
+func (i *lockedInstance) Contains(t tuple.Tuple) bool { return i.l.Contains(t) }
+
+func (i *lockedInstance) Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	want := 0
+	if strict {
+		want = 1
+	}
+	var res tuple.Tuple
+	i.l.ScanRange(v, nil, func(t tuple.Tuple) bool {
+		if tuple.Compare(t, v) >= want {
+			res = cloneBound(t)
+			return false
+		}
+		return true
+	})
+	return res, res != nil
+}
+
+func (i *lockedInstance) Scan(yield func(tuple.Tuple) bool) { i.l.Scan(yield) }
+func (i *lockedInstance) Len() int                          { return i.l.Len() }
+
+// ---- parallel-reduction set (syncadapt.Reduction) ----
+
+// reductionFactory wraps the parallel-reduction baseline. Freshness is
+// approximate by design: each worker deduplicates only against its
+// private tree, so the same tuple inserted by two workers reports fresh
+// twice until Merge reconciles — ApproxFreshness documents exactly the
+// trade-off the paper's Figure 4 evaluates.
+func reductionFactory() Factory {
+	return Factory{
+		Name:            "reduction-gbtree",
+		ApproxFreshness: true,
+		New: func(arity int) Instance {
+			return &reductionInstance{r: syncadapt.NewReduction(arity)}
+		},
+	}
+}
+
+type reductionInstance struct {
+	r *syncadapt.Reduction
+}
+
+type reductionWriter struct{ w *syncadapt.Worker }
+
+func (w *reductionWriter) Insert(t tuple.Tuple) bool { return w.w.Insert(t) }
+func (w *reductionWriter) Flush()                    {}
+
+func (i *reductionInstance) NewWriter() Writer {
+	return &reductionWriter{w: i.r.NewWorker()}
+}
+
+func (i *reductionInstance) Barrier() { i.r.Merge() }
+
+func (i *reductionInstance) NewReader() Reader {
+	return &reductionReader{t: i.r.Result()}
+}
+
+// reductionReader queries the merged tree; readers exist only after
+// Barrier ran Merge, so t is never nil.
+type reductionReader struct{ t *gbtree.Tree }
+
+func (r *reductionReader) Contains(t tuple.Tuple) bool { return r.t.Contains(t) }
+
+func (r *reductionReader) Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	want := 0
+	if strict {
+		want = 1
+	}
+	var res tuple.Tuple
+	r.t.ScanRange(v, nil, func(t tuple.Tuple) bool {
+		if tuple.Compare(t, v) >= want {
+			res = cloneBound(t)
+			return false
+		}
+		return true
+	})
+	return res, res != nil
+}
+
+func (i *reductionInstance) Scan(yield func(tuple.Tuple) bool) {
+	if t := i.r.Result(); t != nil {
+		t.Scan(yield)
+	}
+}
+
+func (i *reductionInstance) Len() int { return i.r.Len() }

@@ -1,0 +1,156 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"specbtree/internal/tuple"
+)
+
+// maxReplays bounds the minimizer's work: each replay rebuilds a fresh
+// instance and a fresh model, and a stubbornly non-shrinking trace is not
+// worth unbounded rebuilds.
+const maxReplays = 400
+
+// minimize attempts to turn the first recorded violation into a small,
+// deterministic, sequentially replayable trace.
+//
+// Step 1 reproduces the violation with a single-threaded replay: all
+// insert streams up to the violating round applied by one writer, then
+// the one diverging operation. If the divergence survives — i.e. it is a
+// logic bug, not a concurrency bug — step 2 shrinks the insert sequence
+// with a ddmin-style greedy chunk removal until no single chunk can be
+// dropped, and the result is rendered as an insert-by-insert trace that
+// reproduces the failure in a unit test with no goroutines at all.
+//
+// If the sequential replay does NOT diverge, the bug needs the concurrent
+// schedule, and the trace says so: the replay instruction is the seed
+// line of Report.Summary, which regenerates the identical workload.
+func minimize(f Factory, arity int, cfg Config, v Violation) string {
+	inserts := collectInserts(cfg, arity, v.Round)
+	if !replayDiverges(f, arity, inserts, v) {
+		return fmt.Sprintf("  violation is schedule-dependent: no divergence under sequential replay\n"+
+			"  (reproduce by re-running the oracle with the seed above; %d inserts in scope)\n", len(inserts))
+	}
+	inserts = shrink(f, arity, inserts, v)
+	return renderTrace(f, arity, inserts, v)
+}
+
+// collectInserts flattens every worker's insert stream for rounds
+// 0..round into one deterministic sequence (round-major, worker-major,
+// stream order).
+func collectInserts(cfg Config, arity, round int) []tuple.Tuple {
+	var out []tuple.Tuple
+	for r := 0; r <= round; r++ {
+		for w := 0; w < cfg.Workers; w++ {
+			insertStream(cfg, arity, r, w, func(t tuple.Tuple) { out = append(out, t) })
+		}
+	}
+	return out
+}
+
+// replayDiverges builds a fresh instance, applies the inserts with one
+// writer, and re-evaluates the violating operation against a model built
+// from the same inserts. It reports whether the provider still diverges.
+func replayDiverges(f Factory, arity int, inserts []tuple.Tuple, v Violation) bool {
+	inst := f.New(arity)
+	m := newModel(arity)
+	wr := inst.NewWriter()
+	fresh := 0
+	for _, t := range inserts {
+		if wr.Insert(t) {
+			fresh++
+		}
+		m.insert(t)
+	}
+	wr.Flush()
+	inst.Barrier()
+	m.rebuild()
+
+	switch v.Op {
+	case "freshness":
+		return fresh != m.len()
+	case "len":
+		return inst.Len() != m.len()
+	case "scan":
+		r := &recorder{}
+		checkScan(inst, m, f.Unordered, 0, r)
+		return len(r.take()) > 0
+	default: // contains / lower_bound / upper_bound
+		r := &recorder{}
+		probe(inst.NewReader(), m, v.Op, v.Arg, 0, 0, r)
+		return len(r.take()) > 0
+	}
+}
+
+// shrink is a greedy ddmin: repeatedly try dropping chunks of the insert
+// sequence, keeping any removal that preserves the divergence, halving
+// the chunk size until single inserts have been tried or the replay
+// budget runs out.
+func shrink(f Factory, arity int, inserts []tuple.Tuple, v Violation) []tuple.Tuple {
+	replays := 0
+	chunk := (len(inserts) + 1) / 2
+	for chunk > 0 && replays < maxReplays {
+		removed := false
+		for lo := 0; lo < len(inserts) && replays < maxReplays; {
+			hi := lo + chunk
+			if hi > len(inserts) {
+				hi = len(inserts)
+			}
+			trial := make([]tuple.Tuple, 0, len(inserts)-(hi-lo))
+			trial = append(trial, inserts[:lo]...)
+			trial = append(trial, inserts[hi:]...)
+			replays++
+			if replayDiverges(f, arity, trial, v) {
+				inserts = trial
+				removed = true
+				// Same lo now addresses the next chunk.
+			} else {
+				lo = hi
+			}
+		}
+		if !removed || chunk == 1 {
+			chunk /= 2
+		} else if chunk > len(inserts) {
+			chunk = len(inserts)
+		}
+	}
+	return inserts
+}
+
+// renderTrace prints the minimized trace as one operation per line,
+// re-deriving the final divergence so Got/Want reflect the shrunken
+// content rather than the original run.
+func renderTrace(f Factory, arity int, inserts []tuple.Tuple, v Violation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  sequentially reproducible with %d inserts:\n", len(inserts))
+	const maxShown = 64
+	for i, t := range inserts {
+		if i == maxShown {
+			fmt.Fprintf(&b, "    ... %d more inserts\n", len(inserts)-maxShown)
+			break
+		}
+		fmt.Fprintf(&b, "    insert %v\n", []uint64(t))
+	}
+	switch v.Op {
+	case "freshness", "len", "scan":
+		fmt.Fprintf(&b, "    %s check diverges (see violation above)\n", v.Op)
+	default:
+		inst := f.New(arity)
+		m := newModel(arity)
+		wr := inst.NewWriter()
+		for _, t := range inserts {
+			wr.Insert(t)
+			m.insert(t)
+		}
+		wr.Flush()
+		inst.Barrier()
+		m.rebuild()
+		r := &recorder{target: f.Name}
+		probe(inst.NewReader(), m, v.Op, v.Arg, 0, 0, r)
+		for _, rv := range r.take() {
+			fmt.Fprintf(&b, "    %s %v -> got %s, want %s\n", rv.Op, []uint64(rv.Arg), rv.Got, rv.Want)
+		}
+	}
+	return b.String()
+}

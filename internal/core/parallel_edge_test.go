@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// assertSameContents fails unless got holds exactly the elements of
+// want, in order.
+func assertSameContents(t *testing.T, label string, got, want []tuple.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d elements, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !tuple.Equal(got[i], want[i]) {
+			t.Fatalf("%s: element %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelInsertAllSingleKeySource: a one-element source must merge
+// correctly under every worker count — the partitioner has no split
+// points at all — both into an empty destination (bulk-load fast path)
+// and into a populated one.
+func TestParallelInsertAllSingleKeySource(t *testing.T) {
+	src := New(1)
+	src.Insert(tuple.Tuple{42})
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		empty := New(1)
+		empty.ParallelInsertAll(src, workers)
+		if err := empty.Check(); err != nil {
+			t.Fatalf("workers=%d empty dst: %v", workers, err)
+		}
+		if empty.Len() != 1 || !empty.Contains(tuple.Tuple{42}) {
+			t.Fatalf("workers=%d empty dst: Len=%d", workers, empty.Len())
+		}
+
+		full := New(1, Options{Capacity: 4})
+		for i := 0; i < 100; i++ {
+			full.Insert(tuple.Tuple{uint64(i)})
+		}
+		full.ParallelInsertAll(src, workers)
+		if err := full.Check(); err != nil {
+			t.Fatalf("workers=%d full dst: %v", workers, err)
+		}
+		if full.Len() != 100 { // 42 was already present
+			t.Fatalf("workers=%d full dst: Len=%d, want 100", workers, full.Len())
+		}
+	}
+}
+
+// TestParallelInsertAllDuplicateHeavy merges a source that overlaps the
+// destination almost entirely — the dominant shape in semi-naïve
+// evaluation, where each delta re-derives mostly known tuples. The
+// result must be the exact set union for every worker count, including
+// worker counts that do not divide the source evenly.
+func TestParallelInsertAllDuplicateHeavy(t *testing.T) {
+	const n = 3000
+	src := New(2, Options{Capacity: 8})
+	for i := 0; i < n; i++ {
+		src.Insert(tuple.Tuple{uint64(i % 60), uint64(i % 50)})
+	}
+
+	build := func(workers int) []tuple.Tuple {
+		dst := New(2, Options{Capacity: 8})
+		// Destination already holds ~everything except a sliver.
+		for i := 0; i < n; i++ {
+			if i%97 != 0 {
+				dst.Insert(tuple.Tuple{uint64(i % 60), uint64(i % 50)})
+			}
+		}
+		dst.ParallelInsertAll(src, workers)
+		if err := dst.Check(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return collect(dst)
+	}
+
+	want := build(1)
+	if len(want) != src.Len() {
+		t.Fatalf("union size %d, want %d (source is a superset)", len(want), src.Len())
+	}
+	for _, workers := range []int{2, 3, 8} {
+		assertSameContents(t, "duplicate-heavy", build(workers), want)
+	}
+}
+
+// TestParallelInsertAllSubsetSource: when every source tuple is already
+// in the destination the merge must be a pure no-op on contents, for
+// sequential and parallel geometry alike.
+func TestParallelInsertAllSubsetSource(t *testing.T) {
+	dst := New(1, Options{Capacity: 4})
+	for i := 0; i < 400; i++ {
+		dst.Insert(tuple.Tuple{uint64(i)})
+	}
+	src := New(1, Options{Capacity: 4})
+	for i := 100; i < 200; i++ {
+		src.Insert(tuple.Tuple{uint64(i)})
+	}
+	want := collect(dst)
+	for _, workers := range []int{1, 3, 8} {
+		dst.ParallelInsertAll(src, workers)
+		if err := dst.Check(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertSameContents(t, "subset source", collect(dst), want)
+	}
+}
+
+// TestParallelInsertAllNonPositiveWorkers: workers <= 1 must degrade to
+// the sequential merge, not panic or drop elements.
+func TestParallelInsertAllNonPositiveWorkers(t *testing.T) {
+	for _, workers := range []int{0, -1, 1} {
+		src := New(1)
+		for i := 0; i < 50; i++ {
+			src.Insert(tuple.Tuple{uint64(i)})
+		}
+		dst := New(1)
+		dst.Insert(tuple.Tuple{1000})
+		dst.ParallelInsertAll(src, workers)
+		if err := dst.Check(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if dst.Len() != 51 {
+			t.Fatalf("workers=%d: Len=%d, want 51", workers, dst.Len())
+		}
+	}
+}

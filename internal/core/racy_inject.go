@@ -1,0 +1,88 @@
+//go:build lockinject
+
+//checkorder:ignore-file — this file reintroduces the PR 3
+// load-after-validate defect on purpose; the checkorder lint must not
+// flag it, and it must never be compiled into a default build.
+
+package core
+
+import (
+	"specbtree/internal/obs"
+	"specbtree/internal/optlock"
+	"specbtree/internal/tuple"
+)
+
+// LowerBoundRacy is the bound query as it existed before the PR 3 fix:
+// the leaf count is loaded *after* the lease validation, so an insert
+// landing between the two hands back a cursor at a count-shifted index.
+// It exists only under the lockinject build tag, as the known-broken
+// reference the correctness harness proves itself against: with an
+// injected writer in the validated-to-load window (optlock.SiteValidated)
+// this path fails deterministically, while the fixed LowerBound does not.
+func (t *Tree) LowerBoundRacy(v tuple.Tuple) Cursor {
+	var oc obs.OpCounts
+	defer oc.Flush()
+restart:
+	for {
+		cur, curLease, ok := t.readRoot(&oc)
+		if !ok {
+			return Cursor{}
+		}
+		candidate := Cursor{}
+		var candLease lease
+		var candNode *node
+		for {
+			idx := cur.searchBound(t.arity, v, false)
+			if !cur.inner {
+				if !valid(&cur.lock, curLease, &oc) {
+					continue restart
+				}
+				// BUG (pre-PR 3): count loaded after the validation. A
+				// racing insert that bumps the count right here makes
+				// idx < cnt true for an idx computed against the old
+				// contents, yielding a cursor whose element violates the
+				// bound contract.
+				cnt := int(cur.count.Load())
+				var res Cursor
+				if idx < cnt {
+					res = Cursor{t: t, n: cur, idx: idx}
+				} else {
+					res = candidate
+					if candNode != nil && !valid(&candNode.lock, candLease, &oc) {
+						continue restart
+					}
+				}
+				return res
+			}
+			if idx < int(cur.count.Load()) {
+				candidate = Cursor{t: t, n: cur, idx: idx}
+				candNode, candLease = cur, curLease
+			}
+			next := cur.child(idx)
+			if !valid(&cur.lock, curLease, &oc) {
+				continue restart
+			}
+			nextLease := next.lock.StartRead()
+			if !valid(&cur.lock, curLease, &oc) {
+				continue restart
+			}
+			cur, curLease = next, nextLease
+		}
+	}
+}
+
+// LeafLockOf descends, without synchronisation, to the leaf that would
+// cover v and returns that leaf's lock, or nil on an empty tree. It lets
+// a fault injector recognise probe firings on a specific leaf. Quiescent
+// trees only (harness setup code); never sound under concurrent writers.
+func (t *Tree) LeafLockOf(v tuple.Tuple) *optlock.Lock {
+	n := t.root.Load()
+	if n == nil {
+		return nil
+	}
+	for n.inner {
+		idx, _ := n.search(t.arity, v)
+		n = n.child(idx)
+	}
+	return &n.lock
+}

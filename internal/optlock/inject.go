@@ -1,0 +1,88 @@
+package optlock
+
+// Fault-injection probe points for the correctness harness
+// (internal/check). The optimistic protocol's interesting behaviour —
+// retries, aborts, hint re-entry after a failed validation — lives on
+// paths that organic interleavings reach rarely and unpredictably. The
+// probes defined here let a test force those paths deterministically:
+// every probe site can fail an operation outright (ActFail) or run
+// arbitrary test code (delays, scheduler yields, rendezvous with a
+// concurrent writer) before the lock proceeds.
+//
+// The shim follows the obsoff pattern: it is compiled in only under the
+// "lockinject" build tag. In default builds Injecting is a false
+// constant, every probe call sits behind an `if Injecting` branch, and
+// the whole mechanism folds away to nothing — the hot path carries zero
+// cost. Tests that need injection are themselves gated on the tag and
+// run via `make check-harness`.
+
+// Site identifies one probe point inside the lock protocol.
+type Site uint8
+
+// The probe sites. Each names the operation about to be performed when
+// the probe fires; SiteValidated alone fires after its operation.
+const (
+	// SiteStartRead fires on entry to StartRead, before the version is
+	// loaded. ActFail is ignored here; the probe is a delay/yield point.
+	SiteStartRead Site = iota
+	// SiteValidate fires on entry to Valid (and, through it, EndRead),
+	// before the version is loaded. ActFail forces the validation to
+	// report failure without reading the version — a spurious conflict,
+	// which the protocol must treat exactly like a real one.
+	SiteValidate
+	// SiteValidated fires after a validation succeeded, before Valid
+	// returns true. Test code running here executes inside the window
+	// between a reader's validation and its next use of the data read
+	// under the lease — the window of the PR 3 load-after-validate race.
+	// ActFail is ignored (the validation already succeeded).
+	SiteValidated
+	// SiteUpgrade fires on entry to TryUpgradeToWrite, before the CAS.
+	// ActFail forces the upgrade to fail as if a writer had intervened.
+	SiteUpgrade
+	// SiteTryWrite fires on entry to TryStartWrite, before the CAS.
+	// ActFail forces the acquisition attempt to fail. StartWrite loops
+	// over TryStartWrite, so an injector that fails this site
+	// unconditionally deadlocks blocking writers — fail it selectively.
+	SiteTryWrite
+	// SiteEndWrite fires on entry to EndWrite, before the version is
+	// advanced — delaying here delays the publication of the new even
+	// version, stretching the window in which readers spin or fail
+	// validation. ActFail is ignored (the write must complete).
+	SiteEndWrite
+	// SiteAbortWrite fires on entry to AbortWrite, before the version
+	// rolls back. ActFail is ignored.
+	SiteAbortWrite
+
+	// NumSites is the number of probe sites.
+	NumSites
+)
+
+// siteNames maps each Site to a short stable name for test diagnostics.
+var siteNames = [NumSites]string{
+	SiteStartRead:  "start_read",
+	SiteValidate:   "validate",
+	SiteValidated:  "validated",
+	SiteUpgrade:    "upgrade",
+	SiteTryWrite:   "try_write",
+	SiteEndWrite:   "end_write",
+	SiteAbortWrite: "abort_write",
+}
+
+// String returns the site's name.
+func (s Site) String() string {
+	if s < NumSites {
+		return siteNames[s]
+	}
+	return "unknown"
+}
+
+// Action is an injector's verdict for one probe firing.
+type Action uint8
+
+const (
+	// ActNone lets the operation proceed normally.
+	ActNone Action = iota
+	// ActFail forces the operation to fail where failure is meaningful
+	// (SiteValidate, SiteUpgrade, SiteTryWrite); elsewhere it is ignored.
+	ActFail
+)

@@ -1,0 +1,11 @@
+//go:build !lockinject
+
+package optlock
+
+// Injecting reports whether the fault-injection shim is compiled in.
+// False in default builds: every probe call sits behind an
+// `if Injecting` constant branch and compiles away entirely.
+const Injecting = false
+
+// probe is the no-op stand-in for the fault injector in default builds.
+func probe(l *Lock, s Site) Action { return ActNone }

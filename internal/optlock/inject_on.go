@@ -1,0 +1,44 @@
+//go:build lockinject
+
+package optlock
+
+import "sync/atomic"
+
+// Injecting reports whether the fault-injection shim is compiled in.
+// True only under the "lockinject" build tag.
+const Injecting = true
+
+// Probe is a fault injector: it receives the lock and the site about to
+// execute and decides whether the operation proceeds or fails. The
+// injector runs on the goroutine performing the lock operation and may
+// sleep, yield, or rendezvous with other goroutines — but it must not
+// re-enter the lock it was called for, and if it performs operations on
+// other locks (or tree operations that use them) it must guard against
+// its own recursive invocation.
+type Probe func(l *Lock, s Site) Action
+
+// injector is the installed probe; nil means injection is inert.
+var injector atomic.Pointer[Probe]
+
+// SetInjector installs p as the process-wide fault injector; p == nil
+// uninstalls. Installation is atomic but not synchronised with in-flight
+// lock operations: install before starting the workload under test and
+// clear after it fully drains.
+func SetInjector(p Probe) {
+	if p == nil {
+		injector.Store(nil)
+		return
+	}
+	injector.Store(&p)
+}
+
+// ClearInjector uninstalls the fault injector.
+func ClearInjector() { injector.Store(nil) }
+
+// probe consults the installed injector, defaulting to ActNone.
+func probe(l *Lock, s Site) Action {
+	if p := injector.Load(); p != nil {
+		return (*p)(l, s)
+	}
+	return ActNone
+}

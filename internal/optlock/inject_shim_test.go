@@ -1,0 +1,124 @@
+//go:build lockinject
+
+package optlock
+
+import (
+	"testing"
+)
+
+// These tests run only under the lockinject build tag and verify the
+// fault-injection shim itself: that every probe site fires where the
+// site documentation says it does, and that injected actions force the
+// exact failure the production code must tolerate.
+
+// TestInjectingEnabled pins the build-tag plumbing: under the tag the
+// shim must be compiled in.
+func TestInjectingEnabled(t *testing.T) {
+	if !Injecting {
+		t.Fatal("Injecting = false under the lockinject build tag")
+	}
+}
+
+// TestProbeSiteSequence records every probe firing through one scripted
+// walk of the lock and asserts the exact site order — the contract the
+// injection tests of internal/check rely on when they target a site.
+func TestProbeSiteSequence(t *testing.T) {
+	var l Lock
+	var got []Site
+	SetInjector(func(pl *Lock, s Site) Action {
+		if pl == &l {
+			got = append(got, s)
+		}
+		return ActNone
+	})
+	defer ClearInjector()
+
+	lease := l.StartRead()     // SiteStartRead
+	l.Valid(lease)             // SiteValidate, then SiteValidated (success)
+	l.TryUpgradeToWrite(lease) // SiteUpgrade (succeeds)
+	l.EndWrite()               // SiteEndWrite
+	l.TryStartWrite()          // SiteTryWrite (succeeds)
+	l.AbortWrite()             // SiteAbortWrite
+	stale := Lease{}           // version 0; current version is 2
+	l.Valid(stale)             // SiteValidate only — failed validation
+	want := []Site{
+		SiteStartRead,
+		SiteValidate, SiteValidated,
+		SiteUpgrade,
+		SiteEndWrite,
+		SiteTryWrite,
+		SiteAbortWrite,
+		SiteValidate,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("probe sequence %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("probe %d = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestInjectedFailuresForceEachPath: an ActFail at each failable site
+// must force that operation to report failure even though the lock state
+// would let it succeed — and the lock must be left untouched, so the
+// caller's retry path (the thing the harness wants to execute) runs.
+func TestInjectedFailuresForceEachPath(t *testing.T) {
+	cases := []struct {
+		site Site
+		op   func(l *Lock, lease Lease) bool
+	}{
+		{SiteValidate, func(l *Lock, lease Lease) bool { return l.Valid(lease) }},
+		{SiteUpgrade, func(l *Lock, lease Lease) bool { return l.TryUpgradeToWrite(lease) }},
+		{SiteTryWrite, func(l *Lock, lease Lease) bool { return l.TryStartWrite() }},
+	}
+	for _, c := range cases {
+		var l Lock
+		lease := l.StartRead()
+
+		fail := c.site
+		SetInjector(func(pl *Lock, s Site) Action {
+			if s == fail {
+				return ActFail
+			}
+			return ActNone
+		})
+		if c.op(&l, lease) {
+			t.Errorf("%v: operation succeeded despite injected failure", c.site)
+		}
+		if l.IsWriteLocked() {
+			t.Errorf("%v: injected failure left the lock write-locked", c.site)
+		}
+		if got := l.Version(); got != 0 {
+			t.Errorf("%v: injected failure moved the version to %d", c.site, got)
+		}
+
+		// Uninstall: the same operation must now succeed — injected
+		// failures are spurious, not sticky.
+		ClearInjector()
+		if !c.op(&l, lease) {
+			t.Errorf("%v: operation failed after injector removal", c.site)
+		}
+	}
+	ClearInjector()
+}
+
+// TestSiteStrings keeps the site names stable; they appear in test logs
+// and the harness documentation.
+func TestSiteStrings(t *testing.T) {
+	want := map[Site]string{
+		SiteStartRead:  "start_read",
+		SiteValidate:   "validate",
+		SiteValidated:  "validated",
+		SiteUpgrade:    "upgrade",
+		SiteTryWrite:   "try_write",
+		SiteEndWrite:   "end_write",
+		SiteAbortWrite: "abort_write",
+	}
+	for s, name := range want {
+		if got := s.String(); got != name {
+			t.Errorf("Site(%d).String() = %q, want %q", s, got, name)
+		}
+	}
+}

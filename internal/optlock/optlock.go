@@ -58,6 +58,9 @@ func spinWait(attempt int) {
 // It blocks (spinning) while a writer is active, since a lease taken at an
 // odd version could never validate.
 func (l *Lock) StartRead() Lease {
+	if Injecting {
+		probe(l, SiteStartRead)
+	}
 	for attempt := 0; ; attempt++ {
 		v := l.version.Load()
 		if v&1 == 0 {
@@ -70,7 +73,16 @@ func (l *Lock) StartRead() Lease {
 // Valid reports whether the data read under the lease is still consistent,
 // i.e. no writer has started since the lease was taken.
 func (l *Lock) Valid(lease Lease) bool {
-	return l.version.Load() == lease.version
+	if Injecting && probe(l, SiteValidate) == ActFail {
+		return false // injected spurious conflict
+	}
+	ok := l.version.Load() == lease.version
+	if Injecting && ok {
+		// Injection point inside the window between a successful
+		// validation and the caller's next load — see SiteValidated.
+		probe(l, SiteValidated)
+	}
+	return ok
 }
 
 // EndRead terminates a read phase. It returns true if the entire phase was
@@ -85,6 +97,9 @@ func (l *Lock) EndRead(lease Lease) bool {
 // write began since the lease was taken, so the data inspected under the
 // lease is guaranteed to still be current when the write lock is granted.
 func (l *Lock) TryUpgradeToWrite(lease Lease) bool {
+	if Injecting && probe(l, SiteUpgrade) == ActFail {
+		return false // injected lost CAS
+	}
 	return l.version.CompareAndSwap(lease.version, lease.version+1)
 }
 
@@ -92,6 +107,9 @@ func (l *Lock) TryUpgradeToWrite(lease Lease) bool {
 // read phase. It is non-blocking: false means a writer is active or the
 // CAS was lost to a competitor.
 func (l *Lock) TryStartWrite() bool {
+	if Injecting && probe(l, SiteTryWrite) == ActFail {
+		return false // injected lost CAS
+	}
 	v := l.version.Load()
 	if v&1 != 0 {
 		return false
@@ -139,6 +157,10 @@ func (l *Lock) StartWriteTimed() (spins uint64, waitNanos int64) {
 // The version advances to the next even number, invalidating every lease
 // issued before or during the write.
 func (l *Lock) EndWrite() {
+	if Injecting {
+		// Delaying here delays version publication: the lock stays odd.
+		probe(l, SiteEndWrite)
+	}
 	l.version.Add(1)
 }
 
@@ -147,6 +169,9 @@ func (l *Lock) EndWrite() {
 // read leases remain valid — readers that overlapped the aborted write
 // need not restart.
 func (l *Lock) AbortWrite() {
+	if Injecting {
+		probe(l, SiteAbortWrite)
+	}
 	l.version.Add(^uint64(0)) // decrement
 }
 

@@ -1,0 +1,89 @@
+package optlock
+
+import "testing"
+
+// TestStateMachineSequentialWalk drives all eight operations of the lock
+// (StartRead, Valid, EndRead, TryUpgradeToWrite, TryStartWrite,
+// StartWrite/StartWriteTimed, EndWrite, AbortWrite) through their legal
+// transitions in one deterministic, single-threaded sequence, tracking
+// the version word at every step. The concurrency properties have their
+// own tests (optlock_test.go) and the fault-injection variants theirs
+// (inject_shim_test.go, lockinject builds); this is the ground-truth map
+// of the state machine the others assume.
+func TestStateMachineSequentialWalk(t *testing.T) {
+	var l Lock
+	assertVersion := func(step string, want uint64) {
+		t.Helper()
+		if got := l.Version(); got != want {
+			t.Fatalf("%s: version = %d, want %d", step, got, want)
+		}
+	}
+
+	// Optimistic read: lease at 0, validate, end; version untouched.
+	lease0 := l.StartRead()
+	if !l.Valid(lease0) || !l.EndRead(lease0) {
+		t.Fatal("undisturbed read phase failed validation")
+	}
+	assertVersion("after read", 0)
+
+	// Upgrade the (still current) lease: version goes odd.
+	if !l.TryUpgradeToWrite(lease0) {
+		t.Fatal("upgrade of current lease failed")
+	}
+	if !l.IsWriteLocked() {
+		t.Fatal("not write-locked after upgrade")
+	}
+	assertVersion("after upgrade", 1)
+
+	// Writers exclude writers and upgrades while active.
+	if l.TryStartWrite() {
+		t.Fatal("TryStartWrite succeeded during a write phase")
+	}
+	if l.TryUpgradeToWrite(lease0) {
+		t.Fatal("upgrade succeeded during a write phase")
+	}
+	if l.Valid(lease0) {
+		t.Fatal("lease valid during a write phase")
+	}
+
+	// EndWrite publishes: next even version, old lease dead.
+	l.EndWrite()
+	assertVersion("after EndWrite", 2)
+	if l.Valid(lease0) {
+		t.Fatal("pre-write lease valid after a completed write")
+	}
+
+	// The defining upgrade guarantee: a lease with an intervening
+	// completed writer must never upgrade, while a fresh lease must.
+	stale := l.StartRead() // version 2
+	if !l.TryStartWrite() {
+		t.Fatal("TryStartWrite failed on unlocked lock")
+	}
+	l.EndWrite() // version 4: the intervening writer
+	if l.TryUpgradeToWrite(stale) {
+		t.Fatal("stale lease upgraded after an intervening writer — lost update possible")
+	}
+	if l.IsWriteLocked() {
+		t.Fatal("failed upgrade must not take the lock")
+	}
+	fresh := l.StartRead()
+	if !l.TryUpgradeToWrite(fresh) {
+		t.Fatal("fresh lease failed to upgrade")
+	}
+	assertVersion("after fresh upgrade", 5)
+
+	// AbortWrite rolls back: version returns to 4, and a lease from
+	// before the aborted write is still valid.
+	l.AbortWrite()
+	assertVersion("after abort", 4)
+	if !l.Valid(fresh) {
+		t.Fatal("aborted write invalidated an overlapping lease")
+	}
+
+	// Uncontended blocking acquisition reports zero contention.
+	if spins, wait := l.StartWriteTimed(); spins != 0 || wait != 0 {
+		t.Fatalf("uncontended StartWriteTimed reported spins=%d wait=%d", spins, wait)
+	}
+	l.EndWrite()
+	assertVersion("final", 6)
+}

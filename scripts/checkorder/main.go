@@ -1,0 +1,265 @@
+// Command checkorder enforces the load-before-validate rule in the
+// tree's optimistic read paths (the PR 3 lesson): any value a reader
+// uses after a successful lease validation must have been loaded BEFORE
+// the validation — otherwise a writer landing between the validation and
+// the load silently breaks the read's consistency. The concrete instance
+// this lint targets is the leaf count: descent code must never execute
+//
+//	if !valid(&n.lock, lease, &oc) { ... }
+//	cnt := int(n.count.Load())        // RACE: count read after validate
+//
+// but always capture the count first and validate afterwards.
+//
+// The check is a per-statement-list lexical scan over the AST of every
+// non-test Go file in the packages given as arguments:
+//
+//   - A statement whose HEADER (the statement minus any nested block
+//     bodies — an if's init/condition, a for's clauses, an assignment's
+//     right-hand side) calls the validation funnel (an identifier named
+//     "valid" or a method named "Valid") taints the statements after it.
+//   - A ".StartRead(" call in a header clears the taint: a fresh lease
+//     opens a new read section, and loads that precede its validation
+//     are exactly the sanctioned pattern.
+//   - A ".count.Load(" call while tainted is a violation.
+//
+// Nested statement lists (block bodies, case bodies) are scanned
+// independently, each starting untainted: a count load after an if-block
+// that merely CONTAINS validations is fine — the load-after-validate
+// hazard is a straight-line ordering problem within one list. This
+// scoping is what keeps the fixed boundHintCounted clean while the
+// pre-fix version (preserved as core.LowerBoundRacy in lockinject
+// builds) is flagged.
+//
+// Files carrying a "//checkorder:ignore-file" comment are skipped; the
+// only legitimate carrier is the deliberately broken reference path the
+// correctness harness proves itself against.
+//
+// Usage: go run ./scripts/checkorder ./internal/core [more packages...]
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkorder <package-dir> [more...]")
+		os.Exit(2)
+	}
+	var violations []string
+	for _, dir := range os.Args[1:] {
+		v, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkorder: %v\n", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "checkorder: %d load-after-validate violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+func checkDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		v, err := checkFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+func checkFile(path string) ([]string, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.Contains(string(src), "//checkorder:ignore-file") {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		// Scan every statement list found anywhere; ast.Inspect reaches
+		// nested lists on its own, so scanList must not recurse.
+		switch l := n.(type) {
+		case *ast.BlockStmt:
+			out = append(out, scanList(fset, l.List)...)
+		case *ast.CaseClause:
+			out = append(out, scanList(fset, l.Body)...)
+		case *ast.CommClause:
+			out = append(out, scanList(fset, l.Body)...)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// scanList performs the lexical taint scan over one statement list.
+func scanList(fset *token.FileSet, stmts []ast.Stmt) []string {
+	var out []string
+	tainted := false
+	var taintPos token.Pos
+	for _, s := range stmts {
+		h := headerExprs(s)
+		if tainted {
+			if pos, ok := findCountLoad(h); ok {
+				out = append(out, fmt.Sprintf("%s: count loaded after lease validation at %s",
+					fset.Position(pos), fset.Position(taintPos)))
+			}
+		}
+		if pos, ok := findCall(h, isStartRead); ok {
+			tainted = false
+			_ = pos
+		}
+		if pos, ok := findCall(h, isValidate); ok {
+			tainted = true
+			taintPos = pos
+		}
+	}
+	return out
+}
+
+// headerExprs returns the expressions of a statement's header — the
+// parts evaluated as straight-line code in the enclosing list, excluding
+// any nested block bodies (those are scanned as their own lists).
+func headerExprs(s ast.Stmt) []ast.Node {
+	var h []ast.Node
+	add := func(n ast.Node) {
+		if n != nil && n != ast.Node(nil) {
+			h = append(h, n)
+		}
+	}
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		if st.Init != nil {
+			add(st.Init)
+		}
+		add(st.Cond)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			add(st.Init)
+		}
+		if st.Cond != nil {
+			add(st.Cond)
+		}
+		if st.Post != nil {
+			add(st.Post)
+		}
+	case *ast.RangeStmt:
+		add(st.X)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			add(st.Init)
+		}
+		if st.Tag != nil {
+			add(st.Tag)
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			add(st.Init)
+		}
+		add(st.Assign)
+	case *ast.SelectStmt, *ast.BlockStmt:
+		// Pure block containers: no header of their own.
+	case *ast.LabeledStmt:
+		return headerExprs(st.Stmt)
+	default:
+		// Assignments, expressions, returns, declarations, defers, gos:
+		// the whole statement is straight-line code.
+		add(s)
+	}
+	return h
+}
+
+// visitHeader walks a header node but does not descend into nested
+// function literals or block statements (their bodies are independent
+// statement lists).
+func visitHeader(n ast.Node, f func(*ast.CallExpr) bool) (token.Pos, bool) {
+	var hit token.Pos
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		switch cc := c.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false // nested list — scanned independently
+		case *ast.CallExpr:
+			if f(cc) {
+				hit, found = cc.Pos(), true
+				return false
+			}
+		}
+		return true
+	})
+	return hit, found
+}
+
+func findCall(hdr []ast.Node, pred func(*ast.CallExpr) bool) (token.Pos, bool) {
+	for _, n := range hdr {
+		if pos, ok := visitHeader(n, pred); ok {
+			return pos, true
+		}
+	}
+	return 0, false
+}
+
+func findCountLoad(hdr []ast.Node) (token.Pos, bool) {
+	return findCall(hdr, isCountLoad)
+}
+
+// isValidate matches the tree's validation funnel: a call to a plain
+// identifier "valid" (the obs-counting wrapper) or to a method "Valid"
+// (the raw lock call), however qualified.
+func isValidate(c *ast.CallExpr) bool {
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "valid"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Valid"
+	}
+	return false
+}
+
+// isStartRead matches a lease acquisition: any call to a method named
+// "StartRead".
+func isStartRead(c *ast.CallExpr) bool {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "StartRead"
+}
+
+// isCountLoad matches "<expr>.count.Load(...)".
+func isCountLoad(c *ast.CallExpr) bool {
+	load, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok || load.Sel.Name != "Load" {
+		return false
+	}
+	count, ok := load.X.(*ast.SelectorExpr)
+	return ok && count.Sel.Name == "count"
+}

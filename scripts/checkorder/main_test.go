@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFlagsLoadAfterValidate: the exact shape of the pre-PR 3 bug must
+// be reported — count loaded lexically after a validation in the same
+// statement list, whether the validation is a bare statement, an if
+// condition, or the raw lock method.
+func TestFlagsLoadAfterValidate(t *testing.T) {
+	cases := map[string]string{
+		"if-condition valid": `package p
+func f() {
+	if !valid(&cur.lock, lease, &oc) {
+		return
+	}
+	cnt := int(cur.count.Load())
+	_ = cnt
+}`,
+		"raw Valid method": `package p
+func f() {
+	if !cur.lock.Valid(lease) {
+		return
+	}
+	cnt := int(cur.count.Load())
+	_ = cnt
+}`,
+		"count load inside later header": `package p
+func f() {
+	ok := valid(&cur.lock, lease, &oc)
+	if idx < int(cur.count.Load()) {
+		_ = ok
+	}
+}`,
+	}
+	for name, src := range cases {
+		if got := lintSource(t, src); len(got) != 1 {
+			t.Errorf("%s: %d violations, want 1: %v", name, len(got), got)
+		}
+	}
+}
+
+// TestAcceptsLoadBeforeValidate: the fixed ordering — capture the count,
+// then validate — must pass, as must a count load under a fresh lease.
+func TestAcceptsLoadBeforeValidate(t *testing.T) {
+	cases := map[string]string{
+		"fixed ordering": `package p
+func f() {
+	cnt := int(cur.count.Load())
+	if !valid(&cur.lock, lease, &oc) {
+		return
+	}
+	_ = cnt
+}`,
+		"fresh lease clears taint": `package p
+func f() {
+	if !valid(&cur.lock, lease, &oc) {
+		return
+	}
+	lease2 := next.lock.StartRead()
+	cnt := int(next.count.Load())
+	_, _ = lease2, cnt
+}`,
+		"nested block scanned independently": `package p
+func f() {
+	if !cur.inner {
+		if !valid(&cur.lock, lease, &oc) {
+			return
+		}
+		return
+	}
+	cnt := int(cur.count.Load())
+	_ = cnt
+}`,
+	}
+	for name, src := range cases {
+		if got := lintSource(t, src); len(got) != 0 {
+			t.Errorf("%s: unexpected violations: %v", name, got)
+		}
+	}
+}
+
+// TestIgnoreMarkerSkipsFile: the deliberately broken harness reference
+// carries the marker and must not be linted.
+func TestIgnoreMarkerSkipsFile(t *testing.T) {
+	src := `package p
+//checkorder:ignore-file
+func f() {
+	_ = valid(&cur.lock, lease, &oc)
+	_ = cur.count.Load()
+}`
+	if got := lintSource(t, src); len(got) != 0 {
+		t.Errorf("ignored file produced violations: %v", got)
+	}
+}
+
+// TestFlagsRealRacyReference lints the preserved pre-fix descent
+// (core racy_inject.go) with its ignore marker stripped: the lint must
+// flag the reintroduced bug, proving it would have caught PR 3.
+func TestFlagsRealRacyReference(t *testing.T) {
+	raw, err := os.ReadFile("../../internal/core/racy_inject.go")
+	if err != nil {
+		t.Skipf("racy reference not readable: %v", err)
+	}
+	src := string(raw)
+	const marker = "//checkorder:ignore-file"
+	idx := -1
+	for i := 0; i+len(marker) <= len(src); i++ {
+		if src[i:i+len(marker)] == marker {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("racy_inject.go lost its ignore marker")
+	}
+	stripped := src[:idx] + "// (marker stripped for lint self-test)" + src[idx+len(marker):]
+	got := lintSource(t, stripped)
+	if len(got) == 0 {
+		t.Fatal("lint missed the load-after-validate bug in the racy reference path")
+	}
+}
