@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json figures examples clean
+.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json bench-json-merge bench-json-serve serve-smoke figures examples clean
 
-all: build lint test obsoff race check-harness check-docs bench-smoke
+all: build lint test obsoff race check-harness check-docs bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -40,17 +40,20 @@ test:
 # race runs the concurrency-sensitive packages under the race detector:
 # the lock, the tree (including the live shape walker and the bound-query
 # contract stress test), the parallel merge dispatch, the engine's
-# parallel data-movement spine, the observability registries and the
-# debug server that reads them while workers run.
+# parallel data-movement spine, the observability registries, the debug
+# server that reads them while workers run, and the network serving
+# subsystem (phase scheduler, pipelined client, slow-client teardown).
 race:
-	$(GO) test -race ./internal/optlock ./internal/core ./internal/relation ./internal/datalog ./internal/obs ./internal/obshttp ./internal/check
+	$(GO) test -race ./internal/optlock ./internal/core ./internal/relation ./internal/datalog ./internal/obs ./internal/obshttp ./internal/check ./internal/serve
 
 # check-harness runs the concurrent-correctness harness (DESIGN.md §10)
 # in short mode under the race detector, in both build flavours: the
-# differential oracle against every provider, and — under the lockinject
-# tag — the fault-injection suite, including the deterministic
-# reproduction of the PR 3 load-after-validate race against the
-# preserved pre-fix bound path.
+# differential oracle against every provider — including the
+# serve-socket target, which drives the §11 relation server over real
+# loopback connections — and, under the lockinject tag, the
+# fault-injection suite, including the deterministic reproduction of
+# the PR 3 load-after-validate race against the preserved pre-fix
+# bound path.
 check-harness:
 	$(GO) test -short -race ./internal/check
 	$(GO) test -short -race -tags lockinject ./internal/check ./internal/optlock
@@ -65,12 +68,25 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchmerge -size 20000 -load 6000 -evalsize 8 -workers 1,2 -reps 1 >/dev/null
 
-# bench-json regenerates the checked-in BENCH_merge.json: the pinned
-# merge-scaling run (>= 1M-tuple source) in the stable
-# specbtree.bench.merge.v1 schema. Scaling figures only mean something
-# relative to the recorded cpus/gomaxprocs fields — see EXPERIMENTS.md.
-bench-json:
+# serve-smoke exercises the network serving subsystem end to end as
+# part of `all`: servebtree on a loopback port, a mixed loadgen run
+# whose determinism gate verifies the final relation contents, and a
+# SIGTERM graceful drain (DESIGN.md §11).
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# bench-json regenerates the checked-in benchmark documents: the pinned
+# merge-scaling run (>= 1M-tuple source, specbtree.bench.merge.v1) and
+# the pinned serving-layer run (specbtree.bench.serve.v1). Figures only
+# mean something relative to the recorded cpus/gomaxprocs fields — see
+# EXPERIMENTS.md.
+bench-json: bench-json-merge bench-json-serve
+
+bench-json-merge:
 	$(GO) run ./cmd/benchmerge -size 1200000 -load 200000 -evalsize 24 -workers 1,2,8 -json > BENCH_merge.json
+
+bench-json-serve:
+	./scripts/bench_serve_json.sh > BENCH_serve.json
 
 # Regenerate every table and figure of the paper (laptop-scale defaults;
 # see EXPERIMENTS.md for the flags matching the paper's full sizes).

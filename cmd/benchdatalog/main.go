@@ -27,10 +27,10 @@ import (
 	"sync/atomic"
 
 	"specbtree/internal/bench"
+	"specbtree/internal/cmdutil"
 	"specbtree/internal/core"
 	"specbtree/internal/datalog"
 	"specbtree/internal/obs"
-	"specbtree/internal/obshttp"
 	"specbtree/internal/relation"
 	"specbtree/internal/workload"
 )
@@ -65,15 +65,12 @@ func main() {
 	serveFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
-	if *serveFlag != "" {
-		srv, err := obshttp.Start(*serveFlag, obshttp.Options{Shapes: liveShapes})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
+	stopDebug, err := cmdutil.StartDebug(*serveFlag, liveShapes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer stopDebug()
 
 	threads, err := bench.ParseIntList(*threadsFlag)
 	if err != nil {

@@ -23,11 +23,11 @@ import (
 
 	"specbtree/internal/bench"
 	"specbtree/internal/chashset"
+	"specbtree/internal/cmdutil"
 	"specbtree/internal/core"
 	"specbtree/internal/gbtree"
 	"specbtree/internal/hashset"
 	"specbtree/internal/obs"
-	"specbtree/internal/obshttp"
 	"specbtree/internal/rbtree"
 	"specbtree/internal/seqbtree"
 	"specbtree/internal/tuple"
@@ -125,15 +125,12 @@ func main() {
 	serveFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
-	if *serveFlag != "" {
-		srv, err := obshttp.Start(*serveFlag, obshttp.Options{Shapes: liveShapes})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
+	stopDebug, err := cmdutil.StartDebug(*serveFlag, liveShapes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer stopDebug()
 
 	sizes, err := bench.ParseIntList(*sizesFlag)
 	if err != nil {

@@ -24,10 +24,10 @@ import (
 
 	"specbtree/internal/bench"
 	"specbtree/internal/bslack"
+	"specbtree/internal/cmdutil"
 	"specbtree/internal/core"
 	"specbtree/internal/masstree"
 	"specbtree/internal/obs"
-	"specbtree/internal/obshttp"
 	"specbtree/internal/obslack"
 	"specbtree/internal/palm"
 	"specbtree/internal/tuple"
@@ -124,15 +124,12 @@ func main() {
 	serveFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
-	if *serveFlag != "" {
-		srv, err := obshttp.Start(*serveFlag, obshttp.Options{Shapes: liveShapes})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
+	stopDebug, err := cmdutil.StartDebug(*serveFlag, liveShapes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer stopDebug()
 
 	threads, err := bench.ParseIntList(*threadsFlag)
 	if err != nil {

@@ -25,9 +25,9 @@ import (
 	"sync/atomic"
 
 	"specbtree/internal/bench"
+	"specbtree/internal/cmdutil"
 	"specbtree/internal/core"
 	"specbtree/internal/datalog"
-	"specbtree/internal/obshttp"
 	"specbtree/internal/relation"
 	"specbtree/internal/tuple"
 )
@@ -68,15 +68,12 @@ func main() {
 		}
 		return
 	}
-	if *serve != "" {
-		srv, err := obshttp.Start(*serve, obshttp.Options{Shapes: liveShapes})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
+	stopDebug, err := cmdutil.StartDebug(*serve, liveShapes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer stopDebug()
 	if err := run(flag.Arg(0), *jobs, *factsDir, *outDir, *structure, *stats, *metrics, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

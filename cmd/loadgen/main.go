@@ -1,0 +1,369 @@
+// Command loadgen drives a servebtree instance with a seeded mixed
+// workload from concurrent pipelined clients and reports throughput and
+// latency percentiles. Each client derives its own deterministic
+// operation stream from the master seed, so the exact multiset of
+// inserted tuples is known in advance regardless of scheduling — after
+// the run, loadgen scans the server and compares contents against that
+// expectation (a determinism checksum gate): any mismatch aborts with a
+// non-zero exit.
+//
+// Write requests that hit server backpressure (RETRY) are backed off
+// and resent, so the delivered workload is identical across runs; the
+// retry count is reported.
+//
+// With -json the command emits a single schema-versioned document
+// ("specbtree.bench.serve.v1") on stdout, carrying the host's CPU count
+// and GOMAXPROCS alongside the numbers — throughput figures are
+// meaningless without them (see EXPERIMENTS.md on single-core runs).
+//
+// Usage:
+//
+//	loadgen [-addr localhost:4070] [-clients 8] [-requests 2000]
+//	        [-batch 16] [-writes 20] [-space 65536] [-scanlimit 64]
+//	        [-seed 1] [-timeout 10s] [-json]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"specbtree/internal/bench"
+	"specbtree/internal/serve"
+	"specbtree/internal/tuple"
+)
+
+// op kinds of the generated schedule.
+const (
+	opInsert = iota
+	opContains
+	opLower
+	opUpper
+	opScan
+)
+
+// genOp is one pre-generated request of a client's schedule.
+type genOp struct {
+	kind  int
+	arg   tuple.Tuple   // probe / scan lower bound
+	batch []tuple.Tuple // insert batch
+}
+
+// latSummary is the latency digest of one request class.
+type latSummary struct {
+	Count int     `json:"count"`
+	P50Ns float64 `json:"p50_ns"`
+	P90Ns float64 `json:"p90_ns"`
+	P99Ns float64 `json:"p99_ns"`
+	MaxNs float64 `json:"max_ns"`
+}
+
+// doc is the schema-versioned JSON document emitted by -json.
+type doc struct {
+	Schema         string     `json:"schema"`
+	CPUs           int        `json:"cpus"`
+	GoMaxProcs     int        `json:"gomaxprocs"`
+	GoVersion      string     `json:"go_version"`
+	Seed           int64      `json:"seed"`
+	Clients        int        `json:"clients"`
+	Requests       int        `json:"requests_per_client"`
+	Batch          int        `json:"batch"`
+	WritePercent   int        `json:"write_percent"`
+	Space          uint64     `json:"space"`
+	Seconds        float64    `json:"seconds"`
+	TotalRequests  int        `json:"total_requests"`
+	RequestsPerSec float64    `json:"requests_per_sec"`
+	InsertTuples   int        `json:"insert_tuples"`
+	Retries        uint64     `json:"retries"`
+	Reconnects     uint64     `json:"reconnects"`
+	Read           latSummary `json:"read_latency"`
+	Insert         latSummary `json:"insert_latency"`
+	// Checksum is an FNV-1a digest of the final relation contents in scan
+	// order; identical seeds against an identically pre-loaded server must
+	// produce identical checksums.
+	Checksum string `json:"checksum"`
+	FinalLen int    `json:"final_len"`
+	BaseLen  int    `json:"base_len"`
+}
+
+// splitmix64 decorrelates (seed, client) into per-client stream seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// randTuple draws an arity-width tuple with every word in [0, space).
+func randTuple(rng *rand.Rand, arity int, space uint64) tuple.Tuple {
+	t := make(tuple.Tuple, arity)
+	for i := range t {
+		t[i] = rng.Uint64() % space
+	}
+	return t
+}
+
+// schedule pre-generates client c's operation stream. Generating up
+// front (rather than on the fly) makes the inserted-tuple multiset a
+// pure function of the flags, which is what the checksum gate verifies.
+func schedule(seed int64, c, requests, batch int, writePct int, arity int, space uint64) []genOp {
+	rng := rand.New(rand.NewSource(int64(splitmix64(uint64(seed)) ^ splitmix64(uint64(c)+1))))
+	ops := make([]genOp, 0, requests)
+	for i := 0; i < requests; i++ {
+		if int(rng.Uint64()%100) < writePct {
+			b := make([]tuple.Tuple, batch)
+			for j := range b {
+				b[j] = randTuple(rng, arity, space)
+			}
+			ops = append(ops, genOp{kind: opInsert, batch: b})
+			continue
+		}
+		kind := opContains + int(rng.Uint64()%4)
+		ops = append(ops, genOp{kind: kind, arg: randTuple(rng, arity, space)})
+	}
+	return ops
+}
+
+// clientResult carries one client's measurements back to main.
+type clientResult struct {
+	readNs    []float64
+	insertNs  []float64
+	retries   uint64
+	reconnect uint64
+	err       error
+}
+
+// runClient replays one schedule against the server, backing off and
+// resending on RETRY.
+func runClient(addr string, ops []genOp, scanLimit int, timeout time.Duration) clientResult {
+	var res clientResult
+	c, err := serve.Dial(addr, serve.ClientOptions{Timeout: timeout})
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer c.Close()
+	for i := range ops {
+		op := &ops[i]
+		start := time.Now()
+		switch op.kind {
+		case opInsert:
+			for {
+				_, err = c.Insert(op.batch)
+				if !errors.Is(err, serve.ErrRetry) {
+					break
+				}
+				res.retries++
+				time.Sleep(time.Millisecond)
+			}
+		case opContains:
+			_, err = c.Contains(op.arg)
+		case opLower:
+			_, _, err = c.LowerBound(op.arg)
+		case opUpper:
+			_, _, err = c.UpperBound(op.arg)
+		case opScan:
+			_, _, err = c.Scan(op.arg, nil, scanLimit)
+		}
+		if err != nil {
+			res.err = fmt.Errorf("request %d: %w", i, err)
+			return res
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if op.kind == opInsert {
+			res.insertNs = append(res.insertNs, ns)
+		} else {
+			res.readNs = append(res.readNs, ns)
+		}
+	}
+	res.reconnect = c.Reconnects()
+	return res
+}
+
+// summarize sorts the samples and extracts the digest.
+func summarize(ns []float64) latSummary {
+	if len(ns) == 0 {
+		return latSummary{}
+	}
+	sort.Float64s(ns)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ns)-1))
+		return ns[i]
+	}
+	return latSummary{
+		Count: len(ns),
+		P50Ns: at(0.50),
+		P90Ns: at(0.90),
+		P99Ns: at(0.99),
+		MaxNs: ns[len(ns)-1],
+	}
+}
+
+// checksumTuples digests tuples (already in scan order) with FNV-1a.
+func checksumTuples(ts []tuple.Tuple) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, t := range ts {
+		for _, v := range t {
+			b[0] = byte(v >> 56)
+			b[1] = byte(v >> 48)
+			b[2] = byte(v >> 40)
+			b[3] = byte(v >> 32)
+			b[4] = byte(v >> 24)
+			b[5] = byte(v >> 16)
+			b[6] = byte(v >> 8)
+			b[7] = byte(v)
+			h.Write(b[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	addrFlag := flag.String("addr", "localhost:4070", "servebtree address to drive")
+	clientsFlag := flag.Int("clients", 8, "concurrent client connections")
+	requestsFlag := flag.Int("requests", 2000, "requests per client")
+	batchFlag := flag.Int("batch", 16, "tuples per insert batch")
+	writesFlag := flag.Int("writes", 20, "percentage of requests that are insert batches")
+	spaceFlag := flag.Uint64("space", 1<<16, "key space per tuple word (smaller = more duplicate hits)")
+	scanLimitFlag := flag.Int("scanlimit", 64, "result cap per scan request")
+	seedFlag := flag.Int64("seed", 1, "workload generator seed")
+	timeoutFlag := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	jsonFlag := flag.Bool("json", false, "emit the specbtree.bench.serve.v1 JSON document")
+	flag.Parse()
+	if *writesFlag < 0 || *writesFlag > 100 {
+		fatal(fmt.Errorf("loadgen: -writes %d out of range [0, 100]", *writesFlag))
+	}
+
+	// One scout connection: learn the arity and capture the base contents
+	// the expectation is built on.
+	scout, err := serve.Dial(*addrFlag, serve.ClientOptions{Timeout: *timeoutFlag})
+	if err != nil {
+		fatal(err)
+	}
+	arity := scout.Arity()
+	expected := make(map[string]tuple.Tuple)
+	if err := scout.ScanAll(nil, nil, func(t tuple.Tuple) bool {
+		expected[tuple.KeyString(t)] = t.Clone()
+		return true
+	}); err != nil {
+		fatal(fmt.Errorf("loadgen: base scan: %w", err))
+	}
+	baseLen := len(expected)
+
+	schedules := make([][]genOp, *clientsFlag)
+	insertTuples := 0
+	for c := range schedules {
+		schedules[c] = schedule(*seedFlag, c, *requestsFlag, *batchFlag, *writesFlag, arity, *spaceFlag)
+		for i := range schedules[c] {
+			for _, t := range schedules[c][i].batch {
+				expected[tuple.KeyString(t)] = t
+				insertTuples++
+			}
+		}
+	}
+
+	results := make([]clientResult, *clientsFlag)
+	var wg sync.WaitGroup
+	elapsed := bench.Measure(func() {
+		for c := 0; c < *clientsFlag; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				results[c] = runClient(*addrFlag, schedules[c], *scanLimitFlag, *timeoutFlag)
+			}(c)
+		}
+		wg.Wait()
+	})
+	for c, r := range results {
+		if r.err != nil {
+			fatal(fmt.Errorf("loadgen: client %d: %w", c, r.err))
+		}
+	}
+
+	// Determinism checksum gate: the final contents must be exactly the
+	// base contents plus every scheduled insert tuple.
+	var final []tuple.Tuple
+	if err := scout.ScanAll(nil, nil, func(t tuple.Tuple) bool {
+		final = append(final, t.Clone())
+		return true
+	}); err != nil {
+		fatal(fmt.Errorf("loadgen: final scan: %w", err))
+	}
+	scout.Close()
+	want := make([]tuple.Tuple, 0, len(expected))
+	for _, t := range expected {
+		want = append(want, t)
+	}
+	sort.Slice(want, func(i, j int) bool { return tuple.Less(want[i], want[j]) })
+	gotSum, wantSum := checksumTuples(final), checksumTuples(want)
+	if len(final) != len(want) || gotSum != wantSum {
+		fatal(fmt.Errorf("loadgen: determinism gate failed: server has %d tuples (checksum %s), expected %d (checksum %s)",
+			len(final), gotSum, len(want), wantSum))
+	}
+
+	d := doc{
+		Schema:       "specbtree.bench.serve.v1",
+		CPUs:         runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		GoVersion:    runtime.Version(),
+		Seed:         *seedFlag,
+		Clients:      *clientsFlag,
+		Requests:     *requestsFlag,
+		Batch:        *batchFlag,
+		WritePercent: *writesFlag,
+		Space:        *spaceFlag,
+		Seconds:      elapsed.Seconds(),
+		InsertTuples: insertTuples,
+		Checksum:     gotSum,
+		FinalLen:     len(final),
+		BaseLen:      baseLen,
+	}
+	var readNs, insertNs []float64
+	for _, r := range results {
+		readNs = append(readNs, r.readNs...)
+		insertNs = append(insertNs, r.insertNs...)
+		d.Retries += r.retries
+		d.Reconnects += r.reconnect
+	}
+	d.TotalRequests = len(readNs) + len(insertNs)
+	d.RequestsPerSec = bench.Throughput(d.TotalRequests, elapsed)
+	d.Read = summarize(readNs)
+	d.Insert = summarize(insertNs)
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	render(d)
+}
+
+func render(d doc) {
+	fmt.Printf("loadgen: %d clients x %d requests (%d%% writes, batch %d, seed %d)\n",
+		d.Clients, d.Requests, d.WritePercent, d.Batch, d.Seed)
+	fmt.Printf("  elapsed:    %.3fs (%s requests)\n", d.Seconds, bench.FormatOps(d.RequestsPerSec))
+	fmt.Printf("  reads:      %d requests, p50 %.0fns p90 %.0fns p99 %.0fns max %.0fns\n",
+		d.Read.Count, d.Read.P50Ns, d.Read.P90Ns, d.Read.P99Ns, d.Read.MaxNs)
+	fmt.Printf("  inserts:    %d batches (%d tuples), p50 %.0fns p90 %.0fns p99 %.0fns max %.0fns\n",
+		d.Insert.Count, d.InsertTuples, d.Insert.P50Ns, d.Insert.P90Ns, d.Insert.P99Ns, d.Insert.MaxNs)
+	fmt.Printf("  backpressure: %d retries, %d reconnects\n", d.Retries, d.Reconnects)
+	fmt.Printf("  determinism:  checksum %s over %d tuples (base %d) — gate passed\n",
+		d.Checksum, d.FinalLen, d.BaseLen)
+}

@@ -1,0 +1,79 @@
+// Command servebtree serves one relation — a concurrent specialised
+// B-tree — over TCP using the internal/serve wire protocol. Incoming
+// operations are phase-scheduled: reads run concurrently between write
+// epochs, insert batches are queued and applied in epochs with no reader
+// active, preserving the paper's phase-concurrency contract under
+// open-world network traffic (see DESIGN.md §11).
+//
+// The process serves until SIGINT/SIGTERM, then drains gracefully:
+// admitted write batches execute and answer, connections close, and a
+// serving-layer summary (plus, with -metrics, the full observability
+// document) is emitted.
+//
+// Usage:
+//
+//	servebtree [-addr localhost:4070] [-arity 2] [-metrics]
+//	           [-serve localhost:6060]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"specbtree/internal/bench"
+	"specbtree/internal/cmdutil"
+	"specbtree/internal/core"
+	"specbtree/internal/serve"
+)
+
+func main() {
+	addrFlag := flag.String("addr", "localhost:4070", "TCP address to serve the relation on")
+	arityFlag := flag.Int("arity", 2, "tuple width of the served relation")
+	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document to stdout on shutdown")
+	debugFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the lifetime of the server")
+	flag.Parse()
+
+	srv, err := serve.Start(*addrFlag, serve.Options{Arity: *arityFlag})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stopDebug, err := cmdutil.StartDebug(*debugFlag, func() map[string]core.Shape {
+		return map[string]core.Shape{"serve": srv.Tree().Shape()}
+	})
+	if err != nil {
+		srv.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopDebug()
+	fmt.Fprintf(os.Stderr, "serving arity-%d relation on %s\n", srv.Arity(), srv.Addr())
+
+	// Registered after StartDebug's cleanup, so on a signal the relation
+	// server drains first (LIFO) and the debug endpoints stay scrapable
+	// until the very end.
+	cmdutil.OnSignal(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr,
+			"shutdown: drained; len=%d epochs=%d writes=%d reads=%d retries=%d accepted=%d dropped=%d violations=%d\n",
+			srv.Tree().Len(), st.Epochs, st.WriteOps, st.ReadOps, st.Retries,
+			st.ConnsAccepted, st.ConnsDropped, st.PhaseViolations)
+		if *metricsFlag {
+			if err := bench.EmitMetrics(os.Stdout, bench.MetricsDoc{
+				Workload:  "serve",
+				Structure: "btree",
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	})
+	select {} // serve until signalled; OnSignal tears down and exits
+}

@@ -42,6 +42,9 @@ func Run(f Factory, arity int, cfg Config) Report {
 		FinalLen:   inst.Len(),
 		Violations: rec.take(),
 	}
+	// Release held resources (the serve target's listener and sockets)
+	// before the minimizer starts building replay instances.
+	closeInstance(inst)
 	if rep.Failed() {
 		rep.Trace = minimize(f, arity, cfg, rep.Violations[0])
 	}

@@ -1,0 +1,157 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"specbtree/internal/serve"
+	"specbtree/internal/tuple"
+)
+
+// serveFactory drives the network serving subsystem end to end: each
+// instance is a real serve.Server on a loopback listener, and every
+// oracle writer and reader is a separate pipelined socket client. The
+// phase scheduler turns the oracle's concurrent insert phase into write
+// epochs, so this target checks the wire protocol, the scheduler and
+// the tree together against the sequential model; the counted phase
+// invariant is asserted on top of the differential results by
+// TestOracleServeSocketEightClients.
+//
+// Network or protocol failures panic: the harness runs against an
+// in-process loopback server, where any transport error is itself a
+// serving-subsystem bug, and the Writer/Reader interfaces deliberately
+// have no error path for the in-memory targets.
+func serveFactory() Factory {
+	return Factory{
+		Name: "serve-socket",
+		New: func(arity int) Instance {
+			srv, err := serve.Start("127.0.0.1:0", serve.Options{Arity: arity})
+			if err != nil {
+				panic(fmt.Sprintf("check: serve target: %v", err))
+			}
+			return &serveInstance{srv: srv}
+		},
+	}
+}
+
+// serveClientTimeout bounds one oracle request round-trip. Generous: a
+// race-instrumented 1-CPU run can stall an epoch well past interactive
+// latencies without anything being wrong.
+const serveClientTimeout = 30 * time.Second
+
+type serveInstance struct {
+	srv *serve.Server
+
+	clMu    sync.Mutex
+	clients []*serve.Client
+	control *serve.Client // lazily dialed shared client for Scan/Len
+}
+
+func (i *serveInstance) dial() *serve.Client {
+	c, err := serve.Dial(i.srv.Addr(), serve.ClientOptions{Timeout: serveClientTimeout})
+	if err != nil {
+		panic(fmt.Sprintf("check: serve target dial: %v", err))
+	}
+	i.clMu.Lock()
+	i.clients = append(i.clients, c)
+	i.clMu.Unlock()
+	return c
+}
+
+// controlClient returns the shared single-threaded client used by the
+// whole-structure checks (Scan, Len), which the oracle never calls
+// concurrently.
+func (i *serveInstance) controlClient() *serve.Client {
+	if i.control == nil {
+		i.control = i.dial()
+	}
+	return i.control
+}
+
+func (i *serveInstance) NewWriter() Writer { return &serveWriter{c: i.dial()} }
+func (i *serveInstance) Barrier()          {}
+func (i *serveInstance) NewReader() Reader { return &serveReader{c: i.dial()} }
+
+func (i *serveInstance) Scan(yield func(tuple.Tuple) bool) {
+	if err := i.controlClient().ScanAll(nil, nil, yield); err != nil {
+		panic(fmt.Sprintf("check: serve target scan: %v", err))
+	}
+}
+
+func (i *serveInstance) Len() int {
+	n, err := i.controlClient().Len()
+	if err != nil {
+		panic(fmt.Sprintf("check: serve target len: %v", err))
+	}
+	return n
+}
+
+// Server exposes the underlying server for invariant assertions (the
+// oracle core only sees the Instance interface).
+func (i *serveInstance) Server() *serve.Server { return i.srv }
+
+// Close tears down every client and the server; closeInstance calls it
+// after each oracle run and minimizer replay.
+func (i *serveInstance) Close() {
+	i.clMu.Lock()
+	clients := i.clients
+	i.clients = nil
+	i.clMu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	i.srv.Close()
+}
+
+type serveWriter struct {
+	c   *serve.Client
+	buf [1]tuple.Tuple
+}
+
+// Insert sends a one-tuple batch, backing off and resending on server
+// backpressure (RETRY) exactly as a well-behaved client must.
+func (w *serveWriter) Insert(t tuple.Tuple) bool {
+	w.buf[0] = t
+	for {
+		fresh, err := w.c.Insert(w.buf[:])
+		if err == nil {
+			return fresh == 1
+		}
+		if errors.Is(err, serve.ErrRetry) {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		panic(fmt.Sprintf("check: serve target insert: %v", err))
+	}
+}
+
+func (w *serveWriter) Flush() {}
+
+type serveReader struct{ c *serve.Client }
+
+func (r *serveReader) Contains(t tuple.Tuple) bool {
+	ok, err := r.c.Contains(t)
+	if err != nil {
+		panic(fmt.Sprintf("check: serve target contains: %v", err))
+	}
+	return ok
+}
+
+func (r *serveReader) Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	var (
+		t   tuple.Tuple
+		ok  bool
+		err error
+	)
+	if strict {
+		t, ok, err = r.c.UpperBound(v)
+	} else {
+		t, ok, err = r.c.LowerBound(v)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("check: serve target bound: %v", err))
+	}
+	return t, ok
+}

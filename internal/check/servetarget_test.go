@@ -1,0 +1,38 @@
+package check
+
+import "testing"
+
+// TestOracleServeSocketEightClients runs the socket-backed target with
+// eight concurrent socket clients per phase and asserts, on top of the
+// differential results, the serving subsystem's counted phase
+// invariant: the server never executed a read concurrently with a write
+// epoch (DESIGN.md §11). Config.Short sizing keeps it inside the 1-CPU
+// CI budget in every mode; the worker count is what matters here.
+func TestOracleServeSocketEightClients(t *testing.T) {
+	base, ok := Target("serve-socket")
+	if !ok {
+		t.Fatal("serve-socket target not registered")
+	}
+	f := base
+	var inst *serveInstance
+	f.New = func(arity int) Instance {
+		i := base.New(arity).(*serveInstance)
+		inst = i
+		return i
+	}
+	rep := Run(f, 2, Config{Seed: 0x5e12e5, Workers: 8, Short: true})
+	if rep.Failed() {
+		t.Fatalf("oracle failed:\n%s", rep.Summary())
+	}
+	if rep.FinalLen == 0 {
+		t.Fatal("suspicious run: final length 0")
+	}
+
+	st := inst.Server().Stats()
+	if st.PhaseViolations != 0 {
+		t.Fatalf("phase violations = %d, want 0", st.PhaseViolations)
+	}
+	if st.Epochs == 0 || st.WriteOps == 0 || st.ReadOps == 0 {
+		t.Fatalf("implausible serving stats: %+v", st)
+	}
+}

@@ -85,8 +85,18 @@ func Targets() []Factory {
 		palmFactory(),
 		lockedFactory(),
 		reductionFactory(),
+		serveFactory(),
 	)
 	return fs
+}
+
+// closeInstance releases an instance that holds external resources
+// (sockets, listeners) by calling its optional Close method; the plain
+// in-memory targets implement none and are left to the GC.
+func closeInstance(inst Instance) {
+	if c, ok := inst.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // Target returns the factory with the given name, or ok=false.

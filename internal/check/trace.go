@@ -54,6 +54,7 @@ func collectInserts(cfg Config, arity, round int) []tuple.Tuple {
 // from the same inserts. It reports whether the provider still diverges.
 func replayDiverges(f Factory, arity int, inserts []tuple.Tuple, v Violation) bool {
 	inst := f.New(arity)
+	defer closeInstance(inst)
 	m := newModel(arity)
 	wr := inst.NewWriter()
 	fresh := 0
@@ -137,6 +138,7 @@ func renderTrace(f Factory, arity int, inserts []tuple.Tuple, v Violation) strin
 		fmt.Fprintf(&b, "    %s check diverges (see violation above)\n", v.Op)
 	default:
 		inst := f.New(arity)
+		defer closeInstance(inst)
 		m := newModel(arity)
 		wr := inst.NewWriter()
 		for _, t := range inserts {

@@ -1,0 +1,110 @@
+// Package cmdutil holds lifecycle helpers shared by the command-line
+// executables: a signal-driven cleanup registry and the standard debug
+// server setup, so every cmd tears its obshttp endpoint (and whatever
+// else it registers) down the same way on SIGINT/SIGTERM instead of
+// dying with the listener still attached.
+package cmdutil
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"specbtree/internal/core"
+	"specbtree/internal/obshttp"
+)
+
+var (
+	mu        sync.Mutex
+	installed bool
+	nextID    uint64
+	cleanups  []cleanup // registration order; run in reverse
+)
+
+type cleanup struct {
+	id uint64
+	fn func()
+}
+
+// OnSignal registers fn to run when the process receives its first
+// SIGINT or SIGTERM. All registered functions run in reverse
+// registration order (most recent first, like defers), then the process
+// exits with the conventional 128+signal status. Long-running commands
+// register their graceful teardown here instead of installing a second
+// handler. The returned release unregisters fn for the normal-return
+// path; it never calls fn and is safe to call more than once.
+func OnSignal(fn func()) (release func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	nextID++
+	id := nextID
+	cleanups = append(cleanups, cleanup{id: id, fn: fn})
+	if !installed {
+		installed = true
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-ch
+			signal.Stop(ch) // a second signal kills the process the default way
+			runCleanups()
+			code := 128 + 15
+			if sig == os.Interrupt {
+				code = 128 + 2
+			}
+			os.Exit(code)
+		}()
+	}
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for i, c := range cleanups {
+			if c.id == id {
+				cleanups = append(cleanups[:i], cleanups[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// runCleanups pops and runs every registered cleanup, most recent first.
+// Popping under the lock (rather than iterating a snapshot) keeps a
+// cleanup that itself calls release from double-running.
+func runCleanups() {
+	for {
+		mu.Lock()
+		if len(cleanups) == 0 {
+			mu.Unlock()
+			return
+		}
+		c := cleanups[len(cleanups)-1]
+		cleanups = cleanups[:len(cleanups)-1]
+		mu.Unlock()
+		c.fn()
+	}
+}
+
+// StartDebug starts the obshttp debug server when addr is non-empty
+// (no-op stop otherwise), announces it on stderr, and registers its
+// shutdown with OnSignal. The returned stop closes the server and
+// releases the registration; call it on the normal-return path (it is
+// idempotent).
+func StartDebug(addr string, shapes func() map[string]core.Shape) (stop func(), err error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, err := obshttp.Start(addr, obshttp.Options{Shapes: shapes})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "debug server listening on http://%s/\n", srv.Addr)
+	release := OnSignal(func() { srv.Close() })
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			release()
+			srv.Close()
+		})
+	}, nil
+}

@@ -1,0 +1,34 @@
+package cmdutil
+
+import "testing"
+
+// TestCleanupOrderAndRelease drives the registry directly: the signal
+// path itself exits the process and is exercised by the serve-smoke
+// make target instead.
+func TestCleanupOrderAndRelease(t *testing.T) {
+	var order []int
+	r1 := OnSignal(func() { order = append(order, 1) })
+	r2 := OnSignal(func() { order = append(order, 2) })
+	r3 := OnSignal(func() { order = append(order, 3) })
+	r2()
+	r2() // idempotent
+	runCleanups()
+	if len(order) != 2 || order[0] != 3 || order[1] != 1 {
+		t.Fatalf("cleanup order = %v, want [3 1]", order)
+	}
+	runCleanups() // registry empty: no-op
+	if len(order) != 2 {
+		t.Fatalf("cleanups ran twice: %v", order)
+	}
+	r1() // releasing after the run is a no-op
+	r3()
+}
+
+func TestStartDebugEmptyAddr(t *testing.T) {
+	stop, err := StartDebug("", nil)
+	if err != nil {
+		t.Fatalf("StartDebug(\"\") = %v", err)
+	}
+	stop()
+	stop() // idempotent
+}

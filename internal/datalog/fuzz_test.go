@@ -25,6 +25,12 @@ func FuzzParse(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
+	// Every pinned error-path input from parseerr_test.go is also a seed:
+	// each exercises a distinct lexer or parser diagnostic, which gives
+	// the fuzzer a starting point inside every error branch.
+	for _, c := range parseErrCases {
+		f.Add(c.src)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := Parse(src)
 		if err != nil {

@@ -72,6 +72,20 @@ const (
 	// snapshot initialisation, covering all of the phase's jobs
 	// ("hist.datalog.merge.ns").
 	HistMergeNanos
+	// HistServeReadNanos records sampled server-side durations of read
+	// operations executed by the relation server, admission wait included
+	// ("hist.serve.read.ns").
+	HistServeReadNanos
+	// HistServeWriteBatchNanos records the execution duration of each
+	// insert batch inside a write epoch ("hist.serve.write_batch.ns").
+	HistServeWriteBatchNanos
+	// HistServeEpochNanos records the duration of each write epoch, from
+	// reader drain to readmission ("hist.serve.epoch.ns").
+	HistServeEpochNanos
+	// HistServeQueueDepth records the write-queue depth observed at each
+	// batch admission — the queue-depth gauge of the serving layer, as a
+	// distribution ("hist.serve.queue.depth").
+	HistServeQueueDepth
 
 	// NumHistograms is the number of registered histograms; valid
 	// Histogram values are [0, NumHistograms).
@@ -100,6 +114,11 @@ var histogramNames = [NumHistograms]string{
 	HistRoundNanos:     "hist.datalog.round.ns",
 	HistRuleNanos:      "hist.datalog.rule.ns",
 	HistMergeNanos:     "hist.datalog.merge.ns",
+
+	HistServeReadNanos:       "hist.serve.read.ns",
+	HistServeWriteBatchNanos: "hist.serve.write_batch.ns",
+	HistServeEpochNanos:      "hist.serve.epoch.ns",
+	HistServeQueueDepth:      "hist.serve.queue.depth",
 }
 
 // histogramUnits maps every Histogram to the unit of its recorded values.
@@ -113,6 +132,11 @@ var histogramUnits = [NumHistograms]string{
 	HistRoundNanos:     "ns",
 	HistRuleNanos:      "ns",
 	HistMergeNanos:     "ns",
+
+	HistServeReadNanos:       "ns",
+	HistServeWriteBatchNanos: "ns",
+	HistServeEpochNanos:      "ns",
+	HistServeQueueDepth:      "batches",
 }
 
 // Name returns the histogram's stable published name, the key used in

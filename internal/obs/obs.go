@@ -161,6 +161,32 @@ const (
 	// EngineParallelMerges counts engine merge phases that dispatched
 	// their jobs across multiple goroutines ("datalog.merge.parallel").
 	EngineParallelMerges
+	// ServeReadOps counts read operations (contains, lower/upper bound,
+	// scan, len) executed by the relation server ("serve.read.ops").
+	ServeReadOps
+	// ServeWriteOps counts tuples inserted by the relation server's write
+	// epochs ("serve.write.ops").
+	ServeWriteOps
+	// ServeWriteBatches counts insert batches executed by write epochs
+	// ("serve.write.batches").
+	ServeWriteBatches
+	// ServeEpochs counts write epochs admitted by the phase scheduler
+	// ("serve.epochs").
+	ServeEpochs
+	// ServeRetries counts RETRY responses sent because the write queue was
+	// full ("serve.retries").
+	ServeRetries
+	// ServeConnsAccepted counts client connections accepted by the
+	// relation server ("serve.conns.accepted").
+	ServeConnsAccepted
+	// ServeConnsDropped counts connections dropped by the server for
+	// falling behind (bounded outbound queue overflow or write timeout)
+	// ("serve.conns.dropped").
+	ServeConnsDropped
+	// ServePhaseViolations counts detected violations of the phase
+	// scheduler's invariant that no read executes concurrently with a
+	// write epoch; it must stay zero ("serve.phase.violations").
+	ServePhaseViolations
 
 	// NumCounters is the number of registered counters; valid Counter
 	// values are [0, NumCounters).
@@ -196,6 +222,14 @@ var counterNames = [NumCounters]string{
 	MergeParallelWorkers:       "core.merge.parallel_workers",
 	EngineMergeJobs:            "datalog.merge.jobs",
 	EngineParallelMerges:       "datalog.merge.parallel",
+	ServeReadOps:               "serve.read.ops",
+	ServeWriteOps:              "serve.write.ops",
+	ServeWriteBatches:          "serve.write.batches",
+	ServeEpochs:                "serve.epochs",
+	ServeRetries:               "serve.retries",
+	ServeConnsAccepted:         "serve.conns.accepted",
+	ServeConnsDropped:          "serve.conns.dropped",
+	ServePhaseViolations:       "serve.phase.violations",
 }
 
 // Name returns the counter's stable published name, the key used in the

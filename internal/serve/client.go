@@ -1,0 +1,547 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specbtree/internal/tuple"
+)
+
+// ErrRetry reports server-side write backpressure: the write queue was
+// full and the insert batch was NOT applied. The caller owns the backoff
+// and resend policy (the batch is safe to resubmit verbatim — inserts
+// are idempotent set additions, RETRY means nothing was executed).
+var ErrRetry = errors.New("serve: server busy, retry")
+
+// ErrTimeout reports that a request's per-call timeout expired before
+// its response arrived. For inserts the batch may or may not have been
+// applied; tuple-set inserts are idempotent, so resubmitting after an
+// application-level decision is safe.
+var ErrTimeout = errors.New("serve: request timed out")
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("serve: client closed")
+
+// ClientOptions configures Dial.
+type ClientOptions struct {
+	// Arity is the tuple width the client expects; 0 adopts the
+	// server's, any other value must match it or Dial fails.
+	Arity int
+	// Timeout bounds each request round-trip (default 10s).
+	Timeout time.Duration
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Client is a pipelined wire-protocol client. It is safe for concurrent
+// use: calls from many goroutines share one connection, their requests
+// are pipelined (written back to back, matched to responses by id), and
+// each call waits only for its own response.
+//
+// The client re-establishes its connection on demand: a broken
+// connection fails the calls in flight, and the next call redials.
+// Idempotent reads are additionally retried once transparently after a
+// connection reset; inserts never are (a reset insert's fate is unknown
+// — the caller decides, see Insert).
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	// connMu guards connection (re)establishment and frame writes.
+	connMu sync.Mutex
+	conn   net.Conn
+	bw     *bufio.Writer
+	gen    uint64 // connection generation, for targeted teardown
+	arity  int
+
+	pendMu  sync.Mutex
+	pending map[uint64]*call
+
+	nextID     atomic.Uint64
+	reconnects atomic.Uint64
+	closed     atomic.Bool
+}
+
+// call is one in-flight request.
+type call struct {
+	gen uint64
+	ch  chan callResult
+}
+
+type callResult struct {
+	kind    byte
+	payload []byte
+	err     error
+}
+
+// Dial connects to a relation server and performs the arity handshake.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults(), pending: make(map[uint64]*call)}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Arity returns the negotiated tuple width.
+func (c *Client) Arity() int {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.arity
+}
+
+// Reconnects returns how many times the client re-established its
+// connection (the initial dial not counted).
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// connectLocked dials and performs the hello handshake; connMu held.
+func (c *Client) connectLocked() error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("serve: dial %s: %w", c.addr, err)
+	}
+	// Handshake synchronously, before the reader goroutine exists: no
+	// other frame can be in flight on this connection yet.
+	w := &wbuf{}
+	w.u16(uint16(c.opts.Arity))
+	conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	if err := writeFrame(conn, kindHello, 0, w.b); err != nil {
+		conn.Close()
+		return fmt.Errorf("serve: hello: %w", err)
+	}
+	kind, _, payload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("serve: hello: %w", err)
+	}
+	r := &rbuf{b: payload}
+	if kind != kindHello {
+		// Refusals (arity mismatch, malformed hello) arrive as response
+		// frames carrying statusErr.
+		conn.Close()
+		if err := decodeStatus(r); err != nil {
+			return fmt.Errorf("serve: hello refused: %w", err)
+		}
+		return fmt.Errorf("%w: hello answered with frame kind %d", errProtocol, kind)
+	}
+	if status := r.u8(); status != statusOK {
+		conn.Close()
+		return fmt.Errorf("serve: hello refused with status %d", status)
+	}
+	arity := int(r.u16())
+	if err := r.done(); err != nil {
+		conn.Close()
+		return err
+	}
+	if c.opts.Arity != 0 && arity != c.opts.Arity {
+		conn.Close()
+		return fmt.Errorf("serve: arity mismatch: want %d, server %d", c.opts.Arity, arity)
+	}
+	conn.SetDeadline(time.Time{})
+	c.arity = arity
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.gen++
+	go c.readLoop(conn, c.gen)
+	return nil
+}
+
+// ensureConnLocked returns the live connection, redialing if needed.
+func (c *Client) ensureConnLocked() (uint64, error) {
+	if c.conn != nil {
+		return c.gen, nil
+	}
+	if err := c.connectLocked(); err != nil {
+		return 0, err
+	}
+	c.reconnects.Add(1)
+	return c.gen, nil
+}
+
+// readLoop dispatches response frames to their waiting calls. On a read
+// error it tears down this connection generation: the socket is closed,
+// and every call sent on it fails with the connection error so its
+// caller can decide whether to retry.
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
+	br := bufio.NewReader(conn)
+	for {
+		kind, id, payload, err := readFrame(br)
+		if err != nil {
+			c.teardown(conn, gen, err)
+			return
+		}
+		c.pendMu.Lock()
+		ca := c.pending[id]
+		if ca != nil && ca.gen == gen {
+			delete(c.pending, id)
+		} else {
+			ca = nil // stale or timed-out request; drop the frame
+		}
+		c.pendMu.Unlock()
+		if ca != nil {
+			ca.ch <- callResult{kind: kind, payload: payload}
+		}
+	}
+}
+
+// teardown closes one connection generation and fails its in-flight
+// calls.
+func (c *Client) teardown(conn net.Conn, gen uint64, err error) {
+	c.connMu.Lock()
+	if c.gen == gen && c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.bw = nil
+	}
+	c.connMu.Unlock()
+	if c.closed.Load() {
+		err = ErrClosed
+	}
+	c.pendMu.Lock()
+	for id, ca := range c.pending {
+		if ca.gen == gen {
+			delete(c.pending, id)
+			ca.ch <- callResult{err: fmt.Errorf("serve: connection lost: %w", err)}
+		}
+	}
+	c.pendMu.Unlock()
+}
+
+// roundTrip sends one request payload and waits for its response.
+// idempotent requests are retried once on a fresh connection after a
+// connection-level failure; non-idempotent ones (inserts) never are.
+func (c *Client) roundTrip(payload []byte, idempotent bool) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.closed.Load() {
+			return nil, ErrClosed
+		}
+		res, connErr, err := c.attempt(payload)
+		if err != nil {
+			return nil, err // application-level or timeout: no retry
+		}
+		if connErr == nil {
+			return res, nil
+		}
+		lastErr = connErr
+		if !idempotent || attempt >= 1 {
+			return nil, lastErr
+		}
+		// Idempotent read on a reset connection: redial (inside the next
+		// attempt) and retry exactly once.
+	}
+}
+
+// attempt performs one send/receive. The error split matters for retry
+// policy: connErr reports a connection-level failure (dial, write,
+// reset) where the request may simply be resent; err reports a
+// definitive outcome (timeout with unknown fate, client closed) that
+// roundTrip must not paper over.
+func (c *Client) attempt(payload []byte) (resp []byte, connErr, err error) {
+	c.connMu.Lock()
+	gen, cerr := c.ensureConnLocked()
+	if cerr != nil {
+		c.connMu.Unlock()
+		return nil, cerr, nil
+	}
+	id := c.nextID.Add(1)
+	ca := &call{gen: gen, ch: make(chan callResult, 1)}
+	c.pendMu.Lock()
+	c.pending[id] = ca
+	c.pendMu.Unlock()
+
+	c.conn.SetWriteDeadline(time.Now().Add(c.opts.Timeout))
+	werr := writeFrame(c.bw, kindRequest, id, payload)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	conn := c.conn
+	c.connMu.Unlock()
+	if werr != nil {
+		c.unregister(id)
+		c.teardown(conn, gen, werr)
+		return nil, werr, nil
+	}
+
+	timer := time.NewTimer(c.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ca.ch:
+		if r.err != nil {
+			return nil, r.err, nil
+		}
+		return r.payload, nil, nil
+	case <-timer.C:
+		c.unregister(id)
+		return nil, nil, ErrTimeout
+	}
+}
+
+// unregister removes a pending call (send failure or timeout); a late
+// response for it is discarded by the read loop.
+func (c *Client) unregister(id uint64) {
+	c.pendMu.Lock()
+	delete(c.pending, id)
+	c.pendMu.Unlock()
+}
+
+// decodeStatus consumes the response status byte, mapping RETRY and ERR
+// to errors.
+func decodeStatus(r *rbuf) error {
+	switch status := r.u8(); status {
+	case statusOK:
+		return nil
+	case statusRetry:
+		return ErrRetry
+	case statusErr:
+		n := int(r.u16())
+		if r.err != nil || r.off+n > len(r.b) {
+			return fmt.Errorf("%w: truncated error response", errProtocol)
+		}
+		msg := string(r.b[r.off : r.off+n])
+		r.off += n
+		return fmt.Errorf("serve: server error: %s", msg)
+	default:
+		return fmt.Errorf("%w: unknown response status %d", errProtocol, status)
+	}
+}
+
+// checkArity validates an argument tuple's width before serialising.
+func (c *Client) checkArity(t tuple.Tuple) error {
+	if len(t) != c.arity {
+		return fmt.Errorf("serve: arity-%d tuple for arity-%d relation", len(t), c.arity)
+	}
+	return nil
+}
+
+// Contains reports whether t is in the served relation.
+func (c *Client) Contains(t tuple.Tuple) (bool, error) {
+	if err := c.checkArity(t); err != nil {
+		return false, err
+	}
+	w := &wbuf{}
+	w.u16(1)
+	w.u8(opContains)
+	w.tuple(t)
+	payload, err := c.roundTrip(w.b, true)
+	if err != nil {
+		return false, err
+	}
+	r := &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return false, err
+	}
+	v := r.bool()
+	if err := r.done(); err != nil {
+		return false, err
+	}
+	return v, nil
+}
+
+// bound issues a lower/upper-bound query.
+func (c *Client) bound(code byte, v tuple.Tuple) (tuple.Tuple, bool, error) {
+	if err := c.checkArity(v); err != nil {
+		return nil, false, err
+	}
+	w := &wbuf{}
+	w.u16(1)
+	w.u8(code)
+	w.tuple(v)
+	payload, err := c.roundTrip(w.b, true)
+	if err != nil {
+		return nil, false, err
+	}
+	r := &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return nil, false, err
+	}
+	ok := r.bool()
+	var t tuple.Tuple
+	if ok {
+		t = r.tuple(c.arity)
+	}
+	if err := r.done(); err != nil {
+		return nil, false, err
+	}
+	return t, ok, nil
+}
+
+// LowerBound returns the smallest stored tuple >= v.
+func (c *Client) LowerBound(v tuple.Tuple) (tuple.Tuple, bool, error) {
+	return c.bound(opLower, v)
+}
+
+// UpperBound returns the smallest stored tuple > v.
+func (c *Client) UpperBound(v tuple.Tuple) (tuple.Tuple, bool, error) {
+	return c.bound(opUpper, v)
+}
+
+// Len returns the relation's element count.
+func (c *Client) Len() (int, error) {
+	w := &wbuf{}
+	w.u16(1)
+	w.u8(opLen)
+	payload, err := c.roundTrip(w.b, true)
+	if err != nil {
+		return 0, err
+	}
+	r := &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return 0, err
+	}
+	n := r.u64()
+	if err := r.done(); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// Scan returns stored tuples t with lo <= t < hi in order (nil bounds
+// are open), at most limit of them (0 = the server's cap). truncated
+// reports that the server cut the result off; ScanAll paginates instead.
+func (c *Client) Scan(lo, hi tuple.Tuple, limit int) (ts []tuple.Tuple, truncated bool, err error) {
+	return c.scan(lo, hi, false, limit)
+}
+
+func (c *Client) scan(lo, hi tuple.Tuple, loStrict bool, limit int) ([]tuple.Tuple, bool, error) {
+	if lo != nil {
+		if err := c.checkArity(lo); err != nil {
+			return nil, false, err
+		}
+	}
+	if hi != nil {
+		if err := c.checkArity(hi); err != nil {
+			return nil, false, err
+		}
+	}
+	w := &wbuf{}
+	w.u16(1)
+	w.u8(opScan)
+	var flags byte
+	if lo != nil {
+		flags |= scanLoPresent
+	}
+	if hi != nil {
+		flags |= scanHiPresent
+	}
+	if loStrict {
+		flags |= scanLoStrict
+	}
+	w.u8(flags)
+	if lo != nil {
+		w.tuple(lo)
+	}
+	if hi != nil {
+		w.tuple(hi)
+	}
+	w.u32(uint32(limit))
+	payload, err := c.roundTrip(w.b, true)
+	if err != nil {
+		return nil, false, err
+	}
+	r := &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return nil, false, err
+	}
+	n := int(r.u32())
+	if n < 0 || r.off+8*c.arity*n > len(r.b) {
+		return nil, false, fmt.Errorf("%w: scan result overruns payload", errProtocol)
+	}
+	out := make([]tuple.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.tuple(c.arity))
+	}
+	truncated := r.bool()
+	if err := r.done(); err != nil {
+		return nil, false, err
+	}
+	return out, truncated, nil
+}
+
+// ScanAll streams the whole range [lo, hi) through yield in order,
+// paginating past the server's per-scan cap; returning false from yield
+// stops early.
+func (c *Client) ScanAll(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) error {
+	cur, strict := lo, false
+	for {
+		page, truncated, err := c.scan(cur, hi, strict, 0)
+		if err != nil {
+			return err
+		}
+		for _, t := range page {
+			if !yield(t) {
+				return nil
+			}
+		}
+		if !truncated {
+			return nil
+		}
+		cur, strict = page[len(page)-1], true
+	}
+}
+
+// Insert adds the batch to the relation, returning how many tuples were
+// new. On ErrRetry the server's write queue was full and nothing was
+// applied: back off and resubmit. Inserts are never retried internally —
+// a connection failure mid-insert returns the error with the batch's
+// fate unknown (set inserts are idempotent, so callers with a fresh
+// connection may safely resubmit; the fresh count of a resubmitted batch
+// counts only genuinely new tuples).
+func (c *Client) Insert(batch []tuple.Tuple) (fresh int, err error) {
+	w := &wbuf{}
+	w.u16(1)
+	w.u8(opInsert)
+	w.u32(uint32(len(batch)))
+	for _, t := range batch {
+		if err := c.checkArity(t); err != nil {
+			return 0, err
+		}
+		w.tuple(t)
+	}
+	payload, err := c.roundTrip(w.b, false)
+	if err != nil {
+		return 0, err
+	}
+	r := &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return 0, err
+	}
+	n := r.u32()
+	if err := r.done(); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}

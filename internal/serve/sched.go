@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"specbtree/internal/core"
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
+
+// This file is the phase scheduler: the admission controller that turns
+// open-world network traffic back into the paper's phase-concurrency
+// discipline. The rules, in order of authority:
+//
+//  1. A write epoch never overlaps a read. The epoch goroutine closes
+//     the read gate (epochPending), waits for active readers to drain to
+//     zero, executes every admitted batch single-handedly, and reopens
+//     the gate. Readers blocked at the gate are admitted together when
+//     it reopens — between epochs, reads run fully concurrently on the
+//     tree's optimistic read path.
+//  2. Writes are admitted through a bounded queue. A full queue is
+//     backpressure, not blocking: submit fails fast and the server
+//     answers RETRY, pushing the wait onto the client where it cannot
+//     hold server resources.
+//  3. Writers cannot be starved: once an epoch is pending, newly
+//     arriving readers queue behind it rather than extending the current
+//     read phase indefinitely.
+//  4. Shutdown drains: batches already admitted to the queue execute
+//     before the scheduler stops; new submissions fail with ErrShutdown.
+//
+// The invariant of rule 1 is not merely structural — it is *counted*.
+// Readers and the epoch executor each publish their activity in atomic
+// cells, and both sides cross-check the other on every operation; any
+// observed overlap increments a violation counter surfaced through
+// Stats and obs ("serve.phase.violations"). The differential harness
+// (internal/check) asserts the counter stays zero under concurrent
+// socket traffic in every build flavour.
+
+// ErrShutdown is returned for work submitted after drain began.
+var ErrShutdown = errors.New("serve: server shutting down")
+
+// errBusy reports a full write queue; the conn layer turns it into a
+// RETRY response.
+var errBusy = errors.New("serve: write queue full")
+
+// writeBatch is one admitted insert batch and its completion channel.
+type writeBatch struct {
+	tuples []tuple.Tuple
+	done   chan writeResult
+}
+
+// writeResult reports an executed batch: the number of tuples not
+// previously present.
+type writeResult struct {
+	fresh int
+}
+
+// scheduler implements the epoch-batched phase admission for one tree.
+type scheduler struct {
+	tree  *core.Tree
+	arity int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// readers is the number of admitted, still-active readers.
+	readers int
+	// epochPending closes the read gate: it is set from the moment an
+	// epoch starts waiting for readers to drain until its batches have
+	// been applied.
+	epochPending bool
+	draining     bool
+
+	queue  chan *writeBatch
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	// Atomic mirrors of the phase state, used only for invariant
+	// cross-checking (they deliberately do not feed scheduling
+	// decisions, so a bug in the mutex protocol cannot hide itself).
+	atomicReaders atomic.Int64
+	epochActive   atomic.Bool
+
+	// Local counters mirroring the obs registry so Stats (and the
+	// harness's invariant assertion) work under the obsoff build tag too.
+	epochs     atomic.Uint64
+	readOps    atomic.Uint64
+	writeOps   atomic.Uint64
+	retries    atomic.Uint64
+	violations atomic.Uint64
+
+	hints *core.Hints // epoch executor's insert hints; owned by run()
+}
+
+func newScheduler(tree *core.Tree, queueCap int) *scheduler {
+	s := &scheduler{
+		tree:   tree,
+		arity:  tree.Arity(),
+		queue:  make(chan *writeBatch, queueCap),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+		hints:  core.NewHints(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// violation records one observed overlap of a read with a write epoch.
+func (s *scheduler) violation() {
+	s.violations.Add(1)
+	obs.Inc(obs.ServePhaseViolations)
+}
+
+// beginRead admits one reader, blocking while a write epoch is pending
+// or running. It reports false when the scheduler is draining and the
+// read must be refused.
+func (s *scheduler) beginRead() bool {
+	s.mu.Lock()
+	for s.epochPending && !s.draining {
+		s.cond.Wait()
+	}
+	if s.draining && s.epochPending {
+		// Drain has priority over late readers; refuse rather than race
+		// the final epochs.
+		s.mu.Unlock()
+		return false
+	}
+	s.readers++
+	s.mu.Unlock()
+	s.atomicReaders.Add(1)
+	// Cross-check rule 1 from the reader's side: no epoch may be
+	// executing while this reader is admitted.
+	if s.epochActive.Load() {
+		s.violation()
+	}
+	return true
+}
+
+// endRead retires one reader, waking a drain-waiting epoch when the last
+// reader leaves.
+func (s *scheduler) endRead() {
+	s.atomicReaders.Add(-1)
+	s.mu.Lock()
+	s.readers--
+	if s.readers == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// submit admits an insert batch to the write queue. It fails fast with
+// errBusy on a full queue (backpressure) and ErrShutdown once drain
+// began. On success the result is delivered on b.done after the batch's
+// epoch executed.
+func (s *scheduler) submit(b *writeBatch) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrShutdown
+	}
+	select {
+	case s.queue <- b:
+		depth := len(s.queue)
+		s.mu.Unlock()
+		obs.Observe(obs.HistServeQueueDepth, uint64(depth))
+		return nil
+	default:
+		s.mu.Unlock()
+		s.retries.Add(1)
+		obs.Inc(obs.ServeRetries)
+		return errBusy
+	}
+}
+
+// run is the epoch goroutine: it blocks for the first queued batch,
+// greedily collects everything else already admitted, and executes the
+// collection as one write epoch. On stop it drains the queue (graceful
+// shutdown) before exiting.
+func (s *scheduler) run() {
+	defer close(s.doneCh)
+	for {
+		select {
+		case first := <-s.queue:
+			s.runEpoch(s.collect(first))
+		case <-s.stopCh:
+			for {
+				select {
+				case b := <-s.queue:
+					s.runEpoch(s.collect(b))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect greedily gathers every batch already sitting in the queue, so
+// one epoch absorbs all concurrently arrived writes (the flat-combining
+// analogue: one drain pays for the whole backlog).
+func (s *scheduler) collect(first *writeBatch) []*writeBatch {
+	batch := []*writeBatch{first}
+	for {
+		select {
+		case b := <-s.queue:
+			batch = append(batch, b)
+		default:
+			return batch
+		}
+	}
+}
+
+// runEpoch executes one write epoch: close the read gate, wait for
+// readers to drain, apply every batch, reopen the gate and deliver the
+// results.
+func (s *scheduler) runEpoch(batches []*writeBatch) {
+	s.mu.Lock()
+	s.epochPending = true
+	for s.readers > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+
+	start := obs.Clock()
+	s.epochActive.Store(true)
+	for _, b := range batches {
+		// Cross-check rule 1 from the writer's side, per batch: no
+		// reader may be active while the epoch executes.
+		if s.atomicReaders.Load() != 0 {
+			s.violation()
+		}
+		bstart := obs.Clock()
+		fresh := 0
+		for _, words := range b.tuples {
+			if s.tree.InsertHint(words, s.hints) {
+				fresh++
+			}
+		}
+		obs.Observe(obs.HistServeWriteBatchNanos, uint64(obs.Clock()-bstart))
+		obs.Add(obs.ServeWriteOps, uint64(len(b.tuples)))
+		obs.Inc(obs.ServeWriteBatches)
+		s.writeOps.Add(uint64(len(b.tuples)))
+		// done is buffered; a departed connection cannot block the epoch.
+		b.done <- writeResult{fresh: fresh}
+	}
+	s.hints.FlushObs()
+	s.epochActive.Store(false)
+
+	s.mu.Lock()
+	s.epochPending = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.epochs.Add(1)
+	obs.Inc(obs.ServeEpochs)
+	obs.Observe(obs.HistServeEpochNanos, uint64(obs.Clock()-start))
+}
+
+// drain stops admission and waits until every already-admitted batch has
+// executed. Idempotent.
+func (s *scheduler) drain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if !already {
+		close(s.stopCh)
+	}
+	<-s.doneCh
+}
+
+// queueDepth reports the current write-queue occupancy.
+func (s *scheduler) queueDepth() int { return len(s.queue) }

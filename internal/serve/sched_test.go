@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"specbtree/internal/core"
+	"specbtree/internal/tuple"
+)
+
+// waitUntil polls cond for up to two seconds.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func submitBatch(s *scheduler, tuples ...tuple.Tuple) (*writeBatch, error) {
+	b := &writeBatch{tuples: tuples, done: make(chan writeResult, 1)}
+	return b, s.submit(b)
+}
+
+// epochPending reports whether an epoch has closed the read gate —
+// i.e. run() has collected its batches and is waiting or executing.
+func epochPending(s *scheduler) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochPending
+}
+
+func TestSchedulerEpochExecutesBatch(t *testing.T) {
+	tree := core.New(2)
+	s := newScheduler(tree, 4)
+	defer s.drain()
+	b, err := submitBatch(s, tuple.Tuple{1, 2}, tuple.Tuple{3, 4}, tuple.Tuple{1, 2})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	res := <-b.done
+	if res.fresh != 2 {
+		t.Fatalf("fresh = %d, want 2", res.fresh)
+	}
+	if tree.Len() != 2 {
+		t.Fatalf("tree.Len = %d, want 2", tree.Len())
+	}
+	if s.epochs.Load() == 0 {
+		t.Fatal("no epoch recorded")
+	}
+}
+
+// TestSchedulerBackpressure deterministically fills the write queue: an
+// active reader blocks the epoch executor, so admitted batches pile up
+// until submit hits the bound and fails fast with errBusy.
+func TestSchedulerBackpressure(t *testing.T) {
+	tree := core.New(2)
+	s := newScheduler(tree, 1)
+	if !s.beginRead() {
+		t.Fatal("beginRead refused")
+	}
+
+	// First batch: picked up by run(), which then blocks in runEpoch
+	// waiting for the reader to leave.
+	b1, err := submitBatch(s, tuple.Tuple{1, 1})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	waitUntil(t, "epoch to start waiting", func() bool { return s.queueDepth() == 0 })
+
+	// Second batch sits in the queue (cap 1); the third must be refused.
+	b2, err := submitBatch(s, tuple.Tuple{2, 2})
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if _, err := submitBatch(s, tuple.Tuple{3, 3}); !errors.Is(err, errBusy) {
+		t.Fatalf("submit 3 = %v, want errBusy", err)
+	}
+	if s.retries.Load() != 1 {
+		t.Fatalf("retries = %d, want 1", s.retries.Load())
+	}
+
+	s.endRead()
+	<-b1.done
+	<-b2.done
+	s.drain()
+	if got := s.violations.Load(); got != 0 {
+		t.Fatalf("violations = %d, want 0", got)
+	}
+	if tree.Len() != 2 {
+		t.Fatalf("tree.Len = %d, want 2", tree.Len())
+	}
+}
+
+// TestSchedulerReaderBlocksDuringEpoch checks rule 3 (no writer
+// starvation): a reader arriving while an epoch is pending queues behind
+// it instead of extending the read phase.
+func TestSchedulerReaderBlocksDuringEpoch(t *testing.T) {
+	tree := core.New(2)
+	s := newScheduler(tree, 4)
+	defer s.drain()
+	if !s.beginRead() {
+		t.Fatal("beginRead refused")
+	}
+	b, err := submitBatch(s, tuple.Tuple{1, 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitUntil(t, "epoch pending", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.epochPending
+	})
+
+	admitted := make(chan struct{})
+	go func() {
+		s.beginRead()
+		close(admitted)
+		s.endRead()
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("late reader admitted while an epoch was pending")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	s.endRead() // epoch runs, gate reopens, late reader proceeds
+	<-b.done
+	<-admitted
+}
+
+func TestSchedulerDrain(t *testing.T) {
+	tree := core.New(2)
+	s := newScheduler(tree, 8)
+	var batches []*writeBatch
+	for i := 0; i < 5; i++ {
+		b, err := submitBatch(s, tuple.Tuple{uint64(i), uint64(i)})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		batches = append(batches, b)
+	}
+	s.drain()
+	s.drain() // idempotent
+	for i, b := range batches {
+		select {
+		case <-b.done:
+		default:
+			t.Fatalf("batch %d not executed by drain", i)
+		}
+	}
+	if tree.Len() != 5 {
+		t.Fatalf("tree.Len = %d, want 5", tree.Len())
+	}
+	if _, err := submitBatch(s, tuple.Tuple{9, 9}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("submit after drain = %v, want ErrShutdown", err)
+	}
+}
+
+// TestSchedulerPhaseInvariant hammers the scheduler with concurrent
+// readers and writers and asserts the counted invariant: no read ever
+// overlapped a write epoch.
+func TestSchedulerPhaseInvariant(t *testing.T) {
+	tree := core.New(2)
+	s := newScheduler(tree, 4)
+	const (
+		writers       = 4
+		readers       = 4
+		perWriter     = 50
+		batchSize     = 8
+		readsPerIter  = 4
+		readerRetries = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				var ts []tuple.Tuple
+				for j := 0; j < batchSize; j++ {
+					v := uint64(w*perWriter*batchSize + i*batchSize + j)
+					ts = append(ts, tuple.Tuple{v, v})
+				}
+				for {
+					b := &writeBatch{tuples: ts, done: make(chan writeResult, 1)}
+					if err := s.submit(b); err == nil {
+						<-b.done
+						break
+					}
+					time.Sleep(time.Millisecond) // errBusy: back off and retry
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hints := core.NewHints()
+			for i := 0; i < readerRetries; i++ {
+				if !s.beginRead() {
+					return
+				}
+				for j := 0; j < readsPerIter; j++ {
+					v := uint64(i * j)
+					tree.ContainsHint(tuple.Tuple{v, v}, hints)
+				}
+				s.endRead()
+			}
+		}()
+	}
+	wg.Wait()
+	s.drain()
+
+	if got := s.violations.Load(); got != 0 {
+		t.Fatalf("phase violations = %d, want 0", got)
+	}
+	want := writers * perWriter * batchSize
+	if tree.Len() != want {
+		t.Fatalf("tree.Len = %d, want %d", tree.Len(), want)
+	}
+	if s.epochs.Load() == 0 {
+		t.Fatal("no epochs recorded")
+	}
+}

@@ -1,0 +1,544 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specbtree/internal/core"
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
+
+// Options configures a Server. The zero value of every field selects a
+// sensible default.
+type Options struct {
+	// Arity is the tuple width of the served relation (default 2).
+	// Ignored when Tree is set.
+	Arity int
+	// Capacity is the per-node element capacity of the served tree
+	// (0 = core.DefaultCapacity). Ignored when Tree is set.
+	Capacity int
+	// Tree, when non-nil, is served instead of a fresh tree — e.g. a
+	// relation pre-loaded by the caller.
+	Tree *core.Tree
+	// WriteQueue bounds the number of admitted-but-unexecuted insert
+	// batches (default 64). A full queue answers RETRY.
+	WriteQueue int
+	// OutboundQueue bounds the per-connection response queue (default
+	// 128). A client that cannot keep up with its responses overflows it
+	// and is disconnected.
+	OutboundQueue int
+	// MaxBatch bounds the tuples of one insert frame (default 4096).
+	MaxBatch int
+	// MaxScan caps the tuples returned by one scan operation (default
+	// 1024); longer results set the truncated flag and the client
+	// paginates.
+	MaxScan int
+	// WriteTimeout bounds one response write to a connection (default
+	// 10s); a blocked write disconnects the slow client.
+	WriteTimeout time.Duration
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Arity <= 0 {
+		o.Arity = 2
+	}
+	if o.WriteQueue <= 0 {
+		o.WriteQueue = 64
+	}
+	if o.OutboundQueue <= 0 {
+		o.OutboundQueue = 128
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
+	}
+	if o.MaxScan <= 0 {
+		o.MaxScan = 1024
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Server is a TCP relation server: one concurrent B-tree behind the
+// phase scheduler, speaking the package's wire protocol. Start it with
+// Start; stop it with Shutdown (graceful drain) or Close.
+type Server struct {
+	opts  Options
+	tree  *core.Tree
+	sched *scheduler
+	lis   net.Listener
+
+	mu     sync.Mutex
+	conns  map[*serverConn]struct{}
+	closed bool
+
+	wg sync.WaitGroup // accept loop + per-conn goroutines
+
+	accepted atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// Stats is a point-in-time reading of the server's serving-layer state,
+// available in every build flavour (unlike the obs counters, which
+// compile out under obsoff). Monotonic fields mirror their obs
+// counterparts; depth and connection counts are instantaneous gauges.
+type Stats struct {
+	// Conns is the number of currently attached connections.
+	Conns int
+	// WriteQueueDepth is the current write-queue occupancy (gauge).
+	WriteQueueDepth int
+	// Epochs counts write epochs executed so far.
+	Epochs uint64
+	// WriteOps counts tuples applied by write epochs.
+	WriteOps uint64
+	// ReadOps counts read operations executed.
+	ReadOps uint64
+	// Retries counts RETRY responses sent on a full write queue.
+	Retries uint64
+	// ConnsAccepted and ConnsDropped count accepted connections and
+	// slow-client disconnects.
+	ConnsAccepted, ConnsDropped uint64
+	// PhaseViolations counts detected read/write-epoch overlaps; any
+	// non-zero value is a scheduler bug.
+	PhaseViolations uint64
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves
+// the relation in background goroutines until Shutdown or Close.
+func Start(addr string, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	tree := opts.Tree
+	if tree == nil {
+		var copts []core.Options
+		if opts.Capacity != 0 {
+			copts = append(copts, core.Options{Capacity: opts.Capacity})
+		}
+		tree = core.New(opts.Arity, copts...)
+	}
+	opts.Arity = tree.Arity()
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		opts:  opts,
+		tree:  tree,
+		sched: newScheduler(tree, opts.WriteQueue),
+		lis:   lis,
+		conns: make(map[*serverConn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the resolved listen address (useful with port 0).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Arity returns the tuple width of the served relation.
+func (s *Server) Arity() int { return s.opts.Arity }
+
+// Tree returns the served tree; between write epochs it is safe to read
+// (the usual phase discipline applies to direct access too).
+func (s *Server) Tree() *core.Tree { return s.tree }
+
+// Stats returns a point-in-time serving-layer snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	return Stats{
+		Conns:           conns,
+		WriteQueueDepth: s.sched.queueDepth(),
+		Epochs:          s.sched.epochs.Load(),
+		WriteOps:        s.sched.writeOps.Load(),
+		ReadOps:         s.sched.readOps.Load(),
+		Retries:         s.sched.retries.Load(),
+		ConnsAccepted:   s.accepted.Load(),
+		ConnsDropped:    s.dropped.Load(),
+		PhaseViolations: s.sched.violations.Load(),
+	}
+}
+
+// Shutdown gracefully stops the server: stop accepting, drain every
+// admitted write batch (their responses are still delivered), then close
+// connections and wait for the per-connection goroutines, bounded by
+// ctx. It returns ctx.Err() if the deadline expired before quiescence.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.lis.Close()
+	// Drain: already-admitted writes execute and answer before the
+	// connections go away.
+	s.sched.drain()
+
+	// Unblock every connection reader; in-flight operations finish, the
+	// next frame read fails and the connection tears down.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately (a Shutdown with a short drain
+// bound).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.accepted.Add(1)
+		obs.Inc(obs.ServeConnsAccepted)
+		c := &serverConn{
+			s:        s,
+			nc:       nc,
+			out:      make(chan outFrame, s.opts.OutboundQueue),
+			rdClosed: make(chan struct{}),
+			closed:   make(chan struct{}),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// outFrame is one queued response.
+type outFrame struct {
+	kind    byte
+	id      uint64
+	payload []byte
+}
+
+// serverConn is one attached client connection: a reader goroutine that
+// decodes, classifies and executes frames, and a writer goroutine that
+// flushes the bounded outbound queue.
+type serverConn struct {
+	s  *Server
+	nc net.Conn
+
+	out chan outFrame
+	// rdClosed is closed when the reader goroutine exits; the writer
+	// then flushes whatever responses are still queued (the graceful
+	// half of teardown) before closing the socket.
+	rdClosed  chan struct{}
+	rdOnce    sync.Once
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	hints *core.Hints // read-path hints; owned by readLoop
+}
+
+// close tears the connection down once: the net.Conn is closed (which
+// unblocks both loops) and the outbound queue is abandoned.
+func (c *serverConn) close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.nc.Close()
+		c.s.mu.Lock()
+		delete(c.s.conns, c)
+		c.s.mu.Unlock()
+	})
+}
+
+// dropSlow disconnects a client that fell behind its responses.
+func (c *serverConn) dropSlow() {
+	c.s.dropped.Add(1)
+	obs.Inc(obs.ServeConnsDropped)
+	c.close()
+}
+
+// send enqueues a response without blocking; an overflowing outbound
+// queue means the client is not draining responses and is disconnected.
+func (c *serverConn) send(f outFrame) {
+	select {
+	case c.out <- f:
+	case <-c.closed:
+	default:
+		c.dropSlow()
+	}
+}
+
+func (c *serverConn) writeLoop() {
+	defer c.s.wg.Done()
+	bw := bufio.NewWriter(c.nc)
+	write := func(f outFrame) error {
+		c.nc.SetWriteDeadline(time.Now().Add(c.s.opts.WriteTimeout))
+		err := writeFrame(bw, f.kind, f.id, f.payload)
+		// Flush eagerly when the queue is empty so pipelined clients are
+		// not stalled behind buffering.
+		if err == nil && len(c.out) == 0 {
+			err = bw.Flush()
+		}
+		return err
+	}
+	for {
+		select {
+		case f := <-c.out:
+			if write(f) != nil {
+				c.writeFailed()
+				return
+			}
+		case <-c.rdClosed:
+			// Reader gone (disconnect or shutdown): flush the queued
+			// responses — insert results whose epochs the drain just
+			// executed — then tear the connection down.
+			for {
+				select {
+				case f := <-c.out:
+					if write(f) != nil {
+						c.writeFailed()
+						return
+					}
+				default:
+					bw.Flush()
+					c.close()
+					return
+				}
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// writeFailed tears down after a failed response write, counting it as a
+// slow-client drop unless the connection was already closing.
+func (c *serverConn) writeFailed() {
+	select {
+	case <-c.closed:
+		c.close()
+	default:
+		c.dropSlow()
+	}
+}
+
+func (c *serverConn) readLoop() {
+	defer c.s.wg.Done()
+	defer c.rdOnce.Do(func() { close(c.rdClosed) })
+	defer func() {
+		if c.hints != nil {
+			c.hints.FlushObs()
+		}
+	}()
+	c.hints = core.NewHints()
+	br := bufio.NewReader(c.nc)
+	arity := c.s.opts.Arity
+	for {
+		kind, id, payload, err := readFrame(br)
+		if err != nil {
+			return // disconnect, protocol error or shutdown deadline
+		}
+		switch kind {
+		case kindHello:
+			c.handleHello(id, payload)
+		case kindRequest:
+			req, err := decodeRequest(id, payload, arity, c.s.opts.MaxBatch)
+			if err != nil {
+				c.send(outFrame{kind: kindResponse, id: id, payload: encodeErr(err.Error())})
+				return
+			}
+			if req.insert != nil {
+				c.handleInsert(req)
+			} else {
+				c.handleReads(req)
+			}
+		default:
+			// A response frame from a client is a protocol error.
+			c.send(outFrame{kind: kindResponse, id: id, payload: encodeErr("serve: unexpected frame kind")})
+			return
+		}
+	}
+}
+
+// handleHello answers the arity handshake. A client arity of 0 adopts
+// the server's; any other mismatch is refused.
+func (c *serverConn) handleHello(id uint64, payload []byte) {
+	r := &rbuf{b: payload}
+	clientArity := int(r.u16())
+	if err := r.done(); err != nil {
+		c.send(outFrame{kind: kindResponse, id: id, payload: encodeErr(err.Error())})
+		return
+	}
+	if clientArity != 0 && clientArity != c.s.opts.Arity {
+		c.send(outFrame{kind: kindResponse, id: id, payload: encodeErr(
+			fmt.Sprintf("serve: arity mismatch: client %d, server %d", clientArity, c.s.opts.Arity))})
+		return
+	}
+	w := &wbuf{}
+	w.u8(statusOK)
+	w.u16(uint16(c.s.opts.Arity))
+	c.send(outFrame{kind: kindHello, id: id, payload: w.b})
+}
+
+// handleInsert submits the write batch and hands the epoch wait to a
+// helper goroutine, so the connection keeps reading pipelined frames
+// while the batch waits for its epoch. Responses may therefore overtake
+// each other; clients match by id.
+func (c *serverConn) handleInsert(req request) {
+	b := &writeBatch{tuples: req.insert, done: make(chan writeResult, 1)}
+	if err := c.s.sched.submit(b); err != nil {
+		if errors.Is(err, errBusy) {
+			c.send(outFrame{kind: kindResponse, id: req.id, payload: []byte{statusRetry}})
+			return
+		}
+		c.send(outFrame{kind: kindResponse, id: req.id, payload: encodeErr(err.Error())})
+		return
+	}
+	c.s.wg.Add(1)
+	go func() {
+		defer c.s.wg.Done()
+		res := <-b.done
+		w := &wbuf{}
+		w.u8(statusOK)
+		w.u32(uint32(res.fresh))
+		c.send(outFrame{kind: kindResponse, id: req.id, payload: w.b})
+	}()
+}
+
+// handleReads executes a read frame inline under read admission: all
+// attached connections' read frames run concurrently between write
+// epochs.
+func (c *serverConn) handleReads(req request) {
+	if !c.s.sched.beginRead() {
+		c.send(outFrame{kind: kindResponse, id: req.id, payload: encodeErr(ErrShutdown.Error())})
+		return
+	}
+	start := obs.SampleClock()
+	w := &wbuf{}
+	w.u8(statusOK)
+	for i := range req.reads {
+		c.execRead(&req.reads[i], w)
+	}
+	c.s.sched.endRead()
+	c.s.sched.readOps.Add(uint64(len(req.reads)))
+	obs.Add(obs.ServeReadOps, uint64(len(req.reads)))
+	if start != 0 {
+		obs.Observe(obs.HistServeReadNanos, uint64(obs.Clock()-start))
+	}
+	c.send(outFrame{kind: kindResponse, id: req.id, payload: w.b})
+}
+
+// execRead evaluates one read operation against the tree and appends its
+// result to the response.
+func (c *serverConn) execRead(op *readOp, w *wbuf) {
+	t := c.s.tree
+	switch op.code {
+	case opContains:
+		w.bool(t.ContainsHint(op.arg, c.hints))
+	case opLower, opUpper:
+		var cur core.Cursor
+		if op.code == opLower {
+			cur = t.LowerBoundHint(op.arg, c.hints)
+		} else {
+			cur = t.UpperBoundHint(op.arg, c.hints)
+		}
+		if cur.Valid() {
+			w.bool(true)
+			w.tuple(cur.Tuple())
+		} else {
+			w.bool(false)
+		}
+	case opScan:
+		c.execScan(op, w)
+	case opLen:
+		w.u64(uint64(t.Len()))
+	}
+}
+
+// execScan runs one bounded range scan: from lo (or the tree start; lo
+// itself skipped when loStrict) up to hi exclusive, capped at the
+// effective limit with a truncation flag.
+func (c *serverConn) execScan(op *readOp, w *wbuf) {
+	limit := int(op.limit)
+	if limit <= 0 || limit > c.s.opts.MaxScan {
+		limit = c.s.opts.MaxScan
+	}
+	var cur core.Cursor
+	if op.lo != nil {
+		if op.loStrict {
+			cur = c.s.tree.UpperBoundHint(op.lo, c.hints)
+		} else {
+			cur = c.s.tree.LowerBoundHint(op.lo, c.hints)
+		}
+	} else {
+		cur = c.s.tree.Begin()
+	}
+	countAt := len(w.b)
+	w.u32(0) // patched below
+	n := 0
+	truncated := false
+	buf := make(tuple.Tuple, c.s.opts.Arity)
+	for cur.Valid() {
+		if op.hi != nil && cur.Compare(op.hi) >= 0 {
+			break
+		}
+		if n == limit {
+			truncated = true
+			break
+		}
+		cur.CopyTo(buf)
+		w.tuple(buf)
+		n++
+		cur.Next()
+	}
+	patchU32(w.b[countAt:], uint32(n))
+	w.bool(truncated)
+}
+
+// patchU32 overwrites a previously appended big-endian uint32 in place.
+func patchU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Regenerates BENCH_serve.json (written to stdout): the pinned
+# serving-layer run of `make bench-json`, in the stable
+# specbtree.bench.serve.v1 schema. Throughput and latency figures only
+# mean something relative to the recorded cpus/gomaxprocs fields — see
+# EXPERIMENTS.md ("Worked example: the serving layer under load").
+set -eu
+GO=${GO:-go}
+addr=${BENCH_SERVE_ADDR:-localhost:40871}
+tmp=$(mktemp -d)
+srv_pid=
+cleanup() {
+	if [ -n "$srv_pid" ]; then
+		kill "$srv_pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+$GO build -o "$tmp/servebtree" ./cmd/servebtree
+$GO build -o "$tmp/loadgen" ./cmd/loadgen
+
+"$tmp/servebtree" -addr "$addr" 2>"$tmp/server.log" &
+srv_pid=$!
+
+i=0
+until "$tmp/loadgen" -addr "$addr" -clients 1 -requests 1 -writes 0 >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "bench_serve_json: server never became reachable at $addr" >&2
+		cat "$tmp/server.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+"$tmp/loadgen" -addr "$addr" -clients 8 -requests 2000 -writes 20 \
+	-batch 16 -seed 1 -json
+
+kill -TERM "$srv_pid"
+status=0
+wait "$srv_pid" || status=$?
+srv_pid=
+if [ "$status" -ne 143 ]; then
+	echo "bench_serve_json: server exited with status $status, want 143" >&2
+	cat "$tmp/server.log" >&2
+	exit 1
+fi

@@ -57,6 +57,28 @@ var frozenV1Counters = []string{
 	"optlock.write.spins",
 }
 
+// frozenServeCounters and frozenServeHistograms freeze the serving
+// subsystem's names at the moment the subsystem shipped (DESIGN.md §11).
+// Same append-only contract as the v1 list: every name must stay
+// registered forever.
+var frozenServeCounters = []string{
+	"serve.read.ops",
+	"serve.write.ops",
+	"serve.write.batches",
+	"serve.epochs",
+	"serve.retries",
+	"serve.conns.accepted",
+	"serve.conns.dropped",
+	"serve.phase.violations",
+}
+
+var frozenServeHistograms = []string{
+	"hist.serve.read.ns",
+	"hist.serve.write_batch.ns",
+	"hist.serve.epoch.ns",
+	"hist.serve.queue.depth",
+}
+
 // flightRecorderFields are the JSON field names of the flight-recorder
 // dump (obs.FlightEvent plus the envelope's sample_rate); DESIGN.md must
 // document each, backticked, in its §9 flight-recorder section.
@@ -92,6 +114,22 @@ func main() {
 		if !registered[name] {
 			problems = append(problems,
 				fmt.Sprintf("obs: v1 counter %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
+	for _, name := range frozenServeCounters {
+		if !registered[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: serve counter %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
+	registeredHist := map[string]bool{}
+	for _, name := range obs.HistogramNames() {
+		registeredHist[name] = true
+	}
+	for _, name := range frozenServeHistograms {
+		if !registeredHist[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: serve histogram %q no longer registered (the metrics contract is append-only)", name))
 		}
 	}
 
