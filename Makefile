@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json bench-json-merge bench-json-serve serve-smoke figures examples clean
+.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json bench-json-merge bench-json-serve bench-json-datalog serve-smoke figures examples clean
 
 all: build lint test obsoff race check-harness check-docs bench-smoke serve-smoke
 
@@ -76,17 +76,21 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 # bench-json regenerates the checked-in benchmark documents: the pinned
-# merge-scaling run (>= 1M-tuple source, specbtree.bench.merge.v1) and
-# the pinned serving-layer run (specbtree.bench.serve.v1). Figures only
-# mean something relative to the recorded cpus/gomaxprocs fields — see
-# EXPERIMENTS.md.
-bench-json: bench-json-merge bench-json-serve
+# merge-scaling run (>= 1M-tuple source, specbtree.bench.merge.v1), the
+# pinned serving-layer run (specbtree.bench.serve.v1), and the pinned
+# evaluation-strategy comparison (specbtree.bench.datalog.v1). Figures
+# only mean something relative to the recorded cpus/gomaxprocs fields —
+# see EXPERIMENTS.md.
+bench-json: bench-json-merge bench-json-serve bench-json-datalog
 
 bench-json-merge:
 	$(GO) run ./cmd/benchmerge -size 1200000 -load 200000 -evalsize 24 -workers 1,2,8 -json > BENCH_merge.json
 
 bench-json-serve:
 	./scripts/bench_serve_json.sh > BENCH_serve.json
+
+bench-json-datalog:
+	$(GO) run ./cmd/benchdatalog -size 2048 -threads 1 -rounds 5 -json > BENCH_datalog.json
 
 # Regenerate every table and figure of the paper (laptop-scale defaults;
 # see EXPERIMENTS.md for the flags matching the paper's full sizes).

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	datalog [-jobs N] [-facts DIR] [-out DIR] [-structure btree] [-stats]
-//	        [-metrics] [-serve ADDR] program.dl
+//	        [-strategy stream] [-explain] [-metrics] [-serve ADDR] program.dl
+//
+// -explain prints the compiled evaluation plan — index assignment per
+// atom, pushed-down comparisons, plan-cache status — and exits without
+// evaluating. -strategy selects the evaluator (stream, stream-nopush,
+// materialize); see DESIGN.md §12.
 //
 // Fact files are DIR/<relation>.facts with one tuple per line, columns
 // separated by tabs. Unsigned integer columns are used verbatim; any other
@@ -49,6 +54,8 @@ func main() {
 	factsDir := flag.String("facts", ".", "directory containing <relation>.facts input files")
 	outDir := flag.String("out", "-", `output directory, or "-" for stdout`)
 	structure := flag.String("structure", "btree", "relation data structure ("+strings.Join(relation.Names(), "|")+")")
+	strategy := flag.String("strategy", "stream", "evaluation strategy ("+strings.Join(datalog.Strategies(), "|")+")")
+	explain := flag.Bool("explain", false, "print the compiled evaluation plan and exit without evaluating")
 	stats := flag.Bool("stats", false, "print evaluation statistics")
 	metrics := flag.Bool("metrics", false, "emit a JSON metrics document to stderr after evaluation")
 	profile := flag.Bool("profile", false, "print per-rule evaluation timings")
@@ -68,16 +75,51 @@ func main() {
 		}
 		return
 	}
+	strat, err := datalog.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *explain {
+		if err := explainProgram(flag.Arg(0), *structure, strat); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	stopDebug, err := cmdutil.StartDebug(*serve, liveShapes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer stopDebug()
-	if err := run(flag.Arg(0), *jobs, *factsDir, *outDir, *structure, *stats, *metrics, *profile); err != nil {
+	if err := run(flag.Arg(0), *jobs, *factsDir, *outDir, *structure, strat, *stats, *metrics, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// explainProgram compiles the program (through the plan cache, so the
+// printed cache status is real) and prints the plan without evaluating.
+func explainProgram(progPath, structure string, strat datalog.EvalStrategy) error {
+	src, err := os.ReadFile(progPath)
+	if err != nil {
+		return err
+	}
+	prog, err := datalog.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	provider, err := relation.Lookup(structure)
+	if err != nil {
+		return err
+	}
+	eng, err := datalog.New(prog, datalog.Options{Provider: provider, Strategy: strat})
+	if err != nil {
+		return err
+	}
+	fmt.Print(eng.Explain())
+	return nil
 }
 
 // synthesize compiles the program to a specialised Go source file, the
@@ -103,7 +145,7 @@ func synthesize(progPath, outPath string) error {
 	return os.WriteFile(outPath, gen, 0o644)
 }
 
-func run(progPath string, jobs int, factsDir, outDir, structure string, stats, metrics, profile bool) error {
+func run(progPath string, jobs int, factsDir, outDir, structure string, strat datalog.EvalStrategy, stats, metrics, profile bool) error {
 	src, err := os.ReadFile(progPath)
 	if err != nil {
 		return err
@@ -116,7 +158,7 @@ func run(progPath string, jobs int, factsDir, outDir, structure string, stats, m
 	if err != nil {
 		return err
 	}
-	eng, err := datalog.New(prog, datalog.Options{Provider: provider, Workers: jobs})
+	eng, err := datalog.New(prog, datalog.Options{Provider: provider, Workers: jobs, Strategy: strat})
 	if err != nil {
 		return err
 	}
@@ -150,6 +192,10 @@ func run(progPath string, jobs int, factsDir, outDir, structure string, stats, m
 		fmt.Fprintf(os.Stderr, "input tuples:      %d\n", s.InputTuples)
 		fmt.Fprintf(os.Stderr, "produced tuples:   %d\n", s.ProducedTuples)
 		fmt.Fprintf(os.Stderr, "hint hit rate:     %.1f%%\n", 100*s.HintRate())
+		fmt.Fprintf(os.Stderr, "strategy:          %s\n", eng.Strategy())
+		fmt.Fprintf(os.Stderr, "iterator scans:    %d (%d pushdown-tightened)\n", s.StreamScans, s.PushdownScans)
+		fmt.Fprintf(os.Stderr, "iterator rows:     %d (%d residual-rejected)\n", s.StreamRows, s.ResidualRows)
+		fmt.Fprintf(os.Stderr, "plan cache:        %d hit / %d miss\n", s.PlanCacheHits, s.PlanCacheMiss)
 	}
 	if profile {
 		fmt.Fprintln(os.Stderr, "rule profile (most expensive first):")

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"specbtree/internal/datalog"
 )
 
 // TestRunEndToEnd drives the CLI pipeline: program file + facts directory
@@ -27,7 +29,7 @@ path(X, Z) :- path(X, Y), edge(Y, Z).
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out")
-	if err := run(prog, 2, dir, out, "btree", false, false, false); err != nil {
+	if err := run(prog, 2, dir, out, "btree", datalog.EvalStream, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(out, "path.csv"))
@@ -62,7 +64,7 @@ reach(F, H) :- reach(F, G), call(G, H).
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out")
-	if err := run(prog, 1, dir, out, "btree", true, true, true); err != nil {
+	if err := run(prog, 1, dir, out, "btree", datalog.EvalStream, true, true, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(out, "reach.csv"))
@@ -77,24 +79,24 @@ reach(F, H) :- reach(F, G), call(G, H).
 // TestRunErrors covers the failure paths.
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(filepath.Join(dir, "missing.dl"), 1, dir, "-", "btree", false, false, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.dl"), 1, dir, "-", "btree", datalog.EvalStream, false, false, false); err == nil {
 		t.Error("missing program accepted")
 	}
 	bad := filepath.Join(dir, "bad.dl")
 	os.WriteFile(bad, []byte("p(1)."), 0o644)
-	if err := run(bad, 1, dir, "-", "btree", false, false, false); err == nil {
+	if err := run(bad, 1, dir, "-", "btree", datalog.EvalStream, false, false, false); err == nil {
 		t.Error("undeclared relation accepted")
 	}
 	okProg := filepath.Join(dir, "ok.dl")
 	os.WriteFile(okProg, []byte(".decl p(x: number)\n.output p\np(1).\n"), 0o644)
-	if err := run(okProg, 1, dir, "-", "nonesuch", false, false, false); err == nil {
+	if err := run(okProg, 1, dir, "-", "nonesuch", datalog.EvalStream, false, false, false); err == nil {
 		t.Error("unknown structure accepted")
 	}
 	// Malformed facts: wrong column count.
 	tcProg := filepath.Join(dir, "tc.dl")
 	os.WriteFile(tcProg, []byte(".decl e(x: number, y: number)\n.input e\n.output e\n"), 0o644)
 	os.WriteFile(filepath.Join(dir, "e.facts"), []byte("1\t2\t3\n"), 0o644)
-	if err := run(tcProg, 1, dir, "-", "btree", false, false, false); err == nil {
+	if err := run(tcProg, 1, dir, "-", "btree", datalog.EvalStream, false, false, false); err == nil {
 		t.Error("malformed facts accepted")
 	}
 }
@@ -135,7 +137,7 @@ func TestRunMissingFactsWarnsOnly(t *testing.T) {
 	dir := t.TempDir()
 	prog := filepath.Join(dir, "p.dl")
 	os.WriteFile(prog, []byte(".decl e(x: number)\n.input e\n.output e\n"), 0o644)
-	if err := run(prog, 1, dir, filepath.Join(dir, "out"), "btree", false, false, false); err != nil {
+	if err := run(prog, 1, dir, filepath.Join(dir, "out"), "btree", datalog.EvalStream, false, false, false); err != nil {
 		t.Fatalf("missing facts file should not fail: %v", err)
 	}
 }

@@ -55,6 +55,18 @@ func (c *Cursor) Compare(v tuple.Tuple) int {
 	return c.n.cmpRow(c.idx, c.t.arity, v)
 }
 
+// Within reports whether the cursor is valid and its element precedes the
+// exclusive bound hi; a nil hi means "end of tree", so any valid position
+// is within. It is the loop condition of half-open range scans — the
+// bound check every composed iterator performs per step, without
+// materialising the element.
+func (c *Cursor) Within(hi tuple.Tuple) bool {
+	if c.n == nil {
+		return false
+	}
+	return hi == nil || c.Compare(hi) < 0
+}
+
 // Equal reports whether two cursors designate the same position. Two end
 // cursors are equal.
 func (c *Cursor) Equal(o Cursor) bool {

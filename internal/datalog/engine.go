@@ -20,6 +20,14 @@ type Options struct {
 	Provider relation.Provider
 	// Workers is the evaluation thread count (default GOMAXPROCS).
 	Workers int
+	// Strategy selects the rule evaluator (default EvalStream).
+	Strategy EvalStrategy
+	// PlanCache overrides the compilation cache (default
+	// DefaultPlanCache). Compilation is pure in the program text, so a
+	// cache may be shared freely across providers and strategies.
+	PlanCache *PlanCache
+	// NoPlanCache compiles from scratch without consulting any cache.
+	NoPlanCache bool
 }
 
 // Stats mirrors the evaluation statistics of the paper's Table 2, plus the
@@ -40,6 +48,16 @@ type Stats struct {
 
 	HintHits   uint64 `json:"hint_hits"`
 	HintMisses uint64 `json:"hint_misses"`
+
+	// Streaming-evaluator counters (zero under EvalMaterialize). The
+	// fields below were appended for the streaming rewrite; the earlier
+	// fields keep their positions and names (append-only contract).
+	StreamScans   uint64 `json:"stream_scans"`    // composed-iterator scans opened
+	StreamRows    uint64 `json:"stream_rows"`     // tuples pulled through iterators
+	PushdownScans uint64 `json:"pushdown_scans"`  // scans with comparison-tightened bounds
+	ResidualRows  uint64 `json:"residual_rows"`   // pulled rows rejected by residual checks
+	PlanCacheHits uint64 `json:"plan_cache_hits"` // 1 if this engine bound a cached plan
+	PlanCacheMiss uint64 `json:"plan_cache_misses"`
 }
 
 // HintRate returns the fraction of hinted operations that hit.
@@ -96,6 +114,7 @@ type Engine struct {
 	prog     *Program
 	provider relation.Provider
 	workers  int
+	strategy EvalStrategy
 	syms     *SymbolTable
 	rels     map[string]*engRel
 	strata   []Stratum
@@ -115,6 +134,9 @@ type workerState struct {
 	ops map[relation.Relation]relation.Ops
 
 	inserts, contains, scans, produced uint64
+
+	// Streaming-evaluator counters (iter.go).
+	iterScans, iterRows, pushScans, residualRows uint64
 }
 
 func (w *workerState) opsFor(r relation.Relation) relation.Ops {
@@ -126,16 +148,9 @@ func (w *workerState) opsFor(r relation.Relation) relation.Ops {
 	return o
 }
 
-// New compiles prog for evaluation. The program must be safe and
-// stratifiable.
+// New compiles prog for evaluation, consulting the plan cache unless
+// Options opts out. The program must be safe and stratifiable.
 func New(prog *Program, opts Options) (*Engine, error) {
-	if err := CheckSafety(prog); err != nil {
-		return nil, err
-	}
-	strata, err := Stratify(prog)
-	if err != nil {
-		return nil, err
-	}
 	provider := opts.Provider
 	if provider.New == nil {
 		provider = relation.MustLookup("btree")
@@ -149,14 +164,103 @@ func New(prog *Program, opts Options) (*Engine, error) {
 		prog:     prog,
 		provider: provider,
 		workers:  workers,
+		strategy: opts.Strategy,
 		syms:     NewSymbolTable(),
 		rels:     map[string]*engRel{},
-		strata:   strata,
 		plans:    map[int][]*rulePlan{},
 	}
+
+	cache := opts.PlanCache
+	if cache == nil {
+		cache = DefaultPlanCache
+	}
+	if opts.NoPlanCache {
+		cache = nil
+	}
+	var key string
+	var entry *planEntry
+	if cache != nil {
+		key = programKey(prog)
+		entry = cache.lookup(key)
+	}
+	if entry != nil {
+		// Cache hit: skip the safety check, the stratification, the index
+		// selection and the rule compilation — the entry was stored by a
+		// successful compile of the identical program text.
+		e.bindEntry(entry)
+		e.stats.PlanCacheHits = 1
+	} else {
+		if err := e.compileProgram(); err != nil {
+			return nil, err
+		}
+		if cache != nil {
+			e.stats.PlanCacheMiss = 1
+			cache.store(key, snapshotEntry(e))
+		}
+	}
+
+	// Instantiate the relation sets now that the index set is final.
+	for _, r := range e.rels {
+		r.full = make([]relation.Relation, len(r.indexes))
+		r.delta = make([]relation.Relation, len(r.indexes))
+		r.nw = make([]relation.Relation, len(r.indexes))
+		for i := range r.indexes {
+			r.full[i] = provider.New(r.arity)
+		}
+	}
+
+	e.workerState = make([]*workerState, workers)
+	for i := range e.workerState {
+		e.workerState[i] = &workerState{ops: map[relation.Relation]relation.Ops{}}
+	}
+
+	// Load inline facts. Both scratch buffers are hoisted out of the loop;
+	// insertFact itself allocates nothing.
+	buf := make(tuple.Tuple, 8)
+	perm := make(tuple.Tuple, 8)
+	for _, r := range prog.Rules {
+		if len(r.Body) != 0 {
+			continue
+		}
+		rel := e.rels[r.Head.Pred]
+		t := buf[:0]
+		for _, term := range r.Head.Terms {
+			switch term.Kind {
+			case TermNum:
+				t = append(t, term.Num)
+			case TermSym:
+				t = append(t, e.syms.Intern(term.Sym))
+			default:
+				return nil, fmt.Errorf("datalog: line %d: non-ground fact %s", r.Line, r.Head)
+			}
+		}
+		for len(perm) < rel.arity {
+			perm = append(perm, 0)
+		}
+		e.insertFact(e.workerState[0], rel, t, perm[:rel.arity])
+	}
+	return e, nil
+}
+
+// compileProgram runs the full compilation pipeline: safety check,
+// stratification, semi-naïve version enumeration, signature collection,
+// minimum-chain-cover index selection and rule compilation. On return
+// e.rels holds finalised index layouts (no instances yet), e.strata the
+// stratification and e.plans the compiled versions — exactly the state
+// snapshotEntry captures into the plan cache.
+func (e *Engine) compileProgram() error {
+	prog := e.prog
+	if err := CheckSafety(prog); err != nil {
+		return err
+	}
+	strata, err := Stratify(prog)
+	if err != nil {
+		return err
+	}
+	e.strata = strata
 	for _, d := range prog.Decls {
 		if d.Arity > 64 {
-			return nil, fmt.Errorf("datalog: relation %q has arity %d; the index selection supports at most 64 columns", d.Name, d.Arity)
+			return fmt.Errorf("datalog: relation %q has arity %d; the index selection supports at most 64 columns", d.Name, d.Arity)
 		}
 		e.rels[d.Name] = &engRel{name: d.Name, arity: d.Arity, sig: map[string]int{}}
 	}
@@ -215,56 +319,18 @@ func New(prog *Program, opts Options) (*Engine, error) {
 	for _, v := range versions {
 		plan, err := e.compileRule(v.ri, v.deltaPos)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.plans[v.si] = append(e.plans[v.si], plan)
 	}
-
-	// Instantiate the relation sets now that the index set is final.
-	for _, r := range e.rels {
-		r.full = make([]relation.Relation, len(r.indexes))
-		r.delta = make([]relation.Relation, len(r.indexes))
-		r.nw = make([]relation.Relation, len(r.indexes))
-		for i := range r.indexes {
-			r.full[i] = provider.New(r.arity)
-		}
-	}
-
-	e.workerState = make([]*workerState, workers)
-	for i := range e.workerState {
-		e.workerState[i] = &workerState{ops: map[relation.Relation]relation.Ops{}}
-	}
-
-	// Load inline facts. Both scratch buffers are hoisted out of the loop;
-	// insertFact itself allocates nothing.
-	buf := make(tuple.Tuple, 8)
-	perm := make(tuple.Tuple, 8)
-	for _, r := range prog.Rules {
-		if len(r.Body) != 0 {
-			continue
-		}
-		rel := e.rels[r.Head.Pred]
-		t := buf[:0]
-		for _, term := range r.Head.Terms {
-			switch term.Kind {
-			case TermNum:
-				t = append(t, term.Num)
-			case TermSym:
-				t = append(t, e.syms.Intern(term.Sym))
-			default:
-				return nil, fmt.Errorf("datalog: line %d: non-ground fact %s", r.Line, r.Head)
-			}
-		}
-		for len(perm) < rel.arity {
-			perm = append(perm, 0)
-		}
-		e.insertFact(e.workerState[0], rel, t, perm[:rel.arity])
-	}
-	return e, nil
+	return nil
 }
 
 // Symbols exposes the engine's symbol table for interning fact constants.
 func (e *Engine) Symbols() *SymbolTable { return e.syms }
+
+// Strategy returns the engine's evaluation strategy.
+func (e *Engine) Strategy() EvalStrategy { return e.strategy }
 
 // Workers returns the configured worker count.
 func (e *Engine) Workers() int { return e.workers }
@@ -598,15 +664,31 @@ const (
 	intoNew
 )
 
-// evalPlan evaluates one rule version, partitioning the outermost scan
-// across the worker pool (the paper's parallelisation of the outermost
-// for-loop of Figure 1). Three strategies, in order of preference:
+// evalPlan evaluates one rule version under the engine's strategy. The
+// streaming evaluator (iter.go) composes cursor-backed iterators; the
+// materialising evaluator below is the pre-rewrite callback recursion,
+// kept as the reference arm of the differential harness.
+func (e *Engine) evalPlan(p *rulePlan, target insertTarget) {
+	switch e.strategy {
+	case EvalStream:
+		e.evalPlanStream(p, target, true)
+	case EvalStreamNoPushdown:
+		e.evalPlanStream(p, target, false)
+	default:
+		e.evalPlanMaterialize(p, target)
+	}
+}
+
+// evalPlanMaterialize evaluates one rule version with nested callback
+// recursion, partitioning the outermost scan across the worker pool
+// (the paper's parallelisation of the outermost for-loop of Figure 1).
+// Three paths, in order of preference:
 //
 //  1. single worker: evaluate inline during the scan;
 //  2. splittable backend (the B-trees): partition the scanned key range
 //     Soufflé-style and hand each worker subranges — no materialisation;
 //  3. otherwise: materialise the outer scan and chunk it.
-func (e *Engine) evalPlan(p *rulePlan, target insertTarget) {
+func (e *Engine) evalPlanMaterialize(p *rulePlan, target insertTarget) {
 	if len(p.body) == 0 || p.body[0].kind != LitAtom {
 		// Degenerate: no positive outer atom; evaluate inline.
 		env := make([]uint64, p.numVars)
@@ -846,6 +928,10 @@ func (e *Engine) collectStats() {
 		s.LowerBoundCalls += ws.scans
 		s.UpperBoundCalls += ws.scans
 		s.ProducedTuples += ws.produced
+		s.StreamScans += ws.iterScans
+		s.StreamRows += ws.iterRows
+		s.PushdownScans += ws.pushScans
+		s.ResidualRows += ws.residualRows
 		for _, ops := range ws.ops {
 			if f, ok := ops.(relation.StatsFlusher); ok {
 				f.FlushStats()
@@ -857,6 +943,10 @@ func (e *Engine) collectStats() {
 			}
 		}
 	}
+	obs.Add(obs.EngineIterScans, s.StreamScans)
+	obs.Add(obs.EngineIterRows, s.StreamRows)
+	obs.Add(obs.EngineIterPushdownScans, s.PushdownScans)
+	obs.Add(obs.EngineIterResidualRows, s.ResidualRows)
 }
 
 // Stats returns the evaluation statistics (valid after Run).
@@ -905,6 +995,7 @@ type RoundMetric struct {
 type Metrics struct {
 	Provider string        `json:"provider"`
 	Workers  int           `json:"workers"`
+	Strategy string        `json:"strategy"`
 	Stats    Stats         `json:"stats"`
 	Rounds   []RoundMetric `json:"rounds,omitempty"`
 	Rules    []RuleTiming  `json:"rules,omitempty"`
@@ -916,6 +1007,7 @@ func (e *Engine) Metrics() Metrics {
 	return Metrics{
 		Provider: e.provider.Name,
 		Workers:  e.workers,
+		Strategy: e.strategy.String(),
 		Stats:    e.stats,
 		Rounds:   e.rounds,
 		Rules:    e.Profile(),

@@ -1,0 +1,528 @@
+package datalog
+
+// The streaming evaluator. Each positive body atom becomes a
+// cursor-backed iterator over its assigned index; the iterators compose
+// into an odometer chain that pulls tuples lazily — no intermediate
+// materialisation — and comparisons on the first suffix column of a
+// scanned index are pushed down into the cursor's [lo, hi) bounds
+// instead of filtering after the scan. DESIGN.md §12 documents the
+// contract; the materialising evaluator (evalFrom) is kept as the
+// reference arm of the differential harness.
+
+import (
+	"fmt"
+	"sync"
+
+	"specbtree/internal/obs"
+	"specbtree/internal/relation"
+	"specbtree/internal/tuple"
+)
+
+// EvalStrategy selects how rule bodies are evaluated.
+type EvalStrategy int
+
+const (
+	// EvalStream composes cursor-backed iterators per body atom and
+	// pulls tuples lazily through the chain, with comparison pushdown
+	// tightening the scan bounds (DESIGN.md §12). The default.
+	EvalStream EvalStrategy = iota
+	// EvalStreamNoPushdown is EvalStream with pushdown disabled: pushed
+	// comparisons are evaluated as residual filters after the scan. The
+	// ablation arm of cmd/benchdatalog.
+	EvalStreamNoPushdown
+	// EvalMaterialize is the callback-recursion evaluator the engine
+	// used before the streaming rewrite; it is the reference arm of the
+	// streaming-vs-materializing differential check.
+	EvalMaterialize
+)
+
+func (s EvalStrategy) String() string {
+	switch s {
+	case EvalStream:
+		return "stream"
+	case EvalStreamNoPushdown:
+		return "stream-nopush"
+	case EvalMaterialize:
+		return "materialize"
+	}
+	return fmt.Sprintf("EvalStrategy(%d)", int(s))
+}
+
+// ParseStrategy resolves a strategy name as accepted by the commands'
+// -strategy flags.
+func ParseStrategy(name string) (EvalStrategy, error) {
+	switch name {
+	case "stream":
+		return EvalStream, nil
+	case "stream-nopush":
+		return EvalStreamNoPushdown, nil
+	case "materialize":
+		return EvalMaterialize, nil
+	}
+	return 0, fmt.Errorf("datalog: unknown evaluation strategy %q (want stream, stream-nopush or materialize)", name)
+}
+
+// Strategies lists the strategy names in their canonical order.
+func Strategies() []string { return []string{"stream", "stream-nopush", "materialize"} }
+
+// pushSamplePeriod is the sampling rate of the pushdown-selectivity
+// histogram: one in every pushSamplePeriod pushed scans (per worker)
+// records its yield. Must be a power of two.
+const pushSamplePeriod = 16
+
+// chainStage is the per-worker runtime state of one body literal in a
+// streaming chain. Atom stages own a reusable iterator and bound
+// buffers; negation stages a probe buffer; comparison and negation
+// stages fire exactly once per opening (done).
+type chainStage struct {
+	lit *litPlan
+
+	// Positive atoms.
+	iter   relation.Iterator
+	lo, hi tuple.Tuple // reusable bound buffers
+	rows   uint64      // rows pulled from the current scan
+	sample bool        // record rows into the selectivity histogram at exhaustion
+	empty  bool        // pushed bounds proved the scan empty; nothing to pull
+
+	// Negated atoms.
+	probe tuple.Tuple
+
+	// Comparisons and negations: set after their single firing.
+	done bool
+}
+
+// streamChain is a worker-local composed iterator over a rule body: one
+// stage per literal, pulled by an odometer walk (run). A chain is
+// confined to its worker goroutine — stages hold cursors and the
+// worker's Ops handles — and lives for one rule evaluation, during
+// which the phase-concurrency contract guarantees the scanned versions
+// are not written (DESIGN.md §5.1).
+type streamChain struct {
+	e       *Engine
+	ws      *workerState
+	p       *rulePlan
+	target  insertTarget
+	usePush bool
+	env     []uint64
+	stages  []chainStage
+}
+
+func newStreamChain(e *Engine, ws *workerState, p *rulePlan, target insertTarget, usePush bool) *streamChain {
+	c := &streamChain{e: e, ws: ws, p: p, target: target, usePush: usePush}
+	c.env = make([]uint64, p.numVars)
+	c.stages = make([]chainStage, len(p.body))
+	for i := range p.body {
+		l := &p.body[i]
+		c.stages[i].lit = l
+		switch l.kind {
+		case LitAtom:
+			arity := l.rel.arity
+			c.stages[i].lo = make(tuple.Tuple, 0, arity)
+			c.stages[i].hi = make(tuple.Tuple, 0, arity)
+		case LitNegAtom:
+			c.stages[i].probe = make(tuple.Tuple, len(l.ground))
+		}
+	}
+	return c
+}
+
+// scanSource resolves the relation version stage l reads this round.
+func scanSource(l *litPlan) relation.Relation {
+	if l.useDelta {
+		return l.rel.delta[l.index]
+	}
+	return l.rel.full[l.index]
+}
+
+// scanBounds computes the [lo, hi) key range of an atom stage for the
+// current bindings, folding the stage's pushed comparisons into the
+// bounds when pushdown is enabled. pushed reports whether a comparison
+// tightened the range beyond the plain prefix bounds; empty reports a
+// range proved unsatisfiable (the scan can be skipped outright). The
+// returned slices alias the stage's reusable buffers; hi is nil for a
+// scan running to the end of the index.
+func (c *streamChain) scanBounds(s *chainStage) (lo, hi tuple.Tuple, pushed, empty bool) {
+	l := s.lit
+	arity := l.rel.arity
+	nPrefix := len(l.prefix)
+	lo = s.lo[:0]
+	for _, vs := range l.prefix {
+		lo = append(lo, vs.value(c.env))
+	}
+
+	// Fold the pushed comparisons into bounds on the first suffix column.
+	const maxVal = ^uint64(0)
+	var loCol, hiCol uint64
+	hasLo, hasHi := false, false
+	if c.usePush && nPrefix < arity {
+		for _, pb := range l.push {
+			v := pb.val.value(c.env)
+			switch pb.op {
+			case CmpGe:
+				if !hasLo || v > loCol {
+					loCol = v
+				}
+				hasLo = true
+			case CmpGt:
+				if v == maxVal {
+					return nil, nil, true, true // x > max: no tuple qualifies
+				}
+				if !hasLo || v+1 > loCol {
+					loCol = v + 1
+				}
+				hasLo = true
+			case CmpLt:
+				if !hasHi || v < hiCol {
+					hiCol = v
+				}
+				hasHi = true
+			case CmpLe:
+				if v != maxVal { // x <= max is vacuous; keep the prefix bound
+					if !hasHi || v+1 < hiCol {
+						hiCol = v + 1
+					}
+					hasHi = true
+				}
+			case CmpEq:
+				if !hasLo || v > loCol {
+					loCol = v
+				}
+				hasLo = true
+				if v != maxVal {
+					if !hasHi || v+1 < hiCol {
+						hiCol = v + 1
+					}
+					hasHi = true
+				}
+			}
+		}
+	}
+	pushed = hasLo || hasHi
+	if hasLo && hasHi && loCol >= hiCol {
+		return nil, nil, true, true
+	}
+
+	if hasLo {
+		lo = append(lo, loCol)
+	}
+	for len(lo) < arity {
+		lo = append(lo, 0)
+	}
+	s.lo = lo
+
+	if hasHi {
+		h := s.hi[:0]
+		h = append(h, lo[:nPrefix]...)
+		h = append(h, hiCol)
+		for len(h) < arity {
+			h = append(h, 0)
+		}
+		s.hi = h
+		return lo, h, pushed, false
+	}
+	hi = prefixUpperInto(s.hi[:0], lo[:nPrefix], arity)
+	if hi != nil {
+		s.hi = hi
+	}
+	return lo, hi, pushed, false
+}
+
+// prefixUpperInto is tuple.PrefixUpperBound into a caller-owned buffer:
+// the exclusive upper bound of the range sharing prefix, padded with
+// zeros to arity, or nil when the prefix is maximal (scan to the end).
+func prefixUpperInto(buf, prefix tuple.Tuple, arity int) tuple.Tuple {
+	buf = append(buf, prefix...)
+	for i := len(buf) - 1; i >= 0; i-- {
+		if buf[i] != ^uint64(0) {
+			buf[i]++
+			for j := i + 1; j < len(buf); j++ {
+				buf[j] = 0
+			}
+			for len(buf) < arity {
+				buf = append(buf, 0)
+			}
+			return buf
+		}
+	}
+	return nil
+}
+
+// openScan seeks an atom stage's iterator to [lo, hi), creating the
+// iterator on first use. Backends without an ordered cursor surface get
+// the materialising fallback iterator.
+func (c *streamChain) openScan(s *chainStage, lo, hi tuple.Tuple, pushed bool) {
+	l := s.lit
+	if s.iter == nil {
+		ops := c.ws.opsFor(scanSource(l))
+		if co, ok := ops.(relation.CursorOps); ok {
+			s.iter = co.NewIterator()
+		} else {
+			s.iter = &fallbackIter{ops: ops, nPrefix: len(l.prefix), arity: l.rel.arity}
+		}
+	}
+	c.ws.scans++
+	c.ws.iterScans++
+	s.rows = 0
+	s.empty = false
+	s.sample = false
+	if pushed {
+		c.ws.pushScans++
+		s.sample = obs.Enabled && c.ws.pushScans&(pushSamplePeriod-1) == 1
+	}
+	s.iter.Seek(lo, hi)
+}
+
+// open (re)positions stage i for the current bindings of the stages
+// before it.
+func (c *streamChain) open(i int) {
+	s := &c.stages[i]
+	if s.lit.kind != LitAtom {
+		s.done = false
+		return
+	}
+	lo, hi, pushed, empty := c.scanBounds(s)
+	if empty {
+		s.empty = true
+		return
+	}
+	c.openScan(s, lo, hi, pushed)
+}
+
+// next advances stage i to its next satisfying binding. Atom stages
+// pull tuples from their iterator until one passes the residual
+// bind/check actions; comparison and negation stages fire at most once
+// per opening.
+func (c *streamChain) next(i int) bool {
+	s := &c.stages[i]
+	l := s.lit
+	switch l.kind {
+	case LitAtom:
+		if s.empty {
+			return false
+		}
+		nPrefix := len(l.prefix)
+		for s.iter.Next() {
+			c.ws.iterRows++
+			s.rows++
+			if applyActions(l.rest, s.iter.Tuple()[nPrefix:], c.env) {
+				return true
+			}
+			c.ws.residualRows++
+		}
+		if s.sample {
+			obs.Observe(obs.HistPushdownSelectivity, s.rows)
+			s.sample = false
+		}
+		return false
+	case LitCmp:
+		if s.done {
+			return false
+		}
+		s.done = true
+		if l.pushed && c.usePush {
+			return true // absorbed into an earlier stage's scan bounds
+		}
+		return l.op.Eval(l.l.value(c.env), l.r.value(c.env))
+	case LitNegAtom:
+		if s.done {
+			return false
+		}
+		s.done = true
+		for k, vs := range l.ground {
+			s.probe[k] = vs.value(c.env)
+		}
+		c.ws.contains++
+		return !c.ws.opsFor(l.rel.full[l.index]).Contains(s.probe)
+	}
+	return false
+}
+
+// runFrom is the odometer walk: advance the deepest open stage; on
+// success descend (or emit at the last stage), on exhaustion backtrack.
+// Stage start must already be open; stages before it must have bound
+// their variables into env.
+func (c *streamChain) runFrom(start int) {
+	depth := start
+	last := len(c.stages) - 1
+	for depth >= start {
+		if !c.next(depth) {
+			depth--
+			continue
+		}
+		if depth == last {
+			c.e.emit(c.ws, c.p, c.env, c.target)
+			continue
+		}
+		depth++
+		c.open(depth)
+	}
+}
+
+// run opens stage start and pulls the chain to exhaustion.
+func (c *streamChain) run(start int) {
+	if start >= len(c.stages) {
+		c.e.emit(c.ws, c.p, c.env, c.target)
+		return
+	}
+	c.open(start)
+	c.runFrom(start)
+}
+
+// runOuterRange pulls the chain with the outer stage pinned to one
+// partition [lo, hi) of the (possibly pushdown-tightened) outer range.
+func (c *streamChain) runOuterRange(lo, hi tuple.Tuple, pushed bool) {
+	c.openScan(&c.stages[0], lo, hi, pushed)
+	c.runFrom(0)
+}
+
+// evalPlanStream evaluates one rule version with the streaming
+// evaluator, partitioning the outermost scan across the worker pool
+// exactly as the materialising path does: splittable backends get
+// Soufflé-style key-range partitions, others a materialised outer scan
+// chunked across workers.
+func (e *Engine) evalPlanStream(p *rulePlan, target insertTarget, usePush bool) {
+	if len(p.body) == 0 || p.body[0].kind != LitAtom {
+		// Degenerate: no positive outer atom; evaluate inline.
+		env := make([]uint64, p.numVars)
+		e.evalFrom(e.workerState[0], p, 0, env, target)
+		return
+	}
+
+	if e.workers <= 1 {
+		newStreamChain(e, e.workerState[0], p, target, usePush).run(0)
+		return
+	}
+
+	// The outer bounds depend only on constants (the planner panics on an
+	// unbound variable in the outermost prefix), so compute them once on a
+	// scratch chain and clone them out of its buffers.
+	outer := &p.body[0]
+	arity := outer.rel.arity
+	src := scanSource(outer)
+	scratch := newStreamChain(e, e.workerState[0], p, target, usePush)
+	lo, hi, outerPushed, empty := scratch.scanBounds(&scratch.stages[0])
+	if empty {
+		return
+	}
+	lo = append(tuple.Tuple(nil), lo...)
+	if hi != nil {
+		hi = append(tuple.Tuple(nil), hi...)
+	}
+
+	if sp, ok := src.(relation.Splitter); ok {
+		bounds := sp.SplitRange(lo, hi, e.workers*4)
+		starts := make([]tuple.Tuple, 0, len(bounds)+1)
+		ends := make([]tuple.Tuple, 0, len(bounds)+1)
+		starts = append(starts, lo)
+		for _, b := range bounds {
+			ends = append(ends, b)
+			starts = append(starts, b)
+		}
+		ends = append(ends, hi)
+
+		var wg sync.WaitGroup
+		workers := e.workers
+		if workers > len(starts) {
+			workers = len(starts)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int, ws *workerState) {
+				defer wg.Done()
+				c := newStreamChain(e, ws, p, target, usePush)
+				for ri := w; ri < len(starts); ri += workers {
+					c.runOuterRange(starts[ri], ends[ri], outerPushed)
+				}
+			}(w, e.workerState[w])
+		}
+		wg.Wait()
+		return
+	}
+
+	// Materialise the outer range and chunk it across the workers.
+	w0 := e.workerState[0]
+	var flat []uint64
+	w0.scans++
+	w0.iterScans++
+	if outerPushed {
+		w0.pushScans++
+	}
+	w0.opsFor(src).PrefixScan(lo[:len(outer.prefix)], func(t tuple.Tuple) bool {
+		w0.iterRows++
+		if tuple.Compare(t, lo) < 0 || (hi != nil && tuple.Compare(t, hi) >= 0) {
+			return true
+		}
+		flat = append(flat, t...)
+		return true
+	})
+	n := len(flat) / arity
+	if n == 0 {
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	nPrefix := len(outer.prefix)
+	for w := 0; w < workers; w++ {
+		clo, chi := w*chunk, (w+1)*chunk
+		if chi > n {
+			chi = n
+		}
+		if clo >= chi {
+			break
+		}
+		wg.Add(1)
+		go func(ws *workerState, part []uint64) {
+			defer wg.Done()
+			c := newStreamChain(e, ws, p, target, usePush)
+			for off := 0; off < len(part); off += arity {
+				t := part[off : off+arity]
+				if applyActions(outer.rest, t[nPrefix:], c.env) {
+					c.run(1)
+				}
+			}
+		}(e.workerState[w], flat[clo*arity:chi*arity])
+	}
+	wg.Wait()
+}
+
+// fallbackIter adapts a cursor-less Ops handle (the hash provider, the
+// foreign-tree baselines) to the Iterator contract: Seek materialises
+// the backend's prefix scan filtered to [lo, hi) and Next replays the
+// buffer. The B-tree providers never take this path — their adapters
+// implement relation.CursorOps natively.
+type fallbackIter struct {
+	ops     relation.Ops
+	nPrefix int
+	arity   int
+	rows    []uint64
+	pos     int
+}
+
+func (it *fallbackIter) Seek(lo, hi tuple.Tuple) {
+	it.rows = it.rows[:0]
+	it.pos = -1
+	it.ops.PrefixScan(lo[:it.nPrefix], func(t tuple.Tuple) bool {
+		if tuple.Compare(t, lo) < 0 || (hi != nil && tuple.Compare(t, hi) >= 0) {
+			return true
+		}
+		it.rows = append(it.rows, t...)
+		return true
+	})
+}
+
+func (it *fallbackIter) Next() bool {
+	if it.pos < 0 {
+		it.pos = 0
+	} else {
+		it.pos += it.arity
+	}
+	return it.pos+it.arity <= len(it.rows) && it.arity > 0
+}
+
+func (it *fallbackIter) Tuple() tuple.Tuple {
+	return it.rows[it.pos : it.pos+it.arity]
+}

@@ -1,0 +1,285 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"specbtree/internal/relation"
+	"specbtree/internal/tuple"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for _, name := range Strategies() {
+		s, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String() != name {
+			t.Errorf("round trip %q -> %q", name, s)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestPrefixUpperInto(t *testing.T) {
+	max := ^uint64(0)
+	cases := []struct {
+		prefix tuple.Tuple
+		arity  int
+		want   tuple.Tuple // nil = no upper bound
+	}{
+		{tuple.Tuple{}, 2, nil},
+		{tuple.Tuple{5}, 2, tuple.Tuple{6, 0}},
+		{tuple.Tuple{5, 7}, 2, tuple.Tuple{5, 8}},
+		{tuple.Tuple{5, max}, 2, tuple.Tuple{6, 0}},
+		{tuple.Tuple{max, max}, 2, nil},
+		{tuple.Tuple{max, 1}, 3, tuple.Tuple{max, 2, 0}},
+	}
+	for _, c := range cases {
+		got := prefixUpperInto(nil, c.prefix, c.arity)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("prefixUpperInto(%v, %d) = %v, want %v", c.prefix, c.arity, got, c.want)
+		}
+		// Must agree with the allocating original.
+		if ref := tuple.PrefixUpperBound(c.prefix, c.arity); fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Errorf("prefixUpperInto(%v) = %v diverges from PrefixUpperBound = %v", c.prefix, got, ref)
+		}
+	}
+}
+
+// newFallback builds a fallbackIter over a cursor-less hashset relation.
+func newFallback(t *testing.T, rows []tuple.Tuple, nPrefix int) *fallbackIter {
+	t.Helper()
+	r := relation.MustLookup("hashset").New(2)
+	ops := r.NewOps()
+	if _, ok := ops.(relation.CursorOps); ok {
+		t.Fatal("hashset grew a cursor; pick another cursor-less provider")
+	}
+	for _, row := range rows {
+		ops.Insert(row)
+	}
+	return &fallbackIter{ops: ops, nPrefix: nPrefix, arity: 2}
+}
+
+// TestFallbackIter: the materialising adapter honours the same
+// Seek/Next contract as the native cursors — bounds, rewind,
+// exhaustion.
+func TestFallbackIter(t *testing.T) {
+	rows := []tuple.Tuple{{1, 10}, {1, 20}, {1, 30}, {2, 5}}
+	it := newFallback(t, rows, 1)
+
+	it.Seek(tuple.Tuple{1, 15}, tuple.Tuple{1, 30})
+	var got []uint64
+	for it.Next() {
+		got = append(got, it.Tuple()[1])
+	}
+	if len(got) != 1 || got[0] != 20 {
+		t.Fatalf("bounded scan: %v", got)
+	}
+	if it.Next() {
+		t.Fatal("Next after exhaustion")
+	}
+
+	// Rewind with nil hi: the whole prefix group.
+	it.Seek(tuple.Tuple{1, 0}, nil)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("prefix scan saw %d rows", n)
+	}
+
+	// Empty and inverted ranges.
+	it.Seek(tuple.Tuple{1, 30}, tuple.Tuple{1, 30})
+	if it.Next() {
+		t.Fatal("lo==hi yielded")
+	}
+	it.Seek(tuple.Tuple{1, 30}, tuple.Tuple{1, 10})
+	if it.Next() {
+		t.Fatal("inverted range yielded")
+	}
+}
+
+// evalStrategyOutputs runs src under every strategy on the given
+// provider/worker grid and asserts identical relation dumps.
+func evalStrategyOutputs(t *testing.T, src string, outputs []string, provider string, workers int) {
+	t.Helper()
+	var ref map[string][]string
+	for _, strat := range []EvalStrategy{EvalMaterialize, EvalStream, EvalStreamNoPushdown} {
+		prog := mustParse(t, src)
+		p, err := relation.Lookup(provider)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(prog, Options{Provider: p, Workers: workers, Strategy: strat, NoPlanCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := map[string][]string{}
+		for _, o := range outputs {
+			rows := dumpRel(t, eng, o)
+			sort.Strings(rows) // hash providers scan in arbitrary order
+			got[o] = rows
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for _, o := range outputs {
+			if fmt.Sprint(got[o]) != fmt.Sprint(ref[o]) {
+				t.Errorf("%s/%dw strategy %s diverged on %s:\n got %v\nwant %v",
+					provider, workers, strat, o, got[o], ref[o])
+			}
+		}
+	}
+}
+
+// TestStreamBoundaryConstants drives the pushdown bounds math at the
+// edges of the key space: > max (provably empty), >= max, <= 0, < 0
+// (empty), = max — under every strategy, which must agree.
+func TestStreamBoundaryConstants(t *testing.T) {
+	max := ^uint64(0)
+	src := fmt.Sprintf(`
+.decl s(x: number)
+.decl r(x: number, y: number)
+.decl gtmax(x: number, y: number)
+.decl gemax(x: number, y: number)
+.decl lezero(x: number, y: number)
+.decl ltzero(x: number, y: number)
+.decl eqmax(x: number, y: number)
+.output gtmax
+.output gemax
+.output lezero
+.output ltzero
+.output eqmax
+s(1). s(2).
+r(1, 0). r(1, 7). r(1, %d). r(2, 0). r(2, %d).
+gtmax(X, Y) :- s(X), r(X, Y), Y > %d.
+gemax(X, Y) :- s(X), r(X, Y), Y >= %d.
+lezero(X, Y) :- s(X), r(X, Y), Y <= 0.
+ltzero(X, Y) :- s(X), r(X, Y), Y < 0.
+eqmax(X, Y) :- s(X), r(X, Y), Y = %d.
+`, max, max-1, max, max, max)
+	outputs := []string{"gtmax", "gemax", "lezero", "ltzero", "eqmax"}
+	for _, workers := range []int{1, 3} {
+		evalStrategyOutputs(t, src, outputs, "btree", workers)
+	}
+
+	// Spot-check the absolute counts under streaming.
+	eng, err := New(mustParse(t, src), Options{Workers: 1, NoPlanCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for rel, want := range map[string]int{"gtmax": 0, "gemax": 1, "lezero": 2, "ltzero": 0, "eqmax": 1} {
+		if got := eng.Count(rel); got != want {
+			t.Errorf("%s: %d tuples, want %d", rel, got, want)
+		}
+	}
+}
+
+// TestStreamChunkedOuterPath covers the non-splittable multi-worker
+// path (materialised outer scan, chunked across workers) and the
+// fallback iterator inside the chain, via the hash provider.
+func TestStreamChunkedOuterPath(t *testing.T) {
+	src := `
+.decl e(x: number, y: number)
+.decl p(x: number, y: number)
+.output p
+e(1, 2). e(2, 3). e(3, 4). e(4, 5). e(5, 6). e(2, 6).
+p(X, Y) :- e(X, Y).
+p(X, Z) :- p(X, Y), e(Y, Z), Z > X.
+`
+	for _, provider := range []string{"btree", "hashset", "tbbhash"} {
+		for _, workers := range []int{1, 4} {
+			evalStrategyOutputs(t, src, []string{"p"}, provider, workers)
+		}
+	}
+}
+
+// TestStreamStatsAccounting: the streaming counters must add up — every
+// pulled row either bound its variables or was counted residual, and
+// pushed scans are a subset of opened scans.
+func TestStreamStatsAccounting(t *testing.T) {
+	src := `
+.decl s(x: number)
+.decl r(x: number, y: number)
+.decl q(x: number, y: number)
+.output q
+s(1). s(2). s(3).
+r(1, 1). r(1, 5). r(1, 9). r(2, 4). r(2, 8). r(3, 2).
+q(X, Y) :- s(X), r(X, Y), Y >= 4, Y < 9.
+`
+	eng, err := New(mustParse(t, src), Options{Workers: 1, NoPlanCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.StreamScans == 0 {
+		t.Fatalf("no streaming scans: %+v", s)
+	}
+	if s.PushdownScans == 0 || s.PushdownScans > s.StreamScans {
+		t.Fatalf("pushdown scans out of range: %+v", s)
+	}
+	if s.ResidualRows > s.StreamRows {
+		t.Fatalf("residual rows exceed pulled rows: %+v", s)
+	}
+	if got, want := eng.Count("q"), 3; got != want {
+		t.Fatalf("q has %d tuples, want %d", got, want)
+	}
+	// With the window pushed into the bounds, the streaming evaluator
+	// must pull exactly the matching rows from r — no residual rejects
+	// on the pushed column.
+	if s.ResidualRows != 0 {
+		t.Errorf("pushed scan rejected %d rows residually; bounds not applied", s.ResidualRows)
+	}
+}
+
+// TestExplain pins the plan rendering the README walks through: index
+// assignment, pushdown annotation, cache status.
+func TestExplain(t *testing.T) {
+	cache := NewPlanCache(4)
+	src := `
+.decl s(x: number)
+.decl r(x: number, y: number)
+.decl q(x: number, y: number)
+.output q
+q(X, Y) :- s(X), r(X, Y), Y >= 10, Y < 20.
+`
+	eng, err := New(mustParse(t, src), Options{PlanCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := eng.Explain()
+	for _, want := range []string{
+		"strategy: stream",
+		"pushdown[col1 >= 10]",
+		"pushdown[col1 < 20]",
+		"[pushed into scan bounds]",
+		"plan cache: miss (compiled and stored)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output lacks %q:\n%s", want, out)
+		}
+	}
+	eng2, err := New(mustParse(t, src), Options{PlanCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eng2.Explain(), "plan cache: hit (compilation reused)") {
+		t.Errorf("second Explain lacks hit marker:\n%s", eng2.Explain())
+	}
+}

@@ -36,6 +36,17 @@ const (
 	actSkip
 )
 
+// pushBound is one comparison absorbed into an atom's scan bounds by the
+// pushdown pass (DESIGN.md §12): at scan-open time the streaming
+// evaluator evaluates val against the current bindings and tightens the
+// range of the index's first suffix column according to op (one of <,
+// <=, >, >=, =). The original comparison literal stays in the body,
+// marked pushed, so the non-streaming paths still apply it as a filter.
+type pushBound struct {
+	op  CmpOp
+	val valSrc
+}
+
 // litPlan is one compiled body literal.
 type litPlan struct {
 	kind LiteralKind
@@ -46,11 +57,18 @@ type litPlan struct {
 	index    int      // index id within rel
 	prefix   []valSrc // values of the index's prefix columns, in order
 	rest     []colAction
+	// push holds the comparisons the pushdown pass absorbed into this
+	// atom's scan bounds (streaming evaluation only).
+	push []pushBound
 	// Negated atoms: ground tuple in original column order.
 	ground []valSrc
 	// Comparisons.
 	op   CmpOp
 	l, r valSrc
+	// pushed marks a comparison that has been absorbed into an earlier
+	// atom's push set; the streaming evaluator (with pushdown enabled)
+	// passes it through, every other path evaluates it normally.
+	pushed bool
 }
 
 // rulePlan is one semi-naïve version of a rule.
@@ -61,6 +79,8 @@ type rulePlan struct {
 	headVals []valSrc
 	body     []litPlan
 	numVars  int
+	// varNames maps variable slots back to source names, for -explain.
+	varNames []string
 	// recursiveVersion reports whether this version reads a delta.
 	recursiveVersion bool
 
@@ -296,7 +316,81 @@ func (e *Engine) compileRule(ri int, deltaPos int) (*rulePlan, error) {
 		plan.headVals = append(plan.headVals, src(t))
 	}
 	plan.numVars = len(slots)
+	plan.varNames = make([]string, len(slots))
+	for name, s := range slots {
+		plan.varNames[s] = name
+	}
+	absorbPushdown(plan)
 	return plan, nil
+}
+
+// flip mirrors the operator across the comparison: a OP b == b flip(OP) a.
+func (o CmpOp) flip() CmpOp {
+	switch o {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	}
+	return o
+}
+
+// absorbPushdown runs the predicate-pushdown pass over a compiled plan
+// (DESIGN.md §12): a comparison between the variable bound by the first
+// suffix column of an atom's index and a value known before that atom is
+// scanned (a constant, or a variable bound by an earlier literal) is
+// absorbed into the atom's scan bounds. Only the first suffix column is
+// eligible — bounds on it keep the matching tuples one contiguous
+// lexicographic range, which deeper columns would not. The comparison
+// literal stays in the body marked pushed, so the materialising path and
+// the no-pushdown ablation still evaluate it as a filter; results are
+// identical either way, which the differential harness checks.
+func absorbPushdown(p *rulePlan) {
+	bound := make([]bool, p.numVars) // bound strictly before the literal under examination
+	for i := range p.body {
+		l := &p.body[i]
+		if l.kind != LitAtom {
+			continue
+		}
+		if len(l.rest) > 0 && l.rest[0].kind == actBind {
+			v := l.rest[0].v
+			for j := i + 1; j < len(p.body); j++ {
+				c := &p.body[j]
+				if c.kind != LitCmp || c.pushed {
+					continue
+				}
+				var op CmpOp
+				var other valSrc
+				switch {
+				case !c.l.isConst && c.l.v == v:
+					op, other = c.op, c.r
+				case !c.r.isConst && c.r.v == v:
+					op, other = c.op.flip(), c.l
+				default:
+					continue
+				}
+				if !other.isConst && (other.v == v || !bound[other.v]) {
+					continue
+				}
+				switch op {
+				case CmpLt, CmpLe, CmpGt, CmpGe, CmpEq:
+				default:
+					continue // != does not describe a contiguous range
+				}
+				l.push = append(l.push, pushBound{op: op, val: other})
+				c.pushed = true
+			}
+		}
+		for _, a := range l.rest {
+			if a.kind == actBind {
+				bound[a.v] = true
+			}
+		}
+	}
 }
 
 // collectSignatures mirrors compileRule's literal ordering and boundness

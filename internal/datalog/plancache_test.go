@@ -1,0 +1,243 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// cacheTestSrc uses symbolic constants so a cache hit exercises the
+// symbol-replay machinery: the interned ids baked into the cached plans
+// must resolve identically in the binding engine's fresh table.
+const cacheTestSrc = `
+.decl edge(x: number, y: number)
+.decl label(x: number, l: symbol)
+.decl path(x: number, y: number)
+.decl tagged(x: number, y: number)
+.output path
+.output tagged
+edge(1, 2). edge(2, 3). edge(3, 4).
+label(2, "keep"). label(3, "drop"). label(4, "keep").
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+tagged(X, Y) :- path(X, Y), label(Y, "keep").
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	eng, err := New(mustParse(t, cacheTestSrc), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func dumpRel(t *testing.T, eng *Engine, name string) []string {
+	t.Helper()
+	var rows []string
+	if err := eng.Scan(name, func(tp tuple.Tuple) bool {
+		rows = append(rows, fmt.Sprint([]uint64(tp)))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestPlanCacheHitMissAccounting pins the accounting: first compile
+// misses and stores, the second identical program hits, and both
+// engines report their side of it in Stats.
+func TestPlanCacheHitMissAccounting(t *testing.T) {
+	cache := NewPlanCache(8)
+	e1 := runEngine(t, Options{Workers: 1, PlanCache: cache})
+	if s := cache.Stats(); s.Misses != 1 || s.Hits != 0 || s.Entries != 1 {
+		t.Fatalf("after first engine: %+v", s)
+	}
+	if s := e1.Stats(); s.PlanCacheMiss != 1 || s.PlanCacheHits != 0 {
+		t.Fatalf("first engine stats: hits=%d misses=%d", s.PlanCacheHits, s.PlanCacheMiss)
+	}
+
+	e2 := runEngine(t, Options{Workers: 1, PlanCache: cache})
+	if s := cache.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("after second engine: %+v", s)
+	}
+	if s := e2.Stats(); s.PlanCacheHits != 1 || s.PlanCacheMiss != 0 {
+		t.Fatalf("second engine stats: hits=%d misses=%d", s.PlanCacheHits, s.PlanCacheMiss)
+	}
+	if rate := cache.Stats().HitRate(); rate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", rate)
+	}
+
+	// The cached compilation must be observationally identical — same
+	// derived relations, tuple for tuple (symbol replay included).
+	for _, rel := range []string{"path", "tagged"} {
+		a, b := dumpRel(t, e1, rel), dumpRel(t, e2, rel)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Errorf("relation %s diverged across cache hit:\n miss: %v\n hit:  %v", rel, a, b)
+		}
+	}
+	if len(dumpRel(t, e2, "tagged")) == 0 {
+		t.Error("tagged is empty; the symbolic filter matched nothing")
+	}
+}
+
+// TestPlanCacheKeyedByProgram: a different program text must miss.
+func TestPlanCacheKeyedByProgram(t *testing.T) {
+	cache := NewPlanCache(8)
+	runEngine(t, Options{Workers: 1, PlanCache: cache})
+	other := `
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.output path
+edge(1, 2).
+path(X, Y) :- edge(X, Y).
+`
+	eng, err := New(mustParse(t, other), Options{Workers: 1, PlanCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = eng
+	if s := cache.Stats(); s.Misses != 2 || s.Hits != 0 || s.Entries != 2 {
+		t.Fatalf("distinct programs should both miss: %+v", s)
+	}
+}
+
+// TestPlanCacheInvalidation: an entry whose recorded index signatures no
+// longer match its skeletons (an index-set change) is dropped, counted,
+// and recompiled — and the recompiled engine still evaluates correctly.
+func TestPlanCacheInvalidation(t *testing.T) {
+	cache := NewPlanCache(8)
+	key := programKey(mustParse(t, cacheTestSrc))
+	e1 := runEngine(t, Options{Workers: 1, PlanCache: cache})
+	want := dumpRel(t, e1, "path")
+
+	// Tamper with the stored entry the way an index-set change would
+	// manifest: the recorded signatures disagree with the skeleton.
+	cache.mu.Lock()
+	entry, ok := cache.entries[key]
+	if !ok {
+		cache.mu.Unlock()
+		t.Fatalf("entry not stored under programKey; keys=%d", len(cache.entries))
+	}
+	entry.sigs["edge"] = []string{"1,0", "0,1,2"}
+	cache.mu.Unlock()
+
+	e2 := runEngine(t, Options{Workers: 1, PlanCache: cache})
+	s := cache.Stats()
+	if s.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1 (%+v)", s.Invalidations, s)
+	}
+	if s.Misses != 2 {
+		t.Fatalf("the invalidated lookup must count as a miss: %+v", s)
+	}
+	if got := dumpRel(t, e2, "path"); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("recompiled engine diverged: %v want %v", got, want)
+	}
+
+	// The recompile restored a valid entry: next lookup hits again.
+	runEngine(t, Options{Workers: 1, PlanCache: cache})
+	if s := cache.Stats(); s.Hits != 1 {
+		t.Fatalf("expected a hit after recompile: %+v", s)
+	}
+}
+
+// TestPlanCacheLRUEviction: a capacity-1 cache keeps only the most
+// recent program.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	cache := NewPlanCache(1)
+	runEngine(t, Options{Workers: 1, PlanCache: cache})
+	other := `
+.decl a(x: number)
+.decl b(x: number)
+.output b
+a(1). a(2).
+b(X) :- a(X), X > 1.
+`
+	if _, err := New(mustParse(t, other), Options{PlanCache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Entries != 1 {
+		t.Fatalf("capacity 1 holds %d entries", s.Entries)
+	}
+	// The first program was evicted: compiling it again misses.
+	runEngine(t, Options{Workers: 1, PlanCache: cache})
+	if s := cache.Stats(); s.Hits != 0 || s.Misses != 3 {
+		t.Fatalf("evicted program should miss: %+v", s)
+	}
+}
+
+// TestPlanCacheInvalidateAll: explicit invalidation empties the cache.
+func TestPlanCacheInvalidateAll(t *testing.T) {
+	cache := NewPlanCache(8)
+	runEngine(t, Options{Workers: 1, PlanCache: cache})
+	cache.Invalidate()
+	if s := cache.Stats(); s.Entries != 0 {
+		t.Fatalf("Invalidate left %d entries", s.Entries)
+	}
+	runEngine(t, Options{Workers: 1, PlanCache: cache})
+	if s := cache.Stats(); s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("post-Invalidate lookup should miss: %+v", s)
+	}
+}
+
+// TestPlanCacheOptOut: NoPlanCache compiles from scratch and leaves the
+// default cache untouched.
+func TestPlanCacheOptOut(t *testing.T) {
+	cache := NewPlanCache(8)
+	eng, err := New(mustParse(t, cacheTestSrc), Options{PlanCache: cache, NoPlanCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("NoPlanCache touched the cache: %+v", s)
+	}
+	if s := eng.Stats(); s.PlanCacheHits != 0 || s.PlanCacheMiss != 0 {
+		t.Fatalf("NoPlanCache engine reports cache traffic: %+v", s)
+	}
+}
+
+// TestPlanCacheConcurrentSharing: engines binding the same entry from
+// several goroutines must not interfere (the clone-on-bind guarantee).
+func TestPlanCacheConcurrentSharing(t *testing.T) {
+	cache := NewPlanCache(8)
+	want := dumpRel(t, runEngine(t, Options{Workers: 1, PlanCache: cache}), "path")
+	done := make(chan []string, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			eng, err := New(mustParse(t, cacheTestSrc), Options{Workers: 2, PlanCache: cache})
+			if err != nil {
+				done <- []string{fmt.Sprintf("error: %v", err)}
+				return
+			}
+			if err := eng.Run(); err != nil {
+				done <- []string{fmt.Sprintf("error: %v", err)}
+				return
+			}
+			var rows []string
+			eng.Scan("path", func(tp tuple.Tuple) bool {
+				rows = append(rows, fmt.Sprint([]uint64(tp)))
+				return true
+			})
+			done <- rows
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		got := <-done
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("concurrent engine %d diverged: %v want %v", i, got, want)
+		}
+	}
+}

@@ -86,6 +86,13 @@ const (
 	// batch admission — the queue-depth gauge of the serving layer, as a
 	// distribution ("hist.serve.queue.depth").
 	HistServeQueueDepth
+	// HistPushdownSelectivity records, for a 1-in-16 sample of streaming
+	// scans whose range was tightened by a pushed-down comparison, the
+	// number of tuples the tightened cursor yielded — the result
+	// cardinality the pushdown narrowed the scan to; compare against
+	// datalog.iter.rows per scan to judge how much filtering moved from
+	// post-scan checks into the tree ("hist.datalog.pushdown.selectivity").
+	HistPushdownSelectivity
 
 	// NumHistograms is the number of registered histograms; valid
 	// Histogram values are [0, NumHistograms).
@@ -119,6 +126,7 @@ var histogramNames = [NumHistograms]string{
 	HistServeWriteBatchNanos: "hist.serve.write_batch.ns",
 	HistServeEpochNanos:      "hist.serve.epoch.ns",
 	HistServeQueueDepth:      "hist.serve.queue.depth",
+	HistPushdownSelectivity:  "hist.datalog.pushdown.selectivity",
 }
 
 // histogramUnits maps every Histogram to the unit of its recorded values.
@@ -137,6 +145,7 @@ var histogramUnits = [NumHistograms]string{
 	HistServeWriteBatchNanos: "ns",
 	HistServeEpochNanos:      "ns",
 	HistServeQueueDepth:      "batches",
+	HistPushdownSelectivity:  "rows",
 }
 
 // Name returns the histogram's stable published name, the key used in

@@ -63,11 +63,13 @@ import (
 )
 
 // SchemaVersion identifies the JSON metrics contract emitted by Take and
-// by the -metrics flag of every command. v2 extends v1 append-only: every
-// v1 key is unchanged, and a "histograms" section (log2-bucketed latency
-// and count distributions, hist.go) is added. Counter and histogram names
+// by the -metrics flag of every command. v2 extended v1 append-only with
+// the "histograms" section (log2-bucketed latency and count
+// distributions, hist.go); v3 extends v2 append-only with the streaming
+// query-execution names (datalog.plan.*, datalog.iter.* and the pushdown
+// selectivity histogram, DESIGN.md §12). Counter and histogram names
 // under this version are append-only stable (see the package comment).
-const SchemaVersion = "specbtree.metrics.v2"
+const SchemaVersion = "specbtree.metrics.v3"
 
 // Counter identifies one global event counter. The constants below are
 // the complete registry; Name returns the stable string form. Counter
@@ -187,6 +189,34 @@ const (
 	// scheduler's invariant that no read executes concurrently with a
 	// write epoch; it must stay zero ("serve.phase.violations").
 	ServePhaseViolations
+	// EnginePlanCacheHits counts semi-naïve rule versions whose compiled
+	// plan was served from the keyed plan cache instead of being
+	// recompiled ("datalog.plan.cache_hits").
+	EnginePlanCacheHits
+	// EnginePlanCacheMisses counts rule versions compiled from scratch
+	// because no valid cache entry covered their program
+	// ("datalog.plan.cache_misses").
+	EnginePlanCacheMisses
+	// EnginePlanCacheInvalidations counts plan-cache entries discarded
+	// because their recorded index assignment no longer matched the
+	// engine's freshly collected search signatures, plus explicit
+	// Invalidate calls ("datalog.plan.cache_invalidations").
+	EnginePlanCacheInvalidations
+	// EngineIterScans counts range cursors opened (Seek calls) by the
+	// streaming evaluator's composed join chains
+	// ("datalog.iter.scans").
+	EngineIterScans
+	// EngineIterRows counts tuples pulled through streaming scan stages,
+	// before residual filtering ("datalog.iter.rows").
+	EngineIterRows
+	// EngineIterPushdownScans counts streaming scans whose range was
+	// tightened beyond the index prefix by at least one pushed-down
+	// comparison ("datalog.iter.pushdown_scans").
+	EngineIterPushdownScans
+	// EngineIterResidualRows counts tuples dropped by residual (not
+	// pushed-down) suffix checks and comparison filters inside streaming
+	// scan stages ("datalog.iter.residual_rows").
+	EngineIterResidualRows
 
 	// NumCounters is the number of registered counters; valid Counter
 	// values are [0, NumCounters).
@@ -230,6 +260,14 @@ var counterNames = [NumCounters]string{
 	ServeConnsAccepted:         "serve.conns.accepted",
 	ServeConnsDropped:          "serve.conns.dropped",
 	ServePhaseViolations:       "serve.phase.violations",
+
+	EnginePlanCacheHits:          "datalog.plan.cache_hits",
+	EnginePlanCacheMisses:        "datalog.plan.cache_misses",
+	EnginePlanCacheInvalidations: "datalog.plan.cache_invalidations",
+	EngineIterScans:              "datalog.iter.scans",
+	EngineIterRows:               "datalog.iter.rows",
+	EngineIterPushdownScans:      "datalog.iter.pushdown_scans",
+	EngineIterResidualRows:       "datalog.iter.residual_rows",
 }
 
 // Name returns the counter's stable published name, the key used in the

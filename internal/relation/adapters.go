@@ -119,6 +119,52 @@ func (o *btreeOps) RangeScan(from, to tuple.Tuple, yield func(tuple.Tuple) bool)
 	o.t.RangeHint(from, to, o.h, yield)
 }
 
+// NewIterator implements CursorOps: the returned iterator seeks with the
+// handle's hint set and walks the tree's parent-pointer cursor, so a
+// composed join chain re-seeks an inner scan per outer binding without
+// re-descending from the root when the hint holds.
+func (o *btreeOps) NewIterator() Iterator {
+	return &btreeIter{o: o, buf: make(tuple.Tuple, o.t.Arity()), hi: make(tuple.Tuple, 0, o.t.Arity())}
+}
+
+// btreeIter is the concurrent B-tree's Iterator: a core.Cursor plus the
+// exclusive upper bound of the current range. The bound is copied on
+// Seek so callers may reuse their bound buffers between seeks.
+type btreeIter struct {
+	o       *btreeOps
+	c       core.Cursor
+	hi      tuple.Tuple
+	hiSet   bool
+	buf     tuple.Tuple
+	started bool
+}
+
+func (it *btreeIter) Seek(lo, hi tuple.Tuple) {
+	it.c = it.o.t.LowerBoundHint(lo, it.o.h)
+	it.hi = append(it.hi[:0], hi...)
+	it.hiSet = hi != nil
+	it.started = false
+}
+
+func (it *btreeIter) Next() bool {
+	if !it.started {
+		it.started = true
+	} else if it.c.Valid() {
+		it.c.Next()
+	}
+	hi := it.hi
+	if !it.hiSet {
+		hi = nil
+	}
+	if !it.c.Within(hi) {
+		return false
+	}
+	it.c.CopyTo(it.buf)
+	return true
+}
+
+func (it *btreeIter) Tuple() tuple.Tuple { return it.buf }
+
 func (o *btreeOps) HintStats() (hits, misses uint64) {
 	if o.h == nil {
 		return 0, 0
@@ -188,6 +234,50 @@ func (o *seqOps) PrefixScan(prefix tuple.Tuple, yield func(tuple.Tuple) bool) {
 		}
 	}
 }
+
+// NewIterator implements CursorOps for the sequential specialised
+// B-tree. Reads take no lock (read-phase contract), mirroring
+// PrefixScan.
+func (o *seqOps) NewIterator() Iterator {
+	return &seqIter{o: o, hi: make(tuple.Tuple, 0, o.r.t.Arity())}
+}
+
+// seqIter is the sequential B-tree's Iterator; Tuple returns the tree's
+// own row view, which stays valid until the next write phase.
+type seqIter struct {
+	o       *seqOps
+	c       seqbtree.Cursor
+	hi      tuple.Tuple
+	hiSet   bool
+	cur     tuple.Tuple
+	started bool
+}
+
+func (it *seqIter) Seek(lo, hi tuple.Tuple) {
+	it.c = it.o.r.t.LowerBoundHint(lo, it.o.h)
+	it.hi = append(it.hi[:0], hi...)
+	it.hiSet = hi != nil
+	it.started = false
+}
+
+func (it *seqIter) Next() bool {
+	if !it.started {
+		it.started = true
+	} else if it.c.Valid() {
+		it.c.Next()
+	}
+	if !it.c.Valid() {
+		return false
+	}
+	x := it.c.Tuple()
+	if it.hiSet && tuple.Compare(x, it.hi) >= 0 {
+		return false
+	}
+	it.cur = x
+	return true
+}
+
+func (it *seqIter) Tuple() tuple.Tuple { return it.cur }
 
 func (o *seqOps) HintStats() (hits, misses uint64) {
 	if o.h == nil {

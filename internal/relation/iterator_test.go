@@ -1,0 +1,194 @@
+package relation
+
+import (
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// cursorProviders lists the providers whose Ops implement CursorOps.
+func cursorProviders(t *testing.T) []Provider {
+	t.Helper()
+	var out []Provider
+	for _, name := range Names() {
+		p := MustLookup(name)
+		r := p.New(2)
+		if _, ok := r.NewOps().(CursorOps); ok {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no provider implements CursorOps")
+	}
+	return out
+}
+
+func collect(it Iterator) []tuple.Tuple {
+	var out []tuple.Tuple
+	for it.Next() {
+		out = append(out, append(tuple.Tuple(nil), it.Tuple()...))
+	}
+	return out
+}
+
+// TestIteratorRangeScan drives the basic Seek/Next contract on every
+// cursor-backed provider: half-open bounds, nil hi, empty and inverted
+// ranges, and ranges beyond the data.
+func TestIteratorRangeScan(t *testing.T) {
+	for _, p := range cursorProviders(t) {
+		t.Run(p.Name, func(t *testing.T) {
+			r := p.New(2)
+			ops := r.NewOps()
+			for _, row := range []tuple.Tuple{{1, 10}, {1, 20}, {2, 5}, {2, 15}, {3, 1}} {
+				ops.Insert(row)
+			}
+			it := ops.(CursorOps).NewIterator()
+
+			// Full range: nil hi runs to the end.
+			it.Seek(tuple.Tuple{0, 0}, nil)
+			if got := collect(it); len(got) != 5 {
+				t.Fatalf("full scan: %v", got)
+			}
+			// Half-open: hi is exclusive.
+			it.Seek(tuple.Tuple{1, 20}, tuple.Tuple{2, 15})
+			if got := collect(it); len(got) != 2 || got[0][1] != 20 || got[1][1] != 5 {
+				t.Fatalf("half-open scan: %v", got)
+			}
+			// Empty range: lo == hi.
+			it.Seek(tuple.Tuple{2, 5}, tuple.Tuple{2, 5})
+			if got := collect(it); len(got) != 0 {
+				t.Fatalf("lo==hi yielded %v", got)
+			}
+			// Inverted range: lo > hi yields nothing.
+			it.Seek(tuple.Tuple{3, 0}, tuple.Tuple{1, 0})
+			if got := collect(it); len(got) != 0 {
+				t.Fatalf("inverted range yielded %v", got)
+			}
+			// Range entirely past the data.
+			it.Seek(tuple.Tuple{9, 0}, nil)
+			if got := collect(it); len(got) != 0 {
+				t.Fatalf("past-the-end range yielded %v", got)
+			}
+		})
+	}
+}
+
+// TestIteratorRewind: a Seek repositions a used iterator — including
+// one that was run to exhaustion — with no residue from the prior scan.
+func TestIteratorRewind(t *testing.T) {
+	for _, p := range cursorProviders(t) {
+		t.Run(p.Name, func(t *testing.T) {
+			r := p.New(2)
+			ops := r.NewOps()
+			for k := uint64(0); k < 4; k++ {
+				for v := uint64(0); v < 4; v++ {
+					ops.Insert(tuple.Tuple{k, v})
+				}
+			}
+			it := ops.(CursorOps).NewIterator()
+
+			// Exhaust one range, then rewind into another.
+			it.Seek(tuple.Tuple{1, 0}, tuple.Tuple{2, 0})
+			if got := collect(it); len(got) != 4 {
+				t.Fatalf("first scan: %v", got)
+			}
+			if it.Next() {
+				t.Fatal("Next after exhaustion reported a tuple")
+			}
+			it.Seek(tuple.Tuple{3, 1}, tuple.Tuple{3, 3})
+			got := collect(it)
+			if len(got) != 2 || got[0][0] != 3 || got[0][1] != 1 || got[1][1] != 2 {
+				t.Fatalf("rewound scan: %v", got)
+			}
+
+			// Rewind mid-scan: abandon a half-consumed range.
+			it.Seek(tuple.Tuple{0, 0}, nil)
+			if !it.Next() {
+				t.Fatal("mid-scan setup failed")
+			}
+			it.Seek(tuple.Tuple{2, 2}, tuple.Tuple{2, 4})
+			if got := collect(it); len(got) != 2 || got[0][1] != 2 {
+				t.Fatalf("mid-scan rewind: %v", got)
+			}
+
+			// Rewind into an empty range, then back to a full one.
+			it.Seek(tuple.Tuple{9, 0}, nil)
+			if it.Next() {
+				t.Fatal("empty reseek yielded a tuple")
+			}
+			it.Seek(tuple.Tuple{0, 0}, tuple.Tuple{1, 0})
+			if got := collect(it); len(got) != 4 {
+				t.Fatalf("reseek after empty: %v", got)
+			}
+		})
+	}
+}
+
+// TestIteratorEmptyRelation: iterators over empty relations terminate
+// immediately for every bound shape.
+func TestIteratorEmptyRelation(t *testing.T) {
+	for _, p := range cursorProviders(t) {
+		t.Run(p.Name, func(t *testing.T) {
+			it := p.New(2).NewOps().(CursorOps).NewIterator()
+			for _, hi := range []tuple.Tuple{nil, {5, 5}} {
+				it.Seek(tuple.Tuple{0, 0}, hi)
+				if it.Next() {
+					t.Fatalf("empty relation yielded a tuple (hi=%v)", hi)
+				}
+				if it.Next() {
+					t.Fatal("repeated Next after exhaustion yielded a tuple")
+				}
+			}
+		})
+	}
+}
+
+// TestIteratorMaxBounds: ranges touching the top of the key space.
+func TestIteratorMaxBounds(t *testing.T) {
+	max := ^uint64(0)
+	for _, p := range cursorProviders(t) {
+		t.Run(p.Name, func(t *testing.T) {
+			r := p.New(2)
+			ops := r.NewOps()
+			ops.Insert(tuple.Tuple{max, max})
+			ops.Insert(tuple.Tuple{max, 0})
+			ops.Insert(tuple.Tuple{0, max})
+			it := ops.(CursorOps).NewIterator()
+
+			it.Seek(tuple.Tuple{max, 0}, nil)
+			if got := collect(it); len(got) != 2 {
+				t.Fatalf("max-prefix scan: %v", got)
+			}
+			it.Seek(tuple.Tuple{max, max}, nil)
+			got := collect(it)
+			if len(got) != 1 || got[0][1] != max {
+				t.Fatalf("max-tuple scan: %v", got)
+			}
+		})
+	}
+}
+
+// TestIteratorTransientView: the Tuple view is only valid until the
+// next Next — the documented contract; copies must be taken explicitly.
+func TestIteratorTransientView(t *testing.T) {
+	for _, p := range cursorProviders(t) {
+		t.Run(p.Name, func(t *testing.T) {
+			r := p.New(1)
+			ops := r.NewOps()
+			ops.Insert(tuple.Tuple{1})
+			ops.Insert(tuple.Tuple{2})
+			it := ops.(CursorOps).NewIterator()
+			it.Seek(tuple.Tuple{0}, nil)
+			if !it.Next() {
+				t.Fatal("no first tuple")
+			}
+			first := append(tuple.Tuple(nil), it.Tuple()...)
+			if !it.Next() {
+				t.Fatal("no second tuple")
+			}
+			if first[0] != 1 || it.Tuple()[0] != 2 {
+				t.Fatalf("copied=%v current=%v", first, it.Tuple())
+			}
+		})
+	}
+}

@@ -131,6 +131,46 @@ type RangeScanner interface {
 	RangeScan(from, to tuple.Tuple, yield func(tuple.Tuple) bool)
 }
 
+// Iterator is a reusable pull-based range scan over one relation — the
+// cursor surface the streaming Datalog evaluator composes into join
+// chains (DESIGN.md §12). The protocol is Seek-then-Next:
+//
+//	it.Seek(lo, hi)
+//	for it.Next() {
+//	    row := it.Tuple() // transient view, valid until the next call
+//	}
+//
+// Seek may be called again at any time — including mid-scan or after
+// exhaustion — to reposition the iterator on a new (or the same) range,
+// which is how composed chains rewind an inner scan per outer binding
+// without allocating. Like all read operations, iterators are only
+// guaranteed safe while no writer is active on the relation (the phase
+// discipline), and an Iterator must stay confined to the goroutine of
+// the Ops handle that created it.
+type Iterator interface {
+	// Seek positions the iterator on the range [lo, hi); hi == nil means
+	// "to the end". The next call to Next yields the first tuple of the
+	// range. lo must be non-nil and both bounds must have the relation's
+	// arity.
+	Seek(lo, hi tuple.Tuple)
+	// Next advances to the next tuple of the current range, reporting
+	// false when the range is exhausted (or Seek has never been called).
+	// Once exhausted it keeps returning false until the next Seek.
+	Next() bool
+	// Tuple returns the current row as a transient view: valid only
+	// until the next call to Next or Seek, and must not be mutated.
+	Tuple() tuple.Tuple
+}
+
+// CursorOps is implemented by Ops whose backend exposes ordered
+// positional cursors (the B-trees). NewIterator returns an unpositioned
+// reusable Iterator bound to this handle, sharing its operation hints;
+// backends without cursor geometry simply do not implement the
+// interface, and the engine falls back to a materialising adapter.
+type CursorOps interface {
+	NewIterator() Iterator
+}
+
 // Provider constructs relations of a given arity.
 type Provider struct {
 	// Name is the designation used in the paper's tables and figures.

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"specbtree/internal/tuple"
@@ -208,6 +209,72 @@ atRisk(I, J) :- reach(I, J), vulnerable(J, P), !patched(I, P).
 		Source:  src,
 		Facts:   facts,
 		Outputs: []string{"reach", "vulnerable", "atRisk"},
+	}
+}
+
+// Selective generates the selective-join workload: a filtered scan feeds
+// a high-fanout join whose output is narrowed by range comparisons on
+// the joined column. It is the showcase for comparison pushdown
+// (DESIGN.md §12): the comparisons select a small window of each
+// B-tree's key range, so an evaluator that folds them into the cursor's
+// [lo, hi) bounds touches a fraction of the tuples a scan-then-filter
+// evaluator visits. The windows are baked into the program text as
+// constants — exactly the shape pushdown targets.
+//
+// size is the number of src tuples; every src key fans out to ~64 link
+// tuples, of which the pushed window keeps ~1/16.
+func Selective(size int, seed int64) DatalogWorkload {
+	if size < 16 {
+		size = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nKeys := size / 4 // join-key space: src.y and link.y
+	if nKeys < 4 {
+		nKeys = 4
+	}
+	const (
+		xSpace = 4096 // src.x domain
+		zSpace = 4096 // link.z domain
+		fanout = 64   // link tuples per join key
+	)
+	// Window [xLo, xHi) keeps ~1/4 of src; [zLo, zHi) keeps ~1/16 of each
+	// key's link fanout.
+	xLo, xHi := uint64(xSpace/4), uint64(xSpace/2)
+	zLo, zHi := uint64(zSpace/2), uint64(zSpace/2+zSpace/16)
+
+	src := fmt.Sprintf(`
+// Selective join: range windows on scanned columns (pushdown showcase).
+.decl src(x: number, y: number)
+.decl link(y: number, z: number)
+.decl sel(x: number, y: number)
+.decl out(x: number, z: number)
+.input src
+.input link
+.output sel
+.output out
+
+sel(X, Y) :- src(X, Y), X >= %d, X < %d.
+out(X, Z) :- sel(X, Y), link(Y, Z), Z >= %d, Z < %d.
+`, xLo, xHi, zLo, zHi)
+
+	facts := map[string][]tuple.Tuple{}
+	for i := 0; i < size; i++ {
+		facts["src"] = append(facts["src"], tuple.Tuple{
+			uint64(rng.Intn(xSpace)), uint64(rng.Intn(nKeys)),
+		})
+	}
+	for y := 0; y < nKeys; y++ {
+		for k := 0; k < fanout; k++ {
+			facts["link"] = append(facts["link"], tuple.Tuple{
+				uint64(y), uint64(rng.Intn(zSpace)),
+			})
+		}
+	}
+	return DatalogWorkload{
+		Name:    "selective",
+		Source:  src,
+		Facts:   facts,
+		Outputs: []string{"sel", "out"},
 	}
 }
 

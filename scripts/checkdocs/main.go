@@ -7,11 +7,12 @@
 //  2. every counter, histogram and contention-site name of the metrics
 //     contract must appear in DESIGN.md, so the §9 tables cannot drift
 //     from the code,
-//  3. the v1 counter names are still registered — the contract is
-//     append-only, so renaming or deleting a published counter is an
-//     error — and
-//  4. DESIGN.md names the current schema version and the flight-recorder
-//     JSON field names.
+//  3. the frozen counter and histogram names (v1, the serving
+//     subsystem's, and the streaming query-execution set) are still
+//     registered — the contract is append-only, so renaming or deleting
+//     a published name is an error — and
+//  4. DESIGN.md names the current schema version, the flight-recorder
+//     JSON field names, and the §12 evaluation strategies.
 //
 // It exits non-zero listing each violation.
 package main
@@ -79,6 +80,31 @@ var frozenServeHistograms = []string{
 	"hist.serve.queue.depth",
 }
 
+// frozenQueryCounters and frozenQueryHistograms freeze the streaming
+// query-execution names at the moment the iterator evaluator and plan
+// cache shipped (specbtree.metrics.v3, DESIGN.md §12). Same append-only
+// contract: every name must stay registered forever.
+var frozenQueryCounters = []string{
+	"datalog.plan.cache_hits",
+	"datalog.plan.cache_misses",
+	"datalog.plan.cache_invalidations",
+	"datalog.iter.scans",
+	"datalog.iter.rows",
+	"datalog.iter.pushdown_scans",
+	"datalog.iter.residual_rows",
+}
+
+var frozenQueryHistograms = []string{
+	"hist.datalog.pushdown.selectivity",
+}
+
+// strategyNames are the evaluation-strategy spellings accepted by the
+// engine's -strategy flags; DESIGN.md §12 must name each so the docs
+// cannot drift from the dispatch.
+var strategyNames = []string{
+	"stream", "stream-nopush", "materialize",
+}
+
 // flightRecorderFields are the JSON field names of the flight-recorder
 // dump (obs.FlightEvent plus the envelope's sample_rate); DESIGN.md must
 // document each, backticked, in its §9 flight-recorder section.
@@ -122,6 +148,12 @@ func main() {
 				fmt.Sprintf("obs: serve counter %q no longer registered (the metrics contract is append-only)", name))
 		}
 	}
+	for _, name := range frozenQueryCounters {
+		if !registered[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: query counter %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
 	registeredHist := map[string]bool{}
 	for _, name := range obs.HistogramNames() {
 		registeredHist[name] = true
@@ -130,6 +162,12 @@ func main() {
 		if !registeredHist[name] {
 			problems = append(problems,
 				fmt.Sprintf("obs: serve histogram %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
+	for _, name := range frozenQueryHistograms {
+		if !registeredHist[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: query histogram %q no longer registered (the metrics contract is append-only)", name))
 		}
 	}
 
@@ -166,6 +204,16 @@ func main() {
 	if !strings.Contains(design, obs.SchemaVersion) {
 		problems = append(problems,
 			fmt.Sprintf("DESIGN.md: schema version %q not documented in §9", obs.SchemaVersion))
+	}
+	if !strings.Contains(design, "## 12.") {
+		problems = append(problems,
+			"DESIGN.md: §12 (streaming query execution) is missing")
+	}
+	for _, name := range strategyNames {
+		if !strings.Contains(design, "`"+name+"`") {
+			problems = append(problems,
+				fmt.Sprintf("DESIGN.md: evaluation strategy `%s` not documented in §12", name))
+		}
 	}
 
 	if len(problems) > 0 {
