@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json bench-json-merge bench-json-serve bench-json-datalog serve-smoke figures examples clean
+.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json bench-json-merge bench-json-serve bench-json-datalog serve-smoke trace-smoke figures examples clean
 
-all: build lint test obsoff race check-harness check-docs bench-smoke serve-smoke
+all: build lint test obsoff race check-harness check-docs bench-smoke serve-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,13 @@ bench-smoke:
 # SIGTERM graceful drain (DESIGN.md §11).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# trace-smoke exercises the evaluation tracer end to end as part of
+# `all` (DESIGN.md §13): servebtree and loadgen with sampling armed,
+# the /debug/trace scrape, and a datalog -trace file dump — each
+# validated as well-formed trace_event JSON by scripts/checktrace.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # bench-json regenerates the checked-in benchmark documents: the pinned
 # merge-scaling run (>= 1M-tuple source, specbtree.bench.merge.v1), the

@@ -6,12 +6,17 @@
 // Usage:
 //
 //	datalog [-jobs N] [-facts DIR] [-out DIR] [-structure btree] [-stats]
-//	        [-strategy stream] [-explain] [-metrics] [-serve ADDR] program.dl
+//	        [-strategy stream] [-explain] [-analyze] [-trace FILE]
+//	        [-metrics] [-serve ADDR] program.dl
 //
 // -explain prints the compiled evaluation plan — index assignment per
 // atom, pushed-down comparisons, plan-cache status — and exits without
-// evaluating. -strategy selects the evaluator (stream, stream-nopush,
-// materialize); see DESIGN.md §12.
+// evaluating. -analyze evaluates and then prints the plan annotated
+// with per-node actual row counts (EXPLAIN ANALYZE, DESIGN.md §13).
+// -trace forces a trace of the run and dumps it as Chrome trace_event
+// JSON to FILE; combined with -strategy, two runs' traces can be
+// compared span by span. -strategy selects the evaluator (stream,
+// stream-nopush, materialize); see DESIGN.md §12.
 //
 // Fact files are DIR/<relation>.facts with one tuple per line, columns
 // separated by tabs. Unsigned integer columns are used verbatim; any other
@@ -33,6 +38,7 @@ import (
 	"specbtree/internal/cmdutil"
 	"specbtree/internal/core"
 	"specbtree/internal/datalog"
+	"specbtree/internal/obs"
 	"specbtree/internal/relation"
 	"specbtree/internal/tuple"
 )
@@ -56,6 +62,8 @@ func main() {
 	structure := flag.String("structure", "btree", "relation data structure ("+strings.Join(relation.Names(), "|")+")")
 	strategy := flag.String("strategy", "stream", "evaluation strategy ("+strings.Join(datalog.Strategies(), "|")+")")
 	explain := flag.Bool("explain", false, "print the compiled evaluation plan and exit without evaluating")
+	analyze := flag.Bool("analyze", false, "after evaluation, print the plan annotated with actual per-node row counts (EXPLAIN ANALYZE)")
+	traceFile := flag.String("trace", "", "force-trace the evaluation and write Chrome trace_event JSON to FILE after the run")
 	stats := flag.Bool("stats", false, "print evaluation statistics")
 	metrics := flag.Bool("metrics", false, "emit a JSON metrics document to stderr after evaluation")
 	profile := flag.Bool("profile", false, "print per-rule evaluation timings")
@@ -93,7 +101,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopDebug()
-	if err := run(flag.Arg(0), *jobs, *factsDir, *outDir, *structure, strat, *stats, *metrics, *profile); err != nil {
+	if err := run(flag.Arg(0), *jobs, *factsDir, *outDir, *structure, strat, *stats, *metrics, *profile, *analyze, *traceFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -145,7 +153,7 @@ func synthesize(progPath, outPath string) error {
 	return os.WriteFile(outPath, gen, 0o644)
 }
 
-func run(progPath string, jobs int, factsDir, outDir, structure string, strat datalog.EvalStrategy, stats, metrics, profile bool) error {
+func run(progPath string, jobs int, factsDir, outDir, structure string, strat datalog.EvalStrategy, stats, metrics, profile, analyze bool, traceFile string) error {
 	src, err := os.ReadFile(progPath)
 	if err != nil {
 		return err
@@ -158,7 +166,13 @@ func run(progPath string, jobs int, factsDir, outDir, structure string, strat da
 	if err != nil {
 		return err
 	}
-	eng, err := datalog.New(prog, datalog.Options{Provider: provider, Workers: jobs, Strategy: strat})
+	var trace obs.TraceID
+	if traceFile != "" {
+		if trace = obs.ForceTrace(); trace == 0 {
+			fmt.Fprintln(os.Stderr, "warning: -trace writes an empty trace: observability is compiled out (obsoff)")
+		}
+	}
+	eng, err := datalog.New(prog, datalog.Options{Provider: provider, Workers: jobs, Strategy: strat, TraceID: trace})
 	if err != nil {
 		return err
 	}
@@ -203,6 +217,14 @@ func run(progPath string, jobs int, factsDir, outDir, structure string, strat da
 			fmt.Fprintf(os.Stderr, "  %10v  %6d evals  %s\n", rt.Total, rt.Evaluations, rt.Rule)
 		}
 	}
+	if analyze {
+		fmt.Fprint(os.Stderr, eng.ExplainAnalyze())
+	}
+	if traceFile != "" {
+		if err := writeTrace(traceFile); err != nil {
+			return err
+		}
+	}
 	if metrics {
 		// Relations go to stdout; the metrics document goes to stderr so
 		// the two streams stay separable.
@@ -216,6 +238,19 @@ func run(progPath string, jobs int, factsDir, outDir, structure string, strat da
 		}
 	}
 	return nil
+}
+
+// writeTrace dumps the retained spans as Chrome trace_event JSON.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadFacts(eng *datalog.Engine, rel string, arity int, path string) error {

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"specbtree/internal/datalog"
+	"specbtree/internal/obs"
 )
 
 // TestRunEndToEnd drives the CLI pipeline: program file + facts directory
@@ -29,7 +31,7 @@ path(X, Z) :- path(X, Y), edge(Y, Z).
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out")
-	if err := run(prog, 2, dir, out, "btree", datalog.EvalStream, false, false, false); err != nil {
+	if err := run(prog, 2, dir, out, "btree", datalog.EvalStream, false, false, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(out, "path.csv"))
@@ -64,7 +66,7 @@ reach(F, H) :- reach(F, G), call(G, H).
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out")
-	if err := run(prog, 1, dir, out, "btree", datalog.EvalStream, true, true, true); err != nil {
+	if err := run(prog, 1, dir, out, "btree", datalog.EvalStream, true, true, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(out, "reach.csv"))
@@ -76,27 +78,69 @@ reach(F, H) :- reach(F, G), call(G, H).
 	}
 }
 
+// TestRunAnalyzeAndTrace drives the -analyze and -trace paths: the run
+// must succeed and the trace file must be valid Chrome trace_event JSON
+// (an object with a traceEvents array — possibly empty under obsoff).
+func TestRunAnalyzeAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "tc.dl")
+	if err := os.WriteFile(prog, []byte(`
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.input edge
+.output path
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "edge.facts"),
+		[]byte("1\t2\n2\t3\n3\t4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traceFile := filepath.Join(dir, "trace.json")
+	if err := run(prog, 2, dir, filepath.Join(dir, "out"), "btree", datalog.EvalStream, false, false, false, true, traceFile); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v\n%s", err, data)
+	}
+	if obs.Enabled && len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events despite a forced trace")
+	}
+	if !obs.Enabled && len(doc.TraceEvents) != 0 {
+		t.Errorf("obsoff build recorded %d trace events", len(doc.TraceEvents))
+	}
+}
+
 // TestRunErrors covers the failure paths.
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(filepath.Join(dir, "missing.dl"), 1, dir, "-", "btree", datalog.EvalStream, false, false, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.dl"), 1, dir, "-", "btree", datalog.EvalStream, false, false, false, false, ""); err == nil {
 		t.Error("missing program accepted")
 	}
 	bad := filepath.Join(dir, "bad.dl")
 	os.WriteFile(bad, []byte("p(1)."), 0o644)
-	if err := run(bad, 1, dir, "-", "btree", datalog.EvalStream, false, false, false); err == nil {
+	if err := run(bad, 1, dir, "-", "btree", datalog.EvalStream, false, false, false, false, ""); err == nil {
 		t.Error("undeclared relation accepted")
 	}
 	okProg := filepath.Join(dir, "ok.dl")
 	os.WriteFile(okProg, []byte(".decl p(x: number)\n.output p\np(1).\n"), 0o644)
-	if err := run(okProg, 1, dir, "-", "nonesuch", datalog.EvalStream, false, false, false); err == nil {
+	if err := run(okProg, 1, dir, "-", "nonesuch", datalog.EvalStream, false, false, false, false, ""); err == nil {
 		t.Error("unknown structure accepted")
 	}
 	// Malformed facts: wrong column count.
 	tcProg := filepath.Join(dir, "tc.dl")
 	os.WriteFile(tcProg, []byte(".decl e(x: number, y: number)\n.input e\n.output e\n"), 0o644)
 	os.WriteFile(filepath.Join(dir, "e.facts"), []byte("1\t2\t3\n"), 0o644)
-	if err := run(tcProg, 1, dir, "-", "btree", datalog.EvalStream, false, false, false); err == nil {
+	if err := run(tcProg, 1, dir, "-", "btree", datalog.EvalStream, false, false, false, false, ""); err == nil {
 		t.Error("malformed facts accepted")
 	}
 }
@@ -137,7 +181,7 @@ func TestRunMissingFactsWarnsOnly(t *testing.T) {
 	dir := t.TempDir()
 	prog := filepath.Join(dir, "p.dl")
 	os.WriteFile(prog, []byte(".decl e(x: number)\n.input e\n.output e\n"), 0o644)
-	if err := run(prog, 1, dir, filepath.Join(dir, "out"), "btree", datalog.EvalStream, false, false, false); err != nil {
+	if err := run(prog, 1, dir, filepath.Join(dir, "out"), "btree", datalog.EvalStream, false, false, false, false, ""); err != nil {
 		t.Fatalf("missing facts file should not fail: %v", err)
 	}
 }

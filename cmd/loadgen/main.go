@@ -20,7 +20,12 @@
 //
 //	loadgen [-addr localhost:4070] [-clients 8] [-requests 2000]
 //	        [-batch 16] [-writes 20] [-space 65536] [-scanlimit 64]
-//	        [-seed 1] [-timeout 10s] [-json]
+//	        [-seed 1] [-timeout 10s] [-json] [-trace-sample N]
+//
+// -trace-sample N traces one in N client requests (N must be a power of
+// two; 0, the default, disables tracing) — sampled requests carry their
+// trace ID in the wire frame header, so the server's spans join the
+// client's under one trace (DESIGN.md §13).
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"specbtree/internal/bench"
+	"specbtree/internal/cmdutil"
 	"specbtree/internal/serve"
 	"specbtree/internal/tuple"
 )
@@ -243,9 +249,14 @@ func main() {
 	seedFlag := flag.Int64("seed", 1, "workload generator seed")
 	timeoutFlag := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	jsonFlag := flag.Bool("json", false, "emit the specbtree.bench.serve.v1 JSON document")
+	traceSampleFlag := flag.Uint64("trace-sample", 0, "trace one in N requests (power of two; 0 disables tracing)")
 	flag.Parse()
 	if *writesFlag < 0 || *writesFlag > 100 {
 		fatal(fmt.Errorf("loadgen: -writes %d out of range [0, 100]", *writesFlag))
+	}
+	if err := cmdutil.SetTraceSample(*traceSampleFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	// One scout connection: learn the arity and capture the base contents

@@ -13,7 +13,12 @@
 // Usage:
 //
 //	servebtree [-addr localhost:4070] [-arity 2] [-metrics]
-//	           [-serve localhost:6060]
+//	           [-serve localhost:6060] [-trace-sample N]
+//
+// -trace-sample N traces one in N requests end to end (N must be a
+// power of two; 0, the default, disables tracing); the retained spans
+// are served at the debug server's /debug/trace endpoint as Chrome
+// trace_event JSON (DESIGN.md §13).
 package main
 
 import (
@@ -34,7 +39,12 @@ func main() {
 	arityFlag := flag.Int("arity", 2, "tuple width of the served relation")
 	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document to stdout on shutdown")
 	debugFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the lifetime of the server")
+	traceSampleFlag := flag.Uint64("trace-sample", 0, "trace one in N requests (power of two; 0 disables tracing)")
 	flag.Parse()
+	if err := cmdutil.SetTraceSample(*traceSampleFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	srv, err := serve.Start(*addrFlag, serve.Options{Arity: *arityFlag})
 	if err != nil {

@@ -13,8 +13,21 @@ import (
 	"syscall"
 
 	"specbtree/internal/core"
+	"specbtree/internal/obs"
 	"specbtree/internal/obshttp"
 )
+
+// SetTraceSample validates and installs a -trace-sample flag value: n
+// must be 0 (tracing disabled, the default) or a power of two, matching
+// the obs sampling-gate contract (DESIGN.md §13). The returned error is
+// ready to print; the caller decides the exit status.
+func SetTraceSample(n uint64) error {
+	if n&(n-1) != 0 {
+		return fmt.Errorf("-trace-sample %d: sample rate must be 0 or a power of two", n)
+	}
+	obs.SetTraceSampleRate(n)
+	return nil
+}
 
 var (
 	mu        sync.Mutex

@@ -28,6 +28,13 @@ type Options struct {
 	PlanCache *PlanCache
 	// NoPlanCache compiles from scratch without consulting any cache.
 	NoPlanCache bool
+	// TraceID attributes the run's spans (engine rounds, rule
+	// evaluations, iterator scans) to an existing trace — the relation
+	// server threads a request frame's trace here, cmd/datalog -trace a
+	// forced one. Zero (the default) lets Run consult the sampling gate
+	// itself via obs.StartTrace, so engine-originated traces appear
+	// whenever sampling is enabled.
+	TraceID obs.TraceID
 }
 
 // Stats mirrors the evaluation statistics of the paper's Table 2, plus the
@@ -125,6 +132,15 @@ type Engine struct {
 	rounds      []RoundMetric
 	ran         bool
 
+	// trace is the run's trace ID (0 = untraced). ruleSpan is the
+	// engine.rule span of the rule version currently under evaluation —
+	// the parent the streaming evaluator hangs iter.scan spans off. Both
+	// are written only by the sequential driver between parallel
+	// sections; worker goroutines read them through the chains they are
+	// handed at spawn.
+	trace    obs.TraceID
+	ruleSpan obs.SpanID
+
 	// workerState[i] is owned by worker i during parallel sections.
 	workerState []*workerState
 }
@@ -165,6 +181,7 @@ func New(prog *Program, opts Options) (*Engine, error) {
 		provider: provider,
 		workers:  workers,
 		strategy: opts.Strategy,
+		trace:    opts.TraceID,
 		syms:     NewSymbolTable(),
 		rels:     map[string]*engRel{},
 		plans:    map[int][]*rulePlan{},
@@ -474,6 +491,9 @@ func (e *Engine) Run() error {
 		return fmt.Errorf("datalog: Run called twice")
 	}
 	e.ran = true
+	if e.trace == 0 {
+		e.trace = obs.StartTrace()
+	}
 	for si := range e.strata {
 		e.runStratum(si)
 	}
@@ -496,13 +516,7 @@ func (e *Engine) runStratum(si int) {
 
 	// Non-recursive rules: insert straight into the full indexes.
 	for _, p := range nonRec {
-		start := time.Now()
-		e.evalPlan(p, intoFull)
-		d := time.Since(start)
-		p.evalTime += d
-		p.evalCount++
-		obs.Inc(obs.EngineRuleEvals)
-		obs.Observe(obs.HistRuleNanos, uint64(d))
+		e.evalPlanSpanned(p, intoFull, si, 0)
 	}
 	if len(rec) == 0 {
 		return
@@ -534,14 +548,17 @@ func (e *Engine) runStratum(si int) {
 		if obs.Enabled {
 			roundStart = time.Now()
 		}
+		// The round span's ID is issued up front so the rule spans inside
+		// the round can name it as their parent before its duration (and
+		// promoted-tuple count) is known.
+		var roundSpan obs.SpanID
+		var roundSpanStart int64
+		if e.trace != 0 {
+			roundSpan = obs.NewSpanID(e.trace)
+			roundSpanStart = obs.Clock()
+		}
 		for _, p := range rec {
-			start := time.Now()
-			e.evalPlan(p, intoNew)
-			d := time.Since(start)
-			p.evalTime += d
-			p.evalCount++
-			obs.Inc(obs.EngineRuleEvals)
-			obs.Observe(obs.HistRuleNanos, uint64(d))
+			e.evalPlanSpanned(p, intoNew, si, roundSpan)
 		}
 
 		// Merge new tuples into full, promote them to delta, and check for
@@ -580,6 +597,10 @@ func (e *Engine) runStratum(si int) {
 				Duration:    dur,
 				DeltaTuples: promoted,
 			})
+		}
+		if e.trace != 0 {
+			obs.RecordSpan(e.trace, roundSpan, 0, obs.SpanEngineRound,
+				roundSpanStart, obs.Clock()-roundSpanStart, uint64(round), promoted)
 		}
 		if !progress {
 			break
@@ -663,6 +684,32 @@ const (
 	intoFull insertTarget = iota
 	intoNew
 )
+
+// evalPlanSpanned evaluates one rule version, accumulating its profile
+// timing and — when the run is traced — recording an engine.rule span
+// under parent (the surrounding engine.round span in fixpoint rounds, 0
+// for non-recursive rules). The rule span's ID is pre-issued into
+// e.ruleSpan so the streaming evaluator can hang iter.scan spans off it
+// before the rule span itself is recorded.
+func (e *Engine) evalPlanSpanned(p *rulePlan, target insertTarget, si int, parent obs.SpanID) {
+	var spanStart int64
+	if e.trace != 0 {
+		e.ruleSpan = obs.NewSpanID(e.trace)
+		spanStart = obs.Clock()
+	}
+	start := time.Now()
+	e.evalPlan(p, target)
+	d := time.Since(start)
+	p.evalTime += d
+	p.evalCount++
+	obs.Inc(obs.EngineRuleEvals)
+	obs.Observe(obs.HistRuleNanos, uint64(d))
+	if e.trace != 0 {
+		obs.RecordSpan(e.trace, e.ruleSpan, parent, obs.SpanEngineRule,
+			spanStart, obs.Clock()-spanStart, uint64(si), uint64(p.rule))
+		e.ruleSpan = 0
+	}
+}
 
 // evalPlan evaluates one rule version under the engine's strategy. The
 // streaming evaluator (iter.go) composes cursor-backed iterators; the

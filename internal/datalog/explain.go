@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Explain writes a human-readable rendering of every compiled rule
@@ -15,9 +16,26 @@ import (
 // pushed into it, the comparisons absorbed into its scan bounds, and
 // the residual suffix actions. The trailing summary reports whether the
 // compilation was served from the plan cache.
-func (e *Engine) Explain() string {
+func (e *Engine) Explain() string { return e.explain(false) }
+
+// ExplainAnalyze renders the compiled plan annotated with the actual
+// execution counts of the completed run (the -analyze flag of
+// cmd/datalog). Each rule version reports its evaluation count and
+// accumulated time; each scan node its exact actuals — scans opened,
+// rows pulled through the iterator, rows emitted past the residual
+// actions. A trailing totals line cross-checks the per-node sums
+// against the aggregate Stats: both are fed by the same always-on
+// accumulators (never the sampled span ring), so the numbers agree
+// exactly. Valid after Run; the actuals are maintained by the streaming
+// strategies, so EvalMaterialize reports zeros.
+func (e *Engine) ExplainAnalyze() string { return e.explain(true) }
+
+func (e *Engine) explain(analyze bool) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "strategy: %s\n", e.strategy)
+	if analyze && !e.ran {
+		sb.WriteString("explain analyze: engine has not run; actuals are all zero\n")
+	}
 
 	// Index inventories first, in relation-name order.
 	names := make([]string, 0, len(e.rels))
@@ -40,16 +58,34 @@ func (e *Engine) Explain() string {
 		sb.WriteByte('\n')
 	}
 
+	var totScans, totRows, totEmitted uint64
 	for si := 0; si < len(e.strata); si++ {
 		for _, p := range e.plans[si] {
-			fmt.Fprintf(&sb, "stratum %d: %s\n", si, p.label)
+			if analyze {
+				fmt.Fprintf(&sb, "stratum %d: %s  (evals=%d total=%v)\n", si, p.label, p.evalCount, p.evalTime)
+			} else {
+				fmt.Fprintf(&sb, "stratum %d: %s\n", si, p.label)
+			}
 			for li := range p.body {
 				l := &p.body[li]
 				sb.WriteString("  ")
 				sb.WriteString(e.explainLit(p, l))
+				if analyze && l.kind == LitAtom {
+					scans := atomic.LoadUint64(&l.actScans)
+					rows := atomic.LoadUint64(&l.actRows)
+					emitted := atomic.LoadUint64(&l.actEmitted)
+					totScans += scans
+					totRows += rows
+					totEmitted += emitted
+					fmt.Fprintf(&sb, "  | actual scans=%d rows=%d emitted=%d", scans, rows, emitted)
+				}
 				sb.WriteByte('\n')
 			}
 		}
+	}
+	if analyze {
+		fmt.Fprintf(&sb, "actual totals: scans=%d rows=%d emitted=%d (stats: stream_scans=%d stream_rows=%d)\n",
+			totScans, totRows, totEmitted, e.stats.StreamScans, e.stats.StreamRows)
 	}
 
 	switch {

@@ -12,6 +12,7 @@ package datalog
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"specbtree/internal/obs"
 	"specbtree/internal/relation"
@@ -78,11 +79,16 @@ type chainStage struct {
 	lit *litPlan
 
 	// Positive atoms.
-	iter   relation.Iterator
-	lo, hi tuple.Tuple // reusable bound buffers
-	rows   uint64      // rows pulled from the current scan
-	sample bool        // record rows into the selectivity histogram at exhaustion
-	empty  bool        // pushed bounds proved the scan empty; nothing to pull
+	iter    relation.Iterator
+	lo, hi  tuple.Tuple // reusable bound buffers
+	rows    uint64      // rows pulled from the current scan
+	emitted uint64      // rows that passed the residual actions
+	sample  bool        // record rows into the selectivity histogram at exhaustion
+	empty   bool        // pushed bounds proved the scan empty; nothing to pull
+	// pushedScan marks the current scan's bounds as pushdown-tightened;
+	// spanStart is the scan's open time when the chain is traced.
+	pushedScan bool
+	spanStart  int64
 
 	// Negated atoms.
 	probe tuple.Tuple
@@ -105,10 +111,16 @@ type streamChain struct {
 	usePush bool
 	env     []uint64
 	stages  []chainStage
+
+	// trace/ruleSpan snapshot the engine's current trace context at
+	// chain construction (chains never outlive one rule evaluation), so
+	// iter.scan spans parent to the enclosing engine.rule span.
+	trace    obs.TraceID
+	ruleSpan obs.SpanID
 }
 
 func newStreamChain(e *Engine, ws *workerState, p *rulePlan, target insertTarget, usePush bool) *streamChain {
-	c := &streamChain{e: e, ws: ws, p: p, target: target, usePush: usePush}
+	c := &streamChain{e: e, ws: ws, p: p, target: target, usePush: usePush, trace: e.trace, ruleSpan: e.ruleSpan}
 	c.env = make([]uint64, p.numVars)
 	c.stages = make([]chainStage, len(p.body))
 	for i := range p.body {
@@ -263,13 +275,39 @@ func (c *streamChain) openScan(s *chainStage, lo, hi tuple.Tuple, pushed bool) {
 	c.ws.scans++
 	c.ws.iterScans++
 	s.rows = 0
+	s.emitted = 0
 	s.empty = false
 	s.sample = false
+	s.pushedScan = pushed
 	if pushed {
 		c.ws.pushScans++
 		s.sample = obs.Enabled && c.ws.pushScans&(pushSamplePeriod-1) == 1
 	}
+	if c.trace != 0 {
+		s.spanStart = obs.Clock()
+	}
 	s.iter.Seek(lo, hi)
+}
+
+// closeScan settles an exhausted atom scan: flush its exact actuals
+// into the plan node (the EXPLAIN ANALYZE accumulators — atomic because
+// workers share the litPlan) and, when the chain is traced, record the
+// scan's span. Every opened scan reaches this point exactly once — the
+// odometer walk always pulls a stage to exhaustion before reopening it
+// — so actScans stays equal to the worker iterScans total.
+func (c *streamChain) closeScan(s *chainStage) {
+	l := s.lit
+	atomic.AddUint64(&l.actScans, 1)
+	atomic.AddUint64(&l.actRows, s.rows)
+	atomic.AddUint64(&l.actEmitted, s.emitted)
+	if c.trace != 0 {
+		site := obs.SpanIterScan
+		if s.pushedScan {
+			site = obs.SpanIterScanPush
+		}
+		obs.RecordSpan(c.trace, 0, c.ruleSpan, site,
+			s.spanStart, obs.Clock()-s.spanStart, s.rows, s.emitted)
+	}
 }
 
 // open (re)positions stage i for the current bindings of the stages
@@ -305,6 +343,7 @@ func (c *streamChain) next(i int) bool {
 			c.ws.iterRows++
 			s.rows++
 			if applyActions(l.rest, s.iter.Tuple()[nPrefix:], c.env) {
+				s.emitted++
 				return true
 			}
 			c.ws.residualRows++
@@ -313,6 +352,7 @@ func (c *streamChain) next(i int) bool {
 			obs.Observe(obs.HistPushdownSelectivity, s.rows)
 			s.sample = false
 		}
+		c.closeScan(s)
 		return false
 	case LitCmp:
 		if s.done {
@@ -439,7 +479,13 @@ func (e *Engine) evalPlanStream(p *rulePlan, target insertTarget, usePush bool) 
 		return
 	}
 
-	// Materialise the outer range and chunk it across the workers.
+	// Materialise the outer range and chunk it across the workers. The
+	// outer node's actuals mirror the worker counters exactly: actRows
+	// counts every pulled row (out-of-bounds rows included, matching
+	// iterRows), actEmitted the rows that survived bounds and residual
+	// actions in the chunk loops below. The scan's span is recorded here
+	// with arg1 = rows within bounds, since the residual pass has not run
+	// yet when the scan closes.
 	w0 := e.workerState[0]
 	var flat []uint64
 	w0.scans++
@@ -447,8 +493,14 @@ func (e *Engine) evalPlanStream(p *rulePlan, target insertTarget, usePush bool) 
 	if outerPushed {
 		w0.pushScans++
 	}
+	var spanStart int64
+	if e.trace != 0 {
+		spanStart = obs.Clock()
+	}
+	pulled := uint64(0)
 	w0.opsFor(src).PrefixScan(lo[:len(outer.prefix)], func(t tuple.Tuple) bool {
 		w0.iterRows++
+		pulled++
 		if tuple.Compare(t, lo) < 0 || (hi != nil && tuple.Compare(t, hi) >= 0) {
 			return true
 		}
@@ -456,6 +508,16 @@ func (e *Engine) evalPlanStream(p *rulePlan, target insertTarget, usePush bool) 
 		return true
 	})
 	n := len(flat) / arity
+	atomic.AddUint64(&outer.actScans, 1)
+	atomic.AddUint64(&outer.actRows, pulled)
+	if e.trace != 0 {
+		site := obs.SpanIterScan
+		if outerPushed {
+			site = obs.SpanIterScanPush
+		}
+		obs.RecordSpan(e.trace, 0, e.ruleSpan, site,
+			spanStart, obs.Clock()-spanStart, pulled, uint64(n))
+	}
 	if n == 0 {
 		return
 	}
@@ -478,12 +540,15 @@ func (e *Engine) evalPlanStream(p *rulePlan, target insertTarget, usePush bool) 
 		go func(ws *workerState, part []uint64) {
 			defer wg.Done()
 			c := newStreamChain(e, ws, p, target, usePush)
+			emitted := uint64(0)
 			for off := 0; off < len(part); off += arity {
 				t := part[off : off+arity]
 				if applyActions(outer.rest, t[nPrefix:], c.env) {
+					emitted++
 					c.run(1)
 				}
 			}
+			atomic.AddUint64(&outer.actEmitted, emitted)
 		}(e.workerState[w], flat[clo*arity:chi*arity])
 	}
 	wg.Wait()

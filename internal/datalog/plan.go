@@ -69,6 +69,18 @@ type litPlan struct {
 	// atom's push set; the streaming evaluator (with pushdown enabled)
 	// passes it through, every other path evaluates it normally.
 	pushed bool
+
+	// Per-node actuals for EXPLAIN ANALYZE (explain.go), maintained by
+	// the streaming evaluator: scans opened on this atom, rows pulled
+	// through its iterator, and rows that passed its residual actions.
+	// They are exact, always-on counts — never derived from the sampled
+	// span ring — flushed once per scan exhaustion via atomic adds (the
+	// fields stay plain uint64s because litPlans are copied by value in
+	// compileRule and cloneCompiled; a sync/atomic typed field would trip
+	// vet's copylocks check).
+	actScans   uint64
+	actRows    uint64
+	actEmitted uint64
 }
 
 // rulePlan is one semi-naïve version of a rule.

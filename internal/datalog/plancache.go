@@ -240,6 +240,7 @@ func cloneCompiled(rels map[string]*engRel, plans map[int][]*rulePlan) (map[stri
 				if l.rel != nil {
 					l.rel = relMap[l.rel]
 				}
+				l.actScans, l.actRows, l.actEmitted = 0, 0, 0
 				np.body[j] = l
 			}
 			nps[i] = &np

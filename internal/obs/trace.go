@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the span tracer: a sampled, fixed-capacity ring of
+// evaluation spans linking one request's journey across every layer —
+// client send, wire frame, scheduler phase wait, write epoch, engine
+// round, rule evaluation, iterator scan. Counters say *that* tails
+// exist; the tracer says *why* a particular request was slow, in the
+// spirit of per-query executor instrumentation.
+//
+// The contract mirrors the flight recorder (flight.go): recording is
+// zero-allocation, passes a power-of-two sampling gate at trace *start*
+// (spans of a sampled trace are always recorded — a trace with holes in
+// it cannot be attributed), and compiles out entirely under obsoff.
+// Unlike contention sampling, tracing defaults to OFF (rate 0): the
+// trace ID travels in wire frames and through evaluation plumbing, so
+// an unsampled request must cost nothing beyond comparing one uint64
+// against zero.
+
+// TraceID identifies one end-to-end request or evaluation; every span
+// of the same journey carries the same TraceID. Zero means "not
+// traced" and makes every recording call a no-op.
+type TraceID uint64
+
+// SpanID identifies one span within the process; zero means "no span"
+// (used for a root span's parent).
+type SpanID uint64
+
+// SpanSite identifies the instrumented code path a span was recorded
+// on.
+type SpanSite uint8
+
+// The span-site registry. DESIGN.md §13 documents each site; site
+// names, once published, are append-only like counter names.
+const (
+	// SpanClientRequest covers one serve.Client round trip
+	// ("client.request"): from enqueueing the request frame to decoding
+	// its response. arg0 is the request payload length, arg1 the attempt
+	// number (1, or 2 after a reconnect retry).
+	SpanClientRequest SpanSite = iota
+	// SpanServeFrameRead covers one read-request frame on the server
+	// ("serve.frame.read"): from decode to the response being queued.
+	// arg0 is the number of read operations in the frame, arg1 the
+	// response payload length.
+	SpanServeFrameRead
+	// SpanServeFrameInsert covers one insert frame on the server
+	// ("serve.frame.insert"): from decode to the epoch acknowledging it.
+	// arg0 is the batch's tuple count, arg1 the number applied fresh.
+	SpanServeFrameInsert
+	// SpanServePhaseWait is the time a read frame spent blocked on the
+	// phase gate waiting for a write epoch to finish
+	// ("serve.phase.wait"). Recorded only when the gate actually
+	// blocked. arg0 and arg1 are zero.
+	SpanServePhaseWait
+	// SpanServeEpoch covers one write epoch ("serve.epoch"): drain
+	// readers, apply queued batches, reopen the gate. arg0 is the number
+	// of batches applied, arg1 the total tuples. The epoch adopts the
+	// trace of the first traced batch it applies.
+	SpanServeEpoch
+	// SpanEngineRound covers one semi-naïve fixpoint round of a stratum
+	// ("engine.round"). arg0 is the round number within the stratum,
+	// arg1 the tuples promoted into the new delta.
+	SpanEngineRound
+	// SpanEngineRule covers one evaluation of one compiled rule version
+	// ("engine.rule"). arg0 is the stratum index, arg1 the rule's
+	// position in the program's rule list.
+	SpanEngineRule
+	// SpanIterScan covers one iterator scan opened by the streaming
+	// evaluator ("iter.scan"): Seek to exhaustion. arg0 is rows pulled
+	// from the cursor, arg1 rows that passed the residual actions.
+	SpanIterScan
+	// SpanIterScanPush is an iterator scan whose bounds were tightened
+	// by compile-time pushdown ("iter.scan.push"); args as SpanIterScan.
+	SpanIterScanPush
+
+	// NumSpanSites is the number of registered sites; valid SpanSite
+	// values are [0, NumSpanSites).
+	NumSpanSites
+)
+
+// spanSiteNames maps every SpanSite to its stable published name.
+var spanSiteNames = [NumSpanSites]string{
+	SpanClientRequest:    "client.request",
+	SpanServeFrameRead:   "serve.frame.read",
+	SpanServeFrameInsert: "serve.frame.insert",
+	SpanServePhaseWait:   "serve.phase.wait",
+	SpanServeEpoch:       "serve.epoch",
+	SpanEngineRound:      "engine.round",
+	SpanEngineRule:       "engine.rule",
+	SpanIterScan:         "iter.scan",
+	SpanIterScanPush:     "iter.scan.push",
+}
+
+// Name returns the site's stable published name, used in trace dumps
+// and documented in DESIGN.md §13.
+func (s SpanSite) Name() string { return spanSiteNames[s] }
+
+// SpanSiteNames lists all span-site names in registry order.
+func SpanSiteNames() []string {
+	out := make([]string, NumSpanSites)
+	for s := SpanSite(0); s < NumSpanSites; s++ {
+		out[s] = spanSiteNames[s]
+	}
+	return out
+}
+
+// Span is one recorded span. The JSON field names are part of the
+// tracing contract documented in DESIGN.md §13.
+type Span struct {
+	// Trace is the trace this span belongs to.
+	Trace TraceID `json:"trace"`
+	// Span is this span's process-unique ID.
+	Span SpanID `json:"span"`
+	// Parent is the enclosing span's ID, 0 for a root span.
+	Parent SpanID `json:"parent"`
+	// Site is the span-site name (SpanSiteNames).
+	Site string `json:"site"`
+	// StartNanos is the span's start on the process-relative Clock().
+	StartNanos int64 `json:"start_ns"`
+	// DurNanos is the span's duration in nanoseconds.
+	DurNanos int64 `json:"dur_ns"`
+	// Arg0 is the site-specific first argument (see the site registry).
+	Arg0 uint64 `json:"arg0"`
+	// Arg1 is the site-specific second argument (see the site registry).
+	Arg1 uint64 `json:"arg1"`
+}
+
+// spanEntry is the in-ring representation of a span (site as enum).
+type spanEntry struct {
+	trace      TraceID
+	span       SpanID
+	parent     SpanID
+	startNanos int64
+	durNanos   int64
+	arg0       uint64
+	arg1       uint64
+	site       SpanSite
+}
+
+const (
+	// traceNumShards is the number of span-ring shards (power of two,
+	// masked like counter shards).
+	traceNumShards = 16
+	// traceRingLen is the per-shard ring capacity; the tracer retains at
+	// most traceNumShards*traceRingLen spans.
+	traceRingLen = 256
+)
+
+// traceShard is one span ring. The mutex is taken only for spans of
+// sampled traces and by dump readers; untraced requests never touch it.
+type traceShard struct {
+	mu   sync.Mutex
+	pos  uint64
+	ring [traceRingLen]spanEntry
+	_    [cacheLine]byte
+}
+
+// traceShards is the global span ring array.
+var traceShards [traceNumShards]traceShard
+
+// traceIDSeq issues trace IDs; spanIDSeq issues span IDs. Both start at
+// 1 (zero is the "none" sentinel).
+var (
+	traceIDSeq atomic.Uint64
+	spanIDSeq  atomic.Uint64
+)
+
+// traceTick is the sampling gate's counter; traceMask is rate-1, or
+// ^0 when tracing is disabled (the default — the gate then never
+// passes).
+var (
+	traceTick atomic.Uint64
+	traceMask atomic.Uint64
+)
+
+// traceDisabledMask is the traceMask value meaning "sampling off"; no
+// tick count ever masks to zero against it.
+const traceDisabledMask = ^uint64(0)
+
+func init() { traceMask.Store(traceDisabledMask) }
+
+// SetTraceSampleRate sets the trace sampling rate to one in rate new
+// traces (1 samples every trace, 0 disables sampling — the default).
+// rate must be zero or a power of two. It returns the previous rate.
+func SetTraceSampleRate(rate uint64) uint64 {
+	if rate&(rate-1) != 0 {
+		panic("obs: trace sample rate must be zero or a power of two")
+	}
+	mask := traceDisabledMask
+	if rate != 0 {
+		mask = rate - 1
+	}
+	prev := traceMask.Swap(mask)
+	if prev == traceDisabledMask {
+		return 0
+	}
+	return prev + 1
+}
+
+// TraceSampleRate returns the current sampling rate (0 when tracing is
+// disabled).
+func TraceSampleRate() uint64 {
+	m := traceMask.Load()
+	if m == traceDisabledMask {
+		return 0
+	}
+	return m + 1
+}
+
+// StartTrace passes the sampling gate and, if this request is sampled,
+// issues a fresh TraceID. It returns 0 — "don't trace" — when sampling
+// is off, the gate rejects, or the build is obsoff; every recording
+// call downstream of a zero TraceID is a no-op, so callers thread the
+// result unconditionally.
+func StartTrace() TraceID {
+	if !Enabled {
+		return 0
+	}
+	mask := traceMask.Load()
+	if mask == traceDisabledMask || traceTick.Add(1)&mask != 0 {
+		return 0
+	}
+	return TraceID(traceIDSeq.Add(1))
+}
+
+// ForceTrace issues a TraceID bypassing the sampling gate (still 0
+// under obsoff). For tests and explicit per-run tracing (datalog
+// -trace), where the caller has decided the run is interesting.
+func ForceTrace() TraceID {
+	if !Enabled {
+		return 0
+	}
+	return TraceID(traceIDSeq.Add(1))
+}
+
+// NewSpanID pre-issues a span ID so a parent span can be referenced by
+// its children before the parent's duration is known (the parent is
+// recorded later via RecordSpan with this ID). Returns 0 when trace is
+// 0 or under obsoff.
+func NewSpanID(trace TraceID) SpanID {
+	if !Enabled || trace == 0 {
+		return 0
+	}
+	return SpanID(spanIDSeq.Add(1))
+}
+
+// RecordSpan writes one span into the ring and returns its ID. A zero
+// trace is a no-op returning 0 — the universal "not traced" fast path,
+// one comparison. id 0 issues a fresh span ID; pass a NewSpanID result
+// to record a span whose ID was handed to children earlier. The record
+// path does not allocate.
+func RecordSpan(trace TraceID, id SpanID, parent SpanID, site SpanSite, startNanos, durNanos int64, arg0, arg1 uint64) SpanID {
+	if !Enabled || trace == 0 {
+		return 0
+	}
+	if id == 0 {
+		id = SpanID(spanIDSeq.Add(1))
+	}
+	s := &traceShards[shardIndex()&(traceNumShards-1)]
+	s.mu.Lock()
+	e := &s.ring[s.pos&(traceRingLen-1)]
+	s.pos++
+	e.trace = trace
+	e.span = id
+	e.parent = parent
+	e.site = site
+	e.startNanos = startNanos
+	e.durNanos = durNanos
+	e.arg0 = arg0
+	e.arg1 = arg1
+	s.mu.Unlock()
+	return id
+}
+
+// Spans returns every span currently retained, ordered by start time
+// (ties broken by span ID, which is issue-ordered). The dump is a
+// recent consistent-enough view, not a linearisation point; it
+// allocates and is meant for debug endpoints and tests, not hot paths.
+func Spans() []Span {
+	var out []Span
+	for i := range traceShards {
+		s := &traceShards[i]
+		s.mu.Lock()
+		n := s.pos
+		if n > traceRingLen {
+			n = traceRingLen
+		}
+		for j := uint64(0); j < n; j++ {
+			e := s.ring[j]
+			out = append(out, Span{
+				Trace:      e.trace,
+				Span:       e.span,
+				Parent:     e.parent,
+				Site:       e.site.Name(),
+				StartNanos: e.startNanos,
+				DurNanos:   e.durNanos,
+				Arg0:       e.arg0,
+				Arg1:       e.arg1,
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNanos != out[j].StartNanos {
+			return out[i].StartNanos < out[j].StartNanos
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}
+
+// ResetTrace discards all retained spans and restarts the sampling
+// phase (trace and span IDs keep counting — IDs are never reused
+// within a process). Do not call it concurrently with traced
+// operations you intend to keep.
+func ResetTrace() {
+	for i := range traceShards {
+		s := &traceShards[i]
+		s.mu.Lock()
+		s.pos = 0
+		s.ring = [traceRingLen]spanEntry{}
+		s.mu.Unlock()
+	}
+	traceTick.Store(0)
+}
+
+// chromeEvent is one Chrome trace_event object ("X" complete events;
+// timestamps in microseconds). Spans of the same trace share a tid, so
+// chrome://tracing and Perfetto lay each trace out as one row.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Pid  int             `json:"pid"`
+	Tid  uint64          `json:"tid"`
+	Args chromeEventArgs `json:"args"`
+}
+
+// chromeEventArgs carries the span identity and site args into the
+// trace viewer's per-event detail pane.
+type chromeEventArgs struct {
+	Trace  TraceID `json:"trace"`
+	Span   SpanID  `json:"span"`
+	Parent SpanID  `json:"parent"`
+	Arg0   uint64  `json:"arg0"`
+	Arg1   uint64  `json:"arg1"`
+}
+
+// chromeTraceDoc is the trace_event envelope.
+type chromeTraceDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace writes every retained span as Chrome trace_event
+// JSON (the chrome://tracing / Perfetto "complete event" format, one
+// timeline row per trace ID). Under obsoff it writes an empty but
+// well-formed document.
+func WriteChromeTrace(w io.Writer) error {
+	spans := Spans()
+	doc := chromeTraceDoc{TraceEvents: make([]chromeEvent, 0, len(spans))}
+	for _, s := range spans {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Site,
+			Ph:   "X",
+			Ts:   float64(s.StartNanos) / 1e3,
+			Dur:  float64(s.DurNanos) / 1e3,
+			Pid:  1,
+			Tid:  uint64(s.Trace),
+			Args: chromeEventArgs{
+				Trace:  s.Trace,
+				Span:   s.Span,
+				Parent: s.Parent,
+				Arg0:   s.Arg0,
+				Arg1:   s.Arg1,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestTraceDisabledByDefault pins the tracing default: no sampling, so
+// StartTrace hands out only zero IDs and nothing is retained.
+func TestTraceDisabledByDefault(t *testing.T) {
+	ResetTrace()
+	if got := TraceSampleRate(); got != 0 {
+		t.Fatalf("default trace sample rate = %d, want 0 (disabled)", got)
+	}
+	for i := 0; i < 100; i++ {
+		if id := StartTrace(); id != 0 {
+			t.Fatalf("StartTrace returned %d with sampling disabled", id)
+		}
+	}
+	if RecordSpan(0, 0, 0, SpanIterScan, 1, 2, 3, 4) != 0 {
+		t.Fatal("RecordSpan with zero trace must be a no-op returning 0")
+	}
+	if spans := Spans(); len(spans) != 0 {
+		t.Fatalf("retained %d spans with tracing disabled, want 0", len(spans))
+	}
+}
+
+// TestTraceRecordAndDump records a small parent/child tree and checks
+// the dump's content and ordering.
+func TestTraceRecordAndDump(t *testing.T) {
+	if !Enabled {
+		t.Skip("tracing compiled out under obsoff")
+	}
+	ResetTrace()
+	tr := ForceTrace()
+	if tr == 0 {
+		t.Fatal("ForceTrace returned 0 in an enabled build")
+	}
+	root := NewSpanID(tr)
+	if root == 0 {
+		t.Fatal("NewSpanID returned 0 for a live trace")
+	}
+	child := RecordSpan(tr, 0, root, SpanIterScan, 100, 50, 7, 3)
+	if child == 0 {
+		t.Fatal("RecordSpan returned 0 for a live trace")
+	}
+	if got := RecordSpan(tr, root, 0, SpanEngineRound, 90, 80, 1, 0); got != root {
+		t.Fatalf("RecordSpan with pre-issued id returned %d, want %d", got, root)
+	}
+	spans := Spans()
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(spans))
+	}
+	// Sorted by start time: the round (90) before the scan (100).
+	if spans[0].Site != "engine.round" || spans[1].Site != "iter.scan" {
+		t.Fatalf("dump order = %s, %s; want engine.round, iter.scan", spans[0].Site, spans[1].Site)
+	}
+	if spans[0].Span != root || spans[0].Parent != 0 {
+		t.Fatalf("root span identity = span %d parent %d, want span %d parent 0", spans[0].Span, spans[0].Parent, root)
+	}
+	if spans[1].Parent != root {
+		t.Fatalf("child parent = %d, want %d", spans[1].Parent, root)
+	}
+	if spans[1].Trace != tr || spans[0].Trace != tr {
+		t.Fatal("spans lost their trace ID")
+	}
+	if spans[1].Arg0 != 7 || spans[1].Arg1 != 3 || spans[1].DurNanos != 50 {
+		t.Fatalf("child payload = arg0 %d arg1 %d dur %d, want 7, 3, 50", spans[1].Arg0, spans[1].Arg1, spans[1].DurNanos)
+	}
+	ResetTrace()
+	if len(Spans()) != 0 {
+		t.Fatal("ResetTrace left spans behind")
+	}
+}
+
+// TestTraceSamplingGate checks the power-of-two gate: rate 1 samples
+// every trace, and restoring rate 0 turns the gate back off.
+func TestTraceSamplingGate(t *testing.T) {
+	if !Enabled {
+		t.Skip("tracing compiled out under obsoff")
+	}
+	ResetTrace()
+	prev := SetTraceSampleRate(1)
+	defer SetTraceSampleRate(prev)
+	if prev != 0 {
+		t.Fatalf("previous rate = %d, want 0", prev)
+	}
+	for i := 0; i < 10; i++ {
+		if StartTrace() == 0 {
+			t.Fatal("StartTrace returned 0 at sample rate 1")
+		}
+	}
+	if got := SetTraceSampleRate(4); got != 1 {
+		t.Fatalf("SetTraceSampleRate returned previous %d, want 1", got)
+	}
+	if got := TraceSampleRate(); got != 4 {
+		t.Fatalf("TraceSampleRate = %d, want 4", got)
+	}
+	sampled := 0
+	for i := 0; i < 64; i++ {
+		if StartTrace() != 0 {
+			sampled++
+		}
+	}
+	if sampled != 16 {
+		t.Fatalf("sampled %d of 64 traces at rate 4, want 16", sampled)
+	}
+	SetTraceSampleRate(0)
+	if StartTrace() != 0 {
+		t.Fatal("StartTrace returned a trace after disabling sampling")
+	}
+}
+
+// TestTraceSampleRateRejectsNonPowerOfTwo pins the rate contract.
+func TestTraceSampleRateRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTraceSampleRate(3) did not panic")
+		}
+	}()
+	SetTraceSampleRate(3)
+}
+
+// TestTraceRingOverwrite fills the rings past capacity and checks the
+// tracer retains at most its fixed capacity, newest spans included.
+func TestTraceRingOverwrite(t *testing.T) {
+	if !Enabled {
+		t.Skip("tracing compiled out under obsoff")
+	}
+	ResetTrace()
+	tr := ForceTrace()
+	const total = traceNumShards*traceRingLen + 500
+	for i := 0; i < total; i++ {
+		RecordSpan(tr, 0, 0, SpanIterScan, int64(i), 1, 0, 0)
+	}
+	spans := Spans()
+	if len(spans) == 0 || len(spans) > traceNumShards*traceRingLen {
+		t.Fatalf("retained %d spans, want (0, %d]", len(spans), traceNumShards*traceRingLen)
+	}
+	ResetTrace()
+}
+
+// TestWriteChromeTrace checks the export is well-formed trace_event
+// JSON in both build flavours (empty envelope under obsoff).
+func TestWriteChromeTrace(t *testing.T) {
+	ResetTrace()
+	tr := ForceTrace()
+	RecordSpan(tr, 0, 0, SpanEngineRule, 1000, 2000, 5, 6)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args struct {
+				Trace uint64 `json:"trace"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !Enabled {
+		if len(doc.TraceEvents) != 0 {
+			t.Fatalf("obsoff export has %d events, want 0", len(doc.TraceEvents))
+		}
+		return
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("export has %d events, want 1", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "engine.rule" || ev.Ph != "X" {
+		t.Fatalf("event = %q ph %q, want engine.rule ph X", ev.Name, ev.Ph)
+	}
+	if ev.Ts != 1.0 || ev.Dur != 2.0 {
+		t.Fatalf("event ts/dur = %v/%v µs, want 1/2", ev.Ts, ev.Dur)
+	}
+	if ev.Args.Trace != uint64(tr) {
+		t.Fatalf("event trace arg = %d, want %d", ev.Args.Trace, tr)
+	}
+	ResetTrace()
+}
+
+// TestSpanSiteNames pins the published site-name list: append-only, so
+// every existing name and its position are frozen.
+func TestSpanSiteNames(t *testing.T) {
+	want := []string{
+		"client.request",
+		"serve.frame.read",
+		"serve.frame.insert",
+		"serve.phase.wait",
+		"serve.epoch",
+		"engine.round",
+		"engine.rule",
+		"iter.scan",
+		"iter.scan.push",
+	}
+	got := SpanSiteNames()
+	if len(got) < len(want) {
+		t.Fatalf("SpanSiteNames lost entries: %d < %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("site %d = %q, want %q (published names are frozen)", i, got[i], name)
+		}
+	}
+}
+
+// TestConcurrentSpanRecord hammers the rings from several goroutines
+// while a reader dumps, for the race detector.
+func TestConcurrentSpanRecord(t *testing.T) {
+	ResetTrace()
+	tr := ForceTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				RecordSpan(tr, 0, 0, SpanIterScan, int64(g*10000+i), 1, uint64(i), 0)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			Spans()
+		}
+	}()
+	wg.Wait()
+	ResetTrace()
+}

@@ -1,10 +1,11 @@
 // Package obshttp serves the observability state of package obs over
 // HTTP: a Prometheus-compatible /metrics endpoint (with a JSON variant
 // carrying the specbtree.metrics.v2 document), debug views of the
-// latency histograms, the contention flight recorder and live tree
-// shapes, the expvar page, and the standard pprof profiles. The five
-// commands mount it behind their -serve flag; examples/liveserver shows
-// the endpoints against a live Datalog run.
+// latency histograms, the contention flight recorder, the retained
+// trace spans (as Chrome trace_event JSON) and live tree shapes, the
+// expvar page, and the standard pprof profiles. The five commands mount
+// it behind their -serve flag; examples/liveserver shows the endpoints
+// against a live Datalog run.
 //
 // The handlers only read the sharded registries — they never reset or
 // otherwise mutate observability state — so scraping a live run is safe
@@ -43,6 +44,7 @@ type Options struct {
 //	                      the specbtree.metrics.v2 JSON snapshot
 //	/debug/histograms     latency histograms as JSON
 //	/debug/flightrecorder sampled lock-contention events as JSON
+//	/debug/trace          retained trace spans as Chrome trace_event JSON
 //	/debug/treeshape      live tree shapes as JSON (needs Options.Shapes)
 //	/debug/vars           expvar, including the "specbtree" map
 //	/debug/pprof/         standard pprof index and profiles
@@ -53,6 +55,7 @@ func Handler(opts Options) http.Handler {
 	mux.HandleFunc("/metrics", serveMetrics)
 	mux.HandleFunc("/debug/histograms", serveHistograms)
 	mux.HandleFunc("/debug/flightrecorder", serveFlightRecorder)
+	mux.HandleFunc("/debug/trace", serveTrace)
 	mux.HandleFunc("/debug/treeshape", func(w http.ResponseWriter, r *http.Request) {
 		serveTreeShape(w, opts.Shapes)
 	})
@@ -101,6 +104,7 @@ func serveIndex(w http.ResponseWriter, r *http.Request) {
 /metrics               Prometheus text exposition (?format=json for JSON)
 /debug/histograms      latency histograms (JSON)
 /debug/flightrecorder  sampled lock-contention events (JSON)
+/debug/trace           retained trace spans (Chrome trace_event JSON)
 /debug/treeshape       live tree shapes (JSON)
 /debug/vars            expvar
 /debug/pprof/          pprof profiles
@@ -134,6 +138,15 @@ func serveFlightRecorder(w http.ResponseWriter, r *http.Request) {
 		events = []obs.FlightEvent{}
 	}
 	writeJSON(w, flightDoc{SampleRate: obs.FlightSampleRate(), Events: events})
+}
+
+// serveTrace dumps the retained trace spans in Chrome trace_event
+// format — load into chrome://tracing or Perfetto, or post-process the
+// args (trace/span/parent IDs, DESIGN.md §13). Under obsoff, or before
+// any trace has been sampled, the document is empty but well-formed.
+func serveTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTrace(w) //nolint:errcheck // client went away
 }
 
 func serveTreeShape(w http.ResponseWriter, shapes func() map[string]core.Shape) {

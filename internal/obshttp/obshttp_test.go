@@ -182,6 +182,84 @@ func TestFlightRecorderEndpoint(t *testing.T) {
 	}
 }
 
+// TestTraceEndpoint checks /debug/trace in both build flavours: always
+// 200 with a well-formed Chrome trace_event document; with
+// observability compiled in a recorded span shows up with the
+// documented args, and under obsoff the document degrades to an empty
+// traceEvents array rather than an error.
+func TestTraceEndpoint(t *testing.T) {
+	var trace obs.TraceID
+	if obs.Enabled {
+		obs.ResetTrace()
+		defer obs.ResetTrace()
+		trace = obs.ForceTrace()
+		obs.RecordSpan(trace, 0, 0, obs.SpanEngineRound, 100, 50, 3, 7)
+	}
+	res, body := get(t, Handler(Options{}), "/debug/trace")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/debug/trace content type %q", ct)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Args struct {
+				Trace uint64 `json:"trace"`
+				Arg0  uint64 `json:"arg0"`
+				Arg1  uint64 `json:"arg1"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if !obs.Enabled {
+		if len(doc.TraceEvents) != 0 {
+			t.Fatalf("obsoff build served %d trace events", len(doc.TraceEvents))
+		}
+		return
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("got %d trace events, want 1", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "engine.round" || ev.Ph != "X" ||
+		ev.Args.Trace != uint64(trace) || ev.Args.Arg0 != 3 || ev.Args.Arg1 != 7 {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+// TestJSONEndpointsContentType sweeps every JSON debug endpoint: 200,
+// an explicit application/json content type, and a parseable body —
+// under both build flavours.
+func TestJSONEndpointsContentType(t *testing.T) {
+	h := Handler(Options{})
+	for _, path := range []string{
+		"/metrics?format=json",
+		"/debug/histograms",
+		"/debug/flightrecorder",
+		"/debug/trace",
+		"/debug/treeshape",
+		"/debug/vars",
+	} {
+		res, body := get(t, h, path)
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, res.StatusCode)
+			continue
+		}
+		if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s content type %q, want application/json", path, ct)
+		}
+		var v any
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Errorf("%s body is not valid JSON: %v", path, err)
+		}
+	}
+}
+
 // TestTreeShapeEndpoint serves a live tree's shape through the Shapes
 // callback.
 func TestTreeShapeEndpoint(t *testing.T) {

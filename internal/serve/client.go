@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specbtree/internal/obs"
 	"specbtree/internal/tuple"
 )
 
@@ -36,6 +37,13 @@ type ClientOptions struct {
 	Timeout time.Duration
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// Trace, when non-zero, stamps every request of this client with the
+	// given trace ID (obs.ForceTrace issues one) and records a
+	// client.request span per round trip. When zero, each request
+	// consults the obs sampling gate (obs.SetTraceSampleRate) instead —
+	// off by default. Traced requests require a protocol-version-2
+	// server; against a version 1 server the trace stays client-side.
+	Trace obs.TraceID
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -68,6 +76,7 @@ type Client struct {
 	bw     *bufio.Writer
 	gen    uint64 // connection generation, for targeted teardown
 	arity  int
+	ver    byte // negotiated protocol version of the live connection
 
 	pendMu  sync.Mutex
 	pending map[uint64]*call
@@ -134,15 +143,19 @@ func (c *Client) connectLocked() error {
 		return fmt.Errorf("serve: dial %s: %w", c.addr, err)
 	}
 	// Handshake synchronously, before the reader goroutine exists: no
-	// other frame can be in flight on this connection yet.
+	// other frame can be in flight on this connection yet. The hello
+	// offers the client's maximum protocol version; the answer carries
+	// the negotiation result (absent from a version 1 server's answer,
+	// which predates the version byte — negotiated down to 1).
 	w := &wbuf{}
 	w.u16(uint16(c.opts.Arity))
+	w.u8(ProtocolVersion)
 	conn.SetDeadline(time.Now().Add(c.opts.Timeout))
-	if err := writeFrame(conn, kindHello, 0, w.b); err != nil {
+	if err := writeFrame(conn, ProtocolVersion, kindHello, 0, 0, w.b); err != nil {
 		conn.Close()
 		return fmt.Errorf("serve: hello: %w", err)
 	}
-	kind, _, payload, err := readFrame(conn)
+	_, kind, _, _, payload, err := readFrame(conn)
 	if err != nil {
 		conn.Close()
 		return fmt.Errorf("serve: hello: %w", err)
@@ -162,6 +175,14 @@ func (c *Client) connectLocked() error {
 		return fmt.Errorf("serve: hello refused with status %d", status)
 	}
 	arity := int(r.u16())
+	negotiated := byte(protocolV1)
+	if r.off < len(r.b) {
+		negotiated = r.u8()
+		if negotiated > ProtocolVersion || negotiated < protocolV1 {
+			conn.Close()
+			return fmt.Errorf("%w: negotiated version %d", errProtocol, negotiated)
+		}
+	}
 	if err := r.done(); err != nil {
 		conn.Close()
 		return err
@@ -172,6 +193,7 @@ func (c *Client) connectLocked() error {
 	}
 	conn.SetDeadline(time.Time{})
 	c.arity = arity
+	c.ver = negotiated
 	c.conn = conn
 	c.bw = bufio.NewWriter(conn)
 	c.gen++
@@ -198,7 +220,7 @@ func (c *Client) ensureConnLocked() (uint64, error) {
 func (c *Client) readLoop(conn net.Conn, gen uint64) {
 	br := bufio.NewReader(conn)
 	for {
-		kind, id, payload, err := readFrame(br)
+		_, kind, id, _, payload, err := readFrame(br)
 		if err != nil {
 			c.teardown(conn, gen, err)
 			return
@@ -243,17 +265,32 @@ func (c *Client) teardown(conn net.Conn, gen uint64, err error) {
 // roundTrip sends one request payload and waits for its response.
 // idempotent requests are retried once on a fresh connection after a
 // connection-level failure; non-idempotent ones (inserts) never are.
+// A traced request (ClientOptions.Trace, or the obs sampling gate)
+// carries its trace ID in the frame header and records one
+// client.request span covering the whole round trip, retry included.
 func (c *Client) roundTrip(payload []byte, idempotent bool) ([]byte, error) {
+	trace := c.opts.Trace
+	if trace == 0 {
+		trace = obs.StartTrace()
+	}
+	var spanStart int64
+	if trace != 0 {
+		spanStart = obs.Clock()
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if c.closed.Load() {
 			return nil, ErrClosed
 		}
-		res, connErr, err := c.attempt(payload)
+		res, connErr, err := c.attempt(payload, trace)
 		if err != nil {
 			return nil, err // application-level or timeout: no retry
 		}
 		if connErr == nil {
+			if trace != 0 {
+				obs.RecordSpan(trace, 0, 0, obs.SpanClientRequest, spanStart, obs.Clock()-spanStart,
+					uint64(len(payload)), uint64(attempt+1))
+			}
 			return res, nil
 		}
 		lastErr = connErr
@@ -270,7 +307,7 @@ func (c *Client) roundTrip(payload []byte, idempotent bool) ([]byte, error) {
 // reset) where the request may simply be resent; err reports a
 // definitive outcome (timeout with unknown fate, client closed) that
 // roundTrip must not paper over.
-func (c *Client) attempt(payload []byte) (resp []byte, connErr, err error) {
+func (c *Client) attempt(payload []byte, trace obs.TraceID) (resp []byte, connErr, err error) {
 	c.connMu.Lock()
 	gen, cerr := c.ensureConnLocked()
 	if cerr != nil {
@@ -283,8 +320,12 @@ func (c *Client) attempt(payload []byte) (resp []byte, connErr, err error) {
 	c.pending[id] = ca
 	c.pendMu.Unlock()
 
+	ver := c.ver
+	if ver < ProtocolVersion {
+		trace = 0 // a version 1 server has no header field to carry it
+	}
 	c.conn.SetWriteDeadline(time.Now().Add(c.opts.Timeout))
-	werr := writeFrame(c.bw, kindRequest, id, payload)
+	werr := writeFrame(c.bw, ver, kindRequest, id, trace, payload)
 	if werr == nil {
 		werr = c.bw.Flush()
 	}

@@ -44,14 +44,16 @@ func (f *fakeServer) addr() string { return f.lis.Addr().String() }
 // fakeHello answers the handshake with arity 2.
 func fakeHello(t *testing.T, nc net.Conn) bool {
 	t.Helper()
-	kind, id, _, err := readFrame(nc)
+	_, kind, id, _, _, err := readFrame(nc)
 	if err != nil || kind != kindHello {
 		return false
 	}
+	// Answer as a version 1 server (no version byte): the client must
+	// negotiate down and keep working.
 	w := &wbuf{}
 	w.u8(statusOK)
 	w.u16(2)
-	return writeFrame(nc, kindHello, id, w.b) == nil
+	return writeFrame(nc, protocolV1, kindHello, id, 0, w.b) == nil
 }
 
 // TestClientRetriesIdempotentReadOnce scripts a reset: the first
@@ -63,7 +65,7 @@ func TestClientRetriesIdempotentReadOnce(t *testing.T) {
 		if !fakeHello(t, nc) {
 			return
 		}
-		_, id, _, err := readFrame(nc)
+		_, _, id, _, _, err := readFrame(nc)
 		if err != nil {
 			return
 		}
@@ -73,7 +75,7 @@ func TestClientRetriesIdempotentReadOnce(t *testing.T) {
 		w := &wbuf{}
 		w.u8(statusOK)
 		w.bool(true)
-		writeFrame(nc, kindResponse, id, w.b)
+		writeFrame(nc, protocolV1, kindResponse, id, 0, w.b)
 		readFrame(nc) // hold the conn open until the client closes
 	})
 	c, err := Dial(fake.addr(), ClientOptions{Timeout: 2 * time.Second})
@@ -123,7 +125,7 @@ func TestClientNeverRetriesInsert(t *testing.T) {
 		if !fakeHello(t, nc) {
 			return
 		}
-		if _, _, _, err := readFrame(nc); err == nil {
+		if _, _, _, _, _, err := readFrame(nc); err == nil {
 			requests <- struct{}{}
 		}
 	})
@@ -152,7 +154,7 @@ func TestClientTimeout(t *testing.T) {
 		if !fakeHello(t, nc) {
 			return
 		}
-		_, id, _, err := readFrame(nc)
+		_, _, id, _, _, err := readFrame(nc)
 		if err != nil {
 			return
 		}
@@ -160,7 +162,7 @@ func TestClientTimeout(t *testing.T) {
 		w := &wbuf{}
 		w.u8(statusOK)
 		w.bool(true)
-		writeFrame(nc, kindResponse, id, w.b)
+		writeFrame(nc, protocolV1, kindResponse, id, 0, w.b)
 		readFrame(nc)
 	})
 	c, err := Dial(fake.addr(), ClientOptions{Timeout: 80 * time.Millisecond})

@@ -46,9 +46,12 @@ var ErrShutdown = errors.New("serve: server shutting down")
 var errBusy = errors.New("serve: write queue full")
 
 // writeBatch is one admitted insert batch and its completion channel.
+// trace carries the originating frame's trace ID (0 = untraced) so the
+// epoch that applies the batch can attribute itself to it.
 type writeBatch struct {
 	tuples []tuple.Tuple
 	done   chan writeResult
+	trace  obs.TraceID
 }
 
 // writeResult reports an executed batch: the number of tuples not
@@ -114,18 +117,21 @@ func (s *scheduler) violation() {
 }
 
 // beginRead admits one reader, blocking while a write epoch is pending
-// or running. It reports false when the scheduler is draining and the
-// read must be refused.
-func (s *scheduler) beginRead() bool {
+// or running. ok is false when the scheduler is draining and the read
+// must be refused; blocked reports whether the gate actually made the
+// caller wait (feeding the serve.phase.wait span — an unblocked
+// admission records nothing).
+func (s *scheduler) beginRead() (ok, blocked bool) {
 	s.mu.Lock()
 	for s.epochPending && !s.draining {
+		blocked = true
 		s.cond.Wait()
 	}
 	if s.draining && s.epochPending {
 		// Drain has priority over late readers; refuse rather than race
 		// the final epochs.
 		s.mu.Unlock()
-		return false
+		return false, blocked
 	}
 	s.readers++
 	s.mu.Unlock()
@@ -135,7 +141,7 @@ func (s *scheduler) beginRead() bool {
 	if s.epochActive.Load() {
 		s.violation()
 	}
-	return true
+	return true, blocked
 }
 
 // endRead retires one reader, waking a drain-waiting epoch when the last
@@ -214,8 +220,20 @@ func (s *scheduler) collect(first *writeBatch) []*writeBatch {
 
 // runEpoch executes one write epoch: close the read gate, wait for
 // readers to drain, apply every batch, reopen the gate and deliver the
-// results.
+// results. When any batch is traced, the whole epoch — reader drain
+// included — is recorded as one serve.epoch span under the first
+// traced batch's trace.
 func (s *scheduler) runEpoch(batches []*writeBatch) {
+	var etrace obs.TraceID
+	var espanStart int64
+	for _, b := range batches {
+		if b.trace != 0 {
+			etrace = b.trace
+			espanStart = obs.Clock()
+			break
+		}
+	}
+
 	s.mu.Lock()
 	s.epochPending = true
 	for s.readers > 0 {
@@ -256,6 +274,14 @@ func (s *scheduler) runEpoch(batches []*writeBatch) {
 	s.epochs.Add(1)
 	obs.Inc(obs.ServeEpochs)
 	obs.Observe(obs.HistServeEpochNanos, uint64(obs.Clock()-start))
+	if etrace != 0 {
+		tuples := uint64(0)
+		for _, b := range batches {
+			tuples += uint64(len(b.tuples))
+		}
+		obs.RecordSpan(etrace, 0, 0, obs.SpanServeEpoch, espanStart, obs.Clock()-espanStart,
+			uint64(len(batches)), tuples)
+	}
 }
 
 // drain stops admission and waits until every already-admitted batch has

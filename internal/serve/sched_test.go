@@ -61,7 +61,7 @@ func TestSchedulerEpochExecutesBatch(t *testing.T) {
 func TestSchedulerBackpressure(t *testing.T) {
 	tree := core.New(2)
 	s := newScheduler(tree, 1)
-	if !s.beginRead() {
+	if ok, _ := s.beginRead(); !ok {
 		t.Fatal("beginRead refused")
 	}
 
@@ -104,7 +104,7 @@ func TestSchedulerReaderBlocksDuringEpoch(t *testing.T) {
 	tree := core.New(2)
 	s := newScheduler(tree, 4)
 	defer s.drain()
-	if !s.beginRead() {
+	if ok, _ := s.beginRead(); !ok {
 		t.Fatal("beginRead refused")
 	}
 	b, err := submitBatch(s, tuple.Tuple{1, 1})
@@ -204,7 +204,7 @@ func TestSchedulerPhaseInvariant(t *testing.T) {
 			defer wg.Done()
 			hints := core.NewHints()
 			for i := 0; i < readerRetries; i++ {
-				if !s.beginRead() {
+				if ok, _ := s.beginRead(); !ok {
 					return
 				}
 				for j := 0; j < readsPerIter; j++ {

@@ -252,10 +252,16 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// outFrame is one queued response.
+// outFrame is one queued response. version and trace echo the request
+// frame's (version 1 responses for version 1 requests, the request's
+// trace ID for traced ones); they ride in the frame rather than on the
+// connection because readLoop enqueues while writeLoop drains
+// concurrently.
 type outFrame struct {
 	kind    byte
+	version byte
 	id      uint64
+	trace   obs.TraceID
 	payload []byte
 }
 
@@ -313,7 +319,7 @@ func (c *serverConn) writeLoop() {
 	bw := bufio.NewWriter(c.nc)
 	write := func(f outFrame) error {
 		c.nc.SetWriteDeadline(time.Now().Add(c.s.opts.WriteTimeout))
-		err := writeFrame(bw, f.kind, f.id, f.payload)
+		err := writeFrame(bw, f.version, f.kind, f.id, f.trace, f.payload)
 		// Flush eagerly when the queue is empty so pipelined clients are
 		// not stalled behind buffering.
 		if err == nil && len(c.out) == 0 {
@@ -374,64 +380,95 @@ func (c *serverConn) readLoop() {
 	br := bufio.NewReader(c.nc)
 	arity := c.s.opts.Arity
 	for {
-		kind, id, payload, err := readFrame(br)
+		ver, kind, id, trace, payload, err := readFrame(br)
 		if err != nil {
 			return // disconnect, protocol error or shutdown deadline
 		}
 		switch kind {
 		case kindHello:
-			c.handleHello(id, payload)
+			c.handleHello(ver, id, trace, payload)
 		case kindRequest:
+			if trace == 0 {
+				// An untraced frame may still start a server-side trace
+				// (sampling gate; off by default) so server-only
+				// investigations need no client cooperation.
+				trace = obs.StartTrace()
+			}
+			var frameStart int64
+			if trace != 0 {
+				frameStart = obs.Clock()
+			}
 			req, err := decodeRequest(id, payload, arity, c.s.opts.MaxBatch)
 			if err != nil {
-				c.send(outFrame{kind: kindResponse, id: id, payload: encodeErr(err.Error())})
+				c.send(outFrame{kind: kindResponse, version: ver, id: id, trace: trace, payload: encodeErr(err.Error())})
 				return
 			}
 			if req.insert != nil {
-				c.handleInsert(req)
+				c.handleInsert(req, ver, trace, frameStart)
 			} else {
-				c.handleReads(req)
+				c.handleReads(req, ver, trace, frameStart)
 			}
 		default:
 			// A response frame from a client is a protocol error.
-			c.send(outFrame{kind: kindResponse, id: id, payload: encodeErr("serve: unexpected frame kind")})
+			c.send(outFrame{kind: kindResponse, version: ver, id: id, trace: trace, payload: encodeErr("serve: unexpected frame kind")})
 			return
 		}
 	}
 }
 
 // handleHello answers the arity handshake. A client arity of 0 adopts
-// the server's; any other mismatch is refused.
-func (c *serverConn) handleHello(id uint64, payload []byte) {
+// the server's; any other mismatch is refused. A 3-byte hello payload
+// carries the client's maximum protocol version after the arity, and
+// the answer then ends with the negotiated version (min of the two
+// sides'); a 2-byte payload is a version 1 client and gets a version 1
+// answer with no version byte.
+func (c *serverConn) handleHello(ver byte, id uint64, trace obs.TraceID, payload []byte) {
 	r := &rbuf{b: payload}
 	clientArity := int(r.u16())
+	negotiated := byte(protocolV1)
+	withVersion := len(payload) > 2
+	if withVersion {
+		clientMax := r.u8()
+		negotiated = clientMax
+		if negotiated > ProtocolVersion {
+			negotiated = ProtocolVersion
+		}
+		if negotiated < protocolV1 {
+			negotiated = protocolV1
+		}
+	}
 	if err := r.done(); err != nil {
-		c.send(outFrame{kind: kindResponse, id: id, payload: encodeErr(err.Error())})
+		c.send(outFrame{kind: kindResponse, version: ver, id: id, trace: trace, payload: encodeErr(err.Error())})
 		return
 	}
 	if clientArity != 0 && clientArity != c.s.opts.Arity {
-		c.send(outFrame{kind: kindResponse, id: id, payload: encodeErr(
+		c.send(outFrame{kind: kindResponse, version: ver, id: id, trace: trace, payload: encodeErr(
 			fmt.Sprintf("serve: arity mismatch: client %d, server %d", clientArity, c.s.opts.Arity))})
 		return
 	}
 	w := &wbuf{}
 	w.u8(statusOK)
 	w.u16(uint16(c.s.opts.Arity))
-	c.send(outFrame{kind: kindHello, id: id, payload: w.b})
+	if withVersion {
+		w.u8(negotiated)
+	}
+	c.send(outFrame{kind: kindHello, version: negotiated, id: id, trace: trace, payload: w.b})
 }
 
 // handleInsert submits the write batch and hands the epoch wait to a
 // helper goroutine, so the connection keeps reading pipelined frames
 // while the batch waits for its epoch. Responses may therefore overtake
-// each other; clients match by id.
-func (c *serverConn) handleInsert(req request) {
-	b := &writeBatch{tuples: req.insert, done: make(chan writeResult, 1)}
+// each other; clients match by id. A traced frame records one
+// serve.frame.insert span spanning admission to epoch acknowledgement,
+// and its trace rides on the batch so the executing epoch can adopt it.
+func (c *serverConn) handleInsert(req request, ver byte, trace obs.TraceID, frameStart int64) {
+	b := &writeBatch{tuples: req.insert, done: make(chan writeResult, 1), trace: trace}
 	if err := c.s.sched.submit(b); err != nil {
 		if errors.Is(err, errBusy) {
-			c.send(outFrame{kind: kindResponse, id: req.id, payload: []byte{statusRetry}})
+			c.send(outFrame{kind: kindResponse, version: ver, id: req.id, trace: trace, payload: []byte{statusRetry}})
 			return
 		}
-		c.send(outFrame{kind: kindResponse, id: req.id, payload: encodeErr(err.Error())})
+		c.send(outFrame{kind: kindResponse, version: ver, id: req.id, trace: trace, payload: encodeErr(err.Error())})
 		return
 	}
 	c.s.wg.Add(1)
@@ -441,17 +478,33 @@ func (c *serverConn) handleInsert(req request) {
 		w := &wbuf{}
 		w.u8(statusOK)
 		w.u32(uint32(res.fresh))
-		c.send(outFrame{kind: kindResponse, id: req.id, payload: w.b})
+		c.send(outFrame{kind: kindResponse, version: ver, id: req.id, trace: trace, payload: w.b})
+		if trace != 0 {
+			obs.RecordSpan(trace, 0, 0, obs.SpanServeFrameInsert, frameStart, obs.Clock()-frameStart,
+				uint64(len(req.insert)), uint64(res.fresh))
+		}
 	}()
 }
 
 // handleReads executes a read frame inline under read admission: all
 // attached connections' read frames run concurrently between write
-// epochs.
-func (c *serverConn) handleReads(req request) {
-	if !c.s.sched.beginRead() {
-		c.send(outFrame{kind: kindResponse, id: req.id, payload: encodeErr(ErrShutdown.Error())})
+// epochs. A traced frame records a serve.frame.read span from decode to
+// response enqueue, and — when the phase gate actually blocked it — a
+// serve.phase.wait child span covering the wait.
+func (c *serverConn) handleReads(req request, ver byte, trace obs.TraceID, frameStart int64) {
+	var frameSpan obs.SpanID
+	var waitStart int64
+	if trace != 0 {
+		frameSpan = obs.NewSpanID(trace)
+		waitStart = obs.Clock()
+	}
+	ok, blocked := c.s.sched.beginRead()
+	if !ok {
+		c.send(outFrame{kind: kindResponse, version: ver, id: req.id, trace: trace, payload: encodeErr(ErrShutdown.Error())})
 		return
+	}
+	if trace != 0 && blocked {
+		obs.RecordSpan(trace, 0, frameSpan, obs.SpanServePhaseWait, waitStart, obs.Clock()-waitStart, 0, 0)
 	}
 	start := obs.SampleClock()
 	w := &wbuf{}
@@ -465,7 +518,11 @@ func (c *serverConn) handleReads(req request) {
 	if start != 0 {
 		obs.Observe(obs.HistServeReadNanos, uint64(obs.Clock()-start))
 	}
-	c.send(outFrame{kind: kindResponse, id: req.id, payload: w.b})
+	c.send(outFrame{kind: kindResponse, version: ver, id: req.id, trace: trace, payload: w.b})
+	if trace != 0 {
+		obs.RecordSpan(trace, frameSpan, 0, obs.SpanServeFrameRead, frameStart, obs.Clock()-frameStart,
+			uint64(len(req.reads)), uint64(len(w.b)))
+	}
 }
 
 // execRead evaluates one read operation against the tree and appends its

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"specbtree/internal/datalog"
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
+
+// traceTestProg gives the engine side of the journey a recursive rule,
+// so the forced trace picks up engine.round and iter.scan spans.
+const traceTestProg = `
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.output path
+edge(1, 2). edge(2, 3). edge(3, 4).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`
+
+// TestTraceLinksAllLayers is the end-to-end attribution check: one
+// forced trace ID follows a request over a real socket — client send,
+// server frame, scheduler phase wait, write epoch — and then drives an
+// engine evaluation, and every layer's spans come back under that same
+// ID. The phase wait is scripted deterministically: a held reader keeps
+// an insert's epoch pending, so a read frame arriving then must block
+// at the gate.
+func TestTraceLinksAllLayers(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("observability compiled out")
+	}
+	obs.ResetTrace()
+	trace := obs.ForceTrace()
+
+	s, err := Start("127.0.0.1:0", Options{Arity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), ClientOptions{Trace: trace, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Hold the read gate open so the insert's epoch stays pending.
+	if ok, _ := s.sched.beginRead(); !ok {
+		t.Fatal("beginRead refused")
+	}
+	insErr := make(chan error, 1)
+	go func() {
+		_, err := c.Insert([]tuple.Tuple{{1, 2}, {3, 4}})
+		insErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.sched.mu.Lock()
+		pending := s.sched.epochPending
+		s.sched.mu.Unlock()
+		if pending {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("insert epoch never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A traced read arriving now must wait out the epoch at the gate.
+	rdErr := make(chan error, 1)
+	go func() {
+		_, err := c.Contains(tuple.Tuple{1, 2})
+		rdErr <- err
+	}()
+	// Give the read frame time to reach the gate; the epoch cannot
+	// complete meanwhile — we still hold a reader.
+	time.Sleep(100 * time.Millisecond)
+	s.sched.endRead()
+	if err := <-insErr; err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := <-rdErr; err != nil {
+		t.Fatalf("contains: %v", err)
+	}
+
+	// The same trace drives an engine evaluation.
+	prog, err := datalog.Parse(traceTestProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := datalog.New(prog, datalog.Options{Workers: 2, TraceID: trace, NoPlanCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := obs.Spans()
+	bySite := map[string][]obs.Span{}
+	ids := map[obs.SpanID]obs.Span{}
+	for _, sp := range spans {
+		if sp.Trace != trace {
+			t.Fatalf("span %+v carries trace %d, want %d", sp, sp.Trace, trace)
+		}
+		bySite[sp.Site] = append(bySite[sp.Site], sp)
+		ids[sp.Span] = sp
+	}
+	for _, site := range []string{
+		"client.request", "serve.frame.read", "serve.frame.insert",
+		"serve.phase.wait", "serve.epoch", "engine.round", "engine.rule", "iter.scan",
+	} {
+		if len(bySite[site]) == 0 {
+			t.Errorf("trace %d has no %s span", trace, site)
+		}
+	}
+	// The phase wait hangs off the read frame that suffered it.
+	for _, w := range bySite["serve.phase.wait"] {
+		p, ok := ids[w.Parent]
+		if !ok || p.Site != "serve.frame.read" {
+			t.Errorf("serve.phase.wait parent %d is not a retained serve.frame.read span", w.Parent)
+		}
+	}
+}

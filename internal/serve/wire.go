@@ -25,19 +25,32 @@
 //
 //	offset  size  field
 //	0       2     magic "sb"
-//	2       1     protocol version (ProtocolVersion)
+//	2       1     protocol version (1 or 2)
 //	3       1     frame kind (hello / request / response)
 //	4       8     request id, big-endian (echoed by the response)
 //	12      4     payload length, big-endian (at most MaxPayload)
-//	16      —     payload
+//	16      8     trace id, big-endian (version 2 frames only)
+//	16/24   —     payload (offset 24 in version 2 frames)
+//
+// Version 2 (the current ProtocolVersion) extends the version 1 header
+// by one field: an 8-byte trace ID linking the frame to the
+// observability layer's span tracer (internal/obs, DESIGN.md §13). A
+// zero trace ID means "not traced"; responses echo the request's trace
+// ID. Both versions are accepted on the read side, and each frame is
+// answered in the version it arrived in, so old clients interoperate
+// unchanged.
 //
 // A connection starts with a hello exchange (client states its tuple
 // arity, or 0 to adopt the server's; the server answers with the served
-// arity). After the hello, request frames carry a batch of operations
-// and may be pipelined: the server may answer frames out of order, and
-// responses are matched to requests by id. A request frame is
-// *homogeneous*: either a batch of read operations or a single insert
-// batch — never both, so its phase classification is unambiguous.
+// arity). A version 2 hello appends the client's maximum protocol
+// version to the arity, and the server's answer appends the negotiated
+// version; a 2-byte hello payload is a version 1 client and the answer
+// omits the version byte. After the hello, request frames carry a batch
+// of operations and may be pipelined: the server may answer frames out
+// of order, and responses are matched to requests by id. A request
+// frame is *homogeneous*: either a batch of read operations or a single
+// insert batch — never both, so its phase classification is
+// unambiguous.
 //
 // Request payload: uint16 operation count, then operations in order.
 // Each operation is an opcode byte followed by its arguments; tuples are
@@ -75,19 +88,29 @@ import (
 	"fmt"
 	"io"
 
+	"specbtree/internal/obs"
 	"specbtree/internal/tuple"
 )
 
-// ProtocolVersion is the wire-protocol version spoken by this package,
-// carried in every frame header.
-const ProtocolVersion = 1
+// ProtocolVersion is the current wire-protocol version: version 2
+// carries an 8-byte trace ID in every frame header. Version 1 (no
+// trace field) is still accepted and negotiated down to during hello.
+const ProtocolVersion = 2
+
+// protocolV1 is the pre-tracing wire version, kept readable and
+// writable for old peers.
+const protocolV1 = 1
 
 // MaxPayload bounds a frame payload; larger length prefixes are protocol
 // errors, protecting both sides from corrupt or hostile peers.
 const MaxPayload = 1 << 24
 
-// headerSize is the fixed frame-header length.
+// headerSize is the fixed frame-header length common to both versions;
+// version 2 headers carry traceFieldSize more bytes after it.
 const headerSize = 16
+
+// traceFieldSize is the size of the version 2 header's trace-ID field.
+const traceFieldSize = 8
 
 // Frame kinds.
 const (
@@ -124,18 +147,28 @@ const (
 // are torn down.
 var errProtocol = errors.New("serve: protocol error")
 
-// writeFrame writes one frame. The caller serialises writers.
-func writeFrame(w io.Writer, kind byte, id uint64, payload []byte) error {
+// writeFrame writes one frame in the given protocol version (a version
+// 1 frame drops the trace field; its trace must be zero by then). The
+// caller serialises writers.
+func writeFrame(w io.Writer, version, kind byte, id uint64, trace obs.TraceID, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("%w: payload %d exceeds MaxPayload", errProtocol, len(payload))
 	}
-	var hdr [headerSize]byte
+	if version != protocolV1 && version != ProtocolVersion {
+		return fmt.Errorf("%w: cannot write version %d", errProtocol, version)
+	}
+	var hdr [headerSize + traceFieldSize]byte
 	hdr[0], hdr[1] = 's', 'b'
-	hdr[2] = ProtocolVersion
+	hdr[2] = version
 	hdr[3] = kind
 	binary.BigEndian.PutUint64(hdr[4:12], id)
 	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	n := headerSize
+	if version >= ProtocolVersion {
+		binary.BigEndian.PutUint64(hdr[16:24], uint64(trace))
+		n += traceFieldSize
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	if len(payload) > 0 {
@@ -146,34 +179,43 @@ func writeFrame(w io.Writer, kind byte, id uint64, payload []byte) error {
 	return nil
 }
 
-// readFrame reads one frame, bounding the payload at MaxPayload.
-func readFrame(r io.Reader) (kind byte, id uint64, payload []byte, err error) {
+// readFrame reads one frame of either protocol version, bounding the
+// payload at MaxPayload. Version 1 frames report trace 0.
+func readFrame(r io.Reader) (version, kind byte, id uint64, trace obs.TraceID, payload []byte, err error) {
 	var hdr [headerSize]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, 0, nil, err
 	}
 	if hdr[0] != 's' || hdr[1] != 'b' {
-		return 0, 0, nil, fmt.Errorf("%w: bad magic %q", errProtocol, hdr[0:2])
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: bad magic %q", errProtocol, hdr[0:2])
 	}
-	if hdr[2] != ProtocolVersion {
-		return 0, 0, nil, fmt.Errorf("%w: version %d, want %d", errProtocol, hdr[2], ProtocolVersion)
+	version = hdr[2]
+	if version != protocolV1 && version != ProtocolVersion {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: version %d, want %d or %d", errProtocol, version, protocolV1, ProtocolVersion)
 	}
 	kind = hdr[3]
 	if kind != kindHello && kind != kindRequest && kind != kindResponse {
-		return 0, 0, nil, fmt.Errorf("%w: unknown frame kind %d", errProtocol, kind)
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: unknown frame kind %d", errProtocol, kind)
 	}
 	id = binary.BigEndian.Uint64(hdr[4:12])
 	n := binary.BigEndian.Uint32(hdr[12:16])
 	if n > MaxPayload {
-		return 0, 0, nil, fmt.Errorf("%w: payload %d exceeds MaxPayload", errProtocol, n)
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: payload %d exceeds MaxPayload", errProtocol, n)
+	}
+	if version >= ProtocolVersion {
+		var tr [traceFieldSize]byte
+		if _, err = io.ReadFull(r, tr[:]); err != nil {
+			return 0, 0, 0, 0, nil, err
+		}
+		trace = obs.TraceID(binary.BigEndian.Uint64(tr[:]))
 	}
 	if n > 0 {
 		payload = make([]byte, n)
 		if _, err = io.ReadFull(r, payload); err != nil {
-			return 0, 0, nil, err
+			return 0, 0, 0, 0, nil, err
 		}
 	}
-	return kind, id, payload, nil
+	return version, kind, id, trace, payload, nil
 }
 
 // wbuf is an append-only payload encoder.

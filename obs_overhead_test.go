@@ -67,3 +67,68 @@ func BenchmarkMetricsOverheadEngine(b *testing.B) {
 		}
 	}
 }
+
+// The trace-overhead benchmarks quantify the cost of the span tracer
+// (DESIGN.md §13) on the engine's hot path, in its two live states.
+// Run each twice, with and without -tags obsoff, and compare:
+//
+//	go test -bench TraceOverheadEngineDormant -count 5 .
+//	go test -bench TraceOverheadEngineDormant -count 5 -tags obsoff .
+//
+// Dormant — sampling off, no trace forced, the production default —
+// must stay within 2% of the obsoff build: the entire dormant cost is
+// one predictable trace==0 branch per instrumented site, and obsoff
+// compiles even that out (0% by construction — RecordSpan and both
+// trace issuers are constant-folded no-ops). Traced — every run under
+// a forced trace — is the informational upper bound: it prices span
+// recording itself (a clock pair and one sharded ring write per scan,
+// rule and round), which sampling amortises to near-dormant cost at
+// production rates.
+
+// traceOverheadRun is one engine evaluation of the shared workload,
+// the measured body of both trace-overhead benchmarks.
+func traceOverheadRun(b *testing.B, w workload.DatalogWorkload, prog *datalog.Program, trace obs.TraceID) {
+	b.Helper()
+	eng, err := datalog.New(prog, datalog.Options{
+		Provider: relation.MustLookup("btree"), Workers: 2, TraceID: trace,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for rel, facts := range w.Facts {
+		if err := eng.AddFacts(rel, facts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTraceOverheadEngineDormant measures evaluation with the
+// tracer present but dormant (sampling off, no trace forced) — the
+// production default whose ≤2% budget the §13 contract pins.
+func BenchmarkTraceOverheadEngineDormant(b *testing.B) {
+	w := workload.PointsTo(64, 1)
+	prog := datalog.MustParse(w.Source)
+	b.Logf("obs.Enabled=%v sample_rate=%d", obs.Enabled, obs.TraceSampleRate())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traceOverheadRun(b, w, prog, 0)
+	}
+}
+
+// BenchmarkTraceOverheadEngineTraced measures evaluation with every
+// run under a forced trace — the worst case, every instrumented site
+// recording. Under obsoff ForceTrace returns 0 and this degenerates to
+// the dormant shape.
+func BenchmarkTraceOverheadEngineTraced(b *testing.B) {
+	w := workload.PointsTo(64, 1)
+	prog := datalog.MustParse(w.Source)
+	b.Logf("obs.Enabled=%v", obs.Enabled)
+	b.Cleanup(obs.ResetTrace)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traceOverheadRun(b, w, prog, obs.ForceTrace())
+	}
+}

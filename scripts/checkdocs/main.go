@@ -105,6 +105,29 @@ var strategyNames = []string{
 	"stream", "stream-nopush", "materialize",
 }
 
+// frozenSpanSites freezes the trace span site names at the moment the
+// tracing subsystem shipped (DESIGN.md §13), in registry order. Span
+// names travel in persisted trace_event dumps, so the contract is
+// append-only: every name must stay registered, in this order, forever.
+var frozenSpanSites = []string{
+	"client.request",
+	"serve.frame.read",
+	"serve.frame.insert",
+	"serve.phase.wait",
+	"serve.epoch",
+	"engine.round",
+	"engine.rule",
+	"iter.scan",
+	"iter.scan.push",
+}
+
+// spanFields are the JSON field names carried by each span in the
+// Spans() dump and the trace_event args; DESIGN.md must document each,
+// backticked, in its §13 span-schema section.
+var spanFields = []string{
+	"trace", "span", "parent", "site", "start_ns", "dur_ns", "arg0", "arg1",
+}
+
 // flightRecorderFields are the JSON field names of the flight-recorder
 // dump (obs.FlightEvent plus the envelope's sample_rate); DESIGN.md must
 // document each, backticked, in its §9 flight-recorder section.
@@ -214,6 +237,42 @@ func main() {
 			problems = append(problems,
 				fmt.Sprintf("DESIGN.md: evaluation strategy `%s` not documented in §12", name))
 		}
+	}
+
+	// Span-site freeze: the registry must carry exactly the frozen names
+	// as a prefix, in order — appended sites are fine, renames and
+	// removals are not.
+	sites := obs.SpanSiteNames()
+	if len(sites) < len(frozenSpanSites) {
+		problems = append(problems, fmt.Sprintf(
+			"obs: span-site registry has %d sites, frozen contract has %d (span names are append-only)",
+			len(sites), len(frozenSpanSites)))
+	}
+	for i, want := range frozenSpanSites {
+		if i >= len(sites) {
+			break
+		}
+		if sites[i] != want {
+			problems = append(problems, fmt.Sprintf(
+				"obs: span site %d is %q, frozen contract says %q (span names are append-only, in registry order)",
+				i, sites[i], want))
+		}
+	}
+	for _, name := range sites {
+		if !strings.Contains(design, name) {
+			problems = append(problems,
+				fmt.Sprintf("DESIGN.md: span site %q missing from the §13 table", name))
+		}
+	}
+	for _, field := range spanFields {
+		if !strings.Contains(design, "`"+field+"`") {
+			problems = append(problems,
+				fmt.Sprintf("DESIGN.md: span JSON field `%s` not documented in §13", field))
+		}
+	}
+	if !strings.Contains(design, "## 13.") {
+		problems = append(problems,
+			"DESIGN.md: §13 (evaluation tracing) is missing")
 	}
 
 	if len(problems) > 0 {

@@ -1,0 +1,131 @@
+// Command checktrace validates a Chrome trace_event document produced
+// by the span tracer (obs.WriteChromeTrace — the /debug/trace endpoint
+// or a `datalog -trace` dump; DESIGN.md §13). The document must be a
+// JSON object with a traceEvents array, and every event must be a
+// complete ("X") event whose name is a registered span site and whose
+// args carry a nonzero trace and span ID. The input argument is a file
+// path or an http(s):// URL; with a URL the endpoint must also answer
+// 200 with an application/json content type.
+//
+// With -min N the document must hold at least N events (default 1 —
+// a smoke run that traced nothing is a failure; -min 0 accepts the
+// empty-but-well-formed obsoff shape). It exits non-zero listing each
+// violation, or prints a one-line summary on success.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"specbtree/internal/obs"
+)
+
+// traceDoc mirrors the obs.WriteChromeTrace output shape.
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// traceEvent is one Chrome trace_event entry with the tracer's args.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Args struct {
+		Trace uint64 `json:"trace"`
+		Span  uint64 `json:"span"`
+	} `json:"args"`
+}
+
+func fatal(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "checktrace: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+func main() {
+	min := flag.Int("min", 1, "minimum number of trace events required (0 accepts the empty obsoff document)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: checktrace [-min N] FILE|URL")
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+
+	var raw []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		res, err := http.Get(src)
+		if err != nil {
+			fatal("fetch %s: %v", src, err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			fatal("fetch %s: status %d", src, res.StatusCode)
+		}
+		if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			fatal("fetch %s: content type %q, want application/json", src, ct)
+		}
+		raw, err = io.ReadAll(res.Body)
+		if err != nil {
+			fatal("fetch %s: %v", src, err)
+		}
+	} else {
+		var err error
+		raw, err = os.ReadFile(src)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fatal("%s: not a valid trace_event document: %v", src, err)
+	}
+	if len(doc.TraceEvents) < *min {
+		fatal("%s: %d trace events, want at least %d", src, len(doc.TraceEvents), *min)
+	}
+
+	sites := map[string]bool{}
+	for _, name := range obs.SpanSiteNames() {
+		sites[name] = true
+	}
+	var problems []string
+	traces := map[uint64]bool{}
+	seenSites := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		if !sites[ev.Name] {
+			problems = append(problems, fmt.Sprintf("event %d: name %q is not a registered span site", i, ev.Name))
+		}
+		if ev.Ph != "X" {
+			problems = append(problems, fmt.Sprintf("event %d (%s): ph %q, want complete event \"X\"", i, ev.Name, ev.Ph))
+		}
+		if ev.Args.Trace == 0 || ev.Args.Span == 0 {
+			problems = append(problems, fmt.Sprintf("event %d (%s): zero trace/span ID in args", i, ev.Name))
+		}
+		traces[ev.Args.Trace] = true
+		seenSites[ev.Name]++
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "checktrace:", p)
+		}
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(seenSites))
+	for name := range seenSites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s×%d", name, seenSites[name])
+	}
+	fmt.Printf("checktrace: %d events across %d trace(s): %s\n",
+		len(doc.TraceEvents), len(traces), strings.Join(parts, " "))
+}

@@ -1,0 +1,69 @@
+#!/bin/sh
+# trace-smoke: end-to-end exercise of the evaluation tracer (DESIGN.md
+# §13). Starts servebtree with sampling armed and the debug server
+# mounted, drives it with a sampled loadgen run, fetches /debug/trace,
+# and validates the document with scripts/checktrace: well-formed
+# Chrome trace_event JSON, every event a registered span site with
+# nonzero trace/span IDs, and at least one event retained. A datalog
+# -trace run against a small program validates the file-dump path the
+# same way.
+set -eu
+GO=${GO:-go}
+addr=${TRACE_SMOKE_ADDR:-localhost:40871}
+debug=${TRACE_SMOKE_DEBUG:-localhost:40872}
+tmp=$(mktemp -d)
+srv_pid=
+cleanup() {
+	if [ -n "$srv_pid" ]; then
+		kill "$srv_pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+$GO build -o "$tmp/servebtree" ./cmd/servebtree
+$GO build -o "$tmp/loadgen" ./cmd/loadgen
+$GO build -o "$tmp/datalog" ./cmd/datalog
+$GO build -o "$tmp/checktrace" ./scripts/checktrace
+
+"$tmp/servebtree" -addr "$addr" -serve "$debug" -trace-sample 1 \
+	2>"$tmp/server.log" &
+srv_pid=$!
+
+# A tiny read-only run doubles as the readiness probe.
+i=0
+until "$tmp/loadgen" -addr "$addr" -clients 1 -requests 1 -writes 0 >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "trace-smoke: server never became reachable at $addr" >&2
+		cat "$tmp/server.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+"$tmp/loadgen" -addr "$addr" -clients 2 -requests 100 -writes 25 \
+	-batch 8 -space 4096 -seed 7 -trace-sample 4 >/dev/null
+
+"$tmp/checktrace" "http://$debug/debug/trace"
+
+kill "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+srv_pid=
+
+# The file-dump path: force-trace a small evaluation and validate the
+# written document the same way.
+cat >"$tmp/tc.dl" <<'EOF'
+.decl edge(x: number, y: number)
+.decl path(x: number, y: number)
+.input edge
+.output path
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+EOF
+printf '1\t2\n2\t3\n3\t4\n4\t5\n' >"$tmp/edge.facts"
+"$tmp/datalog" -facts "$tmp" -out "$tmp/out" -trace "$tmp/trace.json" \
+	"$tmp/tc.dl" >/dev/null
+"$tmp/checktrace" "$tmp/trace.json"
+
+echo "trace-smoke: ok"
