@@ -40,13 +40,14 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "emit a JSON metrics document to stdout on shutdown")
 	debugFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the lifetime of the server")
 	traceSampleFlag := flag.Uint64("trace-sample", 0, "trace one in N requests (power of two; 0 disables tracing)")
+	noSnapshotFlag := flag.Bool("no-snapshot-reads", false, "block reads at the phase gate during write epochs instead of serving them from the last-epoch snapshot (the pre-snapshot baseline, kept for benchmarks)")
 	flag.Parse()
 	if err := cmdutil.SetTraceSample(*traceSampleFlag); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	srv, err := serve.Start(*addrFlag, serve.Options{Arity: *arityFlag})
+	srv, err := serve.Start(*addrFlag, serve.Options{Arity: *arityFlag, DisableSnapshotReads: *noSnapshotFlag})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -73,8 +74,8 @@ func main() {
 		}
 		st := srv.Stats()
 		fmt.Fprintf(os.Stderr,
-			"shutdown: drained; len=%d epochs=%d writes=%d reads=%d retries=%d accepted=%d dropped=%d violations=%d\n",
-			srv.Tree().Len(), st.Epochs, st.WriteOps, st.ReadOps, st.Retries,
+			"shutdown: drained; len=%d epochs=%d writes=%d reads=%d snapreads=%d retries=%d accepted=%d dropped=%d violations=%d\n",
+			srv.Tree().Len(), st.Epochs, st.WriteOps, st.ReadOps, st.SnapshotReads, st.Retries,
 			st.ConnsAccepted, st.ConnsDropped, st.PhaseViolations)
 		if *metricsFlag {
 			if err := bench.EmitMetrics(os.Stdout, bench.MetricsDoc{

@@ -1,0 +1,232 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"specbtree/internal/core"
+	"specbtree/internal/tuple"
+)
+
+// SnapshotConfig sizes one snapshot-differential run. Zero fields take
+// the defaults below; Short selects the seed-sized variant wholesale.
+type SnapshotConfig struct {
+	// Seed is the master seed; every insert stream and probe derives
+	// from it deterministically, so runs are replayable.
+	Seed int64
+	// Writers is the number of concurrent insert goroutines per wave.
+	Writers int
+	// Readers is the number of concurrent snapshot-checking goroutines
+	// per wave.
+	Readers int
+	// Waves is the number of snapshot/insert cycles.
+	Waves int
+	// Inserts is the number of insertions per writer per wave.
+	Inserts int
+	// Probes is the number of point probes per reader per wave, on top
+	// of the full-scan equality check every reader performs.
+	Probes int
+	// KeySpace is the exclusive upper bound of every generated word.
+	KeySpace uint64
+	// Short selects the seed-sized configuration.
+	Short bool
+}
+
+func (c SnapshotConfig) withDefaults() SnapshotConfig {
+	def := func(v *int, full, short int) {
+		if *v == 0 {
+			if c.Short {
+				*v = short
+			} else {
+				*v = full
+			}
+		}
+	}
+	def(&c.Writers, 4, 2)
+	def(&c.Readers, 4, 2)
+	def(&c.Waves, 8, 4)
+	def(&c.Inserts, 2000, 400)
+	def(&c.Probes, 500, 100)
+	if c.KeySpace == 0 {
+		c.KeySpace = uint64(c.Writers*c.Waves*c.Inserts) / 2
+	}
+	return c
+}
+
+// SnapshotViolation records one divergence between a snapshot and the
+// frozen reference set it must equal.
+type SnapshotViolation struct {
+	Wave int
+	Op   string
+	Arg  tuple.Tuple
+	Got  string
+	Want string
+}
+
+func (v SnapshotViolation) String() string {
+	return fmt.Sprintf("wave %d: %s(%v) = %s, want %s", v.Wave, v.Op, v.Arg, v.Got, v.Want)
+}
+
+// SnapshotReport is the outcome of one RunSnapshotDiff.
+type SnapshotReport struct {
+	Violations []SnapshotViolation
+	FinalLen   int
+	Waves      int
+}
+
+func (r SnapshotReport) Failed() bool { return len(r.Violations) > 0 }
+
+func (r SnapshotReport) Summary() string {
+	if !r.Failed() {
+		return fmt.Sprintf("ok: %d waves, final length %d", r.Waves, r.FinalLen)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d violations over %d waves:\n", len(r.Violations), r.Waves)
+	for i, v := range r.Violations {
+		if i == 16 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(r.Violations)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+// snapshotStream replays writer w's wave insert stream in order. Both
+// the concurrent wave and the sequential model update run it, so they
+// apply identical tuples.
+func snapshotStream(cfg SnapshotConfig, arity, wave, w int, emit func(tuple.Tuple)) {
+	rng := rand.New(rand.NewSource(streamSeed(cfg.Seed, saltInsert, wave, w)))
+	for i := 0; i < cfg.Inserts; i++ {
+		emit(randTuple(rng, arity, cfg.KeySpace))
+	}
+}
+
+// RunSnapshotDiff is the snapshot differential: the epoch-snapshot
+// counterpart of the phased oracle (DESIGN.md §14). Each wave captures a
+// core.Tree snapshot at a quiescent barrier — where the reference model
+// equals the tree exactly — and then checks the snapshot against that
+// frozen reference *while the next wave's writers mutate the live tree
+// concurrently*. A snapshot must observe exactly the pre-epoch tuple
+// set: every frozen tuple present, nothing from the in-flight wave
+// visible, bounds and full-scan order agreeing with the model.
+func RunSnapshotDiff(arity int, cfg SnapshotConfig) SnapshotReport {
+	cfg = cfg.withDefaults()
+	tree := core.New(arity)
+	m := newModel(arity)
+	var (
+		mu  sync.Mutex
+		rep = SnapshotReport{Waves: cfg.Waves}
+	)
+	record := func(v SnapshotViolation) {
+		mu.Lock()
+		rep.Violations = append(rep.Violations, v)
+		mu.Unlock()
+	}
+
+	for wave := 0; wave < cfg.Waves; wave++ {
+		// Quiescent point: no writer in flight, model == tree. Capture
+		// the epoch snapshot here, per Tree.Snapshot's contract.
+		snap := tree.Snapshot()
+
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := core.NewHints()
+				snapshotStream(cfg, arity, wave, w, func(t tuple.Tuple) {
+					tree.InsertHint(t, h)
+				})
+			}(w)
+		}
+		// The model is immutable during the wave: readers check the
+		// snapshot against it exactly while the writers run.
+		for r := 0; r < cfg.Readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				checkSnapshot(wave, r, snap, m, cfg, arity, record)
+			}(r)
+		}
+		wg.Wait()
+
+		// Sequential model update: replay the wave's streams in a fixed
+		// order (set insert is order-insensitive).
+		for w := 0; w < cfg.Writers; w++ {
+			snapshotStream(cfg, arity, wave, w, func(t tuple.Tuple) {
+				m.insert(t)
+			})
+		}
+		m.rebuild()
+	}
+
+	// Final quiescent check: a last snapshot must equal the final model,
+	// proving no wave lost live writes to copy-on-write shuffling.
+	final := tree.Snapshot()
+	checkSnapshot(cfg.Waves, 0, final, m, cfg, arity, record)
+	rep.FinalLen = tree.Len()
+	if rep.FinalLen != m.len() {
+		record(SnapshotViolation{
+			Wave: cfg.Waves, Op: "live-len",
+			Got: fmt.Sprint(rep.FinalLen), Want: fmt.Sprint(m.len()),
+		})
+	}
+	return rep
+}
+
+// checkSnapshot verifies snap against the frozen model exactly: length,
+// full ordered scan, and seeded point probes (membership both ways,
+// lower and upper bounds).
+func checkSnapshot(wave, reader int, snap core.Snapshot, m *model, cfg SnapshotConfig, arity int, record func(SnapshotViolation)) {
+	if got, want := snap.Len(), m.len(); got != want {
+		record(SnapshotViolation{Wave: wave, Op: "len", Got: fmt.Sprint(got), Want: fmt.Sprint(want)})
+	}
+	// Full-scan equality against the model's sorted contents.
+	ref := m.all()
+	i := 0
+	snap.All(func(t tuple.Tuple) bool {
+		if i >= len(ref) {
+			record(SnapshotViolation{Wave: wave, Op: "scan", Arg: t.Clone(), Got: "extra tuple", Want: "end of set"})
+			return false
+		}
+		if tuple.Compare(t, ref[i]) != 0 {
+			record(SnapshotViolation{Wave: wave, Op: "scan", Arg: t.Clone(), Got: t.String(), Want: ref[i].String()})
+			return false
+		}
+		i++
+		return true
+	})
+	if i < len(ref) {
+		record(SnapshotViolation{Wave: wave, Op: "scan", Arg: ref[i].Clone(), Got: fmt.Sprintf("stopped after %d tuples", i), Want: fmt.Sprintf("%d tuples", len(ref))})
+	}
+	rng := rand.New(rand.NewSource(streamSeed(cfg.Seed, saltRead, wave, reader)))
+	for p := 0; p < cfg.Probes; p++ {
+		arg := probeArg(rng, arity, cfg.KeySpace)
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := snap.Contains(arg), m.contains(arg); got != want {
+				record(SnapshotViolation{Wave: wave, Op: "contains", Arg: arg, Got: fmt.Sprint(got), Want: fmt.Sprint(want)})
+			}
+		case 1:
+			checkSnapBound(wave, "lowerbound", snap.LowerBound(arg), arg, m, false, record)
+		default:
+			checkSnapBound(wave, "upperbound", snap.UpperBound(arg), arg, m, true, record)
+		}
+	}
+}
+
+func checkSnapBound(wave int, op string, c core.SnapCursor, arg tuple.Tuple, m *model, strict bool, record func(SnapshotViolation)) {
+	want, wantOK := m.bound(arg, strict)
+	if c.Valid() != wantOK {
+		record(SnapshotViolation{Wave: wave, Op: op, Arg: arg, Got: fmt.Sprintf("valid=%v", c.Valid()), Want: fmt.Sprintf("valid=%v", wantOK)})
+		return
+	}
+	if wantOK {
+		if got := c.Tuple(); tuple.Compare(got, want) != 0 {
+			record(SnapshotViolation{Wave: wave, Op: op, Arg: arg, Got: got.String(), Want: want.String()})
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package check
+
+import (
+	"testing"
+
+	"specbtree/internal/core"
+	"specbtree/internal/tuple"
+)
+
+// TestSnapshotDiff is the snapshot differential: per-wave epoch
+// snapshots checked exactly against the frozen pre-epoch reference set
+// while the next wave's writers mutate the live tree. Untagged, so the
+// lockinject flavour of make check-harness runs it with the optimistic
+// lock's fault-injection shim compiled in.
+func TestSnapshotDiff(t *testing.T) {
+	for _, arity := range []int{1, 2} {
+		arity := arity
+		t.Run("arity"+string(rune('0'+arity)), func(t *testing.T) {
+			t.Parallel()
+			rep := RunSnapshotDiff(arity, SnapshotConfig{Seed: 0x5a9 + int64(arity), Short: testing.Short()})
+			if rep.Failed() {
+				t.Errorf("snapshot differential failed:\n%s", rep.Summary())
+			}
+			if rep.FinalLen == 0 {
+				t.Errorf("suspicious run: final length 0")
+			}
+		})
+	}
+}
+
+// TestSnapshotDiffDeterministic pins replayability: the same seed must
+// produce the same outcome.
+func TestSnapshotDiffDeterministic(t *testing.T) {
+	cfg := SnapshotConfig{Seed: 99, Short: true}
+	a := RunSnapshotDiff(2, cfg)
+	b := RunSnapshotDiff(2, cfg)
+	if a.FinalLen != b.FinalLen || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("same seed, different outcome: %+v vs %+v", a, b)
+	}
+}
+
+// TestSnapshotDiffCatchesLeak proves the checker would notice a snapshot
+// leaking in-flight-epoch writes: checking a pre-epoch snapshot against
+// a reference that already includes a post-epoch tuple must record
+// violations (the exact failure a broken snapshot would produce with the
+// roles reversed).
+func TestSnapshotDiffCatchesLeak(t *testing.T) {
+	tree := core.New(2)
+	tree.Insert(tuple.Tuple{1, 1})
+	snap := tree.Snapshot()
+	tree.Insert(tuple.Tuple{2, 2}) // post-epoch; invisible to snap
+
+	m := newModel(2)
+	m.insert(tuple.Tuple{1, 1})
+	m.insert(tuple.Tuple{2, 2})
+	m.rebuild()
+
+	var got []SnapshotViolation
+	cfg := SnapshotConfig{Seed: 1, Short: true}.withDefaults()
+	checkSnapshot(0, 0, snap, m, cfg, 2, func(v SnapshotViolation) { got = append(got, v) })
+	if len(got) == 0 {
+		t.Fatal("checker accepted a snapshot missing a reference tuple")
+	}
+}

@@ -31,6 +31,23 @@ type node struct {
 	// kind after construction, so the flag is read without synchronisation.
 	inner bool
 
+	// epoch is the tree epoch the node was created in (Tree.epoch at
+	// construction time). Immutable after construction and published with
+	// the node through an atomic pointer store, so — like inner — it is
+	// read without further synchronisation. A node whose epoch is behind
+	// the tree's current epoch is *frozen*: it belongs to a published
+	// snapshot and must never be mutated again; writers copy-on-write it
+	// first (Tree.cow).
+	epoch uint64
+
+	// retired marks a frozen node that has been replaced by its
+	// current-epoch clone. A retired node keeps its content forever (a
+	// snapshot may still be reading it) but is no longer part of the live
+	// tree: hinted fast paths must treat it as a miss, and writers that
+	// reach it must restart their descent. Set under the node's write
+	// lock; read without one (an atomic flag, so late observers see it).
+	retired atomic.Bool
+
 	// parent and pos locate this node within its parent. Covered by the
 	// parent's lock (root lock for the root).
 	parent atomic.Pointer[node]

@@ -312,7 +312,10 @@ restart:
 // cannot be in a successor node). All under a validated read lease.
 func (t *Tree) boundFromHint(leaf *node, v tuple.Tuple, strict bool, oc *obs.OpCounts) (Cursor, bool) {
 	ls := leaf.lock.StartRead()
-	if leaf.inner {
+	// A retired leaf keeps validating (its version word never moves again)
+	// but its copy-on-write clone may hold newer elements, so a hinted
+	// answer from it could miss tuples — treat it as a hint miss.
+	if leaf.inner || leaf.retired.Load() {
 		return Cursor{}, false
 	}
 	cnt := int(leaf.count.Load())

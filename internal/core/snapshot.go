@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+
+	"specbtree/internal/tuple"
+)
+
+// This file implements epoch snapshots: immutable point-in-time views of
+// the tree (the MVCC-lite scheme of DESIGN.md §14). Taking a snapshot
+// captures the current root and advances the tree's epoch; every node
+// stamped with an older epoch is thereby frozen. Writers that reach a
+// frozen node copy-on-write its path (Tree.cow), so the subtree hanging
+// off the captured root never changes again — snapshot reads need no
+// leases, no validation and no restarts.
+//
+// One caveat shapes the cursor below: copy-on-write repoints the *parent*
+// pointers of a retired node's children to the clone (they are shared
+// between the old and the new path). A snapshot therefore must never
+// navigate via parent pointers — SnapCursor keeps an explicit root-to-
+// position stack instead, which is also why it is a distinct type from
+// the live tree's Cursor.
+
+// Snapshot is an immutable view of the tree's contents at the moment
+// Snapshot() was called. All methods are safe for concurrent use by any
+// number of goroutines, concurrently with writers mutating the live tree.
+// The zero Snapshot is an empty view.
+type Snapshot struct {
+	arity int
+	root  *node
+}
+
+// Snapshot captures the tree's current contents and advances the snapshot
+// epoch, freezing every existing node. Like Len, it must be called from a
+// quiescent point — no insert in flight — which the callers have by
+// construction: the relation layer snapshots during the read phase, and
+// the serve scheduler snapshots at epoch boundaries while the write gate
+// is closed. Reads may run concurrently with Snapshot without harm.
+//
+// Cost is O(1) at capture time; the price is paid lazily by the first
+// writer to touch each frozen path ("core.cow.clones" counts the clones).
+// A Snapshot holds its subtree live for the garbage collector; drop the
+// last reference to release the retired nodes.
+func (t *Tree) Snapshot() Snapshot {
+	root := t.root.Load()
+	t.epoch.Add(1)
+	return Snapshot{arity: t.arity, root: root}
+}
+
+// Arity returns the number of columns of the stored tuples.
+func (s Snapshot) Arity() int { return s.arity }
+
+// Empty reports whether the snapshot contains no elements.
+func (s Snapshot) Empty() bool {
+	return s.root == nil || s.root.count.Load() == 0
+}
+
+// Len counts the snapshot's elements by walking the frozen subtree.
+func (s Snapshot) Len() int { return countSubtree(s.root) }
+
+// Contains reports whether v is in the snapshot. The descent takes no
+// leases: frozen nodes are immutable, so every load is final.
+func (s Snapshot) Contains(v tuple.Tuple) bool {
+	if len(v) != s.arity {
+		panic(fmt.Sprintf("core: querying arity-%d tuple in arity-%d snapshot", len(v), s.arity))
+	}
+	n := s.root
+	for n != nil {
+		idx, found := n.search(s.arity, v)
+		if found {
+			return true
+		}
+		if !n.inner {
+			return false
+		}
+		n = n.child(idx)
+	}
+	return false
+}
+
+// LowerBound returns a cursor at the first element >= v, invalid if no
+// such element exists.
+func (s Snapshot) LowerBound(v tuple.Tuple) SnapCursor { return s.bound(v, false) }
+
+// UpperBound returns a cursor at the first element > v, invalid if no
+// such element exists.
+func (s Snapshot) UpperBound(v tuple.Tuple) SnapCursor { return s.bound(v, true) }
+
+func (s Snapshot) bound(v tuple.Tuple, strict bool) SnapCursor {
+	if len(v) != s.arity {
+		panic(fmt.Sprintf("core: querying arity-%d tuple in arity-%d snapshot", len(v), s.arity))
+	}
+	c := SnapCursor{arity: s.arity}
+	n := s.root
+	if n == nil {
+		return c
+	}
+	for {
+		idx := n.searchBound(s.arity, v, strict)
+		c.stack = append(c.stack, snapFrame{n: n, idx: idx})
+		if !n.inner {
+			break
+		}
+		n = n.child(idx)
+	}
+	// The leaf frame's idx is already the element index. If the leaf ran
+	// off its end, the answer is the separator of the first ancestor whose
+	// descent slot is not its rightmost: the frame's slot doubles as the
+	// element index of the first in-node element >= v (or > v).
+	top := len(c.stack) - 1
+	if c.stack[top].idx < int(c.stack[top].n.count.Load()) {
+		return c
+	}
+	for top--; top >= 0; top-- {
+		if c.stack[top].idx < int(c.stack[top].n.count.Load()) {
+			c.stack = c.stack[:top+1]
+			return c
+		}
+	}
+	c.stack = nil
+	return c
+}
+
+// Cursor returns a cursor at the snapshot's smallest element, invalid if
+// the snapshot is empty.
+func (s Snapshot) Cursor() SnapCursor {
+	c := SnapCursor{arity: s.arity}
+	n := s.root
+	if n == nil || n.count.Load() == 0 {
+		return c
+	}
+	for {
+		c.stack = append(c.stack, snapFrame{n: n})
+		if !n.inner {
+			return c
+		}
+		n = n.child(0)
+	}
+}
+
+// Scan iterates over all snapshot elements t with from <= t < to (nil
+// from means "from the start", nil to means "to the end"), invoking yield
+// with a reused buffer; returning false stops the iteration.
+func (s Snapshot) Scan(from, to tuple.Tuple, yield func(tuple.Tuple) bool) {
+	var c SnapCursor
+	if from == nil {
+		c = s.Cursor()
+	} else {
+		c = s.LowerBound(from)
+	}
+	buf := make(tuple.Tuple, s.arity)
+	for c.Within(to) {
+		c.CopyTo(buf)
+		if !yield(buf) {
+			return
+		}
+		c.Next()
+	}
+}
+
+// All iterates over every snapshot element in order with a reused buffer.
+func (s Snapshot) All(yield func(tuple.Tuple) bool) {
+	s.Scan(nil, nil, yield)
+}
+
+// snapFrame is one level of a SnapCursor's descent stack. For the top
+// frame, idx is the element index within n; for every frame below it, idx
+// is the child slot the descent took out of n.
+type snapFrame struct {
+	n   *node
+	idx int
+}
+
+// SnapCursor is an ordered position within a Snapshot. Unlike the live
+// tree's Cursor it never follows parent pointers (copy-on-write repoints
+// those on shared frozen nodes); it carries the full root-to-position
+// stack instead. The zero SnapCursor is the end position.
+type SnapCursor struct {
+	arity int
+	stack []snapFrame
+}
+
+// Valid reports whether the cursor designates an element (false at end).
+func (c *SnapCursor) Valid() bool { return len(c.stack) > 0 }
+
+// top returns the current frame; the cursor must be valid.
+func (c *SnapCursor) top() *snapFrame { return &c.stack[len(c.stack)-1] }
+
+// CopyTo copies the current element into dst, which must have the
+// snapshot's arity.
+func (c *SnapCursor) CopyTo(dst tuple.Tuple) {
+	f := c.top()
+	f.n.loadRow(f.idx, c.arity, dst)
+}
+
+// Tuple returns the current element as a fresh Tuple.
+func (c *SnapCursor) Tuple() tuple.Tuple {
+	dst := make(tuple.Tuple, c.arity)
+	c.CopyTo(dst)
+	return dst
+}
+
+// Compare three-way-compares the current element against v without
+// materialising it.
+func (c *SnapCursor) Compare(v tuple.Tuple) int {
+	f := c.top()
+	return f.n.cmpRow(f.idx, c.arity, v)
+}
+
+// Within reports whether the cursor is valid and its element precedes the
+// exclusive bound hi; a nil hi means "end of snapshot".
+func (c *SnapCursor) Within(hi tuple.Tuple) bool {
+	if len(c.stack) == 0 {
+		return false
+	}
+	return hi == nil || c.Compare(hi) < 0
+}
+
+// Next advances the cursor to the in-order successor, invalidating it at
+// the end of the snapshot.
+func (c *SnapCursor) Next() {
+	f := c.top()
+	if f.n.inner {
+		// Successor of an inner element: leftmost leaf of the subtree to
+		// its right. The frame's idx becomes the descent slot.
+		f.idx++
+		n := f.n.child(f.idx)
+		for {
+			c.stack = append(c.stack, snapFrame{n: n})
+			if !n.inner {
+				return
+			}
+			n = n.child(0)
+		}
+	}
+	if f.idx+1 < int(f.n.count.Load()) {
+		f.idx++
+		return
+	}
+	// Leaf exhausted: ascend to the first ancestor entered through a
+	// non-rightmost slot; its slot index is the successor element's index.
+	for top := len(c.stack) - 2; top >= 0; top-- {
+		if c.stack[top].idx < int(c.stack[top].n.count.Load()) {
+			c.stack = c.stack[:top+1]
+			return
+		}
+	}
+	c.stack = nil
+}
+
+// Seq iterates from the cursor position to the end of the snapshot,
+// invoking yield with a reused buffer; returning false from yield stops
+// the iteration. The buffer must not be retained across calls.
+func (c SnapCursor) Seq(yield func(tuple.Tuple) bool) {
+	if c.arity == 0 {
+		return
+	}
+	buf := make(tuple.Tuple, c.arity)
+	for c.Valid() {
+		c.CopyTo(buf)
+		if !yield(buf) {
+			return
+		}
+		c.Next()
+	}
+}

@@ -49,6 +49,11 @@ type Tree struct {
 	// the root node, per the paper's locking rules.
 	rootLock rootLockT
 	root     atomic.Pointer[node]
+
+	// epoch is the tree's current snapshot epoch. Snapshot advances it;
+	// nodes stamped with an older epoch are frozen (immutable, owned by
+	// the published snapshots) and are copied on first write (cow).
+	epoch atomic.Uint64
 }
 
 // rootLockT aliases the optimistic lock so Tree's field list reads like
@@ -86,17 +91,19 @@ func (t *Tree) Empty() bool {
 // read phase; the tree deliberately maintains no shared size counter,
 // which would serialise concurrent inserts on one cache line.
 func (t *Tree) Len() int {
-	return t.countNodes(t.root.Load())
+	return countSubtree(t.root.Load())
 }
 
-func (t *Tree) countNodes(n *node) int {
+// countSubtree counts the elements of the subtree rooted at n (shared by
+// Tree.Len and Snapshot.Len).
+func countSubtree(n *node) int {
 	if n == nil {
 		return 0
 	}
 	total := int(n.count.Load())
 	if n.inner {
 		for i := 0; i <= int(n.count.Load()); i++ {
-			total += t.countNodes(n.children[i].Load())
+			total += countSubtree(n.children[i].Load())
 		}
 	}
 	return total
@@ -105,12 +112,20 @@ func (t *Tree) countNodes(n *node) int {
 func (t *Tree) newNode(inner bool) *node {
 	n := &node{
 		inner: inner,
+		epoch: t.epoch.Load(),
 		keys:  make([]atomic.Uint64, t.capacity*t.arity),
 	}
 	if inner {
 		n.children = make([]atomic.Pointer[node], t.capacity+1)
 	}
 	return n
+}
+
+// frozen reports whether n predates the tree's current epoch and
+// therefore belongs to a published snapshot. Frozen nodes are immutable;
+// a writer reaching one must clone its path first (cow).
+func (t *Tree) frozen(n *node) bool {
+	return n.epoch < t.epoch.Load()
 }
 
 // valid counts and performs one lease validation: one
@@ -277,6 +292,23 @@ func (t *Tree) insertIntoLeaf(leaf *node, ls lease, idx int, v tuple.Tuple, h *H
 		return false, false
 	}
 	oc.Inc(obs.LockUpgradeSuccesses)
+	if leaf.retired.Load() {
+		// The leaf was cloned out of the live tree between our lease and
+		// the upgrade (a concurrent cow EndWrite left the lock free to
+		// acquire). Nothing was modified, so AbortWrite keeps outstanding
+		// leases valid; the restarted descent finds the clone.
+		leaf.lock.AbortWrite()
+		return false, false
+	}
+	if t.frozen(leaf) {
+		// First write of the epoch to reach this leaf: replace the frozen
+		// path with current-epoch clones, then restart the descent into
+		// the clone. EndWrite (not Abort) — cow retired the leaf, and the
+		// version bump invalidates every lease still pointing at it.
+		t.cow(leaf, oc)
+		leaf.lock.EndWrite()
+		return false, false
+	}
 	if leaf.full(t.arity) {
 		t.split(leaf, oc)
 		leaf.lock.EndWrite()
@@ -295,7 +327,10 @@ func (t *Tree) insertIntoLeaf(leaf *node, ls lease, idx int, v tuple.Tuple, h *H
 // inside this very node — and locates v's slot. All reads are atomic and
 // must be validated by the caller's lease.
 func (t *Tree) probeLeaf(leaf *node, v tuple.Tuple) (idx int, found, covered bool) {
-	if leaf.inner {
+	if leaf.inner || leaf.retired.Load() {
+		// A retired leaf's content is frozen at its retirement: its live
+		// clone may hold newer inserts, so answering from it would lose
+		// them. Treat stale hints into retired nodes as plain misses.
 		return 0, false, false
 	}
 	cnt := int(leaf.count.Load())
@@ -444,4 +479,131 @@ func (t *Tree) doSplit(n *node, oc *obs.OpCounts) {
 	// Insert the median and the new sibling into the (locked, non-full)
 	// parent, right of n's own slot.
 	parent.insertAt(int(n.pos.Load()), arity, median, sibling)
+}
+
+// cow replaces the frozen path from leaf up to the first non-frozen
+// ancestor with current-epoch clones, retiring the originals. The caller
+// holds leaf's write lock (and releases it with EndWrite afterwards);
+// cow write-locks the frozen ancestor chain bottom-up exactly like
+// split, so the two upward lock protocols compose without deadlock.
+//
+// The chain of frozen ancestors is contiguous by the epoch invariant:
+// a live non-frozen node's parent is non-frozen (clones are created
+// under non-frozen parents, and epoch advances freeze the whole tree at
+// once). The first non-frozen ancestor — or the root lock — is therefore
+// the install point, and everything above it is current-epoch structure
+// the published snapshots can no longer reach. Snapshots entered through
+// the frozen old root keep reading the retired originals, whose content
+// never changes again.
+func (t *Tree) cow(leaf *node, oc *obs.OpCounts) {
+	epoch := t.epoch.Load()
+
+	// Write-lock the frozen ancestors bottom-up (the split protocol:
+	// re-read the parent pointer until it is stable under the parent's
+	// own lock, with the root lock covering a nil parent). chain collects
+	// the frozen nodes to clone, bottom-up, leaf first; path collects
+	// every acquired lock for the top-down release, nil denoting the
+	// tree's root lock.
+	chain := []*node{leaf}
+	var path []*node
+	var top *node // first non-frozen ancestor; nil when the root lock is the install point
+	cur := leaf
+	parent := cur.parent.Load()
+	for level := int32(1); ; level++ {
+		if parent != nil {
+			for {
+				if spins, wait := parent.lock.StartWriteTimed(); spins > 0 {
+					obs.RecordContention(obs.SiteCowParent, level, spins, wait)
+				}
+				if parent == cur.parent.Load() {
+					break
+				}
+				// A concurrent cow of the old parent repointed cur to the
+				// parent's clone; chase the new pointer.
+				parent.lock.AbortWrite()
+				parent = cur.parent.Load()
+			}
+		} else {
+			if spins, wait := t.rootLock.StartWriteTimed(); spins > 0 {
+				obs.RecordContention(obs.SiteCowRoot, level, spins, wait)
+			}
+			if p := cur.parent.Load(); p != nil {
+				t.rootLock.AbortWrite()
+				parent = p
+				level--
+				continue
+			}
+		}
+		path = append(path, parent)
+		if parent == nil || parent.epoch >= epoch {
+			top = parent
+			break
+		}
+		chain = append(chain, parent)
+		cur = parent
+		parent = cur.parent.Load()
+	}
+
+	// Clone top-down. Cloning an inner node repoints all its children to
+	// the clone (covered by the original's lock, which we hold); the
+	// on-path child slot is then overwritten with the child's own clone.
+	// The whole new path becomes reachable only through the locked
+	// install point, so readers cannot observe it half-built.
+	var parentClone *node
+	for i := len(chain) - 1; i >= 0; i-- {
+		orig := chain[i]
+		cl := t.cloneNode(orig)
+		oc.Inc(obs.TreeCowClones)
+		orig.retired.Store(true)
+		pos := int(orig.pos.Load())
+		switch {
+		case i == len(chain)-1 && top == nil:
+			// orig was the root; the root lock (held) covers both the root
+			// pointer and the clone's nil parent.
+			t.root.Store(cl)
+		case i == len(chain)-1:
+			top.children[pos].Store(cl)
+			cl.parent.Store(top)
+			cl.pos.Store(int32(pos))
+		default:
+			parentClone.children[pos].Store(cl)
+			cl.parent.Store(parentClone)
+			cl.pos.Store(int32(pos))
+		}
+		parentClone = cl
+	}
+
+	// Unlock top-down. EndWrite throughout: every locked node was either
+	// mutated (the install point's child slot) or retired, and the
+	// version bump pushes lease holders off the old path.
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] != nil {
+			path[i].lock.EndWrite()
+		} else {
+			t.rootLock.EndWrite()
+		}
+	}
+}
+
+// cloneNode builds a current-epoch copy of n: same elements, same child
+// pointers, same position. The children's parent pointers are repointed
+// to the clone (covered by n's write lock, held by the caller). The
+// clone is unreachable until the caller installs it.
+func (t *Tree) cloneNode(n *node) *node {
+	cl := t.newNode(n.inner)
+	cnt := int(n.count.Load())
+	for w := 0; w < cnt*t.arity; w++ {
+		cl.keys[w].Store(n.keys[w].Load())
+	}
+	if n.inner {
+		for i := 0; i <= cnt; i++ {
+			c := n.children[i].Load()
+			cl.children[i].Store(c)
+			c.parent.Store(cl)
+		}
+	}
+	cl.count.Store(int32(cnt))
+	cl.parent.Store(n.parent.Load())
+	cl.pos.Store(n.pos.Load())
+	return cl
 }

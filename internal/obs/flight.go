@@ -42,6 +42,13 @@ const (
 	// SiteSplitRoot is a contended acquisition of the tree's root lock
 	// during a split reaching the root ("insert.split_root").
 	SiteSplitRoot
+	// SiteCowParent is a contended blocking write-lock acquisition of an
+	// ancestor node while copy-on-writing a frozen path after a snapshot
+	// ("insert.cow_parent").
+	SiteCowParent
+	// SiteCowRoot is a contended acquisition of the tree's root lock
+	// while a copy-on-write chain reaches the root ("insert.cow_root").
+	SiteCowRoot
 
 	// NumContentionSites is the number of registered sites; valid
 	// ContentionSite values are [0, NumContentionSites).
@@ -54,6 +61,8 @@ var contentionSiteNames = [NumContentionSites]string{
 	SiteLeafUpgrade: "insert.leaf_upgrade",
 	SiteSplitParent: "insert.split_parent",
 	SiteSplitRoot:   "insert.split_root",
+	SiteCowParent:   "insert.cow_parent",
+	SiteCowRoot:     "insert.cow_root",
 }
 
 // Name returns the site's stable published name, used in the flight

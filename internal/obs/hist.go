@@ -93,6 +93,12 @@ const (
 	// datalog.iter.rows per scan to judge how much filtering moved from
 	// post-scan checks into the tree ("hist.datalog.pushdown.selectivity").
 	HistPushdownSelectivity
+	// HistServeGateBypassNanos records the server-side duration of each
+	// read frame the phase gate routed to the last-epoch snapshot instead
+	// of blocking ("hist.serve.gate.bypass.ns"). Control-plane recorded
+	// (direct Observe) on the bypass path only; compare against
+	// hist.serve.read.ns to see what the bypass saved.
+	HistServeGateBypassNanos
 
 	// NumHistograms is the number of registered histograms; valid
 	// Histogram values are [0, NumHistograms).
@@ -127,6 +133,7 @@ var histogramNames = [NumHistograms]string{
 	HistServeEpochNanos:      "hist.serve.epoch.ns",
 	HistServeQueueDepth:      "hist.serve.queue.depth",
 	HistPushdownSelectivity:  "hist.datalog.pushdown.selectivity",
+	HistServeGateBypassNanos: "hist.serve.gate.bypass.ns",
 }
 
 // histogramUnits maps every Histogram to the unit of its recorded values.
@@ -146,6 +153,7 @@ var histogramUnits = [NumHistograms]string{
 	HistServeEpochNanos:      "ns",
 	HistServeQueueDepth:      "batches",
 	HistPushdownSelectivity:  "rows",
+	HistServeGateBypassNanos: "ns",
 }
 
 // Name returns the histogram's stable published name, the key used in

@@ -65,11 +65,14 @@ import (
 // SchemaVersion identifies the JSON metrics contract emitted by Take and
 // by the -metrics flag of every command. v2 extended v1 append-only with
 // the "histograms" section (log2-bucketed latency and count
-// distributions, hist.go); v3 extends v2 append-only with the streaming
+// distributions, hist.go); v3 extended v2 append-only with the streaming
 // query-execution names (datalog.plan.*, datalog.iter.* and the pushdown
-// selectivity histogram, DESIGN.md §12). Counter and histogram names
-// under this version are append-only stable (see the package comment).
-const SchemaVersion = "specbtree.metrics.v3"
+// selectivity histogram, DESIGN.md §12); v4 extends v3 append-only with
+// the epoch-snapshot names (core.cow.clones, serve.snapshot.reads, the
+// gate-bypass histogram and the cow contention sites, DESIGN.md §14).
+// Counter and histogram names under this version are append-only stable
+// (see the package comment).
+const SchemaVersion = "specbtree.metrics.v4"
 
 // Counter identifies one global event counter. The constants below are
 // the complete registry; Name returns the stable string form. Counter
@@ -217,6 +220,14 @@ const (
 	// pushed-down) suffix checks and comparison filters inside streaming
 	// scan stages ("datalog.iter.residual_rows").
 	EngineIterResidualRows
+	// TreeCowClones counts nodes cloned by the copy-on-write path when a
+	// writer first touches a frozen (pre-snapshot-epoch) node
+	// ("core.cow.clones").
+	TreeCowClones
+	// ServeSnapshotReads counts read frames the relation server answered
+	// from the last-epoch snapshot because a write epoch held the phase
+	// gate closed ("serve.snapshot.reads").
+	ServeSnapshotReads
 
 	// NumCounters is the number of registered counters; valid Counter
 	// values are [0, NumCounters).
@@ -268,6 +279,9 @@ var counterNames = [NumCounters]string{
 	EngineIterRows:               "datalog.iter.rows",
 	EngineIterPushdownScans:      "datalog.iter.pushdown_scans",
 	EngineIterResidualRows:       "datalog.iter.residual_rows",
+
+	TreeCowClones:      "core.cow.clones",
+	ServeSnapshotReads: "serve.snapshot.reads",
 }
 
 // Name returns the counter's stable published name, the key used in the

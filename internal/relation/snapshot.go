@@ -1,0 +1,154 @@
+package relation
+
+import (
+	"sort"
+
+	"specbtree/internal/core"
+	"specbtree/internal/tuple"
+)
+
+// Snapshot is an immutable point-in-time view of a relation's contents.
+// All methods are safe for concurrent use by any number of goroutines,
+// concurrently with writers mutating the live relation the snapshot was
+// taken from. Ordered methods (bounds, Scan) follow lexicographic tuple
+// order regardless of the backend's native storage order.
+type Snapshot interface {
+	// Arity returns the tuple width.
+	Arity() int
+	// Len returns the number of tuples in the snapshot.
+	Len() int
+	// Contains reports membership in the snapshot.
+	Contains(t tuple.Tuple) bool
+	// LowerBound returns the smallest tuple >= t, or ok=false.
+	LowerBound(t tuple.Tuple) (tuple.Tuple, bool)
+	// UpperBound returns the smallest tuple > t, or ok=false.
+	UpperBound(t tuple.Tuple) (tuple.Tuple, bool)
+	// Scan iterates in lexicographic order over all tuples x with
+	// from <= x < to (nil from means "from the start", nil to "to the
+	// end"), yielding a transient buffer — clone to retain.
+	Scan(from, to tuple.Tuple, yield func(t tuple.Tuple) bool)
+}
+
+// Snapshotter is implemented by relations that can capture a consistent
+// snapshot natively — for the core B-tree an O(1) epoch capture
+// (core.Tree.Snapshot, DESIGN.md §14). Snapshot must be called from a
+// quiescent point: no mutation in flight, matching the Len contract.
+type Snapshotter interface {
+	Snapshot() Snapshot
+}
+
+// SnapshotOf captures a snapshot of r: natively when the backend
+// implements Snapshotter, otherwise by materialising a sorted copy of
+// the current contents (O(n log n) and a full copy — fine for the
+// baseline backends it exists to serve). Like Snapshotter.Snapshot it
+// must be called from a quiescent point.
+func SnapshotOf(r Relation) Snapshot {
+	if s, ok := r.(Snapshotter); ok {
+		return s.Snapshot()
+	}
+	arity := r.Arity()
+	rows := make([]tuple.Tuple, 0, r.Len())
+	r.Scan(func(t tuple.Tuple) bool {
+		rows = append(rows, t.Clone())
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return tuple.Less(rows[i], rows[j]) })
+	return &sortedSnapshot{arity: arity, rows: rows}
+}
+
+// Snapshot implements Snapshotter on the core tree backend: an O(1)
+// epoch capture whose cost is paid lazily by the first writer to touch
+// each frozen path.
+func (r *btreeRel) Snapshot() Snapshot {
+	return coreSnapshot{s: r.t.Snapshot()}
+}
+
+// coreSnapshot adapts core.Snapshot's cursor-shaped surface to the
+// tuple-shaped Snapshot interface.
+type coreSnapshot struct {
+	s core.Snapshot
+}
+
+func (c coreSnapshot) Arity() int                  { return c.s.Arity() }
+func (c coreSnapshot) Len() int                    { return c.s.Len() }
+func (c coreSnapshot) Contains(t tuple.Tuple) bool { return c.s.Contains(t) }
+
+func (c coreSnapshot) LowerBound(t tuple.Tuple) (tuple.Tuple, bool) {
+	cur := c.s.LowerBound(t)
+	if !cur.Valid() {
+		return nil, false
+	}
+	return cur.Tuple(), true
+}
+
+func (c coreSnapshot) UpperBound(t tuple.Tuple) (tuple.Tuple, bool) {
+	cur := c.s.UpperBound(t)
+	if !cur.Valid() {
+		return nil, false
+	}
+	return cur.Tuple(), true
+}
+
+func (c coreSnapshot) Scan(from, to tuple.Tuple, yield func(t tuple.Tuple) bool) {
+	c.s.Scan(from, to, yield)
+}
+
+// sortedSnapshot is the materializing fallback: a sorted copy answering
+// by binary search.
+type sortedSnapshot struct {
+	arity int
+	rows  []tuple.Tuple
+}
+
+func (s *sortedSnapshot) Arity() int { return s.arity }
+func (s *sortedSnapshot) Len() int   { return len(s.rows) }
+
+// search returns the index of the first row >= t (strict=false) or > t
+// (strict=true).
+func (s *sortedSnapshot) search(t tuple.Tuple, strict bool) int {
+	return sort.Search(len(s.rows), func(i int) bool {
+		c := tuple.Compare(s.rows[i], t)
+		if strict {
+			return c > 0
+		}
+		return c >= 0
+	})
+}
+
+func (s *sortedSnapshot) Contains(t tuple.Tuple) bool {
+	i := s.search(t, false)
+	return i < len(s.rows) && tuple.Equal(s.rows[i], t)
+}
+
+func (s *sortedSnapshot) LowerBound(t tuple.Tuple) (tuple.Tuple, bool) {
+	i := s.search(t, false)
+	if i >= len(s.rows) {
+		return nil, false
+	}
+	return s.rows[i].Clone(), true
+}
+
+func (s *sortedSnapshot) UpperBound(t tuple.Tuple) (tuple.Tuple, bool) {
+	i := s.search(t, true)
+	if i >= len(s.rows) {
+		return nil, false
+	}
+	return s.rows[i].Clone(), true
+}
+
+func (s *sortedSnapshot) Scan(from, to tuple.Tuple, yield func(t tuple.Tuple) bool) {
+	i := 0
+	if from != nil {
+		i = s.search(from, false)
+	}
+	buf := make(tuple.Tuple, s.arity)
+	for ; i < len(s.rows); i++ {
+		if to != nil && tuple.Compare(s.rows[i], to) >= 0 {
+			return
+		}
+		copy(buf, s.rows[i])
+		if !yield(buf) {
+			return
+		}
+	}
+}

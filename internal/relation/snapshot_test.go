@@ -1,0 +1,143 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"specbtree/internal/tuple"
+)
+
+// TestSnapshotAllProviders is a differential sweep over every provider:
+// a snapshot taken between two insert waves must see exactly the first
+// wave — in sorted order, through every Snapshot method — whether the
+// backend snapshots natively (the core tree's epoch capture) or through
+// the materializing fallback.
+func TestSnapshotAllProviders(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	wave := func(n int) []tuple.Tuple {
+		out := make([]tuple.Tuple, n)
+		for i := range out {
+			out[i] = tuple.Tuple{uint64(rng.Intn(120)), uint64(rng.Intn(120))}
+		}
+		return out
+	}
+	before, after := wave(600), wave(600)
+
+	model := map[[2]uint64]bool{}
+	for _, tp := range before {
+		model[[2]uint64{tp[0], tp[1]}] = true
+	}
+	var ref []tuple.Tuple
+	for k := range model {
+		ref = append(ref, tuple.Tuple{k[0], k[1]})
+	}
+	sort.Slice(ref, func(i, j int) bool { return tuple.Less(ref[i], ref[j]) })
+
+	for _, name := range Names() {
+		p := MustLookup(name)
+		r := p.New(2)
+		ops := r.NewOps()
+		for _, tp := range before {
+			ops.Insert(tp)
+		}
+
+		s := SnapshotOf(r)
+
+		for _, tp := range after {
+			ops.Insert(tp)
+		}
+
+		if s.Arity() != 2 {
+			t.Fatalf("%s: snapshot arity = %d", name, s.Arity())
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("%s: snapshot Len = %d, want %d", name, s.Len(), len(ref))
+		}
+		// Full ordered scan matches the frozen sorted reference exactly.
+		var got []tuple.Tuple
+		s.Scan(nil, nil, func(tp tuple.Tuple) bool {
+			got = append(got, tp.Clone())
+			return true
+		})
+		if len(got) != len(ref) {
+			t.Fatalf("%s: scan yielded %d tuples, want %d", name, len(got), len(ref))
+		}
+		for i := range got {
+			if !tuple.Equal(got[i], ref[i]) {
+				t.Fatalf("%s: scan[%d] = %v, want %v", name, i, got[i], ref[i])
+			}
+		}
+		// Membership: everything pre-epoch in, nothing post-epoch leaked.
+		for _, tp := range ref {
+			if !s.Contains(tp) {
+				t.Fatalf("%s: snapshot lost %v", name, tp)
+			}
+		}
+		for _, tp := range after {
+			if !model[[2]uint64{tp[0], tp[1]}] && s.Contains(tp) {
+				t.Fatalf("%s: snapshot sees post-epoch tuple %v", name, tp)
+			}
+		}
+		// Bounds against the sorted reference.
+		for probe := 0; probe < 50; probe++ {
+			v := tuple.Tuple{uint64(rng.Intn(130)), uint64(rng.Intn(130))}
+			wantIdx := sort.Search(len(ref), func(i int) bool { return tuple.Compare(ref[i], v) >= 0 })
+			gotT, ok := s.LowerBound(v)
+			if ok != (wantIdx < len(ref)) {
+				t.Fatalf("%s: LowerBound(%v) ok=%v, want %v", name, v, ok, wantIdx < len(ref))
+			}
+			if ok && !tuple.Equal(gotT, ref[wantIdx]) {
+				t.Fatalf("%s: LowerBound(%v) = %v, want %v", name, v, gotT, ref[wantIdx])
+			}
+			wantIdx = sort.Search(len(ref), func(i int) bool { return tuple.Compare(ref[i], v) > 0 })
+			gotT, ok = s.UpperBound(v)
+			if ok != (wantIdx < len(ref)) {
+				t.Fatalf("%s: UpperBound(%v) ok=%v, want %v", name, v, ok, wantIdx < len(ref))
+			}
+			if ok && !tuple.Equal(gotT, ref[wantIdx]) {
+				t.Fatalf("%s: UpperBound(%v) = %v, want %v", name, v, gotT, ref[wantIdx])
+			}
+		}
+		// Windowed scan with both bounds.
+		lo, hi := tuple.Tuple{30, 0}, tuple.Tuple{80, 0}
+		var window []tuple.Tuple
+		s.Scan(lo, hi, func(tp tuple.Tuple) bool {
+			window = append(window, tp.Clone())
+			return true
+		})
+		var wantWindow []tuple.Tuple
+		for _, tp := range ref {
+			if tuple.Compare(tp, lo) >= 0 && tuple.Compare(tp, hi) < 0 {
+				wantWindow = append(wantWindow, tp)
+			}
+		}
+		if len(window) != len(wantWindow) {
+			t.Fatalf("%s: window scan yielded %d tuples, want %d", name, len(window), len(wantWindow))
+		}
+		for i := range window {
+			if !tuple.Equal(window[i], wantWindow[i]) {
+				t.Fatalf("%s: window[%d] = %v, want %v", name, i, window[i], wantWindow[i])
+			}
+		}
+		// Early-stop contract.
+		n := 0
+		s.Scan(nil, nil, func(tuple.Tuple) bool { n++; return n < 5 })
+		if n != 5 {
+			t.Fatalf("%s: scan ignored yield=false (n=%d)", name, n)
+		}
+	}
+}
+
+// TestSnapshotNativeCore asserts the core provider takes the native
+// (Snapshotter) path rather than the materializing fallback.
+func TestSnapshotNativeCore(t *testing.T) {
+	r := MustLookup("btree").New(2)
+	if _, ok := r.(Snapshotter); !ok {
+		t.Fatal("btree relation does not implement Snapshotter")
+	}
+	s := SnapshotOf(r)
+	if _, ok := s.(coreSnapshot); !ok {
+		t.Fatalf("SnapshotOf(btree) = %T, want coreSnapshot", s)
+	}
+}

@@ -175,6 +175,10 @@ func (c *Client) connectLocked() error {
 		return fmt.Errorf("serve: hello refused with status %d", status)
 	}
 	arity := int(r.u16())
+	if arity == 0 {
+		conn.Close()
+		return fmt.Errorf("%w: hello advertises arity 0", errProtocol)
+	}
 	negotiated := byte(protocolV1)
 	if r.off < len(r.b) {
 		negotiated = r.u8()
@@ -474,6 +478,11 @@ func (c *Client) Len() (int, error) {
 // are open), at most limit of them (0 = the server's cap). truncated
 // reports that the server cut the result off; ScanAll paginates instead.
 func (c *Client) Scan(lo, hi tuple.Tuple, limit int) (ts []tuple.Tuple, truncated bool, err error) {
+	// Reject before encoding: the wire carries limit as u32, so a
+	// negative value would wrap into a huge positive cap.
+	if limit < 0 {
+		return nil, false, fmt.Errorf("serve: negative scan limit %d", limit)
+	}
 	return c.scan(lo, hi, false, limit)
 }
 
@@ -518,7 +527,11 @@ func (c *Client) scan(lo, hi tuple.Tuple, loStrict bool, limit int) ([]tuple.Tup
 		return nil, false, err
 	}
 	n := int(r.u32())
-	if n < 0 || r.off+8*c.arity*n > len(r.b) {
+	// Compare against the remaining bytes by division: the product form
+	// (r.off + 8*arity*n > len) overflows int on 32-bit platforms for a
+	// hostile count, wrapping negative and slipping past the check.
+	rem := len(r.b) - r.off
+	if n < 0 || c.arity <= 0 || n > rem/(8*c.arity) {
 		return nil, false, fmt.Errorf("%w: scan result overruns payload", errProtocol)
 	}
 	out := make([]tuple.Tuple, 0, n)
@@ -549,6 +562,12 @@ func (c *Client) ScanAll(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) error
 		}
 		if !truncated {
 			return nil
+		}
+		// A truncated page must carry at least one tuple to resume after;
+		// an empty one means the server can make no progress claim, and
+		// trusting it would loop forever (and indexing it would panic).
+		if len(page) == 0 {
+			return fmt.Errorf("%w: truncated scan page carries no tuples", errProtocol)
 		}
 		cur, strict = page[len(page)-1], true
 	}

@@ -222,3 +222,118 @@ func TestClientClosedErrors(t *testing.T) {
 		t.Fatalf("Insert after Close = %v, want ErrClosed", err)
 	}
 }
+
+// scanResponder answers the handshake and then every request frame with
+// the same scripted scan response body.
+func scanResponder(t *testing.T, body func(w *wbuf)) *fakeServer {
+	t.Helper()
+	return startFake(t, func(i int, nc net.Conn) {
+		defer nc.Close()
+		if !fakeHello(t, nc) {
+			return
+		}
+		for {
+			_, _, id, _, _, err := readFrame(nc)
+			if err != nil {
+				return
+			}
+			w := &wbuf{}
+			body(w)
+			if writeFrame(nc, protocolV1, kindResponse, id, 0, w.b) != nil {
+				return
+			}
+		}
+	})
+}
+
+// TestClientScanAllEmptyTruncatedPage: a malicious or buggy server
+// claiming "truncated" on a page with zero tuples gives ScanAll nothing
+// to resume after. The pre-fix client indexed page[len(page)-1] and
+// panicked; it must surface a protocol error instead (and must not spin
+// re-issuing the same scan forever).
+func TestClientScanAllEmptyTruncatedPage(t *testing.T) {
+	fake := scanResponder(t, func(w *wbuf) {
+		w.u8(statusOK)
+		w.u32(0)     // zero tuples...
+		w.bool(true) // ...yet truncated
+	})
+	c, err := Dial(fake.addr(), ClientOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	err = c.ScanAll(nil, nil, func(tuple.Tuple) bool { return true })
+	if !errors.Is(err, errProtocol) {
+		t.Fatalf("ScanAll on empty truncated page = %v, want errProtocol", err)
+	}
+}
+
+// TestClientScanHostileCount: a scan response claiming 2^29 tuples in a
+// near-empty payload must be rejected by the bounds check. The pre-fix
+// product form (off + 8*arity*count) wraps negative on 32-bit ints for
+// this count (8*2*2^29 = 2^33), slipping past the check and sending the
+// decode loop chasing half a billion phantom tuples; the division form
+// rejects it on every platform.
+func TestClientScanHostileCount(t *testing.T) {
+	fake := scanResponder(t, func(w *wbuf) {
+		w.u8(statusOK)
+		w.u32(1 << 29)
+		w.bool(false)
+	})
+	c, err := Dial(fake.addr(), ClientOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, _, err := c.Scan(nil, nil, 0); !errors.Is(err, errProtocol) {
+		t.Fatalf("Scan with hostile count = %v, want errProtocol", err)
+	}
+}
+
+// TestClientScanNegativeLimit: limit travels as u32, so -1 would reach
+// the server as 4294967295. The client must refuse it locally — the
+// server never sees a request.
+func TestClientScanNegativeLimit(t *testing.T) {
+	requests := make(chan struct{}, 8)
+	fake := startFake(t, func(i int, nc net.Conn) {
+		defer nc.Close()
+		if !fakeHello(t, nc) {
+			return
+		}
+		if _, _, _, _, _, err := readFrame(nc); err == nil {
+			requests <- struct{}{}
+		}
+	})
+	c, err := Dial(fake.addr(), ClientOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, _, err := c.Scan(nil, nil, -1); err == nil {
+		t.Fatal("Scan(limit=-1) succeeded, want local rejection")
+	}
+	if len(requests) != 0 {
+		t.Fatalf("server saw %d requests for a rejected scan, want 0", len(requests))
+	}
+}
+
+// TestClientRejectsZeroArityHello: a hello advertising arity 0 must fail
+// the dial. The pre-fix client accepted it, poisoning every later scan
+// bounds computation (division by 8*arity) and tuple decode.
+func TestClientRejectsZeroArityHello(t *testing.T) {
+	fake := startFake(t, func(i int, nc net.Conn) {
+		defer nc.Close()
+		_, kind, id, _, _, err := readFrame(nc)
+		if err != nil || kind != kindHello {
+			return
+		}
+		w := &wbuf{}
+		w.u8(statusOK)
+		w.u16(0)
+		writeFrame(nc, protocolV1, kindHello, id, 0, w.b)
+		readFrame(nc)
+	})
+	if _, err := Dial(fake.addr(), ClientOptions{Timeout: 2 * time.Second}); !errors.Is(err, errProtocol) {
+		t.Fatalf("Dial against arity-0 hello = %v, want errProtocol", err)
+	}
+}

@@ -14,12 +14,19 @@ import (
 // open-world network traffic back into the paper's phase-concurrency
 // discipline. The rules, in order of authority:
 //
-//  1. A write epoch never overlaps a read. The epoch goroutine closes
-//     the read gate (epochPending), waits for active readers to drain to
-//     zero, executes every admitted batch single-handedly, and reopens
-//     the gate. Readers blocked at the gate are admitted together when
-//     it reopens — between epochs, reads run fully concurrently on the
-//     tree's optimistic read path.
+//  1. A write epoch never overlaps a read *of the live tree*. The epoch
+//     goroutine closes the read gate (epochPending), waits for active
+//     readers to drain to zero, executes every admitted batch
+//     single-handedly, and reopens the gate. Between epochs, reads run
+//     fully concurrently on the tree's optimistic read path.
+//     Readers arriving while the gate is closed are not blocked: they
+//     are routed to the last-epoch snapshot (core.Tree.Snapshot,
+//     DESIGN.md §14), which is immutable and safe to read while the
+//     epoch writes — the MVCC-lite bypass. Snapshot readers are
+//     uncounted by design: they never touch current-epoch state, so the
+//     counted no-overlap invariant below concerns live readers only.
+//     Options.DisableSnapshotReads restores the blocking gate (the
+//     pre-snapshot baseline, kept for comparison benchmarks).
 //  2. Writes are admitted through a bounded queue. A full queue is
 //     backpressure, not blocking: submit fails fast and the server
 //     answers RETRY, pushing the wait onto the client where it cannot
@@ -60,10 +67,40 @@ type writeResult struct {
 	fresh int
 }
 
+// readMode classifies a beginRead admission.
+type readMode uint8
+
+const (
+	// readRefused: the scheduler is draining; answer ErrShutdown.
+	readRefused readMode = iota
+	// readLive: the reader was admitted to the live tree between epochs
+	// and must call endRead when done.
+	readLive
+	// readSnapshot: a write epoch holds the gate closed; the reader was
+	// handed the last-epoch snapshot instead and must NOT call endRead
+	// (snapshot readers are uncounted — they never touch the live tree).
+	readSnapshot
+)
+
 // scheduler implements the epoch-batched phase admission for one tree.
 type scheduler struct {
 	tree  *core.Tree
 	arity int
+
+	// snapshots enables the gate-bypass path: gated readers get the
+	// last-epoch snapshot instead of blocking. Disabled, the scheduler
+	// behaves exactly like the pre-snapshot blocking gate.
+	snapshots bool
+	// snap is the last-epoch snapshot. Refreshing it is demand-driven:
+	// the epoch goroutine recaptures at an epoch boundary (a quiescent
+	// point by construction — the gate is closed and live readers have
+	// drained) only while bypass traffic is consuming snapshots, because
+	// each capture freezes the whole tree and taxes every later insert
+	// with a copy-on-write clone per first-touched node (DESIGN.md §14).
+	// With no demand the boundary marks the snapshot stale instead, and
+	// a write-only stream pays nothing. Handout happens under mu so
+	// drain can fence it (see beginRead).
+	snap atomic.Pointer[core.Snapshot]
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -74,6 +111,14 @@ type scheduler struct {
 	// been applied.
 	epochPending bool
 	draining     bool
+	// snapStale marks the stored snapshot as missing acknowledged epochs:
+	// handing it out would break read-your-writes, so a gated reader
+	// blocks instead (and sets snapDemand). snapUsed records a handout
+	// since the last refresh decision; either signal makes the next epoch
+	// boundary refresh.
+	snapStale  bool
+	snapUsed   bool
+	snapDemand bool
 
 	queue  chan *writeBatch
 	stopCh chan struct{}
@@ -87,23 +132,32 @@ type scheduler struct {
 
 	// Local counters mirroring the obs registry so Stats (and the
 	// harness's invariant assertion) work under the obsoff build tag too.
-	epochs     atomic.Uint64
-	readOps    atomic.Uint64
-	writeOps   atomic.Uint64
-	retries    atomic.Uint64
-	violations atomic.Uint64
+	epochs        atomic.Uint64
+	readOps       atomic.Uint64
+	writeOps      atomic.Uint64
+	retries       atomic.Uint64
+	violations    atomic.Uint64
+	snapshotReads atomic.Uint64
 
 	hints *core.Hints // epoch executor's insert hints; owned by run()
 }
 
-func newScheduler(tree *core.Tree, queueCap int) *scheduler {
+// newScheduler builds and starts the scheduler. snapshots enables the
+// gate-bypass path; the construction point is quiescent, so the initial
+// snapshot (of the possibly pre-loaded tree) is taken right here.
+func newScheduler(tree *core.Tree, queueCap int, snapshots bool) *scheduler {
 	s := &scheduler{
-		tree:   tree,
-		arity:  tree.Arity(),
-		queue:  make(chan *writeBatch, queueCap),
-		stopCh: make(chan struct{}),
-		doneCh: make(chan struct{}),
-		hints:  core.NewHints(),
+		tree:      tree,
+		arity:     tree.Arity(),
+		snapshots: snapshots,
+		queue:     make(chan *writeBatch, queueCap),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		hints:     core.NewHints(),
+	}
+	if snapshots {
+		sp := tree.Snapshot()
+		s.snap.Store(&sp)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.run()
@@ -116,13 +170,37 @@ func (s *scheduler) violation() {
 	obs.Inc(obs.ServePhaseViolations)
 }
 
-// beginRead admits one reader, blocking while a write epoch is pending
-// or running. ok is false when the scheduler is draining and the read
-// must be refused; blocked reports whether the gate actually made the
-// caller wait (feeding the serve.phase.wait span — an unblocked
-// admission records nothing).
-func (s *scheduler) beginRead() (ok, blocked bool) {
+// beginRead admits one reader. With the gate open it admits to the live
+// tree (mode readLive; the caller must endRead). With a write epoch
+// pending it hands out the last-epoch snapshot instead of blocking
+// (mode readSnapshot; snap is non-nil, no endRead) — unless snapshots
+// are disabled, in which case it blocks at the gate like the original
+// scheduler. mode readRefused means the scheduler is draining and the
+// read must be refused. blocked reports whether the gate actually made
+// the caller wait (feeding the serve.phase.wait span — an unblocked
+// admission records nothing; a snapshot bypass never blocks).
+//
+// Snapshot handout is fenced behind draining *under mu*: drain sets
+// draining under the same mutex before executing the final epochs, so a
+// reader that passed the fence holds a snapshot from before drain began
+// and a reader arriving after it is refused — it can never be handed a
+// view of a tree the server has logically closed.
+func (s *scheduler) beginRead() (mode readMode, snap *core.Snapshot, blocked bool) {
 	s.mu.Lock()
+	if s.epochPending && !s.draining && s.snapshots {
+		if sp := s.snap.Load(); sp != nil && !s.snapStale {
+			s.snapUsed = true
+			s.mu.Unlock()
+			s.snapshotReads.Add(1)
+			obs.Inc(obs.ServeSnapshotReads)
+			return readSnapshot, sp, false
+		}
+		// The snapshot lapsed while bypass demand was idle (it misses
+		// acknowledged epochs, so handing it out would break
+		// read-your-writes). Block this reader like the baseline gate and
+		// signal the epoch goroutine to resume refreshing.
+		s.snapDemand = true
+	}
 	for s.epochPending && !s.draining {
 		blocked = true
 		s.cond.Wait()
@@ -131,20 +209,21 @@ func (s *scheduler) beginRead() (ok, blocked bool) {
 		// Drain has priority over late readers; refuse rather than race
 		// the final epochs.
 		s.mu.Unlock()
-		return false, blocked
+		return readRefused, nil, blocked
 	}
 	s.readers++
 	s.mu.Unlock()
 	s.atomicReaders.Add(1)
 	// Cross-check rule 1 from the reader's side: no epoch may be
-	// executing while this reader is admitted.
+	// executing while this live reader is admitted.
 	if s.epochActive.Load() {
 		s.violation()
 	}
-	return true, blocked
+	return readLive, nil, blocked
 }
 
-// endRead retires one reader, waking a drain-waiting epoch when the last
+// endRead retires one live reader (readLive admissions only — snapshot
+// readers are uncounted), waking a drain-waiting epoch when the last
 // reader leaves.
 func (s *scheduler) endRead() {
 	s.atomicReaders.Add(-1)
@@ -243,7 +322,8 @@ func (s *scheduler) runEpoch(batches []*writeBatch) {
 
 	start := obs.Clock()
 	s.epochActive.Store(true)
-	for _, b := range batches {
+	results := make([]writeResult, len(batches))
+	for bi, b := range batches {
 		// Cross-check rule 1 from the writer's side, per batch: no
 		// reader may be active while the epoch executes.
 		if s.atomicReaders.Load() != 0 {
@@ -260,11 +340,46 @@ func (s *scheduler) runEpoch(batches []*writeBatch) {
 		obs.Add(obs.ServeWriteOps, uint64(len(b.tuples)))
 		obs.Inc(obs.ServeWriteBatches)
 		s.writeOps.Add(uint64(len(b.tuples)))
-		// done is buffered; a departed connection cannot block the epoch.
-		b.done <- writeResult{fresh: fresh}
+		results[bi] = writeResult{fresh: fresh}
 	}
 	s.hints.FlushObs()
 	s.epochActive.Store(false)
+
+	// Epoch-boundary snapshot decision, before the gate reopens: the gate
+	// is still closed and live readers are drained, so this is a
+	// quiescent point by construction. Refresh only on demand — a
+	// handout since the last refresh, a gated reader that found the
+	// snapshot stale, or the very first epoch (so the bypass is warm for
+	// tests and freshly started servers). Each refresh freezes the whole
+	// tree (every later insert copy-on-writes its first touch of a
+	// frozen node), so an idle bypass must not pay it per epoch: with no
+	// demand the snapshot is marked stale instead, and the next gated
+	// reader blocks once to re-arm the refreshes.
+	if s.snapshots {
+		s.mu.Lock()
+		refresh := s.snapUsed || s.snapDemand || s.epochs.Load() == 0
+		s.mu.Unlock()
+		if refresh {
+			sp := s.tree.Snapshot()
+			s.snap.Store(&sp)
+		}
+		s.mu.Lock()
+		if refresh {
+			s.snapStale, s.snapUsed, s.snapDemand = false, false, false
+		} else {
+			s.snapStale = true
+		}
+		s.mu.Unlock()
+	}
+
+	// Deliver the acknowledgements only after the snapshot refresh:
+	// otherwise a client could see its insert ACKed and immediately issue
+	// a read that the still-closed gate routes to the pre-epoch snapshot,
+	// losing read-your-writes. done is buffered; a departed connection
+	// cannot block the epoch.
+	for bi, b := range batches {
+		b.done <- results[bi]
+	}
 
 	s.mu.Lock()
 	s.epochPending = false

@@ -37,7 +37,7 @@ func epochPending(s *scheduler) bool {
 
 func TestSchedulerEpochExecutesBatch(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 4)
+	s := newScheduler(tree, 4, true)
 	defer s.drain()
 	b, err := submitBatch(s, tuple.Tuple{1, 2}, tuple.Tuple{3, 4}, tuple.Tuple{1, 2})
 	if err != nil {
@@ -60,9 +60,9 @@ func TestSchedulerEpochExecutesBatch(t *testing.T) {
 // until submit hits the bound and fails fast with errBusy.
 func TestSchedulerBackpressure(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 1)
-	if ok, _ := s.beginRead(); !ok {
-		t.Fatal("beginRead refused")
+	s := newScheduler(tree, 1, true)
+	if mode, _, _ := s.beginRead(); mode != readLive {
+		t.Fatalf("beginRead mode = %v, want readLive", mode)
 	}
 
 	// First batch: picked up by run(), which then blocks in runEpoch
@@ -98,14 +98,16 @@ func TestSchedulerBackpressure(t *testing.T) {
 }
 
 // TestSchedulerReaderBlocksDuringEpoch checks rule 3 (no writer
-// starvation): a reader arriving while an epoch is pending queues behind
-// it instead of extending the read phase.
+// starvation) in the gate-blocking configuration (snapshots disabled): a
+// reader arriving while an epoch is pending queues behind it instead of
+// extending the read phase. With snapshots enabled the same arrival is
+// routed to the last-epoch snapshot — see TestSchedulerSnapshotBypass.
 func TestSchedulerReaderBlocksDuringEpoch(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 4)
+	s := newScheduler(tree, 4, false)
 	defer s.drain()
-	if ok, _ := s.beginRead(); !ok {
-		t.Fatal("beginRead refused")
+	if mode, _, _ := s.beginRead(); mode != readLive {
+		t.Fatalf("beginRead mode = %v, want readLive", mode)
 	}
 	b, err := submitBatch(s, tuple.Tuple{1, 1})
 	if err != nil {
@@ -136,7 +138,7 @@ func TestSchedulerReaderBlocksDuringEpoch(t *testing.T) {
 
 func TestSchedulerDrain(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 8)
+	s := newScheduler(tree, 8, true)
 	var batches []*writeBatch
 	for i := 0; i < 5; i++ {
 		b, err := submitBatch(s, tuple.Tuple{uint64(i), uint64(i)})
@@ -167,7 +169,7 @@ func TestSchedulerDrain(t *testing.T) {
 // overlapped a write epoch.
 func TestSchedulerPhaseInvariant(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 4)
+	s := newScheduler(tree, 4, true)
 	const (
 		writers       = 4
 		readers       = 4
@@ -204,14 +206,23 @@ func TestSchedulerPhaseInvariant(t *testing.T) {
 			defer wg.Done()
 			hints := core.NewHints()
 			for i := 0; i < readerRetries; i++ {
-				if ok, _ := s.beginRead(); !ok {
+				mode, snap, _ := s.beginRead()
+				switch mode {
+				case readRefused:
 					return
+				case readSnapshot:
+					// Gate closed: read the frozen snapshot, no endRead.
+					for j := 0; j < readsPerIter; j++ {
+						v := uint64(i * j)
+						snap.Contains(tuple.Tuple{v, v})
+					}
+				default:
+					for j := 0; j < readsPerIter; j++ {
+						v := uint64(i * j)
+						tree.ContainsHint(tuple.Tuple{v, v}, hints)
+					}
+					s.endRead()
 				}
-				for j := 0; j < readsPerIter; j++ {
-					v := uint64(i * j)
-					tree.ContainsHint(tuple.Tuple{v, v}, hints)
-				}
-				s.endRead()
 			}
 		}()
 	}
@@ -227,5 +238,164 @@ func TestSchedulerPhaseInvariant(t *testing.T) {
 	}
 	if s.epochs.Load() == 0 {
 		t.Fatal("no epochs recorded")
+	}
+}
+
+// TestSchedulerSnapshotBypass checks the MVCC-lite read gate: a reader
+// arriving while an epoch is pending is handed the last-epoch snapshot
+// without blocking, and that snapshot holds exactly the pre-epoch tuple
+// set — nothing from the in-flight epoch.
+func TestSchedulerSnapshotBypass(t *testing.T) {
+	tree := core.New(2)
+	s := newScheduler(tree, 4, true)
+	defer s.drain()
+
+	// Epoch 1: establish pre-epoch contents; its boundary refreshes the
+	// bypass snapshot.
+	b, err := submitBatch(s, tuple.Tuple{1, 1}, tuple.Tuple{2, 2})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-b.done
+	waitUntil(t, "gate to reopen", func() bool { return !epochPending(s) })
+
+	// Hold a live reader so the next epoch stays pending at the gate.
+	if mode, _, _ := s.beginRead(); mode != readLive {
+		t.Fatalf("beginRead mode = %v, want readLive", mode)
+	}
+	if _, err := submitBatch(s, tuple.Tuple{3, 3}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitUntil(t, "epoch pending", func() bool { return epochPending(s) })
+
+	mode, snap, blocked := s.beginRead()
+	if mode != readSnapshot || snap == nil {
+		t.Fatalf("gated beginRead = (%v, %v), want readSnapshot with snapshot", mode, snap)
+	}
+	if blocked {
+		t.Fatal("snapshot bypass reported a gate wait")
+	}
+	if !snap.Contains(tuple.Tuple{1, 1}) || !snap.Contains(tuple.Tuple{2, 2}) {
+		t.Fatal("snapshot lost pre-epoch tuples")
+	}
+	if snap.Contains(tuple.Tuple{3, 3}) {
+		t.Fatal("snapshot sees the in-flight epoch's tuple")
+	}
+	if got := snap.Len(); got != 2 {
+		t.Fatalf("snapshot Len = %d, want 2", got)
+	}
+	if got := s.snapshotReads.Load(); got != 1 {
+		t.Fatalf("snapshotReads = %d, want 1", got)
+	}
+
+	s.endRead() // release the held live reader; the epoch completes
+}
+
+// TestSchedulerDrainFencesSnapshot checks the shutdown-ordering audit:
+// once drain began, a gated reader is refused rather than handed a
+// snapshot — the handout is fenced behind draining under the same mutex
+// drain takes, so no reader can receive a view of a logically closed
+// tree.
+func TestSchedulerDrainFencesSnapshot(t *testing.T) {
+	tree := core.New(2)
+	s := newScheduler(tree, 4, true)
+
+	if mode, _, _ := s.beginRead(); mode != readLive {
+		t.Fatalf("beginRead mode = %v, want readLive", mode)
+	}
+	if _, err := submitBatch(s, tuple.Tuple{1, 1}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitUntil(t, "epoch pending", func() bool { return epochPending(s) })
+
+	drained := make(chan struct{})
+	go func() {
+		s.drain()
+		close(drained)
+	}()
+	waitUntil(t, "drain to begin", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.draining
+	})
+
+	if mode, snap, _ := s.beginRead(); mode != readRefused || snap != nil {
+		t.Fatalf("gated beginRead during drain = (%v, %v), want readRefused", mode, snap)
+	}
+
+	s.endRead() // the final epoch runs, drain completes
+	<-drained
+}
+
+// TestSchedulerCloseRacesSnapshotReads races drain against a crowd of
+// readers taking both admission paths while writers keep epochs coming —
+// the -race leg of the shutdown-ordering audit. A reader observing
+// refusal stops; the rest are stopped once drain returns (drain does not
+// end read service — it only fences the write side), and the counted
+// invariant must hold throughout.
+func TestSchedulerCloseRacesSnapshotReads(t *testing.T) {
+	tree := core.New(2)
+	s := newScheduler(tree, 4, true)
+
+	var wg sync.WaitGroup
+	stopWriters := make(chan struct{})
+	stopReaders := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopWriters:
+					return
+				default:
+				}
+				v := uint64(w*1_000_000 + i)
+				b := &writeBatch{tuples: []tuple.Tuple{{v, v}}, done: make(chan writeResult, 1)}
+				if err := s.submit(b); err != nil {
+					if errors.Is(err, ErrShutdown) {
+						return
+					}
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				<-b.done
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			hints := core.NewHints()
+			for i := 0; ; i++ {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				mode, snap, _ := s.beginRead()
+				switch mode {
+				case readRefused:
+					return
+				case readSnapshot:
+					snap.Contains(tuple.Tuple{uint64(i), uint64(i)})
+					snap.LowerBound(tuple.Tuple{uint64(i), 0})
+				default:
+					tree.ContainsHint(tuple.Tuple{uint64(i), uint64(i)}, hints)
+					s.endRead()
+				}
+			}
+		}(r)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	close(stopWriters) // writers stop feeding
+	s.drain()          // races the readers' snapshot handouts
+	close(stopReaders)
+	wg.Wait()
+
+	if got := s.violations.Load(); got != 0 {
+		t.Fatalf("phase violations = %d, want 0", got)
 	}
 }

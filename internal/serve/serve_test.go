@@ -141,8 +141,8 @@ func TestServerBackpressureRetry(t *testing.T) {
 	s := startServer(t, Options{Arity: 2, WriteQueue: 1})
 	c := dialClient(t, s, ClientOptions{})
 
-	if ok, _ := s.sched.beginRead(); !ok {
-		t.Fatal("beginRead refused")
+	if mode, _, _ := s.sched.beginRead(); mode != readLive {
+		t.Fatalf("beginRead mode = %v, want readLive", mode)
 	}
 	readHeld := true
 	defer func() {
@@ -190,8 +190,8 @@ func TestServerGracefulShutdownDeliversPendingInserts(t *testing.T) {
 	s := startServer(t, Options{Arity: 2})
 	c := dialClient(t, s, ClientOptions{})
 
-	if ok, _ := s.sched.beginRead(); !ok {
-		t.Fatal("beginRead refused")
+	if mode, _, _ := s.sched.beginRead(); mode != readLive {
+		t.Fatalf("beginRead mode = %v, want readLive", mode)
 	}
 	readHeld := true
 	defer func() {
@@ -367,5 +367,122 @@ func TestServerRejectsMalformedFrame(t *testing.T) {
 	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
 	if _, _, _, _, _, err := readFrame(nc); err == nil {
 		t.Fatal("connection still open after protocol error")
+	}
+}
+
+// TestServerSnapshotReadsDuringEpoch is the end-to-end gate bypass: a
+// held live reader keeps an insert's epoch pending, and a client read
+// arriving then is answered immediately from the last-epoch snapshot —
+// with pre-epoch contents — instead of waiting out the epoch.
+func TestServerSnapshotReadsDuringEpoch(t *testing.T) {
+	s := startServer(t, Options{Arity: 2})
+	c := dialClient(t, s, ClientOptions{Timeout: 5 * time.Second})
+
+	if _, err := c.Insert([]tuple.Tuple{{1, 1}, {2, 2}}); err != nil {
+		t.Fatalf("seed insert: %v", err)
+	}
+	waitUntil(t, "seed epoch to retire", func() bool { return !epochPending(s.sched) })
+
+	// Hold the gate: the next insert's epoch stays pending.
+	if mode, _, _ := s.sched.beginRead(); mode != readLive {
+		t.Fatalf("beginRead mode = %v, want readLive", mode)
+	}
+	readHeld := true
+	defer func() {
+		if readHeld {
+			s.sched.endRead()
+		}
+	}()
+	insDone := make(chan error, 1)
+	go func() {
+		_, err := c.Insert([]tuple.Tuple{{3, 3}})
+		insDone <- err
+	}()
+	waitUntil(t, "epoch pending", func() bool { return epochPending(s.sched) })
+
+	// Reads served now must come from the pre-epoch snapshot, promptly.
+	if got, err := c.Contains(tuple.Tuple{1, 1}); err != nil || !got {
+		t.Fatalf("snapshot Contains(1,1) = (%v, %v), want true", got, err)
+	}
+	if got, err := c.Contains(tuple.Tuple{3, 3}); err != nil || got {
+		t.Fatalf("snapshot Contains(3,3) = (%v, %v), want false (in-flight epoch)", got, err)
+	}
+	if bt, ok, err := c.LowerBound(tuple.Tuple{2, 0}); err != nil || !ok || bt[0] != 2 || bt[1] != 2 {
+		t.Fatalf("snapshot LowerBound(2,0) = (%v, %v, %v), want (2,2)", bt, ok, err)
+	}
+	if n, err := c.Len(); err != nil || n != 2 {
+		t.Fatalf("snapshot Len = (%d, %v), want 2", n, err)
+	}
+	var scanned []tuple.Tuple
+	if err := c.ScanAll(nil, nil, func(tp tuple.Tuple) bool {
+		scanned = append(scanned, tp.Clone())
+		return true
+	}); err != nil {
+		t.Fatalf("snapshot ScanAll: %v", err)
+	}
+	if len(scanned) != 2 {
+		t.Fatalf("snapshot ScanAll yielded %d tuples, want 2", len(scanned))
+	}
+	if st := s.Stats(); st.SnapshotReads == 0 {
+		t.Fatal("no snapshot reads recorded")
+	}
+
+	// Release the gate; read-your-writes: once the insert is ACKed, a
+	// read must see it (live or from the refreshed snapshot).
+	s.sched.endRead()
+	readHeld = false
+	if err := <-insDone; err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if got, err := c.Contains(tuple.Tuple{3, 3}); err != nil || !got {
+		t.Fatalf("post-ACK Contains(3,3) = (%v, %v), want true", got, err)
+	}
+	if st := s.Stats(); st.PhaseViolations != 0 {
+		t.Fatalf("phase violations = %d", st.PhaseViolations)
+	}
+}
+
+// TestServerDisableSnapshotReads pins the baseline configuration: with
+// the bypass off, a read arriving during a pending epoch waits at the
+// gate (and no snapshot reads are counted).
+func TestServerDisableSnapshotReads(t *testing.T) {
+	s := startServer(t, Options{Arity: 2, DisableSnapshotReads: true})
+	c := dialClient(t, s, ClientOptions{Timeout: 5 * time.Second})
+
+	if mode, _, _ := s.sched.beginRead(); mode != readLive {
+		t.Fatalf("beginRead mode = %v, want readLive", mode)
+	}
+	readHeld := true
+	defer func() {
+		if readHeld {
+			s.sched.endRead()
+		}
+	}()
+	insDone := make(chan error, 1)
+	go func() {
+		_, err := c.Insert([]tuple.Tuple{{1, 1}})
+		insDone <- err
+	}()
+	waitUntil(t, "epoch pending", func() bool { return epochPending(s.sched) })
+
+	readDone := make(chan struct{})
+	go func() {
+		c.Contains(tuple.Tuple{1, 1})
+		close(readDone)
+	}()
+	select {
+	case <-readDone:
+		t.Fatal("read completed while the epoch was pending with snapshots disabled")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	s.sched.endRead()
+	readHeld = false
+	<-readDone
+	if err := <-insDone; err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if st := s.Stats(); st.SnapshotReads != 0 {
+		t.Fatalf("SnapshotReads = %d with bypass disabled", st.SnapshotReads)
 	}
 }

@@ -43,6 +43,14 @@ type Options struct {
 	// WriteTimeout bounds one response write to a connection (default
 	// 10s); a blocked write disconnects the slow client.
 	WriteTimeout time.Duration
+	// DisableSnapshotReads restores the blocking read gate: readers
+	// arriving during a write epoch wait for it instead of being served
+	// from the last-epoch snapshot. The default (false) enables the
+	// snapshot bypass — reads then never block behind writes, at the
+	// cost of answers lagging at most one epoch while a write epoch is
+	// in flight (DESIGN.md §14). Kept as an option so benchmarks can
+	// compare against the gate-blocking baseline.
+	DisableSnapshotReads bool
 }
 
 // withDefaults fills zero fields.
@@ -102,6 +110,9 @@ type Stats struct {
 	WriteOps uint64
 	// ReadOps counts read operations executed.
 	ReadOps uint64
+	// SnapshotReads counts read frames answered from the last-epoch
+	// snapshot because a write epoch held the gate closed.
+	SnapshotReads uint64
 	// Retries counts RETRY responses sent on a full write queue.
 	Retries uint64
 	// ConnsAccepted and ConnsDropped count accepted connections and
@@ -132,7 +143,7 @@ func Start(addr string, opts Options) (*Server, error) {
 	s := &Server{
 		opts:  opts,
 		tree:  tree,
-		sched: newScheduler(tree, opts.WriteQueue),
+		sched: newScheduler(tree, opts.WriteQueue, !opts.DisableSnapshotReads),
 		lis:   lis,
 		conns: make(map[*serverConn]struct{}),
 	}
@@ -162,6 +173,7 @@ func (s *Server) Stats() Stats {
 		Epochs:          s.sched.epochs.Load(),
 		WriteOps:        s.sched.writeOps.Load(),
 		ReadOps:         s.sched.readOps.Load(),
+		SnapshotReads:   s.sched.snapshotReads.Load(),
 		Retries:         s.sched.retries.Load(),
 		ConnsAccepted:   s.accepted.Load(),
 		ConnsDropped:    s.dropped.Load(),
@@ -488,9 +500,14 @@ func (c *serverConn) handleInsert(req request, ver byte, trace obs.TraceID, fram
 
 // handleReads executes a read frame inline under read admission: all
 // attached connections' read frames run concurrently between write
-// epochs. A traced frame records a serve.frame.read span from decode to
-// response enqueue, and — when the phase gate actually blocked it — a
-// serve.phase.wait child span covering the wait.
+// epochs, and frames arriving while a write epoch holds the gate closed
+// are answered from the last-epoch snapshot instead of blocking (unless
+// Options.DisableSnapshotReads). A traced frame records a
+// serve.frame.read span from decode to response enqueue, and — when the
+// phase gate actually blocked it — a serve.phase.wait child span
+// covering the wait. Every snapshot-served frame records its duration
+// into "hist.serve.gate.bypass.ns" (the time a blocking gate would have
+// added a wait to).
 func (c *serverConn) handleReads(req request, ver byte, trace obs.TraceID, frameStart int64) {
 	var frameSpan obs.SpanID
 	var waitStart int64
@@ -498,8 +515,8 @@ func (c *serverConn) handleReads(req request, ver byte, trace obs.TraceID, frame
 		frameSpan = obs.NewSpanID(trace)
 		waitStart = obs.Clock()
 	}
-	ok, blocked := c.s.sched.beginRead()
-	if !ok {
+	mode, snap, blocked := c.s.sched.beginRead()
+	if mode == readRefused {
 		c.send(outFrame{kind: kindResponse, version: ver, id: req.id, trace: trace, payload: encodeErr(ErrShutdown.Error())})
 		return
 	}
@@ -507,12 +524,24 @@ func (c *serverConn) handleReads(req request, ver byte, trace obs.TraceID, frame
 		obs.RecordSpan(trace, 0, frameSpan, obs.SpanServePhaseWait, waitStart, obs.Clock()-waitStart, 0, 0)
 	}
 	start := obs.SampleClock()
+	var bypassStart int64
+	if mode == readSnapshot {
+		bypassStart = obs.Clock()
+	}
 	w := &wbuf{}
 	w.u8(statusOK)
 	for i := range req.reads {
-		c.execRead(&req.reads[i], w)
+		if mode == readSnapshot {
+			c.execSnapRead(&req.reads[i], snap, w)
+		} else {
+			c.execRead(&req.reads[i], w)
+		}
 	}
-	c.s.sched.endRead()
+	if mode == readLive {
+		c.s.sched.endRead()
+	} else {
+		obs.Observe(obs.HistServeGateBypassNanos, uint64(obs.Clock()-bypassStart))
+	}
 	c.s.sched.readOps.Add(uint64(len(req.reads)))
 	obs.Add(obs.ServeReadOps, uint64(len(req.reads)))
 	if start != 0 {
@@ -569,6 +598,72 @@ func (c *serverConn) execScan(op *readOp, w *wbuf) {
 		}
 	} else {
 		cur = c.s.tree.Begin()
+	}
+	countAt := len(w.b)
+	w.u32(0) // patched below
+	n := 0
+	truncated := false
+	buf := make(tuple.Tuple, c.s.opts.Arity)
+	for cur.Valid() {
+		if op.hi != nil && cur.Compare(op.hi) >= 0 {
+			break
+		}
+		if n == limit {
+			truncated = true
+			break
+		}
+		cur.CopyTo(buf)
+		w.tuple(buf)
+		n++
+		cur.Next()
+	}
+	patchU32(w.b[countAt:], uint32(n))
+	w.bool(truncated)
+}
+
+// execSnapRead evaluates one read operation against the last-epoch
+// snapshot — the gate-bypass twin of execRead. Snapshot descents take no
+// leases (the subtree is frozen), so there are no hints to consult.
+func (c *serverConn) execSnapRead(op *readOp, snap *core.Snapshot, w *wbuf) {
+	switch op.code {
+	case opContains:
+		w.bool(snap.Contains(op.arg))
+	case opLower, opUpper:
+		var cur core.SnapCursor
+		if op.code == opLower {
+			cur = snap.LowerBound(op.arg)
+		} else {
+			cur = snap.UpperBound(op.arg)
+		}
+		if cur.Valid() {
+			w.bool(true)
+			w.tuple(cur.Tuple())
+		} else {
+			w.bool(false)
+		}
+	case opScan:
+		c.execSnapScan(op, snap, w)
+	case opLen:
+		w.u64(uint64(snap.Len()))
+	}
+}
+
+// execSnapScan is execScan against the last-epoch snapshot: same bounds,
+// cap and truncation contract, over the frozen subtree's stack cursor.
+func (c *serverConn) execSnapScan(op *readOp, snap *core.Snapshot, w *wbuf) {
+	limit := int(op.limit)
+	if limit <= 0 || limit > c.s.opts.MaxScan {
+		limit = c.s.opts.MaxScan
+	}
+	var cur core.SnapCursor
+	if op.lo != nil {
+		if op.loStrict {
+			cur = snap.UpperBound(op.lo)
+		} else {
+			cur = snap.LowerBound(op.lo)
+		}
+	} else {
+		cur = snap.Cursor()
 	}
 	countAt := len(w.b)
 	w.u32(0) // patched below

@@ -24,9 +24,11 @@ path(X, Z) :- path(X, Y), edge(Y, Z).
 // forced trace ID follows a request over a real socket — client send,
 // server frame, scheduler phase wait, write epoch — and then drives an
 // engine evaluation, and every layer's spans come back under that same
-// ID. The phase wait is scripted deterministically: a held reader keeps
-// an insert's epoch pending, so a read frame arriving then must block
-// at the gate.
+// ID. The phase wait is scripted deterministically: snapshot reads are
+// disabled so the gate blocks, and a held reader keeps an insert's epoch
+// pending, so a read frame arriving then must wait at the gate (with the
+// default snapshot bypass it would be served immediately and record no
+// wait).
 func TestTraceLinksAllLayers(t *testing.T) {
 	if !obs.Enabled {
 		t.Skip("observability compiled out")
@@ -34,7 +36,7 @@ func TestTraceLinksAllLayers(t *testing.T) {
 	obs.ResetTrace()
 	trace := obs.ForceTrace()
 
-	s, err := Start("127.0.0.1:0", Options{Arity: 2})
+	s, err := Start("127.0.0.1:0", Options{Arity: 2, DisableSnapshotReads: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,8 +48,8 @@ func TestTraceLinksAllLayers(t *testing.T) {
 	defer c.Close()
 
 	// Hold the read gate open so the insert's epoch stays pending.
-	if ok, _ := s.sched.beginRead(); !ok {
-		t.Fatal("beginRead refused")
+	if mode, _, _ := s.sched.beginRead(); mode != readLive {
+		t.Fatalf("beginRead mode = %v, want readLive", mode)
 	}
 	insErr := make(chan error, 1)
 	go func() {

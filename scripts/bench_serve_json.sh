@@ -1,9 +1,33 @@
 #!/bin/sh
 # Regenerates BENCH_serve.json (written to stdout): the pinned
-# serving-layer run of `make bench-json`, in the stable
-# specbtree.bench.serve.v1 schema. Throughput and latency figures only
-# mean something relative to the recorded cpus/gomaxprocs fields — see
-# EXPERIMENTS.md ("Worked example: the serving layer under load").
+# serving-layer runs of `make bench-json`, in the stable
+# specbtree.bench.serve.v2 schema — an envelope of per-cell
+# specbtree.bench.serve.v1 documents:
+#
+#   default      the original mixed cell (20% writes, snapshot reads on)
+#   write_heavy  the gate-bypass comparison. The mix is bulk-delta: 10%
+#                of requests are inserts but each carries a 4096-tuple
+#                batch, so applied operations are >99% writes and the
+#                scheduler spends most of its time inside write epochs —
+#                the datalog shape (large deltas between read probes).
+#                A bounded key space keeps copy-on-write warmup-only.
+#     gate_blocking   servebtree -no-snapshot-reads (the blocking gate)
+#     snapshot_reads  the default server (reads bypass to the snapshot)
+#
+# The write_heavy cells are run three times each and the run with the
+# median read p99 is pinned: the comparison is a tail-latency claim, and
+# on a shared host single tails flip on noise about one run in four.
+#
+# The write_heavy cells run the server with GOMAXPROCS=2 even on a
+# one-CPU host: at GOMAXPROCS=1 the epoch goroutine is never preempted
+# inside a sub-10ms epoch, so no read ever arrives while the gate is
+# closed and both cells degenerate to the same ungated measurement. Two
+# scheduler threads timeslice on the kernel, which makes gated arrivals
+# — the thing the two cells differ on — actually happen.
+#
+# Throughput and latency figures only mean something relative to the
+# recorded cpus/gomaxprocs fields — see EXPERIMENTS.md ("Worked example:
+# the serving layer under load").
 set -eu
 GO=${GO:-go}
 addr=${BENCH_SERVE_ADDR:-localhost:40871}
@@ -20,29 +44,63 @@ trap cleanup EXIT
 $GO build -o "$tmp/servebtree" ./cmd/servebtree
 $GO build -o "$tmp/loadgen" ./cmd/loadgen
 
-"$tmp/servebtree" -addr "$addr" 2>"$tmp/server.log" &
-srv_pid=$!
-
-i=0
-until "$tmp/loadgen" -addr "$addr" -clients 1 -requests 1 -writes 0 >/dev/null 2>&1; do
-	i=$((i + 1))
-	if [ "$i" -ge 50 ]; then
-		echo "bench_serve_json: server never became reachable at $addr" >&2
+# run_cell SERVER_FLAGS LOADGEN_FLAGS OUT [SERVER_ENV]: one loadgen
+# document against a fresh server. The server must exit 143 (clean
+# SIGTERM drain).
+run_cell() {
+	env ${4:-} "$tmp/servebtree" -addr "$addr" $1 2>"$tmp/server.log" &
+	srv_pid=$!
+	i=0
+	until "$tmp/loadgen" -addr "$addr" -clients 1 -requests 1 -writes 0 >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			echo "bench_serve_json: server never became reachable at $addr" >&2
+			cat "$tmp/server.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	"$tmp/loadgen" -addr "$addr" $2 -seed 1 -json >"$3"
+	kill -TERM "$srv_pid"
+	status=0
+	wait "$srv_pid" || status=$?
+	srv_pid=
+	if [ "$status" -ne 143 ]; then
+		echo "bench_serve_json: server exited with status $status, want 143" >&2
 		cat "$tmp/server.log" >&2
 		exit 1
 	fi
-	sleep 0.1
-done
+}
 
-"$tmp/loadgen" -addr "$addr" -clients 8 -requests 2000 -writes 20 \
-	-batch 16 -seed 1 -json
+# read_p99 FILE: the read-latency p99 of a loadgen document (the first
+# p99_ns in the doc — read_latency precedes insert_latency).
+read_p99() {
+	grep -m1 '"p99_ns"' "$1" | tr -dc 0-9
+}
 
-kill -TERM "$srv_pid"
-status=0
-wait "$srv_pid" || status=$?
-srv_pid=
-if [ "$status" -ne 143 ]; then
-	echo "bench_serve_json: server exited with status $status, want 143" >&2
-	cat "$tmp/server.log" >&2
-	exit 1
-fi
+# run_cell_median3 SERVER_FLAGS LOADGEN_FLAGS OUT: run_cell three times,
+# keep the run with the median read p99.
+run_cell_median3() {
+	for rep in 1 2 3; do
+		run_cell "$1" "$2" "$3.$rep" "GOMAXPROCS=2"
+	done
+	mid=$( { for rep in 1 2 3; do
+		printf '%020d %s\n' "$(read_p99 "$3.$rep")" "$rep"
+	done; } | sort | sed -n 2p | cut -d' ' -f2)
+	cp "$3.$mid" "$3"
+}
+
+mixed="-clients 8 -requests 2000 -writes 20 -batch 16"
+heavy="-clients 8 -requests 1000 -writes 10 -batch 4096 -space 512"
+
+run_cell "" "$mixed" "$tmp/default.json"
+run_cell_median3 "-no-snapshot-reads" "$heavy" "$tmp/blocking.json"
+run_cell_median3 "" "$heavy" "$tmp/snapshot.json"
+
+printf '{\n"schema": "specbtree.bench.serve.v2",\n"default":\n'
+cat "$tmp/default.json"
+printf ',\n"write_heavy": {\n"gate_blocking":\n'
+cat "$tmp/blocking.json"
+printf ',\n"snapshot_reads":\n'
+cat "$tmp/snapshot.json"
+printf '}\n}\n'

@@ -8,7 +8,8 @@
 //     contract must appear in DESIGN.md, so the §9 tables cannot drift
 //     from the code,
 //  3. the frozen counter and histogram names (v1, the serving
-//     subsystem's, and the streaming query-execution set) are still
+//     subsystem's, the streaming query-execution set, and the
+//     epoch-snapshot set) are still
 //     registered — the contract is append-only, so renaming or deleting
 //     a published name is an error — and
 //  4. DESIGN.md names the current schema version, the flight-recorder
@@ -98,6 +99,19 @@ var frozenQueryHistograms = []string{
 	"hist.datalog.pushdown.selectivity",
 }
 
+// frozenSnapshotCounters and frozenSnapshotHistograms freeze the
+// epoch-snapshot names at the moment snapshot reads shipped
+// (specbtree.metrics.v4, DESIGN.md §14). Same append-only contract:
+// every name must stay registered forever.
+var frozenSnapshotCounters = []string{
+	"core.cow.clones",
+	"serve.snapshot.reads",
+}
+
+var frozenSnapshotHistograms = []string{
+	"hist.serve.gate.bypass.ns",
+}
+
 // strategyNames are the evaluation-strategy spellings accepted by the
 // engine's -strategy flags; DESIGN.md §12 must name each so the docs
 // cannot drift from the dispatch.
@@ -177,6 +191,12 @@ func main() {
 				fmt.Sprintf("obs: query counter %q no longer registered (the metrics contract is append-only)", name))
 		}
 	}
+	for _, name := range frozenSnapshotCounters {
+		if !registered[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: snapshot counter %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
 	registeredHist := map[string]bool{}
 	for _, name := range obs.HistogramNames() {
 		registeredHist[name] = true
@@ -191,6 +211,12 @@ func main() {
 		if !registeredHist[name] {
 			problems = append(problems,
 				fmt.Sprintf("obs: query histogram %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
+	for _, name := range frozenSnapshotHistograms {
+		if !registeredHist[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: snapshot histogram %q no longer registered (the metrics contract is append-only)", name))
 		}
 	}
 
