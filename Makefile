@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json bench-json-merge bench-json-serve bench-json-datalog serve-smoke trace-smoke figures examples clean
+.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json bench-json-merge bench-json-serve bench-json-datalog bench-json-cluster serve-smoke trace-smoke cluster-smoke figures examples clean
 
-all: build lint test obsoff race check-harness check-docs bench-smoke serve-smoke trace-smoke
+all: build lint test obsoff race check-harness check-docs bench-smoke serve-smoke trace-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -44,19 +44,24 @@ test:
 # server that reads them while workers run, and the network serving
 # subsystem (phase scheduler, pipelined client, slow-client teardown).
 race:
-	$(GO) test -race ./internal/optlock ./internal/core ./internal/relation ./internal/datalog ./internal/obs ./internal/obshttp ./internal/check ./internal/serve
+	$(GO) test -race ./internal/optlock ./internal/core ./internal/relation ./internal/datalog ./internal/obs ./internal/obshttp ./internal/check ./internal/serve ./internal/cluster
 
 # check-harness runs the concurrent-correctness harness (DESIGN.md §10)
 # in short mode under the race detector, in both build flavours: the
 # differential oracle against every provider — including the
 # serve-socket target, which drives the §11 relation server over real
-# loopback connections — and, under the lockinject tag, the
-# fault-injection suite, including the deterministic reproduction of
-# the PR 3 load-after-validate race against the preserved pre-fix
-# bound path.
+# loopback connections, and the cluster target, which injects a shard
+# kill-and-recover and a live rebalance into the oracle schedule
+# (DESIGN.md §15) — and, under the lockinject tag, the fault-injection
+# suite, including the deterministic reproduction of the PR 3
+# load-after-validate race against the preserved pre-fix bound path.
+# The logcrash leg re-runs the shard log suite with crash injection
+# compiled in: every kill-point test proves hardened replay recovers
+# exactly the acknowledged prefix where naive replay diverges.
 check-harness:
 	$(GO) test -short -race ./internal/check
 	$(GO) test -short -race -tags lockinject ./internal/check ./internal/optlock
+	$(GO) test -short -race -tags logcrash ./internal/cluster
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -82,13 +87,22 @@ serve-smoke:
 trace-smoke:
 	./scripts/trace_smoke.sh
 
+# cluster-smoke exercises the sharded cluster end to end as part of
+# `all` (DESIGN.md §15): three servebtree shards with durable insert
+# logs, a checksummed loadgen cluster run, a kill -9 of one shard, log
+# recovery on the same address, and re-verification of the exact
+# contents checksum.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
 # bench-json regenerates the checked-in benchmark documents: the pinned
 # merge-scaling run (>= 1M-tuple source, specbtree.bench.merge.v1), the
-# pinned serving-layer run (specbtree.bench.serve.v1), and the pinned
-# evaluation-strategy comparison (specbtree.bench.datalog.v1). Figures
-# only mean something relative to the recorded cpus/gomaxprocs fields —
-# see EXPERIMENTS.md.
-bench-json: bench-json-merge bench-json-serve bench-json-datalog
+# pinned serving-layer run (specbtree.bench.serve.v1), the pinned
+# evaluation-strategy comparison (specbtree.bench.datalog.v1), and the
+# pinned sharded-cluster run (specbtree.bench.cluster.v1). Figures only
+# mean something relative to the recorded cpus/gomaxprocs fields — see
+# EXPERIMENTS.md.
+bench-json: bench-json-merge bench-json-serve bench-json-datalog bench-json-cluster
 
 bench-json-merge:
 	$(GO) run ./cmd/benchmerge -size 1200000 -load 200000 -evalsize 24 -workers 1,2,8 -json > BENCH_merge.json
@@ -98,6 +112,9 @@ bench-json-serve:
 
 bench-json-datalog:
 	$(GO) run ./cmd/benchdatalog -size 2048 -threads 1 -rounds 5 -json > BENCH_datalog.json
+
+bench-json-cluster:
+	./scripts/bench_cluster_json.sh > BENCH_cluster.json
 
 # Regenerate every table and figure of the paper (laptop-scale defaults;
 # see EXPERIMENTS.md for the flags matching the paper's full sizes).

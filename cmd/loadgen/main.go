@@ -21,11 +21,27 @@
 //	loadgen [-addr localhost:4070] [-clients 8] [-requests 2000]
 //	        [-batch 16] [-writes 20] [-space 65536] [-scanlimit 64]
 //	        [-seed 1] [-timeout 10s] [-json] [-trace-sample N]
+//	        [-addrs host:p0,host:p1,...] [-arity 2] [-verify CHECKSUM]
 //
 // -trace-sample N traces one in N client requests (N must be a power of
 // two; 0, the default, disables tracing) — sampled requests carry their
 // trace ID in the wire frame header, so the server's spans join the
 // client's under one trace (DESIGN.md §13).
+//
+// -addrs switches to cluster mode: the comma-separated list names the
+// shard servers in shard order, the key space [0, -space) is
+// partitioned across them by a band map, and every client routes
+// through a shard-aware cluster.Client (inserts and point reads to the
+// owning shard, scans fanned out and merged — DESIGN.md §15). The
+// determinism gate then verifies the merged global contents, and -json
+// emits "specbtree.bench.cluster.v1" instead of the serve schema.
+//
+// -verify CHECKSUM runs no workload: it scans the relation (single
+// server or cluster), recomputes the contents checksum, and exits 0 on
+// a match with the given value — the re-verification step of a
+// kill-and-recover drill (EXPERIMENTS.md). In cluster mode the shard
+// map is a pure function of -addrs and -space, and scans read owned
+// ranges only, so both flags must match the run being verified.
 package main
 
 import (
@@ -38,14 +54,29 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"specbtree/internal/bench"
+	"specbtree/internal/cluster"
 	"specbtree/internal/cmdutil"
 	"specbtree/internal/serve"
 	"specbtree/internal/tuple"
 )
+
+// relClient is the operation surface shared by the single-server
+// client (serve.Client) and the cluster routing client
+// (cluster.Client); loadgen drives either through it.
+type relClient interface {
+	Insert(batch []tuple.Tuple) (int, error)
+	Contains(t tuple.Tuple) (bool, error)
+	LowerBound(v tuple.Tuple) (tuple.Tuple, bool, error)
+	UpperBound(v tuple.Tuple) (tuple.Tuple, bool, error)
+	Scan(lo, hi tuple.Tuple, limit int) ([]tuple.Tuple, bool, error)
+	ScanAll(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) error
+	Close() error
+}
 
 // op kinds of the generated schedule.
 const (
@@ -75,6 +106,7 @@ type latSummary struct {
 // doc is the schema-versioned JSON document emitted by -json.
 type doc struct {
 	Schema         string     `json:"schema"`
+	Shards         int        `json:"shards,omitempty"`
 	CPUs           int        `json:"cpus"`
 	GoMaxProcs     int        `json:"gomaxprocs"`
 	GoVersion      string     `json:"go_version"`
@@ -147,11 +179,12 @@ type clientResult struct {
 	err       error
 }
 
-// runClient replays one schedule against the server, backing off and
-// resending on RETRY.
-func runClient(addr string, ops []genOp, scanLimit int, timeout time.Duration) clientResult {
+// runClient replays one schedule against the target, backing off and
+// resending on RETRY (the cluster client absorbs RETRY internally, so
+// the loop only spins in single-server mode).
+func runClient(dial func() (relClient, error), ops []genOp, scanLimit int, timeout time.Duration) clientResult {
 	var res clientResult
-	c, err := serve.Dial(addr, serve.ClientOptions{Timeout: timeout})
+	c, err := dial()
 	if err != nil {
 		res.err = err
 		return res
@@ -190,7 +223,9 @@ func runClient(addr string, ops []genOp, scanLimit int, timeout time.Duration) c
 			res.readNs = append(res.readNs, ns)
 		}
 	}
-	res.reconnect = c.Reconnects()
+	if rc, ok := c.(interface{ Reconnects() uint64 }); ok {
+		res.reconnect = rc.Reconnects()
+	}
 	return res
 }
 
@@ -248,8 +283,11 @@ func main() {
 	scanLimitFlag := flag.Int("scanlimit", 64, "result cap per scan request")
 	seedFlag := flag.Int64("seed", 1, "workload generator seed")
 	timeoutFlag := flag.Duration("timeout", 10*time.Second, "per-request timeout")
-	jsonFlag := flag.Bool("json", false, "emit the specbtree.bench.serve.v1 JSON document")
+	jsonFlag := flag.Bool("json", false, "emit the specbtree.bench.serve.v1 JSON document (cluster mode: specbtree.bench.cluster.v1)")
 	traceSampleFlag := flag.Uint64("trace-sample", 0, "trace one in N requests (power of two; 0 disables tracing)")
+	addrsFlag := flag.String("addrs", "", "comma-separated shard addresses in shard order: drive a cluster instead of a single server")
+	clusterArityFlag := flag.Int("arity", 2, "tuple width in cluster mode (single-server mode learns it from the hello)")
+	verifyFlag := flag.String("verify", "", "no workload: scan the relation, compare its checksum against this value, exit 0 on match")
 	flag.Parse()
 	if *writesFlag < 0 || *writesFlag > 100 {
 		fatal(fmt.Errorf("loadgen: -writes %d out of range [0, 100]", *writesFlag))
@@ -259,13 +297,51 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The dial function picks the target shape: a pipelined socket
+	// client for one server, or the routing client over a band map
+	// partitioning [0, space) when -addrs names a cluster.
+	var shardAddrs []string
+	if *addrsFlag != "" {
+		shardAddrs = strings.Split(*addrsFlag, ",")
+	}
+	dial := func() (relClient, error) {
+		if shardAddrs == nil {
+			return serve.Dial(*addrFlag, serve.ClientOptions{Timeout: *timeoutFlag})
+		}
+		src := cluster.NewStaticMap(cluster.BandMap(len(shardAddrs), *spaceFlag))
+		return cluster.NewClient(src, shardAddrs, cluster.ClientOptions{
+			Arity: *clusterArityFlag, Timeout: *timeoutFlag,
+		})
+	}
+
 	// One scout connection: learn the arity and capture the base contents
 	// the expectation is built on.
-	scout, err := serve.Dial(*addrFlag, serve.ClientOptions{Timeout: *timeoutFlag})
+	scout, err := dial()
 	if err != nil {
 		fatal(err)
 	}
-	arity := scout.Arity()
+	arity := *clusterArityFlag
+	if sc, ok := scout.(*serve.Client); ok {
+		arity = sc.Arity()
+	}
+
+	if *verifyFlag != "" {
+		var final []tuple.Tuple
+		if err := scout.ScanAll(nil, nil, func(t tuple.Tuple) bool {
+			final = append(final, t.Clone())
+			return true
+		}); err != nil {
+			fatal(fmt.Errorf("loadgen: verify scan: %w", err))
+		}
+		scout.Close()
+		got := checksumTuples(final)
+		if got != *verifyFlag {
+			fatal(fmt.Errorf("loadgen: verify failed: checksum %s over %d tuples, want %s", got, len(final), *verifyFlag))
+		}
+		fmt.Printf("loadgen: verify passed: checksum %s over %d tuples\n", got, len(final))
+		return
+	}
+
 	expected := make(map[string]tuple.Tuple)
 	if err := scout.ScanAll(nil, nil, func(t tuple.Tuple) bool {
 		expected[tuple.KeyString(t)] = t.Clone()
@@ -294,7 +370,7 @@ func main() {
 			wg.Add(1)
 			go func(c int) {
 				defer wg.Done()
-				results[c] = runClient(*addrFlag, schedules[c], *scanLimitFlag, *timeoutFlag)
+				results[c] = runClient(dial, schedules[c], *scanLimitFlag, *timeoutFlag)
 			}(c)
 		}
 		wg.Wait()
@@ -326,8 +402,13 @@ func main() {
 			len(final), gotSum, len(want), wantSum))
 	}
 
+	schema := "specbtree.bench.serve.v1"
+	if shardAddrs != nil {
+		schema = "specbtree.bench.cluster.v1"
+	}
 	d := doc{
-		Schema:       "specbtree.bench.serve.v1",
+		Schema:       schema,
+		Shards:       len(shardAddrs),
 		CPUs:         runtime.NumCPU(),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		GoVersion:    runtime.Version(),

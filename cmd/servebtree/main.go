@@ -14,11 +14,20 @@
 //
 //	servebtree [-addr localhost:4070] [-arity 2] [-metrics]
 //	           [-serve localhost:6060] [-trace-sample N]
+//	           [-shard-id N] [-log shard.log]
 //
 // -trace-sample N traces one in N requests end to end (N must be a
 // power of two; 0, the default, disables tracing); the retained spans
 // are served at the debug server's /debug/trace endpoint as Chrome
 // trace_event JSON (DESIGN.md §13).
+//
+// -shard-id N serves the relation as shard N of a cluster: the hello
+// handshake then verifies each shard-aware client's expected shard
+// number and refuses mismatches (DESIGN.md §15). -log PATH gives the
+// shard a durable per-epoch insert log: on start the log's committed
+// prefix is replayed into the served tree (crash recovery) and every
+// write epoch is flushed to it before its acknowledgements, so
+// acknowledged inserts survive a kill -9.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"specbtree/internal/bench"
+	"specbtree/internal/cluster"
 	"specbtree/internal/cmdutil"
 	"specbtree/internal/core"
 	"specbtree/internal/serve"
@@ -41,13 +51,39 @@ func main() {
 	debugFlag := flag.String("serve", "", "serve /metrics and the debug endpoints on this address (e.g. localhost:6060) for the lifetime of the server")
 	traceSampleFlag := flag.Uint64("trace-sample", 0, "trace one in N requests (power of two; 0 disables tracing)")
 	noSnapshotFlag := flag.Bool("no-snapshot-reads", false, "block reads at the phase gate during write epochs instead of serving them from the last-epoch snapshot (the pre-snapshot baseline, kept for benchmarks)")
+	shardFlag := flag.Int("shard-id", -1, "serve as this shard of a cluster (hello handshake verifies it); -1 serves unsharded")
+	logFlag := flag.String("log", "", "durable per-epoch insert log path: replayed on start, flushed before every epoch's acks")
 	flag.Parse()
 	if err := cmdutil.SetTraceSample(*traceSampleFlag); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	srv, err := serve.Start(*addrFlag, serve.Options{Arity: *arityFlag, DisableSnapshotReads: *noSnapshotFlag})
+	opts := serve.Options{Arity: *arityFlag, DisableSnapshotReads: *noSnapshotFlag}
+	if *shardFlag >= 0 {
+		opts.Sharded = true
+		opts.ShardID = uint32(*shardFlag)
+	}
+	var shardLog *cluster.ShardLog
+	if *logFlag != "" {
+		start := time.Now()
+		log, rec, err := cluster.OpenShardLog(*logFlag, *arityFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		shardLog = log
+		opts.Tree = cluster.BuildTree(rec.Tuples, *arityFlag)
+		opts.EpochLog = log
+		torn := ""
+		if rec.TornTail {
+			torn = ", torn tail truncated"
+		}
+		fmt.Fprintf(os.Stderr, "recovered shard %d: %d tuples, %d epochs in %v (%d fence-dropped%s)\n",
+			max(*shardFlag, 0), opts.Tree.Len(), rec.Epochs, time.Since(start).Round(time.Millisecond), rec.Dropped, torn)
+	}
+
+	srv, err := serve.Start(*addrFlag, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -71,6 +107,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+		if shardLog != nil {
+			shardLog.Close()
 		}
 		st := srv.Stats()
 		fmt.Fprintf(os.Stderr,

@@ -1,0 +1,234 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"specbtree/internal/cluster"
+	"specbtree/internal/tuple"
+)
+
+// clusterFactory drives the sharded cluster end to end under the
+// differential oracle, with the two cluster-specific hazards injected
+// at phase barriers:
+//
+//   - Crash recovery: at the first barrier one shard is killed
+//     abruptly (connections dropped, log abandoned mid-stream) and
+//     restarted from its insert log. Every acknowledged insert was
+//     durable before its ack (serve.EpochLog), so the oracle's exact
+//     length/scan/freshness checks must still hold to the tuple.
+//   - Live rebalance: at the second barrier a range move starts in the
+//     background and overlaps the whole-structure checks and the read
+//     phase — scans and point reads run against the moving overlay
+//     (both-sides reads, duplicate elision) and must stay exact.
+//
+// The factory is NOT part of Targets(): a cluster instance is a
+// process-group-shaped resource (N servers, N logs, a temp dir), and
+// the restart/rebalance schedule is phase-indexed state that the
+// generic sweep must not replay against the minimizer. The dedicated
+// harness test drives it through Run directly.
+//
+// The keySpace parameter aligns the initial shard map with the
+// oracle's key range: a uniform map over the full axis would put every
+// generated tuple on shard 0.
+func clusterFactory(shards int, keySpace uint64) Factory {
+	return Factory{
+		Name: "cluster",
+		New: func(arity int) Instance {
+			dir, err := os.MkdirTemp("", "specbtree-clusterdiff-*")
+			if err != nil {
+				panic(fmt.Sprintf("check: cluster target: %v", err))
+			}
+			c, err := cluster.StartCluster(cluster.Options{
+				Shards:     shards,
+				Arity:      arity,
+				LogDir:     dir,
+				InitialMap: cluster.BandMap(shards, keySpace),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("check: cluster target: %v", err))
+			}
+			inst := &clusterInstance{c: c, dir: dir, keySpace: keySpace}
+			inst.control = inst.dial()
+			return inst
+		},
+	}
+}
+
+// clusterInstance adapts a running cluster to the oracle Instance
+// surface. Barrier is the hazard-injection point: the oracle calls it
+// single-threaded between the insert and read phases of each round.
+type clusterInstance struct {
+	c        *cluster.Cluster
+	dir      string
+	keySpace uint64
+
+	clMu    sync.Mutex
+	clients []*cluster.Client
+	control *cluster.Client
+
+	barriers  int
+	restarts  int
+	moves     int
+	rebalance sync.WaitGroup // in-flight background moves
+	moveErr   error
+}
+
+func (i *clusterInstance) dial() *cluster.Client {
+	cl, err := i.c.Client(cluster.ClientOptions{Timeout: serveClientTimeout})
+	if err != nil {
+		panic(fmt.Sprintf("check: cluster target dial: %v", err))
+	}
+	i.clMu.Lock()
+	i.clients = append(i.clients, cl)
+	i.clMu.Unlock()
+	return cl
+}
+
+// NewWriter joins any in-flight rebalance first: the insert phase must
+// run under a settled map, or the router's mid-flight resend path
+// could double-report freshness (exactness is the point of the
+// oracle; the resend window is exercised separately).
+func (i *clusterInstance) NewWriter() Writer {
+	i.rebalance.Wait()
+	if i.moveErr != nil {
+		panic(fmt.Sprintf("check: cluster target rebalance: %v", i.moveErr))
+	}
+	return &clusterWriter{cl: i.dial()}
+}
+
+// Barrier injects the round's hazard after the insert phase settles:
+// round 1 kills and recovers a shard, round 2 starts a live range move
+// that overlaps the checks and reads that follow.
+func (i *clusterInstance) Barrier() {
+	i.barriers++
+	switch i.barriers {
+	case 1:
+		victim := 1 % i.c.Map().Map().Shards()
+		if err := i.c.KillShard(victim); err != nil {
+			panic(fmt.Sprintf("check: cluster target kill: %v", err))
+		}
+		if err := i.c.RestartShard(victim); err != nil {
+			panic(fmt.Sprintf("check: cluster target restart: %v", err))
+		}
+		if rec := i.c.Recovered(victim); rec == nil {
+			panic("check: cluster target: restart did not replay a log")
+		}
+		i.restarts++
+	case 2:
+		m := i.c.Map().Map()
+		e := m.Entries[0]
+		hi := e.Lo + (i.keySpace/uint64(len(m.Entries)))/2
+		if hi > e.Hi {
+			hi = e.Hi
+		}
+		dst := (e.Shard + 1) % m.Shards()
+		i.rebalance.Add(1)
+		go func() {
+			defer i.rebalance.Done()
+			// Small chunks and a pace stretch the move across the read
+			// phase, keeping the moving overlay live under the probes.
+			err := i.c.MoveRange(e.Lo, hi, dst, cluster.MoveOptions{
+				ChunkSize: 64, Pace: 200 * time.Microsecond,
+			})
+			if err != nil {
+				i.moveErr = err
+				return
+			}
+			i.moves++
+		}()
+	}
+}
+
+func (i *clusterInstance) NewReader() Reader { return &clusterReader{cl: i.dial()} }
+
+func (i *clusterInstance) Scan(yield func(tuple.Tuple) bool) {
+	if err := i.control.ScanAll(nil, nil, yield); err != nil {
+		panic(fmt.Sprintf("check: cluster target scan: %v", err))
+	}
+}
+
+func (i *clusterInstance) Len() int {
+	n, err := i.control.Len()
+	if err != nil {
+		panic(fmt.Sprintf("check: cluster target len: %v", err))
+	}
+	return n
+}
+
+// Restarts and Moves report the injected hazards that actually ran —
+// the harness test asserts both are non-zero, so a schedule change
+// cannot silently turn this back into a plain serving test.
+func (i *clusterInstance) Restarts() int { return i.restarts }
+func (i *clusterInstance) Moves() int {
+	i.rebalance.Wait()
+	return i.moves
+}
+
+// Cluster exposes the underlying cluster for extra assertions.
+func (i *clusterInstance) Cluster() *cluster.Cluster { return i.c }
+
+// Close joins any in-flight move, then tears down clients, shards and
+// the log directory.
+func (i *clusterInstance) Close() {
+	i.rebalance.Wait()
+	i.clMu.Lock()
+	clients := i.clients
+	i.clients = nil
+	i.clMu.Unlock()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	i.c.Close()
+	os.RemoveAll(i.dir)
+	if i.moveErr != nil {
+		panic(fmt.Sprintf("check: cluster target rebalance: %v", i.moveErr))
+	}
+}
+
+type clusterWriter struct {
+	cl  *cluster.Client
+	buf [1]tuple.Tuple
+}
+
+// Insert routes one tuple through the cluster client, which absorbs
+// shard RETRY backpressure itself.
+func (w *clusterWriter) Insert(t tuple.Tuple) bool {
+	w.buf[0] = t
+	fresh, err := w.cl.Insert(w.buf[:])
+	if err != nil {
+		panic(fmt.Sprintf("check: cluster target insert: %v", err))
+	}
+	return fresh == 1
+}
+
+func (w *clusterWriter) Flush() {}
+
+type clusterReader struct{ cl *cluster.Client }
+
+func (r *clusterReader) Contains(t tuple.Tuple) bool {
+	ok, err := r.cl.Contains(t)
+	if err != nil {
+		panic(fmt.Sprintf("check: cluster target contains: %v", err))
+	}
+	return ok
+}
+
+func (r *clusterReader) Bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool) {
+	var (
+		t   tuple.Tuple
+		ok  bool
+		err error
+	)
+	if strict {
+		t, ok, err = r.cl.UpperBound(v)
+	} else {
+		t, ok, err = r.cl.LowerBound(v)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("check: cluster target bound: %v", err))
+	}
+	return t, ok
+}

@@ -1,0 +1,35 @@
+package check
+
+import "testing"
+
+// TestOracleClusterRestartRebalance runs the differential oracle
+// against the sharded cluster with the phase-barrier hazard schedule:
+// an abrupt shard kill + log recovery after round 1's insert phase,
+// and a live range rebalance overlapping round 2's whole-structure
+// checks and read phase. Every check stays exact — acknowledged
+// inserts survive the crash (flush-before-ack durability) and the
+// moving overlay never perturbs a scan, bound, or count.
+func TestOracleClusterRestartRebalance(t *testing.T) {
+	const keySpace = 360 // the Short config's key space
+	base := clusterFactory(3, keySpace)
+	var inst *clusterInstance
+	f := base
+	f.New = func(arity int) Instance {
+		i := base.New(arity).(*clusterInstance)
+		inst = i
+		return i
+	}
+	rep := Run(f, 2, Config{Seed: 0xc105, Workers: 4, Short: true, KeySpace: keySpace})
+	if rep.Failed() {
+		t.Fatalf("oracle failed:\n%s", rep.Summary())
+	}
+	if rep.FinalLen == 0 {
+		t.Fatal("suspicious run: final length 0")
+	}
+	if inst.Restarts() == 0 {
+		t.Fatal("hazard schedule did not restart a shard")
+	}
+	if inst.Moves() == 0 {
+		t.Fatal("hazard schedule did not complete a rebalance")
+	}
+}

@@ -1,0 +1,471 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"specbtree/internal/obs"
+	"specbtree/internal/serve"
+	"specbtree/internal/tuple"
+)
+
+// ClientOptions configures a routing Client.
+type ClientOptions struct {
+	// Arity is the tuple width of the clustered relation (default 2).
+	Arity int
+	// Timeout and DialTimeout are passed through to every per-shard
+	// connection (serve.ClientOptions defaults apply).
+	Timeout     time.Duration
+	DialTimeout time.Duration
+	// PageLimit caps the tuples fetched per shard scan page during
+	// fan-out merges (0 = the server's cap). Tests shrink it to force
+	// resumption across pages and shard boundaries.
+	PageLimit int
+	// RetryBackoff is slept between resubmissions of an insert batch
+	// the shard answered RETRY to (default 200µs).
+	RetryBackoff time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Arity <= 0 {
+		o.Arity = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 200 * time.Microsecond
+	}
+	return o
+}
+
+// Client routes operations over a sharded relation: inserts and point
+// reads go to the shard owning the tuple's leading column per the
+// current ShardMap, range scans fan out across the owning shards and
+// are stitched back into one globally sorted stream by an ordered
+// merge. Safe for concurrent use; per-shard connections are lazily
+// dialed, shared, and re-established on demand (serve.Client's
+// reconnection), each handshake pinned to its shard number so a stale
+// address can never silently reach the wrong shard.
+type Client struct {
+	src   MapSource
+	addrs []string
+	opts  ClientOptions
+
+	mu    sync.Mutex
+	conns map[int]*serve.Client
+}
+
+// NewClient builds a routing client over the given map source and
+// shard address table (addrs[i] serves shard i). No connection is made
+// until the first operation.
+func NewClient(src MapSource, addrs []string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	m := src.Map()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n := m.Shards(); n > len(addrs) {
+		return nil, fmt.Errorf("cluster: map references %d shards, %d addresses given", n, len(addrs))
+	}
+	return &Client{src: src, addrs: addrs, opts: opts, conns: make(map[int]*serve.Client)}, nil
+}
+
+// Arity returns the tuple width of the clustered relation.
+func (c *Client) Arity() int { return c.opts.Arity }
+
+// Close tears down every per-shard connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for shard, cl := range c.conns {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.conns, shard)
+	}
+	return first
+}
+
+// shard returns the connection to one shard, dialing lazily.
+func (c *Client) shard(i int) (*serve.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.conns[i]; ok {
+		return cl, nil
+	}
+	if i < 0 || i >= len(c.addrs) {
+		return nil, fmt.Errorf("cluster: no address for shard %d", i)
+	}
+	cl, err := serve.Dial(c.addrs[i], serve.ClientOptions{
+		Arity:       c.opts.Arity,
+		Timeout:     c.opts.Timeout,
+		DialTimeout: c.opts.DialTimeout,
+		ExpectShard: true,
+		ShardID:     uint32(i),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.conns[i] = cl
+	return cl, nil
+}
+
+// checkArity validates one argument tuple's width.
+func (c *Client) checkArity(t tuple.Tuple) error {
+	if len(t) != c.opts.Arity {
+		return fmt.Errorf("cluster: arity-%d tuple for arity-%d relation", len(t), c.opts.Arity)
+	}
+	return nil
+}
+
+// Insert adds the batch to the clustered relation, splitting it by
+// routing shard, and returns how many tuples were new. Shard-level
+// RETRY backpressure is absorbed here (bounded backoff and resubmit —
+// set inserts are idempotent). If the shard map changes while a
+// sub-batch is in flight, tuples whose route moved are resubmitted to
+// their new shard: an insert acknowledged by a shard that lost the
+// range mid-flight would otherwise land in the leftover region scans
+// never read (the freshness count of such a resubmitted tuple may be
+// double-reported in that rare window; visibility is never lost).
+func (c *Client) Insert(batch []tuple.Tuple) (fresh int, err error) {
+	for _, t := range batch {
+		if err := c.checkArity(t); err != nil {
+			return 0, err
+		}
+	}
+	pendingMap := c.src.Map()
+	pending := batch
+	for len(pending) > 0 {
+		m := pendingMap
+		byShard := make(map[int][]tuple.Tuple)
+		for _, t := range pending {
+			s := m.RouteInsert(t[0])
+			byShard[s] = append(byShard[s], t)
+		}
+		pending = nil
+		for s, sub := range byShard {
+			n, err := c.insertShard(s, sub)
+			if err != nil {
+				return fresh, err
+			}
+			fresh += n
+			// Revalidate against the map as of after the ack: tuples
+			// whose route changed mid-flight are resent to the new owner.
+			now := c.src.Map()
+			if now.Version != m.Version {
+				for _, t := range sub {
+					if now.RouteInsert(t[0]) != s {
+						pending = append(pending, t)
+					}
+				}
+				pendingMap = now
+			}
+		}
+	}
+	return fresh, nil
+}
+
+// insertShard submits one sub-batch to one shard, absorbing RETRY.
+func (c *Client) insertShard(shard int, sub []tuple.Tuple) (int, error) {
+	cl, err := c.shard(shard)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		n, err := cl.Insert(sub)
+		if err == nil {
+			return n, nil
+		}
+		if err != serve.ErrRetry {
+			return 0, fmt.Errorf("cluster: shard %d: %w", shard, err)
+		}
+		time.Sleep(c.opts.RetryBackoff)
+	}
+}
+
+// Contains reports whether t is in the clustered relation, consulting
+// both sides of an in-flight move when t's range is moving.
+func (c *Client) Contains(t tuple.Tuple) (bool, error) {
+	if err := c.checkArity(t); err != nil {
+		return false, err
+	}
+	m := c.src.Map()
+	var shards []int
+	shards = m.ReadShards(shards, t[0])
+	for _, s := range shards {
+		cl, err := c.shard(s)
+		if err != nil {
+			return false, err
+		}
+		ok, err := cl.Contains(t)
+		if err != nil {
+			return false, fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Len returns the clustered relation's element count: the length of
+// the merged global stream. Counting through the merge — rather than
+// summing shard lengths — keeps it exact in the presence of rebalance
+// leftovers (tuples a completed move left behind outside their
+// source's owned ranges) and mid-move duplicates.
+func (c *Client) Len() (int, error) {
+	n := 0
+	err := c.ScanAll(nil, nil, func(tuple.Tuple) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// LowerBound returns the smallest stored tuple >= v.
+func (c *Client) LowerBound(v tuple.Tuple) (tuple.Tuple, bool, error) {
+	return c.bound(v, false)
+}
+
+// UpperBound returns the smallest stored tuple > v.
+func (c *Client) UpperBound(v tuple.Tuple) (tuple.Tuple, bool, error) {
+	return c.bound(v, true)
+}
+
+// bound walks the scan runs in key order from v's run onward, asking
+// each run's shard(s) for their local bound, and returns the first
+// (smallest) hit — runs are key-ordered and disjoint, so the first
+// run with a hit holds the global bound.
+func (c *Client) bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool, error) {
+	if err := c.checkArity(v); err != nil {
+		return nil, false, err
+	}
+	m := c.src.Map()
+	for _, r := range m.runs() {
+		if r.hi < v[0] {
+			continue
+		}
+		var best tuple.Tuple
+		for _, s := range []int{r.shards[0], r.shards[1]} {
+			if s < 0 {
+				continue
+			}
+			cl, err := c.shard(s)
+			if err != nil {
+				return nil, false, err
+			}
+			var t tuple.Tuple
+			var ok bool
+			if strict {
+				t, ok, err = cl.UpperBound(v)
+			} else {
+				t, ok, err = cl.LowerBound(v)
+			}
+			if err != nil {
+				return nil, false, fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+			// Discard hits past the run: they belong to leftover regions
+			// or to later runs, which will answer for themselves.
+			if ok && t[0] <= r.hi && (best == nil || tuple.Less(t, best)) {
+				best = t
+			}
+		}
+		if best != nil {
+			return best, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan returns stored tuples t with lo <= t < hi in global order (nil
+// bounds are open), at most limit of them (0 = no cap); truncated
+// reports a cut-off result. The scan fans out across the owning shards
+// run by run and merges the streams in order.
+func (c *Client) Scan(lo, hi tuple.Tuple, limit int) (ts []tuple.Tuple, truncated bool, err error) {
+	if limit < 0 {
+		return nil, false, fmt.Errorf("cluster: negative scan limit %d", limit)
+	}
+	err = c.scanMerge(lo, hi, func(t tuple.Tuple) bool {
+		if limit > 0 && len(ts) == limit {
+			truncated = true
+			return false
+		}
+		ts = append(ts, t.Clone())
+		return true
+	})
+	return ts, truncated, err
+}
+
+// ScanAll streams the whole range [lo, hi) through yield in global
+// order, paginating past every shard's per-scan cap; returning false
+// from yield stops early. The yielded tuple is transient — clone to
+// retain.
+func (c *Client) ScanAll(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) error {
+	return c.scanMerge(lo, hi, yield)
+}
+
+// scanMerge is the fan-out merge: the map decomposes into key-ordered
+// runs, each run streamed from its owning shard — or, for the moving
+// range, 2-way merged from source and destination with equal-head
+// duplicates elided — so the concatenation is the exact global sorted
+// sequence. Each shard stream paginates with ScanPage resumption
+// tokens (last tuple + strict), which carry across page and run
+// boundaries by construction.
+func (c *Client) scanMerge(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) error {
+	if lo != nil {
+		if err := c.checkArity(lo); err != nil {
+			return err
+		}
+	}
+	if hi != nil {
+		if err := c.checkArity(hi); err != nil {
+			return err
+		}
+	}
+	m := c.src.Map()
+	arity := c.opts.Arity
+	fanout := 0
+	for _, r := range m.runs() {
+		// Clip the run against the requested bounds.
+		runLo := tuple.PrefixLowerBound(tuple.Tuple{r.lo}, arity)
+		runHi := tuple.PrefixUpperBound(tuple.Tuple{r.hi}, arity) // nil when r.hi = MaxUint64
+		if lo != nil && tuple.Compare(lo, runLo) > 0 {
+			runLo = lo
+		}
+		if hi != nil && (runHi == nil || tuple.Compare(hi, runHi) < 0) {
+			runHi = hi
+		}
+		if runHi != nil && tuple.Compare(runLo, runHi) >= 0 {
+			if hi != nil && tuple.Compare(hi, runLo) <= 0 {
+				return nil // past the requested range: done
+			}
+			continue // empty clip: next run
+		}
+		fanout++
+		if fanout == 2 {
+			obs.Inc(obs.ClusterScanFanouts)
+		}
+		a, err := c.newStream(r.shards[0], runLo, runHi)
+		if err != nil {
+			return err
+		}
+		if r.shards[1] < 0 {
+			for {
+				t, ok, err := a.next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if !yield(t) {
+					return nil
+				}
+			}
+			continue
+		}
+		// Moving-range run: 2-way merge with duplicate elision.
+		b, err := c.newStream(r.shards[1], runLo, runHi)
+		if err != nil {
+			return err
+		}
+		ta, aok, err := a.next()
+		if err != nil {
+			return err
+		}
+		tb, bok, err := b.next()
+		if err != nil {
+			return err
+		}
+		for aok || bok {
+			var emit tuple.Tuple
+			switch {
+			case !bok:
+				emit = ta
+				if ta, aok, err = a.next(); err != nil {
+					return err
+				}
+			case !aok:
+				emit = tb
+				if tb, bok, err = b.next(); err != nil {
+					return err
+				}
+			default:
+				switch cmp := tuple.Compare(ta, tb); {
+				case cmp < 0:
+					emit = ta
+					if ta, aok, err = a.next(); err != nil {
+						return err
+					}
+				case cmp > 0:
+					emit = tb
+					if tb, bok, err = b.next(); err != nil {
+						return err
+					}
+				default:
+					// The same tuple on both sides of the move: emit once.
+					obs.Inc(obs.ClusterScanDupes)
+					emit = ta
+					if ta, aok, err = a.next(); err != nil {
+						return err
+					}
+					if tb, bok, err = b.next(); err != nil {
+						return err
+					}
+				}
+			}
+			if !yield(emit) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// shardStream pulls one shard's tuples in [lo, hi) page by page.
+type shardStream struct {
+	cl     *serve.Client
+	hi     tuple.Tuple
+	cur    tuple.Tuple
+	strict bool
+	limit  int
+	page   []tuple.Tuple
+	i      int
+	more   bool // the last page was truncated: fetch another
+	shard  int
+}
+
+// newStream opens a paginated stream over one shard's [lo, hi) range.
+func (c *Client) newStream(shard int, lo, hi tuple.Tuple) (*shardStream, error) {
+	cl, err := c.shard(shard)
+	if err != nil {
+		return nil, err
+	}
+	s := &shardStream{cl: cl, hi: hi, cur: lo, strict: false, limit: c.opts.PageLimit, more: true, shard: shard}
+	return s, nil
+}
+
+// next returns the stream's next tuple in order, fetching pages on
+// demand; ok=false means the range is exhausted.
+func (s *shardStream) next() (tuple.Tuple, bool, error) {
+	for s.i >= len(s.page) {
+		if !s.more {
+			return nil, false, nil
+		}
+		page, truncated, err := s.cl.ScanPage(s.cur, s.hi, s.strict, s.limit)
+		if err != nil {
+			return nil, false, fmt.Errorf("cluster: shard %d: %w", s.shard, err)
+		}
+		if truncated && len(page) == 0 {
+			return nil, false, fmt.Errorf("cluster: shard %d: truncated scan page carries no tuples", s.shard)
+		}
+		s.page, s.i, s.more = page, 0, truncated
+		if len(page) > 0 {
+			// Resumption token: the page's last tuple, strictly after.
+			s.cur, s.strict = page[len(page)-1], true
+		}
+	}
+	t := s.page[s.i]
+	s.i++
+	return t, true, nil
+}

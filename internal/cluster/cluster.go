@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"specbtree/internal/serve"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Shards is the number of shards (default 1).
+	Shards int
+	// Arity is the tuple width of the clustered relation (default 2).
+	Arity int
+	// LogDir, when non-empty, gives every shard a durable insert log at
+	// LogDir/shard-<i>.log, replayed on start and restart. Empty runs
+	// the cluster without persistence (crash-restart then loses data —
+	// tests of the routing layer alone use this).
+	LogDir string
+	// Addrs optionally pins the shard listen addresses (len must equal
+	// Shards); empty picks a free localhost port per shard.
+	Addrs []string
+	// InitialMap overrides the uniform starting shard map — workloads
+	// whose keys occupy a small prefix of the axis partition it so the
+	// shards actually share the data. Must be valid and reference at
+	// most Shards shards.
+	InitialMap *ShardMap
+	// Serve is the per-shard serving configuration; Arity, Tree,
+	// EpochLog, Sharded and ShardID are overwritten per shard.
+	Serve serve.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Arity <= 0 {
+		o.Arity = 2
+	}
+	return o
+}
+
+// Cluster is the in-process control plane of a sharded relation: it
+// owns the shard servers and their insert logs, publishes the shard
+// map, and drives restarts (crash recovery) and range moves (online
+// rebalancing). Production deployments run shards as separate
+// processes (cmd/servebtree -shard-id); Cluster exists for tests, the
+// differential check harness, and single-process serving.
+type Cluster struct {
+	opts Options
+	src  *StaticMap
+
+	mu     sync.Mutex
+	shards []*shardState
+
+	// moveMu serialises rebalances: at most one range moves at a time
+	// (the map's single-Moving invariant).
+	moveMu sync.Mutex
+}
+
+// shardState is one shard's runtime: its server, its log, and the
+// address it is pinned to across restarts.
+type shardState struct {
+	addr string
+	srv  *serve.Server
+	log  *ShardLog
+	rec  *Recovery // what the last (re)start replayed
+}
+
+// StartCluster opens every shard's log (replaying any prior state),
+// starts the shard servers, and publishes the uniform shard map. The
+// returned cluster is serving.
+func StartCluster(opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
+	if opts.Addrs != nil && len(opts.Addrs) != opts.Shards {
+		return nil, fmt.Errorf("cluster: %d addresses for %d shards", len(opts.Addrs), opts.Shards)
+	}
+	m := opts.InitialMap
+	if m == nil {
+		m = UniformMap(opts.Shards)
+	} else {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if n := m.Shards(); n > opts.Shards {
+			return nil, fmt.Errorf("cluster: initial map references %d shards, cluster has %d", n, opts.Shards)
+		}
+	}
+	c := &Cluster{
+		opts:   opts,
+		src:    NewStaticMap(m),
+		shards: make([]*shardState, opts.Shards),
+	}
+	for i := range c.shards {
+		addr := "127.0.0.1:0"
+		if opts.Addrs != nil {
+			addr = opts.Addrs[i]
+		}
+		st, err := c.startShard(i, addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.shards[i] = st
+	}
+	return c, nil
+}
+
+// startShard recovers shard i's log (when persistence is on) and
+// starts its server on addr.
+func (c *Cluster) startShard(i int, addr string) (*shardState, error) {
+	st := &shardState{}
+	if c.opts.LogDir != "" {
+		log, rec, err := OpenShardLog(c.logPath(i), c.opts.Arity)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d log: %w", i, err)
+		}
+		st.log, st.rec = log, rec
+	}
+	sopts := c.opts.Serve
+	sopts.Arity = c.opts.Arity
+	sopts.Tree = nil
+	sopts.Sharded = true
+	sopts.ShardID = uint32(i)
+	if st.log != nil {
+		sopts.EpochLog = st.log
+		sopts.Tree = BuildTree(st.rec.Tuples, c.opts.Arity)
+	}
+	srv, err := serve.Start(addr, sopts)
+	if err != nil {
+		if st.log != nil {
+			st.log.Close()
+		}
+		return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+	}
+	st.srv = srv
+	st.addr = srv.Addr()
+	return st, nil
+}
+
+// logPath returns shard i's insert log path.
+func (c *Cluster) logPath(i int) string {
+	return filepath.Join(c.opts.LogDir, fmt.Sprintf("shard-%d.log", i))
+}
+
+// Map returns the cluster's map source for routing clients.
+func (c *Cluster) Map() MapSource { return c.src }
+
+// Addrs returns the shard address table (addrs[i] serves shard i).
+// Addresses are stable across restarts.
+func (c *Cluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.shards))
+	for i, st := range c.shards {
+		out[i] = st.addr
+	}
+	return out
+}
+
+// Shard returns shard i's server — the control-plane surface
+// (Barrier, Apply, SnapshotNow) the rebalancer and tests use.
+func (c *Cluster) Shard(i int) *serve.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards[i].srv
+}
+
+// Recovered returns what shard i's last (re)start replayed from its
+// log, or nil when the cluster runs without persistence.
+func (c *Cluster) Recovered(i int) *Recovery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards[i].rec
+}
+
+// Client dials a routing client over the cluster.
+func (c *Cluster) Client(opts ClientOptions) (*Client, error) {
+	opts.Arity = c.opts.Arity
+	return NewClient(c.src, c.Addrs(), opts)
+}
+
+// KillShard terminates shard i abruptly — connections dropped, no
+// drain, the log file abandoned mid-stream — simulating a process
+// kill. The shard's address stays reserved for RestartShard. Requires
+// persistence (a kill without a log would silently lose data).
+func (c *Cluster) KillShard(i int) error {
+	c.mu.Lock()
+	st := c.shards[i]
+	c.mu.Unlock()
+	if st.log == nil {
+		return fmt.Errorf("cluster: shard %d has no log; refusing a lossy kill", i)
+	}
+	if err := st.srv.Close(); err != nil {
+		return err
+	}
+	st.log.Close() // release the fd; recovery reopens from disk
+	return nil
+}
+
+// RestartShard recovers shard i from its insert log and serves it
+// again on the same address. The bind is retried briefly: the killed
+// listener's port can linger a moment after Close.
+func (c *Cluster) RestartShard(i int) error {
+	c.mu.Lock()
+	old := c.shards[i]
+	c.mu.Unlock()
+	var st *shardState
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err = c.startShard(i, old.addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.mu.Lock()
+	c.shards[i] = st
+	c.mu.Unlock()
+	return nil
+}
+
+// Close shuts every shard down (abruptly — use the serve layer's
+// drain directly for graceful per-shard shutdown).
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, st := range c.shards {
+		if st == nil {
+			continue
+		}
+		if st.srv != nil {
+			if err := st.srv.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if st.log != nil {
+			if err := st.log.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"specbtree/internal/serve"
+	"specbtree/internal/tuple"
+)
+
+// startTestCluster boots n logged shards in a temp dir.
+func startTestCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := StartCluster(Options{Shards: n, Arity: 2, LogDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// spread builds count arity-2 tuples spread across the whole
+// leading-column axis (so a uniform map splits them over every shard).
+func spread(count int) []tuple.Tuple {
+	out := make([]tuple.Tuple, count)
+	step := ^uint64(0) / uint64(count)
+	for i := range out {
+		out[i] = tuple.Tuple{uint64(i) * step, uint64(i)}
+	}
+	return out
+}
+
+// checkContents asserts the client sees exactly want (sorted, deduped)
+// through Len, ScanAll, Contains, and the bounds.
+func checkContents(t *testing.T, cl *Client, want []tuple.Tuple) {
+	t.Helper()
+	want = canon(want)
+	n, err := cl.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("Len = %d, want %d", n, len(want))
+	}
+	var got []tuple.Tuple
+	if err := cl.ScanAll(nil, nil, func(tp tuple.Tuple) bool {
+		got = append(got, tp.Clone())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !equalTuples(got, want) {
+		t.Fatalf("ScanAll: got %d tuples, want %d (or order/content mismatch)", len(got), len(want))
+	}
+	for _, tp := range want {
+		ok, err := cl.Contains(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("Contains(%v) = false", tp)
+		}
+	}
+}
+
+func TestClusterInsertRouteScan(t *testing.T) {
+	c := startTestCluster(t, 3)
+	cl, err := c.Client(ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tuples := spread(300)
+	fresh, err := cl.Insert(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != len(tuples) {
+		t.Fatalf("fresh = %d, want %d", fresh, len(tuples))
+	}
+	// Re-insert is idempotent across the split.
+	fresh, err = cl.Insert(tuples[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 0 {
+		t.Fatalf("re-insert fresh = %d, want 0", fresh)
+	}
+	checkContents(t, cl, tuples)
+
+	// Every shard actually holds a slice of the data (the map spread it).
+	for i := 0; i < 3; i++ {
+		if n := c.Shard(i).Tree().Len(); n == 0 {
+			t.Fatalf("shard %d is empty; routing did not spread", i)
+		}
+	}
+
+	// Windowed scan with a limit.
+	lo, hi := tuples[40], tuples[90]
+	got, truncated, err := cl.Scan(lo, hi, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(got) != 20 {
+		t.Fatalf("limited scan: %d tuples, truncated=%v; want 20, true", len(got), truncated)
+	}
+	for i := range got {
+		if !tuple.Equal(got[i], tuples[40+i]) {
+			t.Fatalf("scan[%d] = %v, want %v", i, got[i], tuples[40+i])
+		}
+	}
+
+	// Bounds walk across shard boundaries.
+	for _, i := range []int{0, 99, 100, 101, 250} {
+		got, ok, err := cl.LowerBound(tuples[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || !tuple.Equal(got, tuples[i]) {
+			t.Fatalf("LowerBound(%v) = %v, %v", tuples[i], got, ok)
+		}
+		gotU, ok, err := cl.UpperBound(tuples[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == len(tuples)-1 {
+			continue
+		}
+		if !ok || !tuple.Equal(gotU, tuples[i+1]) {
+			t.Fatalf("UpperBound(%v) = %v, %v; want %v", tuples[i], gotU, ok, tuples[i+1])
+		}
+	}
+	if _, ok, err := cl.UpperBound(tuples[len(tuples)-1]); err != nil || ok {
+		t.Fatalf("UpperBound(last) = ok=%v err=%v, want miss", ok, err)
+	}
+}
+
+func TestClusterKillRecover(t *testing.T) {
+	c := startTestCluster(t, 3)
+	cl, err := c.Client(ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tuples := spread(240)
+	if _, err := cl.Insert(tuples); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill shard 1 abruptly and bring it back from its log.
+	if err := c.KillShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartShard(1); err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Recovered(1)
+	if rec == nil || len(rec.Tuples) == 0 {
+		t.Fatalf("restart replayed nothing: %+v", rec)
+	}
+
+	// The routing client reconnects transparently (same address, shard
+	// identity re-verified in the hello) and the data is all there.
+	checkContents(t, cl, tuples)
+
+	// The recovered shard keeps accepting logged inserts.
+	extra := []tuple.Tuple{{tuples[100][0] + 1, 7777}}
+	if _, err := cl.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	checkContents(t, cl, append(append([]tuple.Tuple{}, tuples...), extra...))
+}
+
+func TestClusterMoveRange(t *testing.T) {
+	c := startTestCluster(t, 3)
+	cl, err := c.Client(ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tuples := spread(300)
+	if _, err := cl.Insert(tuples); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move the first half of shard 0's range onto shard 2.
+	m := c.Map().Map()
+	e0 := m.Entries[0]
+	mid := e0.Lo + (e0.Hi-e0.Lo)/2
+	srcLen := c.Shard(0).Tree().Len()
+	dstBefore := c.Shard(2).Tree().Len()
+	if err := c.MoveRange(e0.Lo, mid, 2, MoveOptions{ChunkSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	fin := c.Map().Map()
+	if fin.Moving.Active {
+		t.Fatal("move left the overlay active")
+	}
+	if got := fin.Owner(e0.Lo); got != 2 {
+		t.Fatalf("Owner(%d) = %d after move, want 2", e0.Lo, got)
+	}
+	if got := fin.Owner(mid + 1); got != 0 {
+		t.Fatalf("Owner(%d) = %d after move, want 0", mid+1, got)
+	}
+	if got := c.Shard(2).Tree().Len(); got <= dstBefore {
+		t.Fatalf("destination grew %d -> %d; move imported nothing", dstBefore, got)
+	}
+
+	// Globally nothing changed: the leftover region on shard 0 is
+	// invisible to map-driven scans.
+	checkContents(t, cl, tuples)
+
+	// New inserts into the moved range land on the new owner.
+	moved := []tuple.Tuple{{e0.Lo + 5, 4242}}
+	if _, err := cl.Insert(moved); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Shard(2).Tree().Contains(moved[0]) {
+		t.Fatal("post-move insert missed the new owner")
+	}
+	checkContents(t, cl, append(append([]tuple.Tuple{}, tuples...), moved...))
+
+	// Restarting the source replays the fence: the leftover region is
+	// gone from its tree, and the global view still holds.
+	if err := c.KillShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartShard(0); err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Recovered(0)
+	if rec.Dropped == 0 {
+		t.Fatalf("source replay dropped nothing; fence not honoured: %+v", rec)
+	}
+	if got := c.Shard(0).Tree().Len(); got >= srcLen {
+		t.Fatalf("source still holds %d tuples after fenced replay (had %d)", got, srcLen)
+	}
+	checkContents(t, cl, append(append([]tuple.Tuple{}, tuples...), moved...))
+}
+
+func TestClusterShardIdentityPinned(t *testing.T) {
+	c := startTestCluster(t, 2)
+	addrs := c.Addrs()
+
+	// Dialing shard 0's address while expecting shard 1 must refuse.
+	if _, err := serve.Dial(addrs[0], serve.ClientOptions{
+		Arity: 2, ExpectShard: true, ShardID: 1,
+	}); err == nil {
+		t.Fatal("cross-shard dial succeeded; hello shard check missing")
+	}
+	// A shard-unaware dial to a shard still works (ops tooling).
+	scl, err := serve.Dial(addrs[0], serve.ClientOptions{Arity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scl.Close()
+}
+
+func TestClusterEphemeralRefusesKill(t *testing.T) {
+	c, err := StartCluster(Options{Shards: 2, Arity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.KillShard(0); err == nil {
+		t.Fatal("lossy kill of an unlogged shard was allowed")
+	}
+}
+
+func TestClusterLogPaths(t *testing.T) {
+	dir := t.TempDir()
+	c, err := StartCluster(Options{Shards: 2, Arity: 2, LogDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 2; i++ {
+		want := filepath.Join(dir, "shard-"+string(rune('0'+i))+".log")
+		if got := c.logPath(i); got != want {
+			t.Fatalf("logPath(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestClusterLenCountsThroughMerge pins Len to the merged stream: sum
+// of shard lengths over-counts after a move (leftovers) and during one
+// (duplicates); the client's Len must not.
+func TestClusterLenCountsThroughMerge(t *testing.T) {
+	c := startTestCluster(t, 2)
+	cl, err := c.Client(ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tuples := spread(100)
+	if _, err := cl.Insert(tuples); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Map().Map()
+	e0 := m.Entries[0]
+	if err := c.MoveRange(e0.Lo, e0.Lo+(e0.Hi-e0.Lo)/2, 1, MoveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sum := c.Shard(0).Tree().Len() + c.Shard(1).Tree().Len()
+	if sum <= len(tuples) {
+		t.Fatalf("shard length sum %d; expected leftover over-count past %d", sum, len(tuples))
+	}
+	n, err := cl.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(tuples) {
+		t.Fatalf("Len = %d, want %d (must see through leftovers)", n, len(tuples))
+	}
+}
+
+// sortTuples is a test convenience.
+func sortTuples(ts []tuple.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return tuple.Less(ts[i], ts[j]) })
+}
+
+// equalTuples reports element-wise equality in order.
+func equalTuples(a, b []tuple.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !tuple.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,419 @@
+// Package cluster shards one relation across N relation servers
+// (internal/serve), each backed by the paper's concurrent specialised
+// B-tree. A ShardMap partitions the key space by range on the leading
+// tuple column; a shard-aware Client routes inserts and point reads to
+// the owning shard and fans range scans across shards with an ordered
+// k-way merge. Each shard persists a per-epoch append-only insert log
+// (this file) replayed through core.BuildFromSorted on restart, and
+// ranges move between shards online via core.Snapshot handoff
+// (rebalance.go). DESIGN.md §15 specifies the protocols.
+//
+// The log exploits the paper's insert-only contract: a relation is
+// reconstructed exactly by re-inserting every acknowledged tuple, so
+// durability is one append-only file of insert records — no undo, no
+// page images, no checkpointing beyond the log itself.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"specbtree/internal/core"
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
+
+// Log file format (DESIGN.md §15):
+//
+//	file   := record*
+//	record := bodyLen:u32 body crc:u32     (big-endian, crc32-IEEE of body)
+//	body   := kind:u8 seq:u64 payload
+//
+// Record kinds:
+//
+//	recInsert (1): payload = count:u32 (count × arity) u64 words —
+//	    the tuples of one insert batch, in batch order.
+//	recCommit (2): no payload — ends epoch seq; every record of an
+//	    epoch carries the same seq, and consecutive epochs are
+//	    numbered 1, 2, 3, … with no gaps.
+//	recFence  (3): payload = lo:u64 hi:u64 dst:u32 — the leading-column
+//	    range [lo, hi] was handed to shard dst at this point; replay
+//	    drops earlier committed tuples inside it (the destination
+//	    logged them durably before the fence was written).
+//
+// One write epoch is composed in memory — insert record(s) followed by
+// a commit marker — then written with a single Write and fsynced
+// BEFORE the server delivers the epoch's acknowledgements, so the set
+// of acknowledged tuples is always a prefix of the committed log.
+// Replay applies committed epochs only: an incomplete trailing record
+// or a trailing epoch with no commit marker is a crash artifact past
+// the last durable flush, never acknowledged, and is truncated
+// silently; a complete record that fails its checksum, carries an
+// unknown kind, an out-of-sequence epoch number, or an implausible
+// length is ErrLogCorrupt.
+const (
+	recInsert = 1
+	recCommit = 2
+	recFence  = 3
+
+	// maxRecordBody bounds a single record body (64 MiB). A length
+	// field above it cannot come from this writer and marks the record
+	// complete-but-corrupt rather than torn.
+	maxRecordBody = 1 << 26
+)
+
+// ErrLogCorrupt is the pinned error for a shard insert log whose
+// committed prefix is damaged: a checksum mismatch, an unknown record
+// kind, an out-of-sequence epoch number, or an implausible record
+// length. Torn trailing bytes from a crash are NOT corruption — they
+// are truncated silently, because the flush-before-ack protocol
+// guarantees nothing torn was ever acknowledged.
+var ErrLogCorrupt = errors.New("cluster: insert log corrupt")
+
+// ErrCrashed is returned by ShardLog operations after an injected
+// crash (logcrash builds): the log simulates a killed process and
+// refuses further appends until reopened.
+var ErrCrashed = errors.New("cluster: log writer crashed (injected)")
+
+// ShardLog is the append-only per-epoch insert log of one shard. It
+// implements serve.EpochLog: the shard's scheduler calls LogEpoch with
+// the applied batches of each write epoch after application and before
+// acknowledgement delivery. Appends are mutex-serialised so the
+// rebalance control plane can interleave AppendFence with the
+// scheduler's epoch flushes.
+type ShardLog struct {
+	arity int
+	path  string
+
+	mu      sync.Mutex
+	f       *os.File
+	nextSeq uint64
+	buf     []byte
+	crashed bool
+}
+
+// Recovery describes what OpenShardLog replayed from an existing log.
+type Recovery struct {
+	// Tuples are the committed tuples in log order, fence-dropped
+	// ranges excluded; duplicates possible (re-inserts are logged as
+	// acknowledged). Build a tree with BuildTree.
+	Tuples []tuple.Tuple
+	// Epochs is the number of committed epochs replayed.
+	Epochs uint64
+	// TornTail reports that trailing bytes past the last committed
+	// epoch were discarded (crash artifact, never acknowledged).
+	TornTail bool
+	// Dropped is the number of committed tuples discarded because a
+	// later fence moved their range to another shard.
+	Dropped int
+}
+
+// OpenShardLog opens (or creates) the insert log at path for a shard
+// of the given arity, replays its committed prefix, truncates any
+// trailing crash artifact, and returns the log positioned to append
+// the next epoch. The returned Recovery holds the replayed tuples.
+func OpenShardLog(path string, arity int) (*ShardLog, *Recovery, error) {
+	if arity < 1 {
+		return nil, nil, fmt.Errorf("cluster: arity %d out of range", arity)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	rec, validLen, err := replay(data, arity)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if validLen < int64(len(data)) {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	obs.Add(obs.ClusterLogReplayTuples, uint64(len(rec.Tuples)))
+	if rec.TornTail {
+		obs.Inc(obs.ClusterLogTornTails)
+	}
+	return &ShardLog{arity: arity, f: f, path: path, nextSeq: rec.Epochs + 1}, rec, nil
+}
+
+// Path returns the log's file path.
+func (l *ShardLog) Path() string { return l.path }
+
+// Close closes the underlying file. The log must not be used after.
+func (l *ShardLog) Close() error { return l.f.Close() }
+
+// LogEpoch durably appends one write epoch — the applied insert
+// batches followed by a commit marker — as a single write + fsync.
+// The serving layer calls it after batch application and before
+// acknowledgement delivery (serve.EpochLog); an error fails the
+// epoch's acknowledgements.
+func (l *ShardLog) LogEpoch(batches [][]tuple.Tuple) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrashed
+	}
+	n := 0
+	for _, b := range batches {
+		n += len(b)
+	}
+	if n == 0 {
+		return nil // empty epoch (barrier): nothing to make durable
+	}
+	start := obs.Clock()
+	l.buf = l.buf[:0]
+	records := uint64(0)
+	for _, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		l.buf = appendInsertRecord(l.buf, l.nextSeq, b)
+		records++
+	}
+	l.buf = appendRecord(l.buf, recCommit, l.nextSeq, nil)
+	records++
+	if err := l.flush(crashSiteEpoch); err != nil {
+		return err
+	}
+	obs.Add(obs.ClusterLogRecords, records)
+	obs.Add(obs.ClusterLogBytes, uint64(len(l.buf)))
+	obs.Observe(obs.HistClusterLogFlushNanos, uint64(obs.Clock()-start))
+	l.nextSeq++
+	return nil
+}
+
+// AppendFence durably appends a fence epoch recording that the
+// leading-column range [lo, hi] now lives on shard dst: on replay,
+// committed tuples inside the range from earlier epochs are dropped
+// (the destination shard logged them before this fence was written).
+func (l *ShardLog) AppendFence(lo, hi uint64, dst uint32) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrashed
+	}
+	if lo > hi {
+		return fmt.Errorf("cluster: fence range [%d, %d] inverted", lo, hi)
+	}
+	start := obs.Clock()
+	payload := make([]byte, 0, 20)
+	payload = be64(payload, lo)
+	payload = be64(payload, hi)
+	payload = be32(payload, dst)
+	l.buf = l.buf[:0]
+	l.buf = appendRecord(l.buf, recFence, l.nextSeq, payload)
+	l.buf = appendRecord(l.buf, recCommit, l.nextSeq, nil)
+	if err := l.flush(crashSiteFence); err != nil {
+		return err
+	}
+	obs.Add(obs.ClusterLogRecords, 2)
+	obs.Add(obs.ClusterLogBytes, uint64(len(l.buf)))
+	obs.Observe(obs.HistClusterLogFlushNanos, uint64(obs.Clock()-start))
+	l.nextSeq++
+	return nil
+}
+
+// flush writes the composed epoch buffer and fsyncs. In logcrash
+// builds an installed injector may cut the write short at the given
+// site, simulating a process kill mid-flush; the log then refuses
+// further use until reopened.
+func (l *ShardLog) flush(site CrashSite) error {
+	b := l.buf
+	if CrashInjecting {
+		if cut, ok := crashCut(site, len(b)); ok {
+			if cut > 0 {
+				l.f.Write(b[:cut])
+				l.f.Sync()
+			}
+			l.crashed = true
+			return ErrCrashed
+		}
+	}
+	if _, err := l.f.Write(b); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// appendInsertRecord frames one insert batch as a recInsert record.
+func appendInsertRecord(buf []byte, seq uint64, batch []tuple.Tuple) []byte {
+	payload := make([]byte, 0, 4+len(batch)*len(batch[0])*8)
+	payload = be32(payload, uint32(len(batch)))
+	for _, t := range batch {
+		for _, w := range t {
+			payload = be64(payload, w)
+		}
+	}
+	return appendRecord(buf, recInsert, seq, payload)
+}
+
+// appendRecord frames one record: bodyLen, body (kind + seq + payload),
+// crc32 of the body.
+func appendRecord(buf []byte, kind byte, seq uint64, payload []byte) []byte {
+	bodyLen := 1 + 8 + len(payload)
+	buf = be32(buf, uint32(bodyLen))
+	bodyStart := len(buf)
+	buf = append(buf, kind)
+	buf = be64(buf, seq)
+	buf = append(buf, payload...)
+	return be32(buf, crc32.ChecksumIEEE(buf[bodyStart:]))
+}
+
+func be32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func be64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func rd32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func rd64(b []byte) uint64 {
+	return uint64(rd32(b))<<32 | uint64(rd32(b[4:]))
+}
+
+// fence is one replayed recFence: committed tuples with leading column
+// in [lo, hi] from epochs before it belong to shard dst.
+type fence struct {
+	lo, hi uint64
+	dst    uint32
+}
+
+// replay decodes data, applying the committed prefix, and returns the
+// recovery plus the byte length of the valid prefix (the truncation
+// point for trailing crash artifacts). Complete-but-invalid records
+// inside the file are ErrLogCorrupt; an incomplete trailing record or
+// uncommitted trailing epoch is silently dropped.
+func replay(data []byte, arity int) (*Recovery, int64, error) {
+	rec := &Recovery{}
+	var committed []tuple.Tuple
+	var pending []tuple.Tuple
+	var pendingFences []fence
+	off := 0
+	validLen := 0 // end of the last committed epoch
+	seq := uint64(0)
+	epochSeq := uint64(0) // seq of the open epoch, 0 = none open
+	for off < len(data) {
+		if len(data)-off < 4 {
+			rec.TornTail = true
+			break
+		}
+		bodyLen := int(rd32(data[off:]))
+		if bodyLen < 9 || bodyLen > maxRecordBody {
+			return nil, 0, fmt.Errorf("%w: record at offset %d has implausible length %d", ErrLogCorrupt, off, bodyLen)
+		}
+		if len(data)-off < 4+bodyLen+4 {
+			rec.TornTail = true
+			break
+		}
+		body := data[off+4 : off+4+bodyLen]
+		wantCRC := rd32(data[off+4+bodyLen:])
+		if crc32.ChecksumIEEE(body) != wantCRC {
+			return nil, 0, fmt.Errorf("%w: record at offset %d fails its checksum", ErrLogCorrupt, off)
+		}
+		kind, recSeq, payload := body[0], rd64(body[1:]), body[9:]
+		switch {
+		case epochSeq == 0 && recSeq == seq+1:
+			epochSeq = recSeq // first record of the next epoch
+		case recSeq != epochSeq:
+			return nil, 0, fmt.Errorf("%w: record at offset %d carries epoch %d, want %d", ErrLogCorrupt, off, recSeq, seq+1)
+		}
+		switch kind {
+		case recInsert:
+			if len(payload) < 4 {
+				return nil, 0, fmt.Errorf("%w: insert record at offset %d truncated", ErrLogCorrupt, off)
+			}
+			count := int(rd32(payload))
+			payload = payload[4:]
+			if len(payload) != count*arity*8 {
+				return nil, 0, fmt.Errorf("%w: insert record at offset %d declares %d tuples but carries %d bytes", ErrLogCorrupt, off, count, len(payload))
+			}
+			for i := 0; i < count; i++ {
+				t := make(tuple.Tuple, arity)
+				for j := 0; j < arity; j++ {
+					t[j] = rd64(payload[(i*arity+j)*8:])
+				}
+				pending = append(pending, t)
+			}
+		case recFence:
+			if len(payload) != 20 {
+				return nil, 0, fmt.Errorf("%w: fence record at offset %d malformed", ErrLogCorrupt, off)
+			}
+			pendingFences = append(pendingFences, fence{lo: rd64(payload), hi: rd64(payload[8:]), dst: rd32(payload[16:])})
+		case recCommit:
+			if len(payload) != 0 {
+				return nil, 0, fmt.Errorf("%w: commit marker at offset %d carries payload", ErrLogCorrupt, off)
+			}
+			committed = append(committed, pending...)
+			pending = pending[:0]
+			for _, fc := range pendingFences {
+				kept := committed[:0]
+				for _, t := range committed {
+					if t[0] >= fc.lo && t[0] <= fc.hi {
+						rec.Dropped++
+						continue
+					}
+					kept = append(kept, t)
+				}
+				committed = kept
+			}
+			pendingFences = pendingFences[:0]
+			seq = epochSeq
+			epochSeq = 0
+			rec.Epochs++
+			validLen = off + 4 + bodyLen + 4
+		default:
+			return nil, 0, fmt.Errorf("%w: record at offset %d has unknown kind %d", ErrLogCorrupt, off, kind)
+		}
+		off += 4 + bodyLen + 4
+	}
+	if len(pending) > 0 || len(pendingFences) > 0 || epochSeq != 0 {
+		// Complete records of an epoch whose commit marker never hit the
+		// disk: the flush was cut mid-epoch, nothing in it was acked.
+		rec.TornTail = true
+	}
+	rec.Tuples = committed
+	return rec, int64(validLen), nil
+}
+
+// BuildTree sorts and deduplicates the replayed tuples and bulk-loads
+// them into a fresh tree via core.BuildFromSorted — the recovery path
+// the paper's insert-only contract makes exact: re-inserting every
+// acknowledged tuple reconstructs the relation.
+func BuildTree(tuples []tuple.Tuple, arity int) *core.Tree {
+	t := core.New(arity)
+	if len(tuples) == 0 {
+		return t
+	}
+	sorted := make([]tuple.Tuple, len(tuples))
+	copy(sorted, tuples)
+	sort.Slice(sorted, func(i, j int) bool { return tuple.Less(sorted[i], sorted[j]) })
+	dedup := sorted[:1]
+	for _, tt := range sorted[1:] {
+		if !tuple.Equal(tt, dedup[len(dedup)-1]) {
+			dedup = append(dedup, tt)
+		}
+	}
+	t.BuildFromSorted(dedup)
+	return t
+}

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"specbtree/internal/serve"
+	"specbtree/internal/tuple"
+)
+
+// randomMap builds a valid random shard map over nShards shards with
+// nEntries ranges and, with probability ½, one active moving range —
+// including degenerate shapes (single-key ranges, moves at entry
+// edges, moves spanning a whole entry).
+func randomMap(rng *rand.Rand, nShards, nEntries int) *ShardMap {
+	cuts := map[uint64]bool{}
+	for len(cuts) < nEntries-1 {
+		cuts[1+uint64(rng.Intn(200))] = true
+	}
+	var bounds []uint64
+	for c := range cuts {
+		bounds = append(bounds, c)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	entries := make([]MapEntry, 0, nEntries)
+	lo := uint64(0)
+	for _, b := range bounds {
+		entries = append(entries, MapEntry{Lo: lo, Hi: b - 1, Shard: rng.Intn(nShards)})
+		lo = b
+	}
+	entries = append(entries, MapEntry{Lo: lo, Hi: ^uint64(0), Shard: rng.Intn(nShards)})
+	m := &ShardMap{Version: 1, Entries: entries}
+	if rng.Intn(2) == 0 && nShards > 1 {
+		e := entries[rng.Intn(len(entries))]
+		span := e.Hi - e.Lo
+		if span > 220 {
+			span = 220 // keep moving bounds inside the populated key region
+		}
+		mlo := e.Lo + uint64(rng.Int63n(int64(span+1)))
+		mhi := mlo + uint64(rng.Int63n(int64(e.Lo+span-mlo+1)))
+		dst := rng.Intn(nShards - 1)
+		if dst >= e.Shard {
+			dst++
+		}
+		m.Moving = Moving{Lo: mlo, Hi: mhi, Src: e.Shard, Dst: dst, Active: true}
+	}
+	return m
+}
+
+// TestScanMergeProperty drives the fan-out merge against a sorted
+// model over seeded random shard maps and tuple placements: shards are
+// real servers with a tiny scan cap (forcing pagination mid-run),
+// tuples in a moving range land on the source, the destination, or
+// both (forcing duplicate elision), and every full and windowed scan
+// must reproduce the model's exact global sorted sequence.
+func TestScanMergeProperty(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			nShards := 2 + rng.Intn(3)
+			m := randomMap(rng, nShards, 2+rng.Intn(5))
+			if err := m.Validate(); err != nil {
+				t.Fatalf("randomMap produced an invalid map: %v", err)
+			}
+
+			// Real shard servers with a tiny per-scan cap so every run
+			// paginates through several resumption tokens.
+			addrs := make([]string, nShards)
+			srvs := make([]*serve.Server, nShards)
+			for i := range srvs {
+				srv, err := serve.Start("127.0.0.1:0", serve.Options{
+					Arity: 2, MaxScan: 1 + rng.Intn(7), Sharded: true, ShardID: uint32(i),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+				srvs[i] = srv
+				addrs[i] = srv.Addr()
+			}
+
+			// Place random tuples per the map: owned keys on their owner,
+			// moving-range keys on src, dst, or both.
+			model := map[[2]uint64]bool{}
+			byShard := make([][]tuple.Tuple, nShards)
+			for n := 0; n < 400; n++ {
+				tp := tuple.Tuple{uint64(rng.Intn(230)), uint64(rng.Intn(8))}
+				model[[2]uint64{tp[0], tp[1]}] = true
+				mv := m.Moving
+				if mv.Active && tp[0] >= mv.Lo && tp[0] <= mv.Hi {
+					switch rng.Intn(3) {
+					case 0:
+						byShard[mv.Src] = append(byShard[mv.Src], tp)
+					case 1:
+						byShard[mv.Dst] = append(byShard[mv.Dst], tp)
+					default:
+						byShard[mv.Src] = append(byShard[mv.Src], tp)
+						byShard[mv.Dst] = append(byShard[mv.Dst], tp)
+					}
+				} else {
+					s := m.Owner(tp[0])
+					byShard[s] = append(byShard[s], tp)
+				}
+			}
+			for i, ts := range byShard {
+				if len(ts) == 0 {
+					continue
+				}
+				if _, err := srvs[i].Apply(ts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var ref []tuple.Tuple
+			for k := range model {
+				ref = append(ref, tuple.Tuple{k[0], k[1]})
+			}
+			sortTuples(ref)
+
+			cl, err := NewClient(NewStaticMap(m), addrs, ClientOptions{
+				Arity: 2, PageLimit: 1 + rng.Intn(5),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			// Full merged stream == the model, exactly and in order.
+			var got []tuple.Tuple
+			if err := cl.ScanAll(nil, nil, func(tp tuple.Tuple) bool {
+				got = append(got, tp.Clone())
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !equalTuples(got, ref) {
+				t.Fatalf("merged stream diverges from model: got %d tuples, want %d", len(got), len(ref))
+			}
+
+			// Len counts through the merge.
+			if n, err := cl.Len(); err != nil || n != len(ref) {
+				t.Fatalf("Len = %d (err %v), want %d", n, err, len(ref))
+			}
+
+			// Random windows and limits, including windows straddling
+			// shard and moving-range boundaries.
+			for probe := 0; probe < 25; probe++ {
+				lo := tuple.Tuple{uint64(rng.Intn(240)), uint64(rng.Intn(9))}
+				hi := tuple.Tuple{uint64(rng.Intn(240)), uint64(rng.Intn(9))}
+				if tuple.Compare(lo, hi) > 0 {
+					lo, hi = hi, lo
+				}
+				limit := rng.Intn(30)
+				var want []tuple.Tuple
+				for _, tp := range ref {
+					if tuple.Compare(tp, lo) >= 0 && tuple.Compare(tp, hi) < 0 {
+						want = append(want, tp)
+					}
+				}
+				wantTrunc := limit > 0 && len(want) > limit
+				if wantTrunc {
+					want = want[:limit]
+				}
+				gotW, truncated, err := cl.Scan(lo, hi, limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if truncated != wantTrunc || !equalTuples(gotW, want) {
+					t.Fatalf("Scan(%v, %v, %d): %d tuples truncated=%v; want %d truncated=%v",
+						lo, hi, limit, len(gotW), truncated, len(want), wantTrunc)
+				}
+			}
+
+			// Point reads and bounds against the model.
+			for probe := 0; probe < 40; probe++ {
+				tp := tuple.Tuple{uint64(rng.Intn(240)), uint64(rng.Intn(9))}
+				ok, err := cl.Contains(tp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != model[[2]uint64{tp[0], tp[1]}] {
+					t.Fatalf("Contains(%v) = %v, model says %v", tp, ok, !ok)
+				}
+				idx := sort.Search(len(ref), func(i int) bool { return tuple.Compare(ref[i], tp) >= 0 })
+				gotB, ok, err := cl.LowerBound(tp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != (idx < len(ref)) || (ok && !tuple.Equal(gotB, ref[idx])) {
+					t.Fatalf("LowerBound(%v) = %v ok=%v; model idx %d", tp, gotB, ok, idx)
+				}
+				idx = sort.Search(len(ref), func(i int) bool { return tuple.Compare(ref[i], tp) > 0 })
+				gotB, ok, err = cl.UpperBound(tp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != (idx < len(ref)) || (ok && !tuple.Equal(gotB, ref[idx])) {
+					t.Fatalf("UpperBound(%v) = %v ok=%v; model idx %d", tp, gotB, ok, idx)
+				}
+			}
+
+			// Early stop respects yield.
+			n := 0
+			if err := cl.ScanAll(nil, nil, func(tuple.Tuple) bool { n++; return n < 3 }); err != nil {
+				t.Fatal(err)
+			}
+			if len(ref) >= 3 && n != 3 {
+				t.Fatalf("early stop yielded %d", n)
+			}
+		})
+	}
+}

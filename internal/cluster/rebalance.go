@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
+
+// MoveOptions tunes one online range move.
+type MoveOptions struct {
+	// ChunkSize bounds the tuples per Apply submission on the
+	// destination (default 2048, clamped to the destination's MaxBatch
+	// by the serve layer contract — keep it under serve MaxBatch).
+	ChunkSize int
+	// Pace, when non-zero, is slept between chunk submissions, bounding
+	// the move's write pressure on the destination while readers run.
+	Pace time.Duration
+}
+
+func (o MoveOptions) withDefaults() MoveOptions {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 2048
+	}
+	return o
+}
+
+// MoveRange hands the leading-column range [lo, hi] (inclusive) to
+// shard dst online, without stopping reads or inserts (DESIGN.md §15):
+//
+//  1. Cut: publish the map with the range Moving. From here inserts
+//     into the range route to dst and reads consult both sides.
+//  2. Barrier on the source: an empty write epoch flushes every insert
+//     admitted under the old map, so the snapshot below contains all
+//     source-routed tuples.
+//  3. Snapshot + export: an O(1) epoch snapshot of the source, the
+//     range materialised from it — readers keep running.
+//  4. Import: the exported tuples stream into dst in chunks through
+//     the write scheduler (logged, phase-disciplined, idempotent).
+//  5. Fence: the source's log records the handoff, so a source replay
+//     no longer resurrects the moved range (dst holds it durably).
+//  6. Finalize: publish the map with dst owning the range.
+//
+// The moved tuples linger in the source's in-memory tree as a leftover
+// region until its next restart replays the fence; scans never read
+// them because routing is map-driven. Moves are serialised — at most
+// one range moves at a time.
+func (c *Cluster) MoveRange(lo, hi uint64, dst int, opts MoveOptions) error {
+	opts = opts.withDefaults()
+	c.moveMu.Lock()
+	defer c.moveMu.Unlock()
+
+	m := c.src.Map()
+	src := m.Owner(lo)
+	if m.Owner(hi) != src {
+		return fmt.Errorf("cluster: range [%d, %d] spans shards; move one owned range at a time", lo, hi)
+	}
+	if dst == src {
+		return fmt.Errorf("cluster: range [%d, %d] already on shard %d", lo, hi, dst)
+	}
+	if dst < 0 || dst >= len(c.shards) {
+		return fmt.Errorf("cluster: no shard %d", dst)
+	}
+
+	// 1. Cut: announce the move. The new generation routes range
+	// inserts to dst and fans range reads across both shards.
+	cut := m.withMoving(lo, hi, src, dst)
+	if err := cut.Validate(); err != nil {
+		return err
+	}
+	c.src.Set(cut)
+
+	srcSrv, dstSrv := c.Shard(src), c.Shard(dst)
+
+	// 2. Barrier: flush the source's write pipeline so the snapshot
+	// holds every insert routed to it before the cut was visible.
+	if err := srcSrv.Barrier(); err != nil {
+		c.src.Set(m) // abort: restore the pre-move map
+		return fmt.Errorf("cluster: move barrier on shard %d: %w", src, err)
+	}
+
+	// 3. Snapshot the source and export the moving range.
+	snap, err := srcSrv.SnapshotNow()
+	if err != nil {
+		c.src.Set(m)
+		return fmt.Errorf("cluster: move snapshot on shard %d: %w", src, err)
+	}
+	arity := snap.Arity()
+	from := tuple.PrefixLowerBound(tuple.Tuple{lo}, arity)
+	to := tuple.PrefixUpperBound(tuple.Tuple{hi}, arity) // nil when hi = MaxUint64
+	moved := snap.ExportRange(from, to)
+
+	// 4. Import into the destination in chunks, through its write
+	// scheduler: logged before acknowledgement, phase-disciplined
+	// against concurrent readers, idempotent under re-import.
+	for off := 0; off < len(moved); off += opts.ChunkSize {
+		end := off + opts.ChunkSize
+		if end > len(moved) {
+			end = len(moved)
+		}
+		if _, err := dstSrv.Apply(moved[off:end]); err != nil {
+			c.src.Set(m)
+			return fmt.Errorf("cluster: move import into shard %d: %w", dst, err)
+		}
+		if opts.Pace > 0 && end < len(moved) {
+			time.Sleep(opts.Pace)
+		}
+	}
+
+	// 5. Fence the source's log: from here a source replay drops the
+	// range — the destination has it durably. Without a log (ephemeral
+	// cluster) there is nothing to fence.
+	c.mu.Lock()
+	srcLog := c.shards[src].log
+	c.mu.Unlock()
+	if srcLog != nil {
+		if err := srcLog.AppendFence(lo, hi, uint32(dst)); err != nil {
+			c.src.Set(m)
+			return fmt.Errorf("cluster: move fence on shard %d: %w", src, err)
+		}
+	}
+
+	// 6. Finalize: dst owns the range; the overlay clears.
+	fin := cut.finalized()
+	if err := fin.Validate(); err != nil {
+		return err
+	}
+	c.src.Set(fin)
+	obs.Inc(obs.ClusterRebalanceMoves)
+	obs.Add(obs.ClusterRebalanceTuples, uint64(len(moved)))
+	return nil
+}

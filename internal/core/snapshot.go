@@ -163,6 +163,21 @@ func (s Snapshot) All(yield func(tuple.Tuple) bool) {
 	s.Scan(nil, nil, yield)
 }
 
+// ExportRange materialises every snapshot element t with from <= t < to
+// (nil bounds are open) into an owned slice. The result is sorted and
+// duplicate-free by construction — exactly the input contract of
+// Tree.BuildFromSorted, making the pair the cluster rebalance handoff:
+// freeze the range on the source via a snapshot, export it, bulk-load
+// it into the destination (DESIGN.md §15).
+func (s Snapshot) ExportRange(from, to tuple.Tuple) []tuple.Tuple {
+	var out []tuple.Tuple
+	s.Scan(from, to, func(t tuple.Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out
+}
+
 // snapFrame is one level of a SnapCursor's descent stack. For the top
 // frame, idx is the element index within n; for every frame below it, idx
 // is the child slot the descent took out of n.

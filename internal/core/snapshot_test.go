@@ -265,3 +265,55 @@ func TestSnapshotHintAcrossEpoch(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", got, want)
 	}
 }
+
+// TestSnapshotExportRange checks the rebalance-handoff contract:
+// ExportRange yields exactly the in-range tuples, sorted and owned,
+// and the result bulk-loads via BuildFromSorted into an equal subtree.
+func TestSnapshotExportRange(t *testing.T) {
+	tr := New(2)
+	rng := rand.New(rand.NewSource(7))
+	seen := map[[2]uint64]bool{}
+	for i := 0; i < 500; i++ {
+		tp := tuple.Tuple{uint64(rng.Intn(100)), uint64(rng.Intn(100))}
+		tr.Insert(tp)
+		seen[[2]uint64{tp[0], tp[1]}] = true
+	}
+	s := tr.Snapshot()
+	lo, hi := tuple.Tuple{25, 0}, tuple.Tuple{75, 0}
+	got := s.ExportRange(lo, hi)
+	want := 0
+	for k := range seen {
+		if k[0] >= 25 && k[0] < 75 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("exported %d tuples, want %d", len(got), want)
+	}
+	for i, tp := range got {
+		if tuple.Compare(tp, lo) < 0 || tuple.Compare(tp, hi) >= 0 {
+			t.Fatalf("exported out-of-range tuple %v", tp)
+		}
+		if i > 0 && tuple.Compare(got[i-1], tp) >= 0 {
+			t.Fatalf("export not strictly increasing at %d: %v then %v", i, got[i-1], tp)
+		}
+	}
+	// The export is owned, not aliased into a scan buffer.
+	if len(got) >= 2 && &got[0][0] == &got[1][0] {
+		t.Fatal("exported tuples alias one buffer")
+	}
+	dst := New(2)
+	dst.BuildFromSorted(got)
+	if dst.Len() != want {
+		t.Fatalf("bulk-loaded tree has %d tuples, want %d", dst.Len(), want)
+	}
+	for _, tp := range got {
+		if !dst.Contains(tp) {
+			t.Fatalf("bulk-loaded tree missing %v", tp)
+		}
+	}
+	// Full-range export equals the snapshot contents.
+	if all := s.ExportRange(nil, nil); !tuplesEqual(all, collectSnap(s)) {
+		t.Fatal("full-range export differs from snapshot contents")
+	}
+}

@@ -99,6 +99,12 @@ const (
 	// (direct Observe) on the bypass path only; compare against
 	// hist.serve.read.ns to see what the bypass saved.
 	HistServeGateBypassNanos
+	// HistClusterLogFlushNanos records the duration of each shard
+	// insert-log epoch flush — compose records, single write, fsync —
+	// on the epoch path before acknowledgements are delivered
+	// ("hist.cluster.log.flush.ns"). Control-plane recorded (direct
+	// Observe).
+	HistClusterLogFlushNanos
 
 	// NumHistograms is the number of registered histograms; valid
 	// Histogram values are [0, NumHistograms).
@@ -134,6 +140,7 @@ var histogramNames = [NumHistograms]string{
 	HistServeQueueDepth:      "hist.serve.queue.depth",
 	HistPushdownSelectivity:  "hist.datalog.pushdown.selectivity",
 	HistServeGateBypassNanos: "hist.serve.gate.bypass.ns",
+	HistClusterLogFlushNanos: "hist.cluster.log.flush.ns",
 }
 
 // histogramUnits maps every Histogram to the unit of its recorded values.
@@ -154,6 +161,7 @@ var histogramUnits = [NumHistograms]string{
 	HistServeQueueDepth:      "batches",
 	HistPushdownSelectivity:  "rows",
 	HistServeGateBypassNanos: "ns",
+	HistClusterLogFlushNanos: "ns",
 }
 
 // Name returns the histogram's stable published name, the key used in

@@ -69,10 +69,12 @@ import (
 // query-execution names (datalog.plan.*, datalog.iter.* and the pushdown
 // selectivity histogram, DESIGN.md §12); v4 extends v3 append-only with
 // the epoch-snapshot names (core.cow.clones, serve.snapshot.reads, the
-// gate-bypass histogram and the cow contention sites, DESIGN.md §14).
+// gate-bypass histogram and the cow contention sites, DESIGN.md §14);
+// v5 extends v4 append-only with the sharded-cluster names (cluster.*
+// counters and the log-flush histogram, DESIGN.md §15).
 // Counter and histogram names under this version are append-only stable
 // (see the package comment).
-const SchemaVersion = "specbtree.metrics.v4"
+const SchemaVersion = "specbtree.metrics.v5"
 
 // Counter identifies one global event counter. The constants below are
 // the complete registry; Name returns the stable string form. Counter
@@ -228,6 +230,35 @@ const (
 	// from the last-epoch snapshot because a write epoch held the phase
 	// gate closed ("serve.snapshot.reads").
 	ServeSnapshotReads
+	// ClusterLogRecords counts records appended to shard insert logs,
+	// insert records and epoch commit markers alike
+	// ("cluster.log.records").
+	ClusterLogRecords
+	// ClusterLogBytes counts bytes written to shard insert logs, framing
+	// and checksums included ("cluster.log.bytes").
+	ClusterLogBytes
+	// ClusterLogReplayTuples counts tuples recovered from committed
+	// epochs during log replay ("cluster.log.replay.tuples").
+	ClusterLogReplayTuples
+	// ClusterLogTornTails counts incomplete trailing records truncated
+	// during log replay — crash artifacts past the last durable flush,
+	// never acknowledged ("cluster.log.torn_tails").
+	ClusterLogTornTails
+	// ClusterRebalanceMoves counts completed MoveRange operations — a
+	// range frozen on the source shard, exported via snapshot, and
+	// imported on the destination ("cluster.rebalance.moves").
+	ClusterRebalanceMoves
+	// ClusterRebalanceTuples counts tuples copied from source to
+	// destination shard by rebalance moves ("cluster.rebalance.tuples").
+	ClusterRebalanceTuples
+	// ClusterScanFanouts counts router scans that touched more than one
+	// shard and were stitched by the ordered k-way merge
+	// ("cluster.scan.fanouts").
+	ClusterScanFanouts
+	// ClusterScanDupes counts duplicate tuples elided by the router's
+	// scan merge while a range was being moved and visible on both its
+	// source and destination shard ("cluster.scan.dupes").
+	ClusterScanDupes
 
 	// NumCounters is the number of registered counters; valid Counter
 	// values are [0, NumCounters).
@@ -282,6 +313,15 @@ var counterNames = [NumCounters]string{
 
 	TreeCowClones:      "core.cow.clones",
 	ServeSnapshotReads: "serve.snapshot.reads",
+
+	ClusterLogRecords:      "cluster.log.records",
+	ClusterLogBytes:        "cluster.log.bytes",
+	ClusterLogReplayTuples: "cluster.log.replay.tuples",
+	ClusterLogTornTails:    "cluster.log.torn_tails",
+	ClusterRebalanceMoves:  "cluster.rebalance.moves",
+	ClusterRebalanceTuples: "cluster.rebalance.tuples",
+	ClusterScanFanouts:     "cluster.scan.fanouts",
+	ClusterScanDupes:       "cluster.scan.dupes",
 }
 
 // Name returns the counter's stable published name, the key used in the

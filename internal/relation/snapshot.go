@@ -37,6 +37,21 @@ type Snapshotter interface {
 	Snapshot() Snapshot
 }
 
+// ExportRange materialises every snapshot tuple x with from <= x < to
+// (nil bounds are open) into an owned, sorted, duplicate-free slice —
+// the relation-level twin of core.Snapshot.ExportRange, usable with
+// any Snapshot backend. The result satisfies the input contract of
+// core.Tree.BuildFromSorted, so an exported range bulk-loads directly
+// into a fresh tree (the cluster rebalance handoff, DESIGN.md §15).
+func ExportRange(s Snapshot, from, to tuple.Tuple) []tuple.Tuple {
+	var out []tuple.Tuple
+	s.Scan(from, to, func(t tuple.Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out
+}
+
 // SnapshotOf captures a snapshot of r: natively when the backend
 // implements Snapshotter, otherwise by materialising a sorted copy of
 // the current contents (O(n log n) and a full copy — fine for the

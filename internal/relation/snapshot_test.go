@@ -141,3 +141,42 @@ func TestSnapshotNativeCore(t *testing.T) {
 		t.Fatalf("SnapshotOf(btree) = %T, want coreSnapshot", s)
 	}
 }
+
+// TestExportRange checks the interface-level export over both a native
+// core snapshot and the materialising fallback.
+func TestExportRange(t *testing.T) {
+	for _, backend := range []string{"btree", "sorted"} {
+		t.Run(backend, func(t *testing.T) {
+			p, err := Lookup("btree")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := p.New(2)
+			ops := r.NewOps()
+			for i := uint64(0); i < 40; i++ {
+				ops.Insert(tuple.Tuple{i, i * 2})
+			}
+			var s Snapshot
+			if backend == "btree" {
+				s = SnapshotOf(r)
+			} else {
+				rows := make([]tuple.Tuple, 0, 40)
+				r.Scan(func(tp tuple.Tuple) bool {
+					rows = append(rows, tp.Clone())
+					return true
+				})
+				sort.Slice(rows, func(i, j int) bool { return tuple.Less(rows[i], rows[j]) })
+				s = &sortedSnapshot{arity: 2, rows: rows}
+			}
+			got := ExportRange(s, tuple.Tuple{10, 0}, tuple.Tuple{20, 0})
+			if len(got) != 10 {
+				t.Fatalf("exported %d tuples, want 10", len(got))
+			}
+			for i, tp := range got {
+				if want := (tuple.Tuple{uint64(10 + i), uint64(20 + 2*i)}); !tuple.Equal(tp, want) {
+					t.Fatalf("export[%d] = %v, want %v", i, tp, want)
+				}
+			}
+		})
+	}
+}

@@ -44,6 +44,15 @@ type ClientOptions struct {
 	// off by default. Traced requests require a protocol-version-2
 	// server; against a version 1 server the trace stays client-side.
 	Trace obs.TraceID
+	// ExpectShard makes every hello (initial dial and reconnect) state
+	// which cluster shard the client expects: the server must be a
+	// shard and its number must equal ShardID, or the connection is
+	// refused. Cluster routing sets it so a stale shard map can never
+	// silently read or write the wrong shard behind a rebound address.
+	ExpectShard bool
+	// ShardID is the expected shard number; meaningful only with
+	// ExpectShard set (shard 0 is a valid shard).
+	ShardID uint32
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -150,6 +159,9 @@ func (c *Client) connectLocked() error {
 	w := &wbuf{}
 	w.u16(uint16(c.opts.Arity))
 	w.u8(ProtocolVersion)
+	if c.opts.ExpectShard {
+		w.u32(c.opts.ShardID)
+	}
 	conn.SetDeadline(time.Now().Add(c.opts.Timeout))
 	if err := writeFrame(conn, ProtocolVersion, kindHello, 0, 0, w.b); err != nil {
 		conn.Close()
@@ -185,6 +197,19 @@ func (c *Client) connectLocked() error {
 		if negotiated > ProtocolVersion || negotiated < protocolV1 {
 			conn.Close()
 			return fmt.Errorf("%w: negotiated version %d", errProtocol, negotiated)
+		}
+	}
+	if c.opts.ExpectShard {
+		// A server that verified the shard echoes its number; an answer
+		// without it comes from a server that ignored the extension and
+		// cannot be trusted to be the right shard.
+		if r.off >= len(r.b) {
+			conn.Close()
+			return fmt.Errorf("%w: hello answer carries no shard number", errProtocol)
+		}
+		if shard := r.u32(); shard != c.opts.ShardID {
+			conn.Close()
+			return fmt.Errorf("serve: shard mismatch: want shard %d, server is shard %d", c.opts.ShardID, shard)
 		}
 	}
 	if err := r.done(); err != nil {
@@ -484,6 +509,19 @@ func (c *Client) Scan(lo, hi tuple.Tuple, limit int) (ts []tuple.Tuple, truncate
 		return nil, false, fmt.Errorf("serve: negative scan limit %d", limit)
 	}
 	return c.scan(lo, hi, false, limit)
+}
+
+// ScanPage fetches one page of a resumable range scan: tuples t with
+// lo <= t < hi in order (nil bounds are open; lo itself is excluded
+// when loStrict), at most limit of them (0 = the server's cap).
+// truncated reports more tuples remain; resume with lo = the last
+// returned tuple and loStrict = true — the resumption-token surface
+// the cluster router's fan-out merge paginates each shard with.
+func (c *Client) ScanPage(lo, hi tuple.Tuple, loStrict bool, limit int) (ts []tuple.Tuple, truncated bool, err error) {
+	if limit < 0 {
+		return nil, false, fmt.Errorf("serve: negative scan limit %d", limit)
+	}
+	return c.scan(lo, hi, loStrict, limit)
 }
 
 func (c *Client) scan(lo, hi tuple.Tuple, loStrict bool, limit int) ([]tuple.Tuple, bool, error) {

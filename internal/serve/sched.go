@@ -62,9 +62,13 @@ type writeBatch struct {
 }
 
 // writeResult reports an executed batch: the number of tuples not
-// previously present.
+// previously present, or the error that failed the epoch's durability
+// (the batch was applied in memory but could not be logged; the
+// acknowledgement becomes a server error so the client cannot count on
+// it surviving a restart).
 type writeResult struct {
 	fresh int
+	err   error
 }
 
 // readMode classifies a beginRead admission.
@@ -120,6 +124,11 @@ type scheduler struct {
 	snapUsed   bool
 	snapDemand bool
 
+	// log, when non-nil, makes epochs durable: runEpoch appends every
+	// applied batch to it before delivering acknowledgements
+	// (Options.EpochLog).
+	log EpochLog
+
 	queue  chan *writeBatch
 	stopCh chan struct{}
 	doneCh chan struct{}
@@ -145,11 +154,12 @@ type scheduler struct {
 // newScheduler builds and starts the scheduler. snapshots enables the
 // gate-bypass path; the construction point is quiescent, so the initial
 // snapshot (of the possibly pre-loaded tree) is taken right here.
-func newScheduler(tree *core.Tree, queueCap int, snapshots bool) *scheduler {
+func newScheduler(tree *core.Tree, queueCap int, snapshots bool, log EpochLog) *scheduler {
 	s := &scheduler{
 		tree:      tree,
 		arity:     tree.Arity(),
 		snapshots: snapshots,
+		log:       log,
 		queue:     make(chan *writeBatch, queueCap),
 		stopCh:    make(chan struct{}),
 		doneCh:    make(chan struct{}),
@@ -344,6 +354,23 @@ func (s *scheduler) runEpoch(batches []*writeBatch) {
 	}
 	s.hints.FlushObs()
 	s.epochActive.Store(false)
+
+	// Durability point: the applied batches hit the insert log as one
+	// flush before any acknowledgement is delivered, so the set of acked
+	// tuples is always a prefix of the committed log. A log failure
+	// fails every batch of the epoch — the tuples are in memory but not
+	// durable, and the clients must not be told otherwise.
+	if s.log != nil {
+		applied := make([][]tuple.Tuple, len(batches))
+		for bi, b := range batches {
+			applied[bi] = b.tuples
+		}
+		if err := s.log.LogEpoch(applied); err != nil {
+			for bi := range results {
+				results[bi] = writeResult{err: err}
+			}
+		}
+	}
 
 	// Epoch-boundary snapshot decision, before the gate reopens: the gate
 	// is still closed and live readers are drained, so this is a

@@ -37,7 +37,7 @@ func epochPending(s *scheduler) bool {
 
 func TestSchedulerEpochExecutesBatch(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 4, true)
+	s := newScheduler(tree, 4, true, nil)
 	defer s.drain()
 	b, err := submitBatch(s, tuple.Tuple{1, 2}, tuple.Tuple{3, 4}, tuple.Tuple{1, 2})
 	if err != nil {
@@ -60,7 +60,7 @@ func TestSchedulerEpochExecutesBatch(t *testing.T) {
 // until submit hits the bound and fails fast with errBusy.
 func TestSchedulerBackpressure(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 1, true)
+	s := newScheduler(tree, 1, true, nil)
 	if mode, _, _ := s.beginRead(); mode != readLive {
 		t.Fatalf("beginRead mode = %v, want readLive", mode)
 	}
@@ -104,7 +104,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 // routed to the last-epoch snapshot — see TestSchedulerSnapshotBypass.
 func TestSchedulerReaderBlocksDuringEpoch(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 4, false)
+	s := newScheduler(tree, 4, false, nil)
 	defer s.drain()
 	if mode, _, _ := s.beginRead(); mode != readLive {
 		t.Fatalf("beginRead mode = %v, want readLive", mode)
@@ -138,7 +138,7 @@ func TestSchedulerReaderBlocksDuringEpoch(t *testing.T) {
 
 func TestSchedulerDrain(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 8, true)
+	s := newScheduler(tree, 8, true, nil)
 	var batches []*writeBatch
 	for i := 0; i < 5; i++ {
 		b, err := submitBatch(s, tuple.Tuple{uint64(i), uint64(i)})
@@ -169,7 +169,7 @@ func TestSchedulerDrain(t *testing.T) {
 // overlapped a write epoch.
 func TestSchedulerPhaseInvariant(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 4, true)
+	s := newScheduler(tree, 4, true, nil)
 	const (
 		writers       = 4
 		readers       = 4
@@ -247,7 +247,7 @@ func TestSchedulerPhaseInvariant(t *testing.T) {
 // set — nothing from the in-flight epoch.
 func TestSchedulerSnapshotBypass(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 4, true)
+	s := newScheduler(tree, 4, true, nil)
 	defer s.drain()
 
 	// Epoch 1: establish pre-epoch contents; its boundary refreshes the
@@ -298,7 +298,7 @@ func TestSchedulerSnapshotBypass(t *testing.T) {
 // tree.
 func TestSchedulerDrainFencesSnapshot(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 4, true)
+	s := newScheduler(tree, 4, true, nil)
 
 	if mode, _, _ := s.beginRead(); mode != readLive {
 		t.Fatalf("beginRead mode = %v, want readLive", mode)
@@ -335,7 +335,7 @@ func TestSchedulerDrainFencesSnapshot(t *testing.T) {
 // invariant must hold throughout.
 func TestSchedulerCloseRacesSnapshotReads(t *testing.T) {
 	tree := core.New(2)
-	s := newScheduler(tree, 4, true)
+	s := newScheduler(tree, 4, true, nil)
 
 	var wg sync.WaitGroup
 	stopWriters := make(chan struct{})

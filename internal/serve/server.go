@@ -51,6 +51,31 @@ type Options struct {
 	// in flight (DESIGN.md §14). Kept as an option so benchmarks can
 	// compare against the gate-blocking baseline.
 	DisableSnapshotReads bool
+	// EpochLog, when non-nil, makes every write epoch durable: the
+	// scheduler calls LogEpoch with the epoch's applied batches after
+	// application and BEFORE the acknowledgements are delivered, so an
+	// acknowledged insert is always on stable storage (the cluster
+	// shard log, DESIGN.md §15). A log error fails the epoch's
+	// acknowledgements with a server error.
+	EpochLog EpochLog
+	// Sharded marks this server as one shard of a cluster. The shard
+	// identity is verified in the hello handshake: a shard-aware client
+	// states which shard it expects (ShardID) and the server refuses
+	// the connection on a mismatch — the guard against a stale shard
+	// map routing to a rebound address.
+	Sharded bool
+	// ShardID is this server's shard number; meaningful only with
+	// Sharded set (shard 0 is a valid shard).
+	ShardID uint32
+}
+
+// EpochLog receives every write epoch's applied insert batches, in
+// application order, and must make them durable before returning: the
+// scheduler delivers the epoch's acknowledgements only after LogEpoch
+// returns nil. Called from the single epoch goroutine, never
+// concurrently.
+type EpochLog interface {
+	LogEpoch(batches [][]tuple.Tuple) error
 }
 
 // withDefaults fills zero fields.
@@ -143,7 +168,7 @@ func Start(addr string, opts Options) (*Server, error) {
 	s := &Server{
 		opts:  opts,
 		tree:  tree,
-		sched: newScheduler(tree, opts.WriteQueue, !opts.DisableSnapshotReads),
+		sched: newScheduler(tree, opts.WriteQueue, !opts.DisableSnapshotReads, opts.EpochLog),
 		lis:   lis,
 		conns: make(map[*serverConn]struct{}),
 	}
@@ -161,6 +186,79 @@ func (s *Server) Arity() int { return s.opts.Arity }
 // Tree returns the served tree; between write epochs it is safe to read
 // (the usual phase discipline applies to direct access too).
 func (s *Server) Tree() *core.Tree { return s.tree }
+
+// Shard returns this server's shard identity: its shard number, and
+// whether the server is a cluster shard at all.
+func (s *Server) Shard() (uint32, bool) { return s.opts.ShardID, s.opts.Sharded }
+
+// Barrier submits an empty write batch through the scheduler and waits
+// for its epoch: when it returns, every insert admitted before the
+// call has been applied, logged and acknowledged. Used by the
+// rebalance protocol to drain in-flight epochs after a shard-map cut.
+// A full write queue is waited out; ErrShutdown reports drain.
+func (s *Server) Barrier() error {
+	for {
+		b := &writeBatch{done: make(chan writeResult, 1)}
+		err := s.sched.submit(b)
+		if err == nil {
+			return (<-b.done).err
+		}
+		if !errors.Is(err, errBusy) {
+			return err
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Apply submits one insert batch through the write scheduler
+// in-process — the same admission, epoch application, durable logging
+// and phase discipline as a network insert, without a connection. The
+// rebalance import path uses it so handed-off tuples reach the
+// destination's log before the source fences them. A full write queue
+// is waited out rather than surfaced as RETRY.
+func (s *Server) Apply(batch []tuple.Tuple) (fresh int, err error) {
+	for _, t := range batch {
+		if len(t) != s.opts.Arity {
+			return 0, fmt.Errorf("serve: arity-%d tuple for arity-%d relation", len(t), s.opts.Arity)
+		}
+	}
+	for {
+		b := &writeBatch{tuples: batch, done: make(chan writeResult, 1)}
+		err := s.sched.submit(b)
+		if err == nil {
+			res := <-b.done
+			return res.fresh, res.err
+		}
+		if !errors.Is(err, errBusy) {
+			return 0, err
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// SnapshotNow captures an immutable snapshot of the served tree at a
+// quiescent point: it admits itself as a live reader (which excludes
+// write epochs by the phase discipline) and captures under that
+// admission. While the gate is closed it waits the epoch out rather
+// than settling for the possibly stale last-epoch snapshot — the
+// rebalance export needs every acknowledged tuple, not a lagging view.
+func (s *Server) SnapshotNow() (core.Snapshot, error) {
+	for {
+		mode, _, _ := s.sched.beginRead()
+		switch mode {
+		case readRefused:
+			return core.Snapshot{}, ErrShutdown
+		case readLive:
+			sp := s.tree.Snapshot()
+			s.sched.endRead()
+			return sp, nil
+		default:
+			// Gate closed (snapshot bypass active): wait out the write
+			// epoch and retry — control-plane path, a brief spin is fine.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
 
 // Stats returns a point-in-time serving-layer snapshot.
 func (s *Server) Stats() Stats {
@@ -429,12 +527,19 @@ func (c *serverConn) readLoop() {
 }
 
 // handleHello answers the arity handshake. A client arity of 0 adopts
-// the server's; any other mismatch is refused. A 3-byte hello payload
-// carries the client's maximum protocol version after the arity, and
-// the answer then ends with the negotiated version (min of the two
-// sides'); a 2-byte payload is a version 1 client and gets a version 1
-// answer with no version byte.
+// the server's; any other mismatch is refused. The payload is
+// length-dispatched, each extension appending to the last: a 2-byte
+// payload is a version 1 client (arity only); a 3-byte payload adds
+// the client's maximum protocol version, answered with the negotiated
+// version (min of the two sides'); a 7-byte payload additionally
+// carries the shard number the client expects, answered — after
+// verification against Options.ShardID — with the server's shard
+// number, so a shard-aware client can never ingest data from a shard a
+// stale map misrouted it to.
 func (c *serverConn) handleHello(ver byte, id uint64, trace obs.TraceID, payload []byte) {
+	refuse := func(msg string) {
+		c.send(outFrame{kind: kindResponse, version: ver, id: id, trace: trace, payload: encodeErr(msg)})
+	}
 	r := &rbuf{b: payload}
 	clientArity := int(r.u16())
 	negotiated := byte(protocolV1)
@@ -449,13 +554,27 @@ func (c *serverConn) handleHello(ver byte, id uint64, trace obs.TraceID, payload
 			negotiated = protocolV1
 		}
 	}
+	withShard := len(payload) > 3
+	var wantShard uint32
+	if withShard {
+		wantShard = r.u32()
+	}
 	if err := r.done(); err != nil {
-		c.send(outFrame{kind: kindResponse, version: ver, id: id, trace: trace, payload: encodeErr(err.Error())})
+		refuse(err.Error())
 		return
 	}
+	if withShard {
+		if !c.s.opts.Sharded {
+			refuse(fmt.Sprintf("serve: client expects shard %d but server is not a cluster shard", wantShard))
+			return
+		}
+		if wantShard != c.s.opts.ShardID {
+			refuse(fmt.Sprintf("serve: shard mismatch: client expects shard %d, server is shard %d", wantShard, c.s.opts.ShardID))
+			return
+		}
+	}
 	if clientArity != 0 && clientArity != c.s.opts.Arity {
-		c.send(outFrame{kind: kindResponse, version: ver, id: id, trace: trace, payload: encodeErr(
-			fmt.Sprintf("serve: arity mismatch: client %d, server %d", clientArity, c.s.opts.Arity))})
+		refuse(fmt.Sprintf("serve: arity mismatch: client %d, server %d", clientArity, c.s.opts.Arity))
 		return
 	}
 	w := &wbuf{}
@@ -463,6 +582,9 @@ func (c *serverConn) handleHello(ver byte, id uint64, trace obs.TraceID, payload
 	w.u16(uint16(c.s.opts.Arity))
 	if withVersion {
 		w.u8(negotiated)
+	}
+	if withShard {
+		w.u32(c.s.opts.ShardID)
 	}
 	c.send(outFrame{kind: kindHello, version: negotiated, id: id, trace: trace, payload: w.b})
 }
@@ -487,6 +609,10 @@ func (c *serverConn) handleInsert(req request, ver byte, trace obs.TraceID, fram
 	go func() {
 		defer c.s.wg.Done()
 		res := <-b.done
+		if res.err != nil {
+			c.send(outFrame{kind: kindResponse, version: ver, id: req.id, trace: trace, payload: encodeErr(res.err.Error())})
+			return
+		}
 		w := &wbuf{}
 		w.u8(statusOK)
 		w.u32(uint32(res.fresh))

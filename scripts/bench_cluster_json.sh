@@ -1,0 +1,56 @@
+#!/bin/sh
+# Regenerates BENCH_cluster.json (written to stdout): the pinned
+# sharded-cluster run of `make bench-json`, in the stable
+# specbtree.bench.cluster.v1 schema. Three servebtree shards, each with
+# a durable per-epoch insert log (every acknowledged insert is fsynced
+# before its ack — the measured write path includes durability), driven
+# by loadgen's cluster mode: inserts and point reads routed to the
+# owning shard, scans fanned out and merged (DESIGN.md §15).
+#
+# Throughput and latency figures only mean something relative to the
+# recorded cpus/gomaxprocs fields — see EXPERIMENTS.md. On the 1-CPU CI
+# host all three shards timeslice one core; the numbers are honest
+# about that, not a parallel-speedup claim.
+set -eu
+GO=${GO:-go}
+base=${BENCH_CLUSTER_PORT:-40890}
+a0="localhost:$base"
+a1="localhost:$((base + 1))"
+a2="localhost:$((base + 2))"
+tmp=$(mktemp -d)
+p0=
+p1=
+p2=
+cleanup() {
+	for p in "$p0" "$p1" "$p2"; do
+		[ -n "$p" ] && kill "$p" 2>/dev/null || true
+	done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+$GO build -o "$tmp/servebtree" ./cmd/servebtree
+$GO build -o "$tmp/loadgen" ./cmd/loadgen
+
+"$tmp/servebtree" -addr "$a0" -shard-id 0 -log "$tmp/shard-0.log" 2>"$tmp/shard-0.err" &
+p0=$!
+"$tmp/servebtree" -addr "$a1" -shard-id 1 -log "$tmp/shard-1.log" 2>"$tmp/shard-1.err" &
+p1=$!
+"$tmp/servebtree" -addr "$a2" -shard-id 2 -log "$tmp/shard-2.log" 2>"$tmp/shard-2.err" &
+p2=$!
+
+for a in "$a0" "$a1" "$a2"; do
+	i=0
+	until "$tmp/loadgen" -addr "$a" -clients 1 -requests 1 -writes 0 >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			echo "bench_cluster_json: shard never became reachable at $a" >&2
+			cat "$tmp"/shard-*.err >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+done
+
+"$tmp/loadgen" -addrs "$a0,$a1,$a2" -clients 8 -requests 1000 -writes 20 \
+	-batch 16 -space 65536 -seed 1 -json

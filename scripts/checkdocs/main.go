@@ -112,6 +112,25 @@ var frozenSnapshotHistograms = []string{
 	"hist.serve.gate.bypass.ns",
 }
 
+// frozenClusterCounters and frozenClusterHistograms freeze the sharded
+// cluster names at the moment the cluster subsystem shipped
+// (specbtree.metrics.v5, DESIGN.md §15). Same append-only contract:
+// every name must stay registered forever.
+var frozenClusterCounters = []string{
+	"cluster.log.records",
+	"cluster.log.bytes",
+	"cluster.log.replay.tuples",
+	"cluster.log.torn_tails",
+	"cluster.rebalance.moves",
+	"cluster.rebalance.tuples",
+	"cluster.scan.fanouts",
+	"cluster.scan.dupes",
+}
+
+var frozenClusterHistograms = []string{
+	"hist.cluster.log.flush.ns",
+}
+
 // strategyNames are the evaluation-strategy spellings accepted by the
 // engine's -strategy flags; DESIGN.md §12 must name each so the docs
 // cannot drift from the dispatch.
@@ -197,6 +216,12 @@ func main() {
 				fmt.Sprintf("obs: snapshot counter %q no longer registered (the metrics contract is append-only)", name))
 		}
 	}
+	for _, name := range frozenClusterCounters {
+		if !registered[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: cluster counter %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
 	registeredHist := map[string]bool{}
 	for _, name := range obs.HistogramNames() {
 		registeredHist[name] = true
@@ -217,6 +242,12 @@ func main() {
 		if !registeredHist[name] {
 			problems = append(problems,
 				fmt.Sprintf("obs: snapshot histogram %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
+	for _, name := range frozenClusterHistograms {
+		if !registeredHist[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: cluster histogram %q no longer registered (the metrics contract is append-only)", name))
 		}
 	}
 
