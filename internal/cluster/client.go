@@ -25,6 +25,16 @@ type ClientOptions struct {
 	// RetryBackoff is slept between resubmissions of an insert batch
 	// the shard answered RETRY to (default 200µs).
 	RetryBackoff time.Duration
+	// RetryFor bounds the total time one insert chunk keeps absorbing
+	// RETRY backpressure before the RETRY surfaces as an error
+	// (default 5s) — a persistently stuck shard must not hang Insert
+	// forever.
+	RetryFor time.Duration
+	// MaxBatch caps the tuples per wire insert frame; Insert chunks
+	// larger per-shard sub-batches to it (default 4096, the serve
+	// layer's own default cap — lower it when the shards run with a
+	// smaller one).
+	MaxBatch int
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -33,6 +43,12 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 200 * time.Microsecond
+	}
+	if o.RetryFor <= 0 {
+		o.RetryFor = 5 * time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096 // serve.Options' default MaxBatch
 	}
 	return o
 }
@@ -165,47 +181,84 @@ func (c *Client) Insert(batch []tuple.Tuple) (fresh int, err error) {
 	return fresh, nil
 }
 
-// insertShard submits one sub-batch to one shard, absorbing RETRY.
+// insertShard submits one sub-batch to one shard, chunked to the wire
+// insert cap (a single-shard share larger than the server's MaxBatch
+// would otherwise be refused as a protocol error), absorbing RETRY
+// per chunk.
 func (c *Client) insertShard(shard int, sub []tuple.Tuple) (int, error) {
 	cl, err := c.shard(shard)
 	if err != nil {
 		return 0, err
 	}
+	fresh := 0
+	for off := 0; off < len(sub); off += c.opts.MaxBatch {
+		end := off + c.opts.MaxBatch
+		if end > len(sub) {
+			end = len(sub)
+		}
+		n, err := c.insertChunk(cl, shard, sub[off:end])
+		if err != nil {
+			return fresh, err
+		}
+		fresh += n
+	}
+	return fresh, nil
+}
+
+// insertChunk submits one wire-sized chunk, absorbing RETRY
+// backpressure with bounded backoff: RetryBackoff between attempts,
+// RetryFor in total before the RETRY surfaces (errors.Is-able as
+// serve.ErrRetry).
+func (c *Client) insertChunk(cl *serve.Client, shard int, chunk []tuple.Tuple) (int, error) {
+	var deadline time.Time
 	for {
-		n, err := cl.Insert(sub)
+		n, err := cl.Insert(chunk)
 		if err == nil {
 			return n, nil
 		}
 		if err != serve.ErrRetry {
 			return 0, fmt.Errorf("cluster: shard %d: %w", shard, err)
 		}
+		now := time.Now()
+		if deadline.IsZero() {
+			deadline = now.Add(c.opts.RetryFor)
+		} else if now.After(deadline) {
+			return 0, fmt.Errorf("cluster: shard %d: backpressured for %v: %w", shard, c.opts.RetryFor, err)
+		}
 		time.Sleep(c.opts.RetryBackoff)
 	}
 }
 
 // Contains reports whether t is in the clustered relation, consulting
-// both sides of an in-flight move when t's range is moving.
+// both sides of an in-flight move when t's range is moving. A miss is
+// trusted only if the map generation did not change while probing: a
+// move finalizing (and its source restarting) mid-probe could misroute
+// the lookup, so a raced miss retries under the fresh map.
 func (c *Client) Contains(t tuple.Tuple) (bool, error) {
 	if err := c.checkArity(t); err != nil {
 		return false, err
 	}
-	m := c.src.Map()
 	var shards []int
-	shards = m.ReadShards(shards, t[0])
-	for _, s := range shards {
-		cl, err := c.shard(s)
-		if err != nil {
-			return false, err
+	for {
+		m := c.src.Map()
+		shards = m.ReadShards(shards[:0], t[0])
+		for _, s := range shards {
+			cl, err := c.shard(s)
+			if err != nil {
+				return false, err
+			}
+			ok, err := cl.Contains(t)
+			if err != nil {
+				return false, fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+			if ok {
+				return true, nil
+			}
 		}
-		ok, err := cl.Contains(t)
-		if err != nil {
-			return false, fmt.Errorf("cluster: shard %d: %w", s, err)
-		}
-		if ok {
-			return true, nil
+		if c.src.Map().Version == m.Version {
+			return false, nil
 		}
 	}
-	return false, nil
 }
 
 // Len returns the clustered relation's element count: the length of
@@ -235,12 +288,27 @@ func (c *Client) UpperBound(v tuple.Tuple) (tuple.Tuple, bool, error) {
 // bound walks the scan runs in key order from v's run onward, asking
 // each run's shard(s) for their local bound, and returns the first
 // (smallest) hit — runs are key-ordered and disjoint, so the first
-// run with a hit holds the global bound.
+// run with a hit holds the global bound. Like Contains, a result is
+// trusted only if the map generation held still for the whole walk;
+// a raced walk retries under the fresh map.
 func (c *Client) bound(v tuple.Tuple, strict bool) (tuple.Tuple, bool, error) {
 	if err := c.checkArity(v); err != nil {
 		return nil, false, err
 	}
-	m := c.src.Map()
+	for {
+		m := c.src.Map()
+		t, ok, err := c.boundGeneration(m, v, strict)
+		if err != nil {
+			return nil, false, err
+		}
+		if c.src.Map().Version == m.Version {
+			return t, ok, nil
+		}
+	}
+}
+
+// boundGeneration is one bound walk under a pinned map generation.
+func (c *Client) boundGeneration(m *ShardMap, v tuple.Tuple, strict bool) (tuple.Tuple, bool, error) {
 	for _, r := range m.runs() {
 		if r.hi < v[0] {
 			continue
@@ -311,6 +379,16 @@ func (c *Client) ScanAll(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) error
 // sequence. Each shard stream paginates with ScanPage resumption
 // tokens (last tuple + strict), which carry across page and run
 // boundaries by construction.
+//
+// The map generation is revalidated before every emission: pinning one
+// generation for a whole paginated scan would misroute its tail if a
+// move finalizes mid-scan and the source shard then restarts (the
+// fence replay drops the moved range from the source while the stale
+// map still directs that run's pages at it — silently omitting
+// acknowledged tuples). When the version moves, the scan restarts from
+// its first unemitted position under the fresh map; emitted tuples are
+// strictly below the resume point and acknowledged tuples are never
+// deleted, so the restart neither duplicates nor skips.
 func (c *Client) scanMerge(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) error {
 	if lo != nil {
 		if err := c.checkArity(lo); err != nil {
@@ -322,9 +400,36 @@ func (c *Client) scanMerge(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) err
 			return err
 		}
 	}
-	m := c.src.Map()
+	cur := lo
+	fanned := false
+	for {
+		resume, err := c.scanGeneration(c.src.Map(), cur, hi, yield, &fanned)
+		if err != nil || resume == nil {
+			return err
+		}
+		cur = resume
+		obs.Inc(obs.ClusterScanRestarts)
+	}
+}
+
+// scanGeneration streams [lo, hi) under one pinned map generation. A
+// nil resume means the scan completed (or yield stopped it); a non-nil
+// resume means the map version changed and the caller must rescan from
+// resume (inclusive — it was never emitted) under the current map.
+func (c *Client) scanGeneration(m *ShardMap, lo, hi tuple.Tuple, yield func(tuple.Tuple) bool, fanned *bool) (tuple.Tuple, error) {
 	arity := c.opts.Arity
 	fanout := 0
+	// emit yields t unless the map generation moved, in which case it
+	// hands t back as the resume point. ok=false stops the generation
+	// either way; resume distinguishes done from restart.
+	var resume tuple.Tuple
+	emit := func(t tuple.Tuple) bool {
+		if c.src.Map().Version != m.Version {
+			resume = t.Clone()
+			return false
+		}
+		return yield(t)
+	}
 	for _, r := range m.runs() {
 		// Clip the run against the requested bounds.
 		runLo := tuple.PrefixLowerBound(tuple.Tuple{r.lo}, arity)
@@ -337,29 +442,30 @@ func (c *Client) scanMerge(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) err
 		}
 		if runHi != nil && tuple.Compare(runLo, runHi) >= 0 {
 			if hi != nil && tuple.Compare(hi, runLo) <= 0 {
-				return nil // past the requested range: done
+				return resume, nil // past the requested range: done
 			}
 			continue // empty clip: next run
 		}
 		fanout++
-		if fanout == 2 {
+		if fanout == 2 && !*fanned {
+			*fanned = true // count once per logical scan, restarts included
 			obs.Inc(obs.ClusterScanFanouts)
 		}
 		a, err := c.newStream(r.shards[0], runLo, runHi)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if r.shards[1] < 0 {
 			for {
 				t, ok, err := a.next()
 				if err != nil {
-					return err
+					return nil, err
 				}
 				if !ok {
 					break
 				}
-				if !yield(t) {
-					return nil
+				if !emit(t) {
+					return resume, nil
 				}
 			}
 			continue
@@ -367,59 +473,59 @@ func (c *Client) scanMerge(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) err
 		// Moving-range run: 2-way merge with duplicate elision.
 		b, err := c.newStream(r.shards[1], runLo, runHi)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ta, aok, err := a.next()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tb, bok, err := b.next()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for aok || bok {
-			var emit tuple.Tuple
+			var out tuple.Tuple
 			switch {
 			case !bok:
-				emit = ta
+				out = ta
 				if ta, aok, err = a.next(); err != nil {
-					return err
+					return nil, err
 				}
 			case !aok:
-				emit = tb
+				out = tb
 				if tb, bok, err = b.next(); err != nil {
-					return err
+					return nil, err
 				}
 			default:
 				switch cmp := tuple.Compare(ta, tb); {
 				case cmp < 0:
-					emit = ta
+					out = ta
 					if ta, aok, err = a.next(); err != nil {
-						return err
+						return nil, err
 					}
 				case cmp > 0:
-					emit = tb
+					out = tb
 					if tb, bok, err = b.next(); err != nil {
-						return err
+						return nil, err
 					}
 				default:
 					// The same tuple on both sides of the move: emit once.
 					obs.Inc(obs.ClusterScanDupes)
-					emit = ta
+					out = ta
 					if ta, aok, err = a.next(); err != nil {
-						return err
+						return nil, err
 					}
 					if tb, bok, err = b.next(); err != nil {
-						return err
+						return nil, err
 					}
 				}
 			}
-			if !yield(emit) {
-				return nil
+			if !emit(out) {
+				return resume, nil
 			}
 		}
 	}
-	return nil
+	return resume, nil
 }
 
 // shardStream pulls one shard's tuples in [lo, hi) page by page.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"path/filepath"
 	"sort"
 	"testing"
@@ -318,6 +319,246 @@ func TestClusterLenCountsThroughMerge(t *testing.T) {
 	if n != len(tuples) {
 		t.Fatalf("Len = %d, want %d (must see through leftovers)", n, len(tuples))
 	}
+}
+
+// TestClusterMoveAbortKeepsAckedWritesVisible regresses the abort
+// path: an insert acknowledged by the destination while the cut was
+// live must stay visible after the move fails — republishing the
+// pre-move map verbatim (the old behaviour) hid it, because reads then
+// consulted only the source, which never saw it.
+func TestClusterMoveAbortKeepsAckedWritesVisible(t *testing.T) {
+	c := startTestCluster(t, 2)
+	cl, err := c.Client(ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tuples := spread(100)
+	if _, err := cl.Insert(tuples); err != nil {
+		t.Fatal(err)
+	}
+	m0 := c.Map().Map()
+	e0 := m0.Entries[0]
+	mid := e0.Lo + (e0.Hi-e0.Lo)/2
+	inFlight := tuple.Tuple{e0.Lo + 3, 9999}
+
+	err = c.MoveRange(e0.Lo, mid, 1, MoveOptions{
+		ChunkSize: 16,
+		hookBeforeFence: func() error {
+			// Insert while the cut is live: routes to the destination and
+			// is acknowledged there before the move fails.
+			if _, err := cl.Insert([]tuple.Tuple{inFlight}); err != nil {
+				t.Errorf("cut-window insert: %v", err)
+			}
+			if !c.Shard(1).Tree().Contains(inFlight) {
+				t.Error("cut-window insert missed the destination")
+			}
+			return errors.New("injected move failure")
+		},
+	})
+	if err == nil {
+		t.Fatal("injected failure did not surface from MoveRange")
+	}
+
+	fin := c.Map().Map()
+	if fin.Moving.Active {
+		t.Fatalf("abort left the overlay active: %+v", fin.Moving)
+	}
+	// cut, draining and cleared generations each bump the version — an
+	// abort must never republish an old generation.
+	if fin.Version != m0.Version+3 {
+		t.Fatalf("map version %d after abort, want %d (no version reuse)", fin.Version, m0.Version+3)
+	}
+	if got := fin.Owner(e0.Lo); got != 0 {
+		t.Fatalf("Owner(%d) = %d after abort, want 0", e0.Lo, got)
+	}
+	// The acknowledged cut-window insert was reconciled back to the
+	// source, so the source-only reads of the aborted map still see it.
+	if !c.Shard(0).Tree().Contains(inFlight) {
+		t.Fatal("acked cut-window insert not reconciled back to the source")
+	}
+	all := append(append([]tuple.Tuple{}, tuples...), inFlight)
+	checkContents(t, cl, all)
+
+	// A retried move of the same range completes.
+	if err := c.MoveRange(e0.Lo, mid, 1, MoveOptions{ChunkSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Map().Map().Owner(e0.Lo); got != 1 {
+		t.Fatalf("Owner(%d) = %d after retried move, want 1", e0.Lo, got)
+	}
+	checkContents(t, cl, all)
+}
+
+// TestClusterMoveAbortDrainFailureRetries drives the worst abort: the
+// destination dies before the aborted cut can reconcile. The draining
+// overlay must stay published (reads keep consulting both shards), and
+// the next MoveRange must finish the drain before moving anything.
+func TestClusterMoveAbortDrainFailureRetries(t *testing.T) {
+	c := startTestCluster(t, 2)
+	cl, err := c.Client(ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tuples := spread(100)
+	if _, err := cl.Insert(tuples); err != nil {
+		t.Fatal(err)
+	}
+	m0 := c.Map().Map()
+	e0 := m0.Entries[0]
+	mid := e0.Lo + (e0.Hi-e0.Lo)/2
+	inFlight := tuple.Tuple{e0.Lo + 7, 4242}
+
+	err = c.MoveRange(e0.Lo, mid, 1, MoveOptions{
+		ChunkSize: 16,
+		hookBeforeFence: func() error {
+			if _, err := cl.Insert([]tuple.Tuple{inFlight}); err != nil {
+				t.Errorf("cut-window insert: %v", err)
+			}
+			// Kill the destination: the abort's reconciliation cannot run.
+			if err := c.KillShard(1); err != nil {
+				t.Errorf("kill destination: %v", err)
+			}
+			return errors.New("injected move failure")
+		},
+	})
+	if err == nil {
+		t.Fatal("injected failure did not surface from MoveRange")
+	}
+	drain := c.Map().Map()
+	if !drain.Moving.Active || !drain.Moving.Draining {
+		t.Fatalf("failed reconciliation did not leave the range draining: %+v", drain.Moving)
+	}
+
+	// Recover the destination; the draining overlay keeps reads fanning
+	// over both shards, so the acked cut-window insert (replayed from
+	// the destination's log) is visible even before the drain finishes.
+	if err := c.RestartShard(1); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]tuple.Tuple{}, tuples...), inFlight)
+	checkContents(t, cl, all)
+
+	// The retried move completes: drain first, then the actual move.
+	if err := c.MoveRange(e0.Lo, mid, 1, MoveOptions{ChunkSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	fin := c.Map().Map()
+	if fin.Moving.Active {
+		t.Fatalf("retried move left an overlay: %+v", fin.Moving)
+	}
+	if got := fin.Owner(e0.Lo); got != 1 {
+		t.Fatalf("Owner(%d) = %d after retried move, want 1", e0.Lo, got)
+	}
+	// The drain reconciled the cut-window insert to the source before
+	// the retried move re-exported it, so it survives a source restart
+	// that replays the new fence.
+	if err := c.KillShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartShard(0); err != nil {
+		t.Fatal(err)
+	}
+	checkContents(t, cl, all)
+}
+
+// TestClusterMoveRefusesSecondInFlight pins the moveMu-independent
+// guard: a map whose overlay is actively moving (not draining) refuses
+// a new move instead of stomping the overlay.
+func TestClusterMoveRefusesSecondInFlight(t *testing.T) {
+	c := startTestCluster(t, 3)
+	m := c.Map().Map()
+	e0 := m.Entries[0]
+	c.src.Set(m.withMoving(e0.Lo, e0.Lo+10, e0.Shard, 1))
+	if err := c.MoveRange(e0.Lo+20, e0.Lo+30, 2, MoveOptions{}); err == nil {
+		t.Fatal("second move started while one was in flight")
+	}
+}
+
+// TestClusterScanRevalidatesMapMidScan regresses the stale-map scan
+// hazard: a move finalizes and the source shard is killed and
+// restarted (replaying the fence) while a paginated scan is mid-run.
+// A scan pinned to the pre-move map would direct the run's remaining
+// pages at the source, which no longer holds the range, silently
+// omitting acknowledged tuples; the merge must notice the generation
+// change and restart from its first unemitted position.
+func TestClusterScanRevalidatesMapMidScan(t *testing.T) {
+	c := startTestCluster(t, 2)
+	// A small page limit keeps the hazard inside a run's pagination.
+	cl, err := c.Client(ClientOptions{PageLimit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tuples := spread(200)
+	if _, err := cl.Insert(tuples); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Map().Map()
+	e0 := m.Entries[0]
+	mid := e0.Lo + (e0.Hi-e0.Lo)/2
+
+	var got []tuple.Tuple
+	fired := false
+	if err := cl.ScanAll(nil, nil, func(tp tuple.Tuple) bool {
+		got = append(got, tp.Clone())
+		if len(got) == 10 && !fired {
+			fired = true
+			// Move the range the scan is inside of, then crash-cycle the
+			// source so its fence replay drops the moved tuples.
+			if err := c.MoveRange(e0.Lo, mid, 1, MoveOptions{ChunkSize: 32}); err != nil {
+				t.Errorf("mid-scan move: %v", err)
+			}
+			if err := c.KillShard(0); err != nil {
+				t.Errorf("mid-scan kill: %v", err)
+			}
+			if err := c.RestartShard(0); err != nil {
+				t.Errorf("mid-scan restart: %v", err)
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("hazard never fired")
+	}
+	if !equalTuples(got, canon(tuples)) {
+		t.Fatalf("mid-scan rebalance lost tuples: got %d, want %d", len(got), len(tuples))
+	}
+}
+
+// TestClusterInsertChunksToServerCap regresses the unchunked sub-batch
+// path: a single-shard share larger than the server's MaxBatch must be
+// split client-side, not refused as a protocol error.
+func TestClusterInsertChunksToServerCap(t *testing.T) {
+	c, err := StartCluster(Options{
+		Shards: 2, Arity: 2, LogDir: t.TempDir(),
+		Serve: serve.Options{MaxBatch: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	cl, err := c.Client(ClientOptions{MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tuples := spread(100) // ~50 per shard, far above the 16-tuple cap
+	fresh, err := cl.Insert(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != len(tuples) {
+		t.Fatalf("fresh = %d, want %d", fresh, len(tuples))
+	}
+	checkContents(t, cl, tuples)
 }
 
 // sortTuples is a test convenience.

@@ -75,10 +75,12 @@ const (
 // guarantees nothing torn was ever acknowledged.
 var ErrLogCorrupt = errors.New("cluster: insert log corrupt")
 
-// ErrCrashed is returned by ShardLog operations after an injected
-// crash (logcrash builds): the log simulates a killed process and
-// refuses further appends until reopened.
-var ErrCrashed = errors.New("cluster: log writer crashed (injected)")
+// ErrCrashed is returned by ShardLog operations after the log has been
+// poisoned — by an injected crash (logcrash builds) or by an earlier
+// flush that failed with a real write or sync error. Either way the
+// file's tail state is untrustworthy, so the log refuses further
+// appends until reopened (replay truncates any torn tail).
+var ErrCrashed = errors.New("cluster: log writer crashed")
 
 // ShardLog is the append-only per-epoch insert log of one shard. It
 // implements serve.EpochLog: the shard's scheduler calls LogEpoch with
@@ -232,7 +234,12 @@ func (l *ShardLog) AppendFence(lo, hi uint64, dst uint32) error {
 // flush writes the composed epoch buffer and fsyncs. In logcrash
 // builds an installed injector may cut the write short at the given
 // site, simulating a process kill mid-flush; the log then refuses
-// further use until reopened.
+// further use until reopened. A real write or sync error poisons the
+// log the same way: the tail may be torn (a short write) or of unknown
+// durability (a failed sync), and appending after it would frame the
+// next epoch into garbage — turning a recoverable torn tail into
+// ErrLogCorrupt on replay. Only a reopen, which replays and truncates,
+// may append again.
 func (l *ShardLog) flush(site CrashSite) error {
 	b := l.buf
 	if CrashInjecting {
@@ -246,9 +253,14 @@ func (l *ShardLog) flush(site CrashSite) error {
 		}
 	}
 	if _, err := l.f.Write(b); err != nil {
+		l.crashed = true
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		l.crashed = true
+		return err
+	}
+	return nil
 }
 
 // appendInsertRecord frames one insert batch as a recInsert record.
@@ -333,6 +345,12 @@ func replay(data []byte, arity int) (*Recovery, int64, error) {
 		}
 		kind, recSeq, payload := body[0], rd64(body[1:]), body[9:]
 		switch {
+		case recSeq == 0:
+			// The writer numbers epochs from 1; a record claiming epoch 0
+			// would otherwise slip past the sequence check below when no
+			// epoch is open (0 == the zero epochSeq), so reject it
+			// explicitly — it cannot come from this writer.
+			return nil, 0, fmt.Errorf("%w: record at offset %d carries epoch 0", ErrLogCorrupt, off)
 		case epochSeq == 0 && recSeq == seq+1:
 			epochSeq = recSeq // first record of the next epoch
 		case recSeq != epochSeq:

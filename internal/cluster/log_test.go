@@ -244,6 +244,63 @@ func TestShardLogRejectsBitrot(t *testing.T) {
 	}
 }
 
+// TestShardLogRejectsEpochZero pins the sequence check's lower edge:
+// the writer numbers epochs from 1, so a log whose first epoch claims
+// seq 0 is corrupt by definition — without the explicit rejection it
+// would slip through (no epoch open, and 0 == the zero epochSeq) and
+// replay as committed.
+func TestShardLogRejectsEpochZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard0.log")
+	var raw []byte
+	raw = appendInsertRecord(raw, 0, mkTuples(0, 3))
+	raw = appendRecord(raw, recCommit, 0, nil)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenShardLog(path, 2); !errors.Is(err, ErrLogCorrupt) {
+		t.Fatalf("epoch-0 log recovered with err=%v, want ErrLogCorrupt", err)
+	}
+}
+
+// TestShardLogPoisonedAfterFailedFlush pins the append-after-torn-write
+// hardening: once a flush fails, the file's tail is untrustworthy (a
+// short write would make the next epoch frame into garbage and turn a
+// recoverable tail into ErrLogCorrupt), so the log must refuse every
+// further append until reopened.
+func TestShardLogPoisonedAfterFailedFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard0.log")
+	l, _, err := OpenShardLog(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := mkTuples(0, 4)
+	if err := l.LogEpoch([][]tuple.Tuple{acked}); err != nil {
+		t.Fatal(err)
+	}
+	// Close the fd underneath the writer: the next flush's write fails
+	// like any real I/O error would.
+	l.f.Close()
+	if err := l.LogEpoch([][]tuple.Tuple{mkTuples(100, 4)}); err == nil {
+		t.Fatal("flush on a closed file reported success")
+	}
+	if err := l.LogEpoch([][]tuple.Tuple{mkTuples(200, 4)}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append after failed flush returned %v, want ErrCrashed", err)
+	}
+	if err := l.AppendFence(0, 10, 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("fence after failed flush returned %v, want ErrCrashed", err)
+	}
+	// A reopen replays the intact committed prefix and appends again.
+	l2, rec, err := OpenShardLog(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	sameTuples(t, rec.Tuples, acked)
+	if err := l2.LogEpoch([][]tuple.Tuple{mkTuples(300, 2)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // epochEnd returns the byte offset just past the n-th committed epoch
 // by walking the record framing.
 func epochEnd(t *testing.T, data []byte, n int) int {

@@ -242,6 +242,74 @@ func TestKillFenceFlush(t *testing.T) {
 	}
 }
 
+// TestClusterFenceFailureFinalizesToDestination pins the move
+// protocol's fence-failure contract: once the import is durable on the
+// destination, a failed source fence must finalize ownership to the
+// destination — never restore it to the source. The dangerous variant
+// is a fence that reached disk before the failure surfaced: a source
+// that later restarts replays it and drops the range, so a map still
+// routing reads at the source would silently hide acknowledged writes.
+// Both variants (fence fully durable, fence torn) are exercised; in
+// both the cluster stays exact through a source crash-cycle.
+func TestClusterFenceFailureFinalizesToDestination(t *testing.T) {
+	fenceLen := 4 + (9 + 20) + 4
+	for _, tc := range []struct {
+		name string
+		cut  func(n int) int
+	}{
+		{"fence durable", func(n int) int { return n }},
+		{"fence torn", func(n int) int { return fenceLen / 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := startTestCluster(t, 2)
+			cl, err := c.Client(ClientOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			tuples := spread(100)
+			if _, err := cl.Insert(tuples); err != nil {
+				t.Fatal(err)
+			}
+			m0 := c.Map().Map()
+			e0 := m0.Entries[0]
+			mid := e0.Lo + (e0.Hi-e0.Lo)/2
+
+			SetCrashInjector(func(site CrashSite, n int) (int, bool) {
+				if site != CrashSiteFence {
+					return 0, false
+				}
+				return tc.cut(n), true
+			})
+			defer ClearCrashInjector()
+			if err := c.MoveRange(e0.Lo, mid, 1, MoveOptions{ChunkSize: 32}); err != nil {
+				t.Fatalf("fence-failed move surfaced an error: %v", err)
+			}
+			ClearCrashInjector()
+
+			fin := c.Map().Map()
+			if fin.Moving.Active {
+				t.Fatalf("fence-failed move left the overlay active: %+v", fin.Moving)
+			}
+			if got := fin.Owner(e0.Lo); got != 1 {
+				t.Fatalf("Owner(%d) = %d after fence-failed move, want 1 (destination)", e0.Lo, got)
+			}
+			checkContents(t, cl, tuples)
+
+			// Crash-cycle the source: a durable fence replays (dropping
+			// the range's leftovers), a torn one truncates (keeping
+			// them) — either way the destination-owning map stays exact.
+			if err := c.KillShard(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RestartShard(0); err != nil {
+				t.Fatal(err)
+			}
+			checkContents(t, cl, tuples)
+		})
+	}
+}
+
 // TestNaiveNonTruncationCorruptsAppends demonstrates why recovery MUST
 // truncate the torn tail: an unhardened recovery that leaves the torn
 // bytes in place and appends the next epoch after them produces a log

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"specbtree/internal/core"
 	"specbtree/internal/obs"
 	"specbtree/internal/tuple"
 )
@@ -17,6 +18,12 @@ type MoveOptions struct {
 	// Pace, when non-zero, is slept between chunk submissions, bounding
 	// the move's write pressure on the destination while readers run.
 	Pace time.Duration
+
+	// hookBeforeFence, when set, runs after the import and before the
+	// fence; a non-nil return forces the abort path. Tests inject
+	// failures (and concurrent inserts) here — there is no exported
+	// surface for it.
+	hookBeforeFence func() error
 }
 
 func (o MoveOptions) withDefaults() MoveOptions {
@@ -46,12 +53,45 @@ func (o MoveOptions) withDefaults() MoveOptions {
 // region until its next restart replays the fence; scans never read
 // them because routing is map-driven. Moves are serialised — at most
 // one range moves at a time.
+//
+// Failure handling never republishes an old map generation (versions
+// only move forward) and never hides an acknowledged write:
+//
+//   - A failure before the fence (steps 2–4) aborts through a draining
+//     overlay: inserts route back to the source, reads keep consulting
+//     both shards, and the destination's range tuples are copied back
+//     to the source before the overlay clears. If that copy-back
+//     itself fails, the draining map stays published — reads stay
+//     exact at the cost of double-probing the range — and the next
+//     MoveRange completes the drain before anything else.
+//   - A fence failure (step 5) does NOT restore source ownership: the
+//     fence bytes may be partially durable, and a source restart that
+//     replays them would drop the range while a source-owning map
+//     still routed reads at it. The destination holds the range
+//     durably (every imported chunk was logged before its ack), so
+//     the move finalizes to dst regardless; the failed fence only
+//     means the source keeps its leftover region across restarts.
+//     The source's log is poisoned by the failed flush and rejects
+//     further epochs until the shard restarts, so the condition
+//     surfaces on the shard's own write path.
 func (c *Cluster) MoveRange(lo, hi uint64, dst int, opts MoveOptions) error {
 	opts = opts.withDefaults()
 	c.moveMu.Lock()
 	defer c.moveMu.Unlock()
 
 	m := c.src.Map()
+	if m.Moving.Active {
+		if !m.Moving.Draining {
+			return fmt.Errorf("cluster: a move of [%d, %d] is already in flight", m.Moving.Lo, m.Moving.Hi)
+		}
+		// A previous abort's reconciliation failed and left the range
+		// draining: finish pulling the destination's tuples back before
+		// routing can change again.
+		if err := c.reconcile(m, opts.ChunkSize); err != nil {
+			return fmt.Errorf("cluster: completing aborted move of [%d, %d] first: %w", m.Moving.Lo, m.Moving.Hi, err)
+		}
+		m = c.src.Map()
+	}
 	src := m.Owner(lo)
 	if m.Owner(hi) != src {
 		return fmt.Errorf("cluster: range [%d, %d] spans shards; move one owned range at a time", lo, hi)
@@ -76,20 +116,15 @@ func (c *Cluster) MoveRange(lo, hi uint64, dst int, opts MoveOptions) error {
 	// 2. Barrier: flush the source's write pipeline so the snapshot
 	// holds every insert routed to it before the cut was visible.
 	if err := srcSrv.Barrier(); err != nil {
-		c.src.Set(m) // abort: restore the pre-move map
-		return fmt.Errorf("cluster: move barrier on shard %d: %w", src, err)
+		return c.abort(cut, opts.ChunkSize, fmt.Errorf("cluster: move barrier on shard %d: %w", src, err))
 	}
 
 	// 3. Snapshot the source and export the moving range.
 	snap, err := srcSrv.SnapshotNow()
 	if err != nil {
-		c.src.Set(m)
-		return fmt.Errorf("cluster: move snapshot on shard %d: %w", src, err)
+		return c.abort(cut, opts.ChunkSize, fmt.Errorf("cluster: move snapshot on shard %d: %w", src, err))
 	}
-	arity := snap.Arity()
-	from := tuple.PrefixLowerBound(tuple.Tuple{lo}, arity)
-	to := tuple.PrefixUpperBound(tuple.Tuple{hi}, arity) // nil when hi = MaxUint64
-	moved := snap.ExportRange(from, to)
+	moved := exportRange(snap, lo, hi)
 
 	// 4. Import into the destination in chunks, through its write
 	// scheduler: logged before acknowledgement, phase-disciplined
@@ -100,11 +135,16 @@ func (c *Cluster) MoveRange(lo, hi uint64, dst int, opts MoveOptions) error {
 			end = len(moved)
 		}
 		if _, err := dstSrv.Apply(moved[off:end]); err != nil {
-			c.src.Set(m)
-			return fmt.Errorf("cluster: move import into shard %d: %w", dst, err)
+			return c.abort(cut, opts.ChunkSize, fmt.Errorf("cluster: move import into shard %d: %w", dst, err))
 		}
 		if opts.Pace > 0 && end < len(moved) {
 			time.Sleep(opts.Pace)
+		}
+	}
+
+	if opts.hookBeforeFence != nil {
+		if err := opts.hookBeforeFence(); err != nil {
+			return c.abort(cut, opts.ChunkSize, fmt.Errorf("cluster: move aborted: %w", err))
 		}
 	}
 
@@ -116,8 +156,14 @@ func (c *Cluster) MoveRange(lo, hi uint64, dst int, opts MoveOptions) error {
 	c.mu.Unlock()
 	if srcLog != nil {
 		if err := srcLog.AppendFence(lo, hi, uint32(dst)); err != nil {
-			c.src.Set(m)
-			return fmt.Errorf("cluster: move fence on shard %d: %w", src, err)
+			// The fence may be partially durable, so source ownership is
+			// unrecoverable (see the contract above): finalize to dst,
+			// which holds the range durably, and count the failed fence.
+			obs.Inc(obs.ClusterRebalanceFenceFailures)
+			c.src.Set(cut.finalized())
+			obs.Inc(obs.ClusterRebalanceMoves)
+			obs.Add(obs.ClusterRebalanceTuples, uint64(len(moved)))
+			return nil
 		}
 	}
 
@@ -130,4 +176,64 @@ func (c *Cluster) MoveRange(lo, hi uint64, dst int, opts MoveOptions) error {
 	obs.Inc(obs.ClusterRebalanceMoves)
 	obs.Add(obs.ClusterRebalanceTuples, uint64(len(moved)))
 	return nil
+}
+
+// abort unwinds a move that failed before its fence. Inserts acked by
+// the destination while the cut was live exist only there, so the
+// pre-move map cannot simply be republished — reads would consult the
+// source alone and acknowledged writes would silently vanish. Instead
+// the overlay flips to draining (a new generation: inserts route back
+// to the source, reads keep fanning over both shards), the
+// destination's range tuples are reconciled back to the source, and
+// only then does the overlay clear. The returned error always reports
+// cause; a failed reconciliation is appended and leaves the draining
+// map published.
+func (c *Cluster) abort(cut *ShardMap, chunkSize int, cause error) error {
+	drain := cut.draining()
+	c.src.Set(drain)
+	obs.Inc(obs.ClusterRebalanceAborts)
+	if err := c.reconcile(drain, chunkSize); err != nil {
+		return fmt.Errorf("%w (reconciliation also failed: %v; the range stays draining — reads consult both shards until a later MoveRange completes the drain)", cause, err)
+	}
+	return cause
+}
+
+// reconcile completes a published draining overlay: the destination's
+// tuples in the draining range are copied back to the source (barrier,
+// snapshot, chunked logged import — the forward move mirrored), then
+// the overlay clears with another version bump. Inserts acked by the
+// destination after its barrier here were necessarily submitted under
+// the pre-drain cut map, so the routing client's version revalidation
+// resubmits them to the source; the source's copy converges either way.
+func (c *Cluster) reconcile(m *ShardMap, chunkSize int) error {
+	mv := m.Moving
+	srcSrv, dstSrv := c.Shard(mv.Src), c.Shard(mv.Dst)
+	if err := dstSrv.Barrier(); err != nil {
+		return fmt.Errorf("cluster: drain barrier on shard %d: %w", mv.Dst, err)
+	}
+	snap, err := dstSrv.SnapshotNow()
+	if err != nil {
+		return fmt.Errorf("cluster: drain snapshot on shard %d: %w", mv.Dst, err)
+	}
+	back := exportRange(snap, mv.Lo, mv.Hi)
+	for off := 0; off < len(back); off += chunkSize {
+		end := off + chunkSize
+		if end > len(back) {
+			end = len(back)
+		}
+		if _, err := srcSrv.Apply(back[off:end]); err != nil {
+			return fmt.Errorf("cluster: drain import into shard %d: %w", mv.Src, err)
+		}
+	}
+	c.src.Set(m.withoutMoving())
+	return nil
+}
+
+// exportRange materialises the leading-column range [lo, hi]
+// (inclusive) from a shard snapshot.
+func exportRange(snap core.Snapshot, lo, hi uint64) []tuple.Tuple {
+	arity := snap.Arity()
+	from := tuple.PrefixLowerBound(tuple.Tuple{lo}, arity)
+	to := tuple.PrefixUpperBound(tuple.Tuple{hi}, arity) // nil when hi = MaxUint64
+	return snap.ExportRange(from, to)
 }

@@ -48,6 +48,12 @@ type Moving struct {
 	Src, Dst int
 	// Active reports a move in progress; the zero Moving is inactive.
 	Active bool
+	// Draining marks an aborted move being unwound: inserts acked by
+	// Dst while the cut was live may exist only there, so reads keep
+	// consulting both shards, but new inserts route back to the owner
+	// (Src). The overlay clears once Dst's range tuples have been
+	// reconciled back to Src (Cluster.reconcile).
+	Draining bool
 }
 
 // MapSource supplies the current shard map; implementations publish
@@ -171,18 +177,21 @@ func (m *ShardMap) Owner(k uint64) int { return m.Entries[m.find(k)].Shard }
 
 // RouteInsert returns the shard an insert of leading key k must go to:
 // the destination while k is in an active moving range (the shard that
-// survives the move), the owner otherwise.
+// survives the move), the owner otherwise — including while the range
+// is draining after an abort, when the owner is again where new data
+// must land.
 func (m *ShardMap) RouteInsert(k uint64) int {
-	if m.Moving.Active && k >= m.Moving.Lo && k <= m.Moving.Hi {
+	if m.Moving.Active && !m.Moving.Draining && k >= m.Moving.Lo && k <= m.Moving.Hi {
 		return m.Moving.Dst
 	}
 	return m.Owner(k)
 }
 
 // ReadShards appends to dst the shards a read of leading key k must
-// consult: normally just the owner; during a move of k's range both
-// sides, source first (the merge elides duplicates). The append-style
-// API keeps the hot read path allocation-free.
+// consult: normally just the owner; during a move of k's range — or
+// its drain-back after an aborted move — both sides, source first (the
+// merge elides duplicates). The append-style API keeps the hot read
+// path allocation-free.
 func (m *ShardMap) ReadShards(dst []int, k uint64) []int {
 	if m.Moving.Active && k >= m.Moving.Lo && k <= m.Moving.Hi {
 		return append(dst, m.Moving.Src, m.Moving.Dst)
@@ -267,6 +276,25 @@ func (m *ShardMap) withMoving(lo, hi uint64, src, dst int) *ShardMap {
 		Entries: m.Entries, // entries are immutable; sharing is safe
 		Moving:  Moving{Lo: lo, Hi: hi, Src: src, Dst: dst, Active: true},
 	}
+}
+
+// draining returns a copy of m with its active moving overlay flipped
+// to draining and the version bumped — the abort cut: inserts route
+// back to the source (the range's owner per the entry table), reads
+// keep fanning over both shards until the destination's range tuples
+// are reconciled back. Versions only ever move forward: an abort never
+// republishes an old generation, so in-flight routing revalidation can
+// never mistake it for the map it raced against.
+func (m *ShardMap) draining() *ShardMap {
+	mv := m.Moving
+	mv.Draining = true
+	return &ShardMap{Version: m.Version + 1, Entries: m.Entries, Moving: mv}
+}
+
+// withoutMoving returns a copy of m with the overlay cleared and the
+// version bumped — the end of an aborted move's reconciliation.
+func (m *ShardMap) withoutMoving() *ShardMap {
+	return &ShardMap{Version: m.Version + 1, Entries: m.Entries}
 }
 
 // finalized returns a copy of m with the active move applied to the

@@ -259,6 +259,22 @@ const (
 	// scan merge while a range was being moved and visible on both its
 	// source and destination shard ("cluster.scan.dupes").
 	ClusterScanDupes
+	// ClusterRebalanceAborts counts MoveRange operations that failed
+	// before their fence and unwound through the draining overlay —
+	// destination tuples reconciled back to the source
+	// ("cluster.rebalance.aborts").
+	ClusterRebalanceAborts
+	// ClusterRebalanceFenceFailures counts moves whose source-log fence
+	// append failed after a durable import; the move finalizes to the
+	// destination anyway, because the partially-durable fence makes
+	// restoring source ownership unsafe
+	// ("cluster.rebalance.fence_failures").
+	ClusterRebalanceFenceFailures
+	// ClusterScanRestarts counts router scans that observed a shard-map
+	// generation change mid-stream and restarted from their first
+	// unemitted position under the fresh map
+	// ("cluster.scan.restarts").
+	ClusterScanRestarts
 
 	// NumCounters is the number of registered counters; valid Counter
 	// values are [0, NumCounters).
@@ -322,6 +338,10 @@ var counterNames = [NumCounters]string{
 	ClusterRebalanceTuples: "cluster.rebalance.tuples",
 	ClusterScanFanouts:     "cluster.scan.fanouts",
 	ClusterScanDupes:       "cluster.scan.dupes",
+
+	ClusterRebalanceAborts:        "cluster.rebalance.aborts",
+	ClusterRebalanceFenceFailures: "cluster.rebalance.fence_failures",
+	ClusterScanRestarts:           "cluster.scan.restarts",
 }
 
 // Name returns the counter's stable published name, the key used in the

@@ -123,8 +123,11 @@ var frozenClusterCounters = []string{
 	"cluster.log.torn_tails",
 	"cluster.rebalance.moves",
 	"cluster.rebalance.tuples",
+	"cluster.rebalance.aborts",
+	"cluster.rebalance.fence_failures",
 	"cluster.scan.fanouts",
 	"cluster.scan.dupes",
+	"cluster.scan.restarts",
 }
 
 var frozenClusterHistograms = []string{
