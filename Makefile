@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json bench-json-merge bench-json-serve bench-json-datalog bench-json-cluster serve-smoke trace-smoke cluster-smoke figures examples clean
+.PHONY: all build vet lint check-docs test obsoff race check-harness bench bench-smoke bench-json bench-json-merge bench-json-serve bench-json-datalog bench-json-cluster serve-smoke trace-smoke cluster-smoke replica-smoke figures examples clean
 
-all: build lint test obsoff race check-harness check-docs bench-smoke serve-smoke trace-smoke cluster-smoke
+all: build lint test obsoff race check-harness check-docs bench-smoke serve-smoke trace-smoke cluster-smoke replica-smoke
 
 build:
 	$(GO) build ./...
@@ -41,10 +41,12 @@ test:
 # the lock, the tree (including the live shape walker and the bound-query
 # contract stress test), the parallel merge dispatch, the engine's
 # parallel data-movement spine, the observability registries, the debug
-# server that reads them while workers run, and the network serving
-# subsystem (phase scheduler, pipelined client, slow-client teardown).
+# server that reads them while workers run, the network serving
+# subsystem (phase scheduler, pipelined client, slow-client teardown),
+# and the replication subsystem (leader-side streamers, follower apply
+# loop, promotion).
 race:
-	$(GO) test -race ./internal/optlock ./internal/core ./internal/relation ./internal/datalog ./internal/obs ./internal/obshttp ./internal/check ./internal/serve ./internal/cluster
+	$(GO) test -race ./internal/optlock ./internal/core ./internal/relation ./internal/datalog ./internal/obs ./internal/obshttp ./internal/check ./internal/serve ./internal/cluster ./internal/replica
 
 # check-harness runs the concurrent-correctness harness (DESIGN.md §10)
 # in short mode under the race detector, in both build flavours: the
@@ -94,6 +96,16 @@ trace-smoke:
 # contents checksum.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# replica-smoke exercises follower replication end to end as part of
+# `all` (DESIGN.md §16): a leader shard with a durable log plus two
+# servebtree -follower-of read replicas, a checksummed loadgen run with
+# reads offloaded under a staleness bound, a kill -9 of the leader, a
+# SIGHUP promotion of one follower (catching up from the dead leader's
+# log), and re-verification of the exact contents checksum on the
+# promoted leader.
+replica-smoke:
+	./scripts/replica_smoke.sh
 
 # bench-json regenerates the checked-in benchmark documents: the pinned
 # merge-scaling run (>= 1M-tuple source, specbtree.bench.merge.v1), the

@@ -22,6 +22,7 @@
 //	        [-batch 16] [-writes 20] [-space 65536] [-scanlimit 64]
 //	        [-seed 1] [-timeout 10s] [-json] [-trace-sample N]
 //	        [-addrs host:p0,host:p1,...] [-arity 2] [-verify CHECKSUM]
+//	        [-followers f0a,f0b;f1a,...] [-max-stale N]
 //
 // -trace-sample N traces one in N client requests (N must be a power of
 // two; 0, the default, disables tracing) — sampled requests carry their
@@ -35,6 +36,15 @@
 // owning shard, scans fanned out and merged — DESIGN.md §15). The
 // determinism gate then verifies the merged global contents, and -json
 // emits "specbtree.bench.cluster.v1" instead of the serve schema.
+//
+// -followers lists per-shard read-replica addresses (comma-separated
+// within a shard, semicolon-separated between shards): the workload
+// clients then offload point reads and scan pages to followers whose
+// replication stamp is within -max-stale committed epochs of the head
+// (DESIGN.md §16). The emitted document gains the follower/fallback
+// read split and a replication-lag digest sampled from the followers'
+// stamps during the run. The determinism gate still scans the leaders:
+// followers are bounded-stale by design.
 //
 // -verify CHECKSUM runs no workload: it scans the relation (single
 // server or cluster), recomputes the contents checksum, and exits 0 on
@@ -61,6 +71,7 @@ import (
 	"specbtree/internal/bench"
 	"specbtree/internal/cluster"
 	"specbtree/internal/cmdutil"
+	"specbtree/internal/obs"
 	"specbtree/internal/serve"
 	"specbtree/internal/tuple"
 )
@@ -103,6 +114,17 @@ type latSummary struct {
 	MaxNs float64 `json:"max_ns"`
 }
 
+// lagSummary is the replication-lag digest of a follower run: head
+// minus applied, in committed epochs, sampled from the followers'
+// stamps throughout the measured window.
+type lagSummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_epochs"`
+	P90   float64 `json:"p90_epochs"`
+	P99   float64 `json:"p99_epochs"`
+	Max   float64 `json:"max_epochs"`
+}
+
 // doc is the schema-versioned JSON document emitted by -json.
 type doc struct {
 	Schema         string     `json:"schema"`
@@ -124,6 +146,14 @@ type doc struct {
 	Reconnects     uint64     `json:"reconnects"`
 	Read           latSummary `json:"read_latency"`
 	Insert         latSummary `json:"insert_latency"`
+	// Follower-offload fields, present only when -followers routed reads
+	// to replicas (DESIGN.md §16): how many reads each path answered and
+	// the replication lag observed while the workload ran.
+	FollowerAddrs  int         `json:"follower_addrs,omitempty"`
+	MaxStaleEpochs uint64      `json:"max_stale_epochs,omitempty"`
+	FollowerReads  uint64      `json:"follower_reads,omitempty"`
+	FallbackReads  uint64      `json:"fallback_reads,omitempty"`
+	ReplicaLag     *lagSummary `json:"replica_lag,omitempty"`
 	// Checksum is an FNV-1a digest of the final relation contents in scan
 	// order; identical seeds against an identically pre-loaded server must
 	// produce identical checksums.
@@ -229,6 +259,24 @@ func runClient(dial func() (relClient, error), ops []genOp, scanLimit int, timeo
 	return res
 }
 
+// summarizeLag sorts the lag samples and extracts the epoch digest.
+func summarizeLag(lags []float64) *lagSummary {
+	if len(lags) == 0 {
+		return &lagSummary{}
+	}
+	sort.Float64s(lags)
+	at := func(q float64) float64 {
+		return lags[int(q*float64(len(lags)-1))]
+	}
+	return &lagSummary{
+		Count: len(lags),
+		P50:   at(0.50),
+		P90:   at(0.90),
+		P99:   at(0.99),
+		Max:   lags[len(lags)-1],
+	}
+}
+
 // summarize sorts the samples and extracts the digest.
 func summarize(ns []float64) latSummary {
 	if len(ns) == 0 {
@@ -288,6 +336,8 @@ func main() {
 	addrsFlag := flag.String("addrs", "", "comma-separated shard addresses in shard order: drive a cluster instead of a single server")
 	clusterArityFlag := flag.Int("arity", 2, "tuple width in cluster mode (single-server mode learns it from the hello)")
 	verifyFlag := flag.String("verify", "", "no workload: scan the relation, compare its checksum against this value, exit 0 on match")
+	followersFlag := flag.String("followers", "", "cluster mode: per-shard read-replica addresses, comma-separated within a shard and semicolon-separated between shards; reads offload to them under -max-stale (DESIGN.md §16)")
+	maxStaleFlag := flag.Uint64("max-stale", 0, "staleness bound in committed epochs for follower reads (with -followers; 0 = fully caught up only)")
 	flag.Parse()
 	if *writesFlag < 0 || *writesFlag > 100 {
 		fatal(fmt.Errorf("loadgen: -writes %d out of range [0, 100]", *writesFlag))
@@ -304,7 +354,34 @@ func main() {
 	if *addrsFlag != "" {
 		shardAddrs = strings.Split(*addrsFlag, ",")
 	}
+	var followers [][]string
+	if *followersFlag != "" {
+		if shardAddrs == nil {
+			fatal(fmt.Errorf("loadgen: -followers requires cluster mode (-addrs)"))
+		}
+		for _, shard := range strings.Split(*followersFlag, ";") {
+			if shard == "" {
+				followers = append(followers, nil)
+				continue
+			}
+			followers = append(followers, strings.Split(shard, ","))
+		}
+	}
 	dial := func() (relClient, error) {
+		if shardAddrs == nil {
+			return serve.Dial(*addrFlag, serve.ClientOptions{Timeout: *timeoutFlag})
+		}
+		src := cluster.NewStaticMap(cluster.BandMap(len(shardAddrs), *spaceFlag))
+		return cluster.NewClient(src, shardAddrs, cluster.ClientOptions{
+			Arity: *clusterArityFlag, Timeout: *timeoutFlag,
+			Followers: followers, MaxStaleEpochs: *maxStaleFlag,
+		})
+	}
+	// The scout (base scan, -verify, and the final gate scan) always
+	// reads from the leaders: followers are bounded-stale by design, and
+	// the determinism gate judges the acknowledged leader contents — a
+	// follower page trailing the last epoch would fail it spuriously.
+	dialScout := func() (relClient, error) {
 		if shardAddrs == nil {
 			return serve.Dial(*addrFlag, serve.ClientOptions{Timeout: *timeoutFlag})
 		}
@@ -316,7 +393,7 @@ func main() {
 
 	// One scout connection: learn the arity and capture the base contents
 	// the expectation is built on.
-	scout, err := dial()
+	scout, err := dialScout()
 	if err != nil {
 		fatal(err)
 	}
@@ -363,6 +440,50 @@ func main() {
 		}
 	}
 
+	// With followers configured, sample their replication stamps while
+	// the workload runs: the lag digest (head - applied, in epochs) is
+	// what the staleness bound trades against.
+	followerReads0 := obs.Value(obs.ReplicaFollowerReads)
+	fallbackReads0 := obs.Value(obs.ReplicaFallbackReads)
+	var lagMu sync.Mutex
+	var lagSamples []float64
+	stopLag := make(chan struct{})
+	var lagWG sync.WaitGroup
+	for s, addrs := range followers {
+		for _, a := range addrs {
+			lagWG.Add(1)
+			go func(shard int, addr string) {
+				defer lagWG.Done()
+				cl, err := serve.Dial(addr, serve.ClientOptions{
+					Arity: arity, Timeout: *timeoutFlag,
+					ExpectShard: true, ShardID: uint32(shard),
+				})
+				if err != nil {
+					return
+				}
+				defer cl.Close()
+				tick := time.NewTicker(2 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopLag:
+						return
+					case <-tick.C:
+					}
+					st, err := cl.Stamp()
+					if err != nil {
+						return
+					}
+					if st.Head >= st.Applied {
+						lagMu.Lock()
+						lagSamples = append(lagSamples, float64(st.Head-st.Applied))
+						lagMu.Unlock()
+					}
+				}
+			}(s, a)
+		}
+	}
+
 	results := make([]clientResult, *clientsFlag)
 	var wg sync.WaitGroup
 	elapsed := bench.Measure(func() {
@@ -375,6 +496,8 @@ func main() {
 		}
 		wg.Wait()
 	})
+	close(stopLag)
+	lagWG.Wait()
 	for c, r := range results {
 		if r.err != nil {
 			fatal(fmt.Errorf("loadgen: client %d: %w", c, r.err))
@@ -424,6 +547,15 @@ func main() {
 		FinalLen:     len(final),
 		BaseLen:      baseLen,
 	}
+	if followers != nil {
+		for _, addrs := range followers {
+			d.FollowerAddrs += len(addrs)
+		}
+		d.MaxStaleEpochs = *maxStaleFlag
+		d.FollowerReads = obs.Value(obs.ReplicaFollowerReads) - followerReads0
+		d.FallbackReads = obs.Value(obs.ReplicaFallbackReads) - fallbackReads0
+		d.ReplicaLag = summarizeLag(lagSamples)
+	}
 	var readNs, insertNs []float64
 	for _, r := range results {
 		readNs = append(readNs, r.readNs...)
@@ -456,6 +588,11 @@ func render(d doc) {
 	fmt.Printf("  inserts:    %d batches (%d tuples), p50 %.0fns p90 %.0fns p99 %.0fns max %.0fns\n",
 		d.Insert.Count, d.InsertTuples, d.Insert.P50Ns, d.Insert.P90Ns, d.Insert.P99Ns, d.Insert.MaxNs)
 	fmt.Printf("  backpressure: %d retries, %d reconnects\n", d.Retries, d.Reconnects)
+	if d.FollowerAddrs > 0 {
+		fmt.Printf("  followers:  %d replicas (stale<=%d epochs): %d follower reads, %d fallbacks; lag p50 %.0f p99 %.0f max %.0f epochs\n",
+			d.FollowerAddrs, d.MaxStaleEpochs, d.FollowerReads, d.FallbackReads,
+			d.ReplicaLag.P50, d.ReplicaLag.P99, d.ReplicaLag.Max)
+	}
 	fmt.Printf("  determinism:  checksum %s over %d tuples (base %d) — gate passed\n",
 		d.Checksum, d.FinalLen, d.BaseLen)
 }

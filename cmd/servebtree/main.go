@@ -15,6 +15,7 @@
 //	servebtree [-addr localhost:4070] [-arity 2] [-metrics]
 //	           [-serve localhost:6060] [-trace-sample N]
 //	           [-shard-id N] [-log shard.log]
+//	           [-follower-of addr] [-leader-log path]
 //
 // -trace-sample N traces one in N requests end to end (N must be a
 // power of two; 0, the default, disables tracing); the retained spans
@@ -28,6 +29,16 @@
 // prefix is replayed into the served tree (crash recovery) and every
 // write epoch is flushed to it before its acknowledgements, so
 // acknowledged inserts survive a kill -9.
+//
+// -follower-of ADDR runs the process as a streaming read replica of
+// the leader at ADDR (DESIGN.md §16): it bootstraps from a leader
+// snapshot (or resumes from its own log's watermark), applies the
+// committed epoch stream, and serves stamped reads; insert frames are
+// refused. Requires -log (the follower's own durable log). SIGHUP
+// promotes the follower to a writable leader: with -leader-log PATH
+// naming the dead leader's log file (shared storage), the committed
+// tail past the follower's watermark is replayed first, so no
+// acknowledged write is lost.
 package main
 
 import (
@@ -35,12 +46,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"specbtree/internal/bench"
 	"specbtree/internal/cluster"
 	"specbtree/internal/cmdutil"
 	"specbtree/internal/core"
+	"specbtree/internal/replica"
 	"specbtree/internal/serve"
 )
 
@@ -53,10 +67,17 @@ func main() {
 	noSnapshotFlag := flag.Bool("no-snapshot-reads", false, "block reads at the phase gate during write epochs instead of serving them from the last-epoch snapshot (the pre-snapshot baseline, kept for benchmarks)")
 	shardFlag := flag.Int("shard-id", -1, "serve as this shard of a cluster (hello handshake verifies it); -1 serves unsharded")
 	logFlag := flag.String("log", "", "durable per-epoch insert log path: replayed on start, flushed before every epoch's acks")
+	followerFlag := flag.String("follower-of", "", "run as a streaming read replica of the leader at this address (requires -log); SIGHUP promotes to leader")
+	leaderLogFlag := flag.String("leader-log", "", "the leader's log path (shared storage); promotion replays its committed tail past the follower's watermark")
 	flag.Parse()
 	if err := cmdutil.SetTraceSample(*traceSampleFlag); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *followerFlag != "" {
+		runFollower(*followerFlag, *leaderLogFlag, *addrFlag, *arityFlag, *shardFlag, *logFlag, *debugFlag, *metricsFlag)
+		return
 	}
 
 	opts := serve.Options{Arity: *arityFlag, DisableSnapshotReads: *noSnapshotFlag}
@@ -75,12 +96,15 @@ func main() {
 		shardLog = log
 		opts.Tree = cluster.BuildTree(rec.Tuples, *arityFlag)
 		opts.EpochLog = log
+		// Every logged leader is a replication source: followers may
+		// subscribe to the committed epoch stream (DESIGN.md §16).
+		opts.Replica = log.ReplicaSource()
 		torn := ""
 		if rec.TornTail {
 			torn = ", torn tail truncated"
 		}
-		fmt.Fprintf(os.Stderr, "recovered shard %d: %d tuples, %d epochs in %v (%d fence-dropped%s)\n",
-			max(*shardFlag, 0), opts.Tree.Len(), rec.Epochs, time.Since(start).Round(time.Millisecond), rec.Dropped, torn)
+		fmt.Fprintf(os.Stderr, "recovered shard %d: %d tuples, %d epochs replayed, watermark %d in %v (%d fence-dropped%s)\n",
+			max(*shardFlag, 0), opts.Tree.Len(), rec.Epochs, rec.Watermark, time.Since(start).Round(time.Millisecond), rec.Dropped, torn)
 	}
 
 	srv, err := serve.Start(*addrFlag, opts)
@@ -126,4 +150,89 @@ func main() {
 		}
 	})
 	select {} // serve until signalled; OnSignal tears down and exits
+}
+
+// runFollower runs the process as a streaming read replica until
+// SIGINT/SIGTERM (shutdown) or SIGHUP (promotion to leader).
+func runFollower(leader, leaderLog, addr string, arity, shard int, logPath, debugAddr string, metrics bool) {
+	if logPath == "" {
+		fmt.Fprintln(os.Stderr, "servebtree: -follower-of requires -log (the follower's own durable log)")
+		os.Exit(2)
+	}
+	f, err := replica.Start(replica.Options{
+		Leader:  leader,
+		Shard:   uint32(max(shard, 0)),
+		Sharded: shard >= 0,
+		Arity:   arity,
+		LogPath: logPath,
+		Addr:    addr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stopDebug, err := cmdutil.StartDebug(debugAddr, func() map[string]core.Shape {
+		return map[string]core.Shape{"serve": f.Server().Tree().Shape()}
+	})
+	if err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopDebug()
+	fmt.Fprintf(os.Stderr, "following %s: serving arity-%d replica on %s (watermark %d)\n",
+		leader, arity, f.Addr(), f.Applied())
+
+	// SIGHUP: catch up from the (dead) leader's log when shared, then
+	// turn writable. The process keeps serving — as the leader now.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if f.Promoted() {
+				continue
+			}
+			if leaderLog != "" {
+				wm, err := f.CatchUpFromLog(leaderLog)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "promote: catch-up: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "promote: caught up to epoch %d from %s\n", wm, leaderLog)
+			}
+			if err := f.Promote(); err != nil {
+				fmt.Fprintf(os.Stderr, "promote: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "promoted: serving as leader on %s at epoch %d\n", f.Addr(), f.Applied())
+		}
+	}()
+
+	cmdutil.OnSignal(func() {
+		applied, promoted := f.Applied(), f.Promoted()
+		srv, log := f.Server(), f.Log()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+		if promoted {
+			// Promotion hands server+log ownership to the caller.
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+			}
+			cancel()
+			log.Close()
+		}
+		fmt.Fprintf(os.Stderr, "shutdown: follower drained; applied=%d promoted=%v len=%d\n",
+			applied, promoted, srv.Tree().Len())
+		if metrics {
+			if err := bench.EmitMetrics(os.Stdout, bench.MetricsDoc{
+				Workload:  "replica",
+				Structure: "btree",
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	})
+	select {}
 }

@@ -35,6 +35,23 @@ type ClientOptions struct {
 	// layer's own default cap — lower it when the shards run with a
 	// smaller one).
 	MaxBatch int
+	// Directory, when non-nil, is the live shard address table: every
+	// operation re-resolves its shard's address through it, so a
+	// promotion (Cluster.Promote) repoints this client without a
+	// restart. Nil pins the NewClient address table forever.
+	Directory *Directory
+	// Followers[i] lists shard i's read-replica addresses. When a shard
+	// has followers, its point reads and scan pages are offloaded to
+	// one, under the staleness bound below: each follower read carries
+	// the follower's replication stamp, and an answer from an unhealthy
+	// or too-stale follower is discarded and re-asked of the leader.
+	Followers [][]string
+	// MaxStaleEpochs bounds how many committed leader epochs a follower
+	// may trail by and still answer reads (0 = it must be fully caught
+	// up). Only meaningful with Followers set; reads offloaded under
+	// this bound trade read-your-writes for leader offload, by exactly
+	// this many epochs at most.
+	MaxStaleEpochs uint64
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -65,9 +82,13 @@ type Client struct {
 	src   MapSource
 	addrs []string
 	opts  ClientOptions
+	dir   *Directory
 
-	mu    sync.Mutex
-	conns map[int]*serve.Client
+	mu        sync.Mutex
+	conns     map[int]*serve.Client
+	connAddrs map[int]string // address each leader conn was dialed to
+	fconns    map[int]*serve.Client
+	fFailed   map[int]time.Time // last follower dial failure, for backoff
 }
 
 // NewClient builds a routing client over the given map source and
@@ -82,7 +103,17 @@ func NewClient(src MapSource, addrs []string, opts ClientOptions) (*Client, erro
 	if n := m.Shards(); n > len(addrs) {
 		return nil, fmt.Errorf("cluster: map references %d shards, %d addresses given", n, len(addrs))
 	}
-	return &Client{src: src, addrs: addrs, opts: opts, conns: make(map[int]*serve.Client)}, nil
+	dir := opts.Directory
+	if dir == nil {
+		dir = NewDirectory(addrs)
+	}
+	return &Client{
+		src: src, addrs: addrs, opts: opts, dir: dir,
+		conns:     make(map[int]*serve.Client),
+		connAddrs: make(map[int]string),
+		fconns:    make(map[int]*serve.Client),
+		fFailed:   make(map[int]time.Time),
+	}, nil
 }
 
 // Arity returns the tuple width of the clustered relation.
@@ -99,20 +130,38 @@ func (c *Client) Close() error {
 		}
 		delete(c.conns, shard)
 	}
+	for shard, cl := range c.fconns {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.fconns, shard)
+	}
 	return first
 }
 
-// shard returns the connection to one shard, dialing lazily.
+// shard returns the connection to one shard's leader, dialing lazily
+// and re-resolving through the directory: when a promotion repointed
+// the shard's address, the stale connection is dropped and the new
+// leader dialed — the shard-verified hello makes a wrong address fail
+// loudly rather than answer.
 func (c *Client) shard(i int) (*serve.Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if cl, ok := c.conns[i]; ok {
-		return cl, nil
-	}
 	if i < 0 || i >= len(c.addrs) {
 		return nil, fmt.Errorf("cluster: no address for shard %d", i)
 	}
-	cl, err := serve.Dial(c.addrs[i], serve.ClientOptions{
+	addr := c.dir.Addr(i)
+	if addr == "" {
+		addr = c.addrs[i]
+	}
+	if cl, ok := c.conns[i]; ok {
+		if c.connAddrs[i] == addr {
+			return cl, nil
+		}
+		cl.Close()
+		delete(c.conns, i)
+	}
+	cl, err := serve.Dial(addr, serve.ClientOptions{
 		Arity:       c.opts.Arity,
 		Timeout:     c.opts.Timeout,
 		DialTimeout: c.opts.DialTimeout,
@@ -123,7 +172,64 @@ func (c *Client) shard(i int) (*serve.Client, error) {
 		return nil, err
 	}
 	c.conns[i] = cl
+	c.connAddrs[i] = addr
 	return cl, nil
+}
+
+// followerDialBackoff is how long a failed follower dial suppresses
+// redial attempts (reads fall back to the leader meanwhile).
+const followerDialBackoff = time.Second
+
+// follower returns a connection to one of shard i's read replicas, or
+// nil when the shard has none configured or none is reachable right
+// now — the caller then reads from the leader.
+func (c *Client) follower(i int) *serve.Client {
+	if i < 0 || i >= len(c.opts.Followers) || len(c.opts.Followers[i]) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.fconns[i]; ok {
+		return cl
+	}
+	if t, ok := c.fFailed[i]; ok && time.Since(t) < followerDialBackoff {
+		return nil
+	}
+	for _, addr := range c.opts.Followers[i] {
+		cl, err := serve.Dial(addr, serve.ClientOptions{
+			Arity:       c.opts.Arity,
+			Timeout:     c.opts.Timeout,
+			DialTimeout: c.opts.DialTimeout,
+			ExpectShard: true,
+			ShardID:     uint32(i),
+		})
+		if err == nil {
+			delete(c.fFailed, i)
+			c.fconns[i] = cl
+			return cl
+		}
+	}
+	c.fFailed[i] = time.Now()
+	return nil
+}
+
+// dropFollower discards shard i's follower connection after a failed
+// read, arming the dial backoff so the next reads go to the leader.
+func (c *Client) dropFollower(i int, cl *serve.Client) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fconns[i] == cl {
+		cl.Close()
+		delete(c.fconns, i)
+		c.fFailed[i] = time.Now()
+	}
+}
+
+// fresh decides whether a follower's stamp admits its answer: the
+// replication stream must be healthy and the follower may trail the
+// committed head by at most MaxStaleEpochs.
+func (c *Client) fresh(st serve.Stamp) bool {
+	return st.Healthy && st.Head >= st.Applied && st.Head-st.Applied <= c.opts.MaxStaleEpochs
 }
 
 // checkArity validates one argument tuple's width.
@@ -243,11 +349,7 @@ func (c *Client) Contains(t tuple.Tuple) (bool, error) {
 		m := c.src.Map()
 		shards = m.ReadShards(shards[:0], t[0])
 		for _, s := range shards {
-			cl, err := c.shard(s)
-			if err != nil {
-				return false, err
-			}
-			ok, err := cl.Contains(t)
+			ok, err := c.containsShard(s, t)
 			if err != nil {
 				return false, fmt.Errorf("cluster: shard %d: %w", s, err)
 			}
@@ -259,6 +361,81 @@ func (c *Client) Contains(t tuple.Tuple) (bool, error) {
 			return false, nil
 		}
 	}
+}
+
+// containsShard probes one shard, preferring a follower whose stamp
+// passes the staleness bound; a stale, unhealthy or failed follower
+// answer falls back to the leader.
+func (c *Client) containsShard(s int, t tuple.Tuple) (bool, error) {
+	if fc := c.follower(s); fc != nil {
+		ok, st, err := fc.ContainsStamped(t)
+		if err == nil && c.fresh(st) {
+			obs.Inc(obs.ReplicaFollowerReads)
+			return ok, nil
+		}
+		if err != nil {
+			c.dropFollower(s, fc)
+		}
+		obs.Inc(obs.ReplicaFallbackReads)
+	}
+	cl, err := c.shard(s)
+	if err != nil {
+		return false, err
+	}
+	return cl.Contains(t)
+}
+
+// boundShard asks one shard for a local bound, preferring a follower
+// under the staleness bound like containsShard.
+func (c *Client) boundShard(s int, v tuple.Tuple, strict bool) (tuple.Tuple, bool, error) {
+	if fc := c.follower(s); fc != nil {
+		var t tuple.Tuple
+		var ok bool
+		var st serve.Stamp
+		var err error
+		if strict {
+			t, ok, st, err = fc.UpperBoundStamped(v)
+		} else {
+			t, ok, st, err = fc.LowerBoundStamped(v)
+		}
+		if err == nil && c.fresh(st) {
+			obs.Inc(obs.ReplicaFollowerReads)
+			return t, ok, nil
+		}
+		if err != nil {
+			c.dropFollower(s, fc)
+		}
+		obs.Inc(obs.ReplicaFallbackReads)
+	}
+	cl, err := c.shard(s)
+	if err != nil {
+		return nil, false, err
+	}
+	if strict {
+		return cl.UpperBound(v)
+	}
+	return cl.LowerBound(v)
+}
+
+// scanPageShard fetches one scan page from one shard, preferring a
+// follower under the staleness bound like containsShard.
+func (c *Client) scanPageShard(s int, lo, hi tuple.Tuple, loStrict bool, limit int) ([]tuple.Tuple, bool, error) {
+	if fc := c.follower(s); fc != nil {
+		page, truncated, st, err := fc.ScanPageStamped(lo, hi, loStrict, limit)
+		if err == nil && c.fresh(st) {
+			obs.Inc(obs.ReplicaFollowerReads)
+			return page, truncated, nil
+		}
+		if err != nil {
+			c.dropFollower(s, fc)
+		}
+		obs.Inc(obs.ReplicaFallbackReads)
+	}
+	cl, err := c.shard(s)
+	if err != nil {
+		return nil, false, err
+	}
+	return cl.ScanPage(lo, hi, loStrict, limit)
 }
 
 // Len returns the clustered relation's element count: the length of
@@ -318,17 +495,7 @@ func (c *Client) boundGeneration(m *ShardMap, v tuple.Tuple, strict bool) (tuple
 			if s < 0 {
 				continue
 			}
-			cl, err := c.shard(s)
-			if err != nil {
-				return nil, false, err
-			}
-			var t tuple.Tuple
-			var ok bool
-			if strict {
-				t, ok, err = cl.UpperBound(v)
-			} else {
-				t, ok, err = cl.LowerBound(v)
-			}
+			t, ok, err := c.boundShard(s, v, strict)
 			if err != nil {
 				return nil, false, fmt.Errorf("cluster: shard %d: %w", s, err)
 			}
@@ -528,9 +695,12 @@ func (c *Client) scanGeneration(m *ShardMap, lo, hi tuple.Tuple, yield func(tupl
 	return resume, nil
 }
 
-// shardStream pulls one shard's tuples in [lo, hi) page by page.
+// shardStream pulls one shard's tuples in [lo, hi) page by page. Pages
+// fetch through Client.scanPageShard, so each page independently
+// offloads to a follower or falls back to the leader — the resumption
+// token (last tuple + strict) is position, not connection, state.
 type shardStream struct {
-	cl     *serve.Client
+	c      *Client
 	hi     tuple.Tuple
 	cur    tuple.Tuple
 	strict bool
@@ -543,11 +713,7 @@ type shardStream struct {
 
 // newStream opens a paginated stream over one shard's [lo, hi) range.
 func (c *Client) newStream(shard int, lo, hi tuple.Tuple) (*shardStream, error) {
-	cl, err := c.shard(shard)
-	if err != nil {
-		return nil, err
-	}
-	s := &shardStream{cl: cl, hi: hi, cur: lo, strict: false, limit: c.opts.PageLimit, more: true, shard: shard}
+	s := &shardStream{c: c, hi: hi, cur: lo, strict: false, limit: c.opts.PageLimit, more: true, shard: shard}
 	return s, nil
 }
 
@@ -558,7 +724,7 @@ func (s *shardStream) next() (tuple.Tuple, bool, error) {
 		if !s.more {
 			return nil, false, nil
 		}
-		page, truncated, err := s.cl.ScanPage(s.cur, s.hi, s.strict, s.limit)
+		page, truncated, err := s.c.scanPageShard(s.shard, s.cur, s.hi, s.strict, s.limit)
 		if err != nil {
 			return nil, false, fmt.Errorf("cluster: shard %d: %w", s.shard, err)
 		}

@@ -53,8 +53,13 @@ type Cluster struct {
 	opts Options
 	src  *StaticMap
 
-	mu     sync.Mutex
-	shards []*shardState
+	mu        sync.Mutex
+	shards    []*shardState
+	followers map[int][]FollowerHandle
+
+	// dir is the live address table routing clients re-resolve from;
+	// promotion repoints entries at promoted followers.
+	dir *Directory
 
 	// moveMu serialises rebalances: at most one range moves at a time
 	// (the map's single-Moving invariant).
@@ -68,6 +73,10 @@ type shardState struct {
 	srv  *serve.Server
 	log  *ShardLog
 	rec  *Recovery // what the last (re)start replayed
+	// promoted marks a shard whose leadership moved to a promoted
+	// follower; the old leader's address must never be rebound
+	// (split-brain fence — see Promote).
+	promoted bool
 }
 
 // StartCluster opens every shard's log (replaying any prior state),
@@ -90,9 +99,10 @@ func StartCluster(opts Options) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{
-		opts:   opts,
-		src:    NewStaticMap(m),
-		shards: make([]*shardState, opts.Shards),
+		opts:      opts,
+		src:       NewStaticMap(m),
+		shards:    make([]*shardState, opts.Shards),
+		followers: make(map[int][]FollowerHandle),
 	}
 	for i := range c.shards {
 		addr := "127.0.0.1:0"
@@ -106,6 +116,7 @@ func StartCluster(opts Options) (*Cluster, error) {
 		}
 		c.shards[i] = st
 	}
+	c.dir = NewDirectory(c.Addrs())
 	return c, nil
 }
 
@@ -128,6 +139,9 @@ func (c *Cluster) startShard(i int, addr string) (*shardState, error) {
 	if st.log != nil {
 		sopts.EpochLog = st.log
 		sopts.Tree = BuildTree(st.rec.Tuples, c.opts.Arity)
+		// Every logged shard is a replication source: followers may
+		// subscribe to its committed epoch stream.
+		sopts.Replica = st.log.ReplicaSource()
 	}
 	srv, err := serve.Start(addr, sopts)
 	if err != nil {
@@ -177,10 +191,18 @@ func (c *Cluster) Recovered(i int) *Recovery {
 	return c.shards[i].rec
 }
 
-// Client dials a routing client over the cluster.
+// Client dials a routing client over the cluster: addresses re-resolve
+// through the cluster's directory (so a promotion repoints it without
+// a redial storm), and — unless the caller pinned its own table — the
+// followers attached so far become its bounded-staleness read
+// offload targets (ClientOptions.MaxStaleEpochs).
 func (c *Cluster) Client(opts ClientOptions) (*Client, error) {
 	opts.Arity = c.opts.Arity
-	return NewClient(c.src, c.Addrs(), opts)
+	opts.Directory = c.dir
+	if opts.Followers == nil {
+		opts.Followers = c.FollowerAddrs()
+	}
+	return NewClient(c.src, c.dir.Addrs(), opts)
 }
 
 // KillShard terminates shard i abruptly — connections dropped, no
@@ -207,7 +229,11 @@ func (c *Cluster) KillShard(i int) error {
 func (c *Cluster) RestartShard(i int) error {
 	c.mu.Lock()
 	old := c.shards[i]
+	promoted := old.promoted
 	c.mu.Unlock()
+	if promoted {
+		return fmt.Errorf("cluster: shard %d leadership moved to a promoted follower; restarting the old leader would split the brain", i)
+	}
 	var st *shardState
 	var err error
 	deadline := time.Now().Add(5 * time.Second)

@@ -45,6 +45,10 @@ import (
 //	    range [lo, hi] was handed to shard dst at this point; replay
 //	    drops earlier committed tuples inside it (the destination
 //	    logged them durably before the fence was written).
+//	recMark   (4): payload = mark:u64 — the replication watermark: this
+//	    epoch applied leader-log epoch `mark`. Written only by follower
+//	    logs (LogReplicatedEpoch); replay surfaces the highest committed
+//	    mark so a restarted follower resumes its stream after it.
 //
 // One write epoch is composed in memory — insert record(s) followed by
 // a commit marker — then written with a single Write and fsynced
@@ -60,6 +64,7 @@ const (
 	recInsert = 1
 	recCommit = 2
 	recFence  = 3
+	recMark   = 4
 
 	// maxRecordBody bounds a single record body (64 MiB). A length
 	// field above it cannot come from this writer and marks the record
@@ -97,6 +102,9 @@ type ShardLog struct {
 	nextSeq uint64
 	buf     []byte
 	crashed bool
+	// pulse is closed and replaced after every successful flush, so
+	// tailing streamers can block on Pulse instead of polling.
+	pulse chan struct{}
 }
 
 // Recovery describes what OpenShardLog replayed from an existing log.
@@ -113,6 +121,10 @@ type Recovery struct {
 	// Dropped is the number of committed tuples discarded because a
 	// later fence moved their range to another shard.
 	Dropped int
+	// Watermark is the highest replication watermark (recMark) among
+	// the committed epochs — the last leader-log epoch this follower
+	// log applied. Zero for leader logs, which carry no marks.
+	Watermark uint64
 }
 
 // OpenShardLog opens (or creates) the insert log at path for a shard
@@ -151,11 +163,35 @@ func OpenShardLog(path string, arity int) (*ShardLog, *Recovery, error) {
 	if rec.TornTail {
 		obs.Inc(obs.ClusterLogTornTails)
 	}
-	return &ShardLog{arity: arity, f: f, path: path, nextSeq: rec.Epochs + 1}, rec, nil
+	l := &ShardLog{arity: arity, f: f, path: path, nextSeq: rec.Epochs + 1, pulse: make(chan struct{})}
+	return l, rec, nil
 }
 
 // Path returns the log's file path.
 func (l *ShardLog) Path() string { return l.path }
+
+// CommittedSeq returns the sequence number of the last durably
+// committed epoch (0 before the first).
+func (l *ShardLog) CommittedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// Pulse returns a channel closed at the next successful epoch flush.
+// Tailing streamers block on it instead of polling; after it fires,
+// call Pulse again for the next edge.
+func (l *ShardLog) Pulse() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pulse
+}
+
+// beat wakes Pulse waiters after a successful flush. Caller holds mu.
+func (l *ShardLog) beat() {
+	close(l.pulse)
+	l.pulse = make(chan struct{})
+}
 
 // Close closes the underlying file. The log must not be used after.
 func (l *ShardLog) Close() error { return l.f.Close() }
@@ -197,6 +233,62 @@ func (l *ShardLog) LogEpoch(batches [][]tuple.Tuple) error {
 	obs.Add(obs.ClusterLogBytes, uint64(len(l.buf)))
 	obs.Observe(obs.HistClusterLogFlushNanos, uint64(obs.Clock()-start))
 	l.nextSeq++
+	l.beat()
+	return nil
+}
+
+// LogReplicatedEpoch durably appends one applied replication epoch to a
+// follower's own log: the epoch's insert batches and fences exactly as
+// streamed from the leader, plus a watermark record carrying the leader
+// epoch number, all under one commit marker and one flush. On restart,
+// replay reconstructs the follower tree and Recovery.Watermark tells the
+// follower where to resume its subscription; re-applying an epoch the
+// leader also streams again is idempotent (set inserts, re-fenced empty
+// ranges).
+func (l *ShardLog) LogReplicatedEpoch(batches [][]tuple.Tuple, fences []Fence, mark uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrashed
+	}
+	start := obs.Clock()
+	l.buf = l.buf[:0]
+	records := uint64(0)
+	for _, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		l.buf = appendInsertRecord(l.buf, l.nextSeq, b)
+		records++
+	}
+	for _, fc := range fences {
+		if fc.Lo > fc.Hi {
+			return fmt.Errorf("cluster: fence range [%d, %d] inverted", fc.Lo, fc.Hi)
+		}
+		payload := make([]byte, 0, 20)
+		payload = be64(payload, fc.Lo)
+		payload = be64(payload, fc.Hi)
+		payload = be32(payload, fc.Dst)
+		l.buf = appendRecord(l.buf, recFence, l.nextSeq, payload)
+		records++
+	}
+	if records == 0 && mark == 0 {
+		return nil // nothing applied, nothing to make durable
+	}
+	if mark > 0 {
+		l.buf = appendRecord(l.buf, recMark, l.nextSeq, be64(nil, mark))
+		records++
+	}
+	l.buf = appendRecord(l.buf, recCommit, l.nextSeq, nil)
+	records++
+	if err := l.flush(crashSiteEpoch); err != nil {
+		return err
+	}
+	obs.Add(obs.ClusterLogRecords, records)
+	obs.Add(obs.ClusterLogBytes, uint64(len(l.buf)))
+	obs.Observe(obs.HistClusterLogFlushNanos, uint64(obs.Clock()-start))
+	l.nextSeq++
+	l.beat()
 	return nil
 }
 
@@ -228,6 +320,7 @@ func (l *ShardLog) AppendFence(lo, hi uint64, dst uint32) error {
 	obs.Add(obs.ClusterLogBytes, uint64(len(l.buf)))
 	obs.Observe(obs.HistClusterLogFlushNanos, uint64(obs.Clock()-start))
 	l.nextSeq++
+	l.beat()
 	return nil
 }
 
@@ -304,11 +397,105 @@ func rd64(b []byte) uint64 {
 	return uint64(rd32(b))<<32 | uint64(rd32(b[4:]))
 }
 
-// fence is one replayed recFence: committed tuples with leading column
-// in [lo, hi] from epochs before it belong to shard dst.
-type fence struct {
-	lo, hi uint64
-	dst    uint32
+// Fence is one replayed recFence: committed tuples with leading column
+// in [Lo, Hi] from epochs before it belong to shard Dst. Followers
+// receiving a fence in their epoch stream retire the range from their
+// tree (the destination shard's followers stream it independently).
+type Fence struct {
+	// Lo and Hi bound the moved leading-column range, inclusive.
+	Lo, Hi uint64
+	// Dst is the shard the range was handed to.
+	Dst uint32
+}
+
+// Epoch is one committed log epoch as decoded by the shared decode path
+// (replay and LogTailer alike): the insert batches and fences in log
+// order, plus the replication watermark if the epoch carried one.
+type Epoch struct {
+	// Seq is the epoch's sequence number (consecutive from 1).
+	Seq uint64
+	// Batches holds one tuple slice per insert record, in record order.
+	Batches [][]tuple.Tuple
+	// Fences holds the epoch's fence records, applied at commit to all
+	// tuples committed so far (this epoch's batches included).
+	Fences []Fence
+	// Mark is the epoch's replication watermark (0 if none): the
+	// leader-log epoch a follower applied when it logged this epoch.
+	Mark uint64
+}
+
+// decodeEpoch decodes one committed epoch from the front of data. It
+// returns (nil, 0, nil) when data holds no complete committed epoch yet
+// — an incomplete record or a missing commit marker, i.e. a (possibly
+// still in-flight) torn tail the caller may retry after more bytes
+// arrive. Complete-but-invalid records are ErrLogCorrupt. base is the
+// file offset of data[0], used only in error messages. This is the one
+// decode path: crash-recovery replay and the replication tailer both
+// call it.
+func decodeEpoch(data []byte, base int64, wantSeq uint64, arity int) (*Epoch, int, error) {
+	ep := &Epoch{Seq: wantSeq}
+	off := 0
+	for {
+		if len(data)-off < 4 {
+			return nil, 0, nil
+		}
+		bodyLen := int(rd32(data[off:]))
+		if bodyLen < 9 || bodyLen > maxRecordBody {
+			return nil, 0, fmt.Errorf("%w: record at offset %d has implausible length %d", ErrLogCorrupt, base+int64(off), bodyLen)
+		}
+		if len(data)-off < 4+bodyLen+4 {
+			return nil, 0, nil
+		}
+		body := data[off+4 : off+4+bodyLen]
+		wantCRC := rd32(data[off+4+bodyLen:])
+		if crc32.ChecksumIEEE(body) != wantCRC {
+			return nil, 0, fmt.Errorf("%w: record at offset %d fails its checksum", ErrLogCorrupt, base+int64(off))
+		}
+		kind, recSeq, payload := body[0], rd64(body[1:]), body[9:]
+		if recSeq != wantSeq {
+			// Covers epoch 0 too: the writer numbers epochs from 1, so
+			// wantSeq is always >= 1 and a record claiming 0 cannot match.
+			return nil, 0, fmt.Errorf("%w: record at offset %d carries epoch %d, want %d", ErrLogCorrupt, base+int64(off), recSeq, wantSeq)
+		}
+		switch kind {
+		case recInsert:
+			if len(payload) < 4 {
+				return nil, 0, fmt.Errorf("%w: insert record at offset %d truncated", ErrLogCorrupt, base+int64(off))
+			}
+			count := int(rd32(payload))
+			payload = payload[4:]
+			if len(payload) != count*arity*8 {
+				return nil, 0, fmt.Errorf("%w: insert record at offset %d declares %d tuples but carries %d bytes", ErrLogCorrupt, base+int64(off), count, len(payload))
+			}
+			batch := make([]tuple.Tuple, 0, count)
+			for i := 0; i < count; i++ {
+				t := make(tuple.Tuple, arity)
+				for j := 0; j < arity; j++ {
+					t[j] = rd64(payload[(i*arity+j)*8:])
+				}
+				batch = append(batch, t)
+			}
+			ep.Batches = append(ep.Batches, batch)
+		case recFence:
+			if len(payload) != 20 {
+				return nil, 0, fmt.Errorf("%w: fence record at offset %d malformed", ErrLogCorrupt, base+int64(off))
+			}
+			ep.Fences = append(ep.Fences, Fence{Lo: rd64(payload), Hi: rd64(payload[8:]), Dst: rd32(payload[16:])})
+		case recMark:
+			if len(payload) != 8 {
+				return nil, 0, fmt.Errorf("%w: mark record at offset %d malformed", ErrLogCorrupt, base+int64(off))
+			}
+			ep.Mark = rd64(payload)
+		case recCommit:
+			if len(payload) != 0 {
+				return nil, 0, fmt.Errorf("%w: commit marker at offset %d carries payload", ErrLogCorrupt, base+int64(off))
+			}
+			return ep, off + 4 + bodyLen + 4, nil
+		default:
+			return nil, 0, fmt.Errorf("%w: record at offset %d has unknown kind %d", ErrLogCorrupt, base+int64(off), kind)
+		}
+		off += 4 + bodyLen + 4
+	}
 }
 
 // replay decodes data, applying the committed prefix, and returns the
@@ -319,99 +506,40 @@ type fence struct {
 func replay(data []byte, arity int) (*Recovery, int64, error) {
 	rec := &Recovery{}
 	var committed []tuple.Tuple
-	var pending []tuple.Tuple
-	var pendingFences []fence
 	off := 0
-	validLen := 0 // end of the last committed epoch
-	seq := uint64(0)
-	epochSeq := uint64(0) // seq of the open epoch, 0 = none open
 	for off < len(data) {
-		if len(data)-off < 4 {
+		ep, n, err := decodeEpoch(data[off:], int64(off), rec.Epochs+1, arity)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ep == nil {
+			// Trailing bytes with no commit marker: the flush was cut
+			// mid-epoch, nothing in it was acked.
 			rec.TornTail = true
 			break
 		}
-		bodyLen := int(rd32(data[off:]))
-		if bodyLen < 9 || bodyLen > maxRecordBody {
-			return nil, 0, fmt.Errorf("%w: record at offset %d has implausible length %d", ErrLogCorrupt, off, bodyLen)
+		for _, b := range ep.Batches {
+			committed = append(committed, b...)
 		}
-		if len(data)-off < 4+bodyLen+4 {
-			rec.TornTail = true
-			break
-		}
-		body := data[off+4 : off+4+bodyLen]
-		wantCRC := rd32(data[off+4+bodyLen:])
-		if crc32.ChecksumIEEE(body) != wantCRC {
-			return nil, 0, fmt.Errorf("%w: record at offset %d fails its checksum", ErrLogCorrupt, off)
-		}
-		kind, recSeq, payload := body[0], rd64(body[1:]), body[9:]
-		switch {
-		case recSeq == 0:
-			// The writer numbers epochs from 1; a record claiming epoch 0
-			// would otherwise slip past the sequence check below when no
-			// epoch is open (0 == the zero epochSeq), so reject it
-			// explicitly — it cannot come from this writer.
-			return nil, 0, fmt.Errorf("%w: record at offset %d carries epoch 0", ErrLogCorrupt, off)
-		case epochSeq == 0 && recSeq == seq+1:
-			epochSeq = recSeq // first record of the next epoch
-		case recSeq != epochSeq:
-			return nil, 0, fmt.Errorf("%w: record at offset %d carries epoch %d, want %d", ErrLogCorrupt, off, recSeq, seq+1)
-		}
-		switch kind {
-		case recInsert:
-			if len(payload) < 4 {
-				return nil, 0, fmt.Errorf("%w: insert record at offset %d truncated", ErrLogCorrupt, off)
-			}
-			count := int(rd32(payload))
-			payload = payload[4:]
-			if len(payload) != count*arity*8 {
-				return nil, 0, fmt.Errorf("%w: insert record at offset %d declares %d tuples but carries %d bytes", ErrLogCorrupt, off, count, len(payload))
-			}
-			for i := 0; i < count; i++ {
-				t := make(tuple.Tuple, arity)
-				for j := 0; j < arity; j++ {
-					t[j] = rd64(payload[(i*arity+j)*8:])
+		for _, fc := range ep.Fences {
+			kept := committed[:0]
+			for _, t := range committed {
+				if t[0] >= fc.Lo && t[0] <= fc.Hi {
+					rec.Dropped++
+					continue
 				}
-				pending = append(pending, t)
+				kept = append(kept, t)
 			}
-		case recFence:
-			if len(payload) != 20 {
-				return nil, 0, fmt.Errorf("%w: fence record at offset %d malformed", ErrLogCorrupt, off)
-			}
-			pendingFences = append(pendingFences, fence{lo: rd64(payload), hi: rd64(payload[8:]), dst: rd32(payload[16:])})
-		case recCommit:
-			if len(payload) != 0 {
-				return nil, 0, fmt.Errorf("%w: commit marker at offset %d carries payload", ErrLogCorrupt, off)
-			}
-			committed = append(committed, pending...)
-			pending = pending[:0]
-			for _, fc := range pendingFences {
-				kept := committed[:0]
-				for _, t := range committed {
-					if t[0] >= fc.lo && t[0] <= fc.hi {
-						rec.Dropped++
-						continue
-					}
-					kept = append(kept, t)
-				}
-				committed = kept
-			}
-			pendingFences = pendingFences[:0]
-			seq = epochSeq
-			epochSeq = 0
-			rec.Epochs++
-			validLen = off + 4 + bodyLen + 4
-		default:
-			return nil, 0, fmt.Errorf("%w: record at offset %d has unknown kind %d", ErrLogCorrupt, off, kind)
+			committed = kept
 		}
-		off += 4 + bodyLen + 4
-	}
-	if len(pending) > 0 || len(pendingFences) > 0 || epochSeq != 0 {
-		// Complete records of an epoch whose commit marker never hit the
-		// disk: the flush was cut mid-epoch, nothing in it was acked.
-		rec.TornTail = true
+		if ep.Mark > rec.Watermark {
+			rec.Watermark = ep.Mark
+		}
+		rec.Epochs++
+		off += n
 	}
 	rec.Tuples = committed
-	return rec, int64(validLen), nil
+	return rec, int64(off), nil
 }
 
 // BuildTree sorts and deduplicates the replayed tuples and bulk-loads

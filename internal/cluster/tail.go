@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// LogTailer is a read-only cursor over a shard insert log that decodes
+// committed epochs in order, sharing the decode path of crash-recovery
+// replay (decodeEpoch). Unlike replay it never truncates: an incomplete
+// tail — a flush the writer has not finished, or a crash artifact at the
+// end of a dead leader's log — makes Next report "nothing yet" and the
+// tailer retries from the same offset once more bytes arrive. This is
+// what the leader-side replication streamer runs on (a single write(2)
+// is not atomic for concurrent readers, so a tailer may observe a
+// prefix of an in-flight epoch), and what promotion catch-up uses to
+// drain a dead leader's log.
+//
+// A tailer holds its own file descriptor and may run concurrently with
+// the writing ShardLog. It must NOT outlive a reopen of the same path:
+// reopening truncates torn tails, which can rewrite offsets a live
+// tailer has already buffered.
+type LogTailer struct {
+	f     *os.File
+	arity int
+	off   int64  // file offset of the first undecoded byte
+	seq   uint64 // last epoch sequence returned
+	buf   []byte // bytes [off, off+len(buf)) of the file
+}
+
+// tailChunk is the read granularity of LogTailer.fill.
+const tailChunk = 1 << 16
+
+// TailShardLog opens a read-only tailer over the log at path and
+// fast-forwards it past epoch `after` (0 starts from the beginning), so
+// the first Next returns epoch after+1. Fast-forwarding decodes from the
+// start of the file — the log has no index — but discards the decoded
+// epochs without materialising their tuples beyond one epoch at a time.
+func TailShardLog(path string, arity int, after uint64) (*LogTailer, error) {
+	if arity < 1 {
+		return nil, fmt.Errorf("cluster: arity %d out of range", arity)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &LogTailer{f: f, arity: arity}
+	for t.seq < after {
+		ep, ok, err := t.Next()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if !ok {
+			// The log ends before the requested epoch; position at its
+			// committed end and let the caller retry as it grows.
+			break
+		}
+		_ = ep
+	}
+	return t, nil
+}
+
+// ResumeShardLog opens a read-only tailer positioned at a known
+// (offset, seq) pair previously captured via Offset and Seq — the
+// resume-from-offset path, which skips the fast-forward decode. The pair
+// must name a committed epoch boundary of the same log; anything else
+// surfaces as ErrLogCorrupt on the next decode.
+func ResumeShardLog(path string, arity int, offset int64, seq uint64) (*LogTailer, error) {
+	if arity < 1 {
+		return nil, fmt.Errorf("cluster: arity %d out of range", arity)
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("cluster: negative resume offset %d", offset)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &LogTailer{f: f, arity: arity, off: offset, seq: seq}, nil
+}
+
+// Next returns the next committed epoch. ok is false when the log holds
+// no further complete epoch yet — end of file or a torn/in-flight tail —
+// in which case the tailer stays put and the caller retries later (block
+// on the writer's Pulse, or poll for an unwatched file). Errors are
+// permanent: ErrLogCorrupt for a damaged committed prefix, or an I/O
+// error from the underlying file.
+func (t *LogTailer) Next() (*Epoch, bool, error) {
+	for {
+		ep, n, err := decodeEpoch(t.buf, t.off, t.seq+1, t.arity)
+		if err != nil {
+			return nil, false, err
+		}
+		if ep != nil {
+			// Slide the remainder to the front of the backing array so the
+			// buffer's footprint stays bounded by one epoch plus one chunk.
+			t.buf = append(t.buf[:0], t.buf[n:]...)
+			t.off += int64(n)
+			t.seq = ep.Seq
+			return ep, true, nil
+		}
+		got, err := t.fill()
+		if err != nil {
+			return nil, false, err
+		}
+		if got == 0 {
+			return nil, false, nil
+		}
+	}
+}
+
+// fill reads more bytes from the file into the decode buffer, returning
+// how many arrived (0 at end of file).
+func (t *LogTailer) fill() (int, error) {
+	chunk := make([]byte, tailChunk)
+	n, err := t.f.ReadAt(chunk, t.off+int64(len(t.buf)))
+	if n > 0 {
+		t.buf = append(t.buf, chunk[:n]...)
+	}
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	return n, nil
+}
+
+// Offset returns the file offset of the first undecoded byte — a
+// committed epoch boundary usable with ResumeShardLog.
+func (t *LogTailer) Offset() int64 { return t.off }
+
+// Seq returns the sequence number of the last epoch Next returned.
+func (t *LogTailer) Seq() uint64 { return t.seq }
+
+// Close releases the tailer's file descriptor.
+func (t *LogTailer) Close() error { return t.f.Close() }

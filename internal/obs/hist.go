@@ -105,6 +105,12 @@ const (
 	// ("hist.cluster.log.flush.ns"). Control-plane recorded (direct
 	// Observe).
 	HistClusterLogFlushNanos
+	// HistReplicaLagEpochs records, at each epoch a follower applies, how
+	// many committed leader epochs it still trailed by afterwards (leader
+	// head minus applied watermark) — the replication-lag distribution
+	// the staleness bound is judged against ("hist.replica.lag.epochs").
+	// Control-plane recorded (direct Observe) on the follower apply path.
+	HistReplicaLagEpochs
 
 	// NumHistograms is the number of registered histograms; valid
 	// Histogram values are [0, NumHistograms).
@@ -141,6 +147,7 @@ var histogramNames = [NumHistograms]string{
 	HistPushdownSelectivity:  "hist.datalog.pushdown.selectivity",
 	HistServeGateBypassNanos: "hist.serve.gate.bypass.ns",
 	HistClusterLogFlushNanos: "hist.cluster.log.flush.ns",
+	HistReplicaLagEpochs:     "hist.replica.lag.epochs",
 }
 
 // histogramUnits maps every Histogram to the unit of its recorded values.
@@ -162,6 +169,7 @@ var histogramUnits = [NumHistograms]string{
 	HistPushdownSelectivity:  "rows",
 	HistServeGateBypassNanos: "ns",
 	HistClusterLogFlushNanos: "ns",
+	HistReplicaLagEpochs:     "epochs",
 }
 
 // Name returns the histogram's stable published name, the key used in

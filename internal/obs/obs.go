@@ -71,10 +71,12 @@ import (
 // the epoch-snapshot names (core.cow.clones, serve.snapshot.reads, the
 // gate-bypass histogram and the cow contention sites, DESIGN.md §14);
 // v5 extends v4 append-only with the sharded-cluster names (cluster.*
-// counters and the log-flush histogram, DESIGN.md §15).
+// counters and the log-flush histogram, DESIGN.md §15); v6 extends v5
+// append-only with the replication names (replica.* counters and the
+// replication-lag histogram, DESIGN.md §16).
 // Counter and histogram names under this version are append-only stable
 // (see the package comment).
-const SchemaVersion = "specbtree.metrics.v5"
+const SchemaVersion = "specbtree.metrics.v6"
 
 // Counter identifies one global event counter. The constants below are
 // the complete registry; Name returns the stable string form. Counter
@@ -275,6 +277,35 @@ const (
 	// unemitted position under the fresh map
 	// ("cluster.scan.restarts").
 	ClusterScanRestarts
+	// ReplicaStreamEpochs counts epoch frames shipped to followers by
+	// leader-side log streamers ("replica.stream.epochs").
+	ReplicaStreamEpochs
+	// ReplicaApplyEpochs counts whole epochs applied by followers — live
+	// stream and promotion catch-up alike ("replica.apply.epochs").
+	ReplicaApplyEpochs
+	// ReplicaApplyTuples counts tuples inserted into follower trees by
+	// applied epochs ("replica.apply.tuples").
+	ReplicaApplyTuples
+	// ReplicaBootstrapTuples counts tuples a follower loaded from
+	// snapshot pages during bootstrap, before joining the live stream
+	// ("replica.bootstrap.tuples").
+	ReplicaBootstrapTuples
+	// ReplicaFencesApplied counts fence records a follower executed by
+	// retiring the moved range from its tree
+	// ("replica.fences.applied").
+	ReplicaFencesApplied
+	// ReplicaFollowerReads counts router reads served by a follower
+	// within the staleness bound ("replica.reads.follower").
+	ReplicaFollowerReads
+	// ReplicaFallbackReads counts router reads that probed a follower but
+	// fell back to the leader because the follower was stale beyond
+	// MaxStaleEpochs or its stream was unhealthy
+	// ("replica.reads.fallback").
+	ReplicaFallbackReads
+	// ReplicaPromotions counts followers promoted to shard leader after
+	// replaying the dead leader's durable log tail
+	// ("replica.promotions").
+	ReplicaPromotions
 
 	// NumCounters is the number of registered counters; valid Counter
 	// values are [0, NumCounters).
@@ -342,6 +373,15 @@ var counterNames = [NumCounters]string{
 	ClusterRebalanceAborts:        "cluster.rebalance.aborts",
 	ClusterRebalanceFenceFailures: "cluster.rebalance.fence_failures",
 	ClusterScanRestarts:           "cluster.scan.restarts",
+
+	ReplicaStreamEpochs:    "replica.stream.epochs",
+	ReplicaApplyEpochs:     "replica.apply.epochs",
+	ReplicaApplyTuples:     "replica.apply.tuples",
+	ReplicaBootstrapTuples: "replica.bootstrap.tuples",
+	ReplicaFencesApplied:   "replica.fences.applied",
+	ReplicaFollowerReads:   "replica.reads.follower",
+	ReplicaFallbackReads:   "replica.reads.fallback",
+	ReplicaPromotions:      "replica.promotions",
 }
 
 // Name returns the counter's stable published name, the key used in the

@@ -1,0 +1,500 @@
+package replica_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"specbtree/internal/cluster"
+	"specbtree/internal/obs"
+	"specbtree/internal/replica"
+	"specbtree/internal/serve"
+	"specbtree/internal/tuple"
+)
+
+// testLeader is a standalone leader: a server over a shard log with
+// replication enabled, heartbeating fast so tests converge quickly.
+type testLeader struct {
+	srv *serve.Server
+	log *cluster.ShardLog
+}
+
+func startLeader(t *testing.T, path string) *testLeader {
+	t.Helper()
+	log, rec, err := cluster.OpenShardLog(path, 2)
+	if err != nil {
+		t.Fatalf("OpenShardLog: %v", err)
+	}
+	srv, err := serve.Start("127.0.0.1:0", serve.Options{
+		Arity:          2,
+		Tree:           cluster.BuildTree(rec.Tuples, 2),
+		EpochLog:       log,
+		Replica:        log.ReplicaSource(),
+		HeartbeatEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		log.Close()
+		t.Fatalf("serve.Start: %v", err)
+	}
+	l := &testLeader{srv: srv, log: log}
+	t.Cleanup(func() { srv.Close(); log.Close() })
+	return l
+}
+
+func startFollower(t *testing.T, leaderAddr, logPath string) *replica.Follower {
+	t.Helper()
+	return startFollowerOpts(t, replica.Options{Leader: leaderAddr, LogPath: logPath})
+}
+
+// startShardFollower replicates a cluster shard: the shard identity is
+// verified on every hello, stream and data plane alike.
+func startShardFollower(t *testing.T, leaderAddr, logPath string, shard uint32) *replica.Follower {
+	t.Helper()
+	return startFollowerOpts(t, replica.Options{
+		Leader: leaderAddr, LogPath: logPath, Sharded: true, Shard: shard,
+	})
+}
+
+func startFollowerOpts(t *testing.T, o replica.Options) *replica.Follower {
+	t.Helper()
+	o.Arity = 2
+	o.StaleAfter = 200 * time.Millisecond
+	o.ReconnectEvery = 20 * time.Millisecond
+	f, err := replica.Start(o)
+	if err != nil {
+		t.Fatalf("replica.Start: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// apply pushes one batch through the leader's scheduler (one epoch).
+func (l *testLeader) apply(t *testing.T, batch []tuple.Tuple) {
+	t.Helper()
+	if _, err := l.srv.Apply(batch); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func epochs(n int, tuplesPer int, start uint64) [][]tuple.Tuple {
+	out := make([][]tuple.Tuple, n)
+	k := start
+	for i := range out {
+		b := make([]tuple.Tuple, tuplesPer)
+		for j := range b {
+			b[j] = tuple.Tuple{k, k * 10}
+			k++
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// TestFollowerBootstrapAndStream: a follower joining after the leader
+// already committed epochs bootstraps from a snapshot, then applies
+// the live stream; its stamp converges to the leader's head and its
+// reads serve the replicated tuples.
+func TestFollowerBootstrapAndStream(t *testing.T) {
+	dir := t.TempDir()
+	l := startLeader(t, filepath.Join(dir, "leader.log"))
+	pre := epochs(3, 50, 0)
+	for _, b := range pre {
+		l.apply(t, b)
+	}
+
+	f := startFollower(t, l.srv.Addr(), filepath.Join(dir, "follower.log"))
+	waitFor(t, "bootstrap to epoch 3", func() bool { return f.Applied() == 3 })
+
+	// Live epochs after the bootstrap.
+	for _, b := range epochs(2, 50, 1000) {
+		l.apply(t, b)
+	}
+	waitFor(t, "stream to epoch 5", func() bool { return f.Applied() == 5 })
+	waitFor(t, "healthy stream", f.Healthy)
+
+	cl, err := serve.Dial(f.Addr(), serve.ClientOptions{Arity: 2})
+	if err != nil {
+		t.Fatalf("Dial follower: %v", err)
+	}
+	defer cl.Close()
+	for _, k := range []uint64{0, 49, 1000, 1099} {
+		ok, err := cl.Contains(tuple.Tuple{k, k * 10})
+		if err != nil || !ok {
+			t.Fatalf("Contains(%d) = %v, %v; want true", k, ok, err)
+		}
+	}
+	if n, err := cl.Len(); err != nil || n != 250 {
+		t.Fatalf("Len = %d, %v; want 250", n, err)
+	}
+	st, err := cl.Stamp()
+	if err != nil {
+		t.Fatalf("Stamp: %v", err)
+	}
+	if st.Applied != 5 || st.Head < 5 || !st.Healthy {
+		t.Fatalf("stamp = %+v, want applied=5 head>=5 healthy", st)
+	}
+
+	// The follower refuses writes.
+	if _, err := cl.Insert([]tuple.Tuple{{9, 9}}); err == nil {
+		t.Fatal("Insert on a follower succeeded, want refusal")
+	}
+}
+
+// TestFollowerRestartResumesFromWatermark: a restarted follower
+// recovers its applied watermark from its own log and resumes the
+// stream from there instead of bootstrapping again.
+func TestFollowerRestartResumesFromWatermark(t *testing.T) {
+	dir := t.TempDir()
+	l := startLeader(t, filepath.Join(dir, "leader.log"))
+	for _, b := range epochs(3, 20, 0) {
+		l.apply(t, b)
+	}
+	fpath := filepath.Join(dir, "follower.log")
+	f := startFollower(t, l.srv.Addr(), fpath)
+	waitFor(t, "first catch-up", func() bool { return f.Applied() == 3 })
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// More epochs while the follower is down.
+	for _, b := range epochs(2, 20, 500) {
+		l.apply(t, b)
+	}
+
+	boot := obs.Value(obs.ReplicaBootstrapTuples)
+	f2 := startFollower(t, l.srv.Addr(), fpath)
+	if got := f2.Applied(); got != 3 {
+		t.Fatalf("recovered watermark = %d, want 3", got)
+	}
+	waitFor(t, "resume to epoch 5", func() bool { return f2.Applied() == 5 })
+	if got := obs.Value(obs.ReplicaBootstrapTuples); got != boot {
+		t.Fatalf("restart bootstrapped %d tuples, want a stream resume", got-boot)
+	}
+
+	cl, err := serve.Dial(f2.Addr(), serve.ClientOptions{Arity: 2})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if n, err := cl.Len(); err != nil || n != 100 {
+		t.Fatalf("Len = %d, %v; want 100", n, err)
+	}
+}
+
+// TestFollowerUnhealthyWhenLeaderDies: with the leader gone, the
+// follower's stamp turns unhealthy once StaleAfter passes without a
+// frame — the signal routing clients use to stop trusting its reads.
+func TestFollowerUnhealthyWhenLeaderDies(t *testing.T) {
+	dir := t.TempDir()
+	l := startLeader(t, filepath.Join(dir, "leader.log"))
+	for _, b := range epochs(1, 10, 0) {
+		l.apply(t, b)
+	}
+	f := startFollower(t, l.srv.Addr(), filepath.Join(dir, "follower.log"))
+	waitFor(t, "catch-up", func() bool { return f.Applied() == 1 })
+	waitFor(t, "healthy", f.Healthy)
+
+	l.srv.Close()
+	l.log.Close()
+	waitFor(t, "unhealthy after leader death", func() bool { return !f.Healthy() })
+	if f.Applied() != 1 {
+		t.Fatalf("applied moved to %d after leader death", f.Applied())
+	}
+}
+
+// TestFenceRetiresMovedRangeOnFollower (satellite): a fence record in
+// the stream retires the moved leading-column range from the replica —
+// exactly once in effect — and a restart replaying the same fence from
+// the follower's own log converges to the same state (idempotent).
+func TestFenceRetiresMovedRangeOnFollower(t *testing.T) {
+	dir := t.TempDir()
+	l := startLeader(t, filepath.Join(dir, "leader.log"))
+
+	// Epoch 1: keys 0..99. Epoch 2 (fence): range [25, 74] moves away.
+	batch := make([]tuple.Tuple, 100)
+	for i := range batch {
+		batch[i] = tuple.Tuple{uint64(i), uint64(i)}
+	}
+	l.apply(t, batch)
+
+	fpath := filepath.Join(dir, "follower.log")
+	f := startFollower(t, l.srv.Addr(), fpath)
+	waitFor(t, "pre-fence catch-up", func() bool { return f.Applied() == 1 })
+
+	fenced := obs.Value(obs.ReplicaFencesApplied)
+	if err := l.log.AppendFence(25, 74, 1); err != nil {
+		t.Fatalf("AppendFence: %v", err)
+	}
+	waitFor(t, "fence epoch", func() bool { return f.Applied() == 2 })
+	if got := obs.Value(obs.ReplicaFencesApplied) - fenced; obs.Enabled && got != 1 {
+		t.Fatalf("fences applied = %d, want exactly 1", got)
+	}
+
+	check := func(f *replica.Follower, when string) {
+		t.Helper()
+		cl, err := serve.Dial(f.Addr(), serve.ClientOptions{Arity: 2})
+		if err != nil {
+			t.Fatalf("%s: Dial: %v", when, err)
+		}
+		defer cl.Close()
+		if n, err := cl.Len(); err != nil || n != 50 {
+			t.Fatalf("%s: Len = %d, %v; want 50 after retiring [25,74]", when, n, err)
+		}
+		for _, k := range []uint64{24, 75} {
+			if ok, _ := cl.Contains(tuple.Tuple{k, k}); !ok {
+				t.Fatalf("%s: kept key %d missing", when, k)
+			}
+		}
+		for _, k := range []uint64{25, 50, 74} {
+			if ok, _ := cl.Contains(tuple.Tuple{k, k}); ok {
+				t.Fatalf("%s: moved key %d still served", when, k)
+			}
+		}
+	}
+	check(f, "after fence")
+
+	// Restart: the fence replays from the follower's own log; the
+	// recovered state must be identical, not doubly-retired or revived.
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f2 := startFollower(t, l.srv.Addr(), fpath)
+	if got := f2.Applied(); got != 2 {
+		t.Fatalf("recovered watermark = %d, want 2", got)
+	}
+	check(f2, "after replay")
+}
+
+// TestClusterPromoteOnFailure: the full failover path. A cluster shard
+// with an attached follower is killed; Promote replays the leader log
+// tail into the follower (writes acked after the follower's last
+// applied epoch included), flips it writable, and repoints the
+// directory — the routing client keeps working without a restart, and
+// no acknowledged write is lost.
+func TestClusterPromoteOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cluster.StartCluster(cluster.Options{
+		Shards: 1,
+		LogDir: dir,
+		Serve:  serve.Options{HeartbeatEvery: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer c.Close()
+
+	f := startShardFollower(t, c.Addrs()[0], filepath.Join(dir, "follower-0.log"), 0)
+	if err := c.AttachFollower(0, f); err != nil {
+		t.Fatalf("AttachFollower: %v", err)
+	}
+
+	cl, err := c.Client(cluster.ClientOptions{})
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer cl.Close()
+
+	var acked []tuple.Tuple
+	for i := uint64(0); i < 5; i++ {
+		b := []tuple.Tuple{{i, i}, {i + 100, i}}
+		if _, err := cl.Insert(b); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		acked = append(acked, b...)
+	}
+	waitFor(t, "follower catch-up", func() bool { return f.Applied() >= 3 })
+
+	// Writes the follower may not have streamed yet, then the kill.
+	late := []tuple.Tuple{{999, 1}, {998, 2}}
+	if _, err := cl.Insert(late); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	acked = append(acked, late...)
+	if err := c.KillShard(0); err != nil {
+		t.Fatalf("KillShard: %v", err)
+	}
+
+	addr, err := c.Promote(0)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if addr != f.Addr() {
+		t.Fatalf("promoted to %s, want follower %s", addr, f.Addr())
+	}
+	if !f.Promoted() {
+		t.Fatal("follower does not report promoted")
+	}
+
+	// Every acknowledged write must be served by the new leader.
+	for _, tp := range acked {
+		ok, err := cl.Contains(tp)
+		if err != nil {
+			t.Fatalf("Contains(%v) after promote: %v", tp, err)
+		}
+		if !ok {
+			t.Fatalf("acked write %v lost across failover", tp)
+		}
+	}
+	// And it accepts new writes, routed through the directory.
+	if _, err := cl.Insert([]tuple.Tuple{{5000, 5}}); err != nil {
+		t.Fatalf("Insert after promote: %v", err)
+	}
+	if ok, err := cl.Contains(tuple.Tuple{5000, 5}); err != nil || !ok {
+		t.Fatalf("post-promote write not served: %v %v", ok, err)
+	}
+
+	// The old leader is fenced out for good.
+	if err := c.RestartShard(0); err == nil {
+		t.Fatal("RestartShard of a failed-over shard succeeded, want refusal")
+	}
+}
+
+// TestFollowerReadOffload: a routing client with a staleness budget
+// serves reads from the follower while it is fresh, and falls back to
+// the leader when the budget is zero-tolerance and the follower lags.
+func TestFollowerReadOffload(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cluster.StartCluster(cluster.Options{
+		Shards: 1,
+		LogDir: dir,
+		Serve:  serve.Options{HeartbeatEvery: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer c.Close()
+
+	f := startShardFollower(t, c.Addrs()[0], filepath.Join(dir, "follower-0.log"), 0)
+	if err := c.AttachFollower(0, f); err != nil {
+		t.Fatalf("AttachFollower: %v", err)
+	}
+
+	cl, err := c.Client(cluster.ClientOptions{MaxStaleEpochs: 8})
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer cl.Close()
+
+	for i := uint64(0); i < 4; i++ {
+		if _, err := cl.Insert([]tuple.Tuple{{i, i}}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	waitFor(t, "follower catch-up", func() bool { return f.Applied() == 4 && f.Healthy() })
+
+	follower := obs.Value(obs.ReplicaFollowerReads)
+	for i := uint64(0); i < 4; i++ {
+		ok, err := cl.Contains(tuple.Tuple{i, i})
+		if err != nil || !ok {
+			t.Fatalf("Contains(%d) = %v, %v", i, ok, err)
+		}
+	}
+	if got := obs.Value(obs.ReplicaFollowerReads) - follower; obs.Enabled && got != 4 {
+		t.Fatalf("follower served %d reads, want 4", got)
+	}
+
+	// Kill the follower: reads must fall back to the leader and stay
+	// correct — offload is an optimisation, never a availability or
+	// correctness dependency.
+	fallback := obs.Value(obs.ReplicaFallbackReads)
+	if err := f.Close(); err != nil {
+		t.Fatalf("follower Close: %v", err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		ok, err := cl.Contains(tuple.Tuple{i, i})
+		if err != nil || !ok {
+			t.Fatalf("Contains(%d) after follower death = %v, %v", i, ok, err)
+		}
+	}
+	// Only the read that catches the dead connection counts as a
+	// fallback; during the dial backoff the follower is skipped and
+	// reads are plain leader reads.
+	if got := obs.Value(obs.ReplicaFallbackReads) - fallback; obs.Enabled && got == 0 {
+		t.Fatal("no fallback read recorded after follower death")
+	}
+}
+
+// TestManyFollowersPromoteMostCaughtUp: Promote picks the follower
+// with the highest applied watermark.
+func TestManyFollowersPromoteMostCaughtUp(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cluster.StartCluster(cluster.Options{
+		Shards: 1,
+		LogDir: dir,
+		Serve:  serve.Options{HeartbeatEvery: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer c.Close()
+
+	cl, err := c.Client(cluster.ClientOptions{})
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer cl.Close()
+	for i := uint64(0); i < 6; i++ {
+		if _, err := cl.Insert([]tuple.Tuple{{i, i}}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+
+	// laggard stops streaming at its current position; fresh keeps up.
+	laggard := startShardFollower(t, c.Addrs()[0], filepath.Join(dir, "f-lag.log"), 0)
+	waitFor(t, "laggard partial catch-up", func() bool { return laggard.Applied() >= 1 })
+	if _, err := laggard.CatchUpFromLog(c.Shard(0).Addr()); err == nil {
+		t.Fatal("CatchUpFromLog on a bogus path succeeded")
+	} // side effect: stops the laggard's stream at its watermark
+	lagAt := laggard.Applied()
+
+	fresh := startShardFollower(t, c.Addrs()[0], filepath.Join(dir, "f-fresh.log"), 0)
+	waitFor(t, "fresh catch-up", func() bool { return fresh.Applied() == 6 })
+	if lagAt >= 6 {
+		t.Skipf("laggard caught all the way up (applied=%d); cannot distinguish", lagAt)
+	}
+
+	if err := c.AttachFollower(0, laggard); err != nil {
+		t.Fatalf("AttachFollower: %v", err)
+	}
+	if err := c.AttachFollower(0, fresh); err != nil {
+		t.Fatalf("AttachFollower: %v", err)
+	}
+	if err := c.KillShard(0); err != nil {
+		t.Fatalf("KillShard: %v", err)
+	}
+	addr, err := c.Promote(0)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if addr != fresh.Addr() {
+		t.Fatalf("promoted %s, want the most caught-up follower %s", addr, fresh.Addr())
+	}
+}
+
+// TestFollowerBootstrapEmptyLeader: subscribing to a leader that has
+// committed nothing completes the (empty) bootstrap and goes healthy.
+func TestFollowerBootstrapEmptyLeader(t *testing.T) {
+	dir := t.TempDir()
+	l := startLeader(t, filepath.Join(dir, "leader.log"))
+	f := startFollower(t, l.srv.Addr(), filepath.Join(dir, "follower.log"))
+	waitFor(t, "healthy on empty leader", f.Healthy)
+	if f.Applied() != 0 {
+		t.Fatalf("applied = %d, want 0", f.Applied())
+	}
+	l.apply(t, []tuple.Tuple{{1, 2}})
+	waitFor(t, "first epoch", func() bool { return f.Applied() == 1 })
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging edits

@@ -611,6 +611,178 @@ func (c *Client) ScanAll(lo, hi tuple.Tuple, yield func(tuple.Tuple) bool) error
 	}
 }
 
+// Stamp is a server's replication position, answered by opStamp under
+// the same read admission as the rest of its frame: Applied is the
+// server's applied-epoch watermark, Head the highest leader epoch it
+// knows committed, Healthy whether its replication stream is live. On
+// a leader Applied == Head always (a leader is never stale against
+// itself), so Head-Applied is the follower's lag in epochs.
+type Stamp struct {
+	Applied, Head uint64
+	Healthy       bool
+}
+
+// decodeStamp consumes one opStamp result.
+func decodeStamp(r *rbuf) Stamp {
+	return Stamp{Applied: r.u64(), Head: r.u64(), Healthy: r.bool()}
+}
+
+// stamped prepends opStamp to a single-op read frame so the response
+// carries the server's replication position evaluated atomically with
+// the read — the cluster router's staleness check costs no extra round
+// trip.
+func stampedFrame(encode func(w *wbuf)) []byte {
+	w := &wbuf{}
+	w.u16(2)
+	w.u8(opStamp)
+	encode(w)
+	return w.b
+}
+
+// Stamp fetches the server's replication position alone — the health
+// and lag probe promotion and routing decisions poll.
+func (c *Client) Stamp() (Stamp, error) {
+	w := &wbuf{}
+	w.u16(1)
+	w.u8(opStamp)
+	payload, err := c.roundTrip(w.b, true)
+	if err != nil {
+		return Stamp{}, err
+	}
+	r := &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return Stamp{}, err
+	}
+	st := decodeStamp(r)
+	if err := r.done(); err != nil {
+		return Stamp{}, err
+	}
+	return st, nil
+}
+
+// ContainsStamped is Contains plus the server's replication stamp,
+// evaluated in the same frame (requires a protocol-version-3 server).
+func (c *Client) ContainsStamped(t tuple.Tuple) (bool, Stamp, error) {
+	if err := c.checkArity(t); err != nil {
+		return false, Stamp{}, err
+	}
+	payload, err := c.roundTrip(stampedFrame(func(w *wbuf) {
+		w.u8(opContains)
+		w.tuple(t)
+	}), true)
+	if err != nil {
+		return false, Stamp{}, err
+	}
+	r := &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return false, Stamp{}, err
+	}
+	st := decodeStamp(r)
+	v := r.bool()
+	if err := r.done(); err != nil {
+		return false, Stamp{}, err
+	}
+	return v, st, nil
+}
+
+// boundStamped is bound plus the server's replication stamp.
+func (c *Client) boundStamped(code byte, v tuple.Tuple) (tuple.Tuple, bool, Stamp, error) {
+	if err := c.checkArity(v); err != nil {
+		return nil, false, Stamp{}, err
+	}
+	payload, err := c.roundTrip(stampedFrame(func(w *wbuf) {
+		w.u8(code)
+		w.tuple(v)
+	}), true)
+	if err != nil {
+		return nil, false, Stamp{}, err
+	}
+	r := &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return nil, false, Stamp{}, err
+	}
+	st := decodeStamp(r)
+	ok := r.bool()
+	var t tuple.Tuple
+	if ok {
+		t = r.tuple(c.arity)
+	}
+	if err := r.done(); err != nil {
+		return nil, false, Stamp{}, err
+	}
+	return t, ok, st, nil
+}
+
+// LowerBoundStamped is LowerBound plus the server's replication stamp.
+func (c *Client) LowerBoundStamped(v tuple.Tuple) (tuple.Tuple, bool, Stamp, error) {
+	return c.boundStamped(opLower, v)
+}
+
+// UpperBoundStamped is UpperBound plus the server's replication stamp.
+func (c *Client) UpperBoundStamped(v tuple.Tuple) (tuple.Tuple, bool, Stamp, error) {
+	return c.boundStamped(opUpper, v)
+}
+
+// ScanPageStamped is ScanPage plus the server's replication stamp.
+func (c *Client) ScanPageStamped(lo, hi tuple.Tuple, loStrict bool, limit int) (ts []tuple.Tuple, truncated bool, st Stamp, err error) {
+	if limit < 0 {
+		return nil, false, Stamp{}, fmt.Errorf("serve: negative scan limit %d", limit)
+	}
+	if lo != nil {
+		if err := c.checkArity(lo); err != nil {
+			return nil, false, Stamp{}, err
+		}
+	}
+	if hi != nil {
+		if err := c.checkArity(hi); err != nil {
+			return nil, false, Stamp{}, err
+		}
+	}
+	payload, err := c.roundTrip(stampedFrame(func(w *wbuf) {
+		w.u8(opScan)
+		var flags byte
+		if lo != nil {
+			flags |= scanLoPresent
+		}
+		if hi != nil {
+			flags |= scanHiPresent
+		}
+		if loStrict {
+			flags |= scanLoStrict
+		}
+		w.u8(flags)
+		if lo != nil {
+			w.tuple(lo)
+		}
+		if hi != nil {
+			w.tuple(hi)
+		}
+		w.u32(uint32(limit))
+	}), true)
+	if err != nil {
+		return nil, false, Stamp{}, err
+	}
+	r := &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return nil, false, Stamp{}, err
+	}
+	st = decodeStamp(r)
+	n := int(r.u32())
+	rem := len(r.b) - r.off
+	if n < 0 || c.arity <= 0 || n > rem/(8*c.arity) {
+		return nil, false, Stamp{}, fmt.Errorf("%w: scan result overruns payload", errProtocol)
+	}
+	out := make([]tuple.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.tuple(c.arity))
+	}
+	truncated = r.bool()
+	if err := r.done(); err != nil {
+		return nil, false, Stamp{}, err
+	}
+	return out, truncated, st, nil
+}
+
 // Insert adds the batch to the relation, returning how many tuples were
 // new. On ErrRetry the server's write queue was full and nothing was
 // applied: back off and resubmit. Inserts are never retried internally —

@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"specbtree/internal/core"
+	"specbtree/internal/obs"
+	"specbtree/internal/tuple"
+)
+
+// This file is the replication stream (DESIGN.md §16): the server side
+// of a subscription — a follower sends one kindReplSubscribe frame and
+// the leader pushes an optional bootstrap snapshot followed by its
+// committed epochs and idle heartbeats — and the follower-side stream
+// client (DialReplica / ReplicaConn). The unit of shipment is the
+// *committed epoch*, exactly as the shard insert log frames it: a
+// follower that applies whole epochs in sequence is always at a state
+// the leader actually passed through, which is what makes bounded
+// staleness a meaningful promise and promotion a log-replay rather
+// than a reconciliation.
+
+// ReplFence is one rebalance cut carried by the stream: the leader
+// stopped owning leading-column values in [Lo, Hi] (inclusive), which
+// moved to shard Dst. A follower applies it like crash-recovery replay
+// does — drop the range — keeping its replica inside the leader's
+// ownership without a restart.
+type ReplFence struct {
+	Lo, Hi uint64
+	Dst    uint32
+}
+
+// ReplEpoch is one committed write epoch as shipped to followers: its
+// sequence number in the leader's log, the insert batches applied in
+// order, and any fences cut at its boundary.
+type ReplEpoch struct {
+	Seq     uint64
+	Batches [][]tuple.Tuple
+	Fences  []ReplFence
+}
+
+// EpochTailer is a cursor over a source's committed epochs, in
+// sequence order. Next reports ok=false when no further epoch is
+// committed yet; Wait blocks until the source signals progress, stop
+// closes, or max elapses — the streamer's idle loop. Implemented by
+// the shard log's tailing reader (cluster.LogTailer).
+type EpochTailer interface {
+	Next() (ReplEpoch, bool, error)
+	Wait(stop <-chan struct{}, max time.Duration)
+	Close() error
+}
+
+// ReplicaSource is what a leader streams from: its durable epoch
+// sequence. CommittedSeq is the highest committed epoch (the head
+// carried by epoch and heartbeat frames); TailEpochs opens a cursor
+// positioned after the given epoch. Implemented by the cluster shard
+// log (Options.Replica wires it in).
+type ReplicaSource interface {
+	CommittedSeq() uint64
+	TailEpochs(after uint64) (EpochTailer, error)
+}
+
+// replSubSnapshot is the subscribe-flags bit requesting a bootstrap
+// snapshot before the epoch stream.
+const replSubSnapshot = 1 << 0
+
+// replSnapPageTuples bounds one bootstrap snapshot page.
+const replSnapPageTuples = 4096
+
+// handleSubscribe validates a kindReplSubscribe frame, acknowledges it
+// (statusOK + the committed head), and hands the connection's outbound
+// side to a streamer goroutine. The reader keeps running so a follower
+// disconnect is noticed; a returned error tears the connection down.
+func (c *serverConn) handleSubscribe(ver byte, id uint64, trace obs.TraceID, payload []byte) error {
+	if c.s.opts.Replica == nil {
+		return fmt.Errorf("serve: replication not enabled on this server")
+	}
+	r := &rbuf{b: payload}
+	flags := r.u8()
+	after := r.u64()
+	if err := r.done(); err != nil {
+		return err
+	}
+	w := &wbuf{}
+	w.u8(statusOK)
+	w.u64(c.s.opts.Replica.CommittedSeq())
+	c.send(outFrame{kind: kindResponse, version: ver, id: id, trace: trace, payload: w.b})
+	c.s.wg.Add(1)
+	go c.streamReplica(ver, id, flags&replSubSnapshot != 0, after)
+	return nil
+}
+
+// streamReplica is the per-subscription push loop. With wantSnap set it
+// first pages out a bootstrap snapshot; the ordering is load-bearing:
+// the base epoch is read BEFORE the snapshot is captured, so the
+// snapshot contains every epoch <= base and the stream starts at
+// base+1 — a tuple landing between the two reads is simply replayed
+// onto itself (inserts are idempotent set additions). Epoch frames are
+// enqueued with blocking backpressure (sendBlocking): a slow follower
+// slows the stream, it is not dropped; WriteTimeout still disconnects
+// a dead one. With the default knobs one epoch frame cannot exceed
+// MaxPayload (WriteQueue batches of MaxBatch tuples stay well under
+// it); a deployment raising both past ~16M tuple-words per epoch would
+// have to split epochs first.
+func (c *serverConn) streamReplica(ver byte, id uint64, wantSnap bool, after uint64) {
+	defer c.s.wg.Done()
+	src := c.s.opts.Replica
+	start := after
+	if wantSnap {
+		base := src.CommittedSeq() // before the capture: snapshot ⊇ epochs <= base
+		snap, err := c.s.SnapshotNow()
+		if err != nil {
+			c.close()
+			return
+		}
+		if !c.sendSnapshot(ver, id, base, &snap) {
+			return
+		}
+		start = base
+	}
+	tailer, err := src.TailEpochs(start)
+	if err != nil {
+		c.close()
+		return
+	}
+	defer tailer.Close()
+	for {
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+		ep, ok, err := tailer.Next()
+		if err != nil {
+			// Permanent (log corruption past the committed prefix): the
+			// follower re-bootstraps elsewhere or alerts; nothing to stream.
+			c.close()
+			return
+		}
+		if !ok {
+			w := &wbuf{}
+			w.u64(src.CommittedSeq())
+			if !c.sendBlocking(outFrame{kind: kindReplHeartbeat, version: ver, id: id, payload: w.b}) {
+				return
+			}
+			tailer.Wait(c.closed, c.s.opts.HeartbeatEvery)
+			continue
+		}
+		w := &wbuf{}
+		w.u64(ep.Seq)
+		w.u64(src.CommittedSeq())
+		w.u32(uint32(len(ep.Batches)))
+		for _, b := range ep.Batches {
+			w.u32(uint32(len(b)))
+			for _, t := range b {
+				w.tuple(t)
+			}
+		}
+		w.u32(uint32(len(ep.Fences)))
+		for _, f := range ep.Fences {
+			w.u64(f.Lo)
+			w.u64(f.Hi)
+			w.u32(f.Dst)
+		}
+		if !c.sendBlocking(outFrame{kind: kindReplEpoch, version: ver, id: id, payload: w.b}) {
+			return
+		}
+		obs.Inc(obs.ReplicaStreamEpochs)
+	}
+}
+
+// sendSnapshot pages a bootstrap snapshot to the subscriber; every page
+// carries the base epoch and the final one is flagged last (an empty
+// relation ships one empty last page). Reports false when the
+// connection closed mid-transfer.
+func (c *serverConn) sendSnapshot(ver byte, id uint64, base uint64, snap *core.Snapshot) bool {
+	send := func(page []tuple.Tuple, last bool) bool {
+		w := &wbuf{}
+		w.u64(base)
+		w.bool(last)
+		w.u32(uint32(len(page)))
+		for _, t := range page {
+			w.tuple(t)
+		}
+		return c.sendBlocking(outFrame{kind: kindReplSnapPage, version: ver, id: id, payload: w.b})
+	}
+	page := make([]tuple.Tuple, 0, replSnapPageTuples)
+	for cur := snap.Cursor(); cur.Valid(); cur.Next() {
+		t := make(tuple.Tuple, c.s.opts.Arity)
+		cur.CopyTo(t)
+		page = append(page, t)
+		if len(page) == replSnapPageTuples {
+			if !send(page, false) {
+				return false
+			}
+			page = page[:0]
+		}
+	}
+	return send(page, true)
+}
+
+// ReplicaDialOptions configures DialReplica.
+type ReplicaDialOptions struct {
+	// Arity is the tuple width the follower expects (must match the
+	// leader's; 0 adopts it).
+	Arity int
+	// Shard, with Sharded set, makes the hello verify the leader's shard
+	// identity — same guard as the data-plane client's ExpectShard.
+	Shard   uint32
+	Sharded bool
+	// Snapshot requests a bootstrap snapshot before the epoch stream
+	// (fresh follower). Without it the stream resumes after After
+	// (restarting follower replaying its own log first).
+	Snapshot bool
+	// After is the resume position: the stream starts at epoch After+1.
+	// Ignored when Snapshot is set (the leader streams from its
+	// snapshot's base instead).
+	After uint64
+	// DialTimeout bounds connection establishment and the handshake
+	// (default 5s).
+	DialTimeout time.Duration
+}
+
+// ReplicaMsgType discriminates ReplicaMsg.
+type ReplicaMsgType uint8
+
+const (
+	// ReplicaSnapPage carries Base, Last and Tuples.
+	ReplicaSnapPage ReplicaMsgType = iota + 1
+	// ReplicaEpochMsg carries Epoch and Head.
+	ReplicaEpochMsg
+	// ReplicaHeartbeat carries Head only.
+	ReplicaHeartbeat
+)
+
+// ReplicaMsg is one received replication stream message.
+type ReplicaMsg struct {
+	Type ReplicaMsgType
+	// Base is the bootstrap base epoch: the snapshot contains every
+	// epoch <= Base and the stream will start at Base+1.
+	Base uint64
+	// Last flags the final snapshot page.
+	Last bool
+	// Tuples is one snapshot page's contents.
+	Tuples []tuple.Tuple
+	// Epoch is one committed leader epoch, to apply atomically.
+	Epoch ReplEpoch
+	// Head is the leader's committed head when the frame was built —
+	// the staleness yardstick (applied vs Head).
+	Head uint64
+}
+
+// ReplicaConn is the follower side of a replication subscription: a
+// dedicated connection that performed the hello and subscribe
+// handshakes and now receives the server's push frames via Recv. Not
+// safe for concurrent use; the replication apply loop owns it.
+type ReplicaConn struct {
+	nc    net.Conn
+	br    *bufio.Reader
+	arity int
+	// Head is the leader's committed head at subscribe time.
+	Head uint64
+}
+
+// DialReplica connects to a leader and opens a replication
+// subscription. The hello is the standard one (arity, protocol
+// version, optional shard verification), but the negotiated version
+// must be 3 — older servers have no replication frames to push.
+func DialReplica(addr string, o ReplicaDialOptions) (*ReplicaConn, error) {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial replica source %s: %w", addr, err)
+	}
+	rc := &ReplicaConn{nc: nc, br: bufio.NewReader(nc), arity: o.Arity}
+	if err := rc.handshake(o); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return rc, nil
+}
+
+// handshake performs hello + subscribe synchronously under the dial
+// deadline.
+func (rc *ReplicaConn) handshake(o ReplicaDialOptions) error {
+	rc.nc.SetDeadline(time.Now().Add(o.DialTimeout))
+	defer rc.nc.SetDeadline(time.Time{})
+
+	w := &wbuf{}
+	w.u16(uint16(o.Arity))
+	w.u8(ProtocolVersion)
+	if o.Sharded {
+		w.u32(o.Shard)
+	}
+	if err := writeFrame(rc.nc, ProtocolVersion, kindHello, 0, 0, w.b); err != nil {
+		return fmt.Errorf("serve: replica hello: %w", err)
+	}
+	_, kind, _, _, payload, err := readFrame(rc.br)
+	if err != nil {
+		return fmt.Errorf("serve: replica hello: %w", err)
+	}
+	r := &rbuf{b: payload}
+	if kind != kindHello {
+		if err := decodeStatus(r); err != nil {
+			return fmt.Errorf("serve: replica hello refused: %w", err)
+		}
+		return fmt.Errorf("%w: hello answered with frame kind %d", errProtocol, kind)
+	}
+	if status := r.u8(); status != statusOK {
+		return fmt.Errorf("serve: replica hello refused with status %d", status)
+	}
+	arity := int(r.u16())
+	negotiated := byte(protocolV1)
+	if r.off < len(r.b) {
+		negotiated = r.u8()
+	}
+	if o.Sharded {
+		if r.off >= len(r.b) {
+			return fmt.Errorf("%w: hello answer carries no shard number", errProtocol)
+		}
+		if shard := r.u32(); shard != o.Shard {
+			return fmt.Errorf("serve: shard mismatch: want shard %d, server is shard %d", o.Shard, shard)
+		}
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	if negotiated < ProtocolVersion {
+		return fmt.Errorf("serve: source speaks protocol %d; replication needs %d", negotiated, ProtocolVersion)
+	}
+	if o.Arity != 0 && arity != o.Arity {
+		return fmt.Errorf("serve: arity mismatch: want %d, server %d", o.Arity, arity)
+	}
+	rc.arity = arity
+
+	sub := &wbuf{}
+	var flags byte
+	if o.Snapshot {
+		flags |= replSubSnapshot
+	}
+	sub.u8(flags)
+	sub.u64(o.After)
+	if err := writeFrame(rc.nc, ProtocolVersion, kindReplSubscribe, 1, 0, sub.b); err != nil {
+		return fmt.Errorf("serve: subscribe: %w", err)
+	}
+	_, kind, _, _, payload, err = readFrame(rc.br)
+	if err != nil {
+		return fmt.Errorf("serve: subscribe: %w", err)
+	}
+	if kind != kindResponse {
+		return fmt.Errorf("%w: subscribe answered with frame kind %d", errProtocol, kind)
+	}
+	r = &rbuf{b: payload}
+	if err := decodeStatus(r); err != nil {
+		return fmt.Errorf("serve: subscribe refused: %w", err)
+	}
+	rc.Head = r.u64()
+	return r.done()
+}
+
+// Arity returns the negotiated tuple width.
+func (rc *ReplicaConn) Arity() int { return rc.arity }
+
+// Recv blocks for the next stream message, at most timeout (0 blocks
+// indefinitely). A deadline expiry surfaces as a net.Error with
+// Timeout() true — the apply loop's cue that the leader went quiet
+// past its heartbeat interval and the follower should report
+// unhealthy.
+func (rc *ReplicaConn) Recv(timeout time.Duration) (ReplicaMsg, error) {
+	if timeout > 0 {
+		rc.nc.SetReadDeadline(time.Now().Add(timeout))
+	} else {
+		rc.nc.SetReadDeadline(time.Time{})
+	}
+	_, kind, _, _, payload, err := readFrame(rc.br)
+	if err != nil {
+		return ReplicaMsg{}, err
+	}
+	r := &rbuf{b: payload}
+	var m ReplicaMsg
+	switch kind {
+	case kindReplSnapPage:
+		m.Type = ReplicaSnapPage
+		m.Base = r.u64()
+		m.Last = r.bool()
+		n := int(r.u32())
+		rem := len(r.b) - r.off
+		if n < 0 || rc.arity <= 0 || n > rem/(8*rc.arity) {
+			return ReplicaMsg{}, fmt.Errorf("%w: snapshot page overruns payload", errProtocol)
+		}
+		m.Tuples = make([]tuple.Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			m.Tuples = append(m.Tuples, r.tuple(rc.arity))
+		}
+	case kindReplEpoch:
+		m.Type = ReplicaEpochMsg
+		m.Epoch.Seq = r.u64()
+		m.Head = r.u64()
+		nb := int(r.u32())
+		for i := 0; i < nb && r.err == nil; i++ {
+			cnt := int(r.u32())
+			rem := len(r.b) - r.off
+			if cnt < 0 || rc.arity <= 0 || cnt > rem/(8*rc.arity) {
+				return ReplicaMsg{}, fmt.Errorf("%w: epoch batch overruns payload", errProtocol)
+			}
+			batch := make([]tuple.Tuple, 0, cnt)
+			for j := 0; j < cnt; j++ {
+				batch = append(batch, r.tuple(rc.arity))
+			}
+			m.Epoch.Batches = append(m.Epoch.Batches, batch)
+		}
+		nf := int(r.u32())
+		rem := len(r.b) - r.off
+		if nf < 0 || nf > rem/20 {
+			return ReplicaMsg{}, fmt.Errorf("%w: epoch fences overrun payload", errProtocol)
+		}
+		for i := 0; i < nf; i++ {
+			m.Epoch.Fences = append(m.Epoch.Fences, ReplFence{Lo: r.u64(), Hi: r.u64(), Dst: r.u32()})
+		}
+	case kindReplHeartbeat:
+		m.Type = ReplicaHeartbeat
+		m.Head = r.u64()
+	default:
+		return ReplicaMsg{}, fmt.Errorf("%w: unexpected frame kind %d on replication stream", errProtocol, kind)
+	}
+	if err := r.done(); err != nil {
+		return ReplicaMsg{}, err
+	}
+	return m, nil
+}
+
+// Close tears the subscription down.
+func (rc *ReplicaConn) Close() error { return rc.nc.Close() }

@@ -54,9 +54,15 @@ var errBusy = errors.New("serve: write queue full")
 
 // writeBatch is one admitted insert batch and its completion channel.
 // trace carries the originating frame's trace ID (0 = untraced) so the
-// epoch that applies the batch can attribute itself to it.
+// epoch that applies the batch can attribute itself to it. A batch with
+// swap set is a tree exchange instead of an insert: the epoch installs
+// the replacement tree at its quiescent point (Server.Exchange — the
+// follower fence-retirement path) and resets every hint set, since
+// cached leaves of the old tree could still pass their lease+coverage
+// checks and answer from retired data.
 type writeBatch struct {
 	tuples []tuple.Tuple
+	swap   *core.Tree
 	done   chan writeResult
 	trace  obs.TraceID
 }
@@ -88,8 +94,16 @@ const (
 
 // scheduler implements the epoch-batched phase admission for one tree.
 type scheduler struct {
-	tree  *core.Tree
+	// tree is the served tree. It is a pointer cell because a follower
+	// retiring a fenced range exchanges the whole tree at an epoch
+	// boundary (writeBatch.swap); readers load it once per operation.
+	tree  atomic.Pointer[core.Tree]
 	arity int
+	// treeGen counts tree exchanges. Connections compare it against the
+	// generation their hint set was built for and discard stale hints —
+	// a cached leaf of a replaced tree can still pass lease+coverage
+	// validation and would answer from retired data.
+	treeGen atomic.Uint64
 
 	// snapshots enables the gate-bypass path: gated readers get the
 	// last-epoch snapshot instead of blocking. Disabled, the scheduler
@@ -126,8 +140,10 @@ type scheduler struct {
 
 	// log, when non-nil, makes epochs durable: runEpoch appends every
 	// applied batch to it before delivering acknowledgements
-	// (Options.EpochLog).
-	log EpochLog
+	// (Options.EpochLog). Guarded by logMu: promotion installs a log
+	// into a follower's scheduler while the epoch goroutine runs.
+	logMu sync.Mutex
+	log   EpochLog
 
 	queue  chan *writeBatch
 	stopCh chan struct{}
@@ -156,7 +172,6 @@ type scheduler struct {
 // snapshot (of the possibly pre-loaded tree) is taken right here.
 func newScheduler(tree *core.Tree, queueCap int, snapshots bool, log EpochLog) *scheduler {
 	s := &scheduler{
-		tree:      tree,
 		arity:     tree.Arity(),
 		snapshots: snapshots,
 		log:       log,
@@ -165,6 +180,7 @@ func newScheduler(tree *core.Tree, queueCap int, snapshots bool, log EpochLog) *
 		doneCh:    make(chan struct{}),
 		hints:     core.NewHints(),
 	}
+	s.tree.Store(tree)
 	if snapshots {
 		sp := tree.Snapshot()
 		s.snap.Store(&sp)
@@ -172,6 +188,16 @@ func newScheduler(tree *core.Tree, queueCap int, snapshots bool, log EpochLog) *
 	s.cond = sync.NewCond(&s.mu)
 	go s.run()
 	return s
+}
+
+// setLog installs (or replaces) the scheduler's epoch log. The
+// promotion path calls it on a follower's scheduler, which until then
+// ran without durability — its tree was a replica of an elsewhere-
+// durable log — and from the next epoch on must log its own writes.
+func (s *scheduler) setLog(l EpochLog) {
+	s.logMu.Lock()
+	s.log = l
+	s.logMu.Unlock()
 }
 
 // violation records one observed overlap of a read with a write epoch.
@@ -333,16 +359,31 @@ func (s *scheduler) runEpoch(batches []*writeBatch) {
 	start := obs.Clock()
 	s.epochActive.Store(true)
 	results := make([]writeResult, len(batches))
+	swapped := false
 	for bi, b := range batches {
 		// Cross-check rule 1 from the writer's side, per batch: no
 		// reader may be active while the epoch executes.
 		if s.atomicReaders.Load() != 0 {
 			s.violation()
 		}
+		if b.swap != nil {
+			// Tree exchange at the quiescent point: live readers are
+			// drained, snapshot readers hold the immutable old snapshot.
+			// The epoch executor's hints and every connection's hints
+			// (via treeGen) are reset — old-tree leaves could still pass
+			// their coverage checks and answer from retired data.
+			s.tree.Store(b.swap)
+			s.hints = core.NewHints()
+			s.treeGen.Add(1)
+			swapped = true
+			results[bi] = writeResult{}
+			continue
+		}
 		bstart := obs.Clock()
 		fresh := 0
+		tree := s.tree.Load()
 		for _, words := range b.tuples {
-			if s.tree.InsertHint(words, s.hints) {
+			if tree.InsertHint(words, s.hints) {
 				fresh++
 			}
 		}
@@ -359,13 +400,17 @@ func (s *scheduler) runEpoch(batches []*writeBatch) {
 	// flush before any acknowledgement is delivered, so the set of acked
 	// tuples is always a prefix of the committed log. A log failure
 	// fails every batch of the epoch — the tuples are in memory but not
-	// durable, and the clients must not be told otherwise.
-	if s.log != nil {
+	// durable, and the clients must not be told otherwise. (Swap batches
+	// carry no tuples and contribute nothing to the flush.)
+	s.logMu.Lock()
+	log := s.log
+	s.logMu.Unlock()
+	if log != nil {
 		applied := make([][]tuple.Tuple, len(batches))
 		for bi, b := range batches {
 			applied[bi] = b.tuples
 		}
-		if err := s.log.LogEpoch(applied); err != nil {
+		if err := log.LogEpoch(applied); err != nil {
 			for bi := range results {
 				results[bi] = writeResult{err: err}
 			}
@@ -384,10 +429,13 @@ func (s *scheduler) runEpoch(batches []*writeBatch) {
 	// reader blocks once to re-arm the refreshes.
 	if s.snapshots {
 		s.mu.Lock()
-		refresh := s.snapUsed || s.snapDemand || s.epochs.Load() == 0
+		// A tree exchange forces the refresh: the stored snapshot views
+		// the replaced tree, and serving it would resurrect the retired
+		// range past the epoch that dropped it.
+		refresh := s.snapUsed || s.snapDemand || swapped || s.epochs.Load() == 0
 		s.mu.Unlock()
 		if refresh {
-			sp := s.tree.Snapshot()
+			sp := s.tree.Load().Snapshot()
 			s.snap.Store(&sp)
 		}
 		s.mu.Lock()

@@ -67,6 +67,29 @@ type Options struct {
 	// ShardID is this server's shard number; meaningful only with
 	// Sharded set (shard 0 is a valid shard).
 	ShardID uint32
+	// Follower makes the server read-only: insert frames are refused
+	// with a server error directing the client to the leader, until
+	// PromoteToLeader flips the server into a writable leader. The
+	// in-process Apply path stays open — it is how the replication
+	// apply loop feeds the tree (internal/replica).
+	Follower bool
+	// Replica, when non-nil, enables replication subscriptions
+	// (DESIGN.md §16): a version 3 client may send kindReplSubscribe
+	// and the server streams the source's committed epochs to it. Set
+	// on leaders to the shard's insert log.
+	Replica ReplicaSource
+	// Stamp, when non-nil, supplies the replication stamp answered to
+	// opStamp reads: the server's applied epoch watermark, the highest
+	// leader epoch it knows committed, and whether its replication
+	// stream is healthy. Followers set it; when nil, opStamp reports
+	// the server's own epoch count for both positions and healthy=true
+	// (a leader is never stale against itself).
+	Stamp func() (applied, head uint64, healthy bool)
+	// HeartbeatEvery bounds the idle gap between replication frames on
+	// a subscription (default 100ms): with no fresh epoch to ship, the
+	// streamer sends a heartbeat carrying the committed head, so
+	// followers can judge staleness while the log is quiet.
+	HeartbeatEvery time.Duration
 }
 
 // EpochLog receives every write epoch's applied insert batches, in
@@ -98,6 +121,9 @@ func (o Options) withDefaults() Options {
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 10 * time.Second
 	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = 100 * time.Millisecond
+	}
 	return o
 }
 
@@ -106,7 +132,6 @@ func (o Options) withDefaults() Options {
 // Start; stop it with Shutdown (graceful drain) or Close.
 type Server struct {
 	opts  Options
-	tree  *core.Tree
 	sched *scheduler
 	lis   net.Listener
 
@@ -118,6 +143,9 @@ type Server struct {
 
 	accepted atomic.Uint64
 	dropped  atomic.Uint64
+	// promoted flips a follower into a leader (PromoteToLeader): insert
+	// frames are accepted from then on.
+	promoted atomic.Bool
 }
 
 // Stats is a point-in-time reading of the server's serving-layer state,
@@ -167,7 +195,6 @@ func Start(addr string, opts Options) (*Server, error) {
 	}
 	s := &Server{
 		opts:  opts,
-		tree:  tree,
 		sched: newScheduler(tree, opts.WriteQueue, !opts.DisableSnapshotReads, opts.EpochLog),
 		lis:   lis,
 		conns: make(map[*serverConn]struct{}),
@@ -184,8 +211,10 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 func (s *Server) Arity() int { return s.opts.Arity }
 
 // Tree returns the served tree; between write epochs it is safe to read
-// (the usual phase discipline applies to direct access too).
-func (s *Server) Tree() *core.Tree { return s.tree }
+// (the usual phase discipline applies to direct access too). On a
+// follower the served tree can be exchanged by a fence retirement
+// (Exchange), so callers must not cache the pointer across epochs.
+func (s *Server) Tree() *core.Tree { return s.sched.tree.Load() }
 
 // Shard returns this server's shard identity: its shard number, and
 // whether the server is a cluster shard at all.
@@ -208,6 +237,57 @@ func (s *Server) Barrier() error {
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
+}
+
+// Exchange replaces the served tree with t at an epoch boundary: the
+// swap is submitted through the write scheduler like a batch, so it
+// installs at a quiescent point (live readers drained, snapshot readers
+// on the immutable old snapshot) and every cached hint set is
+// invalidated. This is the follower fence-retirement path (DESIGN.md
+// §16): the replication apply loop rebuilds the kept complement of a
+// fenced range into a fresh tree and exchanges it in, retiring the
+// moved range without a restart. A full write queue is waited out.
+func (s *Server) Exchange(t *core.Tree) error {
+	if t.Arity() != s.opts.Arity {
+		return fmt.Errorf("serve: arity-%d tree for arity-%d relation", t.Arity(), s.opts.Arity)
+	}
+	for {
+		b := &writeBatch{swap: t, done: make(chan writeResult, 1)}
+		err := s.sched.submit(b)
+		if err == nil {
+			return (<-b.done).err
+		}
+		if !errors.Is(err, errBusy) {
+			return err
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// PromoteToLeader flips a follower into a writable leader: the given
+// log becomes the scheduler's epoch log (installed before writes are
+// admitted, so no accepted insert misses durability) and insert frames
+// are accepted from then on. One-way; used by cluster failover after
+// the follower has drained the dead leader's stream tail.
+func (s *Server) PromoteToLeader(log EpochLog) {
+	s.sched.setLog(log)
+	s.promoted.Store(true)
+}
+
+// Promoted reports whether a follower server has been promoted to
+// leader.
+func (s *Server) Promoted() bool { return s.promoted.Load() }
+
+// stamp answers opStamp reads: the replication watermark of a follower
+// (Options.Stamp), or the server's own epoch count on a leader — a
+// leader is never stale against itself. A promoted follower answers as
+// a leader: its stream is gone, and it now defines the head.
+func (s *Server) stamp() (applied, head uint64, healthy bool) {
+	if s.opts.Stamp != nil && !s.promoted.Load() {
+		return s.opts.Stamp()
+	}
+	e := s.sched.epochs.Load()
+	return e, e, true
 }
 
 // Apply submits one insert batch through the write scheduler
@@ -249,7 +329,7 @@ func (s *Server) SnapshotNow() (core.Snapshot, error) {
 		case readRefused:
 			return core.Snapshot{}, ErrShutdown
 		case readLive:
-			sp := s.tree.Snapshot()
+			sp := s.sched.tree.Load().Snapshot()
 			s.sched.endRead()
 			return sp, nil
 		default:
@@ -390,8 +470,19 @@ type serverConn struct {
 	rdOnce    sync.Once
 	closed    chan struct{}
 	closeOnce sync.Once
+	// inflight counts insert helper goroutines that still owe the
+	// connection a response. The writer's graceful teardown waits for
+	// them before its final flush: an insert acknowledged by a drained
+	// epoch must reach the outbound queue before the queue is emptied
+	// for the last time, or the acknowledgement would be lost in a race
+	// the client cannot distinguish from a failed write.
+	inflight sync.WaitGroup
 
 	hints *core.Hints // read-path hints; owned by readLoop
+	// hintGen is the tree generation the hint set was built for; a tree
+	// exchange (scheduler.treeGen) invalidates it — cached leaves of the
+	// replaced tree could still pass lease+coverage validation.
+	hintGen uint64
 }
 
 // close tears the connection down once: the net.Conn is closed (which
@@ -424,6 +515,21 @@ func (c *serverConn) send(f outFrame) {
 	}
 }
 
+// sendBlocking enqueues a frame, blocking while the outbound queue is
+// full instead of dropping the connection — the replication streamer's
+// backpressure: a follower that falls behind slows the stream down
+// rather than losing it (it would only have to re-bootstrap).
+// WriteTimeout still disconnects a dead peer. Reports false once the
+// connection is closed.
+func (c *serverConn) sendBlocking(f outFrame) bool {
+	select {
+	case c.out <- f:
+		return true
+	case <-c.closed:
+		return false
+	}
+}
+
 func (c *serverConn) writeLoop() {
 	defer c.s.wg.Done()
 	bw := bufio.NewWriter(c.nc)
@@ -445,9 +551,12 @@ func (c *serverConn) writeLoop() {
 				return
 			}
 		case <-c.rdClosed:
-			// Reader gone (disconnect or shutdown): flush the queued
-			// responses — insert results whose epochs the drain just
-			// executed — then tear the connection down.
+			// Reader gone (disconnect or shutdown): wait out the insert
+			// helpers still owed to this connection (their epochs execute
+			// during the drain; the wait is bounded by epoch completion),
+			// then flush the queued responses and tear the connection
+			// down.
+			c.inflight.Wait()
 			for {
 				select {
 				case f := <-c.out:
@@ -517,6 +626,11 @@ func (c *serverConn) readLoop() {
 				c.handleInsert(req, ver, trace, frameStart)
 			} else {
 				c.handleReads(req, ver, trace, frameStart)
+			}
+		case kindReplSubscribe:
+			if err := c.handleSubscribe(ver, id, trace, payload); err != nil {
+				c.send(outFrame{kind: kindResponse, version: ver, id: id, trace: trace, payload: encodeErr(err.Error())})
+				return
 			}
 		default:
 			// A response frame from a client is a protocol error.
@@ -596,6 +710,11 @@ func (c *serverConn) handleHello(ver byte, id uint64, trace obs.TraceID, payload
 // serve.frame.insert span spanning admission to epoch acknowledgement,
 // and its trace rides on the batch so the executing epoch can adopt it.
 func (c *serverConn) handleInsert(req request, ver byte, trace obs.TraceID, frameStart int64) {
+	if c.s.opts.Follower && !c.s.promoted.Load() {
+		c.send(outFrame{kind: kindResponse, version: ver, id: req.id, trace: trace,
+			payload: encodeErr("serve: shard is a read-only follower; write to the leader")})
+		return
+	}
 	b := &writeBatch{tuples: req.insert, done: make(chan writeResult, 1), trace: trace}
 	if err := c.s.sched.submit(b); err != nil {
 		if errors.Is(err, errBusy) {
@@ -606,8 +725,10 @@ func (c *serverConn) handleInsert(req request, ver byte, trace obs.TraceID, fram
 		return
 	}
 	c.s.wg.Add(1)
+	c.inflight.Add(1)
 	go func() {
 		defer c.s.wg.Done()
+		defer c.inflight.Done()
 		res := <-b.done
 		if res.err != nil {
 			c.send(outFrame{kind: kindResponse, version: ver, id: req.id, trace: trace, payload: encodeErr(res.err.Error())})
@@ -635,6 +756,12 @@ func (c *serverConn) handleInsert(req request, ver byte, trace obs.TraceID, fram
 // into "hist.serve.gate.bypass.ns" (the time a blocking gate would have
 // added a wait to).
 func (c *serverConn) handleReads(req request, ver byte, trace obs.TraceID, frameStart int64) {
+	if g := c.s.sched.treeGen.Load(); g != c.hintGen {
+		// A tree exchange retired the tree these hints index; start over.
+		c.hints.FlushObs()
+		c.hints = core.NewHints()
+		c.hintGen = g
+	}
 	var frameSpan obs.SpanID
 	var waitStart int64
 	if trace != 0 {
@@ -683,7 +810,7 @@ func (c *serverConn) handleReads(req request, ver byte, trace obs.TraceID, frame
 // execRead evaluates one read operation against the tree and appends its
 // result to the response.
 func (c *serverConn) execRead(op *readOp, w *wbuf) {
-	t := c.s.tree
+	t := c.s.sched.tree.Load()
 	switch op.code {
 	case opContains:
 		w.bool(t.ContainsHint(op.arg, c.hints))
@@ -704,6 +831,11 @@ func (c *serverConn) execRead(op *readOp, w *wbuf) {
 		c.execScan(op, w)
 	case opLen:
 		w.u64(uint64(t.Len()))
+	case opStamp:
+		applied, head, healthy := c.s.stamp()
+		w.u64(applied)
+		w.u64(head)
+		w.bool(healthy)
 	}
 }
 
@@ -715,15 +847,16 @@ func (c *serverConn) execScan(op *readOp, w *wbuf) {
 	if limit <= 0 || limit > c.s.opts.MaxScan {
 		limit = c.s.opts.MaxScan
 	}
+	t := c.s.sched.tree.Load()
 	var cur core.Cursor
 	if op.lo != nil {
 		if op.loStrict {
-			cur = c.s.tree.UpperBoundHint(op.lo, c.hints)
+			cur = t.UpperBoundHint(op.lo, c.hints)
 		} else {
-			cur = c.s.tree.LowerBoundHint(op.lo, c.hints)
+			cur = t.LowerBoundHint(op.lo, c.hints)
 		}
 	} else {
-		cur = c.s.tree.Begin()
+		cur = t.Begin()
 	}
 	countAt := len(w.b)
 	w.u32(0) // patched below
@@ -771,6 +904,14 @@ func (c *serverConn) execSnapRead(op *readOp, snap *core.Snapshot, w *wbuf) {
 		c.execSnapScan(op, snap, w)
 	case opLen:
 		w.u64(uint64(snap.Len()))
+	case opStamp:
+		// Safe from the snapshot path too: a handed-out snapshot is never
+		// stale (scheduler.snapStale blocks instead), so the stamp cannot
+		// overstate what the frame's other reads observed.
+		applied, head, healthy := c.s.stamp()
+		w.u64(applied)
+		w.u64(head)
+		w.bool(healthy)
 	}
 }
 

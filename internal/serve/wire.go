@@ -25,20 +25,23 @@
 //
 //	offset  size  field
 //	0       2     magic "sb"
-//	2       1     protocol version (1 or 2)
-//	3       1     frame kind (hello / request / response)
+//	2       1     protocol version (1, 2 or 3)
+//	3       1     frame kind (hello / request / response / replication)
 //	4       8     request id, big-endian (echoed by the response)
 //	12      4     payload length, big-endian (at most MaxPayload)
-//	16      8     trace id, big-endian (version 2 frames only)
-//	16/24   —     payload (offset 24 in version 2 frames)
+//	16      8     trace id, big-endian (version >= 2 frames only)
+//	16/24   —     payload (offset 24 in version >= 2 frames)
 //
-// Version 2 (the current ProtocolVersion) extends the version 1 header
-// by one field: an 8-byte trace ID linking the frame to the
-// observability layer's span tracer (internal/obs, DESIGN.md §13). A
-// zero trace ID means "not traced"; responses echo the request's trace
-// ID. Both versions are accepted on the read side, and each frame is
-// answered in the version it arrived in, so old clients interoperate
-// unchanged.
+// Version 2 extends the version 1 header by one field: an 8-byte trace
+// ID linking the frame to the observability layer's span tracer
+// (internal/obs, DESIGN.md §13). A zero trace ID means "not traced";
+// responses echo the request's trace ID. Version 3 (the current
+// ProtocolVersion) keeps the version 2 header and adds the replication
+// frame family (subscribe / snapshot page / epoch / heartbeat,
+// replica.go) and the opStamp read opcode — a follower's applied-epoch
+// watermark, answered atomically with the other reads of its frame. All
+// versions are accepted on the read side, and each frame is answered in
+// the version it arrived in, so old clients interoperate unchanged.
 //
 // A connection starts with a hello exchange (client states its tuple
 // arity, or 0 to adopt the server's; the server answers with the served
@@ -65,6 +68,9 @@
 //	opLen       (no arguments)
 //	opInsert    uint32 tuple count, tuples (write; must be the frame's
 //	            only operation)
+//	opStamp     (no arguments; version 3) — the server's replication
+//	            stamp, evaluated under the same read admission as the
+//	            frame's other operations
 //
 // Response payload: status byte, then per-operation results in request
 // order (statusOK), nothing (statusRetry — write queue full, resend
@@ -76,6 +82,7 @@
 //	opScan      uint32 count, tuples, truncated bool byte
 //	opLen       uint64
 //	opInsert    uint32 fresh (tuples not previously present)
+//	opStamp     uint64 applied, uint64 head, healthy bool byte
 //
 // Integers are big-endian throughout. Unknown versions, kinds, opcodes,
 // oversized payloads and truncated frames are protocol errors; the
@@ -92,14 +99,19 @@ import (
 	"specbtree/internal/tuple"
 )
 
-// ProtocolVersion is the current wire-protocol version: version 2
-// carries an 8-byte trace ID in every frame header. Version 1 (no
-// trace field) is still accepted and negotiated down to during hello.
-const ProtocolVersion = 2
+// ProtocolVersion is the current wire-protocol version: version 3 adds
+// the replication frame family and the opStamp opcode to the version 2
+// header (which carries an 8-byte trace ID). Versions 1 and 2 are still
+// accepted and negotiated down to during hello.
+const ProtocolVersion = 3
 
 // protocolV1 is the pre-tracing wire version, kept readable and
 // writable for old peers.
 const protocolV1 = 1
+
+// protocolV2 introduced the trace-ID header field; every version >= 2
+// frame carries it.
+const protocolV2 = 2
 
 // MaxPayload bounds a frame payload; larger length prefixes are protocol
 // errors, protecting both sides from corrupt or hostile peers.
@@ -112,11 +124,27 @@ const headerSize = 16
 // traceFieldSize is the size of the version 2 header's trace-ID field.
 const traceFieldSize = 8
 
-// Frame kinds.
+// Frame kinds. The replication kinds (version 3) are a server-push
+// family: a follower sends one kindReplSubscribe, the server answers it
+// with a kindResponse and then pushes snapshot pages, epochs and
+// heartbeats carrying the subscribe frame's id (replica.go).
 const (
 	kindHello    = 1
 	kindRequest  = 2
 	kindResponse = 3
+	// kindReplSubscribe (client -> server) opens an epoch stream:
+	// payload = flags u8 (bit0: bootstrap snapshot wanted), after u64.
+	kindReplSubscribe = 4
+	// kindReplSnapPage (server -> client) carries one bootstrap
+	// snapshot page: base u64, last bool u8, count u32, tuples.
+	kindReplSnapPage = 5
+	// kindReplEpoch (server -> client) carries one committed epoch:
+	// seq u64, head u64, batch count u32 (each: count u32, tuples),
+	// fence count u32 (each: lo u64, hi u64, dst u32).
+	kindReplEpoch = 6
+	// kindReplHeartbeat (server -> client) refreshes the leader's
+	// committed head while the log is idle: head u64.
+	kindReplHeartbeat = 7
 )
 
 // Operation codes.
@@ -127,6 +155,7 @@ const (
 	opScan     = 4
 	opLen      = 5
 	opInsert   = 6
+	opStamp    = 7
 )
 
 // Response status codes.
@@ -154,7 +183,7 @@ func writeFrame(w io.Writer, version, kind byte, id uint64, trace obs.TraceID, p
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("%w: payload %d exceeds MaxPayload", errProtocol, len(payload))
 	}
-	if version != protocolV1 && version != ProtocolVersion {
+	if version < protocolV1 || version > ProtocolVersion {
 		return fmt.Errorf("%w: cannot write version %d", errProtocol, version)
 	}
 	var hdr [headerSize + traceFieldSize]byte
@@ -164,7 +193,7 @@ func writeFrame(w io.Writer, version, kind byte, id uint64, trace obs.TraceID, p
 	binary.BigEndian.PutUint64(hdr[4:12], id)
 	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(payload)))
 	n := headerSize
-	if version >= ProtocolVersion {
+	if version >= protocolV2 {
 		binary.BigEndian.PutUint64(hdr[16:24], uint64(trace))
 		n += traceFieldSize
 	}
@@ -190,19 +219,23 @@ func readFrame(r io.Reader) (version, kind byte, id uint64, trace obs.TraceID, p
 		return 0, 0, 0, 0, nil, fmt.Errorf("%w: bad magic %q", errProtocol, hdr[0:2])
 	}
 	version = hdr[2]
-	if version != protocolV1 && version != ProtocolVersion {
-		return 0, 0, 0, 0, nil, fmt.Errorf("%w: version %d, want %d or %d", errProtocol, version, protocolV1, ProtocolVersion)
+	if version < protocolV1 || version > ProtocolVersion {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: version %d, want %d..%d", errProtocol, version, protocolV1, ProtocolVersion)
 	}
 	kind = hdr[3]
-	if kind != kindHello && kind != kindRequest && kind != kindResponse {
-		return 0, 0, 0, 0, nil, fmt.Errorf("%w: unknown frame kind %d", errProtocol, kind)
+	switch {
+	case kind == kindHello || kind == kindRequest || kind == kindResponse:
+	case kind >= kindReplSubscribe && kind <= kindReplHeartbeat && version >= ProtocolVersion:
+		// Replication frames exist only from version 3 on.
+	default:
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: unknown frame kind %d for version %d", errProtocol, kind, version)
 	}
 	id = binary.BigEndian.Uint64(hdr[4:12])
 	n := binary.BigEndian.Uint32(hdr[12:16])
 	if n > MaxPayload {
 		return 0, 0, 0, 0, nil, fmt.Errorf("%w: payload %d exceeds MaxPayload", errProtocol, n)
 	}
-	if version >= ProtocolVersion {
+	if version >= protocolV2 {
 		var tr [traceFieldSize]byte
 		if _, err = io.ReadFull(r, tr[:]); err != nil {
 			return 0, 0, 0, 0, nil, err
@@ -360,7 +393,7 @@ func decodeRequest(id uint64, payload []byte, arity, maxBatch int) (request, err
 			op.loStrict = flags&scanLoStrict != 0
 			op.limit = r.u32()
 			req.reads = append(req.reads, op)
-		case opLen:
+		case opLen, opStamp:
 			req.reads = append(req.reads, readOp{code: code})
 		case opInsert:
 			if n != 1 {

@@ -93,7 +93,7 @@ func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
 }
 
 func TestWriteFrameRejectsUnknownVersion(t *testing.T) {
-	err := writeFrame(&bytes.Buffer{}, 3, kindRequest, 1, 0, nil)
+	err := writeFrame(&bytes.Buffer{}, ProtocolVersion+1, kindRequest, 1, 0, nil)
 	if !errors.Is(err, errProtocol) {
 		t.Fatalf("err = %v, want errProtocol", err)
 	}

@@ -7,22 +7,33 @@
 # by loadgen's cluster mode: inserts and point reads routed to the
 # owning shard, scans fanned out and merged (DESIGN.md §15).
 #
+# The document's appended "follower_reads" cell compares the same
+# read-heavy workload against a single-shard leader with reads served
+# by the leader alone versus offloaded to one streaming follower under
+# a staleness bound (DESIGN.md §16); the offload sub-document carries
+# the follower/fallback read split and the replication-lag digest
+# sampled during the run.
+#
 # Throughput and latency figures only mean something relative to the
 # recorded cpus/gomaxprocs fields — see EXPERIMENTS.md. On the 1-CPU CI
-# host all three shards timeslice one core; the numbers are honest
-# about that, not a parallel-speedup claim.
+# host all shards, followers and clients timeslice one core; the
+# numbers are honest about that, not a parallel-speedup claim.
 set -eu
 GO=${GO:-go}
 base=${BENCH_CLUSTER_PORT:-40890}
 a0="localhost:$base"
 a1="localhost:$((base + 1))"
 a2="localhost:$((base + 2))"
+lead="localhost:$((base + 3))"
+foll="localhost:$((base + 4))"
 tmp=$(mktemp -d)
 p0=
 p1=
 p2=
+pl=
+pf=
 cleanup() {
-	for p in "$p0" "$p1" "$p2"; do
+	for p in "$p0" "$p1" "$p2" "$pl" "$pf"; do
 		[ -n "$p" ] && kill "$p" 2>/dev/null || true
 	done
 	rm -rf "$tmp"
@@ -32,25 +43,55 @@ trap cleanup EXIT
 $GO build -o "$tmp/servebtree" ./cmd/servebtree
 $GO build -o "$tmp/loadgen" ./cmd/loadgen
 
+wait_ready() { # $1 = address
+	i=0
+	until "$tmp/loadgen" -addr "$1" -clients 1 -requests 1 -writes 0 >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			echo "bench_cluster_json: server never became reachable at $1" >&2
+			cat "$tmp"/*.err >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
 "$tmp/servebtree" -addr "$a0" -shard-id 0 -log "$tmp/shard-0.log" 2>"$tmp/shard-0.err" &
 p0=$!
 "$tmp/servebtree" -addr "$a1" -shard-id 1 -log "$tmp/shard-1.log" 2>"$tmp/shard-1.err" &
 p1=$!
 "$tmp/servebtree" -addr "$a2" -shard-id 2 -log "$tmp/shard-2.log" 2>"$tmp/shard-2.err" &
 p2=$!
-
-for a in "$a0" "$a1" "$a2"; do
-	i=0
-	until "$tmp/loadgen" -addr "$a" -clients 1 -requests 1 -writes 0 >/dev/null 2>&1; do
-		i=$((i + 1))
-		if [ "$i" -ge 50 ]; then
-			echo "bench_cluster_json: shard never became reachable at $a" >&2
-			cat "$tmp"/shard-*.err >&2
-			exit 1
-		fi
-		sleep 0.1
-	done
-done
+wait_ready "$a0"
+wait_ready "$a1"
+wait_ready "$a2"
 
 "$tmp/loadgen" -addrs "$a0,$a1,$a2" -clients 8 -requests 1000 -writes 20 \
-	-batch 16 -space 65536 -seed 1 -json
+	-batch 16 -space 65536 -seed 1 -json >"$tmp/main.json"
+
+# Follower-reads cell: one leader, one streaming follower, the same
+# read-heavy workload with and without follower offload. The writes in
+# the mix keep the replication stream moving, so the lag digest
+# measures a live stream, not an idle caught-up replica.
+"$tmp/servebtree" -addr "$lead" -shard-id 0 -log "$tmp/lead.log" 2>"$tmp/lead.err" &
+pl=$!
+wait_ready "$lead"
+"$tmp/servebtree" -addr "$foll" -shard-id 0 -follower-of "$lead" \
+	-log "$tmp/foll.log" 2>"$tmp/foll.err" &
+pf=$!
+wait_ready "$foll"
+
+"$tmp/loadgen" -addrs "$lead" -clients 4 -requests 800 -writes 10 \
+	-batch 16 -space 65536 -seed 2 -json >"$tmp/leader_only.json"
+"$tmp/loadgen" -addrs "$lead" -followers "$foll" -max-stale 4 \
+	-clients 4 -requests 800 -writes 10 \
+	-batch 16 -space 65536 -seed 3 -json >"$tmp/offload.json"
+
+# Compose: the v1 document plus the appended follower_reads cell, each
+# sub-document a full loadgen run document.
+sed '$d' "$tmp/main.json" | sed '$s/$/,/'
+printf '  "follower_reads": {\n    "leader_only":\n'
+sed 's/^/    /' "$tmp/leader_only.json" | sed '$s/$/,/'
+printf '    "follower_offload":\n'
+sed 's/^/    /' "$tmp/offload.json"
+printf '  }\n}\n'

@@ -134,6 +134,25 @@ var frozenClusterHistograms = []string{
 	"hist.cluster.log.flush.ns",
 }
 
+// frozenReplicaCounters and frozenReplicaHistograms freeze the
+// follower replication names at the moment streaming read replicas
+// shipped (specbtree.metrics.v6, DESIGN.md §16). Same append-only
+// contract: every name must stay registered forever.
+var frozenReplicaCounters = []string{
+	"replica.stream.epochs",
+	"replica.apply.epochs",
+	"replica.apply.tuples",
+	"replica.bootstrap.tuples",
+	"replica.fences.applied",
+	"replica.reads.follower",
+	"replica.reads.fallback",
+	"replica.promotions",
+}
+
+var frozenReplicaHistograms = []string{
+	"hist.replica.lag.epochs",
+}
+
 // strategyNames are the evaluation-strategy spellings accepted by the
 // engine's -strategy flags; DESIGN.md §12 must name each so the docs
 // cannot drift from the dispatch.
@@ -225,6 +244,12 @@ func main() {
 				fmt.Sprintf("obs: cluster counter %q no longer registered (the metrics contract is append-only)", name))
 		}
 	}
+	for _, name := range frozenReplicaCounters {
+		if !registered[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: replica counter %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
 	registeredHist := map[string]bool{}
 	for _, name := range obs.HistogramNames() {
 		registeredHist[name] = true
@@ -251,6 +276,12 @@ func main() {
 		if !registeredHist[name] {
 			problems = append(problems,
 				fmt.Sprintf("obs: cluster histogram %q no longer registered (the metrics contract is append-only)", name))
+		}
+	}
+	for _, name := range frozenReplicaHistograms {
+		if !registeredHist[name] {
+			problems = append(problems,
+				fmt.Sprintf("obs: replica histogram %q no longer registered (the metrics contract is append-only)", name))
 		}
 	}
 
